@@ -1,0 +1,85 @@
+//! Criterion benchmarks for checkpoint management (E-8.4.1): incremental
+//! checkpoint creation versus modification locality, copy-on-write
+//! snapshot overhead, and AdHash incremental updates.
+
+use bft_core::partition_tree::PartitionTree;
+use bft_types::SeqNo;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn make_tree(pages: u64) -> PartitionTree {
+    PartitionTree::new(
+        (0..pages).map(|_| Bytes::from(vec![0u8; 4096])).collect(),
+        256,
+    )
+}
+
+fn bench_checkpoint_creation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_creation_1024_pages");
+    g.sample_size(20);
+    for modified in [1usize, 16, 256] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(modified),
+            &modified,
+            |b, &modified| {
+                let mut tree = make_tree(1024);
+                let mut seq = 0u64;
+                b.iter(|| {
+                    seq += 1;
+                    for p in 0..modified {
+                        tree.write_page(p as u64, Bytes::from(vec![seq as u8; 4096]));
+                    }
+                    let d = tree.checkpoint(SeqNo(seq));
+                    tree.discard_below(SeqNo(seq));
+                    d
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_adhash_update(c: &mut Criterion) {
+    let d1 = bft_crypto::digest(b"old");
+    let d2 = bft_crypto::digest(b"new");
+    let digests: Vec<_> = (0..256u32)
+        .map(|i| bft_crypto::digest(&i.to_le_bytes()))
+        .collect();
+    c.bench_function("adhash_incremental_replace", |b| {
+        let mut acc = bft_crypto::AdHash::from_digests(digests.iter());
+        b.iter(|| {
+            acc.replace(std::hint::black_box(&d1), std::hint::black_box(&d2));
+            acc.replace(&d2, &d1);
+        })
+    });
+    c.bench_function("adhash_rebuild_256", |b| {
+        b.iter(|| bft_crypto::AdHash::from_digests(std::hint::black_box(&digests)))
+    });
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    c.bench_function("rollback_to_checkpoint_64_pages", |b| {
+        b.iter_batched(
+            || {
+                let mut tree = make_tree(64);
+                tree.write_page(0, Bytes::from_static(b"committed"));
+                tree.checkpoint(SeqNo(1));
+                for p in 0..32u64 {
+                    tree.write_page(p, Bytes::from(vec![7u8; 4096]));
+                }
+                tree.checkpoint(SeqNo(2));
+                tree
+            },
+            |mut tree| tree.rollback_to(SeqNo(1)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_checkpoint_creation,
+    bench_adhash_update,
+    bench_rollback
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the cryptographic substrate (E-8.2.1,
+//! E-8.2.2): digest throughput, MAC and authenticator cost, signature
+//! sign/verify, and RSA session-key encryption.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_digest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5_digest");
+    for size in [64usize, 1024, 4096, 8192] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| bft_crypto::digest(std::hint::black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let key = bft_crypto::SessionKey::from_seed(1);
+    let msg = vec![0u8; 64];
+    c.bench_function("hmac_md5_64B", |b| {
+        b.iter(|| bft_crypto::hmac::mac(&key, std::hint::black_box(&msg)))
+    });
+    let tag = bft_crypto::hmac::mac(&key, &msg);
+    c.bench_function("hmac_md5_verify_64B", |b| {
+        b.iter(|| bft_crypto::hmac::verify(&key, std::hint::black_box(&msg), &tag))
+    });
+}
+
+fn bench_authenticator(c: &mut Criterion) {
+    let msg = vec![0u8; 64];
+    let mut g = c.benchmark_group("authenticator_generate");
+    for n in [4usize, 7, 13, 37] {
+        let keys: Vec<_> = (0..n as u64)
+            .map(bft_crypto::SessionKey::from_seed)
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &keys, |b, keys| {
+            b.iter(|| bft_crypto::Authenticator::generate(keys, 7, std::hint::black_box(&msg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let kp = bft_crypto::KeyPair::generate_with_bits(&mut rng, 1024);
+    let msg = vec![0u8; 64];
+    let mut g = c.benchmark_group("rsa_1024");
+    g.sample_size(10);
+    g.bench_function("sign", |b| b.iter(|| kp.sign(std::hint::black_box(&msg))));
+    let sig = kp.sign(&msg);
+    g.bench_function("verify", |b| {
+        b.iter(|| kp.public.verify(std::hint::black_box(&msg), &sig))
+    });
+    let key = [9u8; 16];
+    g.bench_function("encrypt_session_key", |b| {
+        b.iter(|| kp.public.encrypt(&mut rng, std::hint::black_box(&key)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_digest,
+    bench_mac,
+    bench_authenticator,
+    bench_signatures
+);
+criterion_main!(benches);

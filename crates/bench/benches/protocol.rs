@@ -1,0 +1,55 @@
+//! Criterion benchmarks for whole-protocol simulation runs: real time to
+//! simulate a batch of operations through the full BFT pipeline, and
+//! message wire encoding/decoding throughput.
+
+use bft_core::config::{AuthMode, Optimizations};
+use bft_sim::scenarios::{latency, MicroOp};
+use bft_types::Wire;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_protocol_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_protocol");
+    g.sample_size(10);
+    g.bench_function("bft_0_0_x10", |b| {
+        b.iter(|| latency(MicroOp::zero_zero(), AuthMode::Macs, Optimizations::all(), 10))
+    });
+    g.bench_function("bft_0_0_read_only_x10", |b| {
+        b.iter(|| {
+            latency(
+                MicroOp {
+                    read_only: true,
+                    ..MicroOp::zero_zero()
+                },
+                AuthMode::Macs,
+                Optimizations::all(),
+                10,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let req = bft_types::Request {
+        requester: bft_types::Requester::Client(bft_types::ClientId(1)),
+        timestamp: bft_types::Timestamp(7),
+        operation: bytes::Bytes::from(vec![0u8; 512]),
+        read_only: false,
+        replier: Some(bft_types::ReplicaId(2)),
+        auth: bft_types::Auth::None,
+    };
+    let msg = bft_types::Message::Request(req);
+    c.bench_function("wire_encode_request_512B", |b| {
+        b.iter(|| std::hint::black_box(&msg).encoded())
+    });
+    let bytes = msg.encoded();
+    c.bench_function("wire_decode_request_512B", |b| {
+        b.iter(|| {
+            let mut slice = bytes.as_slice();
+            bft_types::Message::decode(&mut slice).expect("valid")
+        })
+    });
+}
+
+criterion_group!(benches, bench_protocol_round, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates the thesis evaluation tables and figures.
+//!
+//! Usage: `cargo run -p bft-bench --release --bin tables -- <experiment>`
+//! where `<experiment>` is one of e821, e822, e823, e831, e831v, e832,
+//! e833, e834, e835, e841, e842, e85, e862, e863, e7, or `all`.
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "e821" => bft_bench::run_e821(),
+        "e822" => bft_bench::run_e822(),
+        "e823" => bft_bench::run_e823(),
+        "e831" => bft_bench::run_e831(),
+        "e831v" => bft_bench::run_e831v(),
+        "e832" => bft_bench::run_e832(),
+        "e833" => bft_bench::run_e833(),
+        "e834" => bft_bench::run_e834(),
+        "e835" => bft_bench::run_e835(),
+        "e841" => bft_bench::run_e841(),
+        "e842" => bft_bench::run_e842(),
+        "e85" => bft_bench::run_e85(),
+        "e862" => bft_bench::run_e862(),
+        "e863" => bft_bench::run_e863(),
+        "e7" => bft_bench::run_e7(),
+        "all" => bft_bench::run_all(),
+        other => {
+            eprintln!("unknown experiment {other:?}; see DESIGN.md §4 for ids");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The Andrew-benchmark-style workload (§8.6).
+//!
+//! The thesis evaluates BFS with the modified Andrew benchmark: five phases
+//! that (1) create a directory tree, (2) copy a source tree, (3) stat every
+//! file, (4) read every byte, and (5) "compile" (a CPU- and write-heavy
+//! mix). We reproduce it as a synthetic generator with the same phase
+//! structure, sized by a scale factor like the thesis's Andrew100 variant.
+//! The generator emits a deterministic operation script; the same script
+//! runs against replicated BFS and the unreplicated baseline.
+
+use crate::service::{NfsOp, NfsReply};
+use bft_statemachine::Service;
+use bft_types::{ClientId, Requester};
+
+/// The benchmark's five phases.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Phase 1: recursive mkdir.
+    MakeDirs,
+    /// Phase 2: copy the source tree (create + write).
+    Copy,
+    /// Phase 3: stat every file and directory.
+    Stat,
+    /// Phase 4: read every file byte.
+    Read,
+    /// Phase 5: compile — reads plus object-file writes.
+    Compile,
+}
+
+/// All phases in benchmark order.
+pub const PHASES: [Phase; 5] = [
+    Phase::MakeDirs,
+    Phase::Copy,
+    Phase::Stat,
+    Phase::Read,
+    Phase::Compile,
+];
+
+impl Phase {
+    /// Display name matching the thesis's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::MakeDirs => "phase1-mkdir",
+            Phase::Copy => "phase2-copy",
+            Phase::Stat => "phase3-stat",
+            Phase::Read => "phase4-read",
+            Phase::Compile => "phase5-compile",
+        }
+    }
+}
+
+/// Shape parameters for the synthetic source tree.
+#[derive(Clone, Copy, Debug)]
+pub struct AndrewConfig {
+    /// Number of directories (the original tree has ~20).
+    pub dirs: u32,
+    /// Files per directory.
+    pub files_per_dir: u32,
+    /// Bytes per file.
+    pub file_size: u32,
+    /// Scale factor (Andrew100 in the thesis is scale 100; tests use 1).
+    pub scale: u32,
+}
+
+impl Default for AndrewConfig {
+    fn default() -> Self {
+        AndrewConfig {
+            dirs: 4,
+            files_per_dir: 5,
+            file_size: 1024,
+            scale: 1,
+        }
+    }
+}
+
+impl AndrewConfig {
+    /// A small configuration for fast tests.
+    pub fn tiny() -> Self {
+        AndrewConfig {
+            dirs: 2,
+            files_per_dir: 2,
+            file_size: 256,
+            scale: 1,
+        }
+    }
+}
+
+/// One scripted operation with its phase label. Handles are symbolic: the
+/// runner resolves paths to inode numbers as replies come back.
+#[derive(Clone, Debug)]
+pub struct ScriptedOp {
+    /// The phase this op belongs to.
+    pub phase: Phase,
+    /// Kind of operation and its symbolic arguments.
+    pub kind: OpKind,
+    /// Whether the op is read-only.
+    pub read_only: bool,
+}
+
+/// Symbolic operation kinds (paths instead of inode handles).
+#[derive(Clone, Debug)]
+pub enum OpKind {
+    /// mkdir(parent_path, name).
+    Mkdir(String, String),
+    /// create(parent_path, name).
+    Create(String, String),
+    /// write(path, offset, len) of deterministic bytes.
+    Write(String, u64, u32),
+    /// getattr(path).
+    Stat(String),
+    /// read(path, offset, len).
+    Read(String, u64, u32),
+}
+
+/// Generates the deterministic benchmark script.
+pub fn generate_script(cfg: &AndrewConfig) -> Vec<ScriptedOp> {
+    let mut script = Vec::new();
+    let reps = cfg.scale.max(1);
+    for rep in 0..reps {
+        let root = format!("run{rep}");
+        // Phase 1: directory tree.
+        script.push(ScriptedOp {
+            phase: Phase::MakeDirs,
+            kind: OpKind::Mkdir("/".into(), root.clone()),
+            read_only: false,
+        });
+        for d in 0..cfg.dirs {
+            script.push(ScriptedOp {
+                phase: Phase::MakeDirs,
+                kind: OpKind::Mkdir(format!("/{root}"), format!("dir{d}")),
+                read_only: false,
+            });
+        }
+        // Phase 2: copy — create files and write their contents in 4 KB
+        // chunks (NFS write granularity).
+        for d in 0..cfg.dirs {
+            for f in 0..cfg.files_per_dir {
+                let dir = format!("/{root}/dir{d}");
+                let name = format!("src{f}.c");
+                script.push(ScriptedOp {
+                    phase: Phase::Copy,
+                    kind: OpKind::Create(dir.clone(), name.clone()),
+                    read_only: false,
+                });
+                let path = format!("{dir}/{name}");
+                let mut off = 0u64;
+                while off < cfg.file_size as u64 {
+                    let chunk = 4096.min(cfg.file_size as u64 - off) as u32;
+                    script.push(ScriptedOp {
+                        phase: Phase::Copy,
+                        kind: OpKind::Write(path.clone(), off, chunk),
+                        read_only: false,
+                    });
+                    off += chunk as u64;
+                }
+            }
+        }
+        // Phase 3: stat everything.
+        for d in 0..cfg.dirs {
+            script.push(ScriptedOp {
+                phase: Phase::Stat,
+                kind: OpKind::Stat(format!("/{root}/dir{d}")),
+                read_only: true,
+            });
+            for f in 0..cfg.files_per_dir {
+                script.push(ScriptedOp {
+                    phase: Phase::Stat,
+                    kind: OpKind::Stat(format!("/{root}/dir{d}/src{f}.c")),
+                    read_only: true,
+                });
+            }
+        }
+        // Phase 4: read every byte.
+        for d in 0..cfg.dirs {
+            for f in 0..cfg.files_per_dir {
+                let path = format!("/{root}/dir{d}/src{f}.c");
+                let mut off = 0u64;
+                while off < cfg.file_size as u64 {
+                    let chunk = 4096.min(cfg.file_size as u64 - off) as u32;
+                    script.push(ScriptedOp {
+                        phase: Phase::Read,
+                        kind: OpKind::Read(path.clone(), off, chunk),
+                        read_only: true,
+                    });
+                    off += chunk as u64;
+                }
+            }
+        }
+        // Phase 5: compile — read sources, write object files.
+        for d in 0..cfg.dirs {
+            for f in 0..cfg.files_per_dir {
+                let dir = format!("/{root}/dir{d}");
+                let src = format!("{dir}/src{f}.c");
+                script.push(ScriptedOp {
+                    phase: Phase::Compile,
+                    kind: OpKind::Read(src, 0, cfg.file_size),
+                    read_only: true,
+                });
+                let obj = format!("obj{f}.o");
+                script.push(ScriptedOp {
+                    phase: Phase::Compile,
+                    kind: OpKind::Create(dir.clone(), obj.clone()),
+                    read_only: false,
+                });
+                script.push(ScriptedOp {
+                    phase: Phase::Compile,
+                    kind: OpKind::Write(format!("{dir}/{obj}"), 0, cfg.file_size / 2),
+                    read_only: false,
+                });
+            }
+        }
+    }
+    script
+}
+
+/// Deterministic file contents for a write.
+pub fn write_payload(len: u32, path: &str, offset: u64) -> Vec<u8> {
+    let seed = bft_crypto::digest_parts(&[path.as_bytes(), &offset.to_le_bytes()]).as_u64();
+    (0..len).map(|i| (seed.wrapping_add(i as u64) % 251) as u8).collect()
+}
+
+/// A path→inode cache that turns symbolic ops into concrete [`NfsOp`]s.
+#[derive(Default, Debug)]
+pub struct PathResolver {
+    cache: std::collections::HashMap<String, u64>,
+}
+
+impl PathResolver {
+    /// Creates a resolver knowing only the root.
+    pub fn new() -> Self {
+        let mut cache = std::collections::HashMap::new();
+        cache.insert("/".to_string(), crate::fs::ROOT_INO.0);
+        PathResolver { cache }
+    }
+
+    /// Inode of a cached path.
+    pub fn get(&self, path: &str) -> Option<u64> {
+        self.cache.get(path).copied()
+    }
+
+    /// Records a created/resolved inode.
+    pub fn put(&mut self, path: String, ino: u64) {
+        self.cache.insert(path, ino);
+    }
+
+    /// Converts a scripted op into a concrete NFS op (paths resolved from
+    /// the cache; the runner must have executed creates in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the script references a path that was never created —
+    /// a bug in the script, not a runtime condition.
+    pub fn concretize(&self, op: &OpKind) -> NfsOp {
+        let ino = |p: &str| -> u64 {
+            *self
+                .cache
+                .get(p)
+                .unwrap_or_else(|| panic!("script path {p} not resolved"))
+        };
+        match op {
+            OpKind::Mkdir(parent, name) => NfsOp::Mkdir(ino(parent), name.clone(), 0o755),
+            OpKind::Create(parent, name) => NfsOp::Create(ino(parent), name.clone(), 0o644),
+            OpKind::Write(path, off, len) => {
+                NfsOp::Write(ino(path), *off, write_payload(*len, path, *off))
+            }
+            OpKind::Stat(path) => NfsOp::GetAttr(ino(path)),
+            OpKind::Read(path, off, len) => NfsOp::Read(ino(path), *off, *len),
+        }
+    }
+
+    /// Feeds a reply back so later script ops can resolve the path.
+    pub fn learn(&mut self, op: &OpKind, reply: &NfsReply) {
+        if let (OpKind::Mkdir(parent, name) | OpKind::Create(parent, name), NfsReply::Handle(h)) =
+            (op, reply)
+        {
+            let path = if parent == "/" {
+                format!("/{name}")
+            } else {
+                format!("{parent}/{name}")
+            };
+            self.put(path, *h);
+        }
+    }
+}
+
+/// Runs the whole script directly against a local [`BfsService`] — the
+/// unreplicated NFS-std baseline of §8.6 (no protocol, one round trip of
+/// wire cost charged by the caller). Returns per-phase operation counts.
+pub fn run_unreplicated(
+    service: &mut crate::service::BfsService,
+    script: &[ScriptedOp],
+) -> std::collections::BTreeMap<&'static str, u64> {
+    let mut resolver = PathResolver::new();
+    let mut counts = std::collections::BTreeMap::new();
+    let client = Requester::Client(ClientId(0));
+    let mut t = 1u64;
+    for sop in script {
+        let op = resolver.concretize(&sop.kind);
+        t += 1;
+        let reply_bytes = service.execute(client, &op.encode(), &t.to_le_bytes());
+        let reply = NfsReply::decode(&reply_bytes).expect("well-formed reply");
+        assert!(
+            !matches!(reply, NfsReply::Err(_)),
+            "benchmark op failed: {op:?} -> {reply:?}"
+        );
+        resolver.learn(&sop.kind, &reply);
+        *counts.entry(sop.phase.name()).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::BfsService;
+
+    #[test]
+    fn script_covers_all_phases() {
+        let script = generate_script(&AndrewConfig::default());
+        for phase in PHASES {
+            assert!(
+                script.iter().any(|s| s.phase == phase),
+                "{phase:?} missing"
+            );
+        }
+        // Phases appear in order.
+        let order: Vec<Phase> = script.iter().map(|s| s.phase).collect();
+        let mut sorted = order.clone();
+        sorted.sort_by_key(|p| PHASES.iter().position(|q| q == p).expect("known"));
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn script_is_deterministic() {
+        let a = generate_script(&AndrewConfig::default());
+        let b = generate_script(&AndrewConfig::default());
+        assert_eq!(a.len(), b.len());
+        assert!(write_payload(16, "/x", 0) == write_payload(16, "/x", 0));
+        assert!(write_payload(16, "/x", 0) != write_payload(16, "/y", 0));
+    }
+
+    #[test]
+    fn scale_multiplies_work() {
+        let one = generate_script(&AndrewConfig::default());
+        let five = generate_script(&AndrewConfig {
+            scale: 5,
+            ..AndrewConfig::default()
+        });
+        assert_eq!(five.len(), one.len() * 5);
+    }
+
+    #[test]
+    fn unreplicated_run_completes() {
+        let mut svc = BfsService::new(16);
+        let script = generate_script(&AndrewConfig::tiny());
+        let counts = run_unreplicated(&mut svc, &script);
+        assert_eq!(counts.len(), 5, "all phases ran: {counts:?}");
+        // The tree exists afterwards.
+        let f = svc.fs().resolve("/run0/dir0/src0.c").expect("file created");
+        let attrs = svc.fs().getattr(f).unwrap();
+        assert_eq!(attrs.size, 256);
+    }
+
+    #[test]
+    fn read_only_flags_match_op_kinds() {
+        let script = generate_script(&AndrewConfig::tiny());
+        for s in &script {
+            let ro = matches!(s.kind, OpKind::Stat(_) | OpKind::Read(_, _, _));
+            assert_eq!(s.read_only, ro);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! BFS: a Byzantine-fault-tolerant NFS-shaped file service (§6.3), the
+//! unreplicated baseline it is compared against, and the Andrew-benchmark
+//! workload generator used by the §8.6 evaluation.
+
+pub mod andrew;
+pub mod fs;
+pub mod service;
+
+pub use andrew::{generate_script, run_unreplicated, AndrewConfig, Phase, ScriptedOp};
+pub use fs::{Attrs, FileSystem, FsError, FileType, Ino, ROOT_INO};
+pub use service::{BfsService, NfsOp, NfsReply};

@@ -1,0 +1,196 @@
+//! Inputs and outputs of the protocol state machines.
+//!
+//! Replicas and clients are pure event handlers in the style of the
+//! thesis's I/O-automaton formalization (§2.4, §6.1): they consume an
+//! [`Input`] and emit [`Action`]s. The harness (simulator or any real
+//! transport) interprets actions; the protocol code never touches a socket
+//! or a clock.
+
+use bft_types::{Message, NodeId, ReplicaId, Requester, SimDuration};
+
+/// Where a message should be delivered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// One replica (point-to-point).
+    Replica(ReplicaId),
+    /// The replica multicast group (§6.1: one IP multicast group).
+    AllReplicas,
+    /// A requester: a client, or a recovering replica.
+    Requester(Requester),
+    /// An arbitrary node.
+    Node(NodeId),
+}
+
+/// Timers a node may arm. Each timer is single-shot and keyed, so setting
+/// it again re-arms it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TimerId {
+    /// View-change timer (§2.3.5): expires when requests linger unexecuted.
+    ViewChange,
+    /// Periodic status multicast (§5.2).
+    Status,
+    /// Session-key refreshment (§4.3.1).
+    KeyRefresh,
+    /// Watchdog triggering proactive recovery (§4.2).
+    Watchdog,
+    /// Client request retransmission (§5.2).
+    ClientRetransmit,
+    /// Recovery estimation retransmission (§4.3.2).
+    RecoveryQuery,
+    /// State-transfer fetch retransmission (§5.3.2).
+    FetchRetransmit,
+}
+
+/// An input to a node's event handler.
+#[derive(Clone, Debug)]
+pub enum Input {
+    /// A message delivered by the network.
+    Deliver(Message),
+    /// A timer previously set via [`Action::SetTimer`] fired.
+    Timer(TimerId),
+    /// The watchdog hardware interrupt (recovery begins even if the replica
+    /// is compromised; the monitor lives in read-only memory, §4.2).
+    WatchdogInterrupt,
+}
+
+/// An output of a node's event handler.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Send a message.
+    Send {
+        /// Destination.
+        to: Target,
+        /// The message.
+        msg: Message,
+    },
+    /// Arm (or re-arm) a timer to fire after `after`.
+    SetTimer {
+        /// Which timer.
+        id: TimerId,
+        /// Delay from now.
+        after: SimDuration,
+    },
+    /// Disarm a timer.
+    CancelTimer {
+        /// Which timer.
+        id: TimerId,
+    },
+}
+
+/// A convenience accumulator for actions.
+#[derive(Default, Debug)]
+pub struct Outbox {
+    actions: Vec<Action>,
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a point-to-point send to a replica.
+    pub fn send_replica(&mut self, to: ReplicaId, msg: Message) {
+        self.actions.push(Action::Send {
+            to: Target::Replica(to),
+            msg,
+        });
+    }
+
+    /// Queues a multicast to all replicas.
+    pub fn multicast(&mut self, msg: Message) {
+        self.actions.push(Action::Send {
+            to: Target::AllReplicas,
+            msg,
+        });
+    }
+
+    /// Queues a send to a requester.
+    pub fn send_requester(&mut self, to: Requester, msg: Message) {
+        self.actions.push(Action::Send {
+            to: Target::Requester(to),
+            msg,
+        });
+    }
+
+    /// Queues a send to an arbitrary node.
+    pub fn send_node(&mut self, to: NodeId, msg: Message) {
+        self.actions.push(Action::Send {
+            to: Target::Node(to),
+            msg,
+        });
+    }
+
+    /// Arms a timer.
+    pub fn set_timer(&mut self, id: TimerId, after: SimDuration) {
+        self.actions.push(Action::SetTimer { id, after });
+    }
+
+    /// Disarms a timer.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+
+    /// Consumes the outbox, returning the accumulated actions.
+    pub fn into_actions(self) -> Vec<Action> {
+        self.actions
+    }
+
+    /// Number of queued actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::{Auth, Checkpoint, SeqNo};
+
+    fn msg() -> Message {
+        Message::Checkpoint(Checkpoint {
+            seq: SeqNo(1),
+            digest: bft_crypto::digest(b"s"),
+            replica: ReplicaId(0),
+            auth: Auth::None,
+        })
+    }
+
+    #[test]
+    fn outbox_accumulates_in_order() {
+        let mut out = Outbox::new();
+        assert!(out.is_empty());
+        out.multicast(msg());
+        out.send_replica(ReplicaId(1), msg());
+        out.set_timer(TimerId::Status, SimDuration::from_millis(10));
+        out.cancel_timer(TimerId::ViewChange);
+        assert_eq!(out.len(), 4);
+        let actions = out.into_actions();
+        assert!(matches!(
+            actions[0],
+            Action::Send {
+                to: Target::AllReplicas,
+                ..
+            }
+        ));
+        assert!(matches!(
+            actions[1],
+            Action::Send {
+                to: Target::Replica(ReplicaId(1)),
+                ..
+            }
+        ));
+        assert!(matches!(actions[2], Action::SetTimer { id: TimerId::Status, .. }));
+        assert!(matches!(
+            actions[3],
+            Action::CancelTimer {
+                id: TimerId::ViewChange
+            }
+        ));
+    }
+}

@@ -1,0 +1,181 @@
+//! Checkpoint certificate collection and garbage collection (§2.3.4,
+//! §3.2.3).
+//!
+//! In BFT the *stable certificate* must be a quorum certificate (2f+1
+//! checkpoint messages) so that other replicas can later reconstruct a weak
+//! certificate during view changes; in BFT-PK a weak certificate (f+1)
+//! suffices because the messages are signed and transferable. The manager
+//! is parameterized by the threshold.
+
+use bft_crypto::Digest;
+use bft_types::{ReplicaId, SeqNo};
+use std::collections::{BTreeMap, HashMap};
+
+/// Tracks checkpoint messages and detects stability.
+#[derive(Clone, Debug)]
+pub struct CheckpointManager {
+    /// Messages received: seq → digest → senders.
+    votes: BTreeMap<u64, HashMap<Digest, Vec<ReplicaId>>>,
+    /// Our own checkpoint digests by sequence number.
+    own: BTreeMap<u64, Digest>,
+    /// Last stable checkpoint.
+    stable: (SeqNo, Digest),
+    /// Votes needed for stability (2f+1 in BFT, f+1 in BFT-PK).
+    threshold: usize,
+}
+
+impl CheckpointManager {
+    /// Creates a manager with the given stability threshold and the genesis
+    /// checkpoint digest (sequence 0).
+    pub fn new(threshold: usize, genesis_digest: Digest) -> Self {
+        CheckpointManager {
+            votes: BTreeMap::new(),
+            own: BTreeMap::from([(0, genesis_digest)]),
+            stable: (SeqNo(0), genesis_digest),
+            threshold,
+        }
+    }
+
+    /// The last stable checkpoint `(seq, digest)`.
+    pub fn stable(&self) -> (SeqNo, Digest) {
+        self.stable
+    }
+
+    /// Our own digest for checkpoint `seq`, if taken.
+    pub fn own_digest(&self, seq: SeqNo) -> Option<Digest> {
+        self.own.get(&seq.0).copied()
+    }
+
+    /// Checkpoints we have taken and not yet discarded, newest last.
+    pub fn own_checkpoints(&self) -> Vec<(SeqNo, Digest)> {
+        self.own.iter().map(|(&s, &d)| (SeqNo(s), d)).collect()
+    }
+
+    /// Records our own checkpoint digest.
+    pub fn record_own(&mut self, seq: SeqNo, digest: Digest) {
+        self.own.insert(seq.0, digest);
+    }
+
+    /// Records a checkpoint message; returns `Some((seq, digest))` when the
+    /// checkpoint newly becomes stable.
+    pub fn add_vote(
+        &mut self,
+        seq: SeqNo,
+        digest: Digest,
+        from: ReplicaId,
+    ) -> Option<(SeqNo, Digest)> {
+        if seq <= self.stable.0 {
+            return None;
+        }
+        let senders = self
+            .votes
+            .entry(seq.0)
+            .or_default()
+            .entry(digest)
+            .or_default();
+        if senders.contains(&from) {
+            return None;
+        }
+        senders.push(from);
+        if senders.len() >= self.threshold {
+            self.stable = (seq, digest);
+            self.gc();
+            return Some(self.stable);
+        }
+        None
+    }
+
+    /// Count of matching votes for `(seq, digest)`.
+    pub fn vote_count(&self, seq: SeqNo, digest: Digest) -> usize {
+        self.votes
+            .get(&seq.0)
+            .and_then(|m| m.get(&digest))
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+
+    /// Installs a stable checkpoint learned externally (new-view decision
+    /// or state transfer) without vote counting.
+    pub fn force_stable(&mut self, seq: SeqNo, digest: Digest) {
+        if seq > self.stable.0 {
+            self.stable = (seq, digest);
+            self.own.insert(seq.0, digest);
+            self.gc();
+        }
+    }
+
+    fn gc(&mut self) {
+        let s = self.stable.0 .0;
+        self.votes.retain(|&n, _| n > s);
+        self.own.retain(|&n, _| n >= s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &[u8]) -> Digest {
+        bft_crypto::digest(s)
+    }
+
+    #[test]
+    fn quorum_makes_stable() {
+        let mut m = CheckpointManager::new(3, d(b"genesis"));
+        assert_eq!(m.stable().0, SeqNo(0));
+        assert!(m.add_vote(SeqNo(8), d(b"s8"), ReplicaId(0)).is_none());
+        assert!(m.add_vote(SeqNo(8), d(b"s8"), ReplicaId(1)).is_none());
+        let stable = m.add_vote(SeqNo(8), d(b"s8"), ReplicaId(2));
+        assert_eq!(stable, Some((SeqNo(8), d(b"s8"))));
+        assert_eq!(m.stable(), (SeqNo(8), d(b"s8")));
+    }
+
+    #[test]
+    fn mismatched_digests_do_not_stack() {
+        let mut m = CheckpointManager::new(3, d(b"g"));
+        m.add_vote(SeqNo(8), d(b"a"), ReplicaId(0));
+        m.add_vote(SeqNo(8), d(b"b"), ReplicaId(1));
+        assert!(m.add_vote(SeqNo(8), d(b"a"), ReplicaId(2)).is_none());
+        assert_eq!(m.vote_count(SeqNo(8), d(b"a")), 2);
+    }
+
+    #[test]
+    fn duplicate_votes_ignored() {
+        let mut m = CheckpointManager::new(3, d(b"g"));
+        m.add_vote(SeqNo(8), d(b"a"), ReplicaId(0));
+        m.add_vote(SeqNo(8), d(b"a"), ReplicaId(0));
+        assert_eq!(m.vote_count(SeqNo(8), d(b"a")), 1);
+    }
+
+    #[test]
+    fn stale_votes_ignored_after_stability() {
+        let mut m = CheckpointManager::new(2, d(b"g"));
+        m.add_vote(SeqNo(8), d(b"a"), ReplicaId(0));
+        m.add_vote(SeqNo(8), d(b"a"), ReplicaId(1));
+        assert!(m.add_vote(SeqNo(8), d(b"a"), ReplicaId(2)).is_none());
+        assert!(m.add_vote(SeqNo(4), d(b"old"), ReplicaId(2)).is_none());
+    }
+
+    #[test]
+    fn own_checkpoints_tracked_and_gced() {
+        let mut m = CheckpointManager::new(2, d(b"g"));
+        m.record_own(SeqNo(8), d(b"s8"));
+        m.record_own(SeqNo(16), d(b"s16"));
+        assert_eq!(m.own_digest(SeqNo(8)), Some(d(b"s8")));
+        assert_eq!(m.own_checkpoints().len(), 3);
+        m.add_vote(SeqNo(16), d(b"s16"), ReplicaId(0));
+        m.add_vote(SeqNo(16), d(b"s16"), ReplicaId(1));
+        assert_eq!(m.stable().0, SeqNo(16));
+        assert!(m.own_digest(SeqNo(8)).is_none(), "discarded");
+        assert_eq!(m.own_digest(SeqNo(16)), Some(d(b"s16")));
+    }
+
+    #[test]
+    fn force_stable_jumps_forward_only() {
+        let mut m = CheckpointManager::new(3, d(b"g"));
+        m.force_stable(SeqNo(24), d(b"s24"));
+        assert_eq!(m.stable(), (SeqNo(24), d(b"s24")));
+        m.force_stable(SeqNo(8), d(b"old"));
+        assert_eq!(m.stable().0, SeqNo(24));
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-client reply cache providing exactly-once semantics (§2.3.2).
+//!
+//! Replicas remember the last reply sent to each client and its timestamp:
+//! requests with older timestamps are discarded, equal timestamps get the
+//! cached reply retransmitted, newer timestamps execute. The table is part
+//! of the replicated state — checkpoints snapshot it (the formal model's
+//! `last-rep` and `last-rep-t`, §2.4.4) — so it serializes to state pages.
+
+use bft_types::{Reply, ReplyBody, Requester, Timestamp, View, Wire, WireError};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// What to do with an incoming request (§2.3.2, §5.5 replay defense).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestDisposition {
+    /// Timestamp is fresh: execute through the protocol.
+    Execute,
+    /// Timestamp equals the last executed: retransmit the cached reply.
+    Resend(Box<Reply>),
+    /// Timestamp equals the last executed but no reply is cached (pruned).
+    AlreadyExecuted,
+    /// Timestamp is stale: drop silently.
+    Stale,
+}
+
+/// One client's entry. Deliberately excludes any view information: the
+/// table is replicated state (checkpointed and digested), and executions
+/// may happen in different views at different replicas, so view-dependent
+/// data would diverge replica state digests. This mirrors the formal model,
+/// whose checkpoints hold only `(val, last-rep, last-rep-t)` (§2.4.4).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct Entry {
+    last_t: Timestamp,
+    /// Cached reply value.
+    reply_body: Option<Bytes>,
+}
+
+/// The reply cache.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClientTable {
+    entries: BTreeMap<Requester, Entry>,
+}
+
+impl ClientTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies a request timestamp against the cache. `view` stamps any
+    /// resent reply with the replica's *current* view (the cached value is
+    /// view-free).
+    pub fn disposition_at(
+        &self,
+        requester: Requester,
+        t: Timestamp,
+        replica: bft_types::ReplicaId,
+        view: View,
+    ) -> RequestDisposition {
+        match self.entries.get(&requester) {
+            None => {
+                if t.0 == 0 {
+                    RequestDisposition::Stale
+                } else {
+                    RequestDisposition::Execute
+                }
+            }
+            Some(e) => {
+                if t > e.last_t {
+                    RequestDisposition::Execute
+                } else if t == e.last_t {
+                    match &e.reply_body {
+                        Some(body) => RequestDisposition::Resend(Box::new(Reply {
+                            view,
+                            timestamp: t,
+                            requester,
+                            replica,
+                            body: ReplyBody::Full(body.clone()),
+                            tentative: false,
+                            auth: bft_types::Auth::None,
+                        })),
+                        None => RequestDisposition::AlreadyExecuted,
+                    }
+                } else {
+                    RequestDisposition::Stale
+                }
+            }
+        }
+    }
+
+    /// Timestamp of the last executed request for `requester` (0 if none).
+    pub fn last_timestamp(&self, requester: Requester) -> Timestamp {
+        self.entries
+            .get(&requester)
+            .map(|e| e.last_t)
+            .unwrap_or(Timestamp(0))
+    }
+
+    /// Records the reply for an executed request.
+    pub fn record(&mut self, requester: Requester, t: Timestamp, body: Bytes) {
+        self.entries.insert(
+            requester,
+            Entry {
+                last_t: t,
+                reply_body: Some(body),
+            },
+        );
+    }
+
+    /// Serializes the whole table to one byte blob (a checkpoint "page").
+    pub fn to_page(&self) -> Bytes {
+        let mut buf = Vec::new();
+        self.entries.len().encode(&mut buf);
+        for (req, e) in &self.entries {
+            req.encode(&mut buf);
+            e.last_t.encode(&mut buf);
+            match &e.reply_body {
+                None => false.encode(&mut buf),
+                Some(b) => {
+                    true.encode(&mut buf);
+                    b.encode(&mut buf);
+                }
+            }
+        }
+        Bytes::from(buf)
+    }
+
+    /// Restores the table from a serialized page.
+    pub fn from_page(page: &[u8]) -> Result<Self, WireError> {
+        let mut buf = page;
+        let n = usize::decode(&mut buf)?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let req = Requester::decode(&mut buf)?;
+            let last_t = Timestamp::decode(&mut buf)?;
+            let has_body = bool::decode(&mut buf)?;
+            let reply_body = if has_body {
+                Some(Bytes::decode(&mut buf)?)
+            } else {
+                None
+            };
+            entries.insert(req, Entry { last_t, reply_body });
+        }
+        Ok(ClientTable { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::{ClientId, ReplicaId};
+
+    fn c(i: u32) -> Requester {
+        Requester::Client(ClientId(i))
+    }
+
+    #[test]
+    fn fresh_request_executes() {
+        let t = ClientTable::new();
+        assert_eq!(
+            t.disposition_at(c(0), Timestamp(1), ReplicaId(0), View(0)),
+            RequestDisposition::Execute
+        );
+    }
+
+    #[test]
+    fn zero_timestamp_is_stale() {
+        let t = ClientTable::new();
+        assert_eq!(
+            t.disposition_at(c(0), Timestamp(0), ReplicaId(0), View(0)),
+            RequestDisposition::Stale
+        );
+    }
+
+    #[test]
+    fn duplicate_resends_cached_reply() {
+        let mut t = ClientTable::new();
+        t.record(c(0), Timestamp(5), Bytes::from_static(b"result"));
+        match t.disposition_at(c(0), Timestamp(5), ReplicaId(2), View(1)) {
+            RequestDisposition::Resend(r) => {
+                assert_eq!(r.body, ReplyBody::Full(Bytes::from_static(b"result")));
+                assert_eq!(r.replica, ReplicaId(2));
+                assert_eq!(r.view, View(1), "stamped with the current view");
+                assert!(!r.tentative);
+            }
+            other => panic!("expected resend, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_timestamp_is_stale() {
+        let mut t = ClientTable::new();
+        t.record(c(0), Timestamp(5), Bytes::new());
+        assert_eq!(
+            t.disposition_at(c(0), Timestamp(4), ReplicaId(0), View(0)),
+            RequestDisposition::Stale
+        );
+        assert_eq!(
+            t.disposition_at(c(0), Timestamp(6), ReplicaId(0), View(0)),
+            RequestDisposition::Execute
+        );
+        assert_eq!(t.last_timestamp(c(0)), Timestamp(5));
+        assert_eq!(t.last_timestamp(c(9)), Timestamp(0));
+    }
+
+    #[test]
+    fn page_roundtrip() {
+        let mut t = ClientTable::new();
+        t.record(c(0), Timestamp(5), Bytes::from_static(b"a"));
+        t.record(c(3), Timestamp(9), Bytes::from_static(b"bb"));
+        t.record(Requester::Replica(ReplicaId(1)), Timestamp(2), Bytes::new());
+        let page = t.to_page();
+        let back = ClientTable::from_page(&page).expect("decode");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = ClientTable::new();
+        assert_eq!(ClientTable::from_page(&t.to_page()).unwrap(), t);
+    }
+
+    #[test]
+    fn corrupt_page_rejected() {
+        assert!(ClientTable::from_page(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! The BFT state-machine replication library.
+//!
+//! A complete Rust reproduction of the algorithms and implementation
+//! techniques of Castro & Liskov's *Practical Byzantine Fault Tolerance*:
+//!
+//! * **BFT-PK** (Chapter 2): signatures on every message, certificate
+//!   exchange during view changes ([`config::AuthMode::Signatures`]).
+//! * **BFT** (Chapter 3): MAC authenticators, the PSet/QSet view-change
+//!   protocol with acknowledgments and bounded space
+//!   ([`config::AuthMode::Macs`]).
+//! * **BFT-PR** (Chapter 4): proactive recovery with key refreshment, the
+//!   estimation protocol, and co-processor-signed recovery requests
+//!   ([`config::RecoveryConfig`]).
+//! * The Chapter 5 implementation techniques: digest replies, tentative
+//!   execution, read-only operations, batching, separate request
+//!   transmission, status-driven retransmission, hierarchical checkpoints
+//!   and state transfer, non-determinism agreement, and denial-of-service
+//!   defenses.
+//!
+//! Replicas ([`Replica`]) and clients ([`ClientProxy`]) are pure event
+//! handlers: they consume [`actions::Input`]s and emit [`actions::Action`]s
+//! for a harness to interpret. `bft-sim` provides a deterministic
+//! discrete-event harness; any real transport would work the same way.
+
+pub mod actions;
+pub mod authn;
+pub mod checkpoints;
+pub mod client;
+pub mod client_table;
+pub mod config;
+pub mod log;
+pub mod normal;
+pub mod partition_tree;
+pub mod recovery;
+pub mod replica;
+pub mod state_transfer;
+pub mod status;
+pub mod store;
+pub mod viewchange;
+pub mod viewchange_pk;
+
+pub use actions::{Action, Input, Outbox, Target, TimerId};
+pub use authn::ClusterKeys;
+pub use client::{ClientConfig, ClientProxy, CompletedOp};
+pub use config::{AuthMode, Optimizations, RecoveryConfig, ReplicaConfig};
+pub use replica::{Replica, ReplicaStats};

@@ -1,0 +1,308 @@
+//! The replica message log: per-sequence-number slots between the water
+//! marks, with prepared/committed certificate tracking (§2.3.3, §2.3.4).
+
+use bft_crypto::Digest;
+use bft_types::{GroupParams, PrePrepare, ReplicaId, SeqNo, View};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Per-sequence-number protocol state within the current view.
+#[derive(Clone, Debug, Default)]
+pub struct Slot {
+    /// The view the slot's messages belong to.
+    pub view: View,
+    /// Accepted pre-prepare (or the new-view implicit pre-prepare).
+    pub pre_prepare: Option<PrePrepare>,
+    /// Prepare senders per digest (prepares may precede the pre-prepare).
+    pub prepares: HashMap<Digest, BTreeSet<ReplicaId>>,
+    /// Commit senders per digest.
+    pub commits: HashMap<Digest, BTreeSet<ReplicaId>>,
+    /// Digest this replica sent a prepare for (the "pre-prepared" predicate
+    /// for backups; for the primary, sending the pre-prepare sets it).
+    pub my_prepare: Option<Digest>,
+    /// Whether this replica sent its commit.
+    pub sent_commit: bool,
+    /// Set when the prepared certificate completed.
+    pub prepared: bool,
+    /// Set when the committed certificate completed.
+    pub committed: bool,
+    /// Set when the batch was (tentatively) executed.
+    pub executed: bool,
+    /// Batch digest installed by a new-view decision when the pre-prepare
+    /// body is not (yet) known (§3.2.4 new-view processing).
+    pub digest_override: Option<Digest>,
+}
+
+impl Slot {
+    /// The batch digest of the accepted pre-prepare, or the digest
+    /// installed by a new-view decision.
+    pub fn digest(&self) -> Option<Digest> {
+        self.digest_override
+            .or_else(|| self.pre_prepare.as_ref().map(|p| p.batch_digest()))
+    }
+}
+
+/// The water-marked log.
+#[derive(Clone, Debug)]
+pub struct MessageLog {
+    group: GroupParams,
+    /// Low water mark `h` = last stable checkpoint.
+    low: SeqNo,
+    /// Log size `L`.
+    size: u64,
+    slots: BTreeMap<u64, Slot>,
+}
+
+impl MessageLog {
+    /// Creates an empty log with `h = 0`.
+    pub fn new(group: GroupParams, size: u64) -> Self {
+        MessageLog {
+            group,
+            low: SeqNo(0),
+            size,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// The low water mark `h`.
+    pub fn low(&self) -> SeqNo {
+        self.low
+    }
+
+    /// The high water mark `H = h + L`.
+    pub fn high(&self) -> SeqNo {
+        SeqNo(self.low.0 + self.size)
+    }
+
+    /// True when `h < n <= H` (the §2.3.3 acceptance window).
+    pub fn in_window(&self, n: SeqNo) -> bool {
+        n > self.low && n <= self.high()
+    }
+
+    /// Immutable access to a slot.
+    pub fn slot(&self, n: SeqNo) -> Option<&Slot> {
+        self.slots.get(&n.0)
+    }
+
+    /// Mutable access to a slot, creating it if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is outside the water marks — callers must check
+    /// [`MessageLog::in_window`] first.
+    pub fn slot_mut(&mut self, n: SeqNo) -> &mut Slot {
+        assert!(self.in_window(n), "slot {n} outside window");
+        self.slots.entry(n.0).or_default()
+    }
+
+    /// Iterates over populated slots in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = (SeqNo, &Slot)> {
+        self.slots.iter().map(|(&n, s)| (SeqNo(n), s))
+    }
+
+    /// Records a prepare vote; returns true if newly added.
+    pub fn add_prepare(&mut self, n: SeqNo, d: Digest, from: ReplicaId) -> bool {
+        self.slot_mut(n).prepares.entry(d).or_default().insert(from)
+    }
+
+    /// Records a commit vote; returns true if newly added.
+    pub fn add_commit(&mut self, n: SeqNo, d: Digest, from: ReplicaId) -> bool {
+        self.slot_mut(n).commits.entry(d).or_default().insert(from)
+    }
+
+    /// The prepared-certificate predicate (§2.3.1): an accepted pre-prepare
+    /// plus `2f` matching prepares from distinct non-primary replicas.
+    pub fn has_prepared_cert(&self, n: SeqNo, view: View) -> bool {
+        let Some(slot) = self.slots.get(&n.0) else {
+            return false;
+        };
+        if slot.view != view {
+            return false;
+        }
+        let Some(d) = slot.digest() else {
+            return false;
+        };
+        let primary = view.primary(self.group.n);
+        let count = slot
+            .prepares
+            .get(&d)
+            .map(|s| s.iter().filter(|r| **r != primary).count())
+            .unwrap_or(0);
+        count >= 2 * self.group.f
+    }
+
+    /// The committed-certificate predicate (§2.3.3): prepared plus `2f+1`
+    /// matching commits from distinct replicas.
+    pub fn has_committed_cert(&self, n: SeqNo, view: View) -> bool {
+        let Some(slot) = self.slots.get(&n.0) else {
+            return false;
+        };
+        if slot.view != view || !slot.prepared {
+            return false;
+        }
+        let Some(d) = slot.digest() else {
+            return false;
+        };
+        slot.commits.get(&d).map(|s| s.len()).unwrap_or(0) >= self.group.quorum()
+    }
+
+    /// Advances the low water mark to a new stable checkpoint, discarding
+    /// entries at or below it (§2.3.4 garbage collection).
+    pub fn advance_low(&mut self, stable: SeqNo) {
+        if stable <= self.low {
+            return;
+        }
+        self.low = stable;
+        self.slots.retain(|&n, _| n > stable.0);
+    }
+
+    /// Clears `executed` flags above `seq` so committed batches re-execute
+    /// after a state install (state-transfer redo).
+    pub fn clear_executed_above(&mut self, seq: SeqNo) {
+        for (&n, slot) in self.slots.iter_mut() {
+            if n > seq.0 {
+                slot.executed = false;
+            }
+        }
+    }
+
+    /// Discards slots above `seq` (recovery estimation bound, §4.3.2).
+    pub fn truncate_above(&mut self, seq: SeqNo) {
+        self.slots.retain(|&n, _| n <= seq.0);
+    }
+
+    /// Clears every slot (view-change transition, §3.2.4: "clears its
+    /// log" after folding information into the PSet/QSet).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Number of populated slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slots are populated.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::{Auth, BatchEntry};
+
+    fn group() -> GroupParams {
+        GroupParams::for_f(1)
+    }
+
+    fn pp(view: View, seq: SeqNo) -> PrePrepare {
+        PrePrepare {
+            view,
+            seq,
+            batch: vec![BatchEntry::ByDigest(bft_crypto::digest(b"req"))],
+            nondet: bytes::Bytes::new(),
+            auth: Auth::None,
+        }
+    }
+
+    #[test]
+    fn window_bounds() {
+        let log = MessageLog::new(group(), 16);
+        assert!(!log.in_window(SeqNo(0)));
+        assert!(log.in_window(SeqNo(1)));
+        assert!(log.in_window(SeqNo(16)));
+        assert!(!log.in_window(SeqNo(17)));
+    }
+
+    #[test]
+    fn prepared_cert_needs_2f_backup_prepares() {
+        let mut log = MessageLog::new(group(), 16);
+        let p = pp(View(0), SeqNo(1));
+        let d = p.batch_digest();
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(p);
+        assert!(!log.has_prepared_cert(SeqNo(1), View(0)));
+        // Primary (replica 0) prepares don't count.
+        log.add_prepare(SeqNo(1), d, ReplicaId(0));
+        log.add_prepare(SeqNo(1), d, ReplicaId(1));
+        assert!(!log.has_prepared_cert(SeqNo(1), View(0)));
+        log.add_prepare(SeqNo(1), d, ReplicaId(2));
+        assert!(log.has_prepared_cert(SeqNo(1), View(0)));
+        // Wrong view never matches.
+        assert!(!log.has_prepared_cert(SeqNo(1), View(1)));
+    }
+
+    #[test]
+    fn mismatched_prepare_digests_do_not_count() {
+        let mut log = MessageLog::new(group(), 16);
+        let p = pp(View(0), SeqNo(1));
+        let d = p.batch_digest();
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(p);
+        log.add_prepare(SeqNo(1), bft_crypto::digest(b"other"), ReplicaId(1));
+        log.add_prepare(SeqNo(1), bft_crypto::digest(b"other"), ReplicaId(2));
+        assert!(!log.has_prepared_cert(SeqNo(1), View(0)));
+        log.add_prepare(SeqNo(1), d, ReplicaId(1));
+        log.add_prepare(SeqNo(1), d, ReplicaId(2));
+        assert!(log.has_prepared_cert(SeqNo(1), View(0)));
+    }
+
+    #[test]
+    fn duplicate_prepares_count_once() {
+        let mut log = MessageLog::new(group(), 16);
+        let p = pp(View(0), SeqNo(2));
+        let d = p.batch_digest();
+        log.slot_mut(SeqNo(2)).pre_prepare = Some(p);
+        assert!(log.add_prepare(SeqNo(2), d, ReplicaId(1)));
+        assert!(!log.add_prepare(SeqNo(2), d, ReplicaId(1)), "duplicate");
+        assert!(!log.has_prepared_cert(SeqNo(2), View(0)));
+    }
+
+    #[test]
+    fn committed_cert_needs_quorum_commits() {
+        let mut log = MessageLog::new(group(), 16);
+        let p = pp(View(0), SeqNo(1));
+        let d = p.batch_digest();
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(p);
+        log.add_prepare(SeqNo(1), d, ReplicaId(1));
+        log.add_prepare(SeqNo(1), d, ReplicaId(2));
+        log.slot_mut(SeqNo(1)).prepared = true;
+        log.add_commit(SeqNo(1), d, ReplicaId(0));
+        log.add_commit(SeqNo(1), d, ReplicaId(1));
+        assert!(!log.has_committed_cert(SeqNo(1), View(0)));
+        log.add_commit(SeqNo(1), d, ReplicaId(2));
+        assert!(log.has_committed_cert(SeqNo(1), View(0)));
+    }
+
+    #[test]
+    fn advance_low_garbage_collects() {
+        let mut log = MessageLog::new(group(), 16);
+        for n in 1..=10u64 {
+            log.slot_mut(SeqNo(n)).pre_prepare = Some(pp(View(0), SeqNo(n)));
+        }
+        log.advance_low(SeqNo(8));
+        assert_eq!(log.low(), SeqNo(8));
+        assert_eq!(log.high(), SeqNo(24));
+        assert!(log.slot(SeqNo(8)).is_none());
+        assert!(log.slot(SeqNo(9)).is_some());
+        assert_eq!(log.len(), 2);
+        // Regression: advancing backwards is a no-op.
+        log.advance_low(SeqNo(4));
+        assert_eq!(log.low(), SeqNo(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside window")]
+    fn slot_outside_window_panics() {
+        let mut log = MessageLog::new(group(), 16);
+        log.slot_mut(SeqNo(100));
+    }
+
+    #[test]
+    fn clear_empties_log() {
+        let mut log = MessageLog::new(group(), 16);
+        log.slot_mut(SeqNo(1));
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.low(), SeqNo(0), "water marks survive clearing");
+    }
+}

@@ -1,0 +1,459 @@
+//! Normal-case operation: request, pre-prepare, prepare, commit, and
+//! checkpoint handling (§2.3.3, §3.2.2, §2.3.4).
+
+use crate::actions::Outbox;
+use crate::authn::requester_node;
+use crate::client_table::RequestDisposition;
+use crate::replica::Replica;
+use crate::store::StoredBatch;
+use bft_crypto::Digest;
+use bft_statemachine::Service;
+use bft_types::{
+    BatchEntry, Checkpoint, Commit, Message, PrePrepare, Prepare, Request, SeqNo,
+};
+
+impl<S: Service> Replica<S> {
+    /// Handles a client (or recovery) request (§2.3.2, §3.2.2).
+    pub(crate) fn on_request(&mut self, req: Request, out: &mut Outbox) {
+        let digest = req.digest();
+        let sender = requester_node(req.requester);
+        let authentic = self.verify_auth(sender, &req.content_bytes(), &req.auth)
+            // Condition 3 of §3.2.2: a previously stored authentic copy.
+            || self.requests.contains(&digest);
+        if std::env::var_os("BFT_DEBUG").is_some() && !self.pending_pps.is_empty() {
+            self.exec_trace.push(format!(
+                "on_request from {:?} t={:?} authentic={authentic} pending={}",
+                req.requester,
+                req.timestamp,
+                self.pending_pps.len()
+            ));
+        }
+        if !authentic {
+            return;
+        }
+        if req.is_recovery() && !self.accept_recovery_request(&req) {
+            return;
+        }
+        // Store the body and retry buffered pre-prepares FIRST: a request
+        // may be ordered twice (a relayed copy racing the direct one) and
+        // the second assignment still needs the body to go through the
+        // protocol even though its execution will be a no-op. Bodies are
+        // content-addressed, so this is always safe.
+        if !req.read_only {
+            self.requests.insert(req.clone());
+            self.retry_pending_pre_prepares(out);
+        }
+        // Exactly-once: resend the cached reply for repeated timestamps.
+        match self
+            .client_table
+            .disposition_at(req.requester, req.timestamp, self.id, self.view)
+        {
+            RequestDisposition::Execute => {}
+            RequestDisposition::Resend(reply) => {
+                let mut reply = *reply;
+                reply.auth = self
+                    .auth
+                    .mac_to(sender, &reply.content_bytes());
+                out.send_requester(req.requester, Message::Reply(reply));
+                return;
+            }
+            RequestDisposition::AlreadyExecuted | RequestDisposition::Stale => return,
+        }
+        // Read-only fast path (§5.1.3).
+        if req.read_only && self.config.opts.read_only && !req.is_recovery() {
+            self.ro_queue.push(req);
+            self.try_execute(out);
+            return;
+        }
+        self.queue.push(req.clone());
+        if self.is_primary() && self.view_active {
+            self.maybe_send_pre_prepare(out);
+        } else if !self.is_primary() {
+            // Relay to the primary (§2.3.2): the client may have sent the
+            // request only to us during a retransmission broadcast.
+            out.send_replica(self.primary(), Message::Request(req));
+        }
+        self.update_vc_timer(out);
+    }
+
+    /// The primary assigns sequence numbers to queued requests, bounded by
+    /// the sliding window (§5.1.4).
+    pub(crate) fn maybe_send_pre_prepare(&mut self, out: &mut Outbox) {
+        loop {
+            let null_fill = self.queue.is_empty()
+                && self
+                    .recovery
+                    .null_fill_target
+                    .map(|t| self.seqno < t)
+                    .unwrap_or(false);
+            if self.queue.is_empty() && !null_fill {
+                return;
+            }
+            // Window check: do not run more than `window` instances ahead
+            // of execution.
+            if self.seqno.0 >= self.last_exec.0 + self.config.window {
+                return;
+            }
+            let next = SeqNo(self.seqno.0 + 1);
+            if !self.log.in_window(next) || self.recovery_send_guard(next) {
+                return;
+            }
+            let max = if self.config.opts.batching {
+                self.config.max_batch
+            } else {
+                1
+            };
+            let mut reqs = self.queue.pop_batch(max, 8192);
+            // Skip requests already assigned in this view or executed: a
+            // relayed copy may have raced the direct one into the queue.
+            reqs.retain(|r| {
+                let assigned = self
+                    .proposed
+                    .get(&r.requester)
+                    .copied()
+                    .unwrap_or(bft_types::Timestamp(0))
+                    .max(self.client_table.last_timestamp(r.requester));
+                r.timestamp > assigned
+            });
+            for r in &reqs {
+                self.proposed.insert(r.requester, r.timestamp);
+            }
+            if reqs.is_empty() && !null_fill {
+                if self.queue.is_empty() {
+                    return;
+                }
+                continue; // Everything popped was stale; look again.
+            }
+            let nondet = self.service.propose_nondet(next);
+            let mut entries = Vec::with_capacity(reqs.len());
+            let mut digests = Vec::with_capacity(reqs.len());
+            for req in reqs {
+                let d = self.requests.insert(req.clone());
+                digests.push(d);
+                let inline = !self.config.opts.separate_request_transmission
+                    || req.operation.len() <= self.config.inline_threshold;
+                entries.push(if inline {
+                    BatchEntry::Inline(req)
+                } else {
+                    BatchEntry::ByDigest(d)
+                });
+            }
+            let mut pp = PrePrepare {
+                view: self.view,
+                seq: next,
+                batch: entries,
+                nondet: nondet.clone(),
+                auth: bft_types::Auth::None,
+            };
+            pp.auth = self.auth.authenticate_multicast(&pp.content_bytes());
+            let batch_digest = pp.batch_digest();
+            self.batches.insert(
+                batch_digest,
+                StoredBatch {
+                    requests: digests,
+                    nondet,
+                },
+            );
+            self.seqno = next;
+            {
+                let slot = self.log.slot_mut(next);
+                slot.view = pp.view;
+                slot.pre_prepare = Some(pp.clone());
+                slot.my_prepare = Some(batch_digest);
+            }
+            out.multicast(Message::PrePrepare(pp));
+            self.check_certificates(next, out);
+        }
+    }
+
+    /// Re-examines buffered pre-prepares whose request bodies were missing.
+    pub(crate) fn retry_pending_pre_prepares(&mut self, out: &mut Outbox) {
+        if self.pending_pps.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_pps);
+        for pp in pending {
+            self.on_pre_prepare(pp, out);
+        }
+    }
+
+    /// Handles a pre-prepare (§2.3.3 acceptance conditions plus the §3.2.2
+    /// request-authentication conditions).
+    pub(crate) fn on_pre_prepare(&mut self, pp: PrePrepare, out: &mut Outbox) {
+        // Harvest bodies from retransmitted old-view pre-prepares: they may
+        // carry batches chosen by a later new-view decision.
+        if pp.view < self.view {
+            self.harvest_batch(&pp);
+            self.retry_pending_pre_prepares(out);
+            self.try_execute(out);
+            return;
+        }
+        if pp.view != self.view || !self.view_active || self.is_primary() {
+            return;
+        }
+        if !self.log.in_window(pp.seq) {
+            return;
+        }
+        let primary = self.primary();
+        let batch_digest = pp.batch_digest();
+        let auth_ok = self.verify_auth(
+            bft_types::NodeId::Replica(primary),
+            &pp.content_bytes(),
+            &pp.auth.clone(),
+        );
+        if !auth_ok {
+            // Retransmitted pre-prepares may carry authenticators made
+            // before a key refresh (§4.3.1). A weak certificate of
+            // matching prepares proves a correct replica accepted this
+            // assignment, so it is safe to accept (the §3.2.2 mechanism).
+            let vouched = self
+                .log
+                .slot(pp.seq)
+                .and_then(|s| s.prepares.get(&batch_digest))
+                .map(|set| set.len() >= self.config.group.weak())
+                .unwrap_or(false);
+            if !vouched {
+                return;
+            }
+        }
+        // Never accept a conflicting assignment for the same (view, seq).
+        if let Some(slot) = self.log.slot(pp.seq) {
+            if slot.view == pp.view {
+                if let Some(existing) = slot.digest() {
+                    if existing != batch_digest {
+                        return; // Equivocating primary; the timer handles it.
+                    }
+                }
+            }
+        }
+        // Authenticate every request in the batch (§3.2.2).
+        let mut missing = false;
+        for entry in &pp.batch {
+            match entry {
+                BatchEntry::Inline(req) => {
+                    let d = req.digest();
+                    let sender = requester_node(req.requester);
+                    let cond1 = self.verify_auth(sender, &req.content_bytes(), &req.auth);
+                    let cond3 = self.requests.contains(&d);
+                    let cond2 = self
+                        .log
+                        .slot(pp.seq)
+                        .and_then(|s| s.prepares.get(&batch_digest))
+                        .map(|set| set.len() >= self.config.group.f)
+                        .unwrap_or(false);
+                    if !(cond1 || cond2 || cond3) {
+                        return; // Unauthenticatable request: reject.
+                    }
+                    if req.is_recovery() && !self.accept_recovery_request(req) {
+                        return;
+                    }
+                }
+                BatchEntry::ByDigest(d) => {
+                    if !self.requests.contains(d) {
+                        missing = true;
+                    }
+                }
+            }
+        }
+        if missing {
+            if std::env::var_os("BFT_DEBUG").is_some() {
+                let miss: Vec<String> = pp
+                    .batch
+                    .iter()
+                    .filter_map(|e| match e {
+                        BatchEntry::ByDigest(d) if !self.requests.contains(d) => {
+                            Some(format!("{d:?}"))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                self.exec_trace
+                    .push(format!("pp {} pending, missing {miss:?}", pp.seq));
+            }
+            // Buffer until the separately transmitted bodies arrive.
+            self.pending_pps.push(pp);
+            return;
+        }
+        // Validate the primary's non-deterministic choice (§5.4).
+        if !self.service.check_nondet(&pp.nondet) {
+            return;
+        }
+        self.accept_pre_prepare(pp, out);
+    }
+
+    /// Stores an accepted pre-prepare and sends the matching prepare.
+    fn accept_pre_prepare(&mut self, pp: PrePrepare, out: &mut Outbox) {
+        let batch_digest = pp.batch_digest();
+        self.harvest_batch(&pp);
+        for entry in &pp.batch {
+            if let BatchEntry::Inline(req) = entry {
+                self.queue.remove(req.requester, req.timestamp);
+            } else if let BatchEntry::ByDigest(d) = entry {
+                if let Some(req) = self.requests.get(d) {
+                    let (requester, t) = (req.requester, req.timestamp);
+                    self.queue.remove(requester, t);
+                }
+            }
+        }
+        let already_prepared;
+        {
+            let slot = self.log.slot_mut(pp.seq);
+            slot.view = pp.view;
+            slot.pre_prepare = Some(pp.clone());
+            already_prepared = slot.my_prepare.is_some();
+            slot.my_prepare = Some(batch_digest);
+        }
+        if !already_prepared && !self.recovery_send_guard(pp.seq) {
+            let mut prep = Prepare {
+                view: pp.view,
+                seq: pp.seq,
+                digest: batch_digest,
+                replica: self.id,
+                auth: bft_types::Auth::None,
+            };
+            prep.auth = self.auth.authenticate_multicast(&prep.content_bytes());
+            self.log.add_prepare(pp.seq, batch_digest, self.id);
+            out.multicast(Message::Prepare(prep));
+        }
+        self.check_certificates(pp.seq, out);
+    }
+
+    /// Extracts request bodies and the batch record from a pre-prepare.
+    pub(crate) fn harvest_batch(&mut self, pp: &PrePrepare) {
+        let mut digests = Vec::with_capacity(pp.batch.len());
+        for entry in &pp.batch {
+            match entry {
+                BatchEntry::Inline(req) => {
+                    digests.push(self.requests.insert(req.clone()));
+                }
+                BatchEntry::ByDigest(d) => digests.push(*d),
+            }
+        }
+        self.batches.insert(
+            pp.batch_digest(),
+            StoredBatch {
+                requests: digests,
+                nondet: pp.nondet.clone(),
+            },
+        );
+    }
+
+    /// Handles a prepare message (§2.3.3).
+    pub(crate) fn on_prepare(&mut self, p: Prepare, out: &mut Outbox) {
+        if p.view != self.view || !self.log.in_window(p.seq) {
+            return;
+        }
+        // The primary of a view never sends prepares (its pre-prepare
+        // stands in for one).
+        if p.replica == p.view.primary(self.config.group.n) {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(p.replica),
+            &p.content_bytes(),
+            &p.auth,
+        ) {
+            return;
+        }
+        if self.config.auth == crate::config::AuthMode::Signatures {
+            self.vc_pk.store_prepare(p.clone());
+        }
+        self.log.add_prepare(p.seq, p.digest, p.replica);
+        self.check_certificates(p.seq, out);
+    }
+
+    /// Handles a commit message (§2.3.3).
+    pub(crate) fn on_commit(&mut self, c: Commit, out: &mut Outbox) {
+        if c.view != self.view || !self.log.in_window(c.seq) {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(c.replica),
+            &c.content_bytes(),
+            &c.auth,
+        ) {
+            return;
+        }
+        self.log.add_commit(c.seq, c.digest, c.replica);
+        self.check_certificates(c.seq, out);
+    }
+
+    /// Completes prepared/committed certificates for a slot and reacts.
+    pub(crate) fn check_certificates(&mut self, seq: SeqNo, out: &mut Outbox) {
+        if !self.log.in_window(seq) {
+            return;
+        }
+        let view = self.view;
+        if !self.log.slot(seq).map(|s| s.prepared).unwrap_or(false)
+            && self.log.has_prepared_cert(seq, view)
+        {
+            let digest = self.log.slot(seq).and_then(|s| s.digest());
+            if let Some(digest) = digest {
+                {
+                    let slot = self.log.slot_mut(seq);
+                    slot.prepared = true;
+                }
+                self.send_commit(seq, digest, out);
+            }
+        }
+        let slot_prepared = self.log.slot(seq).map(|s| s.prepared).unwrap_or(false);
+        if slot_prepared
+            && !self.log.slot(seq).map(|s| s.committed).unwrap_or(false)
+            && self.log.has_committed_cert(seq, view)
+        {
+            self.log.slot_mut(seq).committed = true;
+        }
+        self.try_execute(out);
+    }
+
+    /// Multicasts this replica's commit for a prepared batch.
+    pub(crate) fn send_commit(&mut self, seq: SeqNo, digest: Digest, out: &mut Outbox) {
+        let already = self.log.slot(seq).map(|s| s.sent_commit).unwrap_or(false);
+        if already || self.recovery_send_guard(seq) {
+            return;
+        }
+        let mut c = Commit {
+            view: self.view,
+            seq,
+            digest,
+            replica: self.id,
+            auth: bft_types::Auth::None,
+        };
+        c.auth = self.auth.authenticate_multicast(&c.content_bytes());
+        self.log.add_commit(seq, digest, self.id);
+        self.log.slot_mut(seq).sent_commit = true;
+        out.multicast(Message::Commit(c));
+    }
+
+    /// Handles a checkpoint message (§2.3.4, §3.2.3).
+    pub(crate) fn on_checkpoint_msg(&mut self, c: Checkpoint, out: &mut Outbox) {
+        if c.seq <= self.ckpt.stable().0 {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(c.replica),
+            &c.content_bytes(),
+            &c.auth,
+        ) {
+            return;
+        }
+        if self.config.auth == crate::config::AuthMode::Signatures {
+            self.vc_pk.store_checkpoint(c.clone());
+        }
+        if let Some(stable) = self.ckpt.add_vote(c.seq, c.digest, c.replica) {
+            self.vc_pk.gc(stable.0);
+            self.on_new_stable(stable, out);
+            self.update_vc_timer(out);
+            if self.is_primary() && self.view_active {
+                self.maybe_send_pre_prepare(out);
+            }
+        }
+        // A weak certificate for a checkpoint beyond our high water mark
+        // means we have fallen behind: fetch state (§5.3.2).
+        if self.ckpt.vote_count(c.seq, c.digest) >= self.config.group.weak()
+            && c.seq > self.log.high()
+        {
+            self.start_state_transfer(c.seq, Some(c.digest), out);
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! BFT-PR: proactive recovery (Chapter 4).
+//!
+//! The watchdog periodically "reboots" each replica (staggered so at most
+//! `f` recover at once). A recovering replica refreshes its session keys
+//! (new-key messages signed by the secure co-processor with a monotonic
+//! counter), runs the estimation protocol to bound the sequence numbers its
+//! possibly-corrupt state can influence, multicasts a recovery request that
+//! runs through the ordinary protocol (causing every other replica to
+//! refresh its keys too), checks and repairs its state with the transfer
+//! mechanism, and is *recovered* once the checkpoint at its recovery point
+//! becomes stable.
+
+use crate::actions::{Outbox, TimerId};
+use crate::config::ReplicaConfig;
+use crate::replica::Replica;
+use bft_crypto::{Coprocessor, SessionKey};
+use bft_statemachine::Service;
+use bft_types::{
+    Auth, Message, NewKey, QueryStable, Reply, ReplyBody, ReplyStable, ReplicaId, Request,
+    Requester, SeqNo, Timestamp, View,
+};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Per-replica recovery protocol state.
+#[derive(Debug)]
+pub struct RecoveryState {
+    /// Whether proactive recovery is configured on.
+    pub enabled: bool,
+    /// The simulated secure co-processor (None until armed).
+    coproc: Option<Coprocessor>,
+    /// Estimation in progress (§4.3.2: message handling is restricted).
+    estimating: bool,
+    /// Nonce of the outstanding query-stable.
+    query_nonce: u64,
+    /// Estimation replies: replica → (min checkpoint, max prepared).
+    est_replies: HashMap<u32, (SeqNo, SeqNo)>,
+    /// The estimated bound `H_M` on our high water mark.
+    hm: Option<SeqNo>,
+    /// True from watchdog fire until the recovery point is stable.
+    recovering: bool,
+    /// The recovery point `H` (known once the recovery request executes).
+    recovery_point: Option<SeqNo>,
+    /// Replies to our recovery request: replica → (view, assigned seq).
+    recovery_replies: HashMap<u32, (View, SeqNo)>,
+    /// Timestamp of our outstanding recovery request.
+    my_recovery_ts: Timestamp,
+    /// The outstanding recovery request itself (retransmitted verbatim so
+    /// replies accumulate under one timestamp).
+    my_recovery_request: Option<Request>,
+    /// Anti-replay: last recovery-request timestamp accepted per replica.
+    last_recovery_ts: HashMap<u32, Timestamp>,
+    /// Anti-replay: last new-key counter accepted per sender.
+    last_newkey_counter: HashMap<u32, u64>,
+    /// Null-request fill target while a peer recovers (§4.3.2: "while a
+    /// recovery is occurring, the primary sends pre-prepares for null
+    /// requests" so the recovery point can become stable).
+    pub(crate) null_fill_target: Option<SeqNo>,
+}
+
+impl RecoveryState {
+    /// Creates disabled-or-armed state per the configuration.
+    pub fn new(config: &ReplicaConfig) -> Self {
+        RecoveryState {
+            enabled: config.recovery.enabled,
+            coproc: None,
+            estimating: false,
+            query_nonce: 0,
+            est_replies: HashMap::new(),
+            hm: None,
+            recovering: false,
+            recovery_point: None,
+            recovery_replies: HashMap::new(),
+            my_recovery_ts: Timestamp(0),
+            my_recovery_request: None,
+            last_recovery_ts: HashMap::new(),
+            last_newkey_counter: HashMap::new(),
+            null_fill_target: None,
+        }
+    }
+
+    /// True while the estimation protocol restricts message handling.
+    pub fn estimating(&self) -> bool {
+        self.estimating
+    }
+
+    /// True from watchdog fire until recovery completes.
+    pub fn recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// The current recovery point, if established.
+    pub fn recovery_point(&self) -> Option<SeqNo> {
+        self.recovery_point
+    }
+
+    /// Arms the initial watchdog and key-refresh timers, staggering
+    /// watchdogs across replicas so at most `f` recover concurrently
+    /// (§4.3.3: recoveries are staggered).
+    pub fn arm_initial(&mut self, id: ReplicaId, config: &ReplicaConfig, out: &mut Outbox) {
+        let period = config.recovery.watchdog_period;
+        let slice = bft_types::SimDuration::from_micros(
+            period.as_micros() / config.group.n as u64,
+        );
+        out.set_timer(
+            TimerId::Watchdog,
+            bft_types::SimDuration::from_micros(slice.as_micros() * (id.0 as u64 + 1)),
+        );
+        out.set_timer(TimerId::KeyRefresh, config.recovery.key_refresh_period);
+    }
+}
+
+impl<S: Service> Replica<S> {
+    fn coproc(&mut self) -> &mut Coprocessor {
+        if self.recovery.coproc.is_none() {
+            self.recovery.coproc = Some(Coprocessor::from_keypair(self.auth.keypair.clone()));
+        }
+        self.recovery.coproc.as_mut().expect("just initialized")
+    }
+
+    // ------------------------------------------------------------------
+    // Key refreshment (§4.3.1).
+    // ------------------------------------------------------------------
+
+    /// Periodic key refresh.
+    pub(crate) fn on_key_refresh_timer(&mut self, out: &mut Outbox) {
+        if !self.config.recovery.enabled {
+            return;
+        }
+        out.set_timer(TimerId::KeyRefresh, self.config.recovery.key_refresh_period);
+        self.send_new_key(out);
+    }
+
+    /// Multicasts a new-key message: fresh keys every peer must use to send
+    /// to us, each encrypted under the peer's public key, the whole message
+    /// signed by the co-processor with its monotonic counter.
+    pub(crate) fn send_new_key(&mut self, out: &mut Outbox) {
+        use rand::RngExt;
+        // Only replica-to-replica keys: "each replica shares a single
+        // secret key with each client; this key is refreshed by the
+        // client" (§4.3.1), so client slots are left alone.
+        let total = self.config.group.n;
+        let self_idx = self.auth.self_index();
+        let mut encrypted: Vec<Bytes> = Vec::with_capacity(total);
+        let mut fresh: Vec<Option<SessionKey>> = vec![None; total];
+        for idx in 0..total {
+            if idx == self_idx {
+                encrypted.push(Bytes::new());
+                continue;
+            }
+            let key_bytes: [u8; 16] = self.rng.random();
+            let key = SessionKey(key_bytes);
+            fresh[idx] = Some(key);
+            let ct = self.auth.directory[idx].encrypt(&mut self.rng, &key_bytes);
+            encrypted.push(Bytes::from(ct));
+        }
+        // Install our side of each fresh key.
+        for (idx, key) in fresh.into_iter().enumerate() {
+            if let Some(key) = key {
+                self.auth.keys.refresh_in_key(idx, key);
+            }
+        }
+        let mut m = NewKey {
+            replica: self.id,
+            encrypted,
+            auth: Auth::None,
+        };
+        let digest = bft_crypto::digest(&m.content_bytes());
+        let cs = self.coproc().sign(&digest);
+        m.auth = Auth::CounterSig(cs);
+        out.multicast(Message::NewKey(m));
+    }
+
+    /// Handles a peer's new-key message.
+    pub(crate) fn on_new_key(&mut self, m: NewKey, _out: &mut Outbox) {
+        if m.replica == self.id {
+            return;
+        }
+        let Auth::CounterSig(cs) = &m.auth else { return };
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(m.replica),
+            &m.content_bytes(),
+            &m.auth,
+        ) {
+            return;
+        }
+        // Reject replays and stale messages (§4.3.1: "t must be larger
+        // than the timestamp of the last new-key message received").
+        let last = self
+            .recovery
+            .last_newkey_counter
+            .get(&m.replica.0)
+            .copied()
+            .unwrap_or(0);
+        if cs.counter <= last {
+            return;
+        }
+        self.recovery
+            .last_newkey_counter
+            .insert(m.replica.0, cs.counter);
+        let self_idx = self.auth.self_index();
+        let Some(ct) = m.encrypted.get(self_idx) else {
+            return;
+        };
+        let Some(key_bytes) = self.auth.keypair.private.decrypt(ct) else {
+            return;
+        };
+        let sender_idx = crate::authn::node_index(
+            self.config.group,
+            bft_types::NodeId::Replica(m.replica),
+        );
+        self.auth
+            .keys
+            .install_out_key(sender_idx, SessionKey(key_bytes), cs.counter);
+    }
+
+    // ------------------------------------------------------------------
+    // The recovery sequence (§4.3.2).
+    // ------------------------------------------------------------------
+
+    /// Watchdog interrupt: begin a proactive recovery.
+    pub(crate) fn on_watchdog(&mut self, out: &mut Outbox) {
+        if !self.config.recovery.enabled {
+            return;
+        }
+        out.set_timer(TimerId::Watchdog, self.config.recovery.watchdog_period);
+        if self.recovery.recovering {
+            return; // Previous recovery still in progress.
+        }
+        self.recovery.recovering = true;
+        self.recovery.recovery_point = None;
+        self.recovery.recovery_replies.clear();
+        self.recovery.my_recovery_request = None;
+        // A recovering primary abdicates (§4.3.2: multicast a view-change
+        // for v+1 just before rebooting).
+        if self.is_primary() && self.view_active {
+            let next = self.view.next();
+            self.start_view_change(next, out);
+        }
+        // Fresh keys first: if we were compromised, the attacker knew them.
+        self.send_new_key(out);
+        // Run the estimation protocol.
+        use rand::RngExt;
+        self.recovery.estimating = true;
+        self.recovery.est_replies.clear();
+        self.recovery.query_nonce = self.rng.random();
+        self.send_query_stable(out);
+        out.set_timer(TimerId::RecoveryQuery, self.config.status_interval);
+    }
+
+    fn send_query_stable(&mut self, out: &mut Outbox) {
+        let mut q = QueryStable {
+            replica: self.id,
+            nonce: self.recovery.query_nonce,
+            auth: Auth::None,
+        };
+        q.auth = self.auth.authenticate_multicast(&q.content_bytes());
+        out.multicast(Message::QueryStable(q));
+    }
+
+    /// Retransmission driver for estimation and the recovery request.
+    pub(crate) fn on_recovery_query_timer(&mut self, out: &mut Outbox) {
+        if self.recovery.estimating {
+            self.send_query_stable(out);
+            out.set_timer(TimerId::RecoveryQuery, self.config.status_interval);
+        } else if self.recovery.recovering && self.recovery.recovery_point.is_none() {
+            self.send_recovery_request(out);
+            out.set_timer(TimerId::RecoveryQuery, self.config.status_interval);
+        }
+    }
+
+    /// Answers an estimation probe with our last checkpoint and last
+    /// prepared sequence numbers.
+    pub(crate) fn on_query_stable(&mut self, m: QueryStable, out: &mut Outbox) {
+        if m.replica == self.id {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(m.replica),
+            &m.content_bytes(),
+            &m.auth,
+        ) {
+            return;
+        }
+        let checkpoint = self
+            .ckpt
+            .own_checkpoints()
+            .last()
+            .map(|&(s, _)| s)
+            .unwrap_or(self.ckpt.stable().0);
+        let prepared = self
+            .log
+            .iter()
+            .filter(|(_, s)| s.prepared)
+            .map(|(n, _)| n)
+            .max()
+            .unwrap_or(checkpoint);
+        let mut r = ReplyStable {
+            checkpoint,
+            prepared,
+            nonce: m.nonce,
+            replica: self.id,
+            auth: Auth::None,
+        };
+        r.auth = self
+            .auth
+            .mac_to(bft_types::NodeId::Replica(m.replica), &r.content_bytes());
+        out.send_replica(m.replica, Message::ReplyStable(r));
+    }
+
+    /// Collects estimation replies and derives `H_M` (§4.3.2).
+    pub(crate) fn on_reply_stable(&mut self, m: ReplyStable, out: &mut Outbox) {
+        if !self.recovery.estimating || m.nonce != self.recovery.query_nonce {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(m.replica),
+            &m.content_bytes(),
+            &m.auth,
+        ) {
+            return;
+        }
+        let entry = self
+            .recovery
+            .est_replies
+            .entry(m.replica.0)
+            .or_insert((m.checkpoint, m.prepared));
+        entry.0 = entry.0.min(m.checkpoint);
+        entry.1 = entry.1.max(m.prepared);
+        // c_M: a value c from replica r such that 2f others reported
+        // checkpoints <= c and f others reported prepared >= c.
+        let f = self.config.group.f;
+        let mut cm: Option<SeqNo> = None;
+        for (&r, &(c, _)) in &self.recovery.est_replies {
+            let others_c = self
+                .recovery
+                .est_replies
+                .iter()
+                .filter(|(&r2, &(c2, _))| r2 != r && c2 <= c)
+                .count();
+            let others_p = self
+                .recovery
+                .est_replies
+                .iter()
+                .filter(|(&r2, &(_, p2))| r2 != r && p2 >= c)
+                .count();
+            if others_c >= 2 * f && others_p >= f && cm.map(|b| c > b).unwrap_or(true) {
+                cm = Some(c);
+            }
+        }
+        let Some(cm) = cm else { return };
+        let hm = SeqNo(cm.0 + self.config.log_size());
+        self.recovery.hm = Some(hm);
+        self.recovery.estimating = false;
+        // Discard log entries and checkpoints above H_M to bound the harm
+        // corrupt state can do.
+        self.log.truncate_above(hm);
+        // Proceed to the recovery request.
+        self.send_recovery_request(out);
+        out.set_timer(TimerId::RecoveryQuery, self.config.status_interval);
+    }
+
+    /// Multicasts the co-processor-signed recovery request. Retransmits
+    /// the cached request; the co-processor counter advances only when a
+    /// fresh recovery starts.
+    fn send_recovery_request(&mut self, out: &mut Outbox) {
+        if let Some(req) = &self.recovery.my_recovery_request {
+            out.multicast(Message::Request(req.clone()));
+            return;
+        }
+        let hm = self.recovery.hm.unwrap_or(self.log.high());
+        let digest_input = hm.0.to_le_bytes();
+        let mut req = Request {
+            requester: Requester::Replica(self.id),
+            timestamp: Timestamp(0), // Filled from the co-processor counter.
+            operation: Bytes::from(digest_input.to_vec()),
+            read_only: false,
+            replier: None,
+            auth: Auth::None,
+        };
+        // The co-processor counter doubles as the timestamp, preventing
+        // replays of old recovery requests.
+        let counter_preview = self.coproc().counter() + 1;
+        req.timestamp = Timestamp(counter_preview);
+        let digest = bft_crypto::digest(&req.content_bytes());
+        let cs = self.coproc().sign(&digest);
+        debug_assert_eq!(cs.counter, counter_preview);
+        req.auth = Auth::CounterSig(cs);
+        self.recovery.my_recovery_ts = req.timestamp;
+        self.recovery.my_recovery_request = Some(req.clone());
+        out.multicast(Message::Request(req));
+    }
+
+    /// Gate for accepting a peer's recovery request (anti-replay).
+    pub(crate) fn accept_recovery_request(&mut self, req: &Request) -> bool {
+        let Requester::Replica(r) = req.requester else {
+            return false;
+        };
+        if r == self.id {
+            return true;
+        }
+        let last = self
+            .recovery
+            .last_recovery_ts
+            .get(&r.0)
+            .copied()
+            .unwrap_or(Timestamp(0));
+        req.timestamp > last
+    }
+
+    /// Protocol-defined execution of a recovery request (§4.3.2): record
+    /// the assigned sequence number, refresh our keys, reply with `l_R`.
+    pub(crate) fn execute_recovery_request(
+        &mut self,
+        req: &Request,
+        tentative: bool,
+        out: &mut Outbox,
+    ) {
+        let Requester::Replica(recovering) = req.requester else {
+            return;
+        };
+        let lr = self.executing_seq;
+        self.recovery
+            .last_recovery_ts
+            .insert(recovering.0, req.timestamp);
+        let result = Bytes::from(lr.0.to_le_bytes().to_vec());
+        self.client_table
+            .record(req.requester, req.timestamp, result.clone());
+        self.stats.requests_executed += 1;
+        if recovering != self.id && self.config.recovery.enabled {
+            // Executing another replica's recovery request refreshes our
+            // own keys (the attacker may have known them).
+            self.send_new_key(out);
+        }
+        // Keep the pipeline moving with null requests so the recovery
+        // point can become stable even without client traffic.
+        let k = self.config.checkpoint_interval;
+        let hr = SeqNo(lr.0.div_ceil(k) * k + self.config.log_size());
+        self.recovery.null_fill_target =
+            Some(self.recovery.null_fill_target.map_or(hr, |t| t.max(hr)));
+        self.send_reply(req, result, tentative, out);
+    }
+
+    /// Collects replies to our own recovery request.
+    pub(crate) fn on_recovery_reply(&mut self, r: Reply, out: &mut Outbox) {
+        if !self.recovery.recovering
+            || self.recovery.recovery_point.is_some()
+            || r.timestamp != self.recovery.my_recovery_ts
+            || r.requester != Requester::Replica(self.id)
+        {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(r.replica),
+            &r.content_bytes(),
+            &r.auth,
+        ) {
+            return;
+        }
+        let ReplyBody::Full(body) = &r.body else { return };
+        let Ok(bytes8) = <[u8; 8]>::try_from(body.as_ref()) else {
+            return;
+        };
+        let lr = SeqNo(u64::from_le_bytes(bytes8));
+        self.recovery
+            .recovery_replies
+            .insert(r.replica.0, (r.view, lr));
+        // Wait for a quorum agreeing on l_R (§4.3.2: 2f+1 replies).
+        let quorum = self.config.group.quorum();
+        let count = self
+            .recovery
+            .recovery_replies
+            .values()
+            .filter(|(_, l)| *l == lr)
+            .count();
+        if count < quorum {
+            return;
+        }
+        let k = self.config.checkpoint_interval;
+        let hr = SeqNo(lr.0.div_ceil(k) * k + self.config.log_size());
+        let hm = self.recovery.hm.unwrap_or(SeqNo(0));
+        self.recovery.recovery_point = Some(hr.max(hm));
+        // Compute a valid view (§4.3.2): keep ours if f+1 replies carry a
+        // view at least as large, else adopt the median.
+        let mut views: Vec<u64> = self
+            .recovery
+            .recovery_replies
+            .values()
+            .map(|(v, _)| v.0)
+            .collect();
+        views.sort_unstable();
+        let keep = views.iter().filter(|&&v| v >= self.view.0).count() >= self.config.group.weak();
+        if !keep {
+            let median = View(views[views.len() / 2]);
+            if median > self.view {
+                self.view = median;
+                self.view_active = false;
+            }
+        }
+        out.cancel_timer(TimerId::RecoveryQuery);
+        // Check and repair the state (§5.3.3).
+        self.start_state_check(out);
+        self.recovery_progress_check(out);
+    }
+
+    /// Declares recovery complete once the recovery-point checkpoint is
+    /// stable (§4.3.2: "replica i is recovered when the checkpoint with
+    /// sequence number H is stable").
+    pub(crate) fn recovery_progress_check(&mut self, _out: &mut Outbox) {
+        if !self.recovery.recovering {
+            return;
+        }
+        let Some(point) = self.recovery.recovery_point else {
+            return;
+        };
+        if self.ckpt.stable().0 >= point {
+            self.recovery.recovering = false;
+            self.recovery.recovery_point = None;
+            self.stats.recoveries_completed += 1;
+        }
+        if let Some(t) = self.recovery.null_fill_target {
+            if self.ckpt.stable().0 >= t {
+                self.recovery.null_fill_target = None;
+            }
+        }
+    }
+
+    /// True while this replica must not send protocol messages above its
+    /// estimated bound (§4.3.2: a recovering replica "will not send any
+    /// messages above H_M until it has a correct stable checkpoint with
+    /// sequence number greater than or equal to H_M").
+    pub(crate) fn recovery_send_guard(&self, seq: SeqNo) -> bool {
+        if !self.recovery.recovering {
+            return false;
+        }
+        match self.recovery.hm {
+            Some(hm) => seq > hm && self.ckpt.stable().0 < hm,
+            None => false,
+        }
+    }
+}

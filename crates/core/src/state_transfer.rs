@@ -1,0 +1,441 @@
+//! Hierarchical state transfer and state checking (§5.3.2–5.3.3).
+//!
+//! A replica that learns about a stable checkpoint beyond its high water
+//! mark (or that must obtain the start state chosen by a view change, or
+//! that is recovering) walks the partition tree top-down: it fetches
+//! meta-data for partitions whose digest differs from its own, recursing
+//! until it reaches out-of-date pages, which it fetches and verifies
+//! against the parent digests. Only one replica (the designated replier)
+//! sends full data; digests make the replies self-certifying.
+
+use crate::actions::{Outbox, TimerId};
+use crate::replica::Replica;
+use bft_crypto::Digest;
+use bft_statemachine::Service;
+use bft_types::{
+    Data, Fetch, Message, MetaData, ReplicaId, SeqNo, SimDuration, SubPartInfo,
+};
+
+/// One queued fetch: a partition (or page) with its expected digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct PendingFetch {
+    /// Tree level; `meta_levels` means a page.
+    pub level: u8,
+    /// Index within the level.
+    pub index: u64,
+    /// Digest the fetched content must match.
+    pub expected: Digest,
+    /// Page-only: the last-modification sequence number bound into the
+    /// expected digest.
+    pub lm: SeqNo,
+}
+
+/// State of an in-progress transfer.
+#[derive(Clone, Debug)]
+pub struct FetchState {
+    /// The checkpoint being fetched.
+    pub target_seq: SeqNo,
+    /// Its root digest.
+    pub target_digest: Digest,
+    /// Work list (depth-first).
+    pub(crate) queue: Vec<PendingFetch>,
+    /// The fetch currently awaiting a reply.
+    pub(crate) in_flight: Option<PendingFetch>,
+    /// Rotates through repliers on retransmission (§5.3.2: "choosing a
+    /// different replier each time").
+    pub(crate) replier: u32,
+    /// Pages fetched so far (metric).
+    pub pages_fetched: u64,
+    /// Bytes of page data fetched (metric).
+    pub bytes_fetched: u64,
+    /// Recovery state-check mode (§5.3.3): re-targets to the newest stable
+    /// checkpoint instead of being dropped as obsolete.
+    pub checking: bool,
+    /// Replies at checkpoints other than the target, collected toward a
+    /// weak certificate of "equally fresh responses" (§5.3.2): the target
+    /// may have been garbage-collected at the repliers.
+    pub(crate) weak: std::collections::HashMap<(u8, u64, u64), Vec<(ReplicaId, Vec<SubPartInfo>)>>,
+}
+
+impl<S: Service> Replica<S> {
+    /// Begins (or re-targets) a state transfer toward checkpoint `seq`.
+    pub(crate) fn start_state_transfer(
+        &mut self,
+        seq: SeqNo,
+        digest: Option<Digest>,
+        out: &mut Outbox,
+    ) {
+        let Some(digest) = digest else { return };
+        if let Some(f) = &self.fetch {
+            if f.target_seq >= seq {
+                return; // Already fetching something at least as new.
+            }
+        }
+        if self.tree.snapshot_root(seq) == Some(digest) {
+            return; // Already have it.
+        }
+        self.begin_fetch(seq, digest, false, out);
+    }
+
+    /// Establishes a clean base (our stable checkpoint) and starts the
+    /// top-down walk. Rolling back first guarantees the local pages being
+    /// compared against remote digests are exactly our stable-checkpoint
+    /// state; batches executed past it are redone through the protocol
+    /// after the install (execution is gated while fetching).
+    fn begin_fetch(&mut self, seq: SeqNo, digest: Digest, checking: bool, out: &mut Outbox) {
+        let (stable, _) = self.ckpt.stable();
+        if self.last_exec > stable {
+            self.rollback_to_checkpoint(stable);
+        }
+        self.log.clear_executed_above(stable);
+        let root = PendingFetch {
+            level: 0,
+            index: 0,
+            expected: digest,
+            lm: SeqNo(0),
+        };
+        self.fetch = Some(FetchState {
+            target_seq: seq,
+            target_digest: digest,
+            queue: vec![root],
+            in_flight: None,
+            replier: self.rng_u32(),
+            pages_fetched: 0,
+            bytes_fetched: 0,
+            checking,
+            weak: std::collections::HashMap::new(),
+        });
+        self.send_next_fetch(out);
+        out.set_timer(TimerId::FetchRetransmit, self.fetch_timeout());
+    }
+
+    fn fetch_timeout(&self) -> SimDuration {
+        self.config.status_interval
+    }
+
+    pub(crate) fn rng_u32(&mut self) -> u32 {
+        use rand::RngExt;
+        self.rng.random()
+    }
+
+    /// Issues the next queued fetch, if any; completes the transfer when
+    /// the queue drains.
+    fn send_next_fetch(&mut self, out: &mut Outbox) {
+        let Some(fetch) = &mut self.fetch else { return };
+        if fetch.in_flight.is_none() {
+            fetch.in_flight = fetch.queue.pop();
+        }
+        let Some(pf) = fetch.in_flight.clone() else {
+            self.finish_state_transfer(out);
+            return;
+        };
+        let n = self.config.group.n as u32;
+        let replier = ReplicaId(self.fetch.as_ref().expect("fetch active").replier % n);
+        let target = self.fetch.as_ref().expect("fetch active").target_seq;
+        let mut m = Fetch {
+            level: pf.level,
+            index: pf.index,
+            last_known: self.ckpt.stable().0,
+            target: Some(target),
+            replier: Some(replier),
+            replica: self.id,
+            auth: bft_types::Auth::None,
+        };
+        m.auth = self.auth.authenticate_multicast(&m.content_bytes());
+        out.multicast(Message::Fetch(m));
+    }
+
+    /// Retransmission timer: rotate the designated replier and resend.
+    pub(crate) fn on_fetch_timer(&mut self, out: &mut Outbox) {
+        if let Some(fetch) = &mut self.fetch {
+            fetch.replier = fetch.replier.wrapping_add(1);
+            self.send_next_fetch(out);
+            out.set_timer(TimerId::FetchRetransmit, self.fetch_timeout());
+        }
+    }
+
+    /// Serves a fetch request (§5.3.2 replier side).
+    pub(crate) fn on_fetch(&mut self, m: Fetch, out: &mut Outbox) {
+        if m.replica == self.id {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(m.replica),
+            &m.content_bytes(),
+            &m.auth,
+        ) {
+            return;
+        }
+        // Pick the checkpoint to answer from: the requested target if we
+        // retain it, else our stable checkpoint (replicas other than the
+        // designated replier answer with their stable checkpoint so
+        // progress is possible after garbage collection).
+        let designated = m.replier == Some(self.id);
+        let at = match m.target {
+            Some(t) if self.tree.snapshot_root(t).is_some() => t,
+            _ => self.ckpt.stable().0,
+        };
+        if !designated && at <= m.last_known {
+            return; // Nothing fresher than what the fetcher has.
+        }
+        let meta_levels = self.tree.num_meta_levels() as u8;
+        if m.level >= meta_levels {
+            // Page fetch.
+            let Some((lm, _)) = self.tree.page_info_at(at, m.index) else {
+                return;
+            };
+            let Some(page) = self.tree.page_at(at, m.index) else {
+                return;
+            };
+            // Only the designated replier sends the (large) page body.
+            if designated {
+                out.send_replica(
+                    m.replica,
+                    Message::Data(Data {
+                        index: m.index,
+                        last_mod: lm,
+                        page,
+                        auth: bft_types::Auth::None,
+                    }),
+                );
+            }
+            return;
+        }
+        let Some(subparts) = self.tree.children_at(at, m.level as usize, m.index) else {
+            return;
+        };
+        let mut reply = MetaData {
+            at_checkpoint: at,
+            level: m.level,
+            index: m.index,
+            subparts,
+            replica: self.id,
+            auth: bft_types::Auth::None,
+        };
+        reply.auth = self
+            .auth
+            .mac_to(bft_types::NodeId::Replica(m.replica), &reply.content_bytes());
+        out.send_replica(m.replica, Message::MetaData(reply));
+    }
+
+    /// Handles a meta-data reply: verify against the digest committed by
+    /// the parent, or accept a weak certificate of equally fresh replies
+    /// when the target checkpoint was garbage-collected at the repliers
+    /// (§5.3.2), then queue fetches for children that differ locally.
+    pub(crate) fn on_meta_data(&mut self, m: MetaData, out: &mut Outbox) {
+        let Some(fetch) = &self.fetch else { return };
+        let Some(pf) = fetch.in_flight.clone() else { return };
+        if m.level != pf.level || m.index != pf.index {
+            return;
+        }
+        // The partition digest binds level, index, lm (= max child lm),
+        // and the AdHash of the children; no MAC check is needed.
+        if verify_meta(&pf, &m.subparts) {
+            self.accept_subparts(&pf, m.subparts, out);
+            return;
+        }
+        // Digest mismatch: possibly a fresher checkpoint. Collect toward a
+        // weak certificate — f+1 matching replies for the same checkpoint
+        // prove at least one correct replica vouches for the contents.
+        if m.at_checkpoint < fetch.target_seq {
+            return;
+        }
+        let weak_needed = self.config.group.weak();
+        let fetch = self.fetch.as_mut().expect("fetch active");
+        let key = (m.level, m.index, m.at_checkpoint.0);
+        let entry = fetch.weak.entry(key).or_default();
+        if entry.iter().any(|(r, _)| *r == m.replica) {
+            return;
+        }
+        entry.push((m.replica, m.subparts.clone()));
+        let matching = entry
+            .iter()
+            .filter(|(_, sp)| *sp == m.subparts)
+            .count();
+        if matching < weak_needed {
+            return;
+        }
+        // Weak certificate assembled. At the root this re-targets the
+        // whole transfer to the fresher checkpoint.
+        if pf.level == 0 {
+            let lm = m
+                .subparts
+                .iter()
+                .map(|s| s.last_mod)
+                .max()
+                .unwrap_or(SeqNo(0));
+            let acc = bft_crypto::AdHash::from_digests(m.subparts.iter().map(|s| &s.digest));
+            let root = crate::partition_tree::meta_digest_for(0, 0, lm, &acc);
+            fetch.target_seq = m.at_checkpoint;
+            fetch.target_digest = root;
+        }
+        fetch.weak.clear();
+        self.accept_subparts(&pf, m.subparts, out);
+    }
+
+    /// Processes a verified child list: queue what differs, align `lm`
+    /// values for what matches.
+    fn accept_subparts(&mut self, pf: &PendingFetch, subparts: Vec<SubPartInfo>, out: &mut Outbox) {
+        let meta_levels = self.tree.num_meta_levels() as u8;
+        let child_level = pf.level + 1;
+        let mut new_work: Vec<PendingFetch> = Vec::new();
+        for sp in &subparts {
+            if child_level >= meta_levels {
+                // Child is a page: compare digests with our current page.
+                let (_, local) = self.tree.page_info(sp.index);
+                if local != sp.digest {
+                    new_work.push(PendingFetch {
+                        level: child_level,
+                        index: sp.index,
+                        expected: sp.digest,
+                        lm: sp.last_mod,
+                    });
+                } else {
+                    // Up to date, but the lm must match for the rebuild
+                    // digest to agree.
+                    let page = self.tree.page(sp.index).clone();
+                    self.tree.install_page(sp.index, page, sp.last_mod);
+                }
+            } else {
+                let local = self
+                    .tree
+                    .meta_digest_at(self.ckpt.stable().0, child_level as usize, sp.index);
+                if local != Some(sp.digest) {
+                    new_work.push(PendingFetch {
+                        level: child_level,
+                        index: sp.index,
+                        expected: sp.digest,
+                        lm: sp.last_mod,
+                    });
+                }
+            }
+        }
+        let fetch = self.fetch.as_mut().expect("fetch active");
+        fetch.in_flight = None;
+        fetch.queue.extend(new_work);
+        self.send_next_fetch(out);
+    }
+
+    /// Handles a page-data reply.
+    pub(crate) fn on_data(&mut self, m: Data, out: &mut Outbox) {
+        let Some(fetch) = &self.fetch else { return };
+        let Some(pf) = fetch.in_flight.clone() else { return };
+        let meta_levels = self.tree.num_meta_levels() as u8;
+        if pf.level < meta_levels || m.index != pf.index {
+            return;
+        }
+        // Self-certifying: the page must hash to the parent-committed
+        // digest under the claimed lm.
+        if m.last_mod != pf.lm || crate::partition_tree::page_digest_for(m.index, m.last_mod, &m.page) != pf.expected
+        {
+            if std::env::var_os("BFT_DEBUG").is_some() {
+                self.exec_trace.push(format!(
+                    "data-reject idx={} got_lm={} want_lm={} len={} digest_ok={}",
+                    m.index,
+                    m.last_mod,
+                    pf.lm,
+                    m.page.len(),
+                    crate::partition_tree::page_digest_for(m.index, m.last_mod, &m.page)
+                        == pf.expected
+                ));
+            }
+            return;
+        }
+        let len = m.page.len() as u64;
+        self.tree.install_page(m.index, m.page, m.last_mod);
+        self.stats.pages_fetched += 1;
+        self.stats.bytes_fetched += len;
+        let fetch = self.fetch.as_mut().expect("fetch active");
+        fetch.pages_fetched += 1;
+        fetch.bytes_fetched += len;
+        fetch.in_flight = None;
+        self.send_next_fetch(out);
+    }
+
+    /// Completes a transfer: rebuild digests, verify the root, install.
+    fn finish_state_transfer(&mut self, out: &mut Outbox) {
+        let Some(fetch) = self.fetch.take() else { return };
+        let (stable, stable_digest) = self.ckpt.stable();
+        if !fetch.checking
+            && stable >= fetch.target_seq
+            && self.tree.snapshot_root(stable) == Some(stable_digest)
+        {
+            // We assembled a newer stable checkpoint by ordinary protocol
+            // progress while fetching: the transfer is obsolete.
+            out.cancel_timer(TimerId::FetchRetransmit);
+            self.try_execute(out);
+            return;
+        }
+        if !fetch.checking
+            && stable > fetch.target_seq
+            && self.tree.snapshot_root(stable) != Some(stable_digest)
+        {
+            // The quorum moved on mid-transfer: chase the newer checkpoint.
+            self.begin_fetch(stable, stable_digest, false, out);
+            return;
+        }
+        if fetch.checking && stable > fetch.target_seq {
+            // The quorum moved on while we checked: re-target the check.
+            self.begin_fetch(stable, stable_digest, true, out);
+            return;
+        }
+        let root = self.tree.rebuild_at(fetch.target_seq);
+        if root != fetch.target_digest {
+            // Some partition changed under us or a replier lied in a way
+            // digests caught late: restart the walk from the root.
+            self.fetch = Some(FetchState {
+                target_seq: fetch.target_seq,
+                target_digest: fetch.target_digest,
+                queue: vec![PendingFetch {
+                    level: 0,
+                    index: 0,
+                    expected: fetch.target_digest,
+                    lm: SeqNo(0),
+                }],
+                in_flight: None,
+                replier: fetch.replier.wrapping_add(1),
+                pages_fetched: fetch.pages_fetched,
+                bytes_fetched: fetch.bytes_fetched,
+                checking: fetch.checking,
+                weak: std::collections::HashMap::new(),
+            });
+            self.send_next_fetch(out);
+            return;
+        }
+        out.cancel_timer(TimerId::FetchRetransmit);
+        // Install: the current state is exactly checkpoint `target`.
+        // Execution resumes (redoing any batches past it through the
+        // ordinary protocol).
+        self.sync_state_from_tree();
+        self.ckpt.force_stable(fetch.target_seq, fetch.target_digest);
+        self.log.advance_low(self.ckpt.stable().0);
+        self.last_exec = fetch.target_seq;
+        self.committed_frontier = fetch.target_seq;
+        self.log.clear_executed_above(fetch.target_seq);
+        self.advance_committed_frontier();
+        self.try_execute(out);
+    }
+
+    /// Recovery state checking (§5.3.3): recompute page digests to expose
+    /// local corruption, then run a transfer against the quorum's current
+    /// stable checkpoint so divergent pages are re-fetched.
+    pub(crate) fn start_state_check(&mut self, out: &mut Outbox) {
+        let corrupted = self.tree.recompute_page_digests();
+        let _ = corrupted; // Divergent pages are re-fetched by the walk.
+        let (seq, digest) = self.ckpt.stable();
+        if seq.0 == 0 {
+            return;
+        }
+        self.begin_fetch(seq, digest, true, out);
+    }
+}
+
+/// Verifies a meta-data reply against the parent-committed digest.
+fn verify_meta(pf: &PendingFetch, subparts: &[SubPartInfo]) -> bool {
+    if subparts.is_empty() {
+        return false;
+    }
+    let lm = subparts.iter().map(|s| s.last_mod).max().expect("non-empty");
+    let acc = bft_crypto::AdHash::from_digests(subparts.iter().map(|s| &s.digest));
+    crate::partition_tree::meta_digest_for(pf.level as usize, pf.index, lm, &acc) == pf.expected
+}

@@ -1,0 +1,298 @@
+//! Receiver-based retransmission via status messages (§5.2).
+//!
+//! Replicas periodically multicast small summaries of their state; peers
+//! retransmit exactly what the sender is missing. This works better than
+//! sender-based reliability in an asynchronous Byzantine setting because it
+//! needs no unbounded buffering and never retransmits to replicas that have
+//! already made progress by other means.
+
+use crate::actions::{Outbox, TimerId};
+use crate::replica::Replica;
+use bft_statemachine::Service;
+use bft_types::{Message, SeqNo, StatusActive, StatusPending, View};
+
+/// Cap on retransmissions triggered by one status message, bounding the
+/// work a (possibly lying) status can demand (§5.5 resource management).
+const MAX_RETRANSMIT: usize = 32;
+
+impl<S: Service> Replica<S> {
+    /// Periodic status broadcast.
+    pub(crate) fn on_status_timer(&mut self, out: &mut Outbox) {
+        out.set_timer(TimerId::Status, self.config.status_interval);
+        // Keep the null-request fill moving while a peer recovers
+        // (§4.3.2), even with no client traffic to piggyback on.
+        if self.is_primary() && self.view_active {
+            self.maybe_send_pre_prepare(out);
+        }
+        if self.view_active {
+            // Bits start just above the committed frontier, not the
+            // execution frontier: tentative execution (§5.1.2) can run
+            // ahead of commits, and those slots still need commit
+            // retransmission.
+            let base = self.committed_frontier;
+            let mut prepared = Vec::new();
+            let mut committed = Vec::new();
+            for n in (base.0 + 1)..=self.log.high().0 {
+                let slot = self.log.slot(SeqNo(n));
+                prepared.push(slot.map(|s| s.prepared).unwrap_or(false));
+                committed.push(slot.map(|s| s.committed).unwrap_or(false));
+                if prepared.len() >= 64 {
+                    break; // Keep status messages small.
+                }
+            }
+            let mut m = StatusActive {
+                last_stable: self.ckpt.stable().0,
+                last_exec: base,
+                view: self.view,
+                prepared,
+                committed,
+                replica: self.id,
+                auth: bft_types::Auth::None,
+            };
+            m.auth = self.auth.authenticate_multicast(&m.content_bytes());
+            out.multicast(Message::StatusActive(m));
+            // Executed-but-body-missing slots are reported via the pending
+            // format's `missing` field even in an active view.
+            let missing = self.missing_bodies();
+            if !missing.is_empty() {
+                self.send_status_pending(missing, out);
+            }
+        } else {
+            self.send_status_pending(self.missing_bodies(), out);
+        }
+    }
+
+    /// Sequence numbers whose chosen batch bodies we lack, including
+    /// buffered pre-prepares awaiting separately transmitted bodies.
+    fn missing_bodies(&self) -> Vec<(View, SeqNo)> {
+        self.log
+            .iter()
+            .filter(|(n, s)| {
+                *n > self.last_exec
+                    && s.digest()
+                        .map(|d| !self.batch_ready(&d))
+                        .unwrap_or(false)
+            })
+            .map(|(n, s)| (s.view, n))
+            .chain(self.pending_pps.iter().map(|p| (p.view, p.seq)))
+            .take(16)
+            .collect()
+    }
+
+    fn send_status_pending(&mut self, missing: Vec<(View, SeqNo)>, out: &mut Outbox) {
+        let have_view_changes = (0..self.config.group.n as u32)
+            .map(|r| self.vc.vcs.contains_key(&(self.view.0, r)))
+            .collect();
+        let mut m = StatusPending {
+            last_stable: self.ckpt.stable().0,
+            last_exec: self.last_exec,
+            view: self.view,
+            has_new_view: self.vc.new_view.is_some() || self.view_active,
+            have_view_changes,
+            missing,
+            replica: self.id,
+            auth: bft_types::Auth::None,
+        };
+        m.auth = self.auth.authenticate_multicast(&m.content_bytes());
+        out.multicast(Message::StatusPending(m));
+    }
+
+    /// Helps a peer that is in an active view (§5.2).
+    pub(crate) fn on_status_active(&mut self, m: StatusActive, out: &mut Outbox) {
+        if m.replica == self.id {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(m.replica),
+            &m.content_bytes(),
+            &m.auth,
+        ) {
+            return;
+        }
+        // The sender lags a view change: give it our view-change message
+        // (and the new-view if we hold it).
+        if m.view < self.view {
+            self.retransmit_view_change_state(m.replica, out);
+            return;
+        }
+        if m.view > self.view {
+            return; // We are the laggard; our own status will fix us.
+        }
+        // Checkpoint catch-up: our stable certificate implies 2f+1 peers
+        // hold it, so retransmitting our checkpoint message is enough for
+        // the sender to eventually assemble the certificate.
+        let (stable, stable_digest) = self.ckpt.stable();
+        if m.last_stable < stable {
+            if let Some(digest) = self.ckpt.own_digest(stable) {
+                let mut c = bft_types::Checkpoint {
+                    seq: stable,
+                    digest,
+                    replica: self.id,
+                    auth: bft_types::Auth::None,
+                };
+                c.auth = self.auth.authenticate_multicast(&c.content_bytes());
+                out.send_replica(m.replica, Message::Checkpoint(c));
+            }
+            let _ = stable_digest;
+        }
+        // Per-sequence retransmission from the bit vectors.
+        let mut sent = 0usize;
+        for (k, (&p_bit, &c_bit)) in m.prepared.iter().zip(m.committed.iter()).enumerate() {
+            if sent >= MAX_RETRANSMIT {
+                break;
+            }
+            let n = SeqNo(m.last_exec.0 + 1 + k as u64);
+            let Some(slot) = self.log.slot(n) else { continue };
+            if slot.view != self.view {
+                continue;
+            }
+            if !p_bit {
+                // Sender has not prepared n: resend the pre-prepare (the
+                // primary re-authenticates its own message; forwarded
+                // copies rely on the weak-certificate acceptance path) and
+                // our prepare.
+                if let Some(pp) = &slot.pre_prepare {
+                    let mut pp = pp.clone();
+                    if self.id == self.primary() && pp.view == self.view {
+                        pp.auth = self.auth.authenticate_multicast(&pp.content_bytes());
+                    }
+                    out.send_replica(m.replica, Message::PrePrepare(pp));
+                    sent += 1;
+                }
+                if let Some(d) = slot.my_prepare {
+                    if self.id != self.primary() {
+                        let mut p = bft_types::Prepare {
+                            view: self.view,
+                            seq: n,
+                            digest: d,
+                            replica: self.id,
+                            auth: bft_types::Auth::None,
+                        };
+                        p.auth = self.auth.authenticate_multicast(&p.content_bytes());
+                        out.send_replica(m.replica, Message::Prepare(p));
+                        sent += 1;
+                    }
+                }
+            } else if !c_bit && slot.sent_commit {
+                if let Some(d) = slot.digest() {
+                    let mut c = bft_types::Commit {
+                        view: self.view,
+                        seq: n,
+                        digest: d,
+                        replica: self.id,
+                        auth: bft_types::Auth::None,
+                    };
+                    c.auth = self.auth.authenticate_multicast(&c.content_bytes());
+                    out.send_replica(m.replica, Message::Commit(c));
+                    sent += 1;
+                }
+            }
+        }
+    }
+
+    /// Helps a peer whose view change is in progress (§5.2).
+    pub(crate) fn on_status_pending(&mut self, m: StatusPending, out: &mut Outbox) {
+        if m.replica == self.id {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(m.replica),
+            &m.content_bytes(),
+            &m.auth,
+        ) {
+            return;
+        }
+        if m.view < self.view {
+            self.retransmit_view_change_state(m.replica, out);
+        }
+        if m.view == self.view {
+            // Forward view-change messages the sender lacks (multicast
+            // authenticators verify at every replica, so forwarding works).
+            for (r, &has) in m.have_view_changes.iter().enumerate() {
+                if !has {
+                    if let Some(vc) = self.vc.vcs.get(&(m.view.0, r as u32)) {
+                        out.send_replica(m.replica, Message::ViewChange(vc.clone()));
+                    }
+                }
+            }
+            if !m.has_new_view {
+                if let Some(nv) = &self.vc.new_view {
+                    out.send_replica(m.replica, Message::NewView(nv.clone()));
+                }
+            }
+        }
+        // Missing batch bodies: retransmit the original client requests —
+        // their client authenticators verify at every replica, and the
+        // receiver's request handler retries buffered pre-prepares once the
+        // bodies land (§3.2.2 condition 3). If we hold the original
+        // pre-prepare from an earlier view, forward it too so the receiver
+        // learns the batch composition (harvested, not protocol-processed).
+        let mut sent = 0usize;
+        for (_, n) in m.missing {
+            if sent >= MAX_RETRANSMIT {
+                break;
+            }
+            let fills = self.body_fill_requests(n);
+            if std::env::var_os("BFT_DEBUG").is_some() {
+                self.exec_trace.push(format!(
+                    "fill for {} to {}: {} requests",
+                    n, m.replica, fills.len()
+                ));
+            }
+            for req in fills {
+                out.send_replica(m.replica, Message::Request(req));
+                sent += 1;
+            }
+            if let Some(slot) = self.log.slot(n) {
+                if let Some(pp) = &slot.pre_prepare {
+                    if pp.view < m.view {
+                        out.send_replica(m.replica, Message::PrePrepare(pp.clone()));
+                        sent += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resends our view-change (and new-view, if held) to a lagging peer,
+    /// re-authenticated with the latest keys (§5.2: "a replica
+    /// authenticates messages it retransmits with the latest keys").
+    fn retransmit_view_change_state(&mut self, to: bft_types::ReplicaId, out: &mut Outbox) {
+        if let Some(vc) = self.vc.vcs.get(&(self.view.0, self.id.0)) {
+            let mut vc = vc.clone();
+            vc.auth = self.auth.authenticate_multicast(&vc.content_bytes());
+            out.send_replica(to, Message::ViewChange(vc));
+        }
+        if let Some(nv) = self.vc.new_view.clone() {
+            let mut nv = nv;
+            if self.view.primary(self.config.group.n) == self.id {
+                nv.auth = self.auth.authenticate_multicast(&nv.content_bytes());
+            }
+            out.send_replica(to, Message::NewView(nv));
+        }
+        if let Some(vc) = self.vc_pk.vcs.get(&(self.view.0, self.id.0)) {
+            out.send_replica(to, Message::ViewChangePk(vc.clone()));
+        }
+        if let Some(nv) = &self.vc_pk.new_view {
+            out.send_replica(to, Message::NewViewPk(nv.clone()));
+        }
+    }
+
+    /// The full request bodies of the batch ordered at `n`, if held.
+    fn body_fill_requests(&self, n: SeqNo) -> Vec<bft_types::Request> {
+        let digest = self
+            .log
+            .slot(n)
+            .and_then(|s| s.digest())
+            .or_else(|| self.vc.pset.get(&n.0).map(|e| e.digest));
+        let Some(d) = digest else { return Vec::new() };
+        let Some(batch) = self.batches.get(&d) else {
+            return Vec::new();
+        };
+        batch
+            .requests
+            .iter()
+            .filter_map(|rd| self.requests.get(rd).cloned())
+            .collect()
+    }
+}

@@ -1,0 +1,323 @@
+//! Request and batch stores, and the FIFO request queue (§5.1.4, §5.5).
+//!
+//! Replicas keep request bodies keyed by digest so that view changes can
+//! propagate digests only; batches (the pre-prepare payloads) are likewise
+//! kept by batch digest so execution and view-change propagation can find
+//! their contents. The queue enforces the fairness discipline of §5.5: FIFO
+//! order, at most one pending request per client (the one with the highest
+//! timestamp).
+
+use bft_crypto::Digest;
+use bft_types::{null_request_digest, Request, Requester, Timestamp};
+use bytes::Bytes;
+use std::collections::{HashMap, VecDeque};
+
+/// Request bodies by digest.
+#[derive(Clone, Debug, Default)]
+pub struct RequestStore {
+    by_digest: HashMap<Digest, Request>,
+}
+
+impl RequestStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a request (idempotent).
+    pub fn insert(&mut self, req: Request) -> Digest {
+        let d = req.digest();
+        self.by_digest.entry(d).or_insert(req);
+        d
+    }
+
+    /// Looks up a request body.
+    pub fn get(&self, d: &Digest) -> Option<&Request> {
+        self.by_digest.get(d)
+    }
+
+    /// True when the body for `d` is present.
+    pub fn contains(&self, d: &Digest) -> bool {
+        self.by_digest.contains_key(d)
+    }
+
+    /// Drops requests executed at or below a stable checkpoint — bounded
+    /// memory (§5.5). `keep` decides which entries are still needed.
+    pub fn retain<F: Fn(&Digest, &Request) -> bool>(&mut self, keep: F) {
+        self.by_digest.retain(|d, r| keep(d, r));
+    }
+
+    /// Number of stored requests.
+    pub fn len(&self) -> usize {
+        self.by_digest.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_digest.is_empty()
+    }
+}
+
+/// A stored batch: the ordered request digests plus the agreed
+/// non-deterministic value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredBatch {
+    /// Ordered request digests.
+    pub requests: Vec<Digest>,
+    /// Non-deterministic value for the batch.
+    pub nondet: Bytes,
+}
+
+/// Batches by batch digest.
+#[derive(Clone, Debug)]
+pub struct BatchStore {
+    by_digest: HashMap<Digest, StoredBatch>,
+}
+
+impl Default for BatchStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchStore {
+    /// Creates a store pre-seeded with the null batch (§2.3.5: the null
+    /// request "goes through the protocol like other requests, but its
+    /// execution is a no-op").
+    pub fn new() -> Self {
+        let mut by_digest = HashMap::new();
+        by_digest.insert(
+            null_request_digest(),
+            StoredBatch {
+                requests: Vec::new(),
+                nondet: Bytes::new(),
+            },
+        );
+        BatchStore { by_digest }
+    }
+
+    /// Inserts a batch under its digest.
+    pub fn insert(&mut self, digest: Digest, batch: StoredBatch) {
+        self.by_digest.entry(digest).or_insert(batch);
+    }
+
+    /// Looks up a batch.
+    pub fn get(&self, d: &Digest) -> Option<&StoredBatch> {
+        self.by_digest.get(d)
+    }
+
+    /// True when the batch body is known.
+    pub fn contains(&self, d: &Digest) -> bool {
+        self.by_digest.contains_key(d)
+    }
+
+    /// Retains only referenced batches (plus the null batch).
+    pub fn retain<F: Fn(&Digest) -> bool>(&mut self, keep: F) {
+        let null = null_request_digest();
+        self.by_digest.retain(|d, _| *d == null || keep(d));
+    }
+}
+
+/// FIFO request queue with per-client dedup (§5.5 fairness).
+#[derive(Clone, Debug, Default)]
+pub struct RequestQueue {
+    fifo: VecDeque<Request>,
+    pending: HashMap<Requester, Timestamp>,
+}
+
+impl RequestQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a request; a newer request from the same client replaces
+    /// the older one in place (the queue "retains only the request with
+    /// the highest timestamp from each client").
+    pub fn push(&mut self, req: Request) {
+        let requester = req.requester;
+        match self.pending.get(&requester) {
+            Some(&t) if t >= req.timestamp => {} // Older or same: drop.
+            Some(_) => {
+                // Replace in place to preserve FIFO position.
+                self.pending.insert(requester, req.timestamp);
+                if let Some(slot) = self
+                    .fifo
+                    .iter_mut()
+                    .find(|r| r.requester == requester)
+                {
+                    *slot = req;
+                }
+            }
+            None => {
+                self.pending.insert(requester, req.timestamp);
+                self.fifo.push_back(req);
+            }
+        }
+    }
+
+    /// Pops up to `max` requests whose total operation size stays at or
+    /// below `max_bytes` (always at least one if non-empty).
+    pub fn pop_batch(&mut self, max: usize, max_bytes: usize) -> Vec<Request> {
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        while out.len() < max {
+            let Some(front) = self.fifo.front() else {
+                break;
+            };
+            let sz = front.operation.len();
+            if !out.is_empty() && bytes + sz > max_bytes {
+                break;
+            }
+            bytes += sz;
+            let req = self.fifo.pop_front().expect("front checked");
+            self.pending.remove(&req.requester);
+            out.push(req);
+        }
+        out
+    }
+
+    /// Removes a pending request once it has been ordered elsewhere (a
+    /// backup seeing the primary's pre-prepare for it).
+    pub fn remove(&mut self, requester: Requester, t: Timestamp) {
+        if self.pending.get(&requester).is_some_and(|&pt| pt <= t) {
+            self.pending.remove(&requester);
+            self.fifo.retain(|r| r.requester != requester);
+        }
+    }
+
+    /// The first queued request (whose execution stops the view-change
+    /// timer, §2.3.5 fairness).
+    pub fn front(&self) -> Option<&Request> {
+        self.fifo.front()
+    }
+
+    /// Digests of all queued requests (garbage-collection liveness set).
+    pub fn digests(&self) -> impl Iterator<Item = Digest> + '_ {
+        self.fifo.iter().map(|r| r.digest())
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::{Auth, ClientId};
+
+    fn req(client: u32, t: u64, size: usize) -> Request {
+        Request {
+            requester: Requester::Client(ClientId(client)),
+            timestamp: Timestamp(t),
+            operation: Bytes::from(vec![0u8; size]),
+            read_only: false,
+            replier: None,
+            auth: Auth::None,
+        }
+    }
+
+    #[test]
+    fn store_is_idempotent() {
+        let mut s = RequestStore::new();
+        let d1 = s.insert(req(0, 1, 4));
+        let d2 = s.insert(req(0, 1, 4));
+        assert_eq!(d1, d2);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&d1));
+        assert!(s.get(&d1).is_some());
+    }
+
+    #[test]
+    fn batch_store_has_null_batch() {
+        let s = BatchStore::new();
+        let null = s.get(&null_request_digest()).expect("null batch");
+        assert!(null.requests.is_empty());
+    }
+
+    #[test]
+    fn batch_store_retain_keeps_null() {
+        let mut s = BatchStore::new();
+        let d = bft_crypto::digest(b"batch");
+        s.insert(
+            d,
+            StoredBatch {
+                requests: vec![],
+                nondet: Bytes::new(),
+            },
+        );
+        s.retain(|_| false);
+        assert!(s.contains(&null_request_digest()));
+        assert!(!s.contains(&d));
+    }
+
+    #[test]
+    fn queue_is_fifo() {
+        let mut q = RequestQueue::new();
+        q.push(req(0, 1, 4));
+        q.push(req(1, 1, 4));
+        q.push(req(2, 1, 4));
+        let batch = q.pop_batch(10, 1 << 20);
+        let clients: Vec<u32> = batch
+            .iter()
+            .map(|r| match r.requester {
+                Requester::Client(c) => c.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(clients, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn queue_keeps_highest_timestamp_per_client() {
+        let mut q = RequestQueue::new();
+        q.push(req(0, 1, 4));
+        q.push(req(1, 1, 4));
+        q.push(req(0, 5, 4)); // Replaces in place.
+        q.push(req(0, 3, 4)); // Older: ignored.
+        assert_eq!(q.len(), 2);
+        let batch = q.pop_batch(10, 1 << 20);
+        assert_eq!(batch[0].timestamp, Timestamp(5));
+    }
+
+    #[test]
+    fn batch_respects_count_and_bytes() {
+        let mut q = RequestQueue::new();
+        for c in 0..10 {
+            q.push(req(c, 1, 100));
+        }
+        let b = q.pop_batch(3, 1 << 20);
+        assert_eq!(b.len(), 3);
+        let b = q.pop_batch(10, 250);
+        assert_eq!(b.len(), 2, "100+100 fits; the third would exceed 250");
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn oversized_first_request_still_pops() {
+        let mut q = RequestQueue::new();
+        q.push(req(0, 1, 10_000));
+        let b = q.pop_batch(5, 100);
+        assert_eq!(b.len(), 1, "never starve a big request");
+    }
+
+    #[test]
+    fn remove_clears_pending() {
+        let mut q = RequestQueue::new();
+        q.push(req(0, 2, 4));
+        q.remove(Requester::Client(ClientId(0)), Timestamp(2));
+        assert!(q.is_empty());
+        // Removing with an older timestamp does nothing.
+        q.push(req(0, 5, 4));
+        q.remove(Requester::Client(ClientId(0)), Timestamp(4));
+        assert_eq!(q.len(), 1);
+        assert!(q.front().is_some());
+    }
+}

@@ -1,0 +1,1071 @@
+//! The BFT view-change protocol (§3.2.4) with bounded space (§3.2.5).
+//!
+//! Without transferable signatures, replicas cannot exchange prepared
+//! certificates. Instead each view-change message carries *claims* about
+//! what prepared (PSet) and pre-prepared (QSet) at the sender, and the new
+//! primary's decision procedure (Figure 3-3 / 3-5) reconstructs weak
+//! certificates from a quorum of such claims. View-change-acks give the
+//! primary proof that view-change messages are authentic; NCSet entries and
+//! not-committed messages let the bounded-space variant discard QSet pairs
+//! safely.
+
+use crate::actions::{Outbox, TimerId};
+use crate::replica::Replica;
+use bft_crypto::Digest;
+use bft_statemachine::Service;
+use bft_types::{
+    null_request_digest, GroupParams, Message, NCSetEntry, NewView, NewViewDecision,
+    NotCommitted, NotCommittedPrimary, PSetEntry, QSetEntry, ReplicaId, SeqNo, View, ViewChange,
+    ViewChangeAck, Wire,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Digest of a new-view decision (what NOT-COMMITTED messages confirm).
+fn decision_digest(vc_proofs: &[(ReplicaId, Digest)], decision: &NewViewDecision) -> Digest {
+    let mut buf = Vec::new();
+    vc_proofs.to_vec().encode(&mut buf);
+    decision.encode(&mut buf);
+    bft_crypto::digest(&buf)
+}
+
+/// Per-replica view-change protocol state.
+#[derive(Clone, Debug)]
+pub struct ViewChangeState {
+    /// Group parameters (retained for consistency checks in tests).
+    pub group: GroupParams,
+    /// PSet: per sequence number, the latest prepared request (§3.2.4).
+    pub pset: BTreeMap<u64, PSetEntry>,
+    /// QSet: per sequence number, pre-prepared digests with latest views.
+    pub qset: BTreeMap<u64, QSetEntry>,
+    /// NCSet: not-committed information (§3.2.5).
+    pub ncset: BTreeMap<u64, NCSetEntry>,
+    /// Received view-change messages keyed by (view, sender).
+    pub vcs: HashMap<(u64, u32), ViewChange>,
+    /// Ack senders per (view, origin, vc digest).
+    acks: HashMap<(u64, u32, Digest), BTreeSet<ReplicaId>>,
+    /// The certified set `S` at the new primary for the pending view.
+    pub accepted: BTreeMap<u32, ViewChange>,
+    /// New-view message accepted or sent for the current view.
+    pub new_view: Option<NewView>,
+    /// A new-view received before all its view-change messages arrived.
+    pending_new_view: Option<NewView>,
+    /// NOT-COMMITTED votes per decision digest.
+    nc_votes: HashMap<Digest, BTreeSet<ReplicaId>>,
+    /// Prepares held back until a NOT-COMMITTED quorum (backup side).
+    held_prepares: Option<(Digest, Vec<(SeqNo, Digest)>)>,
+    /// New-view held back until a NOT-COMMITTED quorum (primary side).
+    held_new_view: Option<(Digest, NewView)>,
+    /// Whether this replica already multicast its view-change for `view`.
+    pub sent_vc_for: Option<View>,
+}
+
+impl ViewChangeState {
+    /// Creates empty state.
+    pub fn new(group: GroupParams) -> Self {
+        ViewChangeState {
+            group,
+            pset: BTreeMap::new(),
+            qset: BTreeMap::new(),
+            ncset: BTreeMap::new(),
+            vcs: HashMap::new(),
+            acks: HashMap::new(),
+            accepted: BTreeMap::new(),
+            new_view: None,
+            pending_new_view: None,
+            nc_votes: HashMap::new(),
+            held_prepares: None,
+            held_new_view: None,
+            sent_vc_for: None,
+        }
+    }
+
+    /// Batch digests referenced by the PSet/QSet (kept alive across GC).
+    pub fn referenced_digests(&self) -> impl Iterator<Item = Digest> + '_ {
+        self.pset
+            .values()
+            .map(|e| e.digest)
+            .chain(self.qset.values().flat_map(|e| e.pairs.iter().map(|(d, _)| *d)))
+    }
+
+    /// Distinct views `> current` for which view-change messages exist,
+    /// with the set of senders per view.
+    fn later_views(&self, current: View) -> BTreeMap<u64, BTreeSet<u32>> {
+        let mut map: BTreeMap<u64, BTreeSet<u32>> = BTreeMap::new();
+        for ((v, r), _) in self.vcs.iter() {
+            if *v > current.0 {
+                map.entry(*v).or_default().insert(*r);
+            }
+        }
+        map
+    }
+
+    /// Number of view-change messages stored for `view`.
+    fn count_for(&self, view: View) -> usize {
+        self.vcs.keys().filter(|(v, _)| *v == view.0).count()
+    }
+
+    fn gc_below(&mut self, view: View) {
+        self.vcs.retain(|(v, _), _| *v >= view.0);
+        self.acks.retain(|(v, _, _), _| *v >= view.0);
+    }
+}
+
+impl<S: Service> Replica<S> {
+    // ------------------------------------------------------------------
+    // Starting a view change.
+    // ------------------------------------------------------------------
+
+    /// The view-change timer fired: move to the next view (§2.3.5).
+    pub(crate) fn on_view_change_timer(&mut self, out: &mut Outbox) {
+        self.vc_timer_armed = false;
+        if !self.config.recovery.enabled && !self.waiting_for_requests() && self.view_active {
+            return; // Spurious timer.
+        }
+        let next = self.view.next();
+        self.vc_timeout = self.vc_timeout.doubled();
+        self.start_view_change(next, out);
+    }
+
+    /// Initiates the move to `new_view`: fold the log into the PSet/QSet
+    /// (Figure 3-4), clear it, and multicast the view-change message.
+    pub(crate) fn start_view_change(&mut self, new_view: View, out: &mut Outbox) {
+        if self.vc.sent_vc_for == Some(new_view) {
+            return;
+        }
+        self.stats.view_changes_started += 1;
+        self.view = new_view;
+        self.view_active = false;
+        self.vc.new_view = None;
+        self.vc_pk.new_view = None;
+        self.vc.pending_new_view = None;
+        self.vc.held_prepares = None;
+        self.vc.held_new_view = None;
+        self.vc.accepted.clear();
+        self.proposed.clear();
+        if self.vc_timer_armed {
+            out.cancel_timer(TimerId::ViewChange);
+            self.vc_timer_armed = false;
+        }
+        match self.config.auth {
+            crate::config::AuthMode::Macs => self.send_view_change_mac(out),
+            crate::config::AuthMode::Signatures => self.send_view_change_pk(out),
+        }
+    }
+
+    fn send_view_change_mac(&mut self, out: &mut Outbox) {
+        self.fold_log_into_sets();
+        self.log.clear();
+        let vc = self.build_view_change();
+        self.vc.sent_vc_for = Some(self.view);
+        out.multicast(Message::ViewChange(vc.clone()));
+        // Process our own message (the multicast loops back in the harness,
+        // but handling it here makes the state machine self-contained).
+        self.store_view_change(vc, out);
+    }
+
+    /// Figure 3-4: merge the log's prepared/pre-prepared information into
+    /// the PSet and QSet, bounding QSet entries to `M` pairs.
+    pub(crate) fn fold_log_into_sets(&mut self) {
+        let bound = self.config.qset_bound;
+        let low = self.log.low();
+        let high = self.log.high();
+        let entries: Vec<(SeqNo, Option<Digest>, bool, bool, View)> = self
+            .log
+            .iter()
+            .map(|(n, s)| (n, s.digest(), s.prepared, s.my_prepare.is_some(), s.view))
+            .collect();
+        for (n, digest, prepared, pre_prepared, view) in entries {
+            if n <= low || n > high {
+                continue;
+            }
+            let Some(d) = digest else { continue };
+            if prepared {
+                self.vc.pset.insert(
+                    n.0,
+                    PSetEntry {
+                        seq: n,
+                        digest: d,
+                        view,
+                    },
+                );
+            }
+            if pre_prepared || prepared {
+                let entry = self.vc.qset.entry(n.0).or_insert(QSetEntry {
+                    seq: n,
+                    pairs: Vec::new(),
+                });
+                entry.pairs.retain(|(pd, _)| *pd != d);
+                entry.pairs.push((d, view));
+                entry.pairs.sort_by_key(|&(_, v)| v);
+                while entry.pairs.len() > bound {
+                    entry.pairs.remove(0); // Drop the lowest view (§3.2.5).
+                }
+            }
+        }
+        // Sets only cover the current window.
+        self.vc.pset.retain(|&n, _| n > low.0 && n <= high.0);
+        self.vc.qset.retain(|&n, _| n > low.0 && n <= high.0);
+        self.vc.ncset.retain(|&n, _| n > low.0 && n <= high.0);
+    }
+
+    fn build_view_change(&mut self) -> ViewChange {
+        let (h, _) = self.ckpt.stable();
+        let mut vc = ViewChange {
+            view: self.view,
+            last_stable: h,
+            checkpoints: self.ckpt.own_checkpoints(),
+            p_set: self.vc.pset.values().copied().collect(),
+            q_set: self.vc.qset.values().cloned().collect(),
+            nc_set: self.vc.ncset.values().copied().collect(),
+            replica: self.id,
+            auth: bft_types::Auth::None,
+        };
+        vc.auth = self.auth.authenticate_multicast(&vc.content_bytes());
+        vc
+    }
+
+    // ------------------------------------------------------------------
+    // Receiving view-change messages and acks.
+    // ------------------------------------------------------------------
+
+    /// Handles a view-change message.
+    pub(crate) fn on_view_change(&mut self, vc: ViewChange, out: &mut Outbox) {
+        if vc.view < self.view {
+            return;
+        }
+        if vc.replica != self.id
+            && !self.verify_auth(
+                bft_types::NodeId::Replica(vc.replica),
+                &vc.content_bytes(),
+                &vc.auth,
+            )
+        {
+            return;
+        }
+        // Acceptance constraints (§3.2.4, §3.2.5): claims must predate the
+        // new view.
+        let prior = View(vc.view.0.saturating_sub(1));
+        if vc.p_set.iter().any(|e| e.view > prior)
+            || vc
+                .q_set
+                .iter()
+                .any(|e| e.pairs.iter().any(|&(_, v)| v > prior))
+            || vc
+                .nc_set
+                .iter()
+                .any(|e| e.view > vc.view || e.not_committed_below > vc.view)
+        {
+            return;
+        }
+        self.store_view_change(vc, out);
+    }
+
+    fn store_view_change(&mut self, vc: ViewChange, out: &mut Outbox) {
+        let key = (vc.view.0, vc.replica.0);
+        if self.vc.vcs.contains_key(&key) {
+            return; // First message from a sender wins.
+        }
+        let digest = vc.digest();
+        let view = vc.view;
+        let origin = vc.replica;
+        self.vc.vcs.insert(key, vc);
+
+        // Liveness rule 2 (§2.3.5): f+1 view-changes for later views make
+        // us join the smallest of them even before our timer expires.
+        let later = self.vc.later_views(self.view);
+        let mut senders: BTreeSet<u32> = BTreeSet::new();
+        for (_, s) in later.iter() {
+            senders.extend(s);
+        }
+        if senders.len() >= self.config.group.weak() {
+            let smallest = View(*later.keys().next().expect("non-empty"));
+            if smallest > self.view || !matches!(self.vc.sent_vc_for, Some(v) if v >= smallest) {
+                self.start_view_change(smallest, out);
+                return;
+            }
+        }
+
+        if view == self.view && !self.view_active {
+            // Acknowledge others' view-change messages to the new primary.
+            let primary = self.view.primary(self.config.group.n);
+            if origin != self.id && self.id != primary {
+                let mut ack = ViewChangeAck {
+                    view,
+                    replica: self.id,
+                    origin,
+                    vc_digest: digest,
+                    auth: bft_types::Auth::None,
+                };
+                ack.auth = self
+                    .auth
+                    .mac_to(bft_types::NodeId::Replica(primary), &ack.content_bytes());
+                out.send_replica(primary, Message::ViewChangeAck(ack));
+            }
+            // Liveness rule 1 (§2.3.5): arm the timer once a quorum wants
+            // this view.
+            if self.vc.count_for(view) >= self.config.group.quorum() && !self.vc_timer_armed {
+                out.set_timer(TimerId::ViewChange, self.vc_timeout);
+                self.vc_timer_armed = true;
+            }
+            if self.id == primary {
+                // Our own message and messages we can verify directly enter
+                // S once acked (§3.2.4); our own needs no acks.
+                if origin == self.id {
+                    let vc = self.vc.vcs[&key].clone();
+                    self.vc.accepted.insert(origin.0, vc);
+                }
+                self.try_accept_view_change(view, origin, out);
+                self.try_new_view_decision(out);
+            }
+            // A pending new-view may now be verifiable.
+            self.try_process_pending_new_view(out);
+        }
+    }
+
+    /// Handles a view-change acknowledgment (new primary only).
+    pub(crate) fn on_view_change_ack(&mut self, ack: ViewChangeAck, out: &mut Outbox) {
+        if ack.view != self.view || self.view.primary(self.config.group.n) != self.id {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(ack.replica),
+            &ack.content_bytes(),
+            &ack.auth,
+        ) {
+            return;
+        }
+        self.vc
+            .acks
+            .entry((ack.view.0, ack.origin.0, ack.vc_digest))
+            .or_default()
+            .insert(ack.replica);
+        self.try_accept_view_change(ack.view, ack.origin, out);
+        self.try_new_view_decision(out);
+    }
+
+    /// Moves a view-change message into the certified set `S` once it has
+    /// `2f - 1` acks from replicas other than the primary and its origin.
+    fn try_accept_view_change(&mut self, view: View, origin: ReplicaId, _out: &mut Outbox) {
+        if self.vc.accepted.contains_key(&origin.0) {
+            return;
+        }
+        let Some(vc) = self.vc.vcs.get(&(view.0, origin.0)) else {
+            return;
+        };
+        let digest = vc.digest();
+        let needed = 2 * self.config.group.f - 1;
+        let acked = self
+            .vc
+            .acks
+            .get(&(view.0, origin.0, digest))
+            .map(|s| s.iter().filter(|r| **r != origin && **r != self.id).count())
+            .unwrap_or(0);
+        if acked >= needed {
+            let vc = vc.clone();
+            self.vc.accepted.insert(origin.0, vc);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The decision procedure (Figures 3-3 and 3-5).
+    // ------------------------------------------------------------------
+
+    /// Runs the decision procedure over a set of view-change messages.
+    /// Returns the decision when every sequence number can be decided.
+    pub(crate) fn run_decision_procedure(
+        &self,
+        s: &[&ViewChange],
+    ) -> Option<NewViewDecision> {
+        let group = self.config.group;
+        let quorum = group.quorum();
+        let weak = group.weak();
+        if s.len() < quorum {
+            return None;
+        }
+        // Checkpoint selection: the highest (n, d) such that 2f+1 messages
+        // have last_stable <= n and f+1 messages include (n, d) in C.
+        let mut best: Option<(SeqNo, Digest)> = None;
+        for m in s {
+            for &(n, d) in &m.checkpoints {
+                let reach = s.iter().filter(|m2| m2.last_stable <= n).count();
+                let votes = s
+                    .iter()
+                    .filter(|m2| m2.checkpoints.iter().any(|&(n2, d2)| n2 == n && d2 == d))
+                    .count();
+                if reach >= quorum && votes >= weak && best.map(|(bn, _)| n > bn).unwrap_or(true)
+                {
+                    best = Some((n, d));
+                }
+            }
+        }
+        let (h, hd) = best?;
+        // Decide each sequence number in (h, max_n].
+        let max_n = s
+            .iter()
+            .flat_map(|m| m.p_set.iter().map(|e| e.seq))
+            .max()
+            .unwrap_or(h)
+            .max(h);
+        let mut chosen = Vec::new();
+        for n in (h.0 + 1)..=max_n.0 {
+            let n = SeqNo(n);
+            let mut decided = None;
+            // Condition A: some claimed prepared request verifies.
+            'candidates: for m in s {
+                for e in m.p_set.iter().filter(|e| e.seq == n) {
+                    let (d, v) = (e.digest, e.view);
+                    // A1: a quorum that does not contradict (n, d, v).
+                    let a1 = s
+                        .iter()
+                        .filter(|m2| {
+                            m2.last_stable < n
+                                && m2.p_set.iter().filter(|e2| e2.seq == n).all(|e2| {
+                                    e2.view < v || (e2.view == v && e2.digest == d)
+                                })
+                        })
+                        .count()
+                        >= quorum;
+                    if !a1 {
+                        continue;
+                    }
+                    // A2: a weak certificate that pre-prepared (n, d) at
+                    // view >= v.
+                    let a2 = s
+                        .iter()
+                        .filter(|m2| {
+                            m2.q_set.iter().any(|q| {
+                                q.seq == n
+                                    && q.pairs.iter().any(|&(d2, v2)| d2 == d && v2 >= v)
+                            })
+                        })
+                        .count()
+                        >= weak;
+                    if !a2 {
+                        continue;
+                    }
+                    decided = Some(d);
+                    break 'candidates;
+                }
+            }
+            if decided.is_none() {
+                // Condition B: a quorum saw nothing prepared for n.
+                let b = s
+                    .iter()
+                    .filter(|m| m.last_stable < n && !m.p_set.iter().any(|e| e.seq == n))
+                    .count()
+                    >= quorum;
+                if b {
+                    decided = Some(null_request_digest());
+                }
+            }
+            if decided.is_none() {
+                // Condition C (§3.2.5): every claimed prepared request is
+                // refuted by f+1 matching not-committed records.
+                let c = s
+                    .iter()
+                    .filter(|m| {
+                        m.last_stable < n
+                            && m.p_set.iter().filter(|e| e.seq == n).all(|e| {
+                                s.iter()
+                                    .filter(|m2| {
+                                        m2.nc_set.iter().any(|nc| {
+                                            nc.seq == n
+                                                && ((nc.digest != e.digest
+                                                    && nc.view >= e.view)
+                                                    || nc.not_committed_below > e.view)
+                                        })
+                                    })
+                                    .count()
+                                    >= weak
+                            })
+                    })
+                    .count()
+                    >= quorum;
+                if c {
+                    decided = Some(null_request_digest());
+                }
+            }
+            match decided {
+                Some(d) => chosen.push((n, d)),
+                None => return None, // Wait for more information.
+            }
+        }
+        Some(NewViewDecision {
+            checkpoint: (h, hd),
+            chosen,
+        })
+    }
+
+    /// New primary: attempt to decide and send the new-view message.
+    pub(crate) fn try_new_view_decision(&mut self, out: &mut Outbox) {
+        if self.view_active
+            || self.view.primary(self.config.group.n) != self.id
+            || self.vc.new_view.is_some()
+            || self.vc.held_new_view.is_some()
+        {
+            return;
+        }
+        let s: Vec<&ViewChange> = self.vc.accepted.values().collect();
+        let Some(decision) = self.run_decision_procedure(&s) else {
+            return;
+        };
+        // Condition A3: the primary must hold the chosen batches.
+        for (_, d) in &decision.chosen {
+            if !self.batches.contains(d) {
+                return; // Status retransmission will deliver them.
+            }
+        }
+        let vc_proofs: Vec<(ReplicaId, Digest)> = self
+            .vc
+            .accepted
+            .values()
+            .map(|vc| (vc.replica, vc.digest()))
+            .collect();
+        let mut nv = NewView {
+            view: self.view,
+            vc_proofs,
+            decision,
+            auth: bft_types::Auth::None,
+        };
+        nv.auth = self.auth.authenticate_multicast(&nv.content_bytes());
+        // §3.2.5: if implicitly pre-preparing these requests would discard
+        // QSet information, announce and collect a not-committed quorum
+        // before sending the new-view message.
+        if self.would_discard_qset(&nv.decision) {
+            let d = decision_digest(&nv.vc_proofs, &nv.decision);
+            let mut ncp = NotCommittedPrimary {
+                view: self.view,
+                vc_proofs: nv.vc_proofs.clone(),
+                decision: nv.decision.clone(),
+                auth: bft_types::Auth::None,
+            };
+            ncp.auth = self.auth.authenticate_multicast(&ncp.content_bytes());
+            out.multicast(Message::NotCommittedPrimary(ncp));
+            self.apply_nc_updates(&nv.decision, nv.view);
+            self.vc.nc_votes.entry(d).or_default().insert(self.id);
+            self.vc.held_new_view = Some((d, nv));
+            self.release_held_if_quorum(out);
+            return;
+        }
+        out.multicast(Message::NewView(nv.clone()));
+        self.vc.new_view = Some(nv.clone());
+        self.install_new_view(&nv, out);
+    }
+
+    // ------------------------------------------------------------------
+    // New-view processing at the backups.
+    // ------------------------------------------------------------------
+
+    /// Handles a new-view message.
+    pub(crate) fn on_new_view(&mut self, nv: NewView, out: &mut Outbox) {
+        if nv.view < self.view || (nv.view == self.view && self.view_active) {
+            return;
+        }
+        if nv.view.0 == 0 {
+            return;
+        }
+        let primary = nv.view.primary(self.config.group.n);
+        if primary == self.id {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(primary),
+            &nv.content_bytes(),
+            &nv.auth,
+        ) {
+            return;
+        }
+        if nv.vc_proofs.len() < self.config.group.quorum() {
+            return;
+        }
+        self.vc.pending_new_view = Some(nv);
+        self.try_process_pending_new_view(out);
+    }
+
+    /// Verifies a pending new-view once all referenced view-change
+    /// messages are locally available.
+    pub(crate) fn try_process_pending_new_view(&mut self, out: &mut Outbox) {
+        let Some(nv) = self.vc.pending_new_view.clone() else {
+            return;
+        };
+        // Collect the referenced view-change messages.
+        let mut s: Vec<&ViewChange> = Vec::with_capacity(nv.vc_proofs.len());
+        for (r, d) in &nv.vc_proofs {
+            match self.vc.vcs.get(&(nv.view.0, r.0)) {
+                Some(vc) if vc.digest() == *d => s.push(vc),
+                _ => return, // Missing: the status protocol will fetch it.
+            }
+        }
+        let Some(expect) = self.run_decision_procedure(&s) else {
+            return; // Not yet decidable with this set; wait for bodies/etc.
+        };
+        let nv = self.vc.pending_new_view.take().expect("checked above");
+        if expect != nv.decision {
+            // The primary lied: move to the next view immediately (§3.2.4).
+            self.start_view_change(nv.view.next(), out);
+            return;
+        }
+        if nv.view > self.view {
+            self.view = nv.view;
+            self.view_active = false;
+        }
+        self.vc.new_view = Some(nv.clone());
+        self.install_new_view(&nv, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Installing a new view (primary and backups).
+    // ------------------------------------------------------------------
+
+    /// Applies an accepted new-view decision: rolls back tentative
+    /// execution, installs the chosen assignments, and (for backups)
+    /// multicasts the corresponding prepares.
+    pub(crate) fn install_new_view(&mut self, nv: &NewView, out: &mut Outbox) {
+        let is_primary = nv.view.primary(self.config.group.n) == self.id;
+        let (h_nv, d_nv) = nv.decision.checkpoint;
+        let (stable, _) = self.ckpt.stable();
+
+        // Preserve prepared/pre-prepared claims from the outgoing view
+        // before clearing the log (a replica may install a new view it
+        // never voted for).
+        self.fold_log_into_sets();
+        self.log.clear();
+
+        // Establish the start state.
+        let mut base = stable;
+        if h_nv > stable {
+            if self.ckpt.own_digest(h_nv) == Some(d_nv)
+                && self.tree.snapshot_root(h_nv) == Some(d_nv)
+            {
+                self.ckpt.force_stable(h_nv, d_nv);
+                base = h_nv;
+            } else {
+                // We lack the chosen checkpoint: fetch it (§5.3.2).
+                self.start_state_transfer(h_nv, Some(d_nv), out);
+            }
+        }
+        if self.last_exec > base && self.committed_frontier < self.last_exec {
+            // Tentative executions must abort (§5.1.2).
+            self.rollback_to_checkpoint(base);
+        }
+        self.log.advance_low(self.ckpt.stable().0);
+        self.tree.discard_below(self.ckpt.stable().0);
+
+        // §3.2.5 bookkeeping before pre-preparing the chosen requests.
+        let needs_nc = !is_primary && self.would_discard_qset(&nv.decision);
+        self.apply_nc_updates(&nv.decision, nv.view);
+
+        // Install the chosen assignments.
+        let mut prepares: Vec<(SeqNo, Digest)> = Vec::new();
+        let mut max_n = h_nv;
+        for &(n, d) in &nv.decision.chosen {
+            max_n = max_n.max(n);
+            if !self.log.in_window(n) {
+                continue;
+            }
+            let last_exec = self.last_exec;
+            let slot = self.log.slot_mut(n);
+            slot.view = nv.view;
+            slot.digest_override = Some(d);
+            // Batches at or below last_exec are already reflected in the
+            // state (the decision re-proposes the same digests); mark them
+            // executed so the committed frontier can advance when they
+            // re-commit in the new view (§2.3.5: "replicas redo the
+            // protocol ... but avoid re-executing client requests").
+            if n <= last_exec {
+                slot.executed = true;
+            }
+            if n > base {
+                prepares.push((n, d));
+            }
+        }
+        self.view = nv.view;
+        self.view_active = true;
+        self.stats.views_entered += 1;
+        if is_primary {
+            self.seqno = max_n;
+        }
+        self.vc.sent_vc_for = None;
+        self.vc.gc_below(nv.view);
+        self.vc.accepted.clear();
+        self.proposed.clear();
+
+        if !is_primary {
+            if needs_nc {
+                let d = decision_digest(&nv.vc_proofs, &nv.decision);
+                let mut nc = NotCommitted {
+                    view: nv.view,
+                    nv_digest: d,
+                    replica: self.id,
+                    auth: bft_types::Auth::None,
+                };
+                nc.auth = self.auth.authenticate_multicast(&nc.content_bytes());
+                out.multicast(Message::NotCommitted(nc));
+                self.vc.nc_votes.entry(d).or_default().insert(self.id);
+                self.vc.held_prepares = Some((d, prepares));
+                self.release_held_if_quorum(out);
+            } else {
+                self.send_new_view_prepares(prepares, out);
+            }
+        }
+        self.try_execute(out);
+        self.update_vc_timer(out);
+        if is_primary {
+            self.maybe_send_pre_prepare(out);
+        }
+    }
+
+    fn send_new_view_prepares(&mut self, prepares: Vec<(SeqNo, Digest)>, out: &mut Outbox) {
+        for (n, d) in prepares {
+            if !self.log.in_window(n) {
+                continue;
+            }
+            {
+                let slot = self.log.slot_mut(n);
+                if slot.my_prepare.is_some() {
+                    continue;
+                }
+                slot.my_prepare = Some(d);
+            }
+            let mut p = bft_types::Prepare {
+                view: self.view,
+                seq: n,
+                digest: d,
+                replica: self.id,
+                auth: bft_types::Auth::None,
+            };
+            p.auth = self.auth.authenticate_multicast(&p.content_bytes());
+            self.log.add_prepare(n, d, self.id);
+            out.multicast(Message::Prepare(p));
+            self.check_certificates(n, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bounded-space machinery (§3.2.5).
+    // ------------------------------------------------------------------
+
+    /// Would pre-preparing the decision's requests discard a QSet pair?
+    fn would_discard_qset(&self, decision: &NewViewDecision) -> bool {
+        decision.chosen.iter().any(|&(n, d)| {
+            self.vc
+                .qset
+                .get(&n.0)
+                .map(|q| q.pairs.len() >= self.config.qset_bound && !q.pairs.iter().any(|&(pd, _)| pd == d))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Figure 3-6: update the NCSet from an accepted new-view decision.
+    fn apply_nc_updates(&mut self, decision: &NewViewDecision, view: View) {
+        for &(n, d) in &decision.chosen {
+            match self.vc.ncset.get(&n.0).copied() {
+                None => {
+                    self.vc.ncset.insert(
+                        n.0,
+                        NCSetEntry {
+                            seq: n,
+                            digest: d,
+                            view,
+                            not_committed_below: View(0),
+                        },
+                    );
+                }
+                Some(old) => {
+                    let ncb = if old.digest != d {
+                        old.not_committed_below
+                    } else {
+                        old.view
+                    };
+                    self.vc.ncset.insert(
+                        n.0,
+                        NCSetEntry {
+                            seq: n,
+                            digest: d,
+                            view,
+                            not_committed_below: ncb,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Handles a NOT-COMMITTED vote.
+    pub(crate) fn on_not_committed(&mut self, nc: NotCommitted, out: &mut Outbox) {
+        if nc.view != self.view {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(nc.replica),
+            &nc.content_bytes(),
+            &nc.auth,
+        ) {
+            return;
+        }
+        self.vc
+            .nc_votes
+            .entry(nc.nv_digest)
+            .or_default()
+            .insert(nc.replica);
+        self.release_held_if_quorum(out);
+    }
+
+    /// Handles the primary's NOT-COMMITTED-PRIMARY pre-announcement.
+    pub(crate) fn on_not_committed_primary(
+        &mut self,
+        ncp: NotCommittedPrimary,
+        out: &mut Outbox,
+    ) {
+        if ncp.view != self.view || self.view_active {
+            return;
+        }
+        let primary = ncp.view.primary(self.config.group.n);
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(primary),
+            &ncp.content_bytes(),
+            &ncp.auth,
+        ) {
+            return;
+        }
+        // Update NC information as if processing the new-view (§3.2.5) and
+        // confirm to everyone.
+        self.apply_nc_updates(&ncp.decision, ncp.view);
+        let d = decision_digest(&ncp.vc_proofs, &ncp.decision);
+        let mut nc = NotCommitted {
+            view: ncp.view,
+            nv_digest: d,
+            replica: self.id,
+            auth: bft_types::Auth::None,
+        };
+        nc.auth = self.auth.authenticate_multicast(&nc.content_bytes());
+        out.multicast(Message::NotCommitted(nc));
+        self.vc.nc_votes.entry(d).or_default().insert(self.id);
+        self.release_held_if_quorum(out);
+    }
+
+    /// Releases gated prepares / the gated new-view once a quorum of
+    /// NOT-COMMITTED votes is in.
+    fn release_held_if_quorum(&mut self, out: &mut Outbox) {
+        let quorum = self.config.group.quorum();
+        if let Some((d, _)) = &self.vc.held_prepares {
+            let votes = self.vc.nc_votes.get(d).map(|s| s.len()).unwrap_or(0);
+            if votes >= quorum {
+                let (_, prepares) = self.vc.held_prepares.take().expect("checked");
+                self.send_new_view_prepares(prepares, out);
+            }
+        }
+        if let Some((d, _)) = &self.vc.held_new_view {
+            let votes = self.vc.nc_votes.get(d).map(|s| s.len()).unwrap_or(0);
+            if votes >= quorum {
+                let (_, nv) = self.vc.held_new_view.take().expect("checked");
+                out.multicast(Message::NewView(nv.clone()));
+                self.vc.new_view = Some(nv.clone());
+                self.install_new_view(&nv, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authn::ClusterKeys;
+    use crate::config::ReplicaConfig;
+    use crate::replica::Replica;
+    use bft_statemachine::NullService;
+    use bft_types::{GroupParams, ReplicaId};
+
+    fn test_replica() -> Replica<NullService> {
+        let config = ReplicaConfig::test(1);
+        let keys = ClusterKeys::generate(config.group, config.num_clients, 128, 1);
+        Replica::new(ReplicaId(1), config, NullService::new(), &keys, 7)
+    }
+
+    fn d(s: &[u8]) -> Digest {
+        bft_crypto::digest(s)
+    }
+
+    fn vc(
+        replica: u32,
+        view: u64,
+        last_stable: u64,
+        ckpt_digest: Digest,
+        pset: Vec<(u64, Digest, u64)>,
+        qset: Vec<(u64, Digest, u64)>,
+    ) -> ViewChange {
+        ViewChange {
+            view: View(view),
+            last_stable: SeqNo(last_stable),
+            checkpoints: vec![(SeqNo(last_stable), ckpt_digest)],
+            p_set: pset
+                .into_iter()
+                .map(|(n, dg, v)| PSetEntry {
+                    seq: SeqNo(n),
+                    digest: dg,
+                    view: View(v),
+                })
+                .collect(),
+            q_set: qset
+                .into_iter()
+                .map(|(n, dg, v)| QSetEntry {
+                    seq: SeqNo(n),
+                    pairs: vec![(dg, View(v))],
+                })
+                .collect(),
+            nc_set: Vec::new(),
+            replica: ReplicaId(replica),
+            auth: bft_types::Auth::None,
+        }
+    }
+
+    #[test]
+    fn decision_needs_a_quorum() {
+        let r = test_replica();
+        let g = d(b"genesis");
+        let m0 = vc(0, 1, 0, g, vec![], vec![]);
+        let m1 = vc(2, 1, 0, g, vec![], vec![]);
+        assert!(r.run_decision_procedure(&[&m0, &m1]).is_none(), "2 < 2f+1");
+    }
+
+    #[test]
+    fn empty_quorum_decides_the_empty_assignment() {
+        let r = test_replica();
+        let g = d(b"genesis");
+        let ms: Vec<ViewChange> = (0..3).map(|i| vc(i, 1, 0, g, vec![], vec![])).collect();
+        let refs: Vec<&ViewChange> = ms.iter().collect();
+        let decision = r.run_decision_procedure(&refs).expect("decidable");
+        assert_eq!(decision.checkpoint, (SeqNo(0), g));
+        assert!(decision.chosen.is_empty());
+    }
+
+    #[test]
+    fn condition_a_selects_a_prepared_request() {
+        // One replica prepared (5, req, v0); a weak certificate pre-prepared
+        // it; nobody contradicts: condition A must choose it.
+        let mut r = test_replica();
+        let g = d(b"genesis");
+        let req = d(b"request");
+        r.batches.insert(
+            req,
+            crate::store::StoredBatch {
+                requests: vec![],
+                nondet: bytes::Bytes::new(),
+            },
+        );
+        let m0 = vc(0, 1, 0, g, vec![(5, req, 0)], vec![(5, req, 0)]);
+        let m2 = vc(2, 1, 0, g, vec![], vec![(5, req, 0)]);
+        let m3 = vc(3, 1, 0, g, vec![], vec![]);
+        let decision = r
+            .run_decision_procedure(&[&m0, &m2, &m3])
+            .expect("decidable");
+        // Sequence numbers 1..4 fill with nulls; 5 gets the prepared request.
+        assert_eq!(decision.chosen.last(), Some(&(SeqNo(5), req)));
+        assert_eq!(decision.chosen.len(), 5);
+    }
+
+    #[test]
+    fn condition_b_fills_gaps_with_null() {
+        // Request prepared at seq 5 only; seqs 1..4 get null requests.
+        let r = test_replica();
+        let g = d(b"genesis");
+        let req = d(b"request");
+        let m0 = vc(0, 1, 0, g, vec![(5, req, 0)], vec![(5, req, 0)]);
+        let m2 = vc(2, 1, 0, g, vec![], vec![(5, req, 0)]);
+        let m3 = vc(3, 1, 0, g, vec![], vec![]);
+        let decision = r
+            .run_decision_procedure(&[&m0, &m2, &m3])
+            .expect("decidable");
+        assert_eq!(decision.chosen.len(), 5);
+        for n in 1..=4u64 {
+            assert_eq!(
+                decision.chosen[n as usize - 1],
+                (SeqNo(n), null_request_digest()),
+                "gap {n} filled with null"
+            );
+        }
+        assert_eq!(decision.chosen[4], (SeqNo(5), req));
+    }
+
+    #[test]
+    fn without_a_weak_preprepare_certificate_the_claim_is_undecidable() {
+        // A single PSet claim with no QSet backing (condition A2 fails) and
+        // no quorum saying "nothing prepared" (the claimant refutes B):
+        // the primary must wait.
+        let r = test_replica();
+        let g = d(b"genesis");
+        let req = d(b"request");
+        let m0 = vc(0, 1, 0, g, vec![(5, req, 0)], vec![]);
+        let m2 = vc(2, 1, 0, g, vec![], vec![]);
+        let m3 = vc(3, 1, 0, g, vec![], vec![]);
+        assert!(r.run_decision_procedure(&[&m0, &m2, &m3]).is_none());
+    }
+
+    #[test]
+    fn higher_view_claim_wins_conflicts() {
+        // Seq 5 prepared as reqA in view 0 at one replica and as reqB in
+        // view 1 at another: the later view's claim must win (A1 rejects
+        // the older one).
+        let r = test_replica();
+        let g = d(b"genesis");
+        let (a, b) = (d(b"reqA"), d(b"reqB"));
+        let m0 = vc(0, 2, 0, g, vec![(5, a, 0)], vec![(5, a, 0)]);
+        let m2 = vc(2, 2, 0, g, vec![(5, b, 1)], vec![(5, b, 1)]);
+        let m3 = vc(3, 2, 0, g, vec![], vec![(5, b, 1)]);
+        let decision = r
+            .run_decision_procedure(&[&m0, &m2, &m3])
+            .expect("decidable");
+        assert_eq!(decision.chosen[4], (SeqNo(5), b), "view-1 claim wins");
+    }
+
+    #[test]
+    fn checkpoint_selection_takes_the_highest_certified() {
+        let r = test_replica();
+        let (c8, c16) = (d(b"ck8"), d(b"ck16"));
+        let mut m0 = vc(0, 1, 16, c16, vec![], vec![]);
+        m0.checkpoints.push((SeqNo(8), c8));
+        let mut m2 = vc(2, 1, 16, c16, vec![], vec![]);
+        m2.checkpoints.push((SeqNo(8), c8));
+        let m3 = vc(3, 1, 8, c8, vec![], vec![]);
+        let decision = r
+            .run_decision_procedure(&[&m0, &m2, &m3])
+            .expect("decidable");
+        // 16 has f+1 = 2 votes and 2f+1 = 3 replicas with h <= 16.
+        assert_eq!(decision.checkpoint, (SeqNo(16), c16));
+    }
+
+    #[test]
+    fn fold_log_into_sets_bounds_qset() {
+        let mut r = test_replica();
+        let bound = r.config.qset_bound;
+        // Pre-prepare a different digest for seq 1 across bound+2 views.
+        for v in 0..(bound as u64 + 2) {
+            let slot = r.log.slot_mut(SeqNo(1));
+            slot.view = View(v);
+            slot.digest_override = Some(d(format!("req{v}").as_bytes()));
+            slot.my_prepare = Some(d(format!("req{v}").as_bytes()));
+            r.fold_log_into_sets();
+        }
+        let entry = r.vc.qset.get(&1).expect("qset entry");
+        assert_eq!(entry.pairs.len(), bound, "bounded at M");
+        // The retained pairs are the ones with the highest views.
+        let views: Vec<u64> = entry.pairs.iter().map(|(_, v)| v.0).collect();
+        assert_eq!(views, vec![bound as u64, bound as u64 + 1]);
+    }
+
+    #[test]
+    fn later_views_tracking() {
+        let g = GroupParams::for_f(1);
+        let mut state = ViewChangeState::new(g);
+        let g_digest = d(b"g");
+        for (rep, view) in [(0u32, 3u64), (2, 3), (3, 4)] {
+            state
+                .vcs
+                .insert((view, rep), vc(rep, view, 0, g_digest, vec![], vec![]));
+        }
+        let later = state.later_views(View(2));
+        assert_eq!(later.len(), 2);
+        assert_eq!(later[&3].len(), 2);
+        assert_eq!(later[&4].len(), 1);
+    }
+}

@@ -1,0 +1,461 @@
+//! The BFT-PK view-change protocol (§2.3.5): signatures make certificates
+//! transferable, so view-change messages carry whole prepared certificates
+//! and the stable-checkpoint certificate, and the new primary's choice is
+//! verifiable directly from the certificates in its new-view message.
+
+use crate::actions::Outbox;
+use crate::replica::Replica;
+use bft_crypto::Digest;
+use bft_statemachine::Service;
+use bft_types::{
+    Auth, Checkpoint, Message, NewViewPk, PrePrepare, Prepare, PreparedProof, ReplicaId, SeqNo,
+    View, ViewChangePk,
+};
+use bytes::Bytes;
+use std::collections::{BTreeMap, HashMap};
+
+/// State for the BFT-PK view-change protocol.
+#[derive(Clone, Debug, Default)]
+pub struct PkViewChangeState {
+    /// Received signed view-change messages keyed by (view, sender).
+    pub vcs: HashMap<(u64, u32), ViewChangePk>,
+    /// Accepted or sent new-view message for the current view.
+    pub new_view: Option<NewViewPk>,
+    /// Signed checkpoint messages retained as stable-certificate material:
+    /// seq → sender → message.
+    ckpt_msgs: BTreeMap<u64, HashMap<u32, Checkpoint>>,
+    /// Signed prepare messages retained as prepared-certificate material:
+    /// (seq, sender) → message.
+    prepare_msgs: HashMap<(u64, u32), Prepare>,
+}
+
+impl PkViewChangeState {
+    /// Creates empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retains a signed checkpoint message for future proofs.
+    pub fn store_checkpoint(&mut self, c: Checkpoint) {
+        self.ckpt_msgs
+            .entry(c.seq.0)
+            .or_default()
+            .insert(c.replica.0, c);
+    }
+
+    /// Retains a signed prepare message for future proofs.
+    pub fn store_prepare(&mut self, p: Prepare) {
+        self.prepare_msgs.insert((p.seq.0, p.replica.0), p);
+    }
+
+    /// Discards material at or below the stable checkpoint.
+    pub fn gc(&mut self, stable: SeqNo) {
+        self.ckpt_msgs.retain(|&s, _| s >= stable.0);
+        self.prepare_msgs.retain(|&(s, _), _| s > stable.0);
+    }
+}
+
+impl<S: Service> Replica<S> {
+    /// Sends the signed view-change message for the current (new) view.
+    pub(crate) fn send_view_change_pk(&mut self, out: &mut Outbox) {
+        let (h, _) = self.ckpt.stable();
+        // C: the stable certificate (f+1 signed checkpoint messages). The
+        // genesis checkpoint (seq 0) needs no proof.
+        let checkpoint_proof: Vec<Checkpoint> = self
+            .vc_pk
+            .ckpt_msgs
+            .get(&h.0)
+            .map(|m| m.values().cloned().collect())
+            .unwrap_or_default();
+        // P: a prepared certificate per request prepared after h.
+        let mut prepared_proofs = Vec::new();
+        for (n, slot) in self.log.iter() {
+            if n <= h || !slot.prepared {
+                continue;
+            }
+            let Some(pp) = slot.pre_prepare.clone() else {
+                continue;
+            };
+            let d = pp.batch_digest();
+            let primary = slot.view.primary(self.config.group.n);
+            let prepares: Vec<Prepare> = (0..self.config.group.n as u32)
+                .filter(|&r| ReplicaId(r) != primary)
+                .filter_map(|r| self.vc_pk.prepare_msgs.get(&(n.0, r)).cloned())
+                .filter(|p| p.view == slot.view && p.digest == d)
+                .collect();
+            if prepares.len() >= 2 * self.config.group.f {
+                prepared_proofs.push(PreparedProof {
+                    pre_prepare: pp,
+                    prepares,
+                });
+            }
+        }
+        let mut vc = ViewChangePk {
+            view: self.view,
+            last_stable: h,
+            checkpoint_proof,
+            prepared_proofs,
+            replica: self.id,
+            auth: Auth::None,
+        };
+        vc.auth = self.auth.sign(&vc.content_bytes());
+        self.vc.sent_vc_for = Some(self.view);
+        self.log.clear();
+        out.multicast(Message::ViewChangePk(vc.clone()));
+        self.store_view_change_pk(vc, out);
+    }
+
+    /// Validates a BFT-PK view-change message's certificates.
+    pub(crate) fn validate_view_change_pk(&mut self, vc: &ViewChangePk) -> bool {
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(vc.replica),
+            &vc.content_bytes(),
+            &vc.auth,
+        ) {
+            return false;
+        }
+        // Stable certificate: f+1 signed checkpoints matching last_stable.
+        if vc.last_stable.0 > 0 {
+            let mut senders = std::collections::BTreeSet::new();
+            let mut digest: Option<Digest> = None;
+            for c in &vc.checkpoint_proof {
+                if c.seq != vc.last_stable {
+                    return false;
+                }
+                match digest {
+                    None => digest = Some(c.digest),
+                    Some(d) if d != c.digest => return false,
+                    _ => {}
+                }
+                if !self.verify_auth(
+                    bft_types::NodeId::Replica(c.replica),
+                    &c.content_bytes(),
+                    &c.auth,
+                ) {
+                    return false;
+                }
+                senders.insert(c.replica.0);
+            }
+            if senders.len() < self.config.group.weak() {
+                return false;
+            }
+        }
+        // Prepared certificates.
+        for proof in &vc.prepared_proofs {
+            if !self.validate_prepared_proof(proof, vc.view) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn validate_prepared_proof(&mut self, proof: &PreparedProof, new_view: View) -> bool {
+        let pp = &proof.pre_prepare;
+        if pp.view >= new_view {
+            return false;
+        }
+        let primary = pp.view.primary(self.config.group.n);
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(primary),
+            &pp.content_bytes(),
+            &pp.auth,
+        ) {
+            return false;
+        }
+        let d = pp.batch_digest();
+        let mut senders = std::collections::BTreeSet::new();
+        for p in &proof.prepares {
+            if p.view != pp.view || p.seq != pp.seq || p.digest != d || p.replica == primary {
+                return false;
+            }
+            if !self.verify_auth(
+                bft_types::NodeId::Replica(p.replica),
+                &p.content_bytes(),
+                &p.auth,
+            ) {
+                return false;
+            }
+            senders.insert(p.replica.0);
+        }
+        senders.len() >= 2 * self.config.group.f
+    }
+
+    /// Handles a BFT-PK view-change message.
+    pub(crate) fn on_view_change_pk(&mut self, vc: ViewChangePk, out: &mut Outbox) {
+        if vc.view < self.view {
+            return;
+        }
+        if vc.replica != self.id && !self.validate_view_change_pk(&vc) {
+            return;
+        }
+        self.store_view_change_pk(vc, out);
+    }
+
+    fn store_view_change_pk(&mut self, vc: ViewChangePk, out: &mut Outbox) {
+        let key = (vc.view.0, vc.replica.0);
+        if self.vc_pk.vcs.contains_key(&key) {
+            return;
+        }
+        let view = vc.view;
+        self.vc_pk.vcs.insert(key, vc);
+        // Liveness rule: f+1 view-changes for later views pull us along.
+        let mut senders = std::collections::BTreeSet::new();
+        let mut smallest: Option<u64> = None;
+        for (v, r) in self.vc_pk.vcs.keys() {
+            if *v > self.view.0 {
+                senders.insert(*r);
+                smallest = Some(smallest.map_or(*v, |s: u64| s.min(*v)));
+            }
+        }
+        if senders.len() >= self.config.group.weak() {
+            if let Some(sv) = smallest {
+                self.start_view_change(View(sv), out);
+                return;
+            }
+        }
+        // Arm the backoff timer when a quorum wants this view.
+        if view == self.view && !self.view_active {
+            let count = self
+                .vc_pk
+                .vcs
+                .keys()
+                .filter(|(v, _)| *v == view.0)
+                .count();
+            if count >= self.config.group.quorum() && !self.vc_timer_armed {
+                out.set_timer(crate::actions::TimerId::ViewChange, self.vc_timeout);
+                self.vc_timer_armed = true;
+            }
+            if view.primary(self.config.group.n) == self.id {
+                self.try_new_view_pk(out);
+            }
+        }
+    }
+
+    /// The §2.3.5 choice function: computes the `O` and `N` pre-prepare
+    /// sets from a set of view-change messages.
+    fn compute_o_n(
+        &self,
+        view: View,
+        vcs: &[&ViewChangePk],
+    ) -> (SeqNo, Option<Digest>, Vec<PrePrepare>, Vec<PrePrepare>) {
+        // h: the latest stable checkpoint in V.
+        let (h, hd) = vcs
+            .iter()
+            .map(|vc| {
+                (
+                    vc.last_stable,
+                    vc.checkpoint_proof.first().map(|c| c.digest),
+                )
+            })
+            .max_by_key(|(s, _)| *s)
+            .unwrap_or((SeqNo(0), None));
+        // H: the highest sequence number in a prepared certificate.
+        let max_n = vcs
+            .iter()
+            .flat_map(|vc| vc.prepared_proofs.iter().map(|p| p.pre_prepare.seq))
+            .max()
+            .unwrap_or(h)
+            .max(h);
+        let mut o = Vec::new();
+        let mut nn = Vec::new();
+        for n in (h.0 + 1)..=max_n.0 {
+            let n = SeqNo(n);
+            // The prepared certificate with the highest view for n.
+            let best = vcs
+                .iter()
+                .flat_map(|vc| vc.prepared_proofs.iter())
+                .filter(|p| p.pre_prepare.seq == n)
+                .max_by_key(|p| p.pre_prepare.view);
+            match best {
+                Some(proof) => o.push(PrePrepare {
+                    view,
+                    seq: n,
+                    batch: proof.pre_prepare.batch.clone(),
+                    nondet: proof.pre_prepare.nondet.clone(),
+                    auth: Auth::None,
+                }),
+                None => nn.push(PrePrepare {
+                    view,
+                    seq: n,
+                    batch: Vec::new(),
+                    nondet: Bytes::new(),
+                    auth: Auth::None,
+                }),
+            }
+        }
+        (h, hd, o, nn)
+    }
+
+    /// New primary: assemble and send the signed new-view message.
+    fn try_new_view_pk(&mut self, out: &mut Outbox) {
+        if self.view_active || self.vc_pk.new_view.is_some() {
+            return;
+        }
+        let view = self.view;
+        let vcs: Vec<ViewChangePk> = self
+            .vc_pk
+            .vcs
+            .iter()
+            .filter(|((v, _), _)| *v == view.0)
+            .map(|(_, vc)| vc.clone())
+            .collect();
+        if vcs.len() < self.config.group.quorum() {
+            return;
+        }
+        let refs: Vec<&ViewChangePk> = vcs.iter().collect();
+        let (h, hd, mut o, mut nn) = self.compute_o_n(view, &refs);
+        for pp in o.iter_mut().chain(nn.iter_mut()) {
+            pp.auth = self.auth.sign(&pp.content_bytes());
+        }
+        let mut nv = NewViewPk {
+            view,
+            view_changes: vcs,
+            pre_prepares: o,
+            null_pre_prepares: nn,
+            auth: Auth::None,
+        };
+        nv.auth = self.auth.sign(&nv.content_bytes());
+        out.multicast(Message::NewViewPk(nv.clone()));
+        self.vc_pk.new_view = Some(nv.clone());
+        self.install_new_view_pk(&nv, h, hd, out);
+    }
+
+    /// Handles a BFT-PK new-view message at a backup.
+    pub(crate) fn on_new_view_pk(&mut self, nv: NewViewPk, out: &mut Outbox) {
+        if nv.view < self.view || (nv.view == self.view && self.view_active) || nv.view.0 == 0 {
+            return;
+        }
+        let primary = nv.view.primary(self.config.group.n);
+        if primary == self.id {
+            return;
+        }
+        if !self.verify_auth(
+            bft_types::NodeId::Replica(primary),
+            &nv.content_bytes(),
+            &nv.auth,
+        ) {
+            return;
+        }
+        // Validate the new-view certificate.
+        let mut senders = std::collections::BTreeSet::new();
+        for vc in &nv.view_changes {
+            if vc.view != nv.view || !self.validate_view_change_pk(vc) {
+                return;
+            }
+            senders.insert(vc.replica.0);
+        }
+        if senders.len() < self.config.group.quorum() {
+            return;
+        }
+        // Recompute O and N and compare with the primary's sets (§2.3.5:
+        // backups verify these sets "by performing a computation similar
+        // to the one used by the primary to create them").
+        let refs: Vec<&ViewChangePk> = nv.view_changes.iter().collect();
+        let (h, hd, o, nn) = self.compute_o_n(nv.view, &refs);
+        let key = |p: &PrePrepare| (p.seq, p.batch_digest());
+        let got_o: Vec<_> = nv.pre_prepares.iter().map(key).collect();
+        let want_o: Vec<_> = o.iter().map(key).collect();
+        let got_n: Vec<_> = nv.null_pre_prepares.iter().map(key).collect();
+        let want_n: Vec<_> = nn.iter().map(key).collect();
+        if got_o != want_o || got_n != want_n {
+            self.start_view_change(nv.view.next(), out);
+            return;
+        }
+        if nv.view > self.view {
+            self.view = nv.view;
+            self.view_active = false;
+        }
+        self.vc_pk.new_view = Some(nv.clone());
+        self.install_new_view_pk(&nv, h, hd, out);
+    }
+
+    /// Applies an accepted BFT-PK new-view: install O∪N, roll back
+    /// tentative execution, and (for backups) send prepares.
+    fn install_new_view_pk(
+        &mut self,
+        nv: &NewViewPk,
+        h: SeqNo,
+        hd: Option<Digest>,
+        out: &mut Outbox,
+    ) {
+        let is_primary = nv.view.primary(self.config.group.n) == self.id;
+        let (stable, _) = self.ckpt.stable();
+        self.log.clear();
+        let mut base = stable;
+        if h > stable {
+            if let Some(hd) = hd {
+                if self.ckpt.own_digest(h) == Some(hd) && self.tree.snapshot_root(h) == Some(hd)
+                {
+                    self.ckpt.force_stable(h, hd);
+                    base = h;
+                } else {
+                    self.start_state_transfer(h, Some(hd), out);
+                }
+            }
+        }
+        if self.last_exec > base && self.committed_frontier < self.last_exec {
+            self.rollback_to_checkpoint(base);
+        }
+        self.log.advance_low(self.ckpt.stable().0);
+
+        let mut max_n = h;
+        let mut prepares = Vec::new();
+        for pp in nv.pre_prepares.iter().chain(nv.null_pre_prepares.iter()) {
+            max_n = max_n.max(pp.seq);
+            if !self.log.in_window(pp.seq) {
+                continue;
+            }
+            self.harvest_batch(pp);
+            let d = pp.batch_digest();
+            {
+                let last_exec = self.last_exec;
+                let slot = self.log.slot_mut(pp.seq);
+                slot.view = nv.view;
+                slot.pre_prepare = Some(pp.clone());
+                // Already reflected in the state: see the MAC-variant
+                // install for the rationale.
+                if pp.seq <= last_exec {
+                    slot.executed = true;
+                }
+            }
+            if pp.seq > base {
+                prepares.push((pp.seq, d));
+            }
+        }
+        self.view = nv.view;
+        self.view_active = true;
+        self.stats.views_entered += 1;
+        self.vc.sent_vc_for = None;
+        if is_primary {
+            self.seqno = max_n;
+        } else {
+            for (n, d) in prepares {
+                {
+                    let slot = self.log.slot_mut(n);
+                    if slot.my_prepare.is_some() {
+                        continue;
+                    }
+                    slot.my_prepare = Some(d);
+                }
+                let mut p = Prepare {
+                    view: self.view,
+                    seq: n,
+                    digest: d,
+                    replica: self.id,
+                    auth: Auth::None,
+                };
+                p.auth = self.auth.sign(&p.content_bytes());
+                self.log.add_prepare(n, d, self.id);
+                self.vc_pk.store_prepare(p.clone());
+                out.multicast(Message::Prepare(p));
+                self.check_certificates(n, out);
+            }
+        }
+        self.vc_pk.vcs.retain(|(v, _), _| *v > nv.view.0);
+        self.try_execute(out);
+        self.update_vc_timer(out);
+        if is_primary {
+            self.maybe_send_pre_prepare(out);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! AdHash-style incremental collision-resistant hashing (§5.3.1).
+//!
+//! The thesis digests each meta-data partition by hashing the *sum modulo a
+//! large integer* of its sub-partition digests (AdHash, Bellare–Micciancio
+//! 1997). The payoff is incrementality: when one page changes, the parent
+//! digest is updated by subtracting the old page digest and adding the new
+//! one, instead of rehashing every sibling. We implement the sum over a
+//! 256-bit ring represented as four `u64` lanes with end-around carries.
+
+use crate::md5::Digest;
+
+/// A 256-bit additive accumulator over sub-partition digests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AdHash {
+    /// Little-endian 64-bit lanes of the 256-bit sum.
+    lanes: [u64; 4],
+}
+
+/// Expands a 16-byte digest into a 256-bit element by counter hashing, so
+/// that additions mix over the whole accumulator width.
+fn expand(d: &Digest) -> [u64; 4] {
+    let a = crate::md5::digest_parts(&[b"adhash0", d.as_bytes()]);
+    let b = crate::md5::digest_parts(&[b"adhash1", d.as_bytes()]);
+    [
+        u64::from_le_bytes(a.0[..8].try_into().expect("8 bytes")),
+        u64::from_le_bytes(a.0[8..].try_into().expect("8 bytes")),
+        u64::from_le_bytes(b.0[..8].try_into().expect("8 bytes")),
+        u64::from_le_bytes(b.0[8..].try_into().expect("8 bytes")),
+    ]
+}
+
+impl AdHash {
+    /// The empty accumulator (sum of zero elements).
+    pub fn new() -> Self {
+        AdHash::default()
+    }
+
+    /// Adds a sub-partition digest into the sum.
+    pub fn add(&mut self, d: &Digest) {
+        let e = expand(d);
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.lanes[i].overflowing_add(e[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.lanes[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        // Sum modulo 2^256: the final carry wraps (end-around discard keeps
+        // the group structure of addition mod 2^256).
+    }
+
+    /// Removes a previously added digest from the sum (the incremental
+    /// update used when a page is overwritten).
+    pub fn remove(&mut self, d: &Digest) {
+        let e = expand(d);
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (s1, b1) = self.lanes[i].overflowing_sub(e[i]);
+            let (s2, b2) = s1.overflowing_sub(borrow);
+            self.lanes[i] = s2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+    }
+
+    /// Replaces `old` by `new` in one call.
+    pub fn replace(&mut self, old: &Digest, new: &Digest) {
+        self.remove(old);
+        self.add(new);
+    }
+
+    /// Collapses the accumulator to a 16-byte digest (hashing the lanes).
+    pub fn digest(&self) -> Digest {
+        let mut bytes = [0u8; 32];
+        for (i, lane) in self.lanes.iter().enumerate() {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        crate::md5::digest_parts(&[b"adhash-final", &bytes])
+    }
+
+    /// Builds an accumulator from an iterator of digests.
+    pub fn from_digests<'a>(digests: impl IntoIterator<Item = &'a Digest>) -> Self {
+        let mut acc = AdHash::new();
+        for d in digests {
+            acc.add(d);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md5::digest;
+
+    #[test]
+    fn order_independent() {
+        let d1 = digest(b"page1");
+        let d2 = digest(b"page2");
+        let d3 = digest(b"page3");
+        let a = AdHash::from_digests([&d1, &d2, &d3]);
+        let b = AdHash::from_digests([&d3, &d1, &d2]);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn incremental_replace_equals_rebuild() {
+        let pages: Vec<Digest> = (0..100u32)
+            .map(|i| digest(&i.to_le_bytes()))
+            .collect();
+        let mut acc = AdHash::from_digests(pages.iter());
+        // Replace page 42.
+        let new42 = digest(b"new page 42");
+        acc.replace(&pages[42], &new42);
+        let mut rebuilt_pages = pages.clone();
+        rebuilt_pages[42] = new42;
+        let rebuilt = AdHash::from_digests(rebuilt_pages.iter());
+        assert_eq!(acc.digest(), rebuilt.digest());
+    }
+
+    #[test]
+    fn add_remove_cancels() {
+        let d1 = digest(b"a");
+        let d2 = digest(b"b");
+        let mut acc = AdHash::from_digests([&d1]);
+        let before = acc.digest();
+        acc.add(&d2);
+        acc.remove(&d2);
+        assert_eq!(acc.digest(), before);
+    }
+
+    #[test]
+    fn empty_differs_from_nonempty() {
+        let d = digest(b"x");
+        assert_ne!(AdHash::new().digest(), AdHash::from_digests([&d]).digest());
+    }
+
+    #[test]
+    fn distinct_sets_distinct_digests() {
+        let d1 = digest(b"a");
+        let d2 = digest(b"b");
+        assert_ne!(
+            AdHash::from_digests([&d1]).digest(),
+            AdHash::from_digests([&d2]).digest()
+        );
+        // Multiset sensitivity: {a,a} != {a}.
+        assert_ne!(
+            AdHash::from_digests([&d1, &d1]).digest(),
+            AdHash::from_digests([&d1]).digest()
+        );
+    }
+
+    #[test]
+    fn many_removals_roundtrip() {
+        let pages: Vec<Digest> = (0..50u32).map(|i| digest(&i.to_be_bytes())).collect();
+        let mut acc = AdHash::from_digests(pages.iter());
+        for p in &pages[10..40] {
+            acc.remove(p);
+        }
+        let expect = AdHash::from_digests(pages[..10].iter().chain(pages[40..].iter()));
+        assert_eq!(acc.digest(), expect.digest());
+    }
+}

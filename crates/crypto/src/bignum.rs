@@ -1,0 +1,725 @@
+//! Arbitrary-precision unsigned integers for the public-key substrate.
+//!
+//! The thesis uses the SFS Rabin-Williams cryptosystem with a 1024-bit
+//! modulus to sign new-key and recovery messages and to establish session
+//! keys (§6.1). We build the same capability from scratch: a compact
+//! big-unsigned-integer type with schoolbook multiplication, Knuth
+//! Algorithm D division, modular exponentiation, Miller-Rabin primality
+//! testing, and prime generation. Performance is secondary to correctness —
+//! what the evaluation measures is the *gap* between public-key and
+//! symmetric-key operations, and any honest bignum preserves that gap.
+
+use rand::{Rng, RngExt};
+
+/// An arbitrary-precision unsigned integer (little-endian `u32` limbs).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    /// Little-endian limbs with no trailing zeros (canonical form).
+    limbs: Vec<u32>,
+}
+
+impl std::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigUint(0x")?;
+        if self.limbs.is_empty() {
+            write!(f, "0")?;
+        } else {
+            for (i, limb) in self.limbs.iter().rev().enumerate() {
+                if i == 0 {
+                    write!(f, "{limb:x}")?;
+                } else {
+                    write!(f, "{limb:08x}")?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut n = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Builds from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(4));
+        let mut iter = bytes.rchunks(4);
+        for chunk in &mut iter {
+            let mut limb = 0u32;
+            for &b in chunk {
+                limb = (limb << 8) | b as u32;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serializes to minimal big-endian bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        // Trim leading zero bytes.
+        let first = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first);
+        out
+    }
+
+    /// Returns true for the value zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns true for the value one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Returns true if the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 32 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 32, i % 32);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Three-way comparison.
+    pub fn cmp_val(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let sum = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`; panics if `other > self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the subtraction would underflow. All protocol call sites
+    /// establish `other <= self` beforehand.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(
+            self.cmp_val(other) != std::cmp::Ordering::Less,
+            "BigUint::sub underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let diff =
+                self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if diff < 0 {
+                out.push((diff + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(diff as u32);
+                borrow = 0;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> Self {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> Self {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let mut v = src[i] >> bit_shift;
+                if i + 1 < src.len() {
+                    v |= src[i + 1] << (32 - bit_shift);
+                }
+                out.push(v);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Divides, returning `(quotient, remainder)` (Knuth Algorithm D).
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self.cmp_val(divisor) == std::cmp::Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut q = vec![0u32; self.limbs.len()];
+            let mut rem = 0u64;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let mut quo = BigUint { limbs: q };
+            quo.normalize();
+            return (quo, BigUint::from_u64(rem));
+        }
+
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().expect("divisor non-zero").leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0);
+        let vn = &v.limbs;
+        let mut q = vec![0u32; m + 1];
+        let b = 1u64 << 32;
+
+        for j in (0..=m).rev() {
+            let top = (un[j + n] as u64) * b + un[j + n - 1] as u64;
+            let mut qhat = top / vn[n - 1] as u64;
+            let mut rhat = top % vn[n - 1] as u64;
+            while qhat >= b
+                || qhat * vn[n - 2] as u64 > (rhat << 32) + un[j + n - 2] as u64
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u64;
+                if rhat >= b {
+                    break;
+                }
+            }
+            // Multiply-and-subtract.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[i + j] as i64 - borrow - (p as u32) as i64;
+                un[i + j] = t as u32;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i64 - borrow - carry as i64;
+            un[j + n] = t as u32;
+            if t < 0 {
+                // qhat was one too large: add back.
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let sum = un[i + j] as u64 + vn[i] as u64 + carry;
+                    un[i + j] = sum as u32;
+                    carry = sum >> 32;
+                }
+                un[j + n] = (un[j + n] as u64).wrapping_add(carry) as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        let mut quo = BigUint { limbs: q };
+        quo.normalize();
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        (quo, rem.shr(shift))
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &Self) -> Self {
+        self.div_rem(m).1
+    }
+
+    /// `(self * other) mod m`.
+    pub fn mul_mod(&self, other: &Self, m: &Self) -> Self {
+        self.mul(other).rem(m)
+    }
+
+    /// `self^exp mod m` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, exp: &Self, m: &Self) -> Self {
+        assert!(!m.is_zero(), "mod_pow with zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(m);
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mul_mod(&base, m);
+            }
+            base = base.mul_mod(&base, m);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr(1);
+            }
+            if a.cmp_val(&b) == std::cmp::Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                break;
+            }
+        }
+        a.shl(shift)
+    }
+
+    /// Modular inverse of `self` modulo `m`, or `None` when not coprime.
+    pub fn mod_inverse(&self, m: &Self) -> Option<Self> {
+        // Extended Euclid with sign tracking: maintain t as (negative?, mag).
+        let mut r0 = m.clone();
+        let mut r1 = self.rem(m);
+        let mut t0 = (false, BigUint::zero());
+        let mut t1 = (false, BigUint::one());
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q * t1.
+            let qt1 = q.mul(&t1.1);
+            let t2 = signed_sub(t0.clone(), (t1.0, qt1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        // Map t0 into [0, m).
+        let inv = if t0.0 { m.sub(&t0.1.rem(m)).rem(m) } else { t0.1.rem(m) };
+        Some(inv)
+    }
+
+    /// Uniform random value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Self) -> Self {
+        assert!(!bound.is_zero(), "random_below zero bound");
+        let bits = bound.bit_len();
+        loop {
+            let mut limbs = Vec::with_capacity(bits.div_ceil(32));
+            for _ in 0..bits.div_ceil(32) {
+                limbs.push(rng.random::<u32>());
+            }
+            // Mask excess high bits.
+            let excess = limbs.len() * 32 - bits;
+            if excess > 0 {
+                let last = limbs.len() - 1;
+                limbs[last] &= u32::MAX >> excess;
+            }
+            let mut candidate = BigUint { limbs };
+            candidate.normalize();
+            if candidate.cmp_val(bound) == std::cmp::Ordering::Less {
+                return candidate;
+            }
+        }
+    }
+
+    /// Random value with exactly `bits` significant bits.
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits > 0, "random_bits needs at least one bit");
+        let mut limbs = Vec::with_capacity(bits.div_ceil(32));
+        for _ in 0..bits.div_ceil(32) {
+            limbs.push(rng.random::<u32>());
+        }
+        let excess = limbs.len() * 32 - bits;
+        let last = limbs.len() - 1;
+        limbs[last] &= u32::MAX >> excess;
+        limbs[last] |= 1 << ((bits - 1) % 32); // Force the top bit.
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Miller-Rabin probabilistic primality test with `rounds` witnesses.
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rng: &mut R, rounds: usize) -> bool {
+        if self.cmp_val(&BigUint::from_u64(2)) == std::cmp::Ordering::Less {
+            return false;
+        }
+        if self.is_even() {
+            return self.limbs == [2];
+        }
+        // Quick trial division by small primes.
+        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+            let bp = BigUint::from_u64(p);
+            if self.cmp_val(&bp) == std::cmp::Ordering::Equal {
+                return true;
+            }
+            if self.rem(&bp).is_zero() {
+                return false;
+            }
+        }
+        let one = BigUint::one();
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut r = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            r += 1;
+        }
+        let two = BigUint::from_u64(2);
+        let bound = self.sub(&BigUint::from_u64(3));
+        'witness: for _ in 0..rounds {
+            let a = BigUint::random_below(rng, &bound).add(&two);
+            let mut x = a.mod_pow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..r - 1 {
+                x = x.mul_mod(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random probable prime with exactly `bits` bits.
+    pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 8, "prime too small to be useful");
+        loop {
+            let mut candidate = BigUint::random_bits(rng, bits);
+            if candidate.is_even() {
+                candidate = candidate.add(&BigUint::one());
+            }
+            if candidate.is_probable_prime(rng, 16) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Computes `a - b` on signed magnitudes represented as `(negative, |x|)`.
+fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.1.cmp_val(&b.1) != std::cmp::Ordering::Less {
+                (false, a.1.sub(&b.1))
+            } else {
+                (true, b.1.sub(&a.1))
+            }
+        }
+        // a - (-b) = a + b.
+        (false, true) => (false, a.1.add(&b.1)),
+        // (-a) - b = -(a + b).
+        (true, false) => (true, a.1.add(&b.1)),
+        // (-a) - (-b) = b - a.
+        (true, true) => {
+            if b.1.cmp_val(&a.1) != std::cmp::Ordering::Less {
+                (false, b.1.sub(&a.1))
+            } else {
+                (true, a.1.sub(&b.1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        for v in [0u64, 1, 255, 256, 0xdead_beef, u64::MAX] {
+            let b = n(v);
+            assert_eq!(BigUint::from_bytes_be(&b.to_bytes_be()), b, "{v}");
+        }
+        let big = BigUint::from_bytes_be(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(
+            big.to_bytes_be(),
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]
+        );
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(n(5).add(&n(7)), n(12));
+        assert_eq!(n(12).sub(&n(7)), n(5));
+        assert_eq!(n(u64::MAX).add(&n(1)).sub(&n(1)), n(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = n(1).sub(&n(2));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let a: u64 = rng.random();
+            let b: u64 = rng.random();
+            let prod = a as u128 * b as u128;
+            let got = n(a).mul(&n(b));
+            let want = BigUint::from_bytes_be(&prod.to_be_bytes());
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let a: u128 = rng.random();
+            let b: u64 = rng.random_range(1..u64::MAX);
+            let (q, r) = BigUint::from_bytes_be(&a.to_be_bytes()).div_rem(&n(b));
+            assert_eq!(q, BigUint::from_bytes_be(&(a / b as u128).to_be_bytes()));
+            assert_eq!(r, BigUint::from_bytes_be(&(a % b as u128).to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn div_rem_multi_limb_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let a = BigUint::random_bits(&mut rng, 300);
+            let b = BigUint::random_bits(&mut rng, 130);
+            let (q, r) = a.div_rem(&b);
+            assert!(r.cmp_val(&b) == std::cmp::Ordering::Less);
+            assert_eq!(q.mul(&b).add(&r), a);
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1).shl(100).shr(100), n(1));
+        assert_eq!(n(0xff00).shr(8), n(0xff));
+        // shl by k equals multiplication by 2^k.
+        let two_to_33 = n(2).mul(&n(1u64 << 32));
+        assert_eq!(n(3).shl(33), n(3).mul(&two_to_33));
+        assert_eq!(n(0).shl(17), BigUint::zero());
+        assert_eq!(n(1).shr(1), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_small() {
+        // 3^7 mod 50 = 2187 mod 50 = 37.
+        assert_eq!(n(3).mod_pow(&n(7), &n(50)), n(37));
+        // Fermat: a^(p-1) = 1 mod p for prime p.
+        let p = n(1_000_000_007);
+        assert_eq!(n(12345).mod_pow(&p.sub(&BigUint::one()), &p), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_and_inverse() {
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(17).gcd(&n(31)), n(1));
+        let inv = n(17).mod_inverse(&n(31)).expect("coprime");
+        assert_eq!(n(17).mul_mod(&inv, &n(31)), BigUint::one());
+        assert!(n(6).mod_inverse(&n(12)).is_none());
+    }
+
+    #[test]
+    fn inverse_large() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = BigUint::gen_prime(&mut rng, 96);
+        for _ in 0..10 {
+            let a = BigUint::random_below(&mut rng, &m);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.mod_inverse(&m).expect("prime modulus");
+            assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for p in [2u64, 3, 5, 101, 65537, 1_000_000_007] {
+            assert!(n(p).is_probable_prime(&mut rng, 16), "{p} is prime");
+        }
+        for c in [1u64, 4, 100, 65541, 1_000_000_000] {
+            assert!(!n(c).is_probable_prime(&mut rng, 16), "{c} is composite");
+        }
+        // Carmichael number 561 must be rejected.
+        assert!(!n(561).is_probable_prime(&mut rng, 16));
+    }
+
+    #[test]
+    fn prime_generation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = BigUint::gen_prime(&mut rng, 128);
+        assert_eq!(p.bit_len(), 128);
+        assert!(p.is_probable_prime(&mut rng, 16));
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let bound = n(1000);
+        for _ in 0..100 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v.cmp_val(&bound) == std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn bit_len_and_bit() {
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(n(1).bit_len(), 1);
+        assert_eq!(n(0x8000_0000_0000_0000).bit_len(), 64);
+        assert!(n(5).bit(0) && !n(5).bit(1) && n(5).bit(2));
+    }
+}

@@ -1,0 +1,98 @@
+//! From-scratch cryptographic substrate for the BFT library.
+//!
+//! The thesis's implementation (§6.1) uses MD5 digests, UMAC32 message
+//! authentication codes under pairwise session keys, and a Rabin-Williams
+//! public-key cryptosystem for new-key and recovery messages. This crate
+//! rebuilds each primitive from scratch (see `DESIGN.md` §2 for the
+//! substitution rationale):
+//!
+//! * [`md5`] — RFC 1321 MD5 digests.
+//! * [`hmac`] — HMAC-MD5 MACs truncated to 64-bit tags (UMAC32's role).
+//! * [`auth`] — authenticators (per-receiver MAC vectors) and key tables.
+//! * [`bignum`] + [`rsa`] — big-integer RSA-style signatures.
+//! * [`adhash`] — incremental additive hashing for checkpoint digests.
+//! * [`coprocessor`] — the simulated secure co-processor of BFT-PR.
+//!
+//! Everything is deterministic given a seeded RNG, which the simulator and
+//! property tests rely on.
+
+pub mod adhash;
+pub mod auth;
+pub mod bignum;
+pub mod coprocessor;
+pub mod hmac;
+pub mod md5;
+pub mod rsa;
+
+pub use adhash::AdHash;
+pub use auth::{Authenticator, KeyTable};
+pub use coprocessor::{Coprocessor, CounterSignature};
+pub use hmac::{SessionKey, Tag};
+pub use md5::{digest, digest_parts, Digest};
+pub use rsa::{KeyPair, PrivateKey, PublicKey, Signature};
+
+#[cfg(test)]
+mod proptests {
+    use crate::bignum::BigUint;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn md5_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+            let split = split.min(data.len());
+            let mut ctx = crate::md5::Md5::new();
+            ctx.update(&data[..split]);
+            ctx.update(&data[split..]);
+            prop_assert_eq!(ctx.finish(), crate::md5::digest(&data));
+        }
+
+        #[test]
+        fn bignum_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let n = BigUint::from_bytes_be(&bytes);
+            let back = BigUint::from_bytes_be(&n.to_bytes_be());
+            prop_assert_eq!(n, back);
+        }
+
+        #[test]
+        fn bignum_add_sub_roundtrip(a in any::<u64>(), b in any::<u64>()) {
+            let (x, y) = (BigUint::from_u64(a), BigUint::from_u64(b));
+            prop_assert_eq!(x.add(&y).sub(&y), x);
+        }
+
+        #[test]
+        fn bignum_div_rem_invariant(a in any::<u128>(), b in 1u128..) {
+            let x = BigUint::from_bytes_be(&a.to_be_bytes());
+            let y = BigUint::from_bytes_be(&b.to_be_bytes());
+            let (q, r) = x.div_rem(&y);
+            prop_assert_eq!(q.mul(&y).add(&r), x);
+            prop_assert!(r.cmp_val(&y) == std::cmp::Ordering::Less);
+        }
+
+        #[test]
+        fn bignum_mul_commutes(a in any::<u128>(), b in any::<u128>()) {
+            let x = BigUint::from_bytes_be(&a.to_be_bytes());
+            let y = BigUint::from_bytes_be(&b.to_be_bytes());
+            prop_assert_eq!(x.mul(&y), y.mul(&x));
+        }
+
+        #[test]
+        fn mac_verifies_only_matching_content(data in proptest::collection::vec(any::<u8>(), 0..128), seed in any::<u64>()) {
+            let key = crate::hmac::SessionKey::from_seed(seed);
+            let tag = crate::hmac::mac(&key, &data);
+            prop_assert!(crate::hmac::verify(&key, &data, &tag));
+            let mut other = data.clone();
+            other.push(0);
+            prop_assert!(!crate::hmac::verify(&key, &other, &tag));
+        }
+
+        #[test]
+        fn adhash_permutation_invariant(seeds in proptest::collection::vec(any::<u64>(), 1..20), rot in 0usize..20) {
+            let digests: Vec<_> = seeds.iter().map(|s| crate::md5::digest(&s.to_le_bytes())).collect();
+            let mut rotated = digests.clone();
+            rotated.rotate_left(rot % digests.len());
+            let a = crate::adhash::AdHash::from_digests(digests.iter());
+            let b = crate::adhash::AdHash::from_digests(rotated.iter());
+            prop_assert_eq!(a.digest(), b.digest());
+        }
+    }
+}

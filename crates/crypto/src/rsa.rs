@@ -1,0 +1,316 @@
+//! RSA-style public-key signatures over the from-scratch [`crate::bignum`].
+//!
+//! The thesis signs view-change messages (in BFT-PK), new-key messages, and
+//! recovery requests with a Rabin-Williams 1024-bit cryptosystem (§6.1). We
+//! substitute textbook RSA signatures over an MD5 digest: `sign(m) =
+//! pad(H(m))^d mod n`, `verify` checks `sig^e mod n == pad(H(m))`. This is
+//! not a hardened production scheme (no PSS padding, no blinding), but it is
+//! a real asymmetric signature with the cost asymmetry the evaluation
+//! measures: signing and verifying are orders of magnitude slower than a MAC
+//! (§8.2.2), which is exactly why BFT replaces signatures by authenticators.
+
+use crate::bignum::BigUint;
+use crate::md5::{digest_parts, Digest};
+use rand::Rng;
+
+/// Default modulus size in bits. The thesis uses 1024-bit keys; tests use
+/// smaller keys via [`KeyPair::generate_with_bits`] to keep keygen fast.
+pub const DEFAULT_MODULUS_BITS: usize = 1024;
+
+/// Public verification key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    /// Modulus `n = p*q`.
+    pub n: BigUint,
+    /// Public exponent (65537).
+    pub e: BigUint,
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicKey({} bits)", self.n.bit_len())
+    }
+}
+
+/// Private signing key.
+#[derive(Clone)]
+pub struct PrivateKey {
+    /// Modulus `n = p*q`.
+    pub n: BigUint,
+    /// Private exponent `d = e^-1 mod lambda(n)`.
+    d: BigUint,
+}
+
+impl std::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "PrivateKey({} bits)", self.n.bit_len())
+    }
+}
+
+/// A signature value (the modular exponentiation result).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Signature(pub Vec<u8>);
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature({} bytes)", self.0.len())
+    }
+}
+
+impl Signature {
+    /// Size of the signature in bytes (for wire-cost accounting).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns true when the signature is empty (never for real signatures).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A signing/verification key pair.
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    /// The public half.
+    pub public: PublicKey,
+    /// The private half.
+    pub private: PrivateKey,
+}
+
+impl KeyPair {
+    /// Generates a key pair with the default (1024-bit) modulus.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::generate_with_bits(rng, DEFAULT_MODULUS_BITS)
+    }
+
+    /// Generates a key pair with a modulus of roughly `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 64`.
+    pub fn generate_with_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 64, "modulus too small");
+        let e = BigUint::from_u64(65537);
+        loop {
+            let p = BigUint::gen_prime(rng, bits / 2);
+            let q = BigUint::gen_prime(rng, bits - bits / 2);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue;
+            };
+            return KeyPair {
+                public: PublicKey { n: n.clone(), e },
+                private: PrivateKey { n, d },
+            };
+        }
+    }
+
+    /// Signs `message` (first digesting it with MD5).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.private.sign(message)
+    }
+}
+
+/// Expands a 16-byte digest into a full-width value `< n` by repeated
+/// counter-hashing (a simple full-domain-hash-style padding).
+fn pad_digest(d: &Digest, n: &BigUint) -> BigUint {
+    let target_bytes = (n.bit_len() - 1) / 8; // Strictly below n.
+    let mut padded = Vec::with_capacity(target_bytes);
+    let mut counter = 0u64;
+    while padded.len() < target_bytes {
+        let block = digest_parts(&[b"fdh", d.as_bytes(), &counter.to_le_bytes()]);
+        let take = (target_bytes - padded.len()).min(16);
+        padded.extend_from_slice(&block.0[..take]);
+        counter += 1;
+    }
+    BigUint::from_bytes_be(&padded)
+}
+
+impl PrivateKey {
+    /// Signs a message: `pad(H(m))^d mod n`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let h = crate::md5::digest(message);
+        self.sign_digest(&h)
+    }
+
+    /// Signs a precomputed digest.
+    pub fn sign_digest(&self, h: &Digest) -> Signature {
+        let m = pad_digest(h, &self.n);
+        let s = m.mod_pow(&self.d, &self.n);
+        Signature(s.to_bytes_be())
+    }
+
+    /// Decrypts a session key encrypted by [`PublicKey::encrypt`].
+    ///
+    /// Returns `None` when the ciphertext is malformed.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Option<[u8; SESSION_KEY_LEN]> {
+        let c = BigUint::from_bytes_be(ciphertext);
+        if c.cmp_val(&self.n) != std::cmp::Ordering::Less {
+            return None;
+        }
+        let m = c.mod_pow(&self.d, &self.n).to_bytes_be();
+        if m.len() < SESSION_KEY_LEN {
+            return None;
+        }
+        m[m.len() - SESSION_KEY_LEN..].try_into().ok()
+    }
+}
+
+/// Length of a session key transported by [`PublicKey::encrypt`].
+pub const SESSION_KEY_LEN: usize = 16;
+
+impl PublicKey {
+    /// Encrypts a 16-byte session key under this public key (textbook RSA
+    /// with random left padding), used by the new-key protocol (§4.3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the modulus is too small to carry a padded key.
+    pub fn encrypt<R: Rng + ?Sized>(&self, rng: &mut R, key: &[u8; SESSION_KEY_LEN]) -> Vec<u8> {
+        let total = (self.n.bit_len() - 1) / 8; // Strictly below n.
+        assert!(
+            total > SESSION_KEY_LEN,
+            "modulus too small to transport a session key"
+        );
+        let mut m = vec![0u8; total];
+        for b in m[..total - SESSION_KEY_LEN].iter_mut() {
+            *b = rand::RngExt::random(rng);
+        }
+        m[total - SESSION_KEY_LEN..].copy_from_slice(key);
+        BigUint::from_bytes_be(&m)
+            .mod_pow(&self.e, &self.n)
+            .to_bytes_be()
+    }
+
+    /// Verifies a signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        let h = crate::md5::digest(message);
+        self.verify_digest(&h, sig)
+    }
+
+    /// Verifies a signature over a precomputed digest.
+    pub fn verify_digest(&self, h: &Digest, sig: &Signature) -> bool {
+        let s = BigUint::from_bytes_be(&sig.0);
+        if s.cmp_val(&self.n) != std::cmp::Ordering::Less {
+            return false;
+        }
+        let recovered = s.mod_pow(&self.e, &self.n);
+        recovered == pad_digest(h, &self.n)
+    }
+
+    /// Size of the modulus in bytes (signature wire size).
+    pub fn signature_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_keypair(seed: u64) -> KeyPair {
+        // 256-bit keys keep the tests fast while exercising every code path.
+        let mut rng = StdRng::seed_from_u64(seed);
+        KeyPair::generate_with_bits(&mut rng, 256)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = small_keypair(1);
+        let sig = kp.sign(b"view-change message");
+        assert!(kp.public.verify(b"view-change message", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let kp = small_keypair(2);
+        let sig = kp.sign(b"original");
+        assert!(!kp.public.verify(b"tampered", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let kp1 = small_keypair(3);
+        let kp2 = small_keypair(4);
+        let sig = kp1.sign(b"msg");
+        assert!(!kp2.public.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_corrupt_signature() {
+        let kp = small_keypair(5);
+        let mut sig = kp.sign(b"msg");
+        sig.0[0] ^= 0xff;
+        assert!(!kp.public.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_oversized_signature() {
+        let kp = small_keypair(6);
+        let huge = Signature(vec![0xff; 200]);
+        assert!(!kp.public.verify(b"msg", &huge));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let kp = small_keypair(7);
+        assert_eq!(kp.sign(b"m"), kp.sign(b"m"));
+    }
+
+    #[test]
+    fn distinct_messages_distinct_signatures() {
+        let kp = small_keypair(8);
+        assert_ne!(kp.sign(b"a"), kp.sign(b"b"));
+    }
+
+    #[test]
+    fn pad_digest_below_modulus() {
+        let kp = small_keypair(9);
+        let d = crate::md5::digest(b"x");
+        let padded = pad_digest(&d, &kp.public.n);
+        assert!(padded.cmp_val(&kp.public.n) == std::cmp::Ordering::Less);
+        assert!(padded.bit_len() > 128, "padding expands the digest");
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let kp = KeyPair::generate_with_bits(&mut rng, 256);
+        let key = [7u8; SESSION_KEY_LEN];
+        let ct = kp.public.encrypt(&mut rng, &key);
+        assert_eq!(kp.private.decrypt(&ct), Some(key));
+        // Random padding: two encryptions of the same key differ.
+        let ct2 = kp.public.encrypt(&mut rng, &key);
+        assert_ne!(ct, ct2);
+        assert_eq!(kp.private.decrypt(&ct2), Some(key));
+    }
+
+    #[test]
+    fn decrypt_rejects_garbage() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let kp = KeyPair::generate_with_bits(&mut rng, 256);
+        assert!(kp.private.decrypt(&vec![0xffu8; 64]).is_none());
+        // Wrong key yields a different (wrong) session key, not a panic.
+        let kp2 = KeyPair::generate_with_bits(&mut rng, 256);
+        let ct = kp.public.encrypt(&mut rng, &[1u8; 16]);
+        let wrong = kp2.private.decrypt(&ct);
+        assert_ne!(wrong, Some([1u8; 16]));
+    }
+
+    #[test]
+    fn debug_redacts_private_key() {
+        let kp = small_keypair(10);
+        let s = format!("{:?}", kp.private);
+        assert!(s.contains("PrivateKey"));
+        assert!(!s.contains("0x"));
+    }
+}

@@ -1,0 +1,350 @@
+//! The unreliable multicast channel automaton (Figure 2-5 of the thesis).
+//!
+//! The formal system model says the network "may fail to deliver messages,
+//! delay them, duplicate them, or deliver them out of order", and the
+//! adversary may replay anything ever sent. This module implements that
+//! automaton as a deterministic routing function: given a send event it
+//! decides, using a seeded RNG and the fault configuration, when (and
+//! whether, and how many times) each destination receives the message.
+//! Timing comes from the [`crate::cost::CostModel`].
+
+use crate::cost::CostModel;
+use bft_types::{NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Fault-injection knobs for the channel.
+#[derive(Clone, Debug)]
+pub struct ChannelConfig {
+    /// Probability a given delivery is dropped entirely.
+    pub drop_prob: f64,
+    /// Probability a delivery is duplicated (the copy arrives later).
+    pub duplicate_prob: f64,
+    /// Maximum uniform random jitter added to each delivery, in µs.
+    /// Non-zero jitter produces out-of-order delivery.
+    pub jitter_us: u64,
+    /// Cost model used for baseline latency.
+    pub cost: CostModel,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            jitter_us: 0,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// A reliable, deterministic channel (no loss, no duplication, no
+    /// jitter) with the thesis cost model: the common-case testbed.
+    pub fn reliable() -> Self {
+        Self::default()
+    }
+
+    /// A lossy channel with the given drop probability and jitter.
+    pub fn lossy(drop_prob: f64, jitter_us: u64) -> Self {
+        ChannelConfig {
+            drop_prob,
+            duplicate_prob: drop_prob / 2.0,
+            jitter_us,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// One scheduled delivery produced by routing a send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The destination node.
+    pub to: NodeId,
+    /// When the message arrives at the destination.
+    pub at: SimTime,
+}
+
+/// The multicast channel automaton.
+///
+/// All randomness comes from a seed, so identical runs produce identical
+/// delivery schedules — the property every regression test relies on.
+pub struct Channel {
+    config: ChannelConfig,
+    rng: StdRng,
+    /// Pairs `(from, to)` currently partitioned (messages silently dropped).
+    blocked: HashSet<(NodeId, NodeId)>,
+    /// Nodes whose links are entirely down.
+    isolated: HashSet<NodeId>,
+    /// Counters for reports.
+    stats: ChannelStats,
+}
+
+/// Aggregate channel statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages handed to the channel (one per destination).
+    pub sends: u64,
+    /// Deliveries scheduled.
+    pub delivered: u64,
+    /// Deliveries dropped by loss or partition.
+    pub dropped: u64,
+    /// Extra duplicate deliveries scheduled.
+    pub duplicated: u64,
+    /// Total payload bytes scheduled for delivery.
+    pub bytes: u64,
+}
+
+impl Channel {
+    /// Creates a channel with the given configuration and RNG seed.
+    pub fn new(config: ChannelConfig, seed: u64) -> Self {
+        Channel {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            blocked: HashSet::new(),
+            isolated: HashSet::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// The configured cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    /// Severs the directed link `from → to`.
+    pub fn block(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Restores the directed link `from → to`.
+    pub fn unblock(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// Cuts a node off entirely (both directions).
+    pub fn isolate(&mut self, node: NodeId) {
+        self.isolated.insert(node);
+    }
+
+    /// Reconnects an isolated node.
+    pub fn reconnect(&mut self, node: NodeId) {
+        self.isolated.remove(&node);
+    }
+
+    /// Returns true when the directed link is currently usable.
+    pub fn link_up(&self, from: NodeId, to: NodeId) -> bool {
+        !self.isolated.contains(&from)
+            && !self.isolated.contains(&to)
+            && !self.blocked.contains(&(from, to))
+    }
+
+    /// Routes a send of `bytes` bytes from `from` to each node in `to`,
+    /// returning the scheduled deliveries.
+    ///
+    /// A multicast pays the sender-side CPU cost once (IP multicast, §6.1);
+    /// per-destination wire time and faults are independent.
+    pub fn route(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: &[NodeId],
+        bytes: usize,
+    ) -> Vec<Delivery> {
+        let mut out = Vec::with_capacity(to.len());
+        let send_cpu = self.config.cost.send.eval(bytes);
+        let wire = self.config.cost.wire.eval(bytes);
+        for &dest in to {
+            self.stats.sends += 1;
+            if dest == from {
+                // Loopback: immediate self-delivery, no wire, no faults.
+                out.push(Delivery {
+                    to: dest,
+                    at: now + SimDuration::from_micros(send_cpu as u64),
+                });
+                self.stats.delivered += 1;
+                self.stats.bytes += bytes as u64;
+                continue;
+            }
+            if !self.link_up(from, dest) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            if self.config.drop_prob > 0.0 && self.rng.random_bool(self.config.drop_prob) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let jitter = if self.config.jitter_us > 0 {
+                self.rng.random_range(0..=self.config.jitter_us)
+            } else {
+                0
+            };
+            let latency = SimDuration::from_micros((send_cpu + wire) as u64 + jitter);
+            out.push(Delivery {
+                to: dest,
+                at: now + latency,
+            });
+            self.stats.delivered += 1;
+            self.stats.bytes += bytes as u64;
+            if self.config.duplicate_prob > 0.0
+                && self.rng.random_bool(self.config.duplicate_prob)
+            {
+                let extra = self.rng.random_range(1..=self.config.jitter_us.max(100));
+                out.push(Delivery {
+                    to: dest,
+                    at: now + latency + SimDuration::from_micros(extra),
+                });
+                self.stats.duplicated += 1;
+            }
+        }
+        out
+    }
+
+    /// Receiver-side CPU time for a message of `bytes` bytes.
+    pub fn recv_cpu(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_micros(self.config.cost.recv.eval(bytes) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::{ClientId, ReplicaId};
+
+    fn r(i: u32) -> NodeId {
+        NodeId::Replica(ReplicaId(i))
+    }
+
+    fn all(n: u32) -> Vec<NodeId> {
+        (0..n).map(r).collect()
+    }
+
+    #[test]
+    fn reliable_channel_delivers_everything() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        let deliveries = ch.route(SimTime(0), r(0), &all(4), 100);
+        assert_eq!(deliveries.len(), 4);
+        assert_eq!(ch.stats().dropped, 0);
+        // Non-self deliveries share the same deterministic latency.
+        let t1 = deliveries.iter().find(|d| d.to == r(1)).unwrap().at;
+        let t2 = deliveries.iter().find(|d| d.to == r(2)).unwrap().at;
+        assert_eq!(t1, t2);
+        assert!(t1 > SimTime(0));
+    }
+
+    #[test]
+    fn self_delivery_is_fast_and_lossless() {
+        let mut ch = Channel::new(ChannelConfig::lossy(1.0, 0), 1);
+        let deliveries = ch.route(SimTime(0), r(0), &[r(0)], 100);
+        assert_eq!(deliveries.len(), 1, "loopback never drops");
+    }
+
+    #[test]
+    fn full_loss_drops_all_remote() {
+        let mut ch = Channel::new(ChannelConfig::lossy(1.0, 0), 1);
+        let deliveries = ch.route(SimTime(0), r(0), &all(4), 100);
+        assert_eq!(deliveries.len(), 1); // Only the loopback.
+        assert_eq!(ch.stats().dropped, 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut ch = Channel::new(ChannelConfig::lossy(0.3, 500), seed);
+            let mut log = Vec::new();
+            for i in 0..50 {
+                log.extend(ch.route(SimTime(i * 10), r(0), &all(4), 64));
+            }
+            log
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn partition_blocks_directed_link() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        ch.block(r(0), r(1));
+        let deliveries = ch.route(SimTime(0), r(0), &all(4), 10);
+        assert!(deliveries.iter().all(|d| d.to != r(1)));
+        assert!(deliveries.iter().any(|d| d.to == r(2)));
+        // Reverse direction unaffected.
+        let back = ch.route(SimTime(0), r(1), &[r(0)], 10);
+        assert_eq!(back.len(), 1);
+        ch.unblock(r(0), r(1));
+        let again = ch.route(SimTime(0), r(0), &[r(1)], 10);
+        assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn isolation_cuts_both_directions() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        ch.isolate(r(3));
+        assert!(ch.route(SimTime(0), r(0), &[r(3)], 10).is_empty());
+        assert!(ch.route(SimTime(0), r(3), &[r(0)], 10).is_empty());
+        ch.reconnect(r(3));
+        assert_eq!(ch.route(SimTime(0), r(0), &[r(3)], 10).len(), 1);
+    }
+
+    #[test]
+    fn jitter_reorders() {
+        let mut ch = Channel::new(
+            ChannelConfig {
+                jitter_us: 10_000,
+                ..ChannelConfig::reliable()
+            },
+            3,
+        );
+        // Two sequential sends to the same destination can arrive swapped.
+        let mut swapped = false;
+        let mut t = 0u64;
+        for _ in 0..200 {
+            let d1 = ch.route(SimTime(t), r(0), &[r(1)], 10)[0].at;
+            let d2 = ch.route(SimTime(t + 1), r(0), &[r(1)], 10)[0].at;
+            if d2 < d1 {
+                swapped = true;
+                break;
+            }
+            t += 2;
+        }
+        assert!(swapped, "jitter should eventually reorder deliveries");
+    }
+
+    #[test]
+    fn duplication_schedules_extra_copy() {
+        let mut ch = Channel::new(
+            ChannelConfig {
+                duplicate_prob: 1.0,
+                jitter_us: 10,
+                ..ChannelConfig::reliable()
+            },
+            1,
+        );
+        let deliveries = ch.route(SimTime(0), r(0), &[r(1)], 10);
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(ch.stats().duplicated, 1);
+        assert!(deliveries[1].at > deliveries[0].at);
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        let small = ch.route(SimTime(0), r(0), &[r(1)], 64)[0].at;
+        let big = ch.route(SimTime(0), r(0), &[r(1)], 8192)[0].at;
+        assert!(big > small);
+    }
+
+    #[test]
+    fn clients_and_replicas_route_alike() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        let c = NodeId::Client(ClientId(0));
+        let deliveries = ch.route(SimTime(0), c, &all(4), 100);
+        assert_eq!(deliveries.len(), 4);
+    }
+}

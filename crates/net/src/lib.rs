@@ -1,0 +1,8 @@
+//! Network substrate: the unreliable multicast channel automaton of the
+//! thesis's system model (Figure 2-5) and the Chapter 7 wire-cost model.
+
+pub mod channel;
+pub mod cost;
+
+pub use channel::{Channel, ChannelConfig, ChannelStats, Delivery};
+pub use cost::{CostModel, LinearCost};

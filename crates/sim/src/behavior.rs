@@ -1,0 +1,101 @@
+//! Byzantine behaviors for fault injection.
+//!
+//! The thesis's failure model lets faulty replicas behave arbitrarily
+//! (§2.1); the simulator models the attacker by intercepting a compromised
+//! replica's inputs and outputs. Behaviors use only capabilities a real
+//! Byzantine replica has: dropping messages, mutating its own messages (it
+//! can re-authenticate them with its own keys), and equivocating — sending
+//! different messages to different destinations.
+
+use bft_statemachine::Service;
+use bft_types::{Message, NodeId, ReplyBody};
+use bytes::Bytes;
+
+/// How a replica behaves in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Correct,
+    /// Crashed: consumes no inputs, produces no outputs (fail-stop).
+    Crashed,
+    /// Receives and processes but never sends (a silent primary forces a
+    /// view change; a silent backup is tolerated).
+    Mute,
+    /// As primary, proposes different batches to different backups by
+    /// perturbing the non-deterministic value per destination (§2.3.3's
+    /// equivocation attack; quorum intersection must prevent divergence).
+    EquivocatingPrimary,
+    /// Sends prepare/commit votes with corrupted digests (garbage votes
+    /// must never assemble certificates).
+    CorruptVotes,
+    /// Executes correctly but lies to clients in its replies (clients must
+    /// out-vote it with the reply certificate).
+    LyingReplies,
+}
+
+impl Behavior {
+    /// True if the replica consumes inputs at all.
+    pub fn receives(&self) -> bool {
+        !matches!(self, Behavior::Crashed)
+    }
+
+    /// Transforms an outgoing message for a specific destination; `None`
+    /// drops it. `forge` re-authenticates mutated multicast content with
+    /// the replica's own keys.
+    pub fn mutate<S: Service>(
+        &self,
+        replica: &mut bft_core::Replica<S>,
+        dest: NodeId,
+        msg: Message,
+    ) -> Option<Message> {
+        match self {
+            Behavior::Correct => Some(msg),
+            Behavior::Crashed | Behavior::Mute => None,
+            Behavior::EquivocatingPrimary => match msg {
+                Message::PrePrepare(mut pp) => {
+                    // Split the backups into two camps with different
+                    // proposals.
+                    let camp = match dest {
+                        NodeId::Replica(r) => r.0 % 2,
+                        _ => 0,
+                    };
+                    if camp == 1 {
+                        let mut nondet = pp.nondet.to_vec();
+                        nondet.push(0xE0 | camp as u8);
+                        pp.nondet = Bytes::from(nondet);
+                        pp.auth = replica.forge_multicast_auth(&pp.content_bytes());
+                    }
+                    Some(Message::PrePrepare(pp))
+                }
+                other => Some(other),
+            },
+            Behavior::CorruptVotes => match msg {
+                Message::Prepare(mut p) => {
+                    p.digest.0[0] ^= 0xff;
+                    p.auth = replica.forge_multicast_auth(&p.content_bytes());
+                    Some(Message::Prepare(p))
+                }
+                Message::Commit(mut c) => {
+                    c.digest.0[0] ^= 0xff;
+                    c.auth = replica.forge_multicast_auth(&c.content_bytes());
+                    Some(Message::Commit(c))
+                }
+                other => Some(other),
+            },
+            Behavior::LyingReplies => match msg {
+                Message::Reply(mut r) => {
+                    let lie = Bytes::from_static(b"forged-result");
+                    r.body = ReplyBody::Full(lie);
+                    let node = match r.requester {
+                        bft_types::Requester::Client(c) => NodeId::Client(c),
+                        bft_types::Requester::Replica(rr) => NodeId::Replica(rr),
+                    };
+                    r.auth = replica.forge_mac(node, &r.content_bytes());
+                    Some(Message::Reply(r))
+                }
+                other => Some(other),
+            },
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! The deterministic discrete-event cluster harness.
+//!
+//! Replicas and clients are pure event handlers; the harness owns the
+//! virtual clock, the multicast channel automaton, per-node CPU accounting
+//! (Chapter 7's cost model), timers, fault injection, and metrics. Given a
+//! seed, every run is bit-identical.
+
+use crate::behavior::Behavior;
+use crate::metrics::Metrics;
+use bft_core::{Action, ClientConfig, ClientProxy, Input, Replica, ReplicaConfig, Target, TimerId};
+use bft_net::{Channel, ChannelConfig};
+use bft_statemachine::Service;
+use bft_types::{
+    Auth, ClientId, Message, NodeId, ReplicaId, Requester, SimDuration, SimTime, Timestamp,
+};
+use bytes::Bytes;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Cluster-level configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Replica protocol configuration.
+    pub replica: ReplicaConfig,
+    /// Network fault configuration.
+    pub channel: ChannelConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Number of client proxies to instantiate.
+    pub clients: u32,
+}
+
+impl ClusterConfig {
+    /// A small reliable cluster for tests.
+    pub fn test(f: usize, clients: u32) -> Self {
+        let mut replica = ReplicaConfig::test(f);
+        replica.num_clients = clients.max(replica.num_clients);
+        ClusterConfig {
+            replica,
+            channel: ChannelConfig::reliable(),
+            seed: 42,
+            clients,
+        }
+    }
+}
+
+/// A scheduled fault.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Change a replica's behavior.
+    SetBehavior(ReplicaId, Behavior),
+    /// Cut a node off from the network.
+    Isolate(NodeId),
+    /// Reconnect an isolated node.
+    Reconnect(NodeId),
+    /// Corrupt a state page at a replica (detected by recovery).
+    CorruptPage(ReplicaId, u64, Bytes),
+    /// Fire a replica's watchdog immediately (forced recovery).
+    ForceRecovery(ReplicaId),
+}
+
+#[derive(Clone, Debug)]
+enum EventKind {
+    Deliver { to: NodeId, msg: Message },
+    Timer { node: NodeId, id: TimerId, gen: u64 },
+    ClientStart { client: ClientId },
+    Fault(Fault),
+}
+
+#[derive(Clone, Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A closed-loop workload driver: asked for the next operation whenever
+/// the client is idle, fed the previous operation's result (scripted
+/// workloads like the Andrew benchmark resolve handles from replies).
+pub trait Driver {
+    /// Returns the next `(operation, read_only)` or `None` when done.
+    fn next(&mut self, last_result: Option<&Bytes>) -> Option<(Bytes, bool)>;
+}
+
+/// One operation spec for the closed-loop workload.
+#[derive(Clone)]
+pub struct OpGen {
+    /// Produces the (operation bytes, read-only flag) for the k-th op.
+    pub gen: std::rc::Rc<dyn Fn(u64) -> (Bytes, bool)>,
+    /// Operations each client will issue.
+    pub ops_per_client: u64,
+}
+
+impl std::fmt::Debug for OpGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OpGen(ops={})", self.ops_per_client)
+    }
+}
+
+impl OpGen {
+    /// A fixed operation repeated `ops` times.
+    pub fn fixed(op: Bytes, read_only: bool, ops: u64) -> Self {
+        OpGen {
+            gen: std::rc::Rc::new(move |_| (op.clone(), read_only)),
+            ops_per_client: ops,
+        }
+    }
+}
+
+struct OpGenDriver {
+    gen: OpGen,
+    issued: u64,
+}
+
+impl Driver for OpGenDriver {
+    fn next(&mut self, _last: Option<&Bytes>) -> Option<(Bytes, bool)> {
+        if self.issued >= self.gen.ops_per_client {
+            return None;
+        }
+        let op = (self.gen.gen)(self.issued);
+        self.issued += 1;
+        Some(op)
+    }
+}
+
+struct ClientSlot {
+    proxy: ClientProxy,
+    driver: Option<Box<dyn Driver>>,
+    /// True once the driver returned `None`.
+    done: bool,
+    invoke_time: SimTime,
+    results: Vec<(Timestamp, Bytes)>,
+}
+
+/// The simulated cluster.
+pub struct Cluster<S: Service> {
+    /// Configuration.
+    pub config: ClusterConfig,
+    time: SimTime,
+    next_seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    replicas: Vec<Replica<S>>,
+    behaviors: Vec<Behavior>,
+    clients: Vec<ClientSlot>,
+    channel: Channel,
+    busy_until: HashMap<NodeId, SimTime>,
+    timer_gen: HashMap<(NodeId, TimerId), u64>,
+    completions: Vec<SimTime>,
+    /// Collected metrics.
+    pub metrics: Metrics,
+}
+
+impl<S: Service> Cluster<S> {
+    /// Builds a cluster; `services` must have one entry per replica.
+    pub fn new(config: ClusterConfig, services: Vec<S>) -> Self {
+        assert_eq!(
+            services.len(),
+            config.replica.group.n,
+            "one service instance per replica"
+        );
+        let keys = bft_core::ClusterKeys::generate(
+            config.replica.group,
+            config.replica.num_clients,
+            config.replica.sig_modulus_bits,
+            config.seed,
+        );
+        let replicas: Vec<Replica<S>> = services
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Replica::new(
+                    ReplicaId(i as u32),
+                    config.replica.clone(),
+                    s,
+                    &keys,
+                    config.seed,
+                )
+            })
+            .collect();
+        let client_cfg = ClientConfig::from_replica(&config.replica);
+        let clients = (0..config.clients)
+            .map(|c| ClientSlot {
+                proxy: ClientProxy::new(ClientId(c), client_cfg.clone(), &keys),
+                driver: None,
+                done: true,
+                invoke_time: SimTime::ZERO,
+                results: Vec::new(),
+            })
+            .collect();
+        let channel = Channel::new(config.channel.clone(), config.seed ^ 0xc4a77e1);
+        let behaviors = vec![Behavior::Correct; config.replica.group.n];
+        let mut cluster = Cluster {
+            time: SimTime::ZERO,
+            next_seq: 0,
+            events: BinaryHeap::new(),
+            replicas,
+            behaviors,
+            clients,
+            channel,
+            busy_until: HashMap::new(),
+            timer_gen: HashMap::new(),
+            completions: Vec::new(),
+            metrics: Metrics::default(),
+            config,
+        };
+        // Boot every replica.
+        for i in 0..cluster.replicas.len() {
+            let actions = cluster.replicas[i].start();
+            let node = NodeId::Replica(ReplicaId(i as u32));
+            cluster.apply_actions(node, SimTime::ZERO, actions);
+        }
+        cluster
+    }
+
+    /// Sets a replica's behavior immediately.
+    pub fn set_behavior(&mut self, r: ReplicaId, b: Behavior) {
+        self.behaviors[r.0 as usize] = b;
+    }
+
+    /// Schedules a fault at a future virtual time.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
+        self.push_event(at, EventKind::Fault(fault));
+    }
+
+    /// Assigns a closed-loop workload to every client and schedules the
+    /// first invocations at time zero.
+    pub fn set_workload(&mut self, gen: OpGen) {
+        for c in 0..self.clients.len() {
+            self.set_driver(
+                ClientId(c as u32),
+                Box::new(OpGenDriver {
+                    gen: gen.clone(),
+                    issued: 0,
+                }),
+            );
+        }
+    }
+
+    /// Assigns a custom driver to one client and schedules its first
+    /// invocation now.
+    pub fn set_driver(&mut self, client: ClientId, driver: Box<dyn Driver>) {
+        let slot = &mut self.clients[client.0 as usize];
+        slot.driver = Some(driver);
+        slot.done = false;
+        self.push_event(self.time, EventKind::ClientStart { client });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Read access to a replica.
+    pub fn replica(&self, i: usize) -> &Replica<S> {
+        &self.replicas[i]
+    }
+
+    /// Mutable access to a replica (test assertions / fault setup).
+    pub fn replica_mut(&mut self, i: usize) -> &mut Replica<S> {
+        &mut self.replicas[i]
+    }
+
+    /// Results collected by a client, in completion order.
+    pub fn client_results(&self, c: usize) -> &[(Timestamp, Bytes)] {
+        &self.clients[c].results
+    }
+
+    /// Completion timestamps across all clients (for gap analysis).
+    pub fn completion_times(&self) -> &[SimTime] {
+        &self.completions
+    }
+
+    /// Total clients still busy or holding unfinished drivers.
+    pub fn outstanding_ops(&self) -> u64 {
+        self.clients
+            .iter()
+            .map(|c| u64::from(!c.done || c.proxy.busy()))
+            .sum()
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Runs until `deadline` or until the event queue empties.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            self.time = ev.at;
+            self.metrics.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.time = self.time.max(deadline);
+        self.metrics.end_time = self.time;
+    }
+
+    /// Runs until all client workloads complete or `deadline` passes.
+    /// Returns true when every operation completed.
+    pub fn run_to_completion(&mut self, deadline: SimTime) -> bool {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            if self.outstanding_ops() == 0 {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            self.time = ev.at;
+            self.metrics.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.metrics.end_time = self.time;
+        self.outstanding_ops() == 0
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Deliver { to, msg } => self.deliver(to, msg, ev.at),
+            EventKind::Timer { node, id, gen } => {
+                let current = self.timer_gen.get(&(node, id)).copied().unwrap_or(0);
+                if gen != current {
+                    return; // Canceled or re-armed.
+                }
+                self.handle_input(node, Input::Timer(id), ev.at);
+            }
+            EventKind::ClientStart { client } => self.client_next_op(client, ev.at),
+            EventKind::Fault(f) => self.apply_fault(f, ev.at),
+        }
+    }
+
+    fn apply_fault(&mut self, fault: Fault, at: SimTime) {
+        match fault {
+            Fault::SetBehavior(r, b) => self.behaviors[r.0 as usize] = b,
+            Fault::Isolate(n) => self.channel.isolate(n),
+            Fault::Reconnect(n) => self.channel.reconnect(n),
+            Fault::CorruptPage(r, page, value) => {
+                self.replicas[r.0 as usize].corrupt_state_page(page, value);
+            }
+            Fault::ForceRecovery(r) => {
+                self.handle_input(NodeId::Replica(r), Input::WatchdogInterrupt, at);
+            }
+        }
+    }
+
+    fn client_next_op(&mut self, client: ClientId, at: SimTime) {
+        self.client_advance(client, at, None);
+    }
+
+    fn client_advance(&mut self, client: ClientId, at: SimTime, last: Option<Bytes>) {
+        let slot = &mut self.clients[client.0 as usize];
+        if slot.done || slot.proxy.busy() {
+            return;
+        }
+        let Some(driver) = slot.driver.as_mut() else {
+            slot.done = true;
+            return;
+        };
+        match driver.next(last.as_ref()) {
+            Some((op, read_only)) => {
+                slot.invoke_time = at;
+                let actions = slot.proxy.invoke(op, read_only);
+                self.apply_actions(NodeId::Client(client), at, actions);
+            }
+            None => slot.done = true,
+        }
+    }
+
+    /// Cost of verifying a message's authentication, per the cost model.
+    fn verify_cost(&self, msg: &Message, size: usize) -> f64 {
+        let cost = self.channel.cost();
+        let auth_cost = |a: &Auth| match a {
+            Auth::None => 0.0,
+            Auth::Mac(_) | Auth::Authenticator(_) => cost.mac.eval(64),
+            Auth::Signature(_) | Auth::CounterSig(_) => cost.verify_us,
+        };
+        let base = cost.recv.eval(size) + cost.digest.eval(size);
+        base + match msg {
+            Message::Request(m) => auth_cost(&m.auth),
+            Message::Reply(m) => auth_cost(&m.auth),
+            Message::PrePrepare(m) => auth_cost(&m.auth),
+            Message::Prepare(m) => auth_cost(&m.auth),
+            Message::Commit(m) => auth_cost(&m.auth),
+            Message::Checkpoint(m) => auth_cost(&m.auth),
+            Message::ViewChange(m) => auth_cost(&m.auth),
+            Message::ViewChangeAck(m) => auth_cost(&m.auth),
+            Message::NewView(m) => auth_cost(&m.auth),
+            Message::NotCommitted(m) => auth_cost(&m.auth),
+            Message::NotCommittedPrimary(m) => auth_cost(&m.auth),
+            Message::ViewChangePk(m) => auth_cost(&m.auth),
+            Message::NewViewPk(m) => auth_cost(&m.auth),
+            Message::StatusActive(m) => auth_cost(&m.auth),
+            Message::StatusPending(m) => auth_cost(&m.auth),
+            Message::Fetch(m) => auth_cost(&m.auth),
+            Message::MetaData(m) => auth_cost(&m.auth),
+            Message::Data(_) => 0.0,
+            Message::NewKey(m) => auth_cost(&m.auth),
+            Message::QueryStable(m) => auth_cost(&m.auth),
+            Message::ReplyStable(m) => auth_cost(&m.auth),
+        }
+    }
+
+    /// Cost of generating the authentication on an outgoing message.
+    fn generate_cost(&self, msg: &Message, size: usize) -> f64 {
+        let cost = self.channel.cost();
+        let auth_cost = |a: &Auth| match a {
+            Auth::None => 0.0,
+            Auth::Mac(_) => cost.mac.eval(64),
+            Auth::Authenticator(a) => a.len() as f64 * cost.mac.eval(64),
+            Auth::Signature(_) | Auth::CounterSig(_) => cost.sign_us,
+        };
+        let base = cost.digest.eval(size);
+        base + match msg {
+            Message::Request(m) => auth_cost(&m.auth),
+            Message::Reply(m) => auth_cost(&m.auth),
+            Message::PrePrepare(m) => auth_cost(&m.auth),
+            Message::Prepare(m) => auth_cost(&m.auth),
+            Message::Commit(m) => auth_cost(&m.auth),
+            Message::Checkpoint(m) => auth_cost(&m.auth),
+            Message::ViewChange(m) => auth_cost(&m.auth),
+            Message::ViewChangeAck(m) => auth_cost(&m.auth),
+            Message::NewView(m) => auth_cost(&m.auth),
+            Message::NotCommitted(m) => auth_cost(&m.auth),
+            Message::NotCommittedPrimary(m) => auth_cost(&m.auth),
+            Message::ViewChangePk(m) => auth_cost(&m.auth),
+            Message::NewViewPk(m) => auth_cost(&m.auth),
+            Message::StatusActive(m) => auth_cost(&m.auth),
+            Message::StatusPending(m) => auth_cost(&m.auth),
+            Message::Fetch(m) => auth_cost(&m.auth),
+            Message::MetaData(m) => auth_cost(&m.auth),
+            Message::Data(_) => 0.0,
+            Message::NewKey(m) => auth_cost(&m.auth),
+            Message::QueryStable(m) => auth_cost(&m.auth),
+            Message::ReplyStable(m) => auth_cost(&m.auth),
+        }
+    }
+
+    fn deliver(&mut self, to: NodeId, msg: Message, at: SimTime) {
+        let size = msg.wire_size();
+        self.metrics.record_message(msg.type_name(), size);
+        if let NodeId::Replica(r) = to {
+            if !self.behaviors[r.0 as usize].receives() {
+                return; // Crashed.
+            }
+        }
+        let verify_us = self.verify_cost(&msg, size);
+        self.handle_input_with_cost(to, Input::Deliver(msg), at, verify_us);
+    }
+
+    fn handle_input(&mut self, node: NodeId, input: Input, at: SimTime) {
+        self.handle_input_with_cost(node, input, at, 0.0);
+    }
+
+    fn handle_input_with_cost(&mut self, node: NodeId, input: Input, at: SimTime, pre_us: f64) {
+        // CPU serialization: a node processes one event at a time.
+        let start = self.busy_until.get(&node).copied().unwrap_or(SimTime::ZERO).max(at);
+        let mut cpu_us = pre_us;
+        let actions = match node {
+            NodeId::Replica(r) => {
+                let idx = r.0 as usize;
+                if !self.behaviors[idx].receives() {
+                    return;
+                }
+                let before = self.replicas[idx].stats;
+                let actions = self.replicas[idx].on_input(input);
+                let after = self.replicas[idx].stats;
+                let executed = after.requests_executed - before.requests_executed;
+                cpu_us += executed as f64 * self.channel.cost().execute_us;
+                // Checkpoint cost: digest of modified pages, approximated
+                // by one page digest per checkpoint (§8.4.1 measures the
+                // real cost via the criterion bench).
+                let ckpts = after.checkpoints_taken - before.checkpoints_taken;
+                cpu_us += ckpts as f64 * self.channel.cost().digest.eval(4096);
+                actions
+            }
+            NodeId::Client(c) => {
+                let idx = c.0 as usize;
+                let (actions, done) = self.clients[idx].proxy.on_input(input);
+                // Apply this event's actions (including the CancelTimer of
+                // a completed operation) BEFORE the closed loop invokes the
+                // next operation, which arms a fresh retransmit timer.
+                let done_at = start + SimDuration::from_micros(cpu_us as u64);
+                self.busy_until.insert(node, done_at);
+                self.apply_actions(node, done_at, actions);
+                if let Some(op) = done {
+                    let latency = start.since(self.clients[idx].invoke_time);
+                    self.clients[idx]
+                        .results
+                        .push((op.timestamp, op.result.clone()));
+                    self.metrics
+                        .record_completion(start, latency, op.retransmissions > 0);
+                    self.completions.push(start);
+                    // Closed loop: ask the driver for the next operation.
+                    self.client_advance(c, done_at, Some(op.result));
+                }
+                return;
+            }
+        };
+        let done_at = start + SimDuration::from_micros(cpu_us as u64);
+        self.busy_until.insert(node, done_at);
+        self.apply_actions(node, done_at, actions);
+    }
+
+    fn apply_actions(&mut self, from: NodeId, at: SimTime, actions: Vec<Action>) {
+        let mut send_at = at;
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let dests: Vec<NodeId> = match to {
+                        Target::Replica(r) => vec![NodeId::Replica(r)],
+                        Target::AllReplicas => self
+                            .config
+                            .replica
+                            .group
+                            .replicas()
+                            .map(NodeId::Replica)
+                            .filter(|n| *n != from)
+                            .collect(),
+                        Target::Requester(Requester::Client(c)) => vec![NodeId::Client(c)],
+                        Target::Requester(Requester::Replica(r)) => vec![NodeId::Replica(r)],
+                        Target::Node(n) => vec![n],
+                    };
+                    // Byzantine mutation per destination. Authentication
+                    // generation is charged once per send action (an
+                    // authenticator is computed once for a multicast).
+                    let mut first = true;
+                    for dest in dests {
+                        let msg = if let NodeId::Replica(r) = from {
+                            let b = self.behaviors[r.0 as usize];
+                            match b.mutate(&mut self.replicas[r.0 as usize], dest, msg.clone()) {
+                                Some(m) => m,
+                                None => continue,
+                            }
+                        } else {
+                            msg.clone()
+                        };
+                        let size = msg.wire_size();
+                        if first {
+                            let gen_us = self.generate_cost(&msg, size);
+                            send_at = send_at + SimDuration::from_micros(gen_us as u64);
+                            first = false;
+                        }
+                        let deliveries = self.channel.route(send_at, from, &[dest], size);
+                        for d in deliveries {
+                            self.push_event(
+                                d.at,
+                                EventKind::Deliver {
+                                    to: d.to,
+                                    msg: msg.clone(),
+                                },
+                            );
+                        }
+                    }
+                    // Sender CPU advances past the sends.
+                    self.busy_until.insert(from, send_at);
+                }
+                Action::SetTimer { id, after } => {
+                    let gen = self.timer_gen.entry((from, id)).or_insert(0);
+                    *gen += 1;
+                    let gen = *gen;
+                    self.push_event(at + after, EventKind::Timer { node: from, id, gen });
+                }
+                Action::CancelTimer { id } => {
+                    *self.timer_gen.entry((from, id)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Builds a cluster of [`bft_statemachine::CounterService`] replicas — the
+/// workhorse configuration for protocol tests.
+pub fn counter_cluster(config: ClusterConfig) -> Cluster<bft_statemachine::CounterService> {
+    let n = config.replica.group.n;
+    let clients = config.replica.num_clients;
+    let services = (0..n)
+        .map(|_| bft_statemachine::CounterService::new(clients + n as u32))
+        .collect();
+    Cluster::new(config, services)
+}
+
+/// Builds a cluster of [`bft_statemachine::MemService`] replicas — the
+/// micro-benchmark configuration of §8.1.
+pub fn mem_cluster(config: ClusterConfig, pages: u64) -> Cluster<bft_statemachine::MemService> {
+    let n = config.replica.group.n;
+    let services = (0..n).map(|_| bft_statemachine::MemService::new(pages)).collect();
+    Cluster::new(config, services)
+}

@@ -1,0 +1,12 @@
+//! Deterministic discrete-event simulator for the BFT evaluation: cluster
+//! harness, Byzantine fault injection, metrics, and prebuilt experiment
+//! scenarios.
+
+pub mod behavior;
+pub mod harness;
+pub mod metrics;
+pub mod scenarios;
+
+pub use behavior::Behavior;
+pub use harness::{counter_cluster, mem_cluster, Cluster, ClusterConfig, Driver, Fault, OpGen};
+pub use metrics::{LatencySeries, Metrics};

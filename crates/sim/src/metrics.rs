@@ -1,0 +1,151 @@
+//! Measurement collection for simulation runs.
+
+use bft_types::{SimDuration, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A latency sample series with percentile queries.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct LatencySeries {
+    samples_us: Vec<u64>,
+}
+
+impl LatencySeries {
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_us.push(d.as_micros());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Arithmetic mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<u64>() as f64 / self.samples_us.len() as f64
+    }
+
+    /// The `p`-th percentile (0–100) in microseconds.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.samples_us.is_empty() {
+            return 0;
+        }
+        let mut v = self.samples_us.clone();
+        v.sort_unstable();
+        let rank = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[rank.min(v.len() - 1)]
+    }
+
+    /// Maximum sample in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.samples_us.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Aggregate metrics for one simulation run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Metrics {
+    /// End-to-end operation latency (client invoke → reply certificate).
+    pub latency: LatencySeries,
+    /// Completed operations.
+    pub ops_completed: u64,
+    /// Operations that needed client retransmission.
+    pub ops_retransmitted: u64,
+    /// Messages delivered, by type name.
+    pub messages_by_type: BTreeMap<&'static str, u64>,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Events processed by the simulator.
+    pub events_processed: u64,
+    /// Virtual time at the end of the run.
+    pub end_time: SimTime,
+    /// Virtual time when the first operation completed.
+    pub first_completion: Option<SimTime>,
+    /// Virtual time when the last operation completed.
+    pub last_completion: Option<SimTime>,
+}
+
+impl Metrics {
+    /// Records a delivered message.
+    pub fn record_message(&mut self, type_name: &'static str, bytes: usize) {
+        *self.messages_by_type.entry(type_name).or_insert(0) += 1;
+        self.bytes_delivered += bytes as u64;
+    }
+
+    /// Records a completed operation.
+    pub fn record_completion(&mut self, at: SimTime, latency: SimDuration, retransmitted: bool) {
+        self.ops_completed += 1;
+        if retransmitted {
+            self.ops_retransmitted += 1;
+        }
+        self.latency.record(latency);
+        if self.first_completion.is_none() {
+            self.first_completion = Some(at);
+        }
+        self.last_completion = Some(at);
+    }
+
+    /// Sustained throughput in operations per second of virtual time,
+    /// measured between the first and last completion.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        match (self.first_completion, self.last_completion) {
+            (Some(a), Some(b)) if b > a && self.ops_completed > 1 => {
+                (self.ops_completed - 1) as f64 / (b.since(a).as_micros() as f64 / 1e6)
+            }
+            (Some(_), Some(_)) => 0.0,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles() {
+        let mut s = LatencySeries::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            s.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(s.count(), 10);
+        assert!((s.mean_us() - 55.0).abs() < 1e-9);
+        assert_eq!(s.percentile_us(0.0), 10);
+        assert_eq!(s.percentile_us(50.0), 60);
+        assert_eq!(s.percentile_us(100.0), 100);
+        assert_eq!(s.max_us(), 100);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = LatencySeries::default();
+        assert_eq!(s.mean_us(), 0.0);
+        assert_eq!(s.percentile_us(99.0), 0);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let mut m = Metrics::default();
+        // 11 completions over 1 second → 10 intervals / 1s.
+        for i in 0..11u64 {
+            m.record_completion(
+                SimTime(i * 100_000),
+                SimDuration::from_micros(500),
+                false,
+            );
+        }
+        assert!((m.throughput_ops_per_sec() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_completion_throughput_zero() {
+        let mut m = Metrics::default();
+        m.record_completion(SimTime(5), SimDuration::from_micros(5), true);
+        assert_eq!(m.throughput_ops_per_sec(), 0.0);
+        assert_eq!(m.ops_retransmitted, 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! Prebuilt experiment scenarios: one function per Chapter 8 evaluation
+//! result (see `DESIGN.md` §4's experiment index). The `tables` binary and
+//! the integration tests both run these.
+
+use crate::behavior::Behavior;
+use crate::harness::{mem_cluster, Cluster, ClusterConfig, Driver, Fault, OpGen};
+use bft_core::config::{AuthMode, Optimizations};
+use bft_core::ReplicaConfig;
+use bft_net::ChannelConfig;
+use bft_statemachine::MemService;
+use bft_types::{ClientId, NodeId, ReplicaId, SimDuration, SimTime};
+use bfs::andrew::{generate_script, AndrewConfig, PathResolver, Phase, ScriptedOp};
+use bfs::{BfsService, NfsReply};
+use bytes::Bytes;
+
+/// Result of a latency experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyResult {
+    /// Mean operation latency in microseconds.
+    pub mean_us: f64,
+    /// Operations measured.
+    pub ops: u64,
+}
+
+/// Result of a throughput experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputResult {
+    /// Sustained operations per second.
+    pub ops_per_sec: f64,
+    /// Operations completed.
+    pub ops: u64,
+}
+
+/// Protocol/size parameters for a micro-benchmark operation (§8.1: the
+/// `a/b` benchmark takes an `a`-KB argument and returns a `b`-KB result).
+#[derive(Clone, Copy, Debug)]
+pub struct MicroOp {
+    /// Argument size in bytes.
+    pub arg: usize,
+    /// Result size in bytes.
+    pub result: usize,
+    /// Whether to use the read-only optimization.
+    pub read_only: bool,
+}
+
+impl MicroOp {
+    /// The 0/0 benchmark.
+    pub fn zero_zero() -> Self {
+        MicroOp {
+            arg: 0,
+            result: 0,
+            read_only: false,
+        }
+    }
+
+    /// The 4/0 benchmark (4 KB argument).
+    pub fn four_zero() -> Self {
+        MicroOp {
+            arg: 4096,
+            result: 0,
+            read_only: false,
+        }
+    }
+
+    /// The 0/4 benchmark (4 KB result).
+    pub fn zero_four() -> Self {
+        MicroOp {
+            arg: 0,
+            result: 4096,
+            read_only: false,
+        }
+    }
+
+    /// The encoded MemService operation.
+    pub fn bytes(&self) -> Bytes {
+        if self.read_only {
+            MemService::op_ro(self.result)
+        } else {
+            MemService::op_rw(self.arg, self.result)
+        }
+    }
+}
+
+/// Shared base configuration for micro-benchmarks.
+pub fn micro_config(f: usize, clients: u32) -> ClusterConfig {
+    let mut replica = ReplicaConfig::small(f);
+    replica.num_clients = clients.max(16);
+    // Micro-benchmarks measure the normal case: generous view-change
+    // timeout so queuing delays under load do not trigger view changes.
+    replica.view_change_timeout = SimDuration::from_secs(5);
+    replica.status_interval = SimDuration::from_millis(500);
+    ClusterConfig {
+        replica,
+        channel: ChannelConfig::reliable(),
+        seed: 1,
+        clients,
+    }
+}
+
+/// E-8.3.1: latency of one micro-benchmark operation variant.
+pub fn latency(op: MicroOp, auth: AuthMode, opts: Optimizations, ops: u64) -> LatencyResult {
+    let mut config = micro_config(1, 1);
+    config.replica.auth = auth;
+    config.replica.opts = opts;
+    if auth == AuthMode::Signatures {
+        config.replica.view_change_timeout = SimDuration::from_secs(60);
+        config.replica.status_interval = SimDuration::from_secs(2);
+    }
+    let mut cluster = mem_cluster(config, 64);
+    cluster.set_workload(OpGen::fixed(op.bytes(), op.read_only, ops));
+    let done = cluster.run_to_completion(SimTime(SimDuration::from_secs(600).as_micros()));
+    assert!(done, "latency workload must complete");
+    LatencyResult {
+        mean_us: cluster.metrics.latency.mean_us(),
+        ops: cluster.metrics.ops_completed,
+    }
+}
+
+/// E-8.3.2 / E-8.3.4: throughput with a given client count and group size.
+pub fn throughput(op: MicroOp, f: usize, clients: u32, ops_per_client: u64) -> ThroughputResult {
+    let mut config = micro_config(f, clients);
+    config.replica.window = 32;
+    let mut cluster = mem_cluster(config, 64);
+    cluster.set_workload(OpGen::fixed(op.bytes(), op.read_only, ops_per_client));
+    let deadline = SimTime(SimDuration::from_secs(1200).as_micros());
+    let done = cluster.run_to_completion(deadline);
+    assert!(done, "throughput workload must complete");
+    ThroughputResult {
+        ops_per_sec: cluster.metrics.throughput_ops_per_sec(),
+        ops: cluster.metrics.ops_completed,
+    }
+}
+
+/// E-8.5: view-change latency — crash the primary mid-run and measure the
+/// service interruption (time between the last completion before the crash
+/// and the first completion after it).
+pub fn view_change_interruption(seed: u64) -> SimDuration {
+    let mut config = micro_config(1, 2);
+    config.seed = seed;
+    config.replica.view_change_timeout = SimDuration::from_millis(100);
+    // Fine-grained retransmission so the measurement isolates the view
+    // change itself rather than the status period.
+    config.replica.status_interval = SimDuration::from_millis(20);
+    let crash_at = SimTime(500_000);
+    let mut cluster = mem_cluster(config, 64);
+    cluster.schedule_fault(crash_at, Fault::SetBehavior(ReplicaId(0), Behavior::Crashed));
+    cluster.set_workload(OpGen::fixed(MicroOp::zero_zero().bytes(), false, 2000));
+    cluster.run_until(SimTime(20_000_000));
+    assert!(
+        cluster.replica(1).view().0 >= 1,
+        "view change must have happened"
+    );
+    // Interruption = the largest gap between consecutive completions after
+    // the crash (in-flight operations may still finish on the surviving
+    // replicas; the gap is the stall until the new view processes requests).
+    let mut times: Vec<SimTime> = cluster.completion_times().to_vec();
+    times.sort_unstable();
+    let mut worst = SimDuration::ZERO;
+    let mut prev = crash_at;
+    for &t in times.iter().filter(|&&t| t > crash_at) {
+        worst = worst.max(t.since(prev));
+        prev = t;
+    }
+    assert!(prev > crash_at, "service resumed after the view change");
+    worst
+}
+
+/// E-8.4.2: state-transfer volume and time to bring a lagging replica up
+/// to date after missing `lag_batches` batches of `write_bytes`-byte
+/// writes.
+pub fn state_transfer_cost(lag_batches: u64, write_bytes: usize) -> (u64, u64, SimDuration) {
+    let mut config = micro_config(1, 1);
+    config.replica.checkpoint_interval = 8;
+    let mut cluster = mem_cluster(config, 128);
+    cluster.schedule_fault(SimTime(0), Fault::Isolate(NodeId::Replica(ReplicaId(3))));
+    cluster.set_workload(OpGen::fixed(
+        MemService::op_rw(write_bytes, 0),
+        false,
+        lag_batches,
+    ));
+    let done = cluster.run_to_completion(SimTime(SimDuration::from_secs(300).as_micros()));
+    assert!(done, "workload completes without replica 3");
+    let target = cluster.replica(0).stable_checkpoint().0;
+    let reconnect = cluster.now();
+    cluster.schedule_fault(reconnect, Fault::Reconnect(NodeId::Replica(ReplicaId(3))));
+    // Step in slices so the measured time is the actual catch-up time.
+    let deadline = SimTime(reconnect.0 + SimDuration::from_secs(120).as_micros());
+    while cluster.now() < deadline && cluster.replica(3).stable_checkpoint().0 < target {
+        let t = SimTime(cluster.now().0 + 5_000);
+        cluster.run_until(t.min(deadline));
+    }
+    let r3 = cluster.replica(3);
+    assert!(
+        r3.stable_checkpoint().0 >= target,
+        "replica 3 caught up (stable {:?} vs target {:?})",
+        r3.stable_checkpoint().0,
+        target
+    );
+    (
+        r3.stats.pages_fetched,
+        r3.stats.bytes_fetched,
+        cluster.now().since(reconnect),
+    )
+}
+
+/// E-8.6.3: run with proactive recovery enabled; returns (recoveries
+/// completed, ops completed, throughput).
+pub fn recovery_run(watchdog: SimDuration, run_for: SimDuration, seed: u64) -> (u64, u64, f64) {
+    let mut config = micro_config(1, 2);
+    config.seed = seed;
+    config.replica.checkpoint_interval = 8;
+    config.replica.recovery.enabled = true;
+    config.replica.recovery.watchdog_period = watchdog;
+    config.replica.recovery.key_refresh_period =
+        SimDuration::from_micros(watchdog.as_micros() / 8).max(SimDuration::from_secs(1));
+    let mut cluster = mem_cluster(config, 64);
+    cluster.set_workload(OpGen::fixed(MicroOp::zero_zero().bytes(), false, u64::MAX / 2));
+    cluster.run_until(SimTime(run_for.as_micros()));
+    let recoveries: u64 = (0..4)
+        .map(|r| cluster.replica(r).stats.recoveries_completed)
+        .sum();
+    (
+        recoveries,
+        cluster.metrics.ops_completed,
+        cluster.metrics.throughput_ops_per_sec(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// BFS / Andrew benchmark (E-8.6).
+// ---------------------------------------------------------------------------
+
+/// Per-phase virtual-time durations of an Andrew run.
+pub type PhaseTimes = Vec<(&'static str, SimDuration)>;
+
+
+/// Client CPU per phase-5 source read, charged identically to BFS and the
+/// baseline: §8.6 observes that the compile phase is dominated by
+/// computation at the client, which replication does not touch. We model
+/// it as a fixed per-compilation cost.
+pub const COMPILE_CPU_US: u64 = 5_000;
+
+struct AndrewDriver {
+    script: Vec<ScriptedOp>,
+    resolver: PathResolver,
+    next: usize,
+}
+
+impl Driver for AndrewDriver {
+    fn next(&mut self, last: Option<&Bytes>) -> Option<(Bytes, bool)> {
+        if let (Some(result), true) = (last, self.next > 0) {
+            let prev = &self.script[self.next - 1];
+            let reply = NfsReply::decode(result).expect("well-formed BFS reply");
+            assert!(
+                !matches!(reply, NfsReply::Err(_)),
+                "Andrew op failed: {:?} -> {reply:?}",
+                prev.kind
+            );
+            self.resolver.learn(&prev.kind, &reply);
+        }
+        let sop = self.script.get(self.next)?;
+        self.next += 1;
+        Some((self.resolver.concretize(&sop.kind).encode(), sop.read_only))
+    }
+}
+
+/// Runs the Andrew benchmark against replicated BFS; returns per-phase
+/// durations in virtual time.
+pub fn andrew_replicated(cfg: &AndrewConfig, read_only_opt: bool, seed: u64) -> PhaseTimes {
+    let mut config = micro_config(1, 1);
+    config.seed = seed;
+    config.replica.opts.read_only = read_only_opt;
+    let services: Vec<BfsService> = (0..4).map(|_| BfsService::new(64)).collect();
+    let mut cluster = Cluster::new(config, services);
+    let script = generate_script(cfg);
+    let driver = AndrewDriver {
+        script: script.clone(),
+        resolver: PathResolver::new(),
+        next: 0,
+    };
+    cluster.set_driver(ClientId(0), Box::new(driver));
+    let deadline = SimTime(SimDuration::from_secs(3600).as_micros());
+    cluster.run_to_completion(deadline);
+    assert_eq!(cluster.outstanding_ops(), 0, "Andrew run must complete");
+    // Completion times arrive in script order (one client, closed loop).
+    let times = cluster.completion_times();
+    assert_eq!(times.len(), script.len());
+    phase_times_from(&script, times)
+}
+
+/// Runs the Andrew benchmark unreplicated (the NFS-std baseline of §8.6):
+/// local execution plus one simulated round trip per operation.
+pub fn andrew_baseline(cfg: &AndrewConfig) -> PhaseTimes {
+    use bft_statemachine::Service;
+    let cost = bft_net::CostModel::thesis_testbed();
+    let mut service = BfsService::new(64);
+    let mut resolver = PathResolver::new();
+    let mut now = SimTime::ZERO;
+    let mut t = 1u64;
+    let script = generate_script(cfg);
+    let mut times = Vec::with_capacity(script.len());
+    for sop in &script {
+        let op = resolver.concretize(&sop.kind).encode();
+        t += 1;
+        let reply_bytes = service.execute(
+            bft_types::Requester::Client(ClientId(0)),
+            &op,
+            &t.to_le_bytes(),
+        );
+        let reply = NfsReply::decode(&reply_bytes).expect("well-formed reply");
+        resolver.learn(&sop.kind, &reply);
+        // One UDP round trip plus server CPU (§8.6: NFS-std is the same
+        // service without replication).
+        let us = cost.one_way_us(op.len() + 64)
+            + cost.recv.eval(op.len() + 64)
+            + cost.execute_us
+            + cost.one_way_us(reply_bytes.len() + 64)
+            + cost.recv.eval(reply_bytes.len() + 64);
+        now = now + SimDuration::from_micros(us as u64);
+        times.push(now);
+    }
+    phase_times_from(&script, &times)
+}
+
+/// Splits per-op completion times into per-phase durations, adding the
+/// modeled compile CPU to phase 5 (identically for both systems).
+fn phase_times_from(script: &[ScriptedOp], times: &[SimTime]) -> PhaseTimes {
+    use bfs::andrew::{OpKind, PHASES};
+    let mut out = Vec::new();
+    let mut phase_start = SimTime::ZERO;
+    for phase in PHASES {
+        let mut end = phase_start;
+        let mut compile_cpu = 0u64;
+        for (sop, &t) in script.iter().zip(times.iter()) {
+            if sop.phase != phase {
+                continue;
+            }
+            end = end.max(t);
+            if phase == Phase::Compile && matches!(sop.kind, OpKind::Read(_, _, _)) {
+                compile_cpu += COMPILE_CPU_US;
+            }
+        }
+        out.push((
+            phase.name(),
+            SimDuration::from_micros(end.since(phase_start).as_micros() + compile_cpu),
+        ));
+        phase_start = end;
+    }
+    out
+}
+
+/// Total time across phases.
+pub fn total(times: &PhaseTimes) -> SimDuration {
+    SimDuration::from_micros(times.iter().map(|(_, d)| d.as_micros()).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_latency_smoke() {
+        let r = latency(MicroOp::zero_zero(), AuthMode::Macs, Optimizations::all(), 10);
+        assert_eq!(r.ops, 10);
+        assert!(r.mean_us > 100.0 && r.mean_us < 20_000.0, "{}", r.mean_us);
+    }
+
+    #[test]
+    fn read_only_faster_than_read_write() {
+        let rw = latency(MicroOp::zero_zero(), AuthMode::Macs, Optimizations::all(), 10);
+        let ro = latency(
+            MicroOp {
+                read_only: true,
+                ..MicroOp::zero_zero()
+            },
+            AuthMode::Macs,
+            Optimizations::all(),
+            10,
+        );
+        assert!(
+            ro.mean_us < rw.mean_us,
+            "read-only {} < read-write {}",
+            ro.mean_us,
+            rw.mean_us
+        );
+    }
+
+    #[test]
+    fn andrew_baseline_runs() {
+        let times = andrew_baseline(&AndrewConfig::tiny());
+        assert_eq!(times.len(), 5);
+        assert!(total(&times).as_micros() > 0);
+    }
+}

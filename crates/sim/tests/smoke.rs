@@ -1,0 +1,34 @@
+//! End-to-end smoke tests for the simulated cluster.
+
+use bft_sim::{counter_cluster, ClusterConfig, OpGen};
+use bft_statemachine::CounterService;
+use bft_types::SimTime;
+use bytes::Bytes;
+
+#[test]
+fn four_replicas_execute_counter_ops() {
+    let mut cluster = counter_cluster(ClusterConfig::test(1, 2));
+    cluster.set_workload(OpGen::fixed(
+        Bytes::from(vec![CounterService::OP_INC]),
+        false,
+        5,
+    ));
+    let done = cluster.run_to_completion(SimTime(10_000_000));
+    assert!(done, "all ops should complete; outstanding={} exec r0={:?}",
+        cluster.outstanding_ops(), cluster.replica(0).stats);
+    // Every client's final counter value is 5.
+    for c in 0..2 {
+        let results = cluster.client_results(c);
+        assert_eq!(results.len(), 5);
+        let last = u64::from_le_bytes(results[4].1.as_ref().try_into().unwrap());
+        assert_eq!(last, 5, "client {c}");
+    }
+    // All replicas converge on the same state.
+    for r in 1..4 {
+        assert_eq!(
+            cluster.replica(0).state_digest(),
+            cluster.replica(r).state_digest(),
+            "replica {r} state"
+        );
+    }
+}

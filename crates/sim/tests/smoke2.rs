@@ -1,0 +1,57 @@
+//! Probing tests: view changes, BFT-PK, checkpoints, lossy networks.
+
+use bft_core::config::AuthMode;
+use bft_sim::{counter_cluster, Behavior, ClusterConfig, Fault, OpGen};
+use bft_statemachine::CounterService;
+use bft_types::{ReplicaId, SimTime};
+use bytes::Bytes;
+
+fn inc_op(ops: u64) -> OpGen {
+    OpGen::fixed(Bytes::from(vec![CounterService::OP_INC]), false, ops)
+}
+
+#[test]
+fn checkpoints_and_gc_advance() {
+    // 30 ops with checkpoint interval 8 crosses several checkpoints.
+    let mut cluster = counter_cluster(ClusterConfig::test(1, 1));
+    cluster.set_workload(inc_op(30));
+    assert!(cluster.run_to_completion(SimTime(30_000_000)));
+    let stable = cluster.replica(0).stable_checkpoint().0;
+    assert!(stable.0 >= 16, "stable checkpoint advanced: {stable:?}");
+}
+
+#[test]
+fn crashed_primary_triggers_view_change() {
+    let mut cluster = counter_cluster(ClusterConfig::test(1, 2));
+    cluster.schedule_fault(SimTime(1), Fault::SetBehavior(ReplicaId(0), Behavior::Crashed));
+    cluster.set_workload(inc_op(3));
+    let done = cluster.run_to_completion(SimTime(60_000_000));
+    assert!(done, "ops complete after view change; r1 view={:?} active={} stats={:?}",
+        cluster.replica(1).view(), cluster.replica(1).view_is_active(), cluster.replica(1).stats);
+    assert!(cluster.replica(1).view().0 >= 1, "moved to a later view");
+    for r in 1..4 {
+        assert_eq!(cluster.replica(1).state_digest(), cluster.replica(r).state_digest());
+    }
+}
+
+#[test]
+fn bft_pk_mode_executes() {
+    let mut config = ClusterConfig::test(1, 1);
+    config.replica.auth = AuthMode::Signatures;
+    // Signatures cost ~42 ms each (§8.2.2): give BFT-PK the generous
+    // timeouts the thesis's testbed used.
+    config.replica.view_change_timeout = bft_types::SimDuration::from_secs(3);
+    config.replica.status_interval = bft_types::SimDuration::from_millis(1000);
+    let mut cluster = counter_cluster(config);
+    cluster.set_workload(inc_op(3));
+    assert!(cluster.run_to_completion(SimTime(60_000_000)), "PK ops complete");
+}
+
+#[test]
+fn lossy_network_still_completes() {
+    let mut config = ClusterConfig::test(1, 1);
+    config.channel = bft_net::ChannelConfig::lossy(0.05, 2_000);
+    let mut cluster = counter_cluster(config);
+    cluster.set_workload(inc_op(10));
+    assert!(cluster.run_to_completion(SimTime(120_000_000)), "ops complete under loss");
+}

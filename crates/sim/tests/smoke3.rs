@@ -1,0 +1,109 @@
+//! Probing tests: Byzantine behaviors, state transfer, proactive recovery.
+
+use bft_sim::{counter_cluster, Behavior, ClusterConfig, Fault, OpGen};
+use bft_statemachine::CounterService;
+use bft_types::{NodeId, ReplicaId, SimTime};
+use bytes::Bytes;
+
+fn inc_op(ops: u64) -> OpGen {
+    OpGen::fixed(Bytes::from(vec![CounterService::OP_INC]), false, ops)
+}
+
+#[test]
+fn lying_replies_outvoted() {
+    let mut cluster = counter_cluster(ClusterConfig::test(1, 1));
+    cluster.set_behavior(ReplicaId(3), Behavior::LyingReplies);
+    cluster.set_workload(inc_op(5));
+    assert!(cluster.run_to_completion(SimTime(30_000_000)));
+    let results = cluster.client_results(0);
+    for (i, (_, r)) in results.iter().enumerate() {
+        assert_ne!(r.as_ref(), b"forged-result", "op {i} took the lie");
+        assert_eq!(u64::from_le_bytes(r.as_ref().try_into().unwrap()), i as u64 + 1);
+    }
+}
+
+#[test]
+fn corrupt_votes_tolerated() {
+    let mut cluster = counter_cluster(ClusterConfig::test(1, 1));
+    cluster.set_behavior(ReplicaId(2), Behavior::CorruptVotes);
+    cluster.set_workload(inc_op(5));
+    assert!(cluster.run_to_completion(SimTime(30_000_000)));
+}
+
+#[test]
+fn equivocating_primary_no_divergence() {
+    let mut cluster = counter_cluster(ClusterConfig::test(1, 1));
+    cluster.set_behavior(ReplicaId(0), Behavior::EquivocatingPrimary);
+    cluster.set_workload(inc_op(3));
+    // May or may not complete (view changes replace the primary), but
+    // correct replicas must never diverge on committed state.
+    cluster.run_to_completion(SimTime(60_000_000));
+    let digests: Vec<_> = (1..4).map(|r| {
+        (cluster.replica(r).committed_frontier(), cluster.replica(r).state_digest())
+    }).collect();
+    // Any two replicas with the same committed frontier must agree.
+    for i in 0..digests.len() {
+        for j in i+1..digests.len() {
+            if digests[i].0 == digests[j].0 {
+                assert_eq!(digests[i].1, digests[j].1, "divergence between correct replicas");
+            }
+        }
+    }
+}
+
+#[test]
+fn lagging_replica_catches_up_via_state_transfer() {
+    let mut cluster = counter_cluster(ClusterConfig::test(1, 2));
+    // Isolate replica 3 while others make progress past the log window
+    // (log size 16 with K=8), then reconnect.
+    cluster.schedule_fault(SimTime(0), Fault::Isolate(NodeId::Replica(ReplicaId(3))));
+    cluster.schedule_fault(SimTime(8_000_000), Fault::Reconnect(NodeId::Replica(ReplicaId(3))));
+    cluster.set_workload(inc_op(25)); // 50 batches total > L
+    assert!(cluster.run_to_completion(SimTime(20_000_000)), "ops complete without r3");
+    // Keep running so r3 can fetch state.
+    let target = cluster.replica(0).stable_checkpoint().0;
+    cluster.run_until(SimTime(30_000_000));
+    let r3 = cluster.replica(3);
+    assert!(r3.stable_checkpoint().0 >= target,
+        "r3 caught up: stable={:?} target={:?} fetched={} fetch={:?}",
+        r3.stable_checkpoint().0, target, r3.stats.pages_fetched, r3.fetch_progress());
+}
+
+#[test]
+fn proactive_recovery_completes() {
+    let mut config = ClusterConfig::test(1, 1);
+    config.replica.recovery.enabled = true;
+    config.replica.recovery.watchdog_period = bft_types::SimDuration::from_secs(30);
+    config.replica.recovery.key_refresh_period = bft_types::SimDuration::from_secs(5);
+    let mut cluster = counter_cluster(config);
+    // Force replica 2 to recover at t=2s while traffic flows.
+    cluster.schedule_fault(SimTime(2_000_000), Fault::ForceRecovery(ReplicaId(2)));
+    cluster.set_workload(inc_op(40));
+    cluster.run_until(SimTime(25_000_000));
+    let r2 = cluster.replica(2);
+    assert!(r2.stats.recoveries_completed >= 1,
+        "recovery completed: recovering={} stats={:?}", r2.is_recovering(), r2.stats);
+    assert_eq!(cluster.outstanding_ops(), 0, "client ops unaffected");
+}
+
+#[test]
+fn recovery_repairs_corrupted_state() {
+    let mut config = ClusterConfig::test(1, 1);
+    config.replica.recovery.enabled = true;
+    config.replica.recovery.watchdog_period = bft_types::SimDuration::from_secs(60);
+    let mut cluster = counter_cluster(config);
+    // Corrupt a page of replica 1's state, then force recovery.
+    cluster.schedule_fault(
+        SimTime(3_000_000),
+        Fault::CorruptPage(ReplicaId(1), 0, Bytes::from(vec![0xBA; 128])),
+    );
+    cluster.schedule_fault(SimTime(4_000_000), Fault::ForceRecovery(ReplicaId(1)));
+    cluster.set_workload(inc_op(40));
+    cluster.run_until(SimTime(30_000_000));
+    let r1 = cluster.replica(1);
+    assert!(r1.stats.recoveries_completed >= 1, "recovered: {:?}", r1.stats);
+    assert!(r1.stats.pages_fetched >= 1, "corrupt page re-fetched: {:?}", r1.stats);
+    // After recovery the state matches the others.
+    assert_eq!(cluster.replica(0).service().value(bft_types::Requester::Client(bft_types::ClientId(0))),
+               cluster.replica(1).service().value(bft_types::Requester::Client(bft_types::ClientId(0))));
+}

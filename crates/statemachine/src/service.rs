@@ -1,0 +1,213 @@
+//! The deterministic state-machine service abstraction (Definition 2.4.1
+//! and the library interface of §6.2).
+//!
+//! The BFT library replicates any service that behaves as a deterministic
+//! state machine: the result and new state of an operation are completely
+//! determined by the current state and the operation arguments. The
+//! thesis's C library exposes `execute` and `nondet` upcalls and manages the
+//! service state as a paged memory region (`Byz_init_replica` /
+//! `Byz_modify`); this trait is the Rust rendering of that interface, with
+//! paging made explicit so the checkpointing partition tree (§5.3) can
+//! snapshot, digest, and transfer state.
+
+use bft_types::{Requester, SeqNo};
+use bytes::Bytes;
+
+/// Default page size used by the checkpoint machinery (the thesis ran with
+/// 4 KB pages, §5.3.1).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// A replicated service: deterministic execution over paged state.
+pub trait Service {
+    /// Executes an operation, mutating state and returning the result.
+    ///
+    /// `nondet` carries the non-deterministic value agreed through the
+    /// protocol (§5.4), e.g. a timestamp. Execution must be a deterministic
+    /// function of `(state, requester, op, nondet)`.
+    fn execute(&mut self, requester: Requester, op: &[u8], nondet: &[u8]) -> Bytes;
+
+    /// Service-specific check that `op` really is read-only (§5.1.3: "the
+    /// last check is important because a faulty client could mark as
+    /// read-only a request that modifies the service state").
+    fn is_read_only(&self, _op: &[u8]) -> bool {
+        false
+    }
+
+    /// Access control (§2.2): may `requester` invoke `op`?
+    fn has_access(&self, _requester: Requester, _op: &[u8]) -> bool {
+        true
+    }
+
+    /// Primary upcall proposing a non-deterministic value for the batch at
+    /// `seq` (§5.4). The default service is fully deterministic.
+    fn propose_nondet(&self, _seq: SeqNo) -> Bytes {
+        Bytes::new()
+    }
+
+    /// Backup upcall validating a proposed non-deterministic value (§5.4).
+    /// Must be a deterministic function of state and the value.
+    fn check_nondet(&self, _nondet: &[u8]) -> bool {
+        true
+    }
+
+    /// Number of state pages (fixed for the lifetime of the service).
+    fn num_pages(&self) -> u64;
+
+    /// Reads page `index` (always `page_size` bytes, zero-padded).
+    fn get_page(&self, index: u64) -> Bytes;
+
+    /// Overwrites page `index` (state transfer restore path).
+    fn put_page(&mut self, index: u64, data: &[u8]);
+
+    /// Drains the set of pages modified since the last call (the
+    /// `Byz_modify` dirty-tracking contract).
+    fn take_dirty(&mut self) -> Vec<u64>;
+
+    /// Page size in bytes.
+    fn page_size(&self) -> usize {
+        DEFAULT_PAGE_SIZE
+    }
+}
+
+/// Paged byte memory with dirty tracking: the backing store used by the
+/// sample services, mirroring the `mem`/`size` region of `Byz_init_replica`.
+#[derive(Clone, Debug)]
+pub struct StateMemory {
+    pages: Vec<Vec<u8>>,
+    page_size: usize,
+    dirty: std::collections::BTreeSet<u64>,
+}
+
+impl StateMemory {
+    /// Creates zeroed memory of `num_pages` pages of `page_size` bytes.
+    pub fn new(num_pages: u64, page_size: usize) -> Self {
+        StateMemory {
+            pages: (0..num_pages).map(|_| vec![0u8; page_size]).collect(),
+            page_size,
+            dirty: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Reads a page.
+    pub fn get_page(&self, index: u64) -> Bytes {
+        Bytes::copy_from_slice(&self.pages[index as usize])
+    }
+
+    /// Writes a whole page and marks it dirty.
+    pub fn put_page(&mut self, index: u64, data: &[u8]) {
+        let page = &mut self.pages[index as usize];
+        let n = data.len().min(self.page_size);
+        page[..n].copy_from_slice(&data[..n]);
+        for b in page[n..].iter_mut() {
+            *b = 0;
+        }
+        self.dirty.insert(index);
+    }
+
+    /// Writes `data` at byte offset `offset`, marking touched pages dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the write extends past the end of memory.
+    pub fn write(&mut self, offset: usize, data: &[u8]) {
+        assert!(
+            offset + data.len() <= self.pages.len() * self.page_size,
+            "write past end of state memory"
+        );
+        let mut pos = offset;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let page = pos / self.page_size;
+            let off = pos % self.page_size;
+            let n = (self.page_size - off).min(remaining.len());
+            self.pages[page][off..off + n].copy_from_slice(&remaining[..n]);
+            self.dirty.insert(page as u64);
+            pos += n;
+            remaining = &remaining[n..];
+        }
+    }
+
+    /// Reads `len` bytes at byte offset `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the read extends past the end of memory.
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        assert!(
+            offset + len <= self.pages.len() * self.page_size,
+            "read past end of state memory"
+        );
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while out.len() < len {
+            let page = pos / self.page_size;
+            let off = pos % self.page_size;
+            let n = (self.page_size - off).min(len - out.len());
+            out.extend_from_slice(&self.pages[page][off..off + n]);
+            pos += n;
+        }
+        out
+    }
+
+    /// Drains the dirty-page set.
+    pub fn take_dirty(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut m = StateMemory::new(4, 16);
+        m.write(0, b"hello");
+        assert_eq!(m.read(0, 5), b"hello");
+        assert_eq!(m.take_dirty(), vec![0]);
+        assert!(m.take_dirty().is_empty(), "drained");
+    }
+
+    #[test]
+    fn cross_page_write_marks_all_pages() {
+        let mut m = StateMemory::new(4, 16);
+        let data = vec![7u8; 40];
+        m.write(10, &data);
+        assert_eq!(m.take_dirty(), vec![0, 1, 2, 3]);
+        assert_eq!(m.read(10, 40), data);
+    }
+
+    #[test]
+    fn put_page_pads_with_zeros() {
+        let mut m = StateMemory::new(2, 8);
+        m.write(0, &[0xff; 8]);
+        m.put_page(0, b"ab");
+        assert_eq!(m.get_page(0).as_ref(), b"ab\0\0\0\0\0\0");
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn out_of_bounds_write_panics() {
+        let mut m = StateMemory::new(1, 8);
+        m.write(4, &[0u8; 8]);
+    }
+
+    #[test]
+    fn dirty_sorted_and_deduplicated() {
+        let mut m = StateMemory::new(4, 8);
+        m.write(24, b"x");
+        m.write(0, b"y");
+        m.write(25, b"z");
+        assert_eq!(m.take_dirty(), vec![0, 3]);
+    }
+}

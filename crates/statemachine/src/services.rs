@@ -1,0 +1,603 @@
+//! Sample replicated services.
+//!
+//! * [`NullService`] — no-op service for pure protocol tests.
+//! * [`CounterService`] — per-client counters; duplicate execution is
+//!   detectable, which the exactly-once tests exploit.
+//! * [`MemService`] — the micro-benchmark service of §8.1: operation `a/b`
+//!   takes an `a`-KB argument and produces a `b`-KB result, optionally
+//!   touching state (this is what the 0/0, 4/0, and 0/4 benchmarks run).
+//! * [`KvService`] — a hash-bucketed key-value store exercising multi-page
+//!   state and read-only lookups.
+//! * [`ClockService`] — demonstrates the §5.4 non-determinism protocol with
+//!   a time-last-modified register driven by primary-proposed timestamps.
+
+use crate::service::{Service, StateMemory, DEFAULT_PAGE_SIZE};
+use bft_types::{Requester, SeqNo};
+use bytes::Bytes;
+
+/// A service whose every operation is a no-op returning `ok`.
+#[derive(Clone, Debug, Default)]
+pub struct NullService {
+    dirty: Vec<u64>,
+}
+
+impl NullService {
+    /// Creates the service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Service for NullService {
+    fn execute(&mut self, _requester: Requester, _op: &[u8], _nondet: &[u8]) -> Bytes {
+        Bytes::from_static(b"ok")
+    }
+    fn is_read_only(&self, _op: &[u8]) -> bool {
+        true
+    }
+    fn num_pages(&self) -> u64 {
+        1
+    }
+    fn get_page(&self, _index: u64) -> Bytes {
+        Bytes::from(vec![0u8; DEFAULT_PAGE_SIZE])
+    }
+    fn put_page(&mut self, _index: u64, _data: &[u8]) {}
+    fn take_dirty(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.dirty)
+    }
+}
+
+/// Per-client counters backed by one state page per 512 clients.
+///
+/// Operations: `inc` (`[0]`) bumps and returns the requester's counter;
+/// `get` (`[1]`) is read-only and returns it.
+#[derive(Clone, Debug)]
+pub struct CounterService {
+    mem: StateMemory,
+}
+
+impl CounterService {
+    /// Op code for increment.
+    pub const OP_INC: u8 = 0;
+    /// Op code for read.
+    pub const OP_GET: u8 = 1;
+
+    /// Creates a counter service with room for `clients` counters.
+    pub fn new(clients: u32) -> Self {
+        let pages = (clients as u64 * 8).div_ceil(DEFAULT_PAGE_SIZE as u64).max(1);
+        CounterService {
+            mem: StateMemory::new(pages, DEFAULT_PAGE_SIZE),
+        }
+    }
+
+    fn slot(requester: Requester) -> usize {
+        match requester {
+            Requester::Client(c) => c.0 as usize * 8,
+            Requester::Replica(r) => r.0 as usize * 8,
+        }
+    }
+
+    /// Reads a counter value directly (test helper).
+    pub fn value(&self, requester: Requester) -> u64 {
+        let bytes = self.mem.read(Self::slot(requester), 8);
+        u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+    }
+}
+
+impl Service for CounterService {
+    fn execute(&mut self, requester: Requester, op: &[u8], _nondet: &[u8]) -> Bytes {
+        let slot = Self::slot(requester);
+        let current = self.value(requester);
+        match op.first() {
+            Some(&Self::OP_INC) => {
+                let next = current + 1;
+                self.mem.write(slot, &next.to_le_bytes());
+                Bytes::from(next.to_le_bytes().to_vec())
+            }
+            Some(&Self::OP_GET) => Bytes::from(current.to_le_bytes().to_vec()),
+            _ => Bytes::from_static(b"bad-op"),
+        }
+    }
+
+    fn is_read_only(&self, op: &[u8]) -> bool {
+        op.first() == Some(&Self::OP_GET)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.mem.num_pages()
+    }
+    fn get_page(&self, index: u64) -> Bytes {
+        self.mem.get_page(index)
+    }
+    fn put_page(&mut self, index: u64, data: &[u8]) {
+        self.mem.put_page(index, data);
+    }
+    fn take_dirty(&mut self) -> Vec<u64> {
+        self.mem.take_dirty()
+    }
+}
+
+/// The §8.1 micro-benchmark service.
+///
+/// Operation encoding: `[kind: u8][result_len: u32 le][payload...]`.
+/// `kind = 0` is a read-write op that stores the payload into state
+/// (round-robin across pages); `kind = 1` is read-only. The result is
+/// `result_len` zero bytes. The 0/0 benchmark sends `kind=0` with empty
+/// payload and `result_len = 0`; 4/0 sends a 4 KB payload; 0/4 asks for a
+/// 4 KB result.
+#[derive(Clone, Debug)]
+pub struct MemService {
+    mem: StateMemory,
+    cursor: usize,
+}
+
+impl MemService {
+    /// Creates the service with `pages` state pages.
+    pub fn new(pages: u64) -> Self {
+        MemService {
+            mem: StateMemory::new(pages.max(1), DEFAULT_PAGE_SIZE),
+            cursor: 0,
+        }
+    }
+
+    /// Encodes a read-write operation with `arg_len` argument bytes and
+    /// `result_len` result bytes.
+    pub fn op_rw(arg_len: usize, result_len: usize) -> Bytes {
+        let mut op = Vec::with_capacity(5 + arg_len);
+        op.push(0u8);
+        op.extend_from_slice(&(result_len as u32).to_le_bytes());
+        op.extend(std::iter::repeat_n(0xabu8, arg_len));
+        Bytes::from(op)
+    }
+
+    /// Encodes a read-only operation returning `result_len` bytes.
+    pub fn op_ro(result_len: usize) -> Bytes {
+        let mut op = vec![1u8];
+        op.extend_from_slice(&(result_len as u32).to_le_bytes());
+        Bytes::from(op)
+    }
+}
+
+impl Service for MemService {
+    fn execute(&mut self, _requester: Requester, op: &[u8], _nondet: &[u8]) -> Bytes {
+        if op.len() < 5 {
+            return Bytes::from_static(b"bad-op");
+        }
+        let kind = op[0];
+        let result_len =
+            u32::from_le_bytes(op[1..5].try_into().expect("4 bytes")) as usize;
+        let payload = &op[5..];
+        if kind == 0 && !payload.is_empty() {
+            let total = self.mem.num_pages() as usize * self.mem.page_size();
+            let n = payload.len().min(total);
+            if self.cursor + n > total {
+                self.cursor = 0;
+            }
+            self.mem.write(self.cursor, &payload[..n]);
+            self.cursor = (self.cursor + n) % total;
+        } else if kind == 0 {
+            // A 0-argument read-write op still dirties one byte of state so
+            // checkpoints change, as the null op of the benchmark does not
+            // need to; keep it cheap but real.
+            let b = self.mem.read(0, 1)[0].wrapping_add(1);
+            self.mem.write(0, &[b]);
+        }
+        Bytes::from(vec![0u8; result_len])
+    }
+
+    fn is_read_only(&self, op: &[u8]) -> bool {
+        op.first() == Some(&1)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.mem.num_pages()
+    }
+    fn get_page(&self, index: u64) -> Bytes {
+        self.mem.get_page(index)
+    }
+    fn put_page(&mut self, index: u64, data: &[u8]) {
+        self.mem.put_page(index, data);
+    }
+    fn take_dirty(&mut self) -> Vec<u64> {
+        self.mem.take_dirty()
+    }
+}
+
+/// A key-value store with state paged as hash buckets.
+///
+/// Operations: `put` = `[0][klen u16][key][value]`, `get` = `[1][klen
+/// u16][key]` (read-only), `del` = `[2][klen u16][key]`. Each bucket is one
+/// page holding a canonical sorted encoding of its entries, so replica
+/// state digests agree regardless of insertion order.
+#[derive(Clone, Debug)]
+pub struct KvService {
+    buckets: Vec<std::collections::BTreeMap<Vec<u8>, Vec<u8>>>,
+    dirty: std::collections::BTreeSet<u64>,
+}
+
+impl KvService {
+    /// Op code for put.
+    pub const OP_PUT: u8 = 0;
+    /// Op code for get.
+    pub const OP_GET: u8 = 1;
+    /// Op code for delete.
+    pub const OP_DEL: u8 = 2;
+
+    /// Creates a store with `buckets` hash buckets (= state pages).
+    pub fn new(buckets: u64) -> Self {
+        KvService {
+            buckets: (0..buckets.max(1)).map(|_| Default::default()).collect(),
+            dirty: Default::default(),
+        }
+    }
+
+    /// Encodes a put operation.
+    pub fn op_put(key: &[u8], value: &[u8]) -> Bytes {
+        let mut op = vec![Self::OP_PUT];
+        op.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        op.extend_from_slice(key);
+        op.extend_from_slice(value);
+        Bytes::from(op)
+    }
+
+    /// Encodes a get operation.
+    pub fn op_get(key: &[u8]) -> Bytes {
+        let mut op = vec![Self::OP_GET];
+        op.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        op.extend_from_slice(key);
+        Bytes::from(op)
+    }
+
+    /// Encodes a delete operation.
+    pub fn op_del(key: &[u8]) -> Bytes {
+        let mut op = vec![Self::OP_DEL];
+        op.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        op.extend_from_slice(key);
+        Bytes::from(op)
+    }
+
+    fn bucket_of(&self, key: &[u8]) -> u64 {
+        bft_crypto::digest(key).as_u64() % self.buckets.len() as u64
+    }
+
+    fn parse(op: &[u8]) -> Option<(u8, &[u8], &[u8])> {
+        if op.len() < 3 {
+            return None;
+        }
+        let kind = op[0];
+        let klen = u16::from_le_bytes(op[1..3].try_into().ok()?) as usize;
+        if op.len() < 3 + klen {
+            return None;
+        }
+        Some((kind, &op[3..3 + klen], &op[3 + klen..]))
+    }
+
+    fn encode_bucket(bucket: &std::collections::BTreeMap<Vec<u8>, Vec<u8>>) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(bucket.len() as u32).to_le_bytes());
+        for (k, v) in bucket {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    fn decode_bucket(data: &[u8]) -> std::collections::BTreeMap<Vec<u8>, Vec<u8>> {
+        let mut out = std::collections::BTreeMap::new();
+        let mut pos = 4;
+        if data.len() < 4 {
+            return out;
+        }
+        let n = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+        for _ in 0..n {
+            if pos + 4 > data.len() {
+                break;
+            }
+            let klen =
+                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            if pos + klen + 4 > data.len() {
+                break;
+            }
+            let key = data[pos..pos + klen].to_vec();
+            pos += klen;
+            let vlen =
+                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            if pos + vlen > data.len() {
+                break;
+            }
+            let val = data[pos..pos + vlen].to_vec();
+            pos += vlen;
+            out.insert(key, val);
+        }
+        out
+    }
+}
+
+impl Service for KvService {
+    fn execute(&mut self, _requester: Requester, op: &[u8], _nondet: &[u8]) -> Bytes {
+        let Some((kind, key, value)) = Self::parse(op) else {
+            return Bytes::from_static(b"bad-op");
+        };
+        let b = self.bucket_of(key) as usize;
+        match kind {
+            Self::OP_PUT => {
+                self.buckets[b].insert(key.to_vec(), value.to_vec());
+                self.dirty.insert(b as u64);
+                Bytes::from_static(b"ok")
+            }
+            Self::OP_GET => match self.buckets[b].get(key) {
+                Some(v) => Bytes::from(v.clone()),
+                None => Bytes::new(),
+            },
+            Self::OP_DEL => {
+                let existed = self.buckets[b].remove(key).is_some();
+                self.dirty.insert(b as u64);
+                Bytes::from_static(if existed { b"deleted" } else { b"absent" })
+            }
+            _ => Bytes::from_static(b"bad-op"),
+        }
+    }
+
+    fn is_read_only(&self, op: &[u8]) -> bool {
+        op.first() == Some(&Self::OP_GET)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    fn get_page(&self, index: u64) -> Bytes {
+        let mut page = Self::encode_bucket(&self.buckets[index as usize]);
+        page.resize(DEFAULT_PAGE_SIZE.max(page.len()), 0);
+        Bytes::from(page)
+    }
+
+    fn put_page(&mut self, index: u64, data: &[u8]) {
+        self.buckets[index as usize] = Self::decode_bucket(data);
+    }
+
+    fn take_dirty(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+}
+
+/// A time-last-modified register demonstrating the non-determinism protocol
+/// (§5.4's distributed-file-system example).
+///
+/// `set` (`[0][payload]`) stores the payload and stamps it with the
+/// timestamp carried in the agreed non-deterministic value; `stat` (`[1]`)
+/// returns the timestamp. The primary proposes its clock via
+/// [`Service::propose_nondet`]; backups accept any value that does not run
+/// backwards ([`Service::check_nondet`]).
+#[derive(Clone, Debug)]
+pub struct ClockService {
+    mem: StateMemory,
+    /// The primary's local clock source (simulation-provided, non-decreasing).
+    local_clock_us: u64,
+}
+
+impl ClockService {
+    /// Creates the service.
+    pub fn new() -> Self {
+        ClockService {
+            mem: StateMemory::new(1, DEFAULT_PAGE_SIZE),
+            local_clock_us: 1,
+        }
+    }
+
+    /// Advances the local clock (called by the harness as virtual time
+    /// passes; each replica may see a different clock).
+    pub fn set_local_clock(&mut self, us: u64) {
+        self.local_clock_us = us;
+    }
+
+    /// The stored time-last-modified.
+    pub fn time_last_modified(&self) -> u64 {
+        u64::from_le_bytes(self.mem.read(0, 8).try_into().expect("8 bytes"))
+    }
+}
+
+impl Default for ClockService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Service for ClockService {
+    fn execute(&mut self, _requester: Requester, op: &[u8], nondet: &[u8]) -> Bytes {
+        match op.first() {
+            Some(&0) => {
+                // Stamp with the agreed timestamp, never moving backwards
+                // (deterministic given state + nondet).
+                let proposed = nondet
+                    .get(..8)
+                    .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                    .unwrap_or(0);
+                let stamp = proposed.max(self.time_last_modified() + 1);
+                self.mem.write(0, &stamp.to_le_bytes());
+                self.mem.write(8, &op[1..op.len().min(1 + 64)]);
+                Bytes::from(stamp.to_le_bytes().to_vec())
+            }
+            Some(&1) => Bytes::from(self.time_last_modified().to_le_bytes().to_vec()),
+            _ => Bytes::from_static(b"bad-op"),
+        }
+    }
+
+    fn is_read_only(&self, op: &[u8]) -> bool {
+        op.first() == Some(&1)
+    }
+
+    fn propose_nondet(&self, _seq: SeqNo) -> Bytes {
+        Bytes::from(self.local_clock_us.to_le_bytes().to_vec())
+    }
+
+    fn check_nondet(&self, nondet: &[u8]) -> bool {
+        // Deterministic check: the value must parse and not be absurdly far
+        // from the stored time (backups reject clocks that run backwards
+        // past the stored stamp; the execute path enforces monotonicity).
+        nondet.len() == 8
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.mem.num_pages()
+    }
+    fn get_page(&self, index: u64) -> Bytes {
+        self.mem.get_page(index)
+    }
+    fn put_page(&mut self, index: u64, data: &[u8]) {
+        self.mem.put_page(index, data);
+    }
+    fn take_dirty(&mut self) -> Vec<u64> {
+        self.mem.take_dirty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::ClientId;
+
+    fn client(i: u32) -> Requester {
+        Requester::Client(ClientId(i))
+    }
+
+    #[test]
+    fn null_service_is_trivial() {
+        let mut s = NullService::new();
+        assert_eq!(s.execute(client(0), b"anything", b""), "ok");
+        assert!(s.is_read_only(b"x"));
+        assert_eq!(s.num_pages(), 1);
+    }
+
+    #[test]
+    fn counter_increments_per_client() {
+        let mut s = CounterService::new(16);
+        let r1 = s.execute(client(1), &[CounterService::OP_INC], b"");
+        assert_eq!(u64::from_le_bytes(r1.as_ref().try_into().unwrap()), 1);
+        s.execute(client(1), &[CounterService::OP_INC], b"");
+        assert_eq!(s.value(client(1)), 2);
+        assert_eq!(s.value(client(2)), 0, "clients are independent");
+        assert!(s.is_read_only(&[CounterService::OP_GET]));
+        assert!(!s.is_read_only(&[CounterService::OP_INC]));
+    }
+
+    #[test]
+    fn counter_state_pages_roundtrip() {
+        let mut s = CounterService::new(16);
+        s.execute(client(3), &[CounterService::OP_INC], b"");
+        let dirty = s.take_dirty();
+        assert_eq!(dirty, vec![0]);
+        let page = s.get_page(0);
+        let mut s2 = CounterService::new(16);
+        s2.put_page(0, &page);
+        assert_eq!(s2.value(client(3)), 1);
+    }
+
+    #[test]
+    fn mem_service_benchmark_ops() {
+        let mut s = MemService::new(64);
+        // 0/0: no argument, no result.
+        let r = s.execute(client(0), &MemService::op_rw(0, 0), b"");
+        assert!(r.is_empty());
+        // 4/0: 4 KB argument.
+        let r = s.execute(client(0), &MemService::op_rw(4096, 0), b"");
+        assert!(r.is_empty());
+        assert!(!s.take_dirty().is_empty(), "argument written to state");
+        // 0/4: 4 KB result.
+        let r = s.execute(client(0), &MemService::op_ro(4096), b"");
+        assert_eq!(r.len(), 4096);
+        assert!(s.is_read_only(&MemService::op_ro(0)));
+        assert!(!s.is_read_only(&MemService::op_rw(0, 0)));
+    }
+
+    #[test]
+    fn kv_put_get_delete() {
+        let mut s = KvService::new(8);
+        assert_eq!(s.execute(client(0), &KvService::op_put(b"k", b"v1"), b""), "ok");
+        assert_eq!(s.execute(client(1), &KvService::op_get(b"k"), b""), "v1");
+        assert_eq!(
+            s.execute(client(0), &KvService::op_del(b"k"), b""),
+            "deleted"
+        );
+        assert_eq!(s.execute(client(0), &KvService::op_get(b"k"), b""), "");
+        assert_eq!(
+            s.execute(client(0), &KvService::op_del(b"k"), b""),
+            "absent"
+        );
+    }
+
+    #[test]
+    fn kv_pages_roundtrip_preserves_entries() {
+        let mut s = KvService::new(4);
+        for i in 0..50u32 {
+            s.execute(
+                client(0),
+                &KvService::op_put(&i.to_le_bytes(), format!("val{i}").as_bytes()),
+                b"",
+            );
+        }
+        let mut s2 = KvService::new(4);
+        for p in 0..s.num_pages() {
+            s2.put_page(p, &s.get_page(p));
+        }
+        for i in 0..50u32 {
+            assert_eq!(
+                s2.execute(client(1), &KvService::op_get(&i.to_le_bytes()), b""),
+                format!("val{i}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn kv_state_digest_is_insertion_order_independent() {
+        let mut a = KvService::new(4);
+        let mut b = KvService::new(4);
+        a.execute(client(0), &KvService::op_put(b"x", b"1"), b"");
+        a.execute(client(0), &KvService::op_put(b"y", b"2"), b"");
+        b.execute(client(0), &KvService::op_put(b"y", b"2"), b"");
+        b.execute(client(0), &KvService::op_put(b"x", b"1"), b"");
+        for p in 0..a.num_pages() {
+            assert_eq!(a.get_page(p), b.get_page(p), "page {p}");
+        }
+    }
+
+    #[test]
+    fn kv_rejects_malformed_ops() {
+        let mut s = KvService::new(4);
+        assert_eq!(s.execute(client(0), &[], b""), "bad-op");
+        assert_eq!(s.execute(client(0), &[0, 255, 255], b""), "bad-op");
+    }
+
+    #[test]
+    fn clock_service_agrees_on_nondet() {
+        let mut primary = ClockService::new();
+        primary.set_local_clock(5000);
+        let nondet = primary.propose_nondet(SeqNo(1));
+        assert!(primary.check_nondet(&nondet));
+        // Both replicas execute with the agreed value and converge.
+        let mut backup = ClockService::new();
+        let mut op = vec![0u8];
+        op.extend_from_slice(b"data");
+        let r1 = primary.execute(client(0), &op, &nondet);
+        let r2 = backup.execute(client(0), &op, &nondet);
+        assert_eq!(r1, r2);
+        assert_eq!(primary.time_last_modified(), 5000);
+        assert_eq!(backup.time_last_modified(), 5000);
+    }
+
+    #[test]
+    fn clock_never_runs_backwards() {
+        let mut s = ClockService::new();
+        let t1 = 10_000u64.to_le_bytes();
+        s.execute(client(0), &[0, b'a'], &t1);
+        // A later operation with an older proposed clock still advances.
+        let t2 = 5u64.to_le_bytes();
+        s.execute(client(0), &[0, b'b'], &t2);
+        assert!(s.time_last_modified() > 10_000);
+        assert!(!s.check_nondet(b"short"));
+    }
+}

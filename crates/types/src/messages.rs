@@ -1,0 +1,1294 @@
+//! Protocol messages for BFT-PK, BFT, and BFT-PR.
+//!
+//! Every message type from the thesis is represented: the normal-case
+//! three-phase protocol (§2.3.3), checkpoints (§2.3.4), both view-change
+//! protocols (§2.3.5 for BFT-PK, §3.2.4–3.2.5 for BFT), status-based
+//! retransmission (§5.2), hierarchical state transfer (§5.3.2), and the
+//! proactive-recovery messages (§4.3). Authentication is carried inline in
+//! an [`Auth`] field; a message's *content* (everything except `auth`) is
+//! what gets MACed, signed, or digested.
+
+use crate::ids::{ClientId, ReplicaId, SeqNo, Timestamp, View};
+use crate::wire::{take, Wire, WireError};
+use bft_crypto::{digest as md5, Authenticator, CounterSignature, Digest, Signature, Tag};
+use bytes::Bytes;
+
+/// Authentication data attached to a message.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum Auth {
+    /// No authentication yet (messages under construction, or messages whose
+    /// authenticity is established by content digests, like state pages).
+    #[default]
+    None,
+    /// A single MAC for point-to-point messages (§3.2.1).
+    Mac(Tag),
+    /// A vector of MACs for authenticated multicast (§3.2.1).
+    Authenticator(Authenticator),
+    /// A public-key signature (BFT-PK, §2.3).
+    Signature(Signature),
+    /// A co-processor counter signature (new-key / recovery, §4.3.1).
+    CounterSig(CounterSignature),
+}
+
+impl Wire for Auth {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Auth::None => buf.push(0),
+            Auth::Mac(t) => {
+                buf.push(1);
+                t.encode(buf);
+            }
+            Auth::Authenticator(a) => {
+                buf.push(2);
+                a.encode(buf);
+            }
+            Auth::Signature(s) => {
+                buf.push(3);
+                s.encode(buf);
+            }
+            Auth::CounterSig(s) => {
+                buf.push(4);
+                s.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match take(buf, 1)?[0] {
+            0 => Ok(Auth::None),
+            1 => Ok(Auth::Mac(Tag::decode(buf)?)),
+            2 => Ok(Auth::Authenticator(Authenticator::decode(buf)?)),
+            3 => Ok(Auth::Signature(Signature::decode(buf)?)),
+            4 => Ok(Auth::CounterSig(CounterSignature::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Implements [`Wire`] plus `content_bytes`/`digest` for a message struct
+/// whose final field is `auth: Auth`. The content excludes `auth`, matching
+/// the thesis's rule that MACs/signatures cover the message header only.
+macro_rules! message_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl Wire for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $(self.$field.encode(buf);)+
+                self.auth.encode(buf);
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+                Ok($ty {
+                    $($field: Wire::decode(buf)?,)+
+                    auth: Auth::decode(buf)?,
+                })
+            }
+        }
+        impl $ty {
+            /// Encodes every field except `auth` (the authenticated content).
+            pub fn content_bytes(&self) -> Vec<u8> {
+                let mut buf = Vec::new();
+                $(self.$field.encode(&mut buf);)+
+                buf
+            }
+            /// MD5 digest of the authenticated content.
+            pub fn digest(&self) -> Digest {
+                md5(&self.content_bytes())
+            }
+        }
+    };
+}
+
+/// The principal that issued a request: an external client, or a replica
+/// issuing a §4.3.2 recovery request on its own behalf.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Requester {
+    /// An ordinary client.
+    Client(ClientId),
+    /// A recovering replica (the recovery request of §4.3.2).
+    Replica(ReplicaId),
+}
+
+impl Wire for Requester {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Requester::Client(c) => {
+                buf.push(0);
+                c.encode(buf);
+            }
+            Requester::Replica(r) => {
+                buf.push(1);
+                r.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match take(buf, 1)?[0] {
+            0 => Ok(Requester::Client(ClientId::decode(buf)?)),
+            1 => Ok(Requester::Replica(ReplicaId::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// `<REQUEST, o, t, c>`: a client asks for operation `o` with timestamp `t`
+/// (§2.3.2). Extended with the Figure 6-1 header fields: the designated
+/// replier for the digest-replies optimization and the read-only flag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Who issued the request.
+    pub requester: Requester,
+    /// Per-requester monotonic timestamp (exactly-once semantics).
+    pub timestamp: Timestamp,
+    /// The encoded service operation.
+    pub operation: Bytes,
+    /// True for the read-only optimization (§5.1.3).
+    pub read_only: bool,
+    /// Replica designated to send the full result (§5.1.1); `None` asks all
+    /// replicas for full replies.
+    pub replier: Option<ReplicaId>,
+    /// Authentication: authenticator in BFT, signature in BFT-PK.
+    pub auth: Auth,
+}
+
+message_struct!(Request {
+    requester,
+    timestamp,
+    operation,
+    read_only,
+    replier
+});
+
+impl Request {
+    /// True when this is a §4.3.2 recovery request.
+    pub fn is_recovery(&self) -> bool {
+        matches!(self.requester, Requester::Replica(_))
+    }
+}
+
+/// The result part of a reply: full value or digest only (§5.1.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplyBody {
+    /// The full operation result.
+    Full(Bytes),
+    /// Only the MD5 digest of the result.
+    DigestOnly(Digest),
+}
+
+impl ReplyBody {
+    /// The digest of the carried result.
+    pub fn result_digest(&self) -> Digest {
+        match self {
+            ReplyBody::Full(b) => md5(b),
+            ReplyBody::DigestOnly(d) => *d,
+        }
+    }
+}
+
+impl Wire for ReplyBody {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ReplyBody::Full(b) => {
+                buf.push(0);
+                b.encode(buf);
+            }
+            ReplyBody::DigestOnly(d) => {
+                buf.push(1);
+                d.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match take(buf, 1)?[0] {
+            0 => Ok(ReplyBody::Full(Bytes::decode(buf)?)),
+            1 => Ok(ReplyBody::DigestOnly(Digest::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// `<REPLY, v, t, c, i, r>`: a replica's answer to a request (§2.3.2),
+/// extended with the tentative flag of §5.1.2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    /// The replica's current view (lets clients track the primary).
+    pub view: View,
+    /// Timestamp of the request being answered.
+    pub timestamp: Timestamp,
+    /// The requester being answered.
+    pub requester: Requester,
+    /// The answering replica.
+    pub replica: ReplicaId,
+    /// Result value or digest.
+    pub body: ReplyBody,
+    /// True if executed tentatively (client must collect a quorum, §5.1.2).
+    pub tentative: bool,
+    /// MAC under the requester's session key.
+    pub auth: Auth,
+}
+
+message_struct!(Reply {
+    view,
+    timestamp,
+    requester,
+    replica,
+    body,
+    tentative
+});
+
+/// A request inside a pre-prepare batch: inlined, or referenced by digest
+/// when transmitted separately (§5.1.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchEntry {
+    /// The request inlined in the pre-prepare.
+    Inline(Request),
+    /// The digest of a separately transmitted request.
+    ByDigest(Digest),
+}
+
+impl BatchEntry {
+    /// The digest of the referenced request (content digest for inline).
+    pub fn request_digest(&self) -> Digest {
+        match self {
+            BatchEntry::Inline(r) => r.digest(),
+            BatchEntry::ByDigest(d) => *d,
+        }
+    }
+}
+
+impl Wire for BatchEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            BatchEntry::Inline(r) => {
+                buf.push(0);
+                r.encode(buf);
+            }
+            BatchEntry::ByDigest(d) => {
+                buf.push(1);
+                d.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match take(buf, 1)?[0] {
+            0 => Ok(BatchEntry::Inline(Request::decode(buf)?)),
+            1 => Ok(BatchEntry::ByDigest(Digest::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// `<PRE-PREPARE, v, n, m>`: the primary's sequence-number assignment
+/// (§2.3.3), extended to batches (§5.1.4) and a non-deterministic choice
+/// (§5.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrePrepare {
+    /// View in which the assignment is made.
+    pub view: View,
+    /// Assigned sequence number.
+    pub seq: SeqNo,
+    /// The ordered batch of requests.
+    pub batch: Vec<BatchEntry>,
+    /// Non-deterministic value agreed for this batch (§5.4).
+    pub nondet: Bytes,
+    /// Authenticator (BFT) or signature (BFT-PK).
+    pub auth: Auth,
+}
+
+message_struct!(PrePrepare { view, seq, batch, nondet });
+
+impl PrePrepare {
+    /// The batch digest `d` carried by prepare/commit messages.
+    ///
+    /// Covers the per-request digests and the non-deterministic value but
+    /// *not* the view, so that a new primary can re-propose the same batch
+    /// after a view change under the same digest (§2.3.5).
+    pub fn batch_digest(&self) -> Digest {
+        let mut buf = Vec::new();
+        for entry in &self.batch {
+            entry.request_digest().encode(&mut buf);
+        }
+        self.nondet.encode(&mut buf);
+        md5(&buf)
+    }
+
+    /// Digests of every request in the batch, in execution order.
+    pub fn request_digests(&self) -> Vec<Digest> {
+        self.batch.iter().map(|e| e.request_digest()).collect()
+    }
+}
+
+/// The batch digest of the distinguished *null request* that fills sequence
+/// number gaps during view changes (§2.3.5). Its execution is a no-op.
+pub fn null_request_digest() -> Digest {
+    md5(b"bft-null-request")
+}
+
+/// `<PREPARE, v, n, d, i>`: a backup's agreement to the assignment (§2.3.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prepare {
+    /// View.
+    pub view: View,
+    /// Sequence number.
+    pub seq: SeqNo,
+    /// Batch digest from the pre-prepare.
+    pub digest: Digest,
+    /// The preparing replica.
+    pub replica: ReplicaId,
+    /// Authenticator or signature.
+    pub auth: Auth,
+}
+
+message_struct!(Prepare { view, seq, digest, replica });
+
+/// `<COMMIT, v, n, d, i>`: the replica has a prepared certificate (§2.3.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Commit {
+    /// View.
+    pub view: View,
+    /// Sequence number.
+    pub seq: SeqNo,
+    /// Batch digest.
+    pub digest: Digest,
+    /// The committing replica.
+    pub replica: ReplicaId,
+    /// Authenticator or signature.
+    pub auth: Auth,
+}
+
+message_struct!(Commit { view, seq, digest, replica });
+
+/// `<CHECKPOINT, n, d, i>`: the replica produced the checkpoint with
+/// sequence number `n` and state digest `d` (§2.3.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Sequence number of the last request reflected in the checkpoint.
+    pub seq: SeqNo,
+    /// Digest of the service state (the partition-tree root digest, §5.3.1).
+    pub digest: Digest,
+    /// The checkpointing replica.
+    pub replica: ReplicaId,
+    /// Authenticator or signature.
+    pub auth: Auth,
+}
+
+message_struct!(Checkpoint { seq, digest, replica });
+
+// ---------------------------------------------------------------------------
+// View changes: the BFT (MAC) protocol of §3.2.4–3.2.5.
+// ---------------------------------------------------------------------------
+
+/// A PSet entry `(n, d, v)`: a request with digest `d` prepared at the sender
+/// with sequence number `n` in view `v`, and none prepared later (§3.2.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PSetEntry {
+    /// Sequence number.
+    pub seq: SeqNo,
+    /// Request (batch) digest.
+    pub digest: Digest,
+    /// View in which it prepared.
+    pub view: View,
+}
+
+impl Wire for PSetEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seq.encode(buf);
+        self.digest.encode(buf);
+        self.view.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(PSetEntry {
+            seq: SeqNo::decode(buf)?,
+            digest: Digest::decode(buf)?,
+            view: View::decode(buf)?,
+        })
+    }
+}
+
+/// A QSet entry `(n, {(d, v), ...})`: for each digest `d`, the latest view
+/// `v` in which a request with that digest pre-prepared at the sender with
+/// sequence number `n` (§3.2.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QSetEntry {
+    /// Sequence number.
+    pub seq: SeqNo,
+    /// Digest/view pairs, most recent last; bounded by `M` (§3.2.5).
+    pub pairs: Vec<(Digest, View)>,
+}
+
+impl Wire for QSetEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seq.encode(buf);
+        self.pairs.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(QSetEntry {
+            seq: SeqNo::decode(buf)?,
+            pairs: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// An NCSet entry `(n, d, v, u)`: `d` was the digest proposed for `n` in the
+/// new-view message with the latest view `v` the sender accepted, and no
+/// request committed for `n` in any view `< u` (§3.2.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NCSetEntry {
+    /// Sequence number.
+    pub seq: SeqNo,
+    /// Digest proposed in the latest accepted new-view message.
+    pub digest: Digest,
+    /// View of that new-view message.
+    pub view: View,
+    /// No request committed for `seq` in any view below this.
+    pub not_committed_below: View,
+}
+
+impl Wire for NCSetEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seq.encode(buf);
+        self.digest.encode(buf);
+        self.view.encode(buf);
+        self.not_committed_below.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(NCSetEntry {
+            seq: SeqNo::decode(buf)?,
+            digest: Digest::decode(buf)?,
+            view: View::decode(buf)?,
+            not_committed_below: View::decode(buf)?,
+        })
+    }
+}
+
+/// `<VIEW-CHANGE, v+1, h, C, P, Q, NC, i>`: the BFT view-change message
+/// (§3.2.4, with the §3.2.5 `NC` extension).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewChange {
+    /// The view being moved to.
+    pub view: View,
+    /// Sequence number of the sender's last stable checkpoint (`h`).
+    pub last_stable: SeqNo,
+    /// `C`: (seq, digest) of each checkpoint stored at the sender.
+    pub checkpoints: Vec<(SeqNo, Digest)>,
+    /// `P`: prepared-request information.
+    pub p_set: Vec<PSetEntry>,
+    /// `Q`: pre-prepared-request information.
+    pub q_set: Vec<QSetEntry>,
+    /// `NC`: not-committed information (bounded-space protocol).
+    pub nc_set: Vec<NCSetEntry>,
+    /// The sender.
+    pub replica: ReplicaId,
+    /// Authenticator.
+    pub auth: Auth,
+}
+
+message_struct!(ViewChange {
+    view,
+    last_stable,
+    checkpoints,
+    p_set,
+    q_set,
+    nc_set,
+    replica
+});
+
+/// `<VIEW-CHANGE-ACK, v+1, i, j, d>`: `i` acknowledges to the new primary
+/// that it received `j`'s view-change message with digest `d` (§3.2.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewChangeAck {
+    /// The view being moved to.
+    pub view: View,
+    /// The acknowledging replica (`i`).
+    pub replica: ReplicaId,
+    /// The replica whose view-change message is acknowledged (`j`).
+    pub origin: ReplicaId,
+    /// Digest of the acknowledged view-change message.
+    pub vc_digest: Digest,
+    /// Point-to-point MAC to the new primary.
+    pub auth: Auth,
+}
+
+message_struct!(ViewChangeAck {
+    view,
+    replica,
+    origin,
+    vc_digest
+});
+
+/// The decision part of a new-view message: chosen checkpoint and one chosen
+/// request digest per sequence number (`X` in §3.2.4). Shared by
+/// [`NewView`] and [`NotCommittedPrimary`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct NewViewDecision {
+    /// Start-state checkpoint `(h, d)`.
+    pub checkpoint: (SeqNo, Digest),
+    /// Chosen request digest for each sequence number in `(h, h+L]`;
+    /// [`null_request_digest`] marks null requests.
+    pub chosen: Vec<(SeqNo, Digest)>,
+}
+
+impl Wire for NewViewDecision {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.checkpoint.encode(buf);
+        self.chosen.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(NewViewDecision {
+            checkpoint: <(SeqNo, Digest)>::decode(buf)?,
+            chosen: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// `<NEW-VIEW, v+1, V, X>`: the new primary's decision (§3.2.4). `V` pairs
+/// each contributing replica with the digest of its view-change message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NewView {
+    /// The new view.
+    pub view: View,
+    /// `V`: (replica, view-change digest) pairs forming the certificate.
+    pub vc_proofs: Vec<(ReplicaId, Digest)>,
+    /// The chosen checkpoint and request assignments.
+    pub decision: NewViewDecision,
+    /// Authenticator.
+    pub auth: Auth,
+}
+
+message_struct!(NewView { view, vc_proofs, decision });
+
+/// `<NOT-COMMITTED, v+1, d, i>`: quorum confirmation that allows discarding
+/// QSet entries in the bounded-space protocol (§3.2.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotCommitted {
+    /// The new view.
+    pub view: View,
+    /// Digest of the new-view contents being confirmed.
+    pub nv_digest: Digest,
+    /// The confirming replica.
+    pub replica: ReplicaId,
+    /// Authenticator.
+    pub auth: Auth,
+}
+
+message_struct!(NotCommitted { view, nv_digest, replica });
+
+/// `<NOT-COMMITTED-PRIMARY, v+1, V, X>`: the primary's pre-announcement of
+/// its intended new-view contents (§3.2.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotCommittedPrimary {
+    /// The new view.
+    pub view: View,
+    /// Intended `V` component.
+    pub vc_proofs: Vec<(ReplicaId, Digest)>,
+    /// Intended decision.
+    pub decision: NewViewDecision,
+    /// Authenticator.
+    pub auth: Auth,
+}
+
+message_struct!(NotCommittedPrimary {
+    view,
+    vc_proofs,
+    decision
+});
+
+// ---------------------------------------------------------------------------
+// View changes: the BFT-PK protocol of §2.3.5 (certificates travel).
+// ---------------------------------------------------------------------------
+
+/// A prepared certificate: the pre-prepare plus `2f` matching signed
+/// prepares (§2.3.1). In BFT-PK these are exchanged whole during view
+/// changes because signatures make them transferable (§3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedProof {
+    /// The pre-prepare message of the certificate.
+    pub pre_prepare: PrePrepare,
+    /// `2f` matching prepare messages from distinct backups.
+    pub prepares: Vec<Prepare>,
+}
+
+impl Wire for PreparedProof {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.pre_prepare.encode(buf);
+        self.prepares.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(PreparedProof {
+            pre_prepare: PrePrepare::decode(buf)?,
+            prepares: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// `<VIEW-CHANGE, v+1, n, C, P, i>` in BFT-PK (§2.3.5): carries the stable
+/// certificate `C` and full prepared certificates `P`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewChangePk {
+    /// The view being moved to.
+    pub view: View,
+    /// Sequence number of the last stable checkpoint.
+    pub last_stable: SeqNo,
+    /// `C`: signed checkpoint messages proving the stable checkpoint.
+    pub checkpoint_proof: Vec<Checkpoint>,
+    /// `P`: a prepared certificate per request prepared after `last_stable`.
+    pub prepared_proofs: Vec<PreparedProof>,
+    /// The sender.
+    pub replica: ReplicaId,
+    /// Signature.
+    pub auth: Auth,
+}
+
+message_struct!(ViewChangePk {
+    view,
+    last_stable,
+    checkpoint_proof,
+    prepared_proofs,
+    replica
+});
+
+/// `<NEW-VIEW, v+1, V, O, N>` in BFT-PK (§2.3.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NewViewPk {
+    /// The new view.
+    pub view: View,
+    /// `V`: `2f+1` signed view-change messages.
+    pub view_changes: Vec<ViewChangePk>,
+    /// `O`: pre-prepares propagating prepared requests.
+    pub pre_prepares: Vec<PrePrepare>,
+    /// `N`: pre-prepares for null requests filling gaps.
+    pub null_pre_prepares: Vec<PrePrepare>,
+    /// Signature.
+    pub auth: Auth,
+}
+
+message_struct!(NewViewPk {
+    view,
+    view_changes,
+    pre_prepares,
+    null_pre_prepares
+});
+
+// ---------------------------------------------------------------------------
+// Status-based retransmission (§5.2).
+// ---------------------------------------------------------------------------
+
+/// `<STATUS-ACTIVE, h, le, v, i, P, C>`: a replica summarizes its state so
+/// peers retransmit exactly what it is missing (§5.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatusActive {
+    /// Last stable checkpoint sequence number (`h`).
+    pub last_stable: SeqNo,
+    /// Last executed sequence number (`le`).
+    pub last_exec: SeqNo,
+    /// The sender's current (active) view.
+    pub view: View,
+    /// One bit per sequence number in `(le, h+L]`: request prepared here.
+    pub prepared: Vec<bool>,
+    /// Same range: request committed here.
+    pub committed: Vec<bool>,
+    /// The sender.
+    pub replica: ReplicaId,
+    /// Authenticator.
+    pub auth: Auth,
+}
+
+message_struct!(StatusActive {
+    last_stable,
+    last_exec,
+    view,
+    prepared,
+    committed,
+    replica
+});
+
+/// `<STATUS-PENDING, h, le, v, i, n, V, R>`: status while a view change is
+/// in progress (§5.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatusPending {
+    /// Last stable checkpoint sequence number.
+    pub last_stable: SeqNo,
+    /// Last executed sequence number.
+    pub last_exec: SeqNo,
+    /// The pending view.
+    pub view: View,
+    /// Whether the sender has the new-view message.
+    pub has_new_view: bool,
+    /// One bit per replica: sender accepted that replica's view-change.
+    pub have_view_changes: Vec<bool>,
+    /// Requests the sender is missing: (view, seq) pairs it needs.
+    pub missing: Vec<(View, SeqNo)>,
+    /// The sender.
+    pub replica: ReplicaId,
+    /// Authenticator.
+    pub auth: Auth,
+}
+
+message_struct!(StatusPending {
+    last_stable,
+    last_exec,
+    view,
+    has_new_view,
+    have_view_changes,
+    missing,
+    replica
+});
+
+// ---------------------------------------------------------------------------
+// State transfer (§5.3.2).
+// ---------------------------------------------------------------------------
+
+/// `<FETCH, l, x, lc, c, k, i>`: request information about partition `x` at
+/// level `l` (§5.3.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fetch {
+    /// Partition tree level (0 = root).
+    pub level: u8,
+    /// Partition index within the level.
+    pub index: u64,
+    /// Sequence number of the last checkpoint the sender has for it (`lc`).
+    pub last_known: SeqNo,
+    /// If set, the specific checkpoint sought (`c`); `None` encodes the
+    /// thesis's `c = -1` ("any recent enough").
+    pub target: Option<SeqNo>,
+    /// Designated replier (`k`), if any.
+    pub replier: Option<ReplicaId>,
+    /// The requesting replica.
+    pub replica: ReplicaId,
+    /// Authenticator.
+    pub auth: Auth,
+}
+
+message_struct!(Fetch {
+    level,
+    index,
+    last_known,
+    target,
+    replier,
+    replica
+});
+
+/// One sub-partition record inside a [`MetaData`] reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubPartInfo {
+    /// Sub-partition index within its level.
+    pub index: u64,
+    /// Last-modification checkpoint sequence number (`lm`).
+    pub last_mod: SeqNo,
+    /// Sub-partition digest.
+    pub digest: Digest,
+}
+
+impl Wire for SubPartInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.index.encode(buf);
+        self.last_mod.encode(buf);
+        self.digest.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SubPartInfo {
+            index: u64::decode(buf)?,
+            last_mod: SeqNo::decode(buf)?,
+            digest: Digest::decode(buf)?,
+        })
+    }
+}
+
+/// `<META-DATA, c, l, x, P, i>`: sub-partition digests for a fetched
+/// partition at checkpoint `c` (§5.3.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetaData {
+    /// Checkpoint the reply describes.
+    pub at_checkpoint: SeqNo,
+    /// Partition level.
+    pub level: u8,
+    /// Partition index.
+    pub index: u64,
+    /// Records for sub-partitions modified since the fetcher's `last_known`.
+    pub subparts: Vec<SubPartInfo>,
+    /// The replying replica.
+    pub replica: ReplicaId,
+    /// MAC (not needed from the designated replier — digests self-certify —
+    /// but carried uniformly).
+    pub auth: Auth,
+}
+
+message_struct!(MetaData {
+    at_checkpoint,
+    level,
+    index,
+    subparts,
+    replica
+});
+
+/// `<DATA, x, lm, p>`: a full page value (§5.3.2). Self-certifying via the
+/// parent digest, so it carries no MAC at all — the thesis highlights this
+/// as a deliberate efficiency property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Data {
+    /// Page index.
+    pub index: u64,
+    /// Last-modification checkpoint sequence number.
+    pub last_mod: SeqNo,
+    /// Page contents.
+    pub page: Bytes,
+    /// Always [`Auth::None`]; present for format uniformity.
+    pub auth: Auth,
+}
+
+message_struct!(Data { index, last_mod, page });
+
+// ---------------------------------------------------------------------------
+// Proactive recovery (§4.3).
+// ---------------------------------------------------------------------------
+
+/// `<NEW-KEY, i, {k_ji}, t>`: fresh session keys for messages sent *to* `i`,
+/// each encrypted under the recipient's public key, signed by the secure
+/// co-processor with its monotonic counter (§4.3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NewKey {
+    /// The key owner.
+    pub replica: ReplicaId,
+    /// `encrypted[j]` holds the key peer `j` must use to send to `replica`,
+    /// encrypted under `j`'s public key.
+    pub encrypted: Vec<Bytes>,
+    /// Co-processor counter signature (carries the anti-replay counter).
+    pub auth: Auth,
+}
+
+message_struct!(NewKey { replica, encrypted });
+
+/// `<QUERY-STABLE, i, x>`: recovery estimation probe (§4.3.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryStable {
+    /// The recovering replica.
+    pub replica: ReplicaId,
+    /// Nonce echoed in replies.
+    pub nonce: u64,
+    /// Authenticator.
+    pub auth: Auth,
+}
+
+message_struct!(QueryStable { replica, nonce });
+
+/// `<REPLY-STABLE, c, p, x, i>`: the replier's last checkpoint `c` and last
+/// prepared request `p` (§4.3.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplyStable {
+    /// Sequence number of the replier's last checkpoint.
+    pub checkpoint: SeqNo,
+    /// Sequence number of the replier's last prepared request.
+    pub prepared: SeqNo,
+    /// Echoed nonce.
+    pub nonce: u64,
+    /// The replying replica.
+    pub replica: ReplicaId,
+    /// Point-to-point MAC.
+    pub auth: Auth,
+}
+
+message_struct!(ReplyStable {
+    checkpoint,
+    prepared,
+    nonce,
+    replica
+});
+
+// ---------------------------------------------------------------------------
+// The top-level message enum.
+// ---------------------------------------------------------------------------
+
+/// Any protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Client (or recovery) request.
+    Request(Request),
+    /// Reply to a request.
+    Reply(Reply),
+    /// Primary's ordering proposal.
+    PrePrepare(PrePrepare),
+    /// Backup's agreement.
+    Prepare(Prepare),
+    /// Commit-phase vote.
+    Commit(Commit),
+    /// Checkpoint announcement.
+    Checkpoint(Checkpoint),
+    /// BFT view-change.
+    ViewChange(ViewChange),
+    /// BFT view-change acknowledgment.
+    ViewChangeAck(ViewChangeAck),
+    /// BFT new-view.
+    NewView(NewView),
+    /// Bounded-space not-committed confirmation.
+    NotCommitted(NotCommitted),
+    /// Bounded-space primary pre-announcement.
+    NotCommittedPrimary(NotCommittedPrimary),
+    /// BFT-PK view-change.
+    ViewChangePk(ViewChangePk),
+    /// BFT-PK new-view.
+    NewViewPk(NewViewPk),
+    /// Status summary (active view).
+    StatusActive(StatusActive),
+    /// Status summary (pending view change).
+    StatusPending(StatusPending),
+    /// State-transfer fetch.
+    Fetch(Fetch),
+    /// State-transfer meta-data reply.
+    MetaData(MetaData),
+    /// State-transfer page data.
+    Data(Data),
+    /// Session-key refresh.
+    NewKey(NewKey),
+    /// Recovery estimation probe.
+    QueryStable(QueryStable),
+    /// Recovery estimation answer.
+    ReplyStable(ReplyStable),
+}
+
+macro_rules! message_enum_dispatch {
+    ($( $tag:literal => $variant:ident ),+ $(,)?) => {
+        impl Wire for Message {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                match self {
+                    $(Message::$variant(m) => {
+                        buf.push($tag);
+                        m.encode(buf);
+                    })+
+                }
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+                match take(buf, 1)?[0] {
+                    $($tag => Ok(Message::$variant(Wire::decode(buf)?)),)+
+                    t => Err(WireError::BadTag(t)),
+                }
+            }
+        }
+        impl Message {
+            /// Short name of the message type, for metrics and traces.
+            pub fn type_name(&self) -> &'static str {
+                match self {
+                    $(Message::$variant(_) => stringify!($variant),)+
+                }
+            }
+        }
+    };
+}
+
+message_enum_dispatch!(
+    0 => Request,
+    1 => Reply,
+    2 => PrePrepare,
+    3 => Prepare,
+    4 => Commit,
+    5 => Checkpoint,
+    6 => ViewChange,
+    7 => ViewChangeAck,
+    8 => NewView,
+    9 => NotCommitted,
+    10 => NotCommittedPrimary,
+    11 => ViewChangePk,
+    12 => NewViewPk,
+    13 => StatusActive,
+    14 => StatusPending,
+    15 => Fetch,
+    16 => MetaData,
+    17 => Data,
+    18 => NewKey,
+    19 => QueryStable,
+    20 => ReplyStable,
+);
+
+impl Message {
+    /// Encoded size in bytes (the unit of the wire-cost model).
+    pub fn wire_size(&self) -> usize {
+        self.encoded().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request {
+            requester: Requester::Client(ClientId(7)),
+            timestamp: Timestamp(3),
+            operation: Bytes::from_static(b"write x=1"),
+            read_only: false,
+            replier: Some(ReplicaId(2)),
+            auth: Auth::Mac(Tag([1; 8])),
+        }
+    }
+
+    fn sample_pre_prepare() -> PrePrepare {
+        PrePrepare {
+            view: View(1),
+            seq: SeqNo(10),
+            batch: vec![
+                BatchEntry::Inline(sample_request()),
+                BatchEntry::ByDigest(md5(b"other")),
+            ],
+            nondet: Bytes::from_static(b"ts=42"),
+            auth: Auth::Authenticator(Authenticator {
+                nonce: 5,
+                tags: vec![Tag([0; 8]); 4],
+            }),
+        }
+    }
+
+    fn roundtrip_msg(m: Message) {
+        let bytes = m.encoded();
+        let mut slice = bytes.as_slice();
+        let back = Message::decode(&mut slice).expect("decode");
+        assert_eq!(back, m);
+        assert!(slice.is_empty());
+        assert_eq!(m.wire_size(), bytes.len());
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        let req = sample_request();
+        let pp = sample_pre_prepare();
+        let prep = Prepare {
+            view: View(1),
+            seq: SeqNo(10),
+            digest: pp.batch_digest(),
+            replica: ReplicaId(1),
+            auth: Auth::None,
+        };
+        let msgs = vec![
+            Message::Request(req.clone()),
+            Message::Reply(Reply {
+                view: View(1),
+                timestamp: Timestamp(3),
+                requester: Requester::Client(ClientId(7)),
+                replica: ReplicaId(0),
+                body: ReplyBody::Full(Bytes::from_static(b"ok")),
+                tentative: true,
+                auth: Auth::Mac(Tag([2; 8])),
+            }),
+            Message::PrePrepare(pp.clone()),
+            Message::Prepare(prep.clone()),
+            Message::Commit(Commit {
+                view: View(1),
+                seq: SeqNo(10),
+                digest: pp.batch_digest(),
+                replica: ReplicaId(3),
+                auth: Auth::None,
+            }),
+            Message::Checkpoint(Checkpoint {
+                seq: SeqNo(100),
+                digest: md5(b"state"),
+                replica: ReplicaId(2),
+                auth: Auth::None,
+            }),
+            Message::ViewChange(ViewChange {
+                view: View(2),
+                last_stable: SeqNo(100),
+                checkpoints: vec![(SeqNo(100), md5(b"s"))],
+                p_set: vec![PSetEntry {
+                    seq: SeqNo(101),
+                    digest: md5(b"r"),
+                    view: View(1),
+                }],
+                q_set: vec![QSetEntry {
+                    seq: SeqNo(101),
+                    pairs: vec![(md5(b"r"), View(1))],
+                }],
+                nc_set: vec![NCSetEntry {
+                    seq: SeqNo(102),
+                    digest: md5(b"x"),
+                    view: View(1),
+                    not_committed_below: View(1),
+                }],
+                replica: ReplicaId(1),
+                auth: Auth::None,
+            }),
+            Message::ViewChangeAck(ViewChangeAck {
+                view: View(2),
+                replica: ReplicaId(0),
+                origin: ReplicaId(1),
+                vc_digest: md5(b"vc"),
+                auth: Auth::Mac(Tag([3; 8])),
+            }),
+            Message::NewView(NewView {
+                view: View(2),
+                vc_proofs: vec![(ReplicaId(0), md5(b"vc0"))],
+                decision: NewViewDecision {
+                    checkpoint: (SeqNo(100), md5(b"s")),
+                    chosen: vec![(SeqNo(101), md5(b"r"))],
+                },
+                auth: Auth::None,
+            }),
+            Message::NotCommitted(NotCommitted {
+                view: View(2),
+                nv_digest: md5(b"nv"),
+                replica: ReplicaId(3),
+                auth: Auth::None,
+            }),
+            Message::NotCommittedPrimary(NotCommittedPrimary {
+                view: View(2),
+                vc_proofs: vec![],
+                decision: NewViewDecision::default(),
+                auth: Auth::None,
+            }),
+            Message::ViewChangePk(ViewChangePk {
+                view: View(2),
+                last_stable: SeqNo(100),
+                checkpoint_proof: vec![],
+                prepared_proofs: vec![PreparedProof {
+                    pre_prepare: pp.clone(),
+                    prepares: vec![prep.clone()],
+                }],
+                replica: ReplicaId(1),
+                auth: Auth::Signature(Signature(vec![7; 16])),
+            }),
+            Message::NewViewPk(NewViewPk {
+                view: View(2),
+                view_changes: vec![],
+                pre_prepares: vec![pp.clone()],
+                null_pre_prepares: vec![],
+                auth: Auth::None,
+            }),
+            Message::StatusActive(StatusActive {
+                last_stable: SeqNo(100),
+                last_exec: SeqNo(105),
+                view: View(1),
+                prepared: vec![true, false],
+                committed: vec![false, false],
+                replica: ReplicaId(0),
+                auth: Auth::None,
+            }),
+            Message::StatusPending(StatusPending {
+                last_stable: SeqNo(100),
+                last_exec: SeqNo(105),
+                view: View(2),
+                has_new_view: false,
+                have_view_changes: vec![true, false, false, true],
+                missing: vec![(View(1), SeqNo(103))],
+                replica: ReplicaId(0),
+                auth: Auth::None,
+            }),
+            Message::Fetch(Fetch {
+                level: 1,
+                index: 37,
+                last_known: SeqNo(100),
+                target: None,
+                replier: Some(ReplicaId(1)),
+                replica: ReplicaId(2),
+                auth: Auth::None,
+            }),
+            Message::MetaData(MetaData {
+                at_checkpoint: SeqNo(150),
+                level: 1,
+                index: 37,
+                subparts: vec![SubPartInfo {
+                    index: 37 * 4,
+                    last_mod: SeqNo(140),
+                    digest: md5(b"part"),
+                }],
+                replica: ReplicaId(1),
+                auth: Auth::None,
+            }),
+            Message::Data(Data {
+                index: 9,
+                last_mod: SeqNo(140),
+                page: Bytes::from_static(b"page contents"),
+                auth: Auth::None,
+            }),
+            Message::NewKey(NewKey {
+                replica: ReplicaId(3),
+                encrypted: vec![Bytes::from_static(b"enc0"), Bytes::from_static(b"enc1")],
+                auth: Auth::CounterSig(CounterSignature {
+                    counter: 12,
+                    signature: Signature(vec![1, 2, 3]),
+                }),
+            }),
+            Message::QueryStable(QueryStable {
+                replica: ReplicaId(3),
+                nonce: 99,
+                auth: Auth::None,
+            }),
+            Message::ReplyStable(ReplyStable {
+                checkpoint: SeqNo(100),
+                prepared: SeqNo(106),
+                nonce: 99,
+                replica: ReplicaId(0),
+                auth: Auth::Mac(Tag([9; 8])),
+            }),
+        ];
+        for m in msgs {
+            roundtrip_msg(m);
+        }
+    }
+
+    #[test]
+    fn content_digest_ignores_auth() {
+        let mut r1 = sample_request();
+        let mut r2 = sample_request();
+        r1.auth = Auth::Mac(Tag([1; 8]));
+        r2.auth = Auth::Mac(Tag([2; 8]));
+        assert_eq!(r1.digest(), r2.digest());
+        r2.timestamp = Timestamp(4);
+        assert_ne!(r1.digest(), r2.digest());
+    }
+
+    #[test]
+    fn batch_digest_independent_of_view_and_inline_form() {
+        let pp1 = sample_pre_prepare();
+        let mut pp2 = sample_pre_prepare();
+        pp2.view = View(9);
+        assert_eq!(pp1.batch_digest(), pp2.batch_digest());
+        // Replacing an inline request by its digest keeps the batch digest.
+        let mut pp3 = sample_pre_prepare();
+        let d = match &pp3.batch[0] {
+            BatchEntry::Inline(r) => r.digest(),
+            BatchEntry::ByDigest(d) => *d,
+        };
+        pp3.batch[0] = BatchEntry::ByDigest(d);
+        assert_eq!(pp1.batch_digest(), pp3.batch_digest());
+        // But the nondet value matters.
+        let mut pp4 = sample_pre_prepare();
+        pp4.nondet = Bytes::from_static(b"ts=43");
+        assert_ne!(pp1.batch_digest(), pp4.batch_digest());
+    }
+
+    #[test]
+    fn recovery_requests_flagged() {
+        let mut r = sample_request();
+        assert!(!r.is_recovery());
+        r.requester = Requester::Replica(ReplicaId(1));
+        assert!(r.is_recovery());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(
+            Message::Request(sample_request()).type_name(),
+            "Request"
+        );
+        assert_eq!(
+            Message::PrePrepare(sample_pre_prepare()).type_name(),
+            "PrePrepare"
+        );
+    }
+
+    #[test]
+    fn null_request_digest_is_stable() {
+        assert_eq!(null_request_digest(), null_request_digest());
+        assert!(!null_request_digest().is_zero());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_message_tag() {
+        let mut buf: &[u8] = &[200, 0, 0];
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(WireError::BadTag(200))
+        ));
+    }
+
+    #[test]
+    fn reply_body_digest() {
+        let full = ReplyBody::Full(Bytes::from_static(b"result"));
+        let dig = ReplyBody::DigestOnly(md5(b"result"));
+        assert_eq!(full.result_digest(), dig.result_digest());
+    }
+}

@@ -1,0 +1,141 @@
+//! Virtual time for the deterministic simulation.
+//!
+//! The protocol core never reads a wall clock; all timeouts are expressed in
+//! virtual microseconds and driven by the harness. This mirrors the thesis's
+//! asynchronous system model — the algorithm's safety never depends on time,
+//! and liveness only on eventual delivery — while letting the simulator
+//! reproduce latency and throughput measurements deterministically.
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in virtual time, in microseconds since simulation start.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time in microseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Advances by `d`.
+    pub fn after(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+
+    /// Time elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Value in milliseconds (for reports).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Builds from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1000)
+    }
+
+    /// Builds from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Value in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in fractional milliseconds (for reports).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Doubles the span, saturating (exponential view-change backoff §2.3.5).
+    pub fn doubled(self) -> SimDuration {
+        SimDuration(self.0.saturating_mul(2))
+    }
+
+    /// Multiplies by a scalar, saturating.
+    pub fn times(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        self.after(rhs)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100) + SimDuration::from_micros(50);
+        assert_eq!(t, SimTime(150));
+        assert_eq!(t.since(SimTime(100)), SimDuration(50));
+        assert_eq!(SimTime(10).since(SimTime(100)), SimDuration(0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_millis(2).as_micros(), 2000);
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+        assert!((SimDuration::from_millis(1).as_millis_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d.doubled(), SimDuration::from_millis(200));
+        assert_eq!(d.times(3), SimDuration::from_millis(300));
+        assert_eq!(SimDuration(u64::MAX).doubled(), SimDuration(u64::MAX));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(1500).to_string(), "1.500ms");
+        assert_eq!(SimDuration(250).to_string(), "0.250ms");
+    }
+}

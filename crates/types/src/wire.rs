@@ -1,0 +1,401 @@
+//! Hand-rolled wire encoding for protocol messages.
+//!
+//! The thesis specifies compact fixed-header message formats (Figure 6-1).
+//! We keep a single self-describing length-prefixed encoding: every message
+//! can be serialized to bytes and parsed back, digests are computed over
+//! encodings, and the simulator's wire-cost model charges by encoded size.
+
+use bft_crypto::{Authenticator, CounterSignature, Digest, Signature, Tag};
+use bytes::Bytes;
+
+/// Errors produced while decoding a wire buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// An enum discriminant or flag byte had an unknown value.
+    BadTag(u8),
+    /// A length prefix exceeded the sanity bound.
+    TooLong(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire buffer truncated"),
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            WireError::TooLong(n) => write!(f, "wire length {n} exceeds bound"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum accepted collection length, bounding memory used by a decoder fed
+/// adversarial bytes (a §5.5 defense: bounded memory per message).
+pub const MAX_WIRE_LEN: u64 = 1 << 24;
+
+/// Types that can be encoded to and decoded from the wire.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Parses a value from the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Returns the full encoding as a fresh vector.
+    fn encoded(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Encoded size in bytes.
+    fn wire_len(&self) -> usize {
+        self.encoded().len()
+    }
+}
+
+/// Reads exactly `n` bytes from the front of `buf`.
+pub fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(take(buf, 1)?[0])
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match take(buf, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(u64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let v = u64::decode(buf)?;
+        if v > MAX_WIRE_LEN {
+            return Err(WireError::TooLong(v));
+        }
+        Ok(v as usize)
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.len().encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = usize::decode(buf)?;
+        // Items are at least one byte; reject lengths the buffer cannot hold.
+        if n > buf.len() {
+            return Err(WireError::TooLong(n as u64));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match take(buf, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.len().encode(buf);
+        buf.extend_from_slice(self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = usize::decode(buf)?;
+        Ok(Bytes::copy_from_slice(take(buf, n)?))
+    }
+    fn wire_len(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl Wire for Digest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Digest(take(buf, 16)?.try_into().expect("16 bytes")))
+    }
+    fn wire_len(&self) -> usize {
+        16
+    }
+}
+
+impl Wire for Tag {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Tag(take(buf, 8)?.try_into().expect("8 bytes")))
+    }
+    fn wire_len(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for Signature {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.len().encode(buf);
+        buf.extend_from_slice(&self.0);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = usize::decode(buf)?;
+        Ok(Signature(take(buf, n)?.to_vec()))
+    }
+}
+
+impl Wire for Authenticator {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.nonce.encode(buf);
+        self.tags.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Authenticator {
+            nonce: u64::decode(buf)?,
+            tags: Vec::<Tag>::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for CounterSignature {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.counter.encode(buf);
+        self.signature.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CounterSignature {
+            counter: u64::decode(buf)?,
+            signature: Signature::decode(buf)?,
+        })
+    }
+}
+
+/// Implements [`Wire`] for a newtype wrapper over one `Wire` field.
+macro_rules! wire_newtype {
+    ($ty:ty, $inner:ty) => {
+        impl Wire for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                self.0.encode(buf);
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+                Ok(Self(<$inner>::decode(buf)?))
+            }
+        }
+    };
+}
+
+wire_newtype!(crate::ids::ReplicaId, u32);
+wire_newtype!(crate::ids::ClientId, u32);
+wire_newtype!(crate::ids::View, u64);
+wire_newtype!(crate::ids::SeqNo, u64);
+wire_newtype!(crate::ids::Timestamp, u64);
+
+impl Wire for crate::ids::NodeId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            crate::ids::NodeId::Replica(r) => {
+                buf.push(0);
+                r.encode(buf);
+            }
+            crate::ids::NodeId::Client(c) => {
+                buf.push(1);
+                c.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match take(buf, 1)?[0] {
+            0 => Ok(crate::ids::NodeId::Replica(crate::ids::ReplicaId::decode(buf)?)),
+            1 => Ok(crate::ids::NodeId::Client(crate::ids::ClientId::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, NodeId, ReplicaId, SeqNo, View};
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encoded();
+        let mut slice = bytes.as_slice();
+        let back = T::decode(&mut slice).expect("decode");
+        assert_eq!(back, v);
+        assert!(slice.is_empty(), "decoder consumed everything");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(123456u32);
+        roundtrip(u64::MAX);
+        roundtrip(42usize);
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u32, 2u64));
+        roundtrip((1u8, 2u32, 3u64));
+        roundtrip(Bytes::from_static(b"payload"));
+    }
+
+    #[test]
+    fn crypto_types_roundtrip() {
+        roundtrip(bft_crypto::digest(b"x"));
+        roundtrip(Tag([1, 2, 3, 4, 5, 6, 7, 8]));
+        roundtrip(Signature(vec![9; 32]));
+        roundtrip(Authenticator {
+            nonce: 77,
+            tags: vec![Tag([0; 8]), Tag([1; 8])],
+        });
+    }
+
+    #[test]
+    fn id_types_roundtrip() {
+        roundtrip(ReplicaId(3));
+        roundtrip(ClientId(9));
+        roundtrip(View(12));
+        roundtrip(SeqNo(100));
+        roundtrip(NodeId::Replica(ReplicaId(1)));
+        roundtrip(NodeId::Client(ClientId(2)));
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let bytes = 12345u64.encoded();
+        let mut short = &bytes[..4];
+        assert_eq!(u64::decode(&mut short), Err(WireError::Truncated));
+        let mut empty: &[u8] = &[];
+        assert_eq!(u8::decode(&mut empty), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_tags_error() {
+        let mut buf: &[u8] = &[7];
+        assert_eq!(bool::decode(&mut buf), Err(WireError::BadTag(7)));
+        let mut buf: &[u8] = &[9, 0, 0, 0, 0];
+        assert_eq!(Option::<u32>::decode(&mut buf), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn adversarial_length_rejected() {
+        // A length prefix of u64::MAX must not allocate.
+        let mut buf = Vec::new();
+        u64::MAX.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        assert!(matches!(
+            Vec::<u8>::decode(&mut slice),
+            Err(WireError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_vec_len_rejected() {
+        // Claimed length larger than remaining bytes must fail fast.
+        let mut buf = Vec::new();
+        1000usize.encode(&mut buf);
+        buf.push(1);
+        let mut slice = buf.as_slice();
+        assert!(Vec::<u8>::decode(&mut slice).is_err());
+    }
+
+    #[test]
+    fn wire_error_display() {
+        assert_eq!(WireError::Truncated.to_string(), "wire buffer truncated");
+        assert_eq!(WireError::BadTag(3).to_string(), "unknown wire tag 3");
+        assert!(WireError::TooLong(9).to_string().contains('9'));
+    }
+}

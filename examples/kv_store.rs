@@ -1,0 +1,78 @@
+//! A replicated key-value store that keeps serving correct data while one
+//! replica lies in its replies and another sends corrupted votes.
+//!
+//! Run with: `cargo run --example kv_store`
+
+use bft_sim::harness::Driver;
+use bft_sim::{Behavior, Cluster, ClusterConfig};
+use bft_statemachine::KvService;
+use bft_types::{ClientId, ReplicaId, SimTime};
+use bytes::Bytes;
+
+/// Scripted driver: writes ten keys, then reads them back.
+struct KvDriver {
+    step: usize,
+    failures: std::rc::Rc<std::cell::Cell<u32>>,
+}
+
+impl Driver for KvDriver {
+    fn next(&mut self, last: Option<&Bytes>) -> Option<(Bytes, bool)> {
+        // Validate the previous read against the expected value.
+        if self.step > 10 {
+            let read_idx = self.step - 11;
+            let expect = format!("value-{read_idx}");
+            if last.map(|b| b.as_ref() != expect.as_bytes()).unwrap_or(true) {
+                self.failures.set(self.failures.get() + 1);
+            }
+        }
+        let (op, read_only) = if self.step < 10 {
+            let key = format!("key-{}", self.step);
+            let value = format!("value-{}", self.step);
+            (KvService::op_put(key.as_bytes(), value.as_bytes()), false)
+        } else if self.step < 20 {
+            let key = format!("key-{}", self.step - 10);
+            (KvService::op_get(key.as_bytes()), true)
+        } else {
+            return None;
+        };
+        self.step += 1;
+        Some((op, read_only))
+    }
+}
+
+fn main() {
+    let config = ClusterConfig::test(1, 1);
+    let services = (0..4).map(|_| KvService::new(32)).collect();
+    let mut cluster: Cluster<KvService> = Cluster::new(config, services);
+
+    // One replica forges its replies; another corrupts its protocol votes.
+    // With f = 1 tolerated and only... well, two misbehaving replicas is
+    // beyond the f = 1 bound for safety in general, but these particular
+    // behaviors are masked independently: lies are outvoted by the reply
+    // certificate, corrupt votes never assemble certificates.
+    cluster.set_behavior(ReplicaId(3), Behavior::LyingReplies);
+    cluster.set_behavior(ReplicaId(2), Behavior::CorruptVotes);
+
+    let failures = std::rc::Rc::new(std::cell::Cell::new(0));
+    cluster.set_driver(
+        ClientId(0),
+        Box::new(KvDriver {
+            step: 0,
+            failures: std::rc::Rc::clone(&failures),
+        }),
+    );
+    let done = cluster.run_to_completion(SimTime(120_000_000));
+    assert!(done, "workload completed");
+    assert_eq!(failures.get(), 0, "no read returned forged data");
+
+    println!(
+        "20 operations done; {} reads verified against writes; forged \
+         replies from r3 were outvoted",
+        10
+    );
+    println!(
+        "mean latency {:.0} us; retransmissions {}",
+        cluster.metrics.latency.mean_us(),
+        cluster.metrics.ops_retransmitted
+    );
+}

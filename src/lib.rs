@@ -1,0 +1,46 @@
+//! # pbft — Practical Byzantine Fault Tolerance, reproduced in Rust
+//!
+//! A complete from-scratch reproduction of Castro & Liskov's *Practical
+//! Byzantine Fault Tolerance* (OSDI '99; Castro's MIT thesis, 2001): the
+//! BFT state-machine replication library in its three variants (BFT-PK,
+//! BFT, BFT-PR), every substrate it depends on, the BFS file service built
+//! on top, the Chapter 7 analytic performance model, and a benchmark
+//! harness that regenerates the shape of every Chapter 8 evaluation result.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`crypto`] — MD5, HMAC MACs, authenticators, big-integer signatures,
+//!   AdHash, and the simulated secure co-processor.
+//! * [`types`] — identifiers, protocol messages, wire encoding.
+//! * [`net`] — the unreliable multicast channel automaton and wire costs.
+//! * [`statemachine`] — the deterministic service trait and samples.
+//! * [`core`] — the replication protocol: replicas and client proxies.
+//! * [`sim`] — the deterministic discrete-event cluster harness.
+//! * [`bfs`] — the Byzantine-fault-tolerant NFS-shaped file service.
+//! * [`model`] — the analytic latency/throughput model.
+//!
+//! # Examples
+//!
+//! ```
+//! use pbft::sim::{counter_cluster, ClusterConfig, OpGen};
+//! use pbft::statemachine::CounterService;
+//! use pbft::types::SimTime;
+//!
+//! let mut cluster = counter_cluster(ClusterConfig::test(1, 1));
+//! cluster.set_workload(OpGen::fixed(
+//!     bytes::Bytes::from(vec![CounterService::OP_INC]),
+//!     false,
+//!     3,
+//! ));
+//! assert!(cluster.run_to_completion(SimTime(10_000_000)));
+//! assert_eq!(cluster.metrics.ops_completed, 3);
+//! ```
+
+pub use bft_core as core;
+pub use bft_crypto as crypto;
+pub use bft_model as model;
+pub use bft_net as net;
+pub use bft_sim as sim;
+pub use bft_statemachine as statemachine;
+pub use bft_types as types;
+pub use bfs;

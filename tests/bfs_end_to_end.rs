@@ -1,0 +1,152 @@
+//! End-to-end BFS tests: the Andrew benchmark through the full replication
+//! stack, replicated-vs-baseline equivalence of file system contents, and
+//! fault tolerance of the file service.
+
+use pbft::bfs::andrew::{generate_script, AndrewConfig};
+use pbft::bfs::{BfsService, NfsOp, NfsReply};
+use pbft::sim::harness::Driver;
+use pbft::sim::scenarios;
+use pbft::sim::{Behavior, Cluster, ClusterConfig};
+use pbft::types::{ClientId, ReplicaId, SimTime};
+use bytes::Bytes;
+
+/// Drives the whole Andrew script through the replicated service.
+struct AndrewTestDriver {
+    script: Vec<pbft::bfs::ScriptedOp>,
+    resolver: pbft::bfs::andrew::PathResolver,
+    next: usize,
+}
+
+impl Driver for AndrewTestDriver {
+    fn next(&mut self, last: Option<&Bytes>) -> Option<(Bytes, bool)> {
+        if let (Some(result), true) = (last, self.next > 0) {
+            let prev = &self.script[self.next - 1];
+            let reply = NfsReply::decode(result).expect("reply decodes");
+            assert!(!matches!(reply, NfsReply::Err(_)), "{:?}", prev.kind);
+            self.resolver.learn(&prev.kind, &reply);
+        }
+        let sop = self.script.get(self.next)?;
+        self.next += 1;
+        Some((self.resolver.concretize(&sop.kind).encode(), sop.read_only))
+    }
+}
+
+#[test]
+fn andrew_replicated_matches_unreplicated_contents() {
+    let cfg = AndrewConfig::tiny();
+    // Replicated run.
+    let config = ClusterConfig::test(1, 1);
+    let services: Vec<BfsService> = (0..4).map(|_| BfsService::new(32)).collect();
+    let mut cluster: Cluster<BfsService> = Cluster::new(config, services);
+    cluster.set_driver(
+        ClientId(0),
+        Box::new(AndrewTestDriver {
+            script: generate_script(&cfg),
+            resolver: pbft::bfs::andrew::PathResolver::new(),
+            next: 0,
+        }),
+    );
+    assert!(cluster.run_to_completion(SimTime(600_000_000)));
+
+    // All four replicas agree.
+    let fs0 = cluster.replica(0).service().fs();
+    for r in 1..4 {
+        assert_eq!(cluster.replica(r).service().fs(), fs0, "replica {r}");
+    }
+
+    // The directory structure matches an unreplicated run of the same
+    // script (timestamps differ — the nondet values differ — but structure
+    // and data agree).
+    let mut baseline = BfsService::new(32);
+    pbft::bfs::run_unreplicated(&mut baseline, &generate_script(&cfg));
+    for d in 0..cfg.dirs {
+        for f in 0..cfg.files_per_dir {
+            let path = format!("/run0/dir{d}/src{f}.c");
+            let a = fs0.resolve(&path).expect("replicated file");
+            let b = baseline.fs().resolve(&path).expect("baseline file");
+            let da = fs0.read(a, 0, cfg.file_size).unwrap();
+            let db = baseline.fs().read(b, 0, cfg.file_size).unwrap();
+            assert_eq!(da, db, "{path} contents");
+        }
+    }
+}
+
+#[test]
+fn bfs_survives_a_lying_replica() {
+    let config = ClusterConfig::test(1, 1);
+    let services: Vec<BfsService> = (0..4).map(|_| BfsService::new(32)).collect();
+    let mut cluster: Cluster<BfsService> = Cluster::new(config, services);
+    cluster.set_behavior(ReplicaId(1), Behavior::LyingReplies);
+    cluster.set_driver(
+        ClientId(0),
+        Box::new(AndrewTestDriver {
+            script: generate_script(&AndrewConfig::tiny()),
+            resolver: pbft::bfs::andrew::PathResolver::new(),
+            next: 0,
+        }),
+    );
+    assert!(
+        cluster.run_to_completion(SimTime(600_000_000)),
+        "benchmark completes despite the liar"
+    );
+}
+
+#[test]
+fn bfs_access_follows_nfs_error_semantics_through_replication() {
+    // Errors must replicate deterministically too.
+    struct ErrDriver {
+        step: usize,
+    }
+    impl Driver for ErrDriver {
+        fn next(&mut self, last: Option<&Bytes>) -> Option<(Bytes, bool)> {
+            if let Some(last) = last {
+                let reply = NfsReply::decode(last).expect("decodes");
+                match self.step {
+                    1 => assert!(
+                        matches!(reply, NfsReply::Err(pbft::bfs::FsError::NotFound)),
+                        "{reply:?}"
+                    ),
+                    2 => assert!(matches!(reply, NfsReply::Handle(_))),
+                    3 => assert!(
+                        matches!(reply, NfsReply::Err(pbft::bfs::FsError::Exists)),
+                        "{reply:?}"
+                    ),
+                    _ => {}
+                }
+            }
+            let op = match self.step {
+                0 => NfsOp::Lookup(1, "ghost".into()),
+                1 => NfsOp::Create(1, "real".into(), 0o644),
+                2 => NfsOp::Create(1, "real".into(), 0o644),
+                _ => return None,
+            };
+            self.step += 1;
+            Some((op.encode(), op.is_read_only()))
+        }
+    }
+    let config = ClusterConfig::test(1, 1);
+    let services: Vec<BfsService> = (0..4).map(|_| BfsService::new(8)).collect();
+    let mut cluster: Cluster<BfsService> = Cluster::new(config, services);
+    cluster.set_driver(ClientId(0), Box::new(ErrDriver { step: 0 }));
+    assert!(cluster.run_to_completion(SimTime(60_000_000)));
+}
+
+#[test]
+fn andrew_scenario_has_thesis_shape() {
+    // A scaled-down version of experiment E-8.6.2: replicated BFS total
+    // must be within a small factor of the unreplicated baseline, and the
+    // read-only optimization must help the read phases.
+    let cfg = AndrewConfig::tiny();
+    let with_ro = scenarios::andrew_replicated(&cfg, true, 7);
+    let without_ro = scenarios::andrew_replicated(&cfg, false, 7);
+    let base = scenarios::andrew_baseline(&cfg);
+    let t_ro = scenarios::total(&with_ro).as_micros() as f64;
+    let t_no = scenarios::total(&without_ro).as_micros() as f64;
+    let t_base = scenarios::total(&base).as_micros() as f64;
+    assert!(t_ro >= t_base * 0.9, "BFS can't beat the baseline by much");
+    assert!(
+        t_ro <= t_base * 1.6,
+        "BFS overhead stays a small factor: {t_ro} vs {t_base}"
+    );
+    assert!(t_no >= t_ro, "read-only optimization helps");
+}

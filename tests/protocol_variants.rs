@@ -1,0 +1,171 @@
+//! Cross-crate tests of the protocol variants and implementation
+//! techniques: BFT-PK vs BFT equivalence, optimization ablations, the
+//! non-determinism protocol, recovery, and BFS end to end.
+
+use pbft::core::config::{AuthMode, Optimizations};
+use pbft::sim::{counter_cluster, Cluster, ClusterConfig, Fault, OpGen};
+use pbft::statemachine::{ClockService, CounterService};
+use pbft::types::{ClientId, ReplicaId, SimDuration, SimTime};
+use bytes::Bytes;
+
+fn inc(ops: u64) -> OpGen {
+    OpGen::fixed(Bytes::from(vec![CounterService::OP_INC]), false, ops)
+}
+
+fn pk_config(clients: u32) -> ClusterConfig {
+    let mut config = ClusterConfig::test(1, clients);
+    config.replica.auth = AuthMode::Signatures;
+    // Signatures are ~3 orders of magnitude slower (§8.2.2): scale the
+    // timeouts like the thesis's BFT-PK experiments.
+    config.replica.view_change_timeout = SimDuration::from_secs(10);
+    config.replica.status_interval = SimDuration::from_secs(2);
+    config
+}
+
+#[test]
+fn bft_pk_reaches_the_same_state_as_bft() {
+    let mut mac = counter_cluster(ClusterConfig::test(1, 2));
+    mac.set_workload(inc(5));
+    assert!(mac.run_to_completion(SimTime(60_000_000)));
+
+    let mut pk = counter_cluster(pk_config(2));
+    pk.set_workload(inc(5));
+    assert!(pk.run_to_completion(SimTime(600_000_000)));
+
+    // Same service-visible state (state digests differ only if the key
+    // material differs — the counter values must agree).
+    use pbft::types::Requester;
+    for c in 0..2u32 {
+        let q = Requester::Client(ClientId(c));
+        assert_eq!(
+            mac.replica(0).service().value(q),
+            pk.replica(0).service().value(q)
+        );
+        assert_eq!(pk.replica(0).service().value(q), 5);
+    }
+    // And BFT-PK is dramatically slower, as Chapter 3 motivates.
+    assert!(pk.metrics.latency.mean_us() > 20.0 * mac.metrics.latency.mean_us());
+}
+
+#[test]
+fn bft_pk_view_change_works() {
+    let mut config = pk_config(1);
+    config.replica.view_change_timeout = SimDuration::from_secs(2);
+    let mut cluster = counter_cluster(config);
+    cluster.schedule_fault(
+        SimTime(1_000),
+        Fault::SetBehavior(ReplicaId(0), pbft::sim::Behavior::Crashed),
+    );
+    cluster.set_workload(inc(3));
+    assert!(
+        cluster.run_to_completion(SimTime(1_200_000_000)),
+        "BFT-PK completes after a view change"
+    );
+    assert!(cluster.replica(1).view().0 >= 1);
+}
+
+#[test]
+fn every_optimization_combination_is_correct() {
+    // Flip each optimization off individually: results must be identical.
+    let run = |opts: Optimizations| {
+        let mut config = ClusterConfig::test(1, 2);
+        config.replica.opts = opts;
+        let mut cluster = counter_cluster(config);
+        cluster.set_workload(inc(5));
+        assert!(cluster.run_to_completion(SimTime(120_000_000)), "{opts:?}");
+        (0..2)
+            .map(|c| {
+                cluster
+                    .client_results(c)
+                    .iter()
+                    .map(|(_, r)| r.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    };
+    let baseline = run(Optimizations::all());
+    let mut variants = Vec::new();
+    for i in 0..5 {
+        let mut o = Optimizations::all();
+        match i {
+            0 => o.digest_replies = false,
+            1 => o.tentative_execution = false,
+            2 => o.read_only = false,
+            3 => o.batching = false,
+            _ => o.separate_request_transmission = false,
+        }
+        variants.push(o);
+    }
+    variants.push(Optimizations::none());
+    for o in variants {
+        assert_eq!(run(o), baseline, "results identical under {o:?}");
+    }
+}
+
+#[test]
+fn nondeterminism_protocol_agrees_on_timestamps() {
+    // ClockService: each replica has a different local clock; the agreed
+    // non-deterministic value keeps their states identical (§5.4).
+    let config = ClusterConfig::test(1, 1);
+    let mut services: Vec<ClockService> = (0..4).map(|_| ClockService::new()).collect();
+    for (i, s) in services.iter_mut().enumerate() {
+        s.set_local_clock(1_000_000 + i as u64 * 777_777); // Skewed clocks.
+    }
+    let mut cluster: Cluster<ClockService> = Cluster::new(config, services);
+    let mut op = vec![0u8];
+    op.extend_from_slice(b"payload");
+    cluster.set_workload(OpGen::fixed(Bytes::from(op), false, 4));
+    assert!(cluster.run_to_completion(SimTime(60_000_000)));
+    let t0 = cluster.replica(0).service().time_last_modified();
+    for r in 1..4 {
+        assert_eq!(
+            cluster.replica(r).service().time_last_modified(),
+            t0,
+            "replica {r} agreed on the proposed timestamp"
+        );
+    }
+    assert!(t0 >= 1_000_000, "the primary's proposal was used");
+}
+
+#[test]
+fn recovery_with_ongoing_traffic_completes_and_preserves_results() {
+    let mut config = ClusterConfig::test(1, 2);
+    config.replica.recovery.enabled = true;
+    config.replica.recovery.watchdog_period = SimDuration::from_secs(120);
+    config.replica.recovery.key_refresh_period = SimDuration::from_secs(10);
+    let mut cluster = counter_cluster(config);
+    cluster.schedule_fault(SimTime(2_000_000), Fault::ForceRecovery(ReplicaId(3)));
+    cluster.set_workload(inc(30));
+    cluster.run_until(SimTime(40_000_000));
+    assert_eq!(cluster.outstanding_ops(), 0, "clients unaffected");
+    assert!(
+        cluster.replica(3).stats.recoveries_completed >= 1,
+        "r3 finished its proactive recovery: {:?}",
+        cluster.replica(3).stats
+    );
+    for c in 0..2 {
+        let last = cluster.client_results(c).last().unwrap().1.clone();
+        assert_eq!(u64::from_le_bytes(last.as_ref().try_into().unwrap()), 30);
+    }
+}
+
+#[test]
+fn larger_groups_tolerate_more_faults() {
+    // f = 2 (n = 7): two crashed replicas are tolerated.
+    let mut config = ClusterConfig::test(2, 1);
+    config.replica.view_change_timeout = SimDuration::from_millis(300);
+    let mut cluster = counter_cluster(config);
+    cluster.schedule_fault(
+        SimTime(1_000),
+        Fault::SetBehavior(ReplicaId(5), pbft::sim::Behavior::Crashed),
+    );
+    cluster.schedule_fault(
+        SimTime(2_000),
+        Fault::SetBehavior(ReplicaId(6), pbft::sim::Behavior::Crashed),
+    );
+    cluster.set_workload(inc(5));
+    assert!(
+        cluster.run_to_completion(SimTime(120_000_000)),
+        "n=7 cluster survives 2 crashes"
+    );
+}
