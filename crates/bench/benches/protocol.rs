@@ -11,7 +11,14 @@ fn bench_protocol_round(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulated_protocol");
     g.sample_size(10);
     g.bench_function("bft_0_0_x10", |b| {
-        b.iter(|| latency(MicroOp::zero_zero(), AuthMode::Macs, Optimizations::all(), 10))
+        b.iter(|| {
+            latency(
+                MicroOp::zero_zero(),
+                AuthMode::Macs,
+                Optimizations::all(),
+                10,
+            )
+        })
     });
     g.bench_function("bft_0_0_read_only_x10", |b| {
         b.iter(|| {

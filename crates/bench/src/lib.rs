@@ -3,10 +3,10 @@
 //! Chapter 8 table or figure; see `DESIGN.md` §4 for the experiment index
 //! and `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
 
+use bfs::AndrewConfig;
 use bft_core::config::{AuthMode, Optimizations};
 use bft_sim::scenarios::{self, MicroOp};
 use bft_types::SimDuration;
-use bfs::AndrewConfig;
 use std::time::Instant;
 
 /// Prints a table header.
@@ -16,7 +16,10 @@ pub fn header(id: &str, title: &str) {
 
 /// E-8.2.1: real digest-computation cost versus input size.
 pub fn run_e821() {
-    header("E-8.2.1", "MD5 digest computation cost (measured, real time)");
+    header(
+        "E-8.2.1",
+        "MD5 digest computation cost (measured, real time)",
+    );
     println!("{:>10} {:>14} {:>12}", "bytes", "us/op", "MB/s");
     for size in [64usize, 256, 1024, 4096, 8192] {
         let data = vec![0xa5u8; size];
@@ -148,7 +151,10 @@ pub fn run_e831() {
 
 /// E-8.3.1-V: latency versus argument / result size.
 pub fn run_e831v() {
-    header("E-8.3.1-V", "latency vs argument and result size (virtual us)");
+    header(
+        "E-8.3.1-V",
+        "latency vs argument and result size (virtual us)",
+    );
     println!("{:>10} {:>14} {:>14}", "KB", "arg-grow rw", "res-grow ro");
     for kb in [0usize, 1, 2, 4, 8] {
         let arg = scenarios::latency(
@@ -445,7 +451,10 @@ pub fn run_e863() {
 
 /// E-7: analytic model predictions next to simulator measurements.
 pub fn run_e7() {
-    header("E-7", "Chapter 7 model vs simulator (0/0, 4/0, 0/4 latency, us)");
+    header(
+        "E-7",
+        "Chapter 7 model vs simulator (0/0, 4/0, 0/4 latency, us)",
+    );
     let m = bft_model::ModelParams::thesis(1);
     println!(
         "{:<8} {:>12} {:>12} {:>10}",

@@ -216,7 +216,9 @@ pub fn generate_script(cfg: &AndrewConfig) -> Vec<ScriptedOp> {
 /// Deterministic file contents for a write.
 pub fn write_payload(len: u32, path: &str, offset: u64) -> Vec<u8> {
     let seed = bft_crypto::digest_parts(&[path.as_bytes(), &offset.to_le_bytes()]).as_u64();
-    (0..len).map(|i| (seed.wrapping_add(i as u64) % 251) as u8).collect()
+    (0..len)
+        .map(|i| (seed.wrapping_add(i as u64) % 251) as u8)
+        .collect()
 }
 
 /// A path→inode cache that turns symbolic ops into concrete [`NfsOp`]s.
@@ -318,10 +320,7 @@ mod tests {
     fn script_covers_all_phases() {
         let script = generate_script(&AndrewConfig::default());
         for phase in PHASES {
-            assert!(
-                script.iter().any(|s| s.phase == phase),
-                "{phase:?} missing"
-            );
+            assert!(script.iter().any(|s| s.phase == phase), "{phase:?} missing");
         }
         // Phases appear in order.
         let order: Vec<Phase> = script.iter().map(|s| s.phase).collect();

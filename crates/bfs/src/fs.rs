@@ -253,7 +253,13 @@ impl FileSystem {
     }
 
     /// Creates a symbolic link (NFS SYMLINK).
-    pub fn symlink(&mut self, dir: Ino, name: &str, target: &str, now: u64) -> Result<Ino, FsError> {
+    pub fn symlink(
+        &mut self,
+        dir: Ino,
+        name: &str,
+        target: &str,
+        now: u64,
+    ) -> Result<Ino, FsError> {
         validate_name(name)?;
         if self.dir_entries(dir)?.contains_key(name) {
             return Err(FsError::Exists);
@@ -492,11 +498,20 @@ impl FileSystem {
                     let mut entries = BTreeMap::new();
                     let mut ok = true;
                     for _ in 0..len {
-                        let Some(b) = take(&mut pos, 4) else { ok = false; break };
+                        let Some(b) = take(&mut pos, 4) else {
+                            ok = false;
+                            break;
+                        };
                         let nl = u32::from_le_bytes(b.try_into().expect("4")) as usize;
-                        let Some(nb) = take(&mut pos, nl) else { ok = false; break };
+                        let Some(nb) = take(&mut pos, nl) else {
+                            ok = false;
+                            break;
+                        };
                         let name = String::from_utf8_lossy(nb).into_owned();
-                        let Some(cb) = take(&mut pos, 8) else { ok = false; break };
+                        let Some(cb) = take(&mut pos, 8) else {
+                            ok = false;
+                            break;
+                        };
                         entries.insert(name, Ino(u64::from_le_bytes(cb.try_into().expect("8"))));
                     }
                     if !ok {
@@ -662,7 +677,12 @@ mod tests {
         let mut fs = FileSystem::new();
         fs.create(ROOT_INO, "zeta", 0o644, 0).unwrap();
         fs.create(ROOT_INO, "alpha", 0o644, 0).unwrap();
-        let names: Vec<String> = fs.readdir(ROOT_INO).unwrap().into_iter().map(|(n, _)| n).collect();
+        let names: Vec<String> = fs
+            .readdir(ROOT_INO)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
     }
 

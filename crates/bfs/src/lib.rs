@@ -7,5 +7,5 @@ pub mod fs;
 pub mod service;
 
 pub use andrew::{generate_script, run_unreplicated, AndrewConfig, Phase, ScriptedOp};
-pub use fs::{Attrs, FileSystem, FsError, FileType, Ino, ROOT_INO};
+pub use fs::{Attrs, FileSystem, FileType, FsError, Ino, ROOT_INO};
 pub use service::{BfsService, NfsOp, NfsReply};

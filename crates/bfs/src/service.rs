@@ -596,11 +596,19 @@ mod tests {
     #[test]
     fn execute_create_write_read() {
         let mut s = BfsService::new(8);
-        let r = s.execute(client(), &NfsOp::Create(1, "f".into(), 0o644).encode(), &nd(10));
+        let r = s.execute(
+            client(),
+            &NfsOp::Create(1, "f".into(), 0o644).encode(),
+            &nd(10),
+        );
         let NfsReply::Handle(ino) = NfsReply::decode(&r).unwrap() else {
             panic!("expected handle");
         };
-        s.execute(client(), &NfsOp::Write(ino, 0, b"data".to_vec()).encode(), &nd(11));
+        s.execute(
+            client(),
+            &NfsOp::Write(ino, 0, b"data".to_vec()).encode(),
+            &nd(11),
+        );
         let r = s.execute(client(), &NfsOp::Read(ino, 0, 10).encode(), &nd(12));
         assert_eq!(NfsReply::decode(&r), Some(NfsReply::Data(b"data".to_vec())));
         assert!(!s.take_dirty().is_empty());
@@ -618,12 +626,20 @@ mod tests {
     #[test]
     fn time_is_monotone_regardless_of_proposals() {
         let mut s = BfsService::new(8);
-        let r = s.execute(client(), &NfsOp::Create(1, "a".into(), 0o644).encode(), &nd(100));
+        let r = s.execute(
+            client(),
+            &NfsOp::Create(1, "a".into(), 0o644).encode(),
+            &nd(100),
+        );
         let NfsReply::Handle(a) = NfsReply::decode(&r).unwrap() else {
             panic!()
         };
         // A primary proposing an older clock cannot roll time back.
-        s.execute(client(), &NfsOp::Write(a, 0, b"x".to_vec()).encode(), &nd(5));
+        s.execute(
+            client(),
+            &NfsOp::Write(a, 0, b"x".to_vec()).encode(),
+            &nd(5),
+        );
         let r = s.execute(client(), &NfsOp::GetAttr(a).encode(), &nd(6));
         let NfsReply::Attrs(attrs) = NfsReply::decode(&r).unwrap() else {
             panic!()
@@ -634,9 +650,21 @@ mod tests {
     #[test]
     fn pages_roundtrip_full_state() {
         let mut s = BfsService::new(4);
-        s.execute(client(), &NfsOp::Mkdir(1, "d".into(), 0o755).encode(), &nd(1));
-        s.execute(client(), &NfsOp::Create(2, "f".into(), 0o644).encode(), &nd(2));
-        s.execute(client(), &NfsOp::Write(3, 0, b"zz".to_vec()).encode(), &nd(3));
+        s.execute(
+            client(),
+            &NfsOp::Mkdir(1, "d".into(), 0o755).encode(),
+            &nd(1),
+        );
+        s.execute(
+            client(),
+            &NfsOp::Create(2, "f".into(), 0o644).encode(),
+            &nd(2),
+        );
+        s.execute(
+            client(),
+            &NfsOp::Write(3, 0, b"zz".to_vec()).encode(),
+            &nd(3),
+        );
         let mut s2 = BfsService::new(4);
         for p in 0..s.num_pages() {
             s2.put_page(p, &s.get_page(p));

@@ -185,7 +185,13 @@ mod tests {
                 ..
             }
         ));
-        assert!(matches!(actions[2], Action::SetTimer { id: TimerId::Status, .. }));
+        assert!(matches!(
+            actions[2],
+            Action::SetTimer {
+                id: TimerId::Status,
+                ..
+            }
+        ));
         assert!(matches!(
             actions[3],
             Action::CancelTimer {

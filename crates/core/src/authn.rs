@@ -111,9 +111,8 @@ impl AuthState {
         match self.mode {
             AuthMode::Signatures => Auth::Signature(self.keypair.private.sign(content)),
             AuthMode::Macs => {
-                let keys: Vec<SessionKey> = (0..self.group.n)
-                    .map(|j| self.keys.out_key(j))
-                    .collect();
+                let keys: Vec<SessionKey> =
+                    (0..self.group.n).map(|j| self.keys.out_key(j)).collect();
                 let nonce = self.next_nonce();
                 Auth::Authenticator(Authenticator::generate(&keys, nonce, content))
             }
@@ -162,11 +161,7 @@ impl AuthState {
                 None => false,
             },
             Auth::CounterSig(cs) => match self.directory.get(sender_idx) {
-                Some(pk) => bft_crypto::Coprocessor::verify(
-                    pk,
-                    &bft_crypto::digest(content),
-                    cs,
-                ),
+                Some(pk) => bft_crypto::Coprocessor::verify(pk, &bft_crypto::digest(content), cs),
                 None => false,
             },
         }

@@ -6,8 +6,8 @@ use crate::authn::{AuthState, ClusterKeys};
 use crate::config::AuthMode;
 use bft_crypto::Digest;
 use bft_types::{
-    Auth, ClientId, GroupParams, Message, NodeId, Reply, ReplyBody, ReplicaId, Request,
-    Requester, SimDuration, Timestamp, View,
+    Auth, ClientId, GroupParams, Message, NodeId, ReplicaId, Reply, ReplyBody, Request, Requester,
+    SimDuration, Timestamp, View,
 };
 use bytes::Bytes;
 use std::collections::HashMap;
@@ -36,9 +36,7 @@ impl ClientConfig {
             group: rc.group,
             num_clients: rc.num_clients,
             auth: rc.auth,
-            retransmit_timeout: SimDuration::from_micros(
-                rc.view_change_timeout.as_micros() / 2,
-            ),
+            retransmit_timeout: SimDuration::from_micros(rc.view_change_timeout.as_micros() / 2),
             inline_threshold: rc.inline_threshold,
             digest_replies: rc.opts.digest_replies,
         }
@@ -181,9 +179,7 @@ impl ClientProxy {
 
     fn on_reply(&mut self, r: Reply) -> Option<CompletedOp> {
         let pending = self.pending.as_mut()?;
-        if r.timestamp != pending.request.timestamp
-            || r.requester != Requester::Client(self.id)
-        {
+        if r.timestamp != pending.request.timestamp || r.requester != Requester::Client(self.id) {
             return None;
         }
         if !self

@@ -8,9 +8,7 @@ use crate::replica::Replica;
 use crate::store::StoredBatch;
 use bft_crypto::Digest;
 use bft_statemachine::Service;
-use bft_types::{
-    BatchEntry, Checkpoint, Commit, Message, PrePrepare, Prepare, Request, SeqNo,
-};
+use bft_types::{BatchEntry, Checkpoint, Commit, Message, PrePrepare, Prepare, Request, SeqNo};
 
 impl<S: Service> Replica<S> {
     /// Handles a client (or recovery) request (§2.3.2, §3.2.2).
@@ -51,9 +49,7 @@ impl<S: Service> Replica<S> {
             RequestDisposition::Execute => {}
             RequestDisposition::Resend(reply) => {
                 let mut reply = *reply;
-                reply.auth = self
-                    .auth
-                    .mac_to(sender, &reply.content_bytes());
+                reply.auth = self.auth.mac_to(sender, &reply.content_bytes());
                 out.send_requester(req.requester, Message::Reply(reply));
                 return;
             }

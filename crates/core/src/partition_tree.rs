@@ -483,8 +483,10 @@ impl PartitionTree {
                     AdHash::from_digests(self.page_meta[lo..hi].iter().map(|(_, d)| d))
                 } else {
                     let hi = (lo + self.branching).min(self.meta[level + 1].len());
-                    let ds: Vec<Digest> =
-                        self.meta[level + 1][lo..hi].iter().map(|n| n.digest).collect();
+                    let ds: Vec<Digest> = self.meta[level + 1][lo..hi]
+                        .iter()
+                        .map(|n| n.digest)
+                        .collect();
                     AdHash::from_digests(ds.iter())
                 };
                 self.meta[level][i].acc = acc;
@@ -498,9 +500,7 @@ mod tests {
     use super::*;
 
     fn tree(pages: u64, branching: usize) -> PartitionTree {
-        let pages = (0..pages)
-            .map(|i| Bytes::from(vec![i as u8; 32]))
-            .collect();
+        let pages = (0..pages).map(|i| Bytes::from(vec![i as u8; 32])).collect();
         PartitionTree::new(pages, branching)
     }
 

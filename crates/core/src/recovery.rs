@@ -16,7 +16,7 @@ use crate::replica::Replica;
 use bft_crypto::{Coprocessor, SessionKey};
 use bft_statemachine::Service;
 use bft_types::{
-    Auth, Message, NewKey, QueryStable, Reply, ReplyBody, ReplyStable, ReplicaId, Request,
+    Auth, Message, NewKey, QueryStable, ReplicaId, Reply, ReplyBody, ReplyStable, Request,
     Requester, SeqNo, Timestamp, View,
 };
 use bytes::Bytes;
@@ -99,9 +99,7 @@ impl RecoveryState {
     /// (§4.3.3: recoveries are staggered).
     pub fn arm_initial(&mut self, id: ReplicaId, config: &ReplicaConfig, out: &mut Outbox) {
         let period = config.recovery.watchdog_period;
-        let slice = bft_types::SimDuration::from_micros(
-            period.as_micros() / config.group.n as u64,
-        );
+        let slice = bft_types::SimDuration::from_micros(period.as_micros() / config.group.n as u64);
         out.set_timer(
             TimerId::Watchdog,
             bft_types::SimDuration::from_micros(slice.as_micros() * (id.0 as u64 + 1)),
@@ -176,7 +174,9 @@ impl<S: Service> Replica<S> {
         if m.replica == self.id {
             return;
         }
-        let Auth::CounterSig(cs) = &m.auth else { return };
+        let Auth::CounterSig(cs) = &m.auth else {
+            return;
+        };
         if !self.verify_auth(
             bft_types::NodeId::Replica(m.replica),
             &m.content_bytes(),
@@ -205,10 +205,8 @@ impl<S: Service> Replica<S> {
         let Some(key_bytes) = self.auth.keypair.private.decrypt(ct) else {
             return;
         };
-        let sender_idx = crate::authn::node_index(
-            self.config.group,
-            bft_types::NodeId::Replica(m.replica),
-        );
+        let sender_idx =
+            crate::authn::node_index(self.config.group, bft_types::NodeId::Replica(m.replica));
         self.auth
             .keys
             .install_out_key(sender_idx, SessionKey(key_bytes), cs.counter);
@@ -457,7 +455,9 @@ impl<S: Service> Replica<S> {
         ) {
             return;
         }
-        let ReplyBody::Full(body) = &r.body else { return };
+        let ReplyBody::Full(body) = &r.body else {
+            return;
+        };
         let Ok(bytes8) = <[u8; 8]>::try_from(body.as_ref()) else {
             return;
         };

@@ -21,9 +21,7 @@ use crate::viewchange::ViewChangeState;
 use crate::viewchange_pk::PkViewChangeState;
 use bft_crypto::Digest;
 use bft_statemachine::Service;
-use bft_types::{
-    Message, NodeId, Reply, ReplyBody, ReplicaId, Request, SeqNo, SimDuration, View,
-};
+use bft_types::{Message, NodeId, ReplicaId, Reply, ReplyBody, Request, SeqNo, SimDuration, View};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -310,7 +308,12 @@ impl<S: Service> Replica<S> {
     // ----- authentication helpers -----
 
     /// Verifies a message's auth field against its content bytes.
-    pub(crate) fn verify_auth(&mut self, sender: NodeId, content: &[u8], auth: &bft_types::Auth) -> bool {
+    pub(crate) fn verify_auth(
+        &mut self,
+        sender: NodeId,
+        content: &[u8],
+        auth: &bft_types::Auth,
+    ) -> bool {
         let ok = self.auth.verify(sender, content, auth);
         if !ok {
             self.stats.auth_failures += 1;
@@ -413,9 +416,17 @@ impl<S: Service> Replica<S> {
     fn execute_batch(&mut self, seq: SeqNo, digest: Digest, tentative: bool, out: &mut Outbox) {
         self.executing_seq = seq;
         self.journal.push((seq, digest));
-        let batch = self.batches.get(&digest).expect("checked by batch_ready").clone();
+        let batch = self
+            .batches
+            .get(&digest)
+            .expect("checked by batch_ready")
+            .clone();
         for rd in &batch.requests {
-            let req = self.requests.get(rd).expect("checked by batch_ready").clone();
+            let req = self
+                .requests
+                .get(rd)
+                .expect("checked by batch_ready")
+                .clone();
             self.execute_request(&req, &batch.nondet, tentative, out);
         }
         self.sync_state_to_tree();
@@ -445,9 +456,9 @@ impl<S: Service> Replica<S> {
         tentative: bool,
         out: &mut Outbox,
     ) {
-        let disp = self
-            .client_table
-            .disposition_at(req.requester, req.timestamp, self.id, self.view);
+        let disp =
+            self.client_table
+                .disposition_at(req.requester, req.timestamp, self.id, self.view);
         if req.is_recovery() {
             self.exec_trace.push(format!(
                 "seq={} recreq from={:?} t={:?} disp={}",
@@ -484,9 +495,7 @@ impl<S: Service> Replica<S> {
             self.send_reply(req, body, tentative, out);
             return;
         }
-        let result = self
-            .service
-            .execute(req.requester, &req.operation, nondet);
+        let result = self.service.execute(req.requester, &req.operation, nondet);
         self.stats.requests_executed += 1;
         self.client_table
             .record(req.requester, req.timestamp, result.clone());
@@ -632,11 +641,8 @@ impl<S: Service> Replica<S> {
         self.tree.discard_below(seq);
         self.pending_ckpts.retain(|(s, _)| *s > seq);
         // Drop request/batch bodies no longer referenced by live slots.
-        let live: std::collections::HashSet<Digest> = self
-            .log
-            .iter()
-            .filter_map(|(_, s)| s.digest())
-            .collect();
+        let live: std::collections::HashSet<Digest> =
+            self.log.iter().filter_map(|(_, s)| s.digest()).collect();
         let live_reqs: std::collections::HashSet<Digest> = self
             .log
             .iter()
@@ -647,11 +653,7 @@ impl<S: Service> Replica<S> {
             // bodies must survive (separate transmission delivers bodies
             // long before the pre-prepare referencing them, §5.1.5).
             .chain(self.queue.digests())
-            .chain(
-                self.pending_pps
-                    .iter()
-                    .flat_map(|p| p.request_digests()),
-            )
+            .chain(self.pending_pps.iter().flat_map(|p| p.request_digests()))
             // Batch digests double as request-digest roots for redo.
             .chain(
                 self.log
@@ -768,7 +770,16 @@ impl<S: Service> Replica<S> {
     pub fn debug_slots(&self) -> Vec<(u64, u64, bool, bool, bool, bool)> {
         self.log
             .iter()
-            .map(|(n, s)| (n.0, s.view.0, s.digest().is_some(), s.prepared, s.committed, s.executed))
+            .map(|(n, s)| {
+                (
+                    n.0,
+                    s.view.0,
+                    s.digest().is_some(),
+                    s.prepared,
+                    s.committed,
+                    s.executed,
+                )
+            })
             .collect()
     }
 
@@ -859,9 +870,12 @@ impl<S: Service> Replica<S> {
         self.fetch.as_ref().map(|f| {
             format!(
                 "target={} d={:?} queue={} in_flight={:?} pages={} checking={}",
-                f.target_seq, f.target_digest, f.queue.len(),
+                f.target_seq,
+                f.target_digest,
+                f.queue.len(),
                 f.in_flight.as_ref().map(|p| (p.level, p.index)),
-                f.pages_fetched, f.checking
+                f.pages_fetched,
+                f.checking
             )
         })
     }
@@ -873,7 +887,9 @@ impl<S: Service> Replica<S> {
 
     /// Bytes and pages fetched by the last/ongoing state transfer.
     pub fn fetch_progress(&self) -> Option<(u64, u64)> {
-        self.fetch.as_ref().map(|f| (f.pages_fetched, f.bytes_fetched))
+        self.fetch
+            .as_ref()
+            .map(|f| (f.pages_fetched, f.bytes_fetched))
     }
 
     /// Rolls the replica state back to checkpoint `seq` (view-change abort

@@ -12,9 +12,7 @@ use crate::actions::{Outbox, TimerId};
 use crate::replica::Replica;
 use bft_crypto::Digest;
 use bft_statemachine::Service;
-use bft_types::{
-    Data, Fetch, Message, MetaData, ReplicaId, SeqNo, SimDuration, SubPartInfo,
-};
+use bft_types::{Data, Fetch, Message, MetaData, ReplicaId, SeqNo, SimDuration, SubPartInfo};
 
 /// One queued fetch: a partition (or page) with its expected digest.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -212,9 +210,10 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: bft_types::Auth::None,
         };
-        reply.auth = self
-            .auth
-            .mac_to(bft_types::NodeId::Replica(m.replica), &reply.content_bytes());
+        reply.auth = self.auth.mac_to(
+            bft_types::NodeId::Replica(m.replica),
+            &reply.content_bytes(),
+        );
         out.send_replica(m.replica, Message::MetaData(reply));
     }
 
@@ -224,7 +223,9 @@ impl<S: Service> Replica<S> {
     /// (§5.3.2), then queue fetches for children that differ locally.
     pub(crate) fn on_meta_data(&mut self, m: MetaData, out: &mut Outbox) {
         let Some(fetch) = &self.fetch else { return };
-        let Some(pf) = fetch.in_flight.clone() else { return };
+        let Some(pf) = fetch.in_flight.clone() else {
+            return;
+        };
         if m.level != pf.level || m.index != pf.index {
             return;
         }
@@ -248,10 +249,7 @@ impl<S: Service> Replica<S> {
             return;
         }
         entry.push((m.replica, m.subparts.clone()));
-        let matching = entry
-            .iter()
-            .filter(|(_, sp)| *sp == m.subparts)
-            .count();
+        let matching = entry.iter().filter(|(_, sp)| *sp == m.subparts).count();
         if matching < weak_needed {
             return;
         }
@@ -297,9 +295,9 @@ impl<S: Service> Replica<S> {
                     self.tree.install_page(sp.index, page, sp.last_mod);
                 }
             } else {
-                let local = self
-                    .tree
-                    .meta_digest_at(self.ckpt.stable().0, child_level as usize, sp.index);
+                let local =
+                    self.tree
+                        .meta_digest_at(self.ckpt.stable().0, child_level as usize, sp.index);
                 if local != Some(sp.digest) {
                     new_work.push(PendingFetch {
                         level: child_level,
@@ -319,14 +317,17 @@ impl<S: Service> Replica<S> {
     /// Handles a page-data reply.
     pub(crate) fn on_data(&mut self, m: Data, out: &mut Outbox) {
         let Some(fetch) = &self.fetch else { return };
-        let Some(pf) = fetch.in_flight.clone() else { return };
+        let Some(pf) = fetch.in_flight.clone() else {
+            return;
+        };
         let meta_levels = self.tree.num_meta_levels() as u8;
         if pf.level < meta_levels || m.index != pf.index {
             return;
         }
         // Self-certifying: the page must hash to the parent-committed
         // digest under the claimed lm.
-        if m.last_mod != pf.lm || crate::partition_tree::page_digest_for(m.index, m.last_mod, &m.page) != pf.expected
+        if m.last_mod != pf.lm
+            || crate::partition_tree::page_digest_for(m.index, m.last_mod, &m.page) != pf.expected
         {
             if std::env::var_os("BFT_DEBUG").is_some() {
                 self.exec_trace.push(format!(
@@ -354,7 +355,9 @@ impl<S: Service> Replica<S> {
 
     /// Completes a transfer: rebuild digests, verify the root, install.
     fn finish_state_transfer(&mut self, out: &mut Outbox) {
-        let Some(fetch) = self.fetch.take() else { return };
+        let Some(fetch) = self.fetch.take() else {
+            return;
+        };
         let (stable, stable_digest) = self.ckpt.stable();
         if !fetch.checking
             && stable >= fetch.target_seq
@@ -407,7 +410,8 @@ impl<S: Service> Replica<S> {
         // Execution resumes (redoing any batches past it through the
         // ordinary protocol).
         self.sync_state_from_tree();
-        self.ckpt.force_stable(fetch.target_seq, fetch.target_digest);
+        self.ckpt
+            .force_stable(fetch.target_seq, fetch.target_digest);
         self.log.advance_low(self.ckpt.stable().0);
         self.last_exec = fetch.target_seq;
         self.committed_frontier = fetch.target_seq;
@@ -435,7 +439,11 @@ fn verify_meta(pf: &PendingFetch, subparts: &[SubPartInfo]) -> bool {
     if subparts.is_empty() {
         return false;
     }
-    let lm = subparts.iter().map(|s| s.last_mod).max().expect("non-empty");
+    let lm = subparts
+        .iter()
+        .map(|s| s.last_mod)
+        .max()
+        .expect("non-empty");
     let acc = bft_crypto::AdHash::from_digests(subparts.iter().map(|s| &s.digest));
     crate::partition_tree::meta_digest_for(pf.level as usize, pf.index, lm, &acc) == pf.expected
 }

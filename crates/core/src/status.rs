@@ -68,10 +68,7 @@ impl<S: Service> Replica<S> {
         self.log
             .iter()
             .filter(|(n, s)| {
-                *n > self.last_exec
-                    && s.digest()
-                        .map(|d| !self.batch_ready(&d))
-                        .unwrap_or(false)
+                *n > self.last_exec && s.digest().map(|d| !self.batch_ready(&d)).unwrap_or(false)
             })
             .map(|(n, s)| (s.view, n))
             .chain(self.pending_pps.iter().map(|p| (p.view, p.seq)))
@@ -142,7 +139,9 @@ impl<S: Service> Replica<S> {
                 break;
             }
             let n = SeqNo(m.last_exec.0 + 1 + k as u64);
-            let Some(slot) = self.log.slot(n) else { continue };
+            let Some(slot) = self.log.slot(n) else {
+                continue;
+            };
             if slot.view != self.view {
                 continue;
             }
@@ -236,7 +235,9 @@ impl<S: Service> Replica<S> {
             if std::env::var_os("BFT_DEBUG").is_some() {
                 self.exec_trace.push(format!(
                     "fill for {} to {}: {} requests",
-                    n, m.replica, fills.len()
+                    n,
+                    m.replica,
+                    fills.len()
                 ));
             }
             for req in fills {

@@ -141,11 +141,7 @@ impl RequestQueue {
             Some(_) => {
                 // Replace in place to preserve FIFO position.
                 self.pending.insert(requester, req.timestamp);
-                if let Some(slot) = self
-                    .fifo
-                    .iter_mut()
-                    .find(|r| r.requester == requester)
-                {
+                if let Some(slot) = self.fifo.iter_mut().find(|r| r.requester == requester) {
                     *slot = req;
                 }
             }

@@ -14,9 +14,9 @@ use crate::replica::Replica;
 use bft_crypto::Digest;
 use bft_statemachine::Service;
 use bft_types::{
-    null_request_digest, GroupParams, Message, NCSetEntry, NewView, NewViewDecision,
-    NotCommitted, NotCommittedPrimary, PSetEntry, QSetEntry, ReplicaId, SeqNo, View, ViewChange,
-    ViewChangeAck, Wire,
+    null_request_digest, GroupParams, Message, NCSetEntry, NewView, NewViewDecision, NotCommitted,
+    NotCommittedPrimary, PSetEntry, QSetEntry, ReplicaId, SeqNo, View, ViewChange, ViewChangeAck,
+    Wire,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -81,10 +81,11 @@ impl ViewChangeState {
 
     /// Batch digests referenced by the PSet/QSet (kept alive across GC).
     pub fn referenced_digests(&self) -> impl Iterator<Item = Digest> + '_ {
-        self.pset
-            .values()
-            .map(|e| e.digest)
-            .chain(self.qset.values().flat_map(|e| e.pairs.iter().map(|(d, _)| *d)))
+        self.pset.values().map(|e| e.digest).chain(
+            self.qset
+                .values()
+                .flat_map(|e| e.pairs.iter().map(|(d, _)| *d)),
+        )
     }
 
     /// Distinct views `> current` for which view-change messages exist,
@@ -372,10 +373,7 @@ impl<S: Service> Replica<S> {
 
     /// Runs the decision procedure over a set of view-change messages.
     /// Returns the decision when every sequence number can be decided.
-    pub(crate) fn run_decision_procedure(
-        &self,
-        s: &[&ViewChange],
-    ) -> Option<NewViewDecision> {
+    pub(crate) fn run_decision_procedure(&self, s: &[&ViewChange]) -> Option<NewViewDecision> {
         let group = self.config.group;
         let quorum = group.quorum();
         let weak = group.weak();
@@ -392,8 +390,7 @@ impl<S: Service> Replica<S> {
                     .iter()
                     .filter(|m2| m2.checkpoints.iter().any(|&(n2, d2)| n2 == n && d2 == d))
                     .count();
-                if reach >= quorum && votes >= weak && best.map(|(bn, _)| n > bn).unwrap_or(true)
-                {
+                if reach >= quorum && votes >= weak && best.map(|(bn, _)| n > bn).unwrap_or(true) {
                     best = Some((n, d));
                 }
             }
@@ -419,9 +416,11 @@ impl<S: Service> Replica<S> {
                         .iter()
                         .filter(|m2| {
                             m2.last_stable < n
-                                && m2.p_set.iter().filter(|e2| e2.seq == n).all(|e2| {
-                                    e2.view < v || (e2.view == v && e2.digest == d)
-                                })
+                                && m2
+                                    .p_set
+                                    .iter()
+                                    .filter(|e2| e2.seq == n)
+                                    .all(|e2| e2.view < v || (e2.view == v && e2.digest == d))
                         })
                         .count()
                         >= quorum;
@@ -434,8 +433,7 @@ impl<S: Service> Replica<S> {
                         .iter()
                         .filter(|m2| {
                             m2.q_set.iter().any(|q| {
-                                q.seq == n
-                                    && q.pairs.iter().any(|&(d2, v2)| d2 == d && v2 >= v)
+                                q.seq == n && q.pairs.iter().any(|&(d2, v2)| d2 == d && v2 >= v)
                             })
                         })
                         .count()
@@ -470,8 +468,7 @@ impl<S: Service> Replica<S> {
                                     .filter(|m2| {
                                         m2.nc_set.iter().any(|nc| {
                                             nc.seq == n
-                                                && ((nc.digest != e.digest
-                                                    && nc.view >= e.view)
+                                                && ((nc.digest != e.digest && nc.view >= e.view)
                                                     || nc.not_committed_below > e.view)
                                         })
                                     })
@@ -751,7 +748,10 @@ impl<S: Service> Replica<S> {
             self.vc
                 .qset
                 .get(&n.0)
-                .map(|q| q.pairs.len() >= self.config.qset_bound && !q.pairs.iter().any(|&(pd, _)| pd == d))
+                .map(|q| {
+                    q.pairs.len() >= self.config.qset_bound
+                        && !q.pairs.iter().any(|&(pd, _)| pd == d)
+                })
                 .unwrap_or(false)
         })
     }
@@ -812,11 +812,7 @@ impl<S: Service> Replica<S> {
     }
 
     /// Handles the primary's NOT-COMMITTED-PRIMARY pre-announcement.
-    pub(crate) fn on_not_committed_primary(
-        &mut self,
-        ncp: NotCommittedPrimary,
-        out: &mut Outbox,
-    ) {
+    pub(crate) fn on_not_committed_primary(&mut self, ncp: NotCommittedPrimary, out: &mut Outbox) {
         if ncp.view != self.view || self.view_active {
             return;
         }

@@ -215,12 +215,7 @@ impl<S: Service> Replica<S> {
         }
         // Arm the backoff timer when a quorum wants this view.
         if view == self.view && !self.view_active {
-            let count = self
-                .vc_pk
-                .vcs
-                .keys()
-                .filter(|(v, _)| *v == view.0)
-                .count();
+            let count = self.vc_pk.vcs.keys().filter(|(v, _)| *v == view.0).count();
             if count >= self.config.group.quorum() && !self.vc_timer_armed {
                 out.set_timer(crate::actions::TimerId::ViewChange, self.vc_timeout);
                 self.vc_timer_armed = true;
@@ -384,8 +379,7 @@ impl<S: Service> Replica<S> {
         let mut base = stable;
         if h > stable {
             if let Some(hd) = hd {
-                if self.ckpt.own_digest(h) == Some(hd) && self.tree.snapshot_root(h) == Some(hd)
-                {
+                if self.ckpt.own_digest(h) == Some(hd) && self.tree.snapshot_root(h) == Some(hd) {
                     self.ckpt.force_stable(h, hd);
                     base = h;
                 } else {

@@ -1,0 +1,246 @@
+//! Quorum-arithmetic boundary tests (2f+1 strong / f+1 weak certificates,
+//! §2.3.1) and client-table exactly-once semantics (§2.3.2), exercised
+//! through `bft_core`'s public API across several group sizes.
+
+use bft_core::checkpoints::CheckpointManager;
+use bft_core::client_table::{ClientTable, RequestDisposition};
+use bft_core::log::MessageLog;
+use bft_crypto::Digest;
+use bft_types::{
+    Auth, BatchEntry, ClientId, GroupParams, PrePrepare, ReplicaId, Requester, SeqNo, Timestamp,
+    View,
+};
+use bytes::Bytes;
+
+fn d(s: &[u8]) -> Digest {
+    bft_crypto::digest(s)
+}
+
+fn preprepare(view: View, seq: SeqNo) -> PrePrepare {
+    PrePrepare {
+        view,
+        seq,
+        batch: vec![BatchEntry::ByDigest(d(b"req"))],
+        nondet: Bytes::new(),
+        auth: Auth::None,
+    }
+}
+
+/// The prepared certificate needs a pre-prepare plus exactly `2f` matching
+/// backup prepares — one fewer never suffices, for any group size.
+#[test]
+fn prepared_certificate_boundary_across_group_sizes() {
+    for f in 1..=4usize {
+        let group = GroupParams::for_f(f);
+        let mut log = MessageLog::new(group, 16);
+        let pp = preprepare(View(0), SeqNo(1));
+        let digest = pp.batch_digest();
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(pp);
+
+        // 2f - 1 backup prepares: one short of the certificate.
+        for r in 1..(2 * f) as u32 {
+            log.add_prepare(SeqNo(1), digest, ReplicaId(r));
+            assert!(
+                !log.has_prepared_cert(SeqNo(1), View(0)),
+                "f={f}: cert must not form with {r} backup prepares"
+            );
+        }
+        // The 2f-th backup prepare completes it.
+        log.add_prepare(SeqNo(1), digest, ReplicaId(2 * f as u32));
+        assert!(
+            log.has_prepared_cert(SeqNo(1), View(0)),
+            "f={f}: cert must form with 2f backup prepares"
+        );
+    }
+}
+
+/// The primary's own prepare never counts toward the `2f` backup prepares:
+/// a pre-prepare plus `2f - 1` backups plus the primary is still short.
+#[test]
+fn primary_prepare_excluded_from_prepared_certificate() {
+    for f in 1..=3usize {
+        let group = GroupParams::for_f(f);
+        let mut log = MessageLog::new(group, 16);
+        let pp = preprepare(View(0), SeqNo(1));
+        let digest = pp.batch_digest();
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(pp);
+
+        log.add_prepare(SeqNo(1), digest, ReplicaId(0)); // primary of view 0
+        for r in 1..(2 * f) as u32 {
+            log.add_prepare(SeqNo(1), digest, ReplicaId(r));
+        }
+        // 2f - 1 backups + primary = 2f prepares, but only 2f - 1 count.
+        assert!(
+            !log.has_prepared_cert(SeqNo(1), View(0)),
+            "f={f}: primary's prepare must not substitute for a backup's"
+        );
+        log.add_prepare(SeqNo(1), digest, ReplicaId(2 * f as u32));
+        assert!(log.has_prepared_cert(SeqNo(1), View(0)), "f={f}");
+    }
+}
+
+/// The committed certificate needs `2f + 1` commits (the primary's counts
+/// here); `2f` never suffices, for any group size.
+#[test]
+fn committed_certificate_boundary_across_group_sizes() {
+    for f in 1..=4usize {
+        let group = GroupParams::for_f(f);
+        let quorum = group.quorum();
+        assert_eq!(quorum, 2 * f + 1);
+
+        let mut log = MessageLog::new(group, 16);
+        let pp = preprepare(View(0), SeqNo(1));
+        let digest = pp.batch_digest();
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(pp);
+        for r in 1..=(2 * f) as u32 {
+            log.add_prepare(SeqNo(1), digest, ReplicaId(r));
+        }
+        assert!(log.has_prepared_cert(SeqNo(1), View(0)));
+        log.slot_mut(SeqNo(1)).prepared = true;
+
+        for r in 0..quorum as u32 {
+            assert!(
+                !log.has_committed_cert(SeqNo(1), View(0)),
+                "f={f}: committed cert must not form with {r} commits"
+            );
+            log.add_commit(SeqNo(1), digest, ReplicaId(r));
+        }
+        assert!(
+            log.has_committed_cert(SeqNo(1), View(0)),
+            "f={f}: committed cert must form with 2f+1 commits"
+        );
+    }
+}
+
+/// Checkpoint stability at the strong-certificate threshold (2f+1, BFT):
+/// `2f` votes leave the checkpoint unstable, the `2f+1`-th stabilizes it.
+#[test]
+fn checkpoint_strong_certificate_boundary() {
+    for f in 1..=4usize {
+        let group = GroupParams::for_f(f);
+        let mut mgr = CheckpointManager::new(group.quorum(), d(b"genesis"));
+        for r in 0..(group.quorum() - 1) as u32 {
+            assert!(
+                mgr.add_vote(SeqNo(8), d(b"s8"), ReplicaId(r)).is_none(),
+                "f={f}: {r} votes must not stabilize"
+            );
+        }
+        assert_eq!(
+            mgr.add_vote(SeqNo(8), d(b"s8"), ReplicaId(group.quorum() as u32 - 1)),
+            Some((SeqNo(8), d(b"s8"))),
+            "f={f}"
+        );
+    }
+}
+
+/// Checkpoint stability at the weak-certificate threshold (f+1, BFT-PK,
+/// where signed messages are transferable): `f` votes are not enough, the
+/// `f+1`-th stabilizes.
+#[test]
+fn checkpoint_weak_certificate_boundary() {
+    for f in 1..=4usize {
+        let group = GroupParams::for_f(f);
+        assert_eq!(group.weak(), f + 1);
+        let mut mgr = CheckpointManager::new(group.weak(), d(b"genesis"));
+        for r in 0..f as u32 {
+            assert!(
+                mgr.add_vote(SeqNo(8), d(b"s8"), ReplicaId(r)).is_none(),
+                "f={f}: f votes must not stabilize a weak certificate"
+            );
+        }
+        assert_eq!(
+            mgr.add_vote(SeqNo(8), d(b"s8"), ReplicaId(f as u32)),
+            Some((SeqNo(8), d(b"s8"))),
+            "f={f}"
+        );
+    }
+}
+
+fn client(i: u32) -> Requester {
+    Requester::Client(ClientId(i))
+}
+
+/// The three-way timestamp boundary at `last_t`: one below is dropped, at
+/// `last_t` the cached reply is resent, one above executes.
+#[test]
+fn client_table_timestamp_boundary() {
+    let mut table = ClientTable::new();
+    table.record(client(0), Timestamp(10), Bytes::from_static(b"ten"));
+
+    assert_eq!(
+        table.disposition_at(client(0), Timestamp(9), ReplicaId(0), View(0)),
+        RequestDisposition::Stale,
+        "t = last - 1 must be dropped silently"
+    );
+    match table.disposition_at(client(0), Timestamp(10), ReplicaId(0), View(0)) {
+        RequestDisposition::Resend(reply) => {
+            assert_eq!(reply.timestamp, Timestamp(10));
+        }
+        other => panic!("t = last must resend, got {other:?}"),
+    }
+    assert_eq!(
+        table.disposition_at(client(0), Timestamp(11), ReplicaId(0), View(0)),
+        RequestDisposition::Execute,
+        "t = last + 1 must execute"
+    );
+}
+
+/// Dedup state is part of the replicated state: it survives a checkpoint
+/// page round-trip, so a restored replica still rejects replays.
+#[test]
+fn client_table_dedup_survives_checkpoint_roundtrip() {
+    let mut table = ClientTable::new();
+    table.record(client(0), Timestamp(5), Bytes::from_static(b"five"));
+    table.record(client(1), Timestamp(3), Bytes::from_static(b"three"));
+
+    let restored = ClientTable::from_page(&table.to_page()).expect("page decodes");
+    assert_eq!(
+        restored.disposition_at(client(0), Timestamp(5), ReplicaId(1), View(2)),
+        table.disposition_at(client(0), Timestamp(5), ReplicaId(1), View(2)),
+        "replay classification must survive state transfer"
+    );
+    assert_eq!(
+        restored.disposition_at(client(0), Timestamp(4), ReplicaId(1), View(2)),
+        RequestDisposition::Stale
+    );
+    assert_eq!(restored.last_timestamp(client(1)), Timestamp(3));
+}
+
+/// Entries are per-requester: one client's executions never affect another
+/// client's (or a replica requester's) freshness.
+#[test]
+fn client_table_entries_are_independent() {
+    let mut table = ClientTable::new();
+    table.record(client(0), Timestamp(100), Bytes::new());
+
+    assert_eq!(
+        table.disposition_at(client(1), Timestamp(1), ReplicaId(0), View(0)),
+        RequestDisposition::Execute,
+        "another client's low timestamp is still fresh"
+    );
+    assert_eq!(
+        table.disposition_at(
+            Requester::Replica(ReplicaId(2)),
+            Timestamp(1),
+            ReplicaId(0),
+            View(0)
+        ),
+        RequestDisposition::Execute,
+        "replica requesters (recovery) have their own entries"
+    );
+    assert_eq!(table.last_timestamp(client(1)), Timestamp(0));
+}
+
+/// A recorded reply is always resent with the replica's *current* view,
+/// not the view it executed in — cached replies are view-free state.
+#[test]
+fn client_table_resend_stamps_current_view() {
+    let mut table = ClientTable::new();
+    table.record(client(7), Timestamp(2), Bytes::from_static(b"r"));
+    for v in [0u64, 3, 9] {
+        match table.disposition_at(client(7), Timestamp(2), ReplicaId(1), View(v)) {
+            RequestDisposition::Resend(reply) => assert_eq!(reply.view, View(v)),
+            other => panic!("expected resend, got {other:?}"),
+        }
+    }
+}

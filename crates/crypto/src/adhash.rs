@@ -104,9 +104,7 @@ mod tests {
 
     #[test]
     fn incremental_replace_equals_rebuild() {
-        let pages: Vec<Digest> = (0..100u32)
-            .map(|i| digest(&i.to_le_bytes()))
-            .collect();
+        let pages: Vec<Digest> = (0..100u32).map(|i| digest(&i.to_le_bytes())).collect();
         let mut acc = AdHash::from_digests(pages.iter());
         // Replace page 42.
         let new42 = digest(b"new page 42");

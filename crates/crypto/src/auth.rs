@@ -28,10 +28,7 @@ impl Authenticator {
     /// own slot may hold any key; it is never verified by the generator).
     pub fn generate(keys: &[SessionKey], nonce: u64, content: &[u8]) -> Self {
         let nb = nonce.to_le_bytes();
-        let tags = keys
-            .iter()
-            .map(|k| mac_parts(k, &[&nb, content]))
-            .collect();
+        let tags = keys.iter().map(|k| mac_parts(k, &[&nb, content])).collect();
         Authenticator { nonce, tags }
     }
 
@@ -96,9 +93,8 @@ impl KeyTable {
     /// communicate before the first new-key exchange, as in the thesis's
     /// startup ("the same mechanism is used to establish the initial keys").
     pub fn bootstrap(self_id: usize, peers: usize) -> Self {
-        let derive = |from: usize, to: usize| {
-            SessionKey::from_seed(((from as u64) << 32) | to as u64)
-        };
+        let derive =
+            |from: usize, to: usize| SessionKey::from_seed(((from as u64) << 32) | to as u64);
         KeyTable {
             out: (0..peers).map(|j| (derive(self_id, j), 0)).collect(),
             incoming: (0..peers).map(|j| (derive(j, self_id), 0)).collect(),

@@ -174,8 +174,7 @@ impl BigUint {
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0i64;
         for i in 0..self.limbs.len() {
-            let diff =
-                self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            let diff = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
             if diff < 0 {
                 out.push((diff + (1i64 << 32)) as u32);
                 borrow = 1;
@@ -290,7 +289,11 @@ impl BigUint {
         }
 
         // Normalize so the divisor's top limb has its high bit set.
-        let shift = divisor.limbs.last().expect("divisor non-zero").leading_zeros() as usize;
+        let shift = divisor
+            .limbs
+            .last()
+            .expect("divisor non-zero")
+            .leading_zeros() as usize;
         let u = self.shl(shift);
         let v = divisor.shl(shift);
         let n = v.limbs.len();
@@ -305,9 +308,7 @@ impl BigUint {
             let top = (un[j + n] as u64) * b + un[j + n - 1] as u64;
             let mut qhat = top / vn[n - 1] as u64;
             let mut rhat = top % vn[n - 1] as u64;
-            while qhat >= b
-                || qhat * vn[n - 2] as u64 > (rhat << 32) + un[j + n - 2] as u64
-            {
+            while qhat >= b || qhat * vn[n - 2] as u64 > (rhat << 32) + un[j + n - 2] as u64 {
                 qhat -= 1;
                 rhat += vn[n - 1] as u64;
                 if rhat >= b {
@@ -435,7 +436,11 @@ impl BigUint {
             return None;
         }
         // Map t0 into [0, m).
-        let inv = if t0.0 { m.sub(&t0.1.rem(m)).rem(m) } else { t0.1.rem(m) };
+        let inv = if t0.0 {
+            m.sub(&t0.1.rem(m)).rem(m)
+        } else {
+            t0.1.rem(m)
+        };
         Some(inv)
     }
 
@@ -658,7 +663,10 @@ mod tests {
         assert_eq!(n(3).mod_pow(&n(7), &n(50)), n(37));
         // Fermat: a^(p-1) = 1 mod p for prime p.
         let p = n(1_000_000_007);
-        assert_eq!(n(12345).mod_pow(&p.sub(&BigUint::one()), &p), BigUint::one());
+        assert_eq!(
+            n(12345).mod_pow(&p.sub(&BigUint::one()), &p),
+            BigUint::one()
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl Coprocessor {
     /// Wraps an existing key pair (cluster-provisioned devices whose public
     /// keys are already in every replica's read-only directory).
     pub fn from_keypair(keypair: KeyPair) -> Self {
-        Coprocessor { keypair, counter: 0 }
+        Coprocessor {
+            keypair,
+            counter: 0,
+        }
     }
 
     /// The public verification key (stored by peers in read-only memory).
@@ -59,7 +62,10 @@ impl Coprocessor {
     /// Signs a digest, appending and bumping the monotonic counter.
     pub fn sign(&mut self, digest: &Digest) -> CounterSignature {
         self.counter += 1;
-        let sig = self.keypair.private.sign_digest(&bind(digest, self.counter));
+        let sig = self
+            .keypair
+            .private
+            .sign_digest(&bind(digest, self.counter));
         CounterSignature {
             counter: self.counter,
             signature: sig,

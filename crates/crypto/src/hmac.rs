@@ -142,7 +142,11 @@ mod tests {
         let tag = mac(&key, b"pre-prepare header");
         assert!(verify(&key, b"pre-prepare header", &tag));
         assert!(!verify(&key, b"pre-prepare headeR", &tag));
-        assert!(!verify(&SessionKey::from_seed(8), b"pre-prepare header", &tag));
+        assert!(!verify(
+            &SessionKey::from_seed(8),
+            b"pre-prepare header",
+            &tag
+        ));
         let mut corrupted = tag;
         corrupted.0[0] ^= 1;
         assert!(!verify(&key, b"pre-prepare header", &corrupted));

@@ -191,10 +191,7 @@ impl Md5 {
             let tmp = d;
             d = c;
             c = b;
-            let sum = a
-                .wrapping_add(f)
-                .wrapping_add(K[i])
-                .wrapping_add(m[g]);
+            let sum = a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]);
             b = b.wrapping_add(sum.rotate_left(S[i]));
             a = tmp;
         }
@@ -264,7 +261,10 @@ mod tests {
 
     #[test]
     fn digest_parts_concatenates() {
-        assert_eq!(digest_parts(&[b"mes", b"sage ", b"digest"]), digest(b"message digest"));
+        assert_eq!(
+            digest_parts(&[b"mes", b"sage ", b"digest"]),
+            digest(b"message digest")
+        );
     }
 
     #[test]

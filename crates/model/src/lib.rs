@@ -111,13 +111,10 @@ impl ModelParams {
         // Client: digest the op + generate an n-entry authenticator.
         let client_send = self.digest.eval(req) + self.n as f64 * self.mac_us();
         // Replica path: absorb, execute, reply (digest + single MAC).
-        let replica = self.absorb_us(req)
-            + self.execute_us
-            + self.digest.eval(rep)
-            + self.mac_us();
+        let replica = self.absorb_us(req) + self.execute_us + self.digest.eval(rep) + self.mac_us();
         // Client absorbs 2f+1 replies; only the result-bearing one is big.
-        let client_recv = self.absorb_us(rep)
-            + (2 * self.f) as f64 * self.absorb_us(self.header_bytes);
+        let client_recv =
+            self.absorb_us(rep) + (2 * self.f) as f64 * self.absorb_us(self.header_bytes);
         client_send + self.one_way_us(req) + replica + self.one_way_us(rep) + client_recv
     }
 
@@ -146,10 +143,18 @@ impl ModelParams {
         let exec_reply = self.execute_us + self.digest.eval(rep) + self.mac_us();
         let leg4 = self.one_way_us(rep);
         // Client gathers a quorum of tentative replies.
-        let client_recv = self.absorb_us(rep)
-            + (2 * self.f) as f64 * self.absorb_us(self.header_bytes);
+        let client_recv =
+            self.absorb_us(rep) + (2 * self.f) as f64 * self.absorb_us(self.header_bytes);
 
-        client_send + leg1 + primary + leg2 + backup + leg3 + gather + exec_reply + leg4
+        client_send
+            + leg1
+            + primary
+            + leg2
+            + backup
+            + leg3
+            + gather
+            + exec_reply
+            + leg4
             + client_recv
     }
 

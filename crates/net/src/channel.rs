@@ -192,8 +192,7 @@ impl Channel {
             });
             self.stats.delivered += 1;
             self.stats.bytes += bytes as u64;
-            if self.config.duplicate_prob > 0.0
-                && self.rng.random_bool(self.config.duplicate_prob)
+            if self.config.duplicate_prob > 0.0 && self.rng.random_bool(self.config.duplicate_prob)
             {
                 let extra = self.rng.random_range(1..=self.config.jitter_us.max(100));
                 out.push(Delivery {

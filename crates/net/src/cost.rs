@@ -84,8 +84,8 @@ impl CostModel {
                 fixed_us: 0.8,
                 per_byte_us: 0.001,
             },
-            sign_us: 42_000.0,  // Rabin 1024-bit sign on the PIII (§8.2.2).
-            verify_us: 620.0,   // Rabin verify is much cheaper.
+            sign_us: 42_000.0, // Rabin 1024-bit sign on the PIII (§8.2.2).
+            verify_us: 620.0,  // Rabin verify is much cheaper.
             execute_us: 5.0,
         }
     }

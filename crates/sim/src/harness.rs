@@ -474,7 +474,12 @@ impl<S: Service> Cluster<S> {
 
     fn handle_input_with_cost(&mut self, node: NodeId, input: Input, at: SimTime, pre_us: f64) {
         // CPU serialization: a node processes one event at a time.
-        let start = self.busy_until.get(&node).copied().unwrap_or(SimTime::ZERO).max(at);
+        let start = self
+            .busy_until
+            .get(&node)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(at);
         let mut cpu_us = pre_us;
         let actions = match node {
             NodeId::Replica(r) => {
@@ -579,7 +584,14 @@ impl<S: Service> Cluster<S> {
                     let gen = self.timer_gen.entry((from, id)).or_insert(0);
                     *gen += 1;
                     let gen = *gen;
-                    self.push_event(at + after, EventKind::Timer { node: from, id, gen });
+                    self.push_event(
+                        at + after,
+                        EventKind::Timer {
+                            node: from,
+                            id,
+                            gen,
+                        },
+                    );
                 }
                 Action::CancelTimer { id } => {
                     *self.timer_gen.entry((from, id)).or_insert(0) += 1;
@@ -604,6 +616,8 @@ pub fn counter_cluster(config: ClusterConfig) -> Cluster<bft_statemachine::Count
 /// micro-benchmark configuration of §8.1.
 pub fn mem_cluster(config: ClusterConfig, pages: u64) -> Cluster<bft_statemachine::MemService> {
     let n = config.replica.group.n;
-    let services = (0..n).map(|_| bft_statemachine::MemService::new(pages)).collect();
+    let services = (0..n)
+        .map(|_| bft_statemachine::MemService::new(pages))
+        .collect();
     Cluster::new(config, services)
 }

@@ -132,11 +132,7 @@ mod tests {
         let mut m = Metrics::default();
         // 11 completions over 1 second → 10 intervals / 1s.
         for i in 0..11u64 {
-            m.record_completion(
-                SimTime(i * 100_000),
-                SimDuration::from_micros(500),
-                false,
-            );
+            m.record_completion(SimTime(i * 100_000), SimDuration::from_micros(500), false);
         }
         assert!((m.throughput_ops_per_sec() - 10.0).abs() < 1e-6);
     }

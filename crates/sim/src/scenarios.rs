@@ -4,13 +4,13 @@
 
 use crate::behavior::Behavior;
 use crate::harness::{mem_cluster, Cluster, ClusterConfig, Driver, Fault, OpGen};
+use bfs::andrew::{generate_script, AndrewConfig, PathResolver, Phase, ScriptedOp};
+use bfs::{BfsService, NfsReply};
 use bft_core::config::{AuthMode, Optimizations};
 use bft_core::ReplicaConfig;
 use bft_net::ChannelConfig;
 use bft_statemachine::MemService;
 use bft_types::{ClientId, NodeId, ReplicaId, SimDuration, SimTime};
-use bfs::andrew::{generate_script, AndrewConfig, PathResolver, Phase, ScriptedOp};
-use bfs::{BfsService, NfsReply};
 use bytes::Bytes;
 
 /// Result of a latency experiment.
@@ -143,7 +143,10 @@ pub fn view_change_interruption(seed: u64) -> SimDuration {
     config.replica.status_interval = SimDuration::from_millis(20);
     let crash_at = SimTime(500_000);
     let mut cluster = mem_cluster(config, 64);
-    cluster.schedule_fault(crash_at, Fault::SetBehavior(ReplicaId(0), Behavior::Crashed));
+    cluster.schedule_fault(
+        crash_at,
+        Fault::SetBehavior(ReplicaId(0), Behavior::Crashed),
+    );
     cluster.set_workload(OpGen::fixed(MicroOp::zero_zero().bytes(), false, 2000));
     cluster.run_until(SimTime(20_000_000));
     assert!(
@@ -214,7 +217,11 @@ pub fn recovery_run(watchdog: SimDuration, run_for: SimDuration, seed: u64) -> (
     config.replica.recovery.key_refresh_period =
         SimDuration::from_micros(watchdog.as_micros() / 8).max(SimDuration::from_secs(1));
     let mut cluster = mem_cluster(config, 64);
-    cluster.set_workload(OpGen::fixed(MicroOp::zero_zero().bytes(), false, u64::MAX / 2));
+    cluster.set_workload(OpGen::fixed(
+        MicroOp::zero_zero().bytes(),
+        false,
+        u64::MAX / 2,
+    ));
     cluster.run_until(SimTime(run_for.as_micros()));
     let recoveries: u64 = (0..4)
         .map(|r| cluster.replica(r).stats.recoveries_completed)
@@ -232,7 +239,6 @@ pub fn recovery_run(watchdog: SimDuration, run_for: SimDuration, seed: u64) -> (
 
 /// Per-phase virtual-time durations of an Andrew run.
 pub type PhaseTimes = Vec<(&'static str, SimDuration)>;
-
 
 /// Client CPU per phase-5 source read, charged identically to BFS and the
 /// baseline: §8.6 observes that the compile phase is dominated by
@@ -360,14 +366,24 @@ mod tests {
 
     #[test]
     fn micro_latency_smoke() {
-        let r = latency(MicroOp::zero_zero(), AuthMode::Macs, Optimizations::all(), 10);
+        let r = latency(
+            MicroOp::zero_zero(),
+            AuthMode::Macs,
+            Optimizations::all(),
+            10,
+        );
         assert_eq!(r.ops, 10);
         assert!(r.mean_us > 100.0 && r.mean_us < 20_000.0, "{}", r.mean_us);
     }
 
     #[test]
     fn read_only_faster_than_read_write() {
-        let rw = latency(MicroOp::zero_zero(), AuthMode::Macs, Optimizations::all(), 10);
+        let rw = latency(
+            MicroOp::zero_zero(),
+            AuthMode::Macs,
+            Optimizations::all(),
+            10,
+        );
         let ro = latency(
             MicroOp {
                 read_only: true,

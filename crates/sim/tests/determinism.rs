@@ -1,0 +1,91 @@
+//! Determinism regression tests: the simulator is a pure function of its
+//! seed. Two runs with identical configuration must be *bit-identical* —
+//! same metrics, same per-replica journals, same state digests — even
+//! under message loss, jitter, and Byzantine faults. Different seeds must
+//! be allowed to (and, under loss/jitter, observably do) diverge.
+
+use bft_sim::{counter_cluster, Behavior, Cluster, ClusterConfig, Fault, OpGen};
+use bft_statemachine::CounterService;
+use bft_types::{ReplicaId, SimDuration, SimTime};
+use bytes::Bytes;
+
+fn lossy_config(seed: u64) -> ClusterConfig {
+    let mut config = ClusterConfig::test(1, 2);
+    config.seed = seed;
+    config.channel = bft_net::ChannelConfig::lossy(0.05, 1_500);
+    config.replica.view_change_timeout = SimDuration::from_millis(300);
+    config
+}
+
+/// Everything observable about a finished run, rendered to one string so
+/// comparison is total (all metrics fields, all journals, all digests).
+fn fingerprint(cluster: &Cluster<CounterService>, clients: usize) -> String {
+    let mut out = format!("{:?}\n", cluster.metrics);
+    for r in 0..4 {
+        let replica = cluster.replica(r);
+        out.push_str(&format!(
+            "r{r}: view={:?} last_exec={:?} digest={:?} journal={:?}\n",
+            replica.view(),
+            replica.last_executed(),
+            replica.state_digest(),
+            replica.journal,
+        ));
+    }
+    for c in 0..clients {
+        out.push_str(&format!("c{c}: {:?}\n", cluster.client_results(c)));
+    }
+    out
+}
+
+fn run(seed: u64) -> String {
+    let mut cluster = counter_cluster(lossy_config(seed));
+    cluster.schedule_fault(
+        SimTime(400_000),
+        Fault::SetBehavior(ReplicaId(0), Behavior::Crashed),
+    );
+    cluster.set_workload(OpGen::fixed(
+        Bytes::from(vec![CounterService::OP_INC]),
+        false,
+        5,
+    ));
+    cluster.run_to_completion(SimTime(300_000_000));
+    fingerprint(&cluster, 2)
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    for seed in [11u64, 42, 99] {
+        assert_eq!(
+            run(seed),
+            run(seed),
+            "seed {seed}: two runs must be indistinguishable"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_may_diverge() {
+    // Under 5% loss and jitter, distinct seeds take observably different
+    // event paths. (This is deterministic: both runs are pure functions of
+    // their seeds, so this assertion can never flake.)
+    let a = run(11);
+    let b = run(12);
+    assert_ne!(a, b, "distinct seeds should explore distinct schedules");
+}
+
+#[test]
+fn reliable_channel_runs_are_also_reproducible() {
+    let run_reliable = |seed: u64| {
+        let mut config = ClusterConfig::test(1, 1);
+        config.seed = seed;
+        let mut cluster = counter_cluster(config);
+        cluster.set_workload(OpGen::fixed(
+            Bytes::from(vec![CounterService::OP_INC]),
+            false,
+            8,
+        ));
+        assert!(cluster.run_to_completion(SimTime(60_000_000)));
+        fingerprint(&cluster, 1)
+    };
+    assert_eq!(run_reliable(7), run_reliable(7));
+}

@@ -14,8 +14,12 @@ fn four_replicas_execute_counter_ops() {
         5,
     ));
     let done = cluster.run_to_completion(SimTime(10_000_000));
-    assert!(done, "all ops should complete; outstanding={} exec r0={:?}",
-        cluster.outstanding_ops(), cluster.replica(0).stats);
+    assert!(
+        done,
+        "all ops should complete; outstanding={} exec r0={:?}",
+        cluster.outstanding_ops(),
+        cluster.replica(0).stats
+    );
     // Every client's final counter value is 5.
     for c in 0..2 {
         let results = cluster.client_results(c);

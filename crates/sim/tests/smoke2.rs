@@ -23,14 +23,25 @@ fn checkpoints_and_gc_advance() {
 #[test]
 fn crashed_primary_triggers_view_change() {
     let mut cluster = counter_cluster(ClusterConfig::test(1, 2));
-    cluster.schedule_fault(SimTime(1), Fault::SetBehavior(ReplicaId(0), Behavior::Crashed));
+    cluster.schedule_fault(
+        SimTime(1),
+        Fault::SetBehavior(ReplicaId(0), Behavior::Crashed),
+    );
     cluster.set_workload(inc_op(3));
     let done = cluster.run_to_completion(SimTime(60_000_000));
-    assert!(done, "ops complete after view change; r1 view={:?} active={} stats={:?}",
-        cluster.replica(1).view(), cluster.replica(1).view_is_active(), cluster.replica(1).stats);
+    assert!(
+        done,
+        "ops complete after view change; r1 view={:?} active={} stats={:?}",
+        cluster.replica(1).view(),
+        cluster.replica(1).view_is_active(),
+        cluster.replica(1).stats
+    );
     assert!(cluster.replica(1).view().0 >= 1, "moved to a later view");
     for r in 1..4 {
-        assert_eq!(cluster.replica(1).state_digest(), cluster.replica(r).state_digest());
+        assert_eq!(
+            cluster.replica(1).state_digest(),
+            cluster.replica(r).state_digest()
+        );
     }
 }
 
@@ -44,7 +55,10 @@ fn bft_pk_mode_executes() {
     config.replica.status_interval = bft_types::SimDuration::from_millis(1000);
     let mut cluster = counter_cluster(config);
     cluster.set_workload(inc_op(3));
-    assert!(cluster.run_to_completion(SimTime(60_000_000)), "PK ops complete");
+    assert!(
+        cluster.run_to_completion(SimTime(60_000_000)),
+        "PK ops complete"
+    );
 }
 
 #[test]
@@ -53,5 +67,8 @@ fn lossy_network_still_completes() {
     config.channel = bft_net::ChannelConfig::lossy(0.05, 2_000);
     let mut cluster = counter_cluster(config);
     cluster.set_workload(inc_op(10));
-    assert!(cluster.run_to_completion(SimTime(120_000_000)), "ops complete under loss");
+    assert!(
+        cluster.run_to_completion(SimTime(120_000_000)),
+        "ops complete under loss"
+    );
 }

@@ -18,7 +18,10 @@ fn lying_replies_outvoted() {
     let results = cluster.client_results(0);
     for (i, (_, r)) in results.iter().enumerate() {
         assert_ne!(r.as_ref(), b"forged-result", "op {i} took the lie");
-        assert_eq!(u64::from_le_bytes(r.as_ref().try_into().unwrap()), i as u64 + 1);
+        assert_eq!(
+            u64::from_le_bytes(r.as_ref().try_into().unwrap()),
+            i as u64 + 1
+        );
     }
 }
 
@@ -38,14 +41,22 @@ fn equivocating_primary_no_divergence() {
     // May or may not complete (view changes replace the primary), but
     // correct replicas must never diverge on committed state.
     cluster.run_to_completion(SimTime(60_000_000));
-    let digests: Vec<_> = (1..4).map(|r| {
-        (cluster.replica(r).committed_frontier(), cluster.replica(r).state_digest())
-    }).collect();
+    let digests: Vec<_> = (1..4)
+        .map(|r| {
+            (
+                cluster.replica(r).committed_frontier(),
+                cluster.replica(r).state_digest(),
+            )
+        })
+        .collect();
     // Any two replicas with the same committed frontier must agree.
     for i in 0..digests.len() {
-        for j in i+1..digests.len() {
+        for j in i + 1..digests.len() {
             if digests[i].0 == digests[j].0 {
-                assert_eq!(digests[i].1, digests[j].1, "divergence between correct replicas");
+                assert_eq!(
+                    digests[i].1, digests[j].1,
+                    "divergence between correct replicas"
+                );
             }
         }
     }
@@ -57,16 +68,27 @@ fn lagging_replica_catches_up_via_state_transfer() {
     // Isolate replica 3 while others make progress past the log window
     // (log size 16 with K=8), then reconnect.
     cluster.schedule_fault(SimTime(0), Fault::Isolate(NodeId::Replica(ReplicaId(3))));
-    cluster.schedule_fault(SimTime(8_000_000), Fault::Reconnect(NodeId::Replica(ReplicaId(3))));
+    cluster.schedule_fault(
+        SimTime(8_000_000),
+        Fault::Reconnect(NodeId::Replica(ReplicaId(3))),
+    );
     cluster.set_workload(inc_op(25)); // 50 batches total > L
-    assert!(cluster.run_to_completion(SimTime(20_000_000)), "ops complete without r3");
+    assert!(
+        cluster.run_to_completion(SimTime(20_000_000)),
+        "ops complete without r3"
+    );
     // Keep running so r3 can fetch state.
     let target = cluster.replica(0).stable_checkpoint().0;
     cluster.run_until(SimTime(30_000_000));
     let r3 = cluster.replica(3);
-    assert!(r3.stable_checkpoint().0 >= target,
+    assert!(
+        r3.stable_checkpoint().0 >= target,
         "r3 caught up: stable={:?} target={:?} fetched={} fetch={:?}",
-        r3.stable_checkpoint().0, target, r3.stats.pages_fetched, r3.fetch_progress());
+        r3.stable_checkpoint().0,
+        target,
+        r3.stats.pages_fetched,
+        r3.fetch_progress()
+    );
 }
 
 #[test]
@@ -81,8 +103,12 @@ fn proactive_recovery_completes() {
     cluster.set_workload(inc_op(40));
     cluster.run_until(SimTime(25_000_000));
     let r2 = cluster.replica(2);
-    assert!(r2.stats.recoveries_completed >= 1,
-        "recovery completed: recovering={} stats={:?}", r2.is_recovering(), r2.stats);
+    assert!(
+        r2.stats.recoveries_completed >= 1,
+        "recovery completed: recovering={} stats={:?}",
+        r2.is_recovering(),
+        r2.stats
+    );
     assert_eq!(cluster.outstanding_ops(), 0, "client ops unaffected");
 }
 
@@ -101,9 +127,25 @@ fn recovery_repairs_corrupted_state() {
     cluster.set_workload(inc_op(40));
     cluster.run_until(SimTime(30_000_000));
     let r1 = cluster.replica(1);
-    assert!(r1.stats.recoveries_completed >= 1, "recovered: {:?}", r1.stats);
-    assert!(r1.stats.pages_fetched >= 1, "corrupt page re-fetched: {:?}", r1.stats);
+    assert!(
+        r1.stats.recoveries_completed >= 1,
+        "recovered: {:?}",
+        r1.stats
+    );
+    assert!(
+        r1.stats.pages_fetched >= 1,
+        "corrupt page re-fetched: {:?}",
+        r1.stats
+    );
     // After recovery the state matches the others.
-    assert_eq!(cluster.replica(0).service().value(bft_types::Requester::Client(bft_types::ClientId(0))),
-               cluster.replica(1).service().value(bft_types::Requester::Client(bft_types::ClientId(0))));
+    assert_eq!(
+        cluster
+            .replica(0)
+            .service()
+            .value(bft_types::Requester::Client(bft_types::ClientId(0))),
+        cluster
+            .replica(1)
+            .service()
+            .value(bft_types::Requester::Client(bft_types::ClientId(0)))
+    );
 }

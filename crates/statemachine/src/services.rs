@@ -64,7 +64,9 @@ impl CounterService {
 
     /// Creates a counter service with room for `clients` counters.
     pub fn new(clients: u32) -> Self {
-        let pages = (clients as u64 * 8).div_ceil(DEFAULT_PAGE_SIZE as u64).max(1);
+        let pages = (clients as u64 * 8)
+            .div_ceil(DEFAULT_PAGE_SIZE as u64)
+            .max(1);
         CounterService {
             mem: StateMemory::new(pages, DEFAULT_PAGE_SIZE),
         }
@@ -164,8 +166,7 @@ impl Service for MemService {
             return Bytes::from_static(b"bad-op");
         }
         let kind = op[0];
-        let result_len =
-            u32::from_le_bytes(op[1..5].try_into().expect("4 bytes")) as usize;
+        let result_len = u32::from_le_bytes(op[1..5].try_into().expect("4 bytes")) as usize;
         let payload = &op[5..];
         if kind == 0 && !payload.is_empty() {
             let total = self.mem.num_pages() as usize * self.mem.page_size();
@@ -295,16 +296,14 @@ impl KvService {
             if pos + 4 > data.len() {
                 break;
             }
-            let klen =
-                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let klen = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
             if pos + klen + 4 > data.len() {
                 break;
             }
             let key = data[pos..pos + klen].to_vec();
             pos += klen;
-            let vlen =
-                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let vlen = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
             if pos + vlen > data.len() {
                 break;
@@ -517,7 +516,10 @@ mod tests {
     #[test]
     fn kv_put_get_delete() {
         let mut s = KvService::new(8);
-        assert_eq!(s.execute(client(0), &KvService::op_put(b"k", b"v1"), b""), "ok");
+        assert_eq!(
+            s.execute(client(0), &KvService::op_put(b"k", b"v1"), b""),
+            "ok"
+        );
         assert_eq!(s.execute(client(1), &KvService::op_get(b"k"), b""), "v1");
         assert_eq!(
             s.execute(client(0), &KvService::op_del(b"k"), b""),

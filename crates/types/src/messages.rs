@@ -292,7 +292,12 @@ pub struct PrePrepare {
     pub auth: Auth,
 }
 
-message_struct!(PrePrepare { view, seq, batch, nondet });
+message_struct!(PrePrepare {
+    view,
+    seq,
+    batch,
+    nondet
+});
 
 impl PrePrepare {
     /// The batch digest `d` carried by prepare/commit messages.
@@ -336,7 +341,12 @@ pub struct Prepare {
     pub auth: Auth,
 }
 
-message_struct!(Prepare { view, seq, digest, replica });
+message_struct!(Prepare {
+    view,
+    seq,
+    digest,
+    replica
+});
 
 /// `<COMMIT, v, n, d, i>`: the replica has a prepared certificate (§2.3.3).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -353,7 +363,12 @@ pub struct Commit {
     pub auth: Auth,
 }
 
-message_struct!(Commit { view, seq, digest, replica });
+message_struct!(Commit {
+    view,
+    seq,
+    digest,
+    replica
+});
 
 /// `<CHECKPOINT, n, d, i>`: the replica produced the checkpoint with
 /// sequence number `n` and state digest `d` (§2.3.4).
@@ -369,7 +384,11 @@ pub struct Checkpoint {
     pub auth: Auth,
 }
 
-message_struct!(Checkpoint { seq, digest, replica });
+message_struct!(Checkpoint {
+    seq,
+    digest,
+    replica
+});
 
 // ---------------------------------------------------------------------------
 // View changes: the BFT (MAC) protocol of §3.2.4–3.2.5.
@@ -552,7 +571,11 @@ pub struct NewView {
     pub auth: Auth,
 }
 
-message_struct!(NewView { view, vc_proofs, decision });
+message_struct!(NewView {
+    view,
+    vc_proofs,
+    decision
+});
 
 /// `<NOT-COMMITTED, v+1, d, i>`: quorum confirmation that allows discarding
 /// QSet entries in the bounded-space protocol (§3.2.5).
@@ -568,7 +591,11 @@ pub struct NotCommitted {
     pub auth: Auth,
 }
 
-message_struct!(NotCommitted { view, nv_digest, replica });
+message_struct!(NotCommitted {
+    view,
+    nv_digest,
+    replica
+});
 
 /// `<NOT-COMMITTED-PRIMARY, v+1, V, X>`: the primary's pre-announcement of
 /// its intended new-view contents (§3.2.5).
@@ -833,7 +860,11 @@ pub struct Data {
     pub auth: Auth,
 }
 
-message_struct!(Data { index, last_mod, page });
+message_struct!(Data {
+    index,
+    last_mod,
+    page
+});
 
 // ---------------------------------------------------------------------------
 // Proactive recovery (§4.3).
@@ -1260,10 +1291,7 @@ mod tests {
 
     #[test]
     fn type_names() {
-        assert_eq!(
-            Message::Request(sample_request()).type_name(),
-            "Request"
-        );
+        assert_eq!(Message::Request(sample_request()).type_name(), "Request");
         assert_eq!(
             Message::PrePrepare(sample_pre_prepare()).type_name(),
             "PrePrepare"

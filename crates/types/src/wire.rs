@@ -93,7 +93,9 @@ impl Wire for u32 {
         buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            take(buf, 4)?.try_into().expect("4 bytes"),
+        ))
     }
 }
 
@@ -102,7 +104,9 @@ impl Wire for u64 {
         buf.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(u64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            take(buf, 8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -290,8 +294,12 @@ impl Wire for crate::ids::NodeId {
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         match take(buf, 1)?[0] {
-            0 => Ok(crate::ids::NodeId::Replica(crate::ids::ReplicaId::decode(buf)?)),
-            1 => Ok(crate::ids::NodeId::Client(crate::ids::ClientId::decode(buf)?)),
+            0 => Ok(crate::ids::NodeId::Replica(crate::ids::ReplicaId::decode(
+                buf,
+            )?)),
+            1 => Ok(crate::ids::NodeId::Client(crate::ids::ClientId::decode(
+                buf,
+            )?)),
             t => Err(WireError::BadTag(t)),
         }
     }

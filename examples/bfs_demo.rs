@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --example bfs_demo`
 
+use bfs::{BfsService, NfsOp, NfsReply, ROOT_INO};
 use bft_sim::harness::Driver;
 use bft_sim::{Cluster, ClusterConfig};
 use bft_types::{ClientId, SimTime};
-use bfs::{BfsService, NfsOp, NfsReply, ROOT_INO};
 use bytes::Bytes;
 
 /// A small scripted session against the file service.

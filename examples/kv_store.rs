@@ -21,7 +21,10 @@ impl Driver for KvDriver {
         if self.step > 10 {
             let read_idx = self.step - 11;
             let expect = format!("value-{read_idx}");
-            if last.map(|b| b.as_ref() != expect.as_bytes()).unwrap_or(true) {
+            if last
+                .map(|b| b.as_ref() != expect.as_bytes())
+                .unwrap_or(true)
+            {
                 self.failures.set(self.failures.get() + 1);
             }
         }

@@ -36,6 +36,7 @@
 //! assert_eq!(cluster.metrics.ops_completed, 3);
 //! ```
 
+pub use bfs;
 pub use bft_core as core;
 pub use bft_crypto as crypto;
 pub use bft_model as model;
@@ -43,4 +44,3 @@ pub use bft_net as net;
 pub use bft_sim as sim;
 pub use bft_statemachine as statemachine;
 pub use bft_types as types;
-pub use bfs;

@@ -2,13 +2,13 @@
 //! stack, replicated-vs-baseline equivalence of file system contents, and
 //! fault tolerance of the file service.
 
+use bytes::Bytes;
 use pbft::bfs::andrew::{generate_script, AndrewConfig};
 use pbft::bfs::{BfsService, NfsOp, NfsReply};
 use pbft::sim::harness::Driver;
 use pbft::sim::scenarios;
 use pbft::sim::{Behavior, Cluster, ClusterConfig};
 use pbft::types::{ClientId, ReplicaId, SimTime};
-use bytes::Bytes;
 
 /// Drives the whole Andrew script through the replicated service.
 struct AndrewTestDriver {

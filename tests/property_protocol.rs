@@ -3,10 +3,10 @@
 //! all correct replicas and completed operations must report correct
 //! results. This is the Theorem 3.2.1 safety property checked end to end.
 
+use bytes::Bytes;
 use pbft::sim::{counter_cluster, Behavior, ClusterConfig, Fault, OpGen};
 use pbft::statemachine::CounterService;
 use pbft::types::{ReplicaId, SimDuration, SimTime};
-use bytes::Bytes;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -49,10 +49,13 @@ fn check_safety(
         }
         finals.push(m);
     }
-    let max_seq = finals.iter().flat_map(|m| m.keys().copied()).max().unwrap_or(0);
+    let max_seq = finals
+        .iter()
+        .flat_map(|m| m.keys().copied())
+        .max()
+        .unwrap_or(0);
     for s in 1..=max_seq {
-        let set: std::collections::BTreeSet<_> =
-            finals.iter().filter_map(|m| m.get(&s)).collect();
+        let set: std::collections::BTreeSet<_> = finals.iter().filter_map(|m| m.get(&s)).collect();
         prop_assert!(
             set.len() <= 1,
             "seq {s} diverged (seed={seed} drop={drop_permille} behavior={behavior:?})"

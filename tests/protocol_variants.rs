@@ -2,11 +2,11 @@
 //! techniques: BFT-PK vs BFT equivalence, optimization ablations, the
 //! non-determinism protocol, recovery, and BFS end to end.
 
+use bytes::Bytes;
 use pbft::core::config::{AuthMode, Optimizations};
 use pbft::sim::{counter_cluster, Cluster, ClusterConfig, Fault, OpGen};
 use pbft::statemachine::{ClockService, CounterService};
 use pbft::types::{ClientId, ReplicaId, SimDuration, SimTime};
-use bytes::Bytes;
 
 fn inc(ops: u64) -> OpGen {
     OpGen::fixed(Bytes::from(vec![CounterService::OP_INC]), false, ops)

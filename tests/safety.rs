@@ -3,10 +3,10 @@
 //! changes — Theorem 3.2.1, exactly-once execution) checked under fault
 //! injection on the full simulated system.
 
+use bytes::Bytes;
 use pbft::sim::{counter_cluster, Behavior, Cluster, ClusterConfig, Fault, OpGen};
 use pbft::statemachine::{CounterService, KvService};
 use pbft::types::{ClientId, NodeId, ReplicaId, Requester, SimDuration, SimTime};
-use bytes::Bytes;
 use std::collections::BTreeMap;
 
 fn inc(ops: u64) -> OpGen {
@@ -15,10 +15,7 @@ fn inc(ops: u64) -> OpGen {
 
 /// Checks that the final execution per sequence number agrees across all
 /// listed replicas (the Theorem 3.2.1 property).
-fn assert_journals_agree<S: pbft::statemachine::Service>(
-    cluster: &Cluster<S>,
-    replicas: &[usize],
-) {
+fn assert_journals_agree<S: pbft::statemachine::Service>(cluster: &Cluster<S>, replicas: &[usize]) {
     let mut finals: Vec<BTreeMap<u64, pbft::crypto::Digest>> = Vec::new();
     for &r in replicas {
         let mut m = BTreeMap::new();
@@ -33,8 +30,7 @@ fn assert_journals_agree<S: pbft::statemachine::Service>(
         .max()
         .unwrap_or(0);
     for s in 1..=max_seq {
-        let set: std::collections::BTreeSet<_> =
-            finals.iter().filter_map(|m| m.get(&s)).collect();
+        let set: std::collections::BTreeSet<_> = finals.iter().filter_map(|m| m.get(&s)).collect();
         assert!(
             set.len() <= 1,
             "sequence {s} executed with different batches at correct replicas"
@@ -67,7 +63,10 @@ fn agreement_survives_repeated_primary_crashes() {
     let mut cluster = counter_cluster(config);
     // Crash the view-0 primary early; later crash-recover it and crash the
     // view-1 primary too would exceed f, so only rotate behaviors within f.
-    cluster.schedule_fault(SimTime(5_000), Fault::SetBehavior(ReplicaId(0), Behavior::Crashed));
+    cluster.schedule_fault(
+        SimTime(5_000),
+        Fault::SetBehavior(ReplicaId(0), Behavior::Crashed),
+    );
     cluster.set_workload(inc(15));
     assert!(
         cluster.run_to_completion(SimTime(120_000_000)),
@@ -145,7 +144,10 @@ fn state_transfer_preserves_kv_contents() {
     }
     cluster.set_driver(ClientId(0), Box::new(Puts(0)));
     assert!(cluster.run_to_completion(SimTime(120_000_000)));
-    cluster.schedule_fault(cluster.now(), Fault::Reconnect(NodeId::Replica(ReplicaId(2))));
+    cluster.schedule_fault(
+        cluster.now(),
+        Fault::Reconnect(NodeId::Replica(ReplicaId(2))),
+    );
     let target = cluster.replica(0).stable_checkpoint().0;
     let deadline = SimTime(cluster.now().0 + 60_000_000);
     cluster.run_until(deadline);
@@ -205,8 +207,7 @@ fn read_only_never_observes_uncommitted_state() {
                 let read = u64::from_le_bytes(last.unwrap().as_ref().try_into().unwrap());
                 assert_eq!(read, self.last_written, "read-only saw a consistent value");
             } else if self.step > 0 {
-                self.last_written =
-                    u64::from_le_bytes(last.unwrap().as_ref().try_into().unwrap());
+                self.last_written = u64::from_le_bytes(last.unwrap().as_ref().try_into().unwrap());
             }
             let op = if self.step % 2 == 0 {
                 self.last_written += 0; // Write comes back with the new value.
@@ -251,6 +252,12 @@ fn read_only_never_observes_uncommitted_state() {
         step: 0,
         last_written: 0,
     };
-    cluster.set_driver(ClientId(0), Box::new(Fixed { step: 0, written: 0 }));
+    cluster.set_driver(
+        ClientId(0),
+        Box::new(Fixed {
+            step: 0,
+            written: 0,
+        }),
+    );
     assert!(cluster.run_to_completion(SimTime(60_000_000)));
 }

@@ -1,0 +1,304 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the criterion API surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`],
+//! [`criterion_group!`] and [`criterion_main!`] — with a plain wall-clock
+//! measurement loop instead of criterion's statistical machinery. Each
+//! benchmark is timed over enough iterations to fill a small budget and
+//! reported as mean ns/iter (plus MB/s when a byte throughput is set).
+
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark's per-iteration state is sized. All variants
+/// behave identically here; the distinction only matters to real
+/// criterion's batching heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    budget: Duration,
+    max_iters: u64,
+    /// Mean time per iteration from the last `iter*` call.
+    elapsed_per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            max_iters: 100_000,
+            elapsed_per_iter: None,
+        }
+    }
+
+    /// Times `routine`, called back-to-back until the time budget or the
+    /// iteration cap is exhausted.
+    ///
+    /// The clock is read once per geometrically growing *batch*, not once
+    /// per call, so nanosecond-scale routines are not inflated by the cost
+    /// of `Instant::elapsed` inside the timed window.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut batch = 1u64;
+        loop {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+            if iters >= self.max_iters || start.elapsed() >= self.budget {
+                break;
+            }
+            batch = (batch * 2).min(self.max_iters - iters);
+        }
+        self.elapsed_per_iter = Some(start.elapsed() / iters.max(1) as u32);
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+            if iters >= self.max_iters || wall.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.elapsed_per_iter = Some(measured / iters.max(1) as u32);
+    }
+
+    /// Like `iter_batched`, but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), _size);
+    }
+}
+
+fn report(group: Option<&str>, id: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let ns = per_iter.as_nanos();
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if ns > 0 => {
+            let mbs = bytes as f64 / per_iter.as_secs_f64() / 1e6;
+            println!("bench {name:<48} {ns:>12} ns/iter {mbs:>10.1} MB/s");
+        }
+        Some(Throughput::Elements(elems)) if ns > 0 => {
+            let eps = elems as f64 / per_iter.as_secs_f64();
+            println!("bench {name:<48} {ns:>12} ns/iter {eps:>10.0} elem/s");
+        }
+        _ => println!("bench {name:<48} {ns:>12} ns/iter"),
+    }
+}
+
+/// Benchmark registry and entry point (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small per-benchmark budget: these benches exist to be runnable
+        // and comparable run-to-run, not statistically rigorous.
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        if let Some(per_iter) = b.elapsed_per_iter {
+            report(None, id, per_iter, None);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the measurement loop is
+    /// budget-driven, so the sample count has no effect here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; measurement time is set via
+    /// the `CRITERION_BUDGET_MS` environment variable instead.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used for rate reporting in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        if let Some(per_iter) = b.elapsed_per_iter {
+            report(Some(&self.name), &id.to_string(), per_iter, self.throughput);
+        }
+        self
+    }
+
+    /// Runs a benchmark in this group with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b, input);
+        if let Some(per_iter) = b.elapsed_per_iter {
+            report(Some(&self.name), &id.to_string(), per_iter, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_time() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_runs_batched() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(8)).bench_with_input(
+            BenchmarkId::from_parameter(8),
+            &8u64,
+            |b, &n| b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput),
+        );
+        g.finish();
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset of the `rand` 0.9-style API the workspace uses:
+//! [`SeedableRng::seed_from_u64`], the core [`Rng`] source trait, the
+//! [`RngExt`] extension trait (`random`, `random_bool`, `random_range`),
+//! and [`rngs::StdRng`] — here a xoshiro256** generator seeded through
+//! SplitMix64. Everything is fully deterministic given the seed, which
+//! the simulator's reproducibility tests depend on.
+
+/// A random-number source: the only method implementors must provide is
+/// [`Rng::next_u64`].
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types a generator can produce uniformly at random.
+pub trait Random: Sized {
+    /// Draws one uniformly random value from `rng`.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                const BITS: u32 = <$t>::BITS;
+                if BITS <= 64 {
+                    rng.next_u64() as $t
+                } else {
+                    let hi = rng.next_u64() as u128;
+                    let lo = rng.next_u64() as u128;
+                    ((hi << 64) | lo) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_random_uint!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Random for bool {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Random for [u8; N] {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// A range random values can be drawn from, mirroring
+/// `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics on empty ranges.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased draw from `[0, span)` (`span >= 1`) using one `next_u64` per
+/// rejection-sampling attempt: accept `v` only below the largest multiple
+/// of `span` that fits in 2^64.
+fn sample_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    let limit = ((u64::MAX as u128 + 1) / span as u128 * span as u128) as u128;
+    loop {
+        let v = rng.next_u64() as u128;
+        if v < limit {
+            return (v % span as u128) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + sample_below(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let Some(span) = (end as u64 - start as u64).checked_add(1) else {
+                    // Full u64 domain: every draw is in range.
+                    return rng.next_u64() as $t;
+                };
+                start + sample_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+/// Extension methods over any [`Rng`], mirroring the `rand` 0.9 `Rng`
+/// extension trait.
+pub trait RngExt: Rng {
+    /// Draws a uniformly random value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        <f64 as Random>::random_from(self) < p
+    }
+
+    /// Draws a uniformly random value from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A generator constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (the workspace's `StdRng`).
+    ///
+    /// Unlike the real crate's ChaCha-based `StdRng` this is not
+    /// cryptographically strong, but every use in the workspace is for
+    /// simulation and testing where only determinism matters; key
+    /// material strength is out of scope for the reproduction.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| c.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u64 = rng.random_range(0..=5);
+            assert!(w <= 5);
+            let u: usize = rng.random_range(1..=1);
+            assert_eq!(u, 1);
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (for forward
+//! compatibility of its data types); nothing actually serializes through
+//! serde. With no reachable registry, this stub supplies the two trait
+//! names with blanket impls, and re-exports no-op derive macros so
+//! `#[derive(Serialize, Deserialize)]` keeps compiling unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait satisfied by every type (stand-in for `serde::Serialize`).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait satisfied by every type (stand-in for `serde::Deserialize`).
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
