@@ -44,6 +44,7 @@ fn bench_wire(c: &mut Criterion) {
         read_only: false,
         replier: Some(bft_types::ReplicaId(2)),
         auth: bft_types::Auth::None,
+        digest_memo: bft_types::DigestMemo::new(),
     };
     let msg = bft_types::Message::Request(req);
     c.bench_function("wire_encode_request_512B", |b| {

@@ -1,0 +1,231 @@
+//! Normal-case throughput experiment: wall-clock requests/sec of the
+//! simulated cluster under sustained closed-loop load, for f = 1..3 with
+//! batching on and off.
+//!
+//! The simulator's virtual-time numbers are a pure function of the cost
+//! model and never change when the implementation gets faster; what this
+//! experiment tracks is the *real* time the stack needs to push a message
+//! through the pipeline (encode, digest, MAC, clone, deliver). That is the
+//! quantity the zero-copy message plumbing (shared `Bytes` payloads,
+//! memoized digests, scratch-buffer encoding, `Rc<Message>` fan-out) is
+//! meant to improve, and the quantity future scaling PRs must not regress.
+//!
+//! Usage:
+//!   cargo run -p bft-bench --release --bin throughput -- [--smoke] [--out PATH]
+//!
+//! `--smoke` runs a reduced workload (for CI); `--out` overrides the JSON
+//! destination (default `BENCH_pr2.json` in the current directory). The
+//! JSON records, per configuration, the baseline ("before") requests/sec
+//! measured at the pre-refactor commit and the live ("after") measurement,
+//! plus their ratio.
+
+use bft_sim::{counter_cluster, ClusterConfig, OpGen};
+use bft_types::SimTime;
+use bytes::Bytes;
+use std::time::Instant;
+
+/// Padded increment operation: first byte selects OP_INC, the rest models
+/// a realistic request body that the plumbing must carry end to end.
+const OP_BYTES: usize = 128;
+
+/// Wall-clock requests/sec measured at the seed of this PR (commit
+/// 9dffc93, before the zero-copy refactor), with the full workload on the
+/// reference dev machine — the mean of two runs (run-to-run spread was
+/// under 5%). Keyed by case id. Regenerate by checking out the baseline
+/// commit, copying this binary in, and running without `--smoke`.
+const BASELINE_WALL_OPS_PER_SEC: &[(&str, f64)] = &[
+    ("f1_batched", 5565.7),
+    ("f1_unbatched", 5434.3),
+    ("f2_batched", 2068.5),
+    ("f2_unbatched", 2121.7),
+    ("f3_batched", 1096.5),
+    ("f3_unbatched", 1107.0),
+];
+
+struct Case {
+    id: &'static str,
+    f: usize,
+    batching: bool,
+}
+
+struct Outcome {
+    id: &'static str,
+    f: usize,
+    batching: bool,
+    ops: u64,
+    wall_ms: f64,
+    wall_ops_per_sec: f64,
+    virtual_ops_per_sec: f64,
+}
+
+fn run_case(case: &Case, clients: u32, ops_per_client: u64) -> Outcome {
+    let mut config = ClusterConfig::test(case.f, clients);
+    config.seed = 0x7117 + case.f as u64;
+    config.replica = bft_core::ReplicaConfig::small(case.f);
+    config.replica.num_clients = clients.max(config.replica.num_clients);
+    config.replica.opts.batching = case.batching;
+    let mut cluster = counter_cluster(config);
+    let mut op = vec![bft_statemachine::CounterService::OP_INC];
+    op.resize(OP_BYTES, 0xb7);
+    let op = Bytes::from(op);
+    // Warm-up is deliberately skipped: allocator behavior from a cold
+    // start is part of what the experiment observes.
+    let start = Instant::now();
+    cluster.set_workload(OpGen::fixed(op, false, ops_per_client));
+    let done = cluster.run_to_completion(SimTime(3_600_000_000));
+    let wall = start.elapsed();
+    assert!(done, "workload must complete within the virtual deadline");
+    let ops = cluster.metrics.ops_completed;
+    assert_eq!(ops, clients as u64 * ops_per_client);
+    Outcome {
+        id: case.id,
+        f: case.f,
+        batching: case.batching,
+        ops,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        wall_ops_per_sec: ops as f64 / wall.as_secs_f64(),
+        virtual_ops_per_sec: cluster.metrics.throughput_ops_per_sec(),
+    }
+}
+
+fn baseline_for(id: &str) -> f64 {
+    BASELINE_WALL_OPS_PER_SEC
+        .iter()
+        .find(|(k, _)| *k == id)
+        .map(|(_, v)| *v)
+        .unwrap_or(f64::NAN)
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    let (clients, ops_per_client) = if smoke { (4, 25) } else { (8, 150) };
+
+    let cases = [
+        Case {
+            id: "f1_batched",
+            f: 1,
+            batching: true,
+        },
+        Case {
+            id: "f1_unbatched",
+            f: 1,
+            batching: false,
+        },
+        Case {
+            id: "f2_batched",
+            f: 2,
+            batching: true,
+        },
+        Case {
+            id: "f2_unbatched",
+            f: 2,
+            batching: false,
+        },
+        Case {
+            id: "f3_batched",
+            f: 3,
+            batching: true,
+        },
+        Case {
+            id: "f3_unbatched",
+            f: 3,
+            batching: false,
+        },
+    ];
+
+    println!(
+        "normal-case throughput ({} mode): {} clients x {} ops, {}B ops",
+        if smoke { "smoke" } else { "full" },
+        clients,
+        ops_per_client,
+        OP_BYTES
+    );
+    println!(
+        "{:>12} {:>3} {:>9} {:>7} {:>10} {:>12} {:>12} {:>9}",
+        "case", "f", "batching", "ops", "wall ms", "wall ops/s", "virt ops/s", "speedup"
+    );
+
+    let mut entries = Vec::new();
+    for case in &cases {
+        let o = run_case(case, clients, ops_per_client);
+        // The recorded baselines were measured with the FULL workload; a
+        // smoke run is startup-dominated and usually on different (CI)
+        // hardware, so comparing against them would record a ratio that
+        // reflects workload size, not the code. Smoke reports no speedup.
+        let before = if smoke { f64::NAN } else { baseline_for(o.id) };
+        let speedup = o.wall_ops_per_sec / before;
+        println!(
+            "{:>12} {:>3} {:>9} {:>7} {:>10.1} {:>12.1} {:>12.1} {:>9}",
+            o.id,
+            o.f,
+            o.batching,
+            o.ops,
+            o.wall_ms,
+            o.wall_ops_per_sec,
+            o.virtual_ops_per_sec,
+            if speedup.is_finite() {
+                format!("{speedup:.2}x")
+            } else {
+                "n/a".to_string()
+            }
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"case\": \"{}\",\n",
+                "      \"f\": {},\n",
+                "      \"batching\": {},\n",
+                "      \"clients\": {},\n",
+                "      \"ops\": {},\n",
+                "      \"op_bytes\": {},\n",
+                "      \"before\": {{\"wall_ops_per_sec\": {}}},\n",
+                "      \"after\": {{\"wall_ops_per_sec\": {}, \"wall_ms\": {}, \"virtual_ops_per_sec\": {}}},\n",
+                "      \"speedup\": {}\n",
+                "    }}"
+            ),
+            o.id,
+            o.f,
+            o.batching,
+            clients,
+            o.ops,
+            OP_BYTES,
+            json_num(before),
+            json_num(o.wall_ops_per_sec),
+            json_num(o.wall_ms),
+            json_num(o.virtual_ops_per_sec),
+            json_num(speedup),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"normal-case throughput (zero-copy message plumbing, PR 2)\",\n",
+            "  \"metric\": \"wall-clock requests/sec of the simulated cluster\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"baseline\": \"pre-refactor seed (PR 1), full workload, reference dev machine\",\n",
+            "  \"note\": \"virtual_ops_per_sec is cost-model bound and must be identical before/after; speedup compares wall-clock only and is meaningful only when before/after ran the full workload on the same hardware — smoke mode reports before/speedup as null\",\n",
+            "  \"cases\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -8,7 +8,7 @@
 
 use crate::config::AuthMode;
 use bft_crypto::{Authenticator, KeyPair, KeyTable, PublicKey, SessionKey};
-use bft_types::{Auth, ClientId, GroupParams, NodeId, ReplicaId, Requester};
+use bft_types::{Auth, AuthContent, ClientId, GroupParams, NodeId, ReplicaId, Requester};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -165,6 +165,28 @@ impl AuthState {
                 None => false,
             },
         }
+    }
+
+    /// [`AuthState::authenticate_multicast`] over a message's content,
+    /// encoded in a pooled scratch buffer (no allocation).
+    pub fn authenticate_multicast_msg<M: AuthContent>(&mut self, m: &M) -> Auth {
+        m.for_content(|c| self.authenticate_multicast(c))
+    }
+
+    /// [`AuthState::mac_to`] over a message's content (scratch-encoded).
+    pub fn mac_to_msg<M: AuthContent>(&mut self, to: NodeId, m: &M) -> Auth {
+        m.for_content(|c| self.mac_to(to, c))
+    }
+
+    /// [`AuthState::sign`] over a message's content (scratch-encoded).
+    pub fn sign_msg<M: AuthContent>(&self, m: &M) -> Auth {
+        m.for_content(|c| self.sign(c))
+    }
+
+    /// [`AuthState::verify`] of a message's own `auth` field against its
+    /// content (scratch-encoded).
+    pub fn verify_msg<M: AuthContent>(&self, sender: NodeId, m: &M) -> bool {
+        m.for_content(|c| self.verify(sender, c, m.auth_field()))
     }
 
     /// The group parameters.

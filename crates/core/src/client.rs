@@ -137,8 +137,9 @@ impl ClientProxy {
             read_only,
             replier,
             auth: Auth::None,
+            digest_memo: bft_types::DigestMemo::new(),
         };
-        req.auth = self.auth.authenticate_multicast(&req.content_bytes());
+        req.auth = self.auth.authenticate_multicast_msg(&req);
         self.pending = Some(Pending {
             request: req.clone(),
             replies: HashMap::new(),
@@ -182,10 +183,7 @@ impl ClientProxy {
         if r.timestamp != pending.request.timestamp || r.requester != Requester::Client(self.id) {
             return None;
         }
-        if !self
-            .auth
-            .verify(NodeId::Replica(r.replica), &r.content_bytes(), &r.auth)
-        {
+        if !self.auth.verify_msg(NodeId::Replica(r.replica), &r) {
             return None;
         }
         if r.view > self.view {
@@ -251,7 +249,9 @@ impl ClientProxy {
         if pending.retransmissions > 1 {
             req.read_only = false;
         }
-        req.auth = self.auth.authenticate_multicast(&req.content_bytes());
+        // The clone may carry a digest cached before the rewrites above.
+        req.invalidate_digests();
+        req.auth = self.auth.authenticate_multicast_msg(&req);
         pending.request = req.clone();
         pending.replies.clear();
         out.multicast(Message::Request(req));

@@ -113,6 +113,9 @@ pub struct ReplicaConfig {
     /// Maximum number of requests batched into one pre-prepare (the thesis
     /// caps digests per pre-prepare at 16).
     pub max_batch: usize,
+    /// Maximum total operation bytes in one pre-prepare batch; a batch
+    /// always admits at least one request regardless of its size.
+    pub max_batch_bytes: usize,
     /// Sliding-window bound on concurrent protocol instances (§5.1.4).
     pub window: u64,
     /// Bound `M` on digest/view pairs per QSet entry (§3.2.5).
@@ -139,6 +142,7 @@ impl ReplicaConfig {
             inline_threshold: 255,
             digest_reply_threshold: 32,
             max_batch: 16,
+            max_batch_bytes: 8192,
             window: 8,
             qset_bound: 2,
             recovery: RecoveryConfig::default(),
@@ -171,6 +175,7 @@ mod tests {
         assert_eq!(c.group.n, 4);
         assert_eq!(c.log_size(), 256);
         assert!(c.opts.batching);
+        assert_eq!(c.max_batch_bytes, 8192);
         assert!(!c.recovery.enabled);
     }
 

@@ -203,6 +203,8 @@ mod tests {
             batch: vec![BatchEntry::ByDigest(bft_crypto::digest(b"req"))],
             nondet: bytes::Bytes::new(),
             auth: Auth::None,
+            digest_memo: bft_types::DigestMemo::new(),
+            batch_memo: bft_types::DigestMemo::new(),
         }
     }
 

@@ -15,10 +15,10 @@ impl<S: Service> Replica<S> {
     pub(crate) fn on_request(&mut self, req: Request, out: &mut Outbox) {
         let digest = req.digest();
         let sender = requester_node(req.requester);
-        let authentic = self.verify_auth(sender, &req.content_bytes(), &req.auth)
+        let authentic = self.verify_auth_msg(sender, &req)
             // Condition 3 of §3.2.2: a previously stored authentic copy.
             || self.requests.contains(&digest);
-        if std::env::var_os("BFT_DEBUG").is_some() && !self.pending_pps.is_empty() {
+        if self.debug_enabled && !self.pending_pps.is_empty() {
             self.exec_trace.push(format!(
                 "on_request from {:?} t={:?} authentic={authentic} pending={}",
                 req.requester,
@@ -49,7 +49,7 @@ impl<S: Service> Replica<S> {
             RequestDisposition::Execute => {}
             RequestDisposition::Resend(reply) => {
                 let mut reply = *reply;
-                reply.auth = self.auth.mac_to(sender, &reply.content_bytes());
+                reply.auth = self.auth.mac_to_msg(sender, &reply);
                 out.send_requester(req.requester, Message::Reply(reply));
                 return;
             }
@@ -99,7 +99,7 @@ impl<S: Service> Replica<S> {
             } else {
                 1
             };
-            let mut reqs = self.queue.pop_batch(max, 8192);
+            let mut reqs = self.queue.pop_batch(max, self.config.max_batch_bytes);
             // Skip requests already assigned in this view or executed: a
             // relayed copy may have raced the direct one into the queue.
             reqs.retain(|r| {
@@ -124,7 +124,10 @@ impl<S: Service> Replica<S> {
             let mut entries = Vec::with_capacity(reqs.len());
             let mut digests = Vec::with_capacity(reqs.len());
             for req in reqs {
-                let d = self.requests.insert(req.clone());
+                // Digest BEFORE cloning into the store so the memoized
+                // value travels with both copies (and with the multicast).
+                let d = req.digest();
+                self.requests.insert(req.clone());
                 digests.push(d);
                 let inline = !self.config.opts.separate_request_transmission
                     || req.operation.len() <= self.config.inline_threshold;
@@ -140,8 +143,10 @@ impl<S: Service> Replica<S> {
                 batch: entries,
                 nondet: nondet.clone(),
                 auth: bft_types::Auth::None,
+                digest_memo: bft_types::DigestMemo::new(),
+                batch_memo: bft_types::DigestMemo::new(),
             };
-            pp.auth = self.auth.authenticate_multicast(&pp.content_bytes());
+            pp.auth = self.auth.authenticate_multicast_msg(&pp);
             let batch_digest = pp.batch_digest();
             self.batches.insert(
                 batch_digest,
@@ -192,11 +197,7 @@ impl<S: Service> Replica<S> {
         }
         let primary = self.primary();
         let batch_digest = pp.batch_digest();
-        let auth_ok = self.verify_auth(
-            bft_types::NodeId::Replica(primary),
-            &pp.content_bytes(),
-            &pp.auth.clone(),
-        );
+        let auth_ok = self.verify_auth_msg(bft_types::NodeId::Replica(primary), &pp);
         if !auth_ok {
             // Retransmitted pre-prepares may carry authenticators made
             // before a key refresh (§4.3.1). A weak certificate of
@@ -229,7 +230,7 @@ impl<S: Service> Replica<S> {
                 BatchEntry::Inline(req) => {
                     let d = req.digest();
                     let sender = requester_node(req.requester);
-                    let cond1 = self.verify_auth(sender, &req.content_bytes(), &req.auth);
+                    let cond1 = self.verify_auth_msg(sender, &req);
                     let cond3 = self.requests.contains(&d);
                     let cond2 = self
                         .log
@@ -252,7 +253,7 @@ impl<S: Service> Replica<S> {
             }
         }
         if missing {
-            if std::env::var_os("BFT_DEBUG").is_some() {
+            if self.debug_enabled {
                 let miss: Vec<String> = pp
                     .batch
                     .iter()
@@ -307,7 +308,7 @@ impl<S: Service> Replica<S> {
                 replica: self.id,
                 auth: bft_types::Auth::None,
             };
-            prep.auth = self.auth.authenticate_multicast(&prep.content_bytes());
+            prep.auth = self.auth.authenticate_multicast_msg(&prep);
             self.log.add_prepare(pp.seq, batch_digest, self.id);
             out.multicast(Message::Prepare(prep));
         }
@@ -344,11 +345,7 @@ impl<S: Service> Replica<S> {
         if p.replica == p.view.primary(self.config.group.n) {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(p.replica),
-            &p.content_bytes(),
-            &p.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(p.replica), &p) {
             return;
         }
         if self.config.auth == crate::config::AuthMode::Signatures {
@@ -363,11 +360,7 @@ impl<S: Service> Replica<S> {
         if c.view != self.view || !self.log.in_window(c.seq) {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(c.replica),
-            &c.content_bytes(),
-            &c.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(c.replica), &c) {
             return;
         }
         self.log.add_commit(c.seq, c.digest, c.replica);
@@ -415,7 +408,7 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: bft_types::Auth::None,
         };
-        c.auth = self.auth.authenticate_multicast(&c.content_bytes());
+        c.auth = self.auth.authenticate_multicast_msg(&c);
         self.log.add_commit(seq, digest, self.id);
         self.log.slot_mut(seq).sent_commit = true;
         out.multicast(Message::Commit(c));
@@ -426,11 +419,7 @@ impl<S: Service> Replica<S> {
         if c.seq <= self.ckpt.stable().0 {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(c.replica),
-            &c.content_bytes(),
-            &c.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(c.replica), &c) {
             return;
         }
         if self.config.auth == crate::config::AuthMode::Signatures {

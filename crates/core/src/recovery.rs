@@ -163,7 +163,7 @@ impl<S: Service> Replica<S> {
             encrypted,
             auth: Auth::None,
         };
-        let digest = bft_crypto::digest(&m.content_bytes());
+        let digest = m.digest();
         let cs = self.coproc().sign(&digest);
         m.auth = Auth::CounterSig(cs);
         out.multicast(Message::NewKey(m));
@@ -177,11 +177,7 @@ impl<S: Service> Replica<S> {
         let Auth::CounterSig(cs) = &m.auth else {
             return;
         };
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(m.replica),
-            &m.content_bytes(),
-            &m.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(m.replica), &m) {
             return;
         }
         // Reject replays and stale messages (§4.3.1: "t must be larger
@@ -252,7 +248,7 @@ impl<S: Service> Replica<S> {
             nonce: self.recovery.query_nonce,
             auth: Auth::None,
         };
-        q.auth = self.auth.authenticate_multicast(&q.content_bytes());
+        q.auth = self.auth.authenticate_multicast_msg(&q);
         out.multicast(Message::QueryStable(q));
     }
 
@@ -273,11 +269,7 @@ impl<S: Service> Replica<S> {
         if m.replica == self.id {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(m.replica),
-            &m.content_bytes(),
-            &m.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(m.replica), &m) {
             return;
         }
         let checkpoint = self
@@ -302,7 +294,7 @@ impl<S: Service> Replica<S> {
         };
         r.auth = self
             .auth
-            .mac_to(bft_types::NodeId::Replica(m.replica), &r.content_bytes());
+            .mac_to_msg(bft_types::NodeId::Replica(m.replica), &r);
         out.send_replica(m.replica, Message::ReplyStable(r));
     }
 
@@ -311,11 +303,7 @@ impl<S: Service> Replica<S> {
         if !self.recovery.estimating || m.nonce != self.recovery.query_nonce {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(m.replica),
-            &m.content_bytes(),
-            &m.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(m.replica), &m) {
             return;
         }
         let entry = self
@@ -375,12 +363,13 @@ impl<S: Service> Replica<S> {
             read_only: false,
             replier: None,
             auth: Auth::None,
+            digest_memo: bft_types::DigestMemo::new(),
         };
         // The co-processor counter doubles as the timestamp, preventing
         // replays of old recovery requests.
         let counter_preview = self.coproc().counter() + 1;
         req.timestamp = Timestamp(counter_preview);
-        let digest = bft_crypto::digest(&req.content_bytes());
+        let digest = req.digest();
         let cs = self.coproc().sign(&digest);
         debug_assert_eq!(cs.counter, counter_preview);
         req.auth = Auth::CounterSig(cs);
@@ -448,11 +437,7 @@ impl<S: Service> Replica<S> {
         {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(r.replica),
-            &r.content_bytes(),
-            &r.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(r.replica), &r) {
             return;
         }
         let ReplyBody::Full(body) = &r.body else {

@@ -121,6 +121,10 @@ pub struct Replica<S: Service> {
     /// `BFT_DEBUG` environment variable is set (plus a few always-on
     /// recovery markers); used by the simulator's diagnostics and tests.
     pub exec_trace: Vec<String>,
+    /// Whether `BFT_DEBUG` was set when this replica was constructed.
+    /// Resolved once here because an environment lookup on every request
+    /// is measurable on the hot path.
+    pub(crate) debug_enabled: bool,
 }
 
 impl<S: Service> Replica<S> {
@@ -184,6 +188,7 @@ impl<S: Service> Replica<S> {
             stats: ReplicaStats::default(),
             journal: Vec::new(),
             exec_trace: Vec::new(),
+            debug_enabled: std::env::var_os("BFT_DEBUG").is_some(),
             config,
         }
     }
@@ -307,14 +312,15 @@ impl<S: Service> Replica<S> {
 
     // ----- authentication helpers -----
 
-    /// Verifies a message's auth field against its content bytes.
-    pub(crate) fn verify_auth(
+    /// Verifies a message's own `auth` field against its content, encoded
+    /// in a pooled scratch buffer instead of a per-call `Vec`. Counts
+    /// failures in [`ReplicaStats::auth_failures`].
+    pub(crate) fn verify_auth_msg<M: bft_types::AuthContent>(
         &mut self,
         sender: NodeId,
-        content: &[u8],
-        auth: &bft_types::Auth,
+        m: &M,
     ) -> bool {
-        let ok = self.auth.verify(sender, content, auth);
+        let ok = self.auth.verify_msg(sender, m);
         if !ok {
             self.stats.auth_failures += 1;
         }
@@ -536,7 +542,7 @@ impl<S: Service> Replica<S> {
     fn finish_reply(&mut self, reply: &mut Reply, req: &Request) {
         reply.replica = self.id;
         let node = crate::authn::requester_node(req.requester);
-        reply.auth = self.auth.mac_to(node, &reply.content_bytes());
+        reply.auth = self.auth.mac_to_msg(node, &reply);
     }
 
     /// Advances the committed frontier over contiguous committed slots.
@@ -578,7 +584,7 @@ impl<S: Service> Replica<S> {
                 replica: self.id,
                 auth: bft_types::Auth::None,
             };
-            m.auth = self.auth.authenticate_multicast(&m.content_bytes());
+            m.auth = self.auth.authenticate_multicast_msg(&m);
             out.multicast(Message::Checkpoint(m.clone()));
             // Count our own vote.
             if let Some(stable) = self.ckpt.add_vote(seq, digest, self.id) {

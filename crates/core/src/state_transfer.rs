@@ -139,7 +139,7 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: bft_types::Auth::None,
         };
-        m.auth = self.auth.authenticate_multicast(&m.content_bytes());
+        m.auth = self.auth.authenticate_multicast_msg(&m);
         out.multicast(Message::Fetch(m));
     }
 
@@ -157,11 +157,7 @@ impl<S: Service> Replica<S> {
         if m.replica == self.id {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(m.replica),
-            &m.content_bytes(),
-            &m.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(m.replica), &m) {
             return;
         }
         // Pick the checkpoint to answer from: the requested target if we
@@ -210,10 +206,9 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: bft_types::Auth::None,
         };
-        reply.auth = self.auth.mac_to(
-            bft_types::NodeId::Replica(m.replica),
-            &reply.content_bytes(),
-        );
+        reply.auth = self
+            .auth
+            .mac_to_msg(bft_types::NodeId::Replica(m.replica), &reply);
         out.send_replica(m.replica, Message::MetaData(reply));
     }
 
@@ -329,7 +324,7 @@ impl<S: Service> Replica<S> {
         if m.last_mod != pf.lm
             || crate::partition_tree::page_digest_for(m.index, m.last_mod, &m.page) != pf.expected
         {
-            if std::env::var_os("BFT_DEBUG").is_some() {
+            if self.debug_enabled {
                 self.exec_trace.push(format!(
                     "data-reject idx={} got_lm={} want_lm={} len={} digest_ok={}",
                     m.index,

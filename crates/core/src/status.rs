@@ -49,7 +49,7 @@ impl<S: Service> Replica<S> {
                 replica: self.id,
                 auth: bft_types::Auth::None,
             };
-            m.auth = self.auth.authenticate_multicast(&m.content_bytes());
+            m.auth = self.auth.authenticate_multicast_msg(&m);
             out.multicast(Message::StatusActive(m));
             // Executed-but-body-missing slots are reported via the pending
             // format's `missing` field even in an active view.
@@ -90,7 +90,7 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: bft_types::Auth::None,
         };
-        m.auth = self.auth.authenticate_multicast(&m.content_bytes());
+        m.auth = self.auth.authenticate_multicast_msg(&m);
         out.multicast(Message::StatusPending(m));
     }
 
@@ -99,11 +99,7 @@ impl<S: Service> Replica<S> {
         if m.replica == self.id {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(m.replica),
-            &m.content_bytes(),
-            &m.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(m.replica), &m) {
             return;
         }
         // The sender lags a view change: give it our view-change message
@@ -127,7 +123,7 @@ impl<S: Service> Replica<S> {
                     replica: self.id,
                     auth: bft_types::Auth::None,
                 };
-                c.auth = self.auth.authenticate_multicast(&c.content_bytes());
+                c.auth = self.auth.authenticate_multicast_msg(&c);
                 out.send_replica(m.replica, Message::Checkpoint(c));
             }
             let _ = stable_digest;
@@ -153,7 +149,7 @@ impl<S: Service> Replica<S> {
                 if let Some(pp) = &slot.pre_prepare {
                     let mut pp = pp.clone();
                     if self.id == self.primary() && pp.view == self.view {
-                        pp.auth = self.auth.authenticate_multicast(&pp.content_bytes());
+                        pp.auth = self.auth.authenticate_multicast_msg(&pp);
                     }
                     out.send_replica(m.replica, Message::PrePrepare(pp));
                     sent += 1;
@@ -167,7 +163,7 @@ impl<S: Service> Replica<S> {
                             replica: self.id,
                             auth: bft_types::Auth::None,
                         };
-                        p.auth = self.auth.authenticate_multicast(&p.content_bytes());
+                        p.auth = self.auth.authenticate_multicast_msg(&p);
                         out.send_replica(m.replica, Message::Prepare(p));
                         sent += 1;
                     }
@@ -181,7 +177,7 @@ impl<S: Service> Replica<S> {
                         replica: self.id,
                         auth: bft_types::Auth::None,
                     };
-                    c.auth = self.auth.authenticate_multicast(&c.content_bytes());
+                    c.auth = self.auth.authenticate_multicast_msg(&c);
                     out.send_replica(m.replica, Message::Commit(c));
                     sent += 1;
                 }
@@ -194,11 +190,7 @@ impl<S: Service> Replica<S> {
         if m.replica == self.id {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(m.replica),
-            &m.content_bytes(),
-            &m.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(m.replica), &m) {
             return;
         }
         if m.view < self.view {
@@ -232,7 +224,7 @@ impl<S: Service> Replica<S> {
                 break;
             }
             let fills = self.body_fill_requests(n);
-            if std::env::var_os("BFT_DEBUG").is_some() {
+            if self.debug_enabled {
                 self.exec_trace.push(format!(
                     "fill for {} to {}: {} requests",
                     n,
@@ -261,13 +253,13 @@ impl<S: Service> Replica<S> {
     fn retransmit_view_change_state(&mut self, to: bft_types::ReplicaId, out: &mut Outbox) {
         if let Some(vc) = self.vc.vcs.get(&(self.view.0, self.id.0)) {
             let mut vc = vc.clone();
-            vc.auth = self.auth.authenticate_multicast(&vc.content_bytes());
+            vc.auth = self.auth.authenticate_multicast_msg(&vc);
             out.send_replica(to, Message::ViewChange(vc));
         }
         if let Some(nv) = self.vc.new_view.clone() {
             let mut nv = nv;
             if self.view.primary(self.config.group.n) == self.id {
-                nv.auth = self.auth.authenticate_multicast(&nv.content_bytes());
+                nv.auth = self.auth.authenticate_multicast_msg(&nv);
             }
             out.send_replica(to, Message::NewView(nv));
         }

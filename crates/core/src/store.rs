@@ -217,6 +217,7 @@ mod tests {
             read_only: false,
             replier: None,
             auth: Auth::None,
+            digest_memo: bft_types::DigestMemo::new(),
         }
     }
 

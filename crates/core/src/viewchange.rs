@@ -221,7 +221,7 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: bft_types::Auth::None,
         };
-        vc.auth = self.auth.authenticate_multicast(&vc.content_bytes());
+        vc.auth = self.auth.authenticate_multicast_msg(&vc);
         vc
     }
 
@@ -235,11 +235,7 @@ impl<S: Service> Replica<S> {
             return;
         }
         if vc.replica != self.id
-            && !self.verify_auth(
-                bft_types::NodeId::Replica(vc.replica),
-                &vc.content_bytes(),
-                &vc.auth,
-            )
+            && !self.verify_auth_msg(bft_types::NodeId::Replica(vc.replica), &vc)
         {
             return;
         }
@@ -299,7 +295,7 @@ impl<S: Service> Replica<S> {
                 };
                 ack.auth = self
                     .auth
-                    .mac_to(bft_types::NodeId::Replica(primary), &ack.content_bytes());
+                    .mac_to_msg(bft_types::NodeId::Replica(primary), &ack);
                 out.send_replica(primary, Message::ViewChangeAck(ack));
             }
             // Liveness rule 1 (§2.3.5): arm the timer once a quorum wants
@@ -328,11 +324,7 @@ impl<S: Service> Replica<S> {
         if ack.view != self.view || self.view.primary(self.config.group.n) != self.id {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(ack.replica),
-            &ack.content_bytes(),
-            &ack.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(ack.replica), &ack) {
             return;
         }
         self.vc
@@ -524,7 +516,7 @@ impl<S: Service> Replica<S> {
             decision,
             auth: bft_types::Auth::None,
         };
-        nv.auth = self.auth.authenticate_multicast(&nv.content_bytes());
+        nv.auth = self.auth.authenticate_multicast_msg(&nv);
         // §3.2.5: if implicitly pre-preparing these requests would discard
         // QSet information, announce and collect a not-committed quorum
         // before sending the new-view message.
@@ -536,7 +528,7 @@ impl<S: Service> Replica<S> {
                 decision: nv.decision.clone(),
                 auth: bft_types::Auth::None,
             };
-            ncp.auth = self.auth.authenticate_multicast(&ncp.content_bytes());
+            ncp.auth = self.auth.authenticate_multicast_msg(&ncp);
             out.multicast(Message::NotCommittedPrimary(ncp));
             self.apply_nc_updates(&nv.decision, nv.view);
             self.vc.nc_votes.entry(d).or_default().insert(self.id);
@@ -565,11 +557,7 @@ impl<S: Service> Replica<S> {
         if primary == self.id {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(primary),
-            &nv.content_bytes(),
-            &nv.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(primary), &nv) {
             return;
         }
         if nv.vc_proofs.len() < self.config.group.quorum() {
@@ -696,7 +684,7 @@ impl<S: Service> Replica<S> {
                     replica: self.id,
                     auth: bft_types::Auth::None,
                 };
-                nc.auth = self.auth.authenticate_multicast(&nc.content_bytes());
+                nc.auth = self.auth.authenticate_multicast_msg(&nc);
                 out.multicast(Message::NotCommitted(nc));
                 self.vc.nc_votes.entry(d).or_default().insert(self.id);
                 self.vc.held_prepares = Some((d, prepares));
@@ -731,7 +719,7 @@ impl<S: Service> Replica<S> {
                 replica: self.id,
                 auth: bft_types::Auth::None,
             };
-            p.auth = self.auth.authenticate_multicast(&p.content_bytes());
+            p.auth = self.auth.authenticate_multicast_msg(&p);
             self.log.add_prepare(n, d, self.id);
             out.multicast(Message::Prepare(p));
             self.check_certificates(n, out);
@@ -796,11 +784,7 @@ impl<S: Service> Replica<S> {
         if nc.view != self.view {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(nc.replica),
-            &nc.content_bytes(),
-            &nc.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(nc.replica), &nc) {
             return;
         }
         self.vc
@@ -817,11 +801,7 @@ impl<S: Service> Replica<S> {
             return;
         }
         let primary = ncp.view.primary(self.config.group.n);
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(primary),
-            &ncp.content_bytes(),
-            &ncp.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(primary), &ncp) {
             return;
         }
         // Update NC information as if processing the new-view (§3.2.5) and
@@ -834,7 +814,7 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: bft_types::Auth::None,
         };
-        nc.auth = self.auth.authenticate_multicast(&nc.content_bytes());
+        nc.auth = self.auth.authenticate_multicast_msg(&nc);
         out.multicast(Message::NotCommitted(nc));
         self.vc.nc_votes.entry(d).or_default().insert(self.id);
         self.release_held_if_quorum(out);

@@ -8,8 +8,8 @@ use crate::replica::Replica;
 use bft_crypto::Digest;
 use bft_statemachine::Service;
 use bft_types::{
-    Auth, Checkpoint, Message, NewViewPk, PrePrepare, Prepare, PreparedProof, ReplicaId, SeqNo,
-    View, ViewChangePk,
+    Auth, Checkpoint, DigestMemo, Message, NewViewPk, PrePrepare, Prepare, PreparedProof,
+    ReplicaId, SeqNo, View, ViewChangePk,
 };
 use bytes::Bytes;
 use std::collections::{BTreeMap, HashMap};
@@ -98,7 +98,7 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: Auth::None,
         };
-        vc.auth = self.auth.sign(&vc.content_bytes());
+        vc.auth = self.auth.sign_msg(&vc);
         self.vc.sent_vc_for = Some(self.view);
         self.log.clear();
         out.multicast(Message::ViewChangePk(vc.clone()));
@@ -107,11 +107,7 @@ impl<S: Service> Replica<S> {
 
     /// Validates a BFT-PK view-change message's certificates.
     pub(crate) fn validate_view_change_pk(&mut self, vc: &ViewChangePk) -> bool {
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(vc.replica),
-            &vc.content_bytes(),
-            &vc.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(vc.replica), &vc) {
             return false;
         }
         // Stable certificate: f+1 signed checkpoints matching last_stable.
@@ -127,11 +123,7 @@ impl<S: Service> Replica<S> {
                     Some(d) if d != c.digest => return false,
                     _ => {}
                 }
-                if !self.verify_auth(
-                    bft_types::NodeId::Replica(c.replica),
-                    &c.content_bytes(),
-                    &c.auth,
-                ) {
+                if !self.verify_auth_msg(bft_types::NodeId::Replica(c.replica), &c) {
                     return false;
                 }
                 senders.insert(c.replica.0);
@@ -155,11 +147,7 @@ impl<S: Service> Replica<S> {
             return false;
         }
         let primary = pp.view.primary(self.config.group.n);
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(primary),
-            &pp.content_bytes(),
-            &pp.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(primary), &pp) {
             return false;
         }
         let d = pp.batch_digest();
@@ -168,11 +156,7 @@ impl<S: Service> Replica<S> {
             if p.view != pp.view || p.seq != pp.seq || p.digest != d || p.replica == primary {
                 return false;
             }
-            if !self.verify_auth(
-                bft_types::NodeId::Replica(p.replica),
-                &p.content_bytes(),
-                &p.auth,
-            ) {
+            if !self.verify_auth_msg(bft_types::NodeId::Replica(p.replica), &p) {
                 return false;
             }
             senders.insert(p.replica.0);
@@ -268,6 +252,8 @@ impl<S: Service> Replica<S> {
                     batch: proof.pre_prepare.batch.clone(),
                     nondet: proof.pre_prepare.nondet.clone(),
                     auth: Auth::None,
+                    digest_memo: DigestMemo::new(),
+                    batch_memo: DigestMemo::new(),
                 }),
                 None => nn.push(PrePrepare {
                     view,
@@ -275,6 +261,8 @@ impl<S: Service> Replica<S> {
                     batch: Vec::new(),
                     nondet: Bytes::new(),
                     auth: Auth::None,
+                    digest_memo: DigestMemo::new(),
+                    batch_memo: DigestMemo::new(),
                 }),
             }
         }
@@ -300,7 +288,7 @@ impl<S: Service> Replica<S> {
         let refs: Vec<&ViewChangePk> = vcs.iter().collect();
         let (h, hd, mut o, mut nn) = self.compute_o_n(view, &refs);
         for pp in o.iter_mut().chain(nn.iter_mut()) {
-            pp.auth = self.auth.sign(&pp.content_bytes());
+            pp.auth = self.auth.sign_msg(&pp);
         }
         let mut nv = NewViewPk {
             view,
@@ -309,7 +297,7 @@ impl<S: Service> Replica<S> {
             null_pre_prepares: nn,
             auth: Auth::None,
         };
-        nv.auth = self.auth.sign(&nv.content_bytes());
+        nv.auth = self.auth.sign_msg(&nv);
         out.multicast(Message::NewViewPk(nv.clone()));
         self.vc_pk.new_view = Some(nv.clone());
         self.install_new_view_pk(&nv, h, hd, out);
@@ -324,11 +312,7 @@ impl<S: Service> Replica<S> {
         if primary == self.id {
             return;
         }
-        if !self.verify_auth(
-            bft_types::NodeId::Replica(primary),
-            &nv.content_bytes(),
-            &nv.auth,
-        ) {
+        if !self.verify_auth_msg(bft_types::NodeId::Replica(primary), &nv) {
             return;
         }
         // Validate the new-view certificate.
@@ -438,7 +422,7 @@ impl<S: Service> Replica<S> {
                     replica: self.id,
                     auth: Auth::None,
                 };
-                p.auth = self.auth.sign(&p.content_bytes());
+                p.auth = self.auth.sign_msg(&p);
                 self.log.add_prepare(n, d, self.id);
                 self.vc_pk.store_prepare(p.clone());
                 out.multicast(Message::Prepare(p));

@@ -23,6 +23,8 @@ fn preprepare(view: View, seq: SeqNo) -> PrePrepare {
         batch: vec![BatchEntry::ByDigest(d(b"req"))],
         nondet: Bytes::new(),
         auth: Auth::None,
+        digest_memo: bft_types::DigestMemo::new(),
+        batch_memo: bft_types::DigestMemo::new(),
     }
 }
 

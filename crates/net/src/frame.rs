@@ -1,0 +1,99 @@
+//! Shared-payload frames: the zero-copy unit of message fan-out.
+//!
+//! A multicast hands the same bytes to `n` destinations. Before this
+//! abstraction the simulator deep-cloned the full [`Message`] (inline
+//! request bodies included) once per destination at send time and again at
+//! delivery time, and re-encoded the whole message every time it needed
+//! the wire size. A [`Frame`] fixes all three costs: the message body is
+//! reference-counted so an n-way broadcast clones a pointer, and the
+//! encoded size is measured exactly once per send.
+
+use bft_types::Message;
+use std::rc::Rc;
+
+/// One message prepared for delivery: a reference-counted body plus its
+/// encoded size, shared by every destination of a fan-out.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    msg: Rc<Message>,
+    wire_size: usize,
+}
+
+impl Frame {
+    /// Wraps a message, measuring its encoded size once (in a pooled
+    /// scratch buffer; no allocation).
+    pub fn new(msg: Message) -> Self {
+        let wire_size = msg.wire_size();
+        Frame {
+            msg: Rc::new(msg),
+            wire_size,
+        }
+    }
+
+    /// Encoded size in bytes, measured at construction.
+    pub fn wire_size(&self) -> usize {
+        self.wire_size
+    }
+
+    /// Read access to the shared message.
+    pub fn message(&self) -> &Message {
+        &self.msg
+    }
+
+    /// Number of frames currently sharing this message body.
+    pub fn shares(&self) -> usize {
+        Rc::strong_count(&self.msg)
+    }
+
+    /// Takes the message out of the frame. The last holder of a broadcast
+    /// takes ownership without copying; earlier holders clone (a structural
+    /// clone — `Bytes` payloads and cached digests are shared, not copied).
+    pub fn into_message(self) -> Message {
+        Rc::try_unwrap(self.msg).unwrap_or_else(|rc| (*rc).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::{Auth, ClientId, Requester, Timestamp, Wire};
+    use bytes::Bytes;
+
+    fn request_msg() -> Message {
+        Message::Request(bft_types::Request {
+            requester: Requester::Client(ClientId(1)),
+            timestamp: Timestamp(9),
+            operation: Bytes::from(vec![0xa5; 300]),
+            read_only: false,
+            replier: None,
+            auth: Auth::None,
+            digest_memo: bft_types::DigestMemo::new(),
+        })
+    }
+
+    #[test]
+    fn size_measured_once_matches_encoding() {
+        let msg = request_msg();
+        let encoded_len = msg.encoded().len();
+        let frame = Frame::new(msg);
+        assert_eq!(frame.wire_size(), encoded_len);
+    }
+
+    #[test]
+    fn clones_share_one_body() {
+        let frame = Frame::new(request_msg());
+        let copies: Vec<Frame> = (0..4).map(|_| frame.clone()).collect();
+        assert_eq!(frame.shares(), 5);
+        drop(copies);
+        assert_eq!(frame.shares(), 1);
+    }
+
+    #[test]
+    fn last_holder_takes_ownership_without_copy() {
+        let frame = Frame::new(request_msg());
+        let copy = frame.clone();
+        let a = frame.into_message(); // Shared: clones structurally.
+        let b = copy.into_message(); // Last holder: moves out.
+        assert_eq!(a, b);
+    }
+}

@@ -3,6 +3,8 @@
 
 pub mod channel;
 pub mod cost;
+pub mod frame;
 
 pub use channel::{Channel, ChannelConfig, ChannelStats, Delivery};
 pub use cost::{CostModel, LinearCost};
+pub use frame::Frame;

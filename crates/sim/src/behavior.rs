@@ -64,7 +64,11 @@ impl Behavior {
                         let mut nondet = pp.nondet.to_vec();
                         nondet.push(0xE0 | camp as u8);
                         pp.nondet = Bytes::from(nondet);
-                        pp.auth = replica.forge_multicast_auth(&pp.content_bytes());
+                        // The clone may carry digests cached before the
+                        // content mutation above.
+                        pp.invalidate_digests();
+                        let auth = pp.with_content(|c| replica.forge_multicast_auth(c));
+                        pp.auth = auth;
                     }
                     Some(Message::PrePrepare(pp))
                 }
@@ -73,12 +77,14 @@ impl Behavior {
             Behavior::CorruptVotes => match msg {
                 Message::Prepare(mut p) => {
                     p.digest.0[0] ^= 0xff;
-                    p.auth = replica.forge_multicast_auth(&p.content_bytes());
+                    let auth = p.with_content(|c| replica.forge_multicast_auth(c));
+                    p.auth = auth;
                     Some(Message::Prepare(p))
                 }
                 Message::Commit(mut c) => {
                     c.digest.0[0] ^= 0xff;
-                    c.auth = replica.forge_multicast_auth(&c.content_bytes());
+                    let auth = c.with_content(|cc| replica.forge_multicast_auth(cc));
+                    c.auth = auth;
                     Some(Message::Commit(c))
                 }
                 other => Some(other),
@@ -91,7 +97,8 @@ impl Behavior {
                         bft_types::Requester::Client(c) => NodeId::Client(c),
                         bft_types::Requester::Replica(rr) => NodeId::Replica(rr),
                     };
-                    r.auth = replica.forge_mac(node, &r.content_bytes());
+                    let auth = r.with_content(|c| replica.forge_mac(node, c));
+                    r.auth = auth;
                     Some(Message::Reply(r))
                 }
                 other => Some(other),

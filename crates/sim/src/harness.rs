@@ -8,7 +8,7 @@
 use crate::behavior::Behavior;
 use crate::metrics::Metrics;
 use bft_core::{Action, ClientConfig, ClientProxy, Input, Replica, ReplicaConfig, Target, TimerId};
-use bft_net::{Channel, ChannelConfig};
+use bft_net::{Channel, ChannelConfig, Frame};
 use bft_statemachine::Service;
 use bft_types::{
     Auth, ClientId, Message, NodeId, ReplicaId, Requester, SimDuration, SimTime, Timestamp,
@@ -61,9 +61,20 @@ pub enum Fault {
 
 #[derive(Clone, Debug)]
 enum EventKind {
-    Deliver { to: NodeId, msg: Message },
-    Timer { node: NodeId, id: TimerId, gen: u64 },
-    ClientStart { client: ClientId },
+    /// Delivery of a shared-body frame: an n-way broadcast schedules n of
+    /// these holding one reference-counted message between them.
+    Deliver {
+        to: NodeId,
+        frame: Frame,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        gen: u64,
+    },
+    ClientStart {
+        client: ClientId,
+    },
     Fault(Fault),
 }
 
@@ -337,7 +348,7 @@ impl<S: Service> Cluster<S> {
 
     fn dispatch(&mut self, ev: Event) {
         match ev.kind {
-            EventKind::Deliver { to, msg } => self.deliver(to, msg, ev.at),
+            EventKind::Deliver { to, frame } => self.deliver(to, frame, ev.at),
             EventKind::Timer { node, id, gen } => {
                 let current = self.timer_gen.get(&(node, id)).copied().unwrap_or(0);
                 if gen != current {
@@ -456,16 +467,22 @@ impl<S: Service> Cluster<S> {
         }
     }
 
-    fn deliver(&mut self, to: NodeId, msg: Message, at: SimTime) {
-        let size = msg.wire_size();
-        self.metrics.record_message(msg.type_name(), size);
+    fn deliver(&mut self, to: NodeId, frame: Frame, at: SimTime) {
+        // The frame carries the size measured once at send time; delivery
+        // re-encodes nothing.
+        let size = frame.wire_size();
+        self.metrics
+            .record_message(frame.message().type_name(), size);
         if let NodeId::Replica(r) = to {
             if !self.behaviors[r.0 as usize].receives() {
                 return; // Crashed.
             }
         }
-        let verify_us = self.verify_cost(&msg, size);
-        self.handle_input_with_cost(to, Input::Deliver(msg), at, verify_us);
+        let verify_us = self.verify_cost(frame.message(), size);
+        // The last delivery of a broadcast takes the body without copying;
+        // earlier ones clone structurally (payloads and cached digests are
+        // refcount-shared either way).
+        self.handle_input_with_cost(to, Input::Deliver(frame.into_message()), at, verify_us);
     }
 
     fn handle_input(&mut self, node: NodeId, input: Input, at: SimTime) {
@@ -546,33 +563,49 @@ impl<S: Service> Cluster<S> {
                         Target::Requester(Requester::Replica(r)) => vec![NodeId::Replica(r)],
                         Target::Node(n) => vec![n],
                     };
-                    // Byzantine mutation per destination. Authentication
-                    // generation is charged once per send action (an
-                    // authenticator is computed once for a multicast).
+                    // Fault injection may rewrite the message per
+                    // destination; correct senders share one frame (body
+                    // encoded and refcounted once) across the whole fan-out.
+                    let mutator = match from {
+                        NodeId::Replica(r) => {
+                            let b = self.behaviors[r.0 as usize];
+                            (b != Behavior::Correct).then_some((r.0 as usize, b))
+                        }
+                        NodeId::Client(_) => None,
+                    };
+                    let (shared, mutation_src) = match mutator {
+                        None => (Some(Frame::new(msg)), None),
+                        Some(_) => (None, Some(msg)),
+                    };
+                    // Authentication generation is charged once per send
+                    // action (an authenticator is computed once for a
+                    // multicast).
                     let mut first = true;
                     for dest in dests {
-                        let msg = if let NodeId::Replica(r) = from {
-                            let b = self.behaviors[r.0 as usize];
-                            match b.mutate(&mut self.replicas[r.0 as usize], dest, msg.clone()) {
-                                Some(m) => m,
+                        let frame = if let Some(frame) = &shared {
+                            frame.clone()
+                        } else {
+                            let (idx, b) = mutator.expect("set when no shared frame");
+                            let base = mutation_src.as_ref().expect("kept for mutation").clone();
+                            match b.mutate(&mut self.replicas[idx], dest, base) {
+                                Some(m) => Frame::new(m),
                                 None => continue,
                             }
-                        } else {
-                            msg.clone()
                         };
-                        let size = msg.wire_size();
                         if first {
-                            let gen_us = self.generate_cost(&msg, size);
+                            let gen_us = self.generate_cost(frame.message(), frame.wire_size());
                             send_at = send_at + SimDuration::from_micros(gen_us as u64);
                             first = false;
                         }
-                        let deliveries = self.channel.route(send_at, from, &[dest], size);
+                        let deliveries =
+                            self.channel
+                                .route(send_at, from, &[dest], frame.wire_size());
                         for d in deliveries {
                             self.push_event(
                                 d.at,
                                 EventKind::Deliver {
                                     to: d.to,
-                                    msg: msg.clone(),
+                                    frame: frame.clone(),
                                 },
                             );
                         }

@@ -8,11 +8,11 @@ pub mod wire;
 
 pub use ids::{ClientId, GroupParams, NodeId, ReplicaId, SeqNo, Timestamp, View};
 pub use messages::{
-    null_request_digest, Auth, BatchEntry, Checkpoint, Commit, Data, Fetch, Message, MetaData,
-    NCSetEntry, NewKey, NewView, NewViewDecision, NewViewPk, NotCommitted, NotCommittedPrimary,
-    PSetEntry, PrePrepare, Prepare, PreparedProof, QSetEntry, QueryStable, Reply, ReplyBody,
-    ReplyStable, Request, Requester, StatusActive, StatusPending, SubPartInfo, ViewChange,
-    ViewChangeAck, ViewChangePk,
+    null_request_digest, Auth, AuthContent, BatchEntry, Checkpoint, Commit, Data, DigestMemo,
+    Fetch, Message, MetaData, NCSetEntry, NewKey, NewView, NewViewDecision, NewViewPk,
+    NotCommitted, NotCommittedPrimary, PSetEntry, PrePrepare, Prepare, PreparedProof, QSetEntry,
+    QueryStable, Reply, ReplyBody, ReplyStable, Request, Requester, StatusActive, StatusPending,
+    SubPartInfo, ViewChange, ViewChangeAck, ViewChangePk,
 };
 pub use time::{SimDuration, SimTime};
 pub use wire::{Wire, WireError};
@@ -38,6 +38,7 @@ mod proptests {
                 read_only: ro,
                 replier: replier.map(ReplicaId),
                 auth: Auth::None,
+                digest_memo: DigestMemo::new(),
             })
     }
 

@@ -9,9 +9,61 @@
 //! what gets MACed, signed, or digested.
 
 use crate::ids::{ClientId, ReplicaId, SeqNo, Timestamp, View};
-use crate::wire::{take, Wire, WireError};
+use crate::wire::{take, with_scratch, Wire, WireError};
 use bft_crypto::{digest as md5, Authenticator, CounterSignature, Digest, Signature, Tag};
 use bytes::Bytes;
+use std::sync::OnceLock;
+
+/// A lazily memoized digest slot.
+///
+/// Protocol messages are immutable once constructed, so their content
+/// digest can be computed at most once and then shared by every clone —
+/// a broadcast hands the precomputed digest to all receivers for free.
+/// The cache is deliberately invisible to the rest of the type's API:
+/// it clones with its value, compares equal to everything (so derived
+/// `PartialEq` ignores it), and prints opaquely.
+///
+/// The few places that *do* mutate message content after construction
+/// (Byzantine fault injection, client retransmission rewrites) must call
+/// the owning type's `invalidate_digests` afterwards.
+#[derive(Clone, Default)]
+pub struct DigestMemo(OnceLock<Digest>);
+
+impl DigestMemo {
+    /// An empty (not yet computed) memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached digest, computing it with `f` on first use.
+    pub fn get_or_compute(&self, f: impl FnOnce() -> Digest) -> Digest {
+        *self.0.get_or_init(f)
+    }
+
+    /// Drops any cached value (required after mutating message content).
+    pub fn clear(&mut self) {
+        self.0.take();
+    }
+
+    /// True when a digest has been computed and cached.
+    pub fn is_cached(&self) -> bool {
+        self.0.get().is_some()
+    }
+}
+
+impl PartialEq for DigestMemo {
+    fn eq(&self, _: &Self) -> bool {
+        true // A cache never affects message identity.
+    }
+}
+
+impl Eq for DigestMemo {}
+
+impl std::fmt::Debug for DigestMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DigestMemo(..)")
+    }
+}
 
 /// Authentication data attached to a message.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
@@ -64,11 +116,75 @@ impl Wire for Auth {
     }
 }
 
-/// Implements [`Wire`] plus `content_bytes`/`digest` for a message struct
-/// whose final field is `auth: Auth`. The content excludes `auth`, matching
-/// the thesis's rule that MACs/signatures cover the message header only.
+/// Access to a message's authenticated content without allocating.
+///
+/// Every protocol message struct implements this (via `message_struct!`):
+/// `for_content` encodes everything except `auth` into a pooled scratch
+/// buffer, which is what MAC generation, signature checks, and digesting
+/// consume on the hot path.
+pub trait AuthContent {
+    /// The message's `auth` field.
+    fn auth_field(&self) -> &Auth;
+    /// Runs `f` over the scratch-encoded authenticated content.
+    fn for_content<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R;
+}
+
+impl<T: AuthContent> AuthContent for &T {
+    fn auth_field(&self) -> &Auth {
+        (**self).auth_field()
+    }
+    fn for_content<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        (**self).for_content(f)
+    }
+}
+
+impl<T: AuthContent> AuthContent for &mut T {
+    fn auth_field(&self) -> &Auth {
+        (**self).auth_field()
+    }
+    fn for_content<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        (**self).for_content(f)
+    }
+}
+
+/// Implements [`Wire`] plus `content_bytes`/`with_content`/`digest` for a
+/// message struct whose final field is `auth: Auth`. The content excludes
+/// `auth`, matching the thesis's rule that MACs/signatures cover the
+/// message header only.
+///
+/// The `memo [..]` form is for messages whose digest sits on the hot path
+/// (requests, pre-prepares): they carry [`DigestMemo`] fields, `digest()`
+/// is computed once per message, and decode initializes the memo empty.
 macro_rules! message_struct {
     ($ty:ident { $($field:ident),+ $(,)? }) => {
+        message_struct!(@wire $ty { $($field),+ } []);
+        message_struct!(@content $ty { $($field),+ });
+        impl $ty {
+            /// MD5 digest of the authenticated content. Computed in a
+            /// pooled scratch buffer — no allocation.
+            pub fn digest(&self) -> Digest {
+                self.with_content(md5)
+            }
+        }
+    };
+    ($ty:ident { $($field:ident),+ $(,)? } memo [$($memo:ident),+ $(,)?]) => {
+        message_struct!(@wire $ty { $($field),+ } [$($memo),+]);
+        message_struct!(@content $ty { $($field),+ });
+        impl $ty {
+            /// MD5 digest of the authenticated content, computed once and
+            /// then shared by every clone of this message.
+            pub fn digest(&self) -> Digest {
+                self.digest_memo.get_or_compute(|| self.with_content(md5))
+            }
+            /// Clears every cached digest. Must be called after mutating
+            /// message content in place (fault injection, retransmission
+            /// rewrites); constructing a fresh message needs no call.
+            pub fn invalidate_digests(&mut self) {
+                $(self.$memo.clear();)+
+            }
+        }
+    };
+    (@wire $ty:ident { $($field:ident),+ } [$($memo:ident),*]) => {
         impl Wire for $ty {
             fn encode(&self, buf: &mut Vec<u8>) {
                 $(self.$field.encode(buf);)+
@@ -78,9 +194,12 @@ macro_rules! message_struct {
                 Ok($ty {
                     $($field: Wire::decode(buf)?,)+
                     auth: Auth::decode(buf)?,
+                    $($memo: DigestMemo::new(),)*
                 })
             }
         }
+    };
+    (@content $ty:ident { $($field:ident),+ }) => {
         impl $ty {
             /// Encodes every field except `auth` (the authenticated content).
             pub fn content_bytes(&self) -> Vec<u8> {
@@ -88,9 +207,22 @@ macro_rules! message_struct {
                 $(self.$field.encode(&mut buf);)+
                 buf
             }
-            /// MD5 digest of the authenticated content.
-            pub fn digest(&self) -> Digest {
-                md5(&self.content_bytes())
+            /// Runs `f` over the authenticated content encoded into a
+            /// pooled scratch buffer. This is the allocation-free path for
+            /// MACing, signing, verifying, and digesting a message.
+            pub fn with_content<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+                with_scratch(|buf| {
+                    $(self.$field.encode(buf);)+
+                    f(buf)
+                })
+            }
+        }
+        impl AuthContent for $ty {
+            fn auth_field(&self) -> &Auth {
+                &self.auth
+            }
+            fn for_content<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+                self.with_content(f)
             }
         }
     };
@@ -146,6 +278,8 @@ pub struct Request {
     pub replier: Option<ReplicaId>,
     /// Authentication: authenticator in BFT, signature in BFT-PK.
     pub auth: Auth,
+    /// Once-per-message content-digest cache (shared by clones).
+    pub digest_memo: DigestMemo,
 }
 
 message_struct!(Request {
@@ -154,7 +288,7 @@ message_struct!(Request {
     operation,
     read_only,
     replier
-});
+} memo [digest_memo]);
 
 impl Request {
     /// True when this is a §4.3.2 recovery request.
@@ -290,6 +424,10 @@ pub struct PrePrepare {
     pub nondet: Bytes,
     /// Authenticator (BFT) or signature (BFT-PK).
     pub auth: Auth,
+    /// Once-per-message content-digest cache (shared by clones).
+    pub digest_memo: DigestMemo,
+    /// Once-per-message batch-digest cache (shared by clones).
+    pub batch_memo: DigestMemo,
 }
 
 message_struct!(PrePrepare {
@@ -297,21 +435,25 @@ message_struct!(PrePrepare {
     seq,
     batch,
     nondet
-});
+} memo [digest_memo, batch_memo]);
 
 impl PrePrepare {
-    /// The batch digest `d` carried by prepare/commit messages.
+    /// The batch digest `d` carried by prepare/commit messages, computed
+    /// once per message and then shared by every clone.
     ///
     /// Covers the per-request digests and the non-deterministic value but
     /// *not* the view, so that a new primary can re-propose the same batch
     /// after a view change under the same digest (§2.3.5).
     pub fn batch_digest(&self) -> Digest {
-        let mut buf = Vec::new();
-        for entry in &self.batch {
-            entry.request_digest().encode(&mut buf);
-        }
-        self.nondet.encode(&mut buf);
-        md5(&buf)
+        self.batch_memo.get_or_compute(|| {
+            with_scratch(|buf| {
+                for entry in &self.batch {
+                    entry.request_digest().encode(buf);
+                }
+                self.nondet.encode(buf);
+                md5(buf)
+            })
+        })
     }
 
     /// Digests of every request in the batch, in execution order.
@@ -1027,9 +1169,10 @@ message_enum_dispatch!(
 );
 
 impl Message {
-    /// Encoded size in bytes (the unit of the wire-cost model).
+    /// Encoded size in bytes (the unit of the wire-cost model). Measured
+    /// in a pooled scratch buffer — no allocation.
     pub fn wire_size(&self) -> usize {
-        self.encoded().len()
+        self.wire_len()
     }
 }
 
@@ -1045,6 +1188,7 @@ mod tests {
             read_only: false,
             replier: Some(ReplicaId(2)),
             auth: Auth::Mac(Tag([1; 8])),
+            digest_memo: DigestMemo::new(),
         }
     }
 
@@ -1061,6 +1205,8 @@ mod tests {
                 nonce: 5,
                 tags: vec![Tag([0; 8]); 4],
             }),
+            digest_memo: DigestMemo::new(),
+            batch_memo: DigestMemo::new(),
         }
     }
 
@@ -1257,7 +1403,9 @@ mod tests {
         r1.auth = Auth::Mac(Tag([1; 8]));
         r2.auth = Auth::Mac(Tag([2; 8]));
         assert_eq!(r1.digest(), r2.digest());
+        // In-place content mutation requires an explicit cache reset.
         r2.timestamp = Timestamp(4);
+        r2.invalidate_digests();
         assert_ne!(r1.digest(), r2.digest());
     }
 

@@ -35,6 +35,42 @@ impl std::error::Error for WireError {}
 /// adversarial bytes (a §5.5 defense: bounded memory per message).
 pub const MAX_WIRE_LEN: u64 = 1 << 24;
 
+/// Scratch buffers larger than this are dropped rather than pooled, so one
+/// huge message cannot pin memory for the rest of the process.
+const SCRATCH_MAX_RETAINED: usize = 1 << 20;
+
+/// Maximum number of pooled scratch buffers per thread. Encoding can nest
+/// (a digest of a message that contains messages), so the pool holds a few.
+const SCRATCH_POOL_DEPTH: usize = 8;
+
+thread_local! {
+    static SCRATCH_POOL: std::cell::RefCell<Vec<Vec<u8>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a cleared scratch buffer drawn from a per-thread pool.
+///
+/// This is the allocation-light replacement for "encode into a fresh
+/// `Vec`": hot paths that only need to *look at* an encoding (digest it,
+/// MAC it, measure it) borrow a reusable buffer instead of allocating one
+/// per call. Re-entrant: nested calls draw distinct buffers.
+pub fn with_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+    let mut buf = SCRATCH_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    buf.clear();
+    let out = f(&mut buf);
+    if buf.capacity() <= SCRATCH_MAX_RETAINED {
+        SCRATCH_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < SCRATCH_POOL_DEPTH {
+                pool.push(buf);
+            }
+        });
+    }
+    out
+}
+
 /// Types that can be encoded to and decoded from the wire.
 pub trait Wire: Sized {
     /// Appends the encoding of `self` to `buf`.
@@ -50,9 +86,13 @@ pub trait Wire: Sized {
         buf
     }
 
-    /// Encoded size in bytes.
+    /// Encoded size in bytes. Uses a pooled scratch buffer, so measuring a
+    /// message does not allocate.
     fn wire_len(&self) -> usize {
-        self.encoded().len()
+        with_scratch(|buf| {
+            self.encode(buf);
+            buf.len()
+        })
     }
 }
 

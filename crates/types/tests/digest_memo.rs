@@ -1,0 +1,260 @@
+//! Digest-memoization and scratch-encoder equivalence tests.
+//!
+//! The zero-copy plumbing must be invisible to the protocol: a memoized
+//! digest has to be bit-identical to one recomputed from scratch, and the
+//! scratch-buffer content used as MAC/authenticator input has to be
+//! bit-identical to a freshly allocated encoding — for every message
+//! variant, on originals and on clones.
+
+use bft_crypto::{digest as md5, Authenticator, CounterSignature, Signature, Tag};
+use bft_types::*;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn sample_request() -> Request {
+    Request {
+        requester: Requester::Client(ClientId(7)),
+        timestamp: Timestamp(3),
+        operation: Bytes::from_static(b"write x=1"),
+        read_only: false,
+        replier: Some(ReplicaId(2)),
+        auth: Auth::Mac(Tag([1; 8])),
+        digest_memo: DigestMemo::new(),
+    }
+}
+
+fn sample_pre_prepare() -> PrePrepare {
+    PrePrepare {
+        view: View(1),
+        seq: SeqNo(10),
+        batch: vec![
+            BatchEntry::Inline(sample_request()),
+            BatchEntry::ByDigest(md5(b"other")),
+        ],
+        nondet: Bytes::from_static(b"ts=42"),
+        auth: Auth::Authenticator(Authenticator {
+            nonce: 5,
+            tags: vec![Tag([0; 8]); 4],
+        }),
+        digest_memo: DigestMemo::new(),
+        batch_memo: DigestMemo::new(),
+    }
+}
+
+/// Asserts the three equivalences for one message struct: scratch content
+/// equals allocated content (the authenticator input), the digest equals a
+/// fresh recomputation over that content, and repeated/cloned digest calls
+/// agree.
+macro_rules! check_content_equivalence {
+    ($m:expr) => {{
+        let m = $m;
+        let allocated = m.content_bytes();
+        let scratch = m.with_content(|c| c.to_vec());
+        assert_eq!(scratch, allocated, "authenticator input must not change");
+        assert_eq!(m.digest(), md5(&allocated), "digest over same content");
+        assert_eq!(m.digest(), m.digest(), "digest is stable");
+        let clone = m.clone();
+        assert_eq!(clone.digest(), m.digest(), "clones share the digest");
+        let wrapped: MessageWrap = m.into();
+        assert_eq!(
+            wrapped.0.wire_size(),
+            wrapped.0.encoded().len(),
+            "scratch-measured wire size equals the real encoding length"
+        );
+    }};
+}
+
+// Wrap each struct into the Message enum for the wire_size check.
+macro_rules! impl_from_for_test {
+    ($($variant:ident),+) => {
+        $(impl From<$variant> for MessageWrap {
+            fn from(m: $variant) -> Self { MessageWrap(Message::$variant(m)) }
+        })+
+    };
+}
+struct MessageWrap(Message);
+impl_from_for_test!(Request, Reply, PrePrepare, Prepare, Commit, Checkpoint);
+
+#[test]
+fn every_message_variant_has_equivalent_scratch_content() {
+    let req = sample_request();
+    let pp = sample_pre_prepare();
+    check_content_equivalence!(req.clone());
+    check_content_equivalence!(pp.clone());
+    check_content_equivalence!(Reply {
+        view: View(1),
+        timestamp: Timestamp(3),
+        requester: Requester::Client(ClientId(7)),
+        replica: ReplicaId(0),
+        body: ReplyBody::Full(Bytes::from_static(b"ok")),
+        tentative: true,
+        auth: Auth::Mac(Tag([2; 8])),
+    });
+    check_content_equivalence!(Prepare {
+        view: View(1),
+        seq: SeqNo(10),
+        digest: pp.batch_digest(),
+        replica: ReplicaId(1),
+        auth: Auth::None,
+    });
+    check_content_equivalence!(Commit {
+        view: View(1),
+        seq: SeqNo(10),
+        digest: pp.batch_digest(),
+        replica: ReplicaId(3),
+        auth: Auth::None,
+    });
+    check_content_equivalence!(Checkpoint {
+        seq: SeqNo(100),
+        digest: md5(b"state"),
+        replica: ReplicaId(2),
+        auth: Auth::None,
+    });
+}
+
+#[test]
+fn remaining_variants_have_equivalent_scratch_content() {
+    // The variants without a Message-enum wire_size check (their content
+    // equivalences are the load-bearing part).
+    let vc = ViewChange {
+        view: View(2),
+        last_stable: SeqNo(100),
+        checkpoints: vec![(SeqNo(100), md5(b"s"))],
+        p_set: vec![PSetEntry {
+            seq: SeqNo(101),
+            digest: md5(b"r"),
+            view: View(1),
+        }],
+        q_set: vec![QSetEntry {
+            seq: SeqNo(101),
+            pairs: vec![(md5(b"r"), View(1))],
+        }],
+        nc_set: vec![],
+        replica: ReplicaId(1),
+        auth: Auth::None,
+    };
+    assert_eq!(vc.with_content(|c| c.to_vec()), vc.content_bytes());
+    assert_eq!(vc.digest(), md5(&vc.content_bytes()));
+
+    let sa = StatusActive {
+        last_stable: SeqNo(100),
+        last_exec: SeqNo(105),
+        view: View(1),
+        prepared: vec![true, false],
+        committed: vec![false, false],
+        replica: ReplicaId(0),
+        auth: Auth::None,
+    };
+    assert_eq!(sa.with_content(|c| c.to_vec()), sa.content_bytes());
+
+    let nk = NewKey {
+        replica: ReplicaId(3),
+        encrypted: vec![Bytes::from_static(b"enc0")],
+        auth: Auth::CounterSig(CounterSignature {
+            counter: 12,
+            signature: Signature(vec![1, 2, 3]),
+        }),
+    };
+    assert_eq!(nk.with_content(|c| c.to_vec()), nk.content_bytes());
+
+    let data = Data {
+        index: 9,
+        last_mod: SeqNo(140),
+        page: Bytes::from_static(b"page contents"),
+        auth: Auth::None,
+    };
+    assert_eq!(data.with_content(|c| c.to_vec()), data.content_bytes());
+}
+
+#[test]
+fn batch_digest_memo_matches_fresh_recomputation() {
+    let pp = sample_pre_prepare();
+    let memoized = pp.batch_digest();
+    // Rebuild the identical message with empty memos and recompute.
+    let fresh = PrePrepare {
+        digest_memo: DigestMemo::new(),
+        batch_memo: DigestMemo::new(),
+        ..pp.clone()
+    };
+    assert_eq!(memoized, fresh.batch_digest());
+    // A clone taken after memoization reports the same value.
+    assert_eq!(pp.clone().batch_digest(), memoized);
+}
+
+#[test]
+fn decode_resets_the_memo() {
+    let req = sample_request();
+    let _ = req.digest(); // Populate the cache.
+    let bytes = req.encoded();
+    let mut slice = bytes.as_slice();
+    let back = Request::decode(&mut slice).expect("decode");
+    assert!(!back.digest_memo.is_cached(), "decode starts uncached");
+    assert_eq!(back.digest(), req.digest());
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..300),
+        any::<bool>(),
+        proptest::option::of(any::<u32>()),
+    )
+        .prop_map(|(c, t, op, ro, replier)| Request {
+            requester: Requester::Client(ClientId(c)),
+            timestamp: Timestamp(t),
+            operation: Bytes::from(op),
+            read_only: ro,
+            replier: replier.map(ReplicaId),
+            auth: Auth::None,
+            digest_memo: DigestMemo::new(),
+        })
+}
+
+fn arb_pre_prepare() -> impl Strategy<Value = PrePrepare> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(arb_request(), 0..4),
+        proptest::collection::vec(any::<u8>(), 0..32),
+    )
+        .prop_map(|(v, n, reqs, nondet)| PrePrepare {
+            view: View(v),
+            seq: SeqNo(n),
+            batch: reqs.into_iter().map(BatchEntry::Inline).collect(),
+            nondet: Bytes::from(nondet),
+            auth: Auth::None,
+            digest_memo: DigestMemo::new(),
+            batch_memo: DigestMemo::new(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn memoized_request_digest_equals_recomputed(req in arb_request()) {
+        let memoized = req.digest();
+        prop_assert_eq!(memoized, md5(&req.content_bytes()));
+        prop_assert_eq!(memoized, req.clone().digest());
+        prop_assert_eq!(
+            req.with_content(|c| c.to_vec()),
+            req.content_bytes(),
+            "scratch content must match allocated content"
+        );
+    }
+
+    #[test]
+    fn memoized_batch_digest_equals_recomputed(pp in arb_pre_prepare()) {
+        let memoized = pp.batch_digest();
+        let fresh = PrePrepare {
+            digest_memo: DigestMemo::new(),
+            batch_memo: DigestMemo::new(),
+            ..pp.clone()
+        };
+        prop_assert_eq!(memoized, fresh.batch_digest());
+        prop_assert_eq!(pp.digest(), md5(&pp.content_bytes()));
+        prop_assert_eq!(
+            Message::PrePrepare(pp.clone()).wire_size(),
+            Message::PrePrepare(pp).encoded().len()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Prints a full behavioral fingerprint of two deterministic runs (lossy
+//! and reliable) for cross-commit bit-identity checks.
+use bft_sim::{counter_cluster, Behavior, Cluster, ClusterConfig, Fault, OpGen};
+use bft_statemachine::CounterService;
+use bft_types::{ReplicaId, SimDuration, SimTime};
+use bytes::Bytes;
+
+fn fingerprint(cluster: &Cluster<CounterService>, clients: usize) -> String {
+    let mut out = format!("{:?}\n", cluster.metrics);
+    for r in 0..4 {
+        let replica = cluster.replica(r);
+        out.push_str(&format!(
+            "r{r}: view={:?} last_exec={:?} digest={:?} journal={:?} stats={:?}\n",
+            replica.view(),
+            replica.last_executed(),
+            replica.state_digest(),
+            replica.journal,
+            replica.stats,
+        ));
+    }
+    for c in 0..clients {
+        out.push_str(&format!("c{c}: {:?}\n", cluster.client_results(c)));
+    }
+    out
+}
+
+fn main() {
+    for seed in [11u64, 42, 99] {
+        let mut config = ClusterConfig::test(1, 2);
+        config.seed = seed;
+        config.channel = bft_net::ChannelConfig::lossy(0.05, 1_500);
+        config.replica.view_change_timeout = SimDuration::from_millis(300);
+        let mut cluster = counter_cluster(config);
+        cluster.schedule_fault(
+            SimTime(400_000),
+            Fault::SetBehavior(ReplicaId(0), Behavior::Crashed),
+        );
+        cluster.set_workload(OpGen::fixed(
+            Bytes::from(vec![CounterService::OP_INC]),
+            false,
+            5,
+        ));
+        cluster.run_to_completion(SimTime(300_000_000));
+        println!("=== lossy seed {seed} ===\n{}", fingerprint(&cluster, 2));
+    }
+    let mut config = ClusterConfig::test(1, 4);
+    config.seed = 7;
+    let mut cluster = counter_cluster(config);
+    cluster.set_workload(OpGen::fixed(
+        Bytes::from(vec![CounterService::OP_INC]),
+        false,
+        20,
+    ));
+    assert!(cluster.run_to_completion(SimTime(600_000_000)));
+    println!("=== reliable ===\n{}", fingerprint(&cluster, 4));
+}
