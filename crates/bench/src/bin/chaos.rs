@@ -1,0 +1,231 @@
+//! Chaos campaign driver: seeded adversarial fault schedules against the
+//! full PBFT stack, checked by the safety/liveness oracle, with automatic
+//! shrinking of failing seeds to a minimal reproducible schedule.
+//!
+//! Usage:
+//!   cargo run -p bft-bench --release --bin chaos -- --seeds 50
+//!   cargo run -p bft-bench --release --bin chaos -- --seed 7 [--only 1,4]
+//!   cargo run -p bft-bench --release --bin chaos -- --smoke
+//!
+//! Flags:
+//!   --seeds N            run the campaign over seeds 0..N
+//!   --seed S             run (and print) one seed's full plan and report
+//!   --only a,b,c         restrict the seed's plan to the listed episodes
+//!   --inject-violation   add the deliberate journal-tamper episode
+//!   --verify-oracle      prove the oracle catches an injected violation
+//!                        and the shrinker isolates it (exits 1 otherwise)
+//!   --smoke              CI mode: a short campaign plus --verify-oracle
+//!   --debug              with --seed: dump per-replica diagnostics
+//!   --fail-dir PATH      write failing shrunk schedules here
+//!                        (default chaos-failures/)
+//!
+//! A failing seed is shrunk by delta debugging over whole fault episodes
+//! and written to the fail dir as a replayable one-liner plus the minimal
+//! schedule; the process exits nonzero.
+
+use bft_sim::chaos::{debug_run, run_plan, shrink, ChaosAction, ChaosPlan};
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Args {
+    seeds: Option<u64>,
+    seed: Option<u64>,
+    only: Option<Vec<u32>>,
+    inject_violation: bool,
+    verify_oracle: bool,
+    smoke: bool,
+    debug: bool,
+    fail_dir: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: None,
+        seed: None,
+        only: None,
+        inject_violation: false,
+        verify_oracle: false,
+        smoke: false,
+        debug: false,
+        fail_dir: "chaos-failures".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => args.seeds = Some(it.next().expect("--seeds N").parse().expect("number")),
+            "--seed" => args.seed = Some(it.next().expect("--seed S").parse().expect("number")),
+            "--only" => {
+                args.only = Some(
+                    it.next()
+                        .expect("--only a,b,c")
+                        .split(',')
+                        .map(|s| s.parse().expect("episode index"))
+                        .collect(),
+                )
+            }
+            "--inject-violation" => args.inject_violation = true,
+            "--verify-oracle" => args.verify_oracle = true,
+            "--smoke" => args.smoke = true,
+            "--debug" => args.debug = true,
+            "--fail-dir" => args.fail_dir = it.next().expect("--fail-dir PATH"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn plan_for(seed: u64, inject: bool, only: &Option<Vec<u32>>) -> ChaosPlan {
+    let plan = if inject {
+        ChaosPlan::generate_with_violation(seed)
+    } else {
+        ChaosPlan::generate(seed)
+    };
+    match only {
+        Some(eps) => plan.filter_episodes(eps),
+        None => plan,
+    }
+}
+
+/// Runs one seed; on failure, shrinks and records the minimal schedule.
+/// Returns true when the oracle held.
+fn run_seed(seed: u64, inject: bool, fail_dir: &str) -> bool {
+    let plan = plan_for(seed, inject, &None);
+    let t0 = Instant::now();
+    let report = run_plan(&plan);
+    let ms = t0.elapsed().as_millis();
+    if report.ok {
+        println!(
+            "seed {seed:>4}: ok   ({} ops, {} retransmitted, view {}, {ms}ms)",
+            report.ops_completed, report.ops_retransmitted, report.final_view
+        );
+        return true;
+    }
+    println!(
+        "seed {seed:>4}: FAIL ({} violations, {ms}ms)",
+        report.violations.len()
+    );
+    for v in &report.violations {
+        println!("    {v}");
+    }
+    let minimal = shrink(&plan);
+    let min_report = run_plan(&minimal);
+    let mut text = String::new();
+    text.push_str(&format!(
+        "seed {seed} failed the chaos oracle\n\nviolations:\n"
+    ));
+    for v in &min_report.violations {
+        text.push_str(&format!("  {v}\n"));
+    }
+    text.push_str(&format!("\nminimal schedule:\n{minimal}"));
+    text.push_str(&format!(
+        "\nreproduce with:\n  {}\n",
+        minimal.repro_command()
+    ));
+    print!("{text}");
+    let _ = std::fs::create_dir_all(fail_dir);
+    let path = format!("{fail_dir}/seed_{seed}.txt");
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(text.as_bytes());
+        println!("  written to {path}");
+    }
+    false
+}
+
+/// Proves the oracle and shrinker work: an injected journal tamper must
+/// be caught, and shrinking must isolate the tamper episode.
+fn verify_oracle(seed: u64) -> bool {
+    let plan = ChaosPlan::generate_with_violation(seed);
+    let report = run_plan(&plan);
+    if report.ok {
+        eprintln!("verify-oracle: injected violation NOT caught for seed {seed}");
+        return false;
+    }
+    if !report.violations.iter().any(|v| v.starts_with("safety:")) {
+        eprintln!(
+            "verify-oracle: violation caught but not as a safety violation: {:?}",
+            report.violations
+        );
+        return false;
+    }
+    let minimal = shrink(&plan);
+    let eps = minimal.episodes();
+    let tamper_only = eps.len() == 1
+        && minimal
+            .events
+            .iter()
+            .all(|e| matches!(e.action, ChaosAction::TamperJournal { .. }));
+    if !tamper_only {
+        eprintln!(
+            "verify-oracle: shrink left {} episodes ({} events), expected the tamper alone:\n{minimal}",
+            eps.len(),
+            minimal.events.len()
+        );
+        return false;
+    }
+    println!(
+        "verify-oracle seed {seed}: violation caught and shrunk to the single tamper event ({})",
+        minimal.repro_command()
+    );
+    true
+}
+
+fn main() {
+    let args = parse_args();
+    let mut ok = true;
+
+    if let Some(seed) = args.seed {
+        let plan = plan_for(seed, args.inject_violation, &args.only);
+        print!("{plan}");
+        if args.debug {
+            print!("{}", debug_run(&plan));
+        }
+        let report = run_plan(&plan);
+        println!(
+            "result: {} ({} ops, {} retransmitted, final view {})",
+            if report.ok { "ok" } else { "FAIL" },
+            report.ops_completed,
+            report.ops_retransmitted,
+            report.final_view
+        );
+        for v in &report.violations {
+            println!("  {v}");
+        }
+        println!("fingerprint: {}", report.fingerprint);
+        if !report.ok && args.only.is_none() {
+            let minimal = shrink(&plan);
+            println!("minimal schedule:\n{minimal}");
+            println!("reproduce with: {}", minimal.repro_command());
+        }
+        ok &= report.ok;
+    }
+
+    let seeds = args.seeds.unwrap_or(if args.smoke { 6 } else { 0 });
+    if seeds > 0 {
+        let t0 = Instant::now();
+        let mut failures = 0u64;
+        for seed in 0..seeds {
+            if !run_seed(seed, false, &args.fail_dir) {
+                failures += 1;
+            }
+        }
+        println!(
+            "campaign: {}/{seeds} seeds green in {:.1}s",
+            seeds - failures,
+            t0.elapsed().as_secs_f64()
+        );
+        ok &= failures == 0;
+    }
+
+    if args.verify_oracle || args.smoke {
+        ok &= verify_oracle(1);
+    }
+
+    if args.seed.is_none() && seeds == 0 && !args.verify_oracle && !args.smoke {
+        eprintln!("nothing to do: pass --seeds N, --seed S, --smoke, or --verify-oracle");
+        std::process::exit(2);
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

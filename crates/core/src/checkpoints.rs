@@ -56,6 +56,18 @@ impl CheckpointManager {
         self.own.insert(seq.0, digest);
     }
 
+    /// Upper bound on sequence numbers a single sender may hold live votes
+    /// for. Checkpoints are accepted arbitrarily far beyond the high water
+    /// mark (that is how a lagging replica learns to fetch state), so
+    /// without a cap a faulty replica could grow the vote table without
+    /// bound by announcing checkpoints at ever-different sequence numbers
+    /// (§5.5 bounded resources). Correct replicas have at most
+    /// `L / K = log_factor` checkpoints outstanding, so a small constant
+    /// is safe: when a sender exceeds it, its votes at the lowest
+    /// sequence numbers are discarded (the quorum converges on the newest
+    /// checkpoints anyway).
+    const MAX_SEQS_PER_SENDER: usize = 8;
+
     /// Records a checkpoint message; returns `Some((seq, digest))` when the
     /// checkpoint newly becomes stable.
     pub fn add_vote(
@@ -67,22 +79,50 @@ impl CheckpointManager {
         if seq <= self.stable.0 {
             return None;
         }
-        let senders = self
-            .votes
-            .entry(seq.0)
-            .or_default()
-            .entry(digest)
-            .or_default();
-        if senders.contains(&from) {
+        let by_digest = self.votes.entry(seq.0).or_default();
+        // One vote per sender per sequence number, first wins: a correct
+        // replica only ever has one digest for a checkpoint, so a second
+        // digest from the same sender is noise — and letting it through
+        // would reopen the unbounded-growth vector (one seq, endlessly
+        // fresh digests) that the per-sender seq bound below closes.
+        if by_digest.values().any(|s| s.contains(&from)) {
             return None;
         }
+        let senders = by_digest.entry(digest).or_default();
         senders.push(from);
         if senders.len() >= self.threshold {
             self.stable = (seq, digest);
             self.gc();
             return Some(self.stable);
         }
+        self.enforce_sender_bound(from);
         None
+    }
+
+    /// Drops `from`'s votes at the lowest sequence numbers until it holds
+    /// votes for at most [`Self::MAX_SEQS_PER_SENDER`] distinct ones.
+    fn enforce_sender_bound(&mut self, from: ReplicaId) {
+        let mut seqs: Vec<u64> = self
+            .votes
+            .iter()
+            .filter(|(_, by_digest)| by_digest.values().any(|s| s.contains(&from)))
+            .map(|(&n, _)| n)
+            .collect();
+        if seqs.len() <= Self::MAX_SEQS_PER_SENDER {
+            return;
+        }
+        seqs.sort_unstable();
+        for n in &seqs[..seqs.len() - Self::MAX_SEQS_PER_SENDER] {
+            if let Some(by_digest) = self.votes.get_mut(n) {
+                for s in by_digest.values_mut() {
+                    s.retain(|r| *r != from);
+                }
+                by_digest.retain(|_, s| !s.is_empty());
+                if by_digest.is_empty() {
+                    self.votes.remove(n);
+                }
+            }
+        }
     }
 
     /// Count of matching votes for `(seq, digest)`.
@@ -168,6 +208,59 @@ mod tests {
         assert_eq!(m.stable().0, SeqNo(16));
         assert!(m.own_digest(SeqNo(8)).is_none(), "discarded");
         assert_eq!(m.own_digest(SeqNo(16)), Some(d(b"s16")));
+    }
+
+    #[test]
+    fn vote_at_exactly_stable_is_stale() {
+        // Boundary pin: `seq <= stable` is the low-water-mark rule
+        // (exclusive at h), matching `MessageLog::in_window`.
+        let mut m = CheckpointManager::new(2, d(b"g"));
+        m.add_vote(SeqNo(8), d(b"a"), ReplicaId(0));
+        m.add_vote(SeqNo(8), d(b"a"), ReplicaId(1));
+        assert_eq!(m.stable().0, SeqNo(8));
+        assert!(m.add_vote(SeqNo(8), d(b"a"), ReplicaId(3)).is_none());
+        assert_eq!(m.vote_count(SeqNo(8), d(b"a")), 0, "at h: discarded");
+        assert!(m.add_vote(SeqNo(9), d(b"b"), ReplicaId(3)).is_none());
+        assert_eq!(m.vote_count(SeqNo(9), d(b"b")), 1, "above h: counted");
+    }
+
+    #[test]
+    fn one_vote_per_sender_per_seq_first_wins() {
+        // A faulty sender cannot grow the table by re-voting the same
+        // sequence number under endlessly fresh digests.
+        let mut m = CheckpointManager::new(3, d(b"g"));
+        m.add_vote(SeqNo(8), d(b"a"), ReplicaId(0));
+        for i in 0..100u32 {
+            m.add_vote(SeqNo(8), d(format!("junk{i}").as_bytes()), ReplicaId(0));
+        }
+        assert_eq!(m.vote_count(SeqNo(8), d(b"a")), 1, "first vote stands");
+        assert_eq!(m.vote_count(SeqNo(8), d(b"junk0")), 0, "re-votes dropped");
+        // Other senders still vote freely at the same seq.
+        m.add_vote(SeqNo(8), d(b"a"), ReplicaId(1));
+        assert_eq!(m.vote_count(SeqNo(8), d(b"a")), 2);
+    }
+
+    #[test]
+    fn per_sender_votes_are_bounded() {
+        let mut m = CheckpointManager::new(3, d(b"g"));
+        let bound = CheckpointManager::MAX_SEQS_PER_SENDER as u64;
+        // A faulty sender announces checkpoints at ever-new sequence
+        // numbers; only the newest `bound` survive.
+        for k in 1..=(bound + 20) {
+            m.add_vote(SeqNo(k * 8), d(b"junk"), ReplicaId(3));
+        }
+        let held: usize = (1..=(bound + 20))
+            .filter(|k| m.vote_count(SeqNo(k * 8), d(b"junk")) > 0)
+            .count();
+        assert_eq!(held, bound as usize);
+        assert_eq!(m.vote_count(SeqNo(8), d(b"junk")), 0, "oldest evicted");
+        assert_eq!(m.vote_count(SeqNo((bound + 20) * 8), d(b"junk")), 1);
+        // Another sender's votes are untouched by the eviction.
+        m.add_vote(SeqNo(8), d(b"real"), ReplicaId(0));
+        for k in 1..=(bound + 20) {
+            m.add_vote(SeqNo(k * 16 + 1), d(b"junk2"), ReplicaId(3));
+        }
+        assert_eq!(m.vote_count(SeqNo(8), d(b"real")), 1);
     }
 
     #[test]

@@ -421,6 +421,63 @@ mod tests {
     }
 
     #[test]
+    fn retransmission_rewrites_digest_and_auth_freshly() {
+        // Regression: `on_retransmit` rewrites the pending request in
+        // place (clearing the replier, demoting read-only). The memoized
+        // digest must be invalidated before re-authentication, or
+        // replicas would verify the authenticator against stale content —
+        // and the copy of the original the network still duplicates must
+        // stay valid independently.
+        let (mut client, keys, rc) = setup();
+        let actions = client.invoke(Bytes::from_static(b"op"), true);
+        let original = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    msg: Message::Request(r),
+                    ..
+                } => Some(r.clone()),
+                _ => None,
+            })
+            .expect("invoke sends the request");
+        let original_digest = original.digest();
+        // Two forced retransmissions: the second demotes read-only.
+        client.on_input(Input::Timer(TimerId::ClientRetransmit));
+        let (actions, _) = client.on_input(Input::Timer(TimerId::ClientRetransmit));
+        let retrans = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    msg: Message::Request(r),
+                    ..
+                } => Some(r.clone()),
+                _ => None,
+            })
+            .expect("retransmission broadcasts the request");
+        assert!(!retrans.read_only, "demoted after repeated failures");
+        assert_eq!(retrans.replier, None);
+        assert_ne!(retrans.digest(), original_digest, "content changed");
+        let fresh = Request {
+            digest_memo: bft_types::DigestMemo::new(),
+            ..retrans.clone()
+        };
+        assert_eq!(retrans.digest(), fresh.digest(), "no stale memo");
+        // The rewritten request authenticates at a replica — i.e. the
+        // authenticator was computed over the rewritten content.
+        let mut replica0 = AuthState::new(
+            rc.auth,
+            NodeId::Replica(ReplicaId(0)),
+            rc.group,
+            rc.num_clients,
+            &keys,
+        );
+        assert!(replica0.verify_msg(NodeId::Client(ClientId(0)), &retrans));
+        // The original (still in flight, possibly duplicated) is intact.
+        assert_eq!(original.digest(), original_digest);
+        assert!(replica0.verify_msg(NodeId::Client(ClientId(0)), &original));
+    }
+
+    #[test]
     fn stale_replies_ignored() {
         let (mut client, keys, rc) = setup();
         client.invoke(Bytes::from_static(b"op"), false);

@@ -55,9 +55,18 @@ impl<S: Service> Replica<S> {
             }
             RequestDisposition::AlreadyExecuted | RequestDisposition::Stale => return,
         }
-        // Read-only fast path (§5.1.3).
+        // Read-only fast path (§5.1.3). The network may duplicate the
+        // request frame; queue at most one copy per client (the client has
+        // at most one operation in flight).
         if req.read_only && self.config.opts.read_only && !req.is_recovery() {
-            self.ro_queue.push(req);
+            if !self
+                .ro_queue
+                .iter()
+                .any(|r| r.requester == req.requester && r.timestamp >= req.timestamp)
+            {
+                self.ro_queue.retain(|r| r.requester != req.requester);
+                self.ro_queue.push(req);
+            }
             self.try_execute(out);
             return;
         }
@@ -267,8 +276,17 @@ impl<S: Service> Replica<S> {
                 self.exec_trace
                     .push(format!("pp {} pending, missing {miss:?}", pp.seq));
             }
-            // Buffer until the separately transmitted bodies arrive.
-            self.pending_pps.push(pp);
+            // Buffer until the separately transmitted bodies arrive. A
+            // duplicated frame (or a status retransmission racing the
+            // original) must not buffer a second copy: every copy would be
+            // re-examined on each arriving body, and the buffer would grow
+            // without bound under a duplicating channel.
+            let dup = self.pending_pps.iter().any(|p| {
+                p.view == pp.view && p.seq == pp.seq && p.batch_digest() == pp.batch_digest()
+            });
+            if !dup {
+                self.pending_pps.push(pp);
+            }
             return;
         }
         // Validate the primary's non-deterministic choice (§5.4).
@@ -416,7 +434,19 @@ impl<S: Service> Replica<S> {
 
     /// Handles a checkpoint message (§2.3.4, §3.2.3).
     pub(crate) fn on_checkpoint_msg(&mut self, c: Checkpoint, out: &mut Outbox) {
-        if c.seq <= self.ckpt.stable().0 {
+        // The low water mark h IS the last stable checkpoint; every path
+        // that advances one advances the other. Boundary semantics match
+        // `log.in_window` (exclusive at h): a checkpoint at exactly h is
+        // the stable one — stale. Unlike the ordering messages,
+        // checkpoints are NOT gated by the high water mark: a weak
+        // certificate beyond H is exactly how a lagging replica discovers
+        // it must fetch state (the branch at the end).
+        debug_assert_eq!(
+            self.log.low(),
+            self.ckpt.stable().0,
+            "low water mark must track the stable checkpoint"
+        );
+        if c.seq <= self.log.low() {
             return;
         }
         if !self.verify_auth_msg(bft_types::NodeId::Replica(c.replica), &c) {
@@ -440,5 +470,185 @@ impl<S: Service> Replica<S> {
         {
             self.start_state_transfer(c.seq, Some(c.digest), out);
         }
+    }
+}
+
+#[cfg(test)]
+mod watermark_tests {
+    //! Boundary pins: messages at exactly the low/high water mark must be
+    //! treated identically across `normal.rs`, `log.rs`, and
+    //! `checkpoints.rs` — `h` exclusive, `H` inclusive, checkpoints
+    //! additionally accepted beyond `H` (the fallen-behind signal).
+
+    use crate::actions::Input;
+    use crate::authn::{AuthState, ClusterKeys};
+    use crate::config::ReplicaConfig;
+    use crate::replica::Replica;
+    use bft_statemachine::NullService;
+    use bft_types::{
+        Auth, Checkpoint, Commit, Message, NodeId, PrePrepare, Prepare, ReplicaId, SeqNo, View,
+    };
+
+    fn setup() -> (Replica<NullService>, ClusterKeys, ReplicaConfig) {
+        let rc = ReplicaConfig::test(1);
+        let keys = ClusterKeys::generate(rc.group, rc.num_clients, 128, 3);
+        // Replica 1 is a backup of view 0 (primary is replica 0).
+        let r = Replica::new(ReplicaId(1), rc.clone(), NullService::new(), &keys, 9);
+        (r, keys, rc)
+    }
+
+    fn peer(keys: &ClusterKeys, rc: &ReplicaConfig, id: u32) -> AuthState {
+        AuthState::new(
+            rc.auth,
+            NodeId::Replica(ReplicaId(id)),
+            rc.group,
+            rc.num_clients,
+            keys,
+        )
+    }
+
+    fn pre_prepare(auth: &mut AuthState, seq: u64) -> Message {
+        let mut pp = PrePrepare {
+            view: View(0),
+            seq: SeqNo(seq),
+            batch: Vec::new(),
+            nondet: bytes::Bytes::new(),
+            auth: Auth::None,
+            digest_memo: bft_types::DigestMemo::new(),
+            batch_memo: bft_types::DigestMemo::new(),
+        };
+        pp.auth = auth.authenticate_multicast_msg(&pp);
+        Message::PrePrepare(pp)
+    }
+
+    fn prepare(auth: &mut AuthState, id: u32, seq: u64, d: bft_crypto::Digest) -> Message {
+        let mut p = Prepare {
+            view: View(0),
+            seq: SeqNo(seq),
+            digest: d,
+            replica: ReplicaId(id),
+            auth: Auth::None,
+        };
+        p.auth = auth.authenticate_multicast_msg(&p);
+        Message::Prepare(p)
+    }
+
+    fn commit(auth: &mut AuthState, id: u32, seq: u64, d: bft_crypto::Digest) -> Message {
+        let mut c = Commit {
+            view: View(0),
+            seq: SeqNo(seq),
+            digest: d,
+            replica: ReplicaId(id),
+            auth: Auth::None,
+        };
+        c.auth = auth.authenticate_multicast_msg(&c);
+        Message::Commit(c)
+    }
+
+    fn checkpoint(auth: &mut AuthState, id: u32, seq: u64, d: bft_crypto::Digest) -> Message {
+        let mut c = Checkpoint {
+            seq: SeqNo(seq),
+            digest: d,
+            replica: ReplicaId(id),
+            auth: Auth::None,
+        };
+        c.auth = auth.authenticate_multicast_msg(&c);
+        Message::Checkpoint(c)
+    }
+
+    #[test]
+    fn pre_prepare_accepted_at_high_water_mark_rejected_above() {
+        let (mut r, keys, rc) = setup();
+        let high = r.log.high().0;
+        let mut primary = peer(&keys, &rc, 0);
+        r.on_input(Input::Deliver(pre_prepare(&mut primary, high)));
+        assert!(
+            r.log
+                .slot(SeqNo(high))
+                .is_some_and(|s| s.my_prepare.is_some()),
+            "seq == H is inside the window"
+        );
+        r.on_input(Input::Deliver(pre_prepare(&mut primary, high + 1)));
+        assert!(
+            r.log.slot(SeqNo(high + 1)).is_none(),
+            "seq == H + 1 is outside the window"
+        );
+    }
+
+    #[test]
+    fn prepare_and_commit_boundaries_match_in_window() {
+        let (mut r, keys, rc) = setup();
+        let high = r.log.high().0;
+        let d = bft_crypto::digest(b"batch");
+        let mut p2 = peer(&keys, &rc, 2);
+        r.on_input(Input::Deliver(prepare(&mut p2, 2, high, d)));
+        assert_eq!(
+            r.log
+                .slot(SeqNo(high))
+                .and_then(|s| s.prepares.get(&d))
+                .map(|s| s.len()),
+            Some(1),
+            "prepare at H stored"
+        );
+        r.on_input(Input::Deliver(prepare(&mut p2, 2, high + 1, d)));
+        assert!(
+            r.log.slot(SeqNo(high + 1)).is_none(),
+            "prepare above H dropped"
+        );
+        r.on_input(Input::Deliver(commit(&mut p2, 2, high, d)));
+        assert_eq!(
+            r.log
+                .slot(SeqNo(high))
+                .and_then(|s| s.commits.get(&d))
+                .map(|s| s.len()),
+            Some(1),
+            "commit at H stored"
+        );
+        r.on_input(Input::Deliver(commit(&mut p2, 2, high + 1, d)));
+        assert!(
+            r.log.slot(SeqNo(high + 1)).is_none(),
+            "commit above H dropped"
+        );
+    }
+
+    #[test]
+    fn checkpoint_at_stable_dropped_above_counted_beyond_high_fetches() {
+        let (mut r, keys, rc) = setup();
+        let d = bft_crypto::digest(b"ckpt");
+        // Drive the stable checkpoint to 8 with a quorum of votes.
+        for id in [0u32, 2, 3] {
+            let mut a = peer(&keys, &rc, id);
+            r.on_input(Input::Deliver(checkpoint(&mut a, id, 8, d)));
+        }
+        assert_eq!(r.stable_checkpoint().0, SeqNo(8));
+        assert_eq!(r.log.low(), SeqNo(8), "low water mark tracks stability");
+        // At exactly h: stale, not even counted under a fresh digest.
+        let other = bft_crypto::digest(b"other");
+        let mut p0 = peer(&keys, &rc, 0);
+        r.on_input(Input::Deliver(checkpoint(&mut p0, 0, 8, other)));
+        assert_eq!(r.debug_ckpt_votes(SeqNo(8), other), 0);
+        // Just above h: counted.
+        r.on_input(Input::Deliver(checkpoint(&mut p0, 0, 9, other)));
+        assert_eq!(r.debug_ckpt_votes(SeqNo(9), other), 1);
+        // Far beyond H: checkpoints are NOT window-gated; a weak
+        // certificate triggers state transfer toward it.
+        let high = r.log.high().0;
+        let far = bft_crypto::digest(b"far");
+        let mut p2 = peer(&keys, &rc, 2);
+        let mut p3 = peer(&keys, &rc, 3);
+        // (The quorum at 8 already started a catch-up fetch toward 8: this
+        // replica never executed those batches.)
+        r.on_input(Input::Deliver(checkpoint(&mut p2, 2, high + 50, far)));
+        let fetch = r.debug_fetch().expect("catch-up fetch active");
+        assert!(
+            !fetch.contains(&format!("target={}", SeqNo(high + 50))),
+            "one vote is not a weak cert: {fetch}"
+        );
+        r.on_input(Input::Deliver(checkpoint(&mut p3, 3, high + 50, far)));
+        let fetch = r.debug_fetch().expect("weak certificate beyond H fetches");
+        assert!(
+            fetch.contains(&format!("target={}", SeqNo(high + 50))),
+            "{fetch}"
+        );
     }
 }

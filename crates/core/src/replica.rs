@@ -251,6 +251,34 @@ impl<S: Service> Replica<S> {
         out.into_actions()
     }
 
+    /// Restarts this replica after a crash (fail-stop, then reboot from
+    /// durable state). Volatile state is lost: the message log contents,
+    /// request queues, buffered pre-prepares, and any in-progress state
+    /// transfer. Durable state survives: the service state at the last
+    /// executed batch, the reply cache, checkpoints, and the view number.
+    /// Tentative (uncommitted) executions are rolled back to the stable
+    /// checkpoint — their commit evidence died with the log — and are
+    /// redone through ordinary retransmission. Returns the startup
+    /// actions; the next status exchange drives catch-up (retransmission
+    /// inside the window, state transfer beyond it).
+    pub fn restart(&mut self) -> Vec<Action> {
+        let (stable, _) = self.ckpt.stable();
+        self.fetch = None;
+        if self.last_exec > stable {
+            self.rollback_to_checkpoint(stable);
+        }
+        self.log.clear();
+        self.queue = RequestQueue::new();
+        self.ro_queue.clear();
+        self.pending_pps.clear();
+        self.pending_ckpts.clear();
+        self.proposed.clear();
+        self.executing_seq = stable;
+        self.vc_timer_armed = false;
+        self.vc_timeout = self.config.view_change_timeout;
+        self.start()
+    }
+
     /// Main dispatch: handle one input, produce actions.
     pub fn on_input(&mut self, input: Input) -> Vec<Action> {
         let mut out = Outbox::new();
@@ -679,9 +707,30 @@ impl<S: Service> Replica<S> {
             // delivers bodies well before the ordering message).
             live_reqs.contains(d) || r.timestamp > client_table.last_timestamp(r.requester)
         });
+        self.prune_stale_queue(out);
         self.advance_committed_frontier();
         self.try_execute_noreenter(out);
         self.recovery_progress_check(out);
+    }
+
+    /// Drops queued requests the reply cache has already executed. The
+    /// queue normally drains when this replica sees the ordering
+    /// pre-prepares, but a replica that catches up by state transfer (or
+    /// learns a stable checkpoint while its slots were discarded) installs
+    /// the advanced client table without ever seeing those pre-prepares;
+    /// the stale entries would keep [`Replica::waiting_for_requests`] true
+    /// and the view-change timer armed forever.
+    pub(crate) fn prune_stale_queue(&mut self, out: &mut Outbox) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let table = &self.client_table;
+        let removed = self
+            .queue
+            .prune(|r| r.timestamp <= table.last_timestamp(r.requester));
+        if removed > 0 {
+            self.update_vc_timer(out);
+        }
     }
 
     /// `try_execute` without the trailing hooks (used from paths already
@@ -733,8 +782,19 @@ impl<S: Service> Replica<S> {
 
     /// Arms, re-arms, or cancels the view-change timer per the fairness
     /// rules: running iff we are waiting for a request to execute.
+    ///
+    /// Only applies in an *active* view. While a view change is pending
+    /// the timer belongs to liveness rule 1 (§2.3.5): it is armed when a
+    /// quorum of view-change messages for the pending view arrives and
+    /// must keep running until the new-view installs — if this method
+    /// canceled it (nothing is "waiting" by the active-view definition),
+    /// a faulty or recovering new primary would wedge the group in the
+    /// pending view forever.
     pub(crate) fn update_vc_timer(&mut self, out: &mut Outbox) {
-        let should_run = self.waiting_for_requests() && self.view_active;
+        if !self.view_active {
+            return;
+        }
+        let should_run = self.waiting_for_requests();
         if should_run && !self.vc_timer_armed {
             out.set_timer(TimerId::ViewChange, self.vc_timeout);
             self.vc_timer_armed = true;

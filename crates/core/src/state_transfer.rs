@@ -411,6 +411,11 @@ impl<S: Service> Replica<S> {
         self.last_exec = fetch.target_seq;
         self.committed_frontier = fetch.target_seq;
         self.log.clear_executed_above(fetch.target_seq);
+        // The installed client table may cover requests still sitting in
+        // our queue (ordered by the others while we were behind); drop
+        // them so the view-change timer does not fire for work that is
+        // already done.
+        self.prune_stale_queue(out);
         self.advance_committed_frontier();
         self.try_execute(out);
     }

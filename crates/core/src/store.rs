@@ -182,6 +182,21 @@ impl RequestQueue {
         }
     }
 
+    /// Drops every queued request the predicate marks stale and returns
+    /// how many were removed. Used when the reply cache advances without
+    /// this replica ordering the requests itself (state-transfer install,
+    /// stable checkpoints learned while partitioned away): a stale queue
+    /// entry would otherwise keep the view-change timer armed forever and
+    /// fire spurious view changes after the replica rejoins.
+    pub fn prune<F: Fn(&Request) -> bool>(&mut self, stale: F) -> usize {
+        let before = self.fifo.len();
+        self.fifo.retain(|r| !stale(r));
+        let pending: std::collections::HashSet<Requester> =
+            self.fifo.iter().map(|r| r.requester).collect();
+        self.pending.retain(|req, _| pending.contains(req));
+        before - self.fifo.len()
+    }
+
     /// The first queued request (whose execution stops the view-change
     /// timer, §2.3.5 fairness).
     pub fn front(&self) -> Option<&Request> {
@@ -303,6 +318,22 @@ mod tests {
         q.push(req(0, 1, 10_000));
         let b = q.pop_batch(5, 100);
         assert_eq!(b.len(), 1, "never starve a big request");
+    }
+
+    #[test]
+    fn prune_drops_stale_and_pending_entries() {
+        let mut q = RequestQueue::new();
+        q.push(req(0, 2, 4));
+        q.push(req(1, 7, 4));
+        q.push(req(2, 1, 4));
+        // Requests with timestamp <= 2 were executed elsewhere.
+        let removed = q.prune(|r| r.timestamp.0 <= 2);
+        assert_eq!(removed, 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.front().unwrap().timestamp, Timestamp(7));
+        // The pruned clients can queue fresh requests again.
+        q.push(req(0, 3, 4));
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

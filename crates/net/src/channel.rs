@@ -12,7 +12,7 @@ use crate::cost::CostModel;
 use bft_types::{NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Fault-injection knobs for the channel.
 #[derive(Clone, Debug)]
@@ -57,6 +57,34 @@ impl ChannelConfig {
     }
 }
 
+/// Fault overrides for one *directed* link, letting the adversary degrade
+/// `a → b` while `b → a` stays clean (asymmetric loss is what makes timer
+/// and retransmission bugs surface: one side keeps believing the other is
+/// alive).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkProfile {
+    /// Probability a delivery on this link is dropped.
+    pub drop_prob: f64,
+    /// Probability a delivery on this link is duplicated.
+    pub duplicate_prob: f64,
+    /// Maximum uniform random jitter on this link, in µs.
+    pub jitter_us: u64,
+    /// Fixed extra one-way latency on this link, in µs.
+    pub extra_latency_us: u64,
+}
+
+impl LinkProfile {
+    /// A clean link (used to explicitly override a lossy global config).
+    pub fn clean() -> Self {
+        LinkProfile {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            jitter_us: 0,
+            extra_latency_us: 0,
+        }
+    }
+}
+
 /// One scheduled delivery produced by routing a send.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Delivery {
@@ -77,6 +105,15 @@ pub struct Channel {
     blocked: HashSet<(NodeId, NodeId)>,
     /// Nodes whose links are entirely down.
     isolated: HashSet<NodeId>,
+    /// Per-link (directed) fault overrides; links not listed use the
+    /// global configuration.
+    links: HashMap<(NodeId, NodeId), LinkProfile>,
+    /// Partition-group membership: nodes in different groups cannot talk.
+    /// Nodes in no group talk to everyone (clients usually stay out).
+    groups: HashMap<NodeId, u32>,
+    /// Restart epoch per node: bumped by a crash so deliveries scheduled
+    /// into the pre-crash incarnation's queues can be discarded.
+    epochs: HashMap<NodeId, u64>,
     /// Counters for reports.
     stats: ChannelStats,
 }
@@ -104,6 +141,9 @@ impl Channel {
             rng: StdRng::seed_from_u64(seed),
             blocked: HashSet::new(),
             isolated: HashSet::new(),
+            links: HashMap::new(),
+            groups: HashMap::new(),
+            epochs: HashMap::new(),
             stats: ChannelStats::default(),
         }
     }
@@ -138,11 +178,59 @@ impl Channel {
         self.isolated.remove(&node);
     }
 
+    /// Installs a fault profile on the directed link `from → to`.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, profile: LinkProfile) {
+        self.links.insert((from, to), profile);
+    }
+
+    /// Removes the fault profile from the directed link `from → to`.
+    pub fn clear_link(&mut self, from: NodeId, to: NodeId) {
+        self.links.remove(&(from, to));
+    }
+
+    /// Splits the network into groups: nodes in different groups cannot
+    /// exchange messages until [`Channel::heal_partition`]. Nodes absent
+    /// from every group remain connected to all groups.
+    pub fn partition(&mut self, groups: &[Vec<NodeId>]) {
+        self.groups.clear();
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                self.groups.insert(m, g as u32);
+            }
+        }
+    }
+
+    /// Removes any group partition.
+    pub fn heal_partition(&mut self) {
+        self.groups.clear();
+    }
+
+    /// Marks a node crashed: its restart epoch advances, so the harness
+    /// can discard deliveries queued into the previous incarnation.
+    /// Returns the new epoch.
+    pub fn crash(&mut self, node: NodeId) -> u64 {
+        let e = self.epochs.entry(node).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// The node's current restart epoch (0 if it never crashed).
+    pub fn epoch(&self, node: NodeId) -> u64 {
+        self.epochs.get(&node).copied().unwrap_or(0)
+    }
+
     /// Returns true when the directed link is currently usable.
     pub fn link_up(&self, from: NodeId, to: NodeId) -> bool {
-        !self.isolated.contains(&from)
-            && !self.isolated.contains(&to)
-            && !self.blocked.contains(&(from, to))
+        if self.isolated.contains(&from)
+            || self.isolated.contains(&to)
+            || self.blocked.contains(&(from, to))
+        {
+            return false;
+        }
+        match (self.groups.get(&from), self.groups.get(&to)) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        }
     }
 
     /// Routes a send of `bytes` bytes from `from` to each node in `to`,
@@ -176,25 +264,41 @@ impl Channel {
                 self.stats.dropped += 1;
                 continue;
             }
-            if self.config.drop_prob > 0.0 && self.rng.random_bool(self.config.drop_prob) {
+            // Per-link overrides shadow the global fault configuration.
+            let (drop_prob, duplicate_prob, jitter_us, extra_latency_us) =
+                match self.links.get(&(from, dest)) {
+                    Some(l) => (
+                        l.drop_prob,
+                        l.duplicate_prob,
+                        l.jitter_us,
+                        l.extra_latency_us,
+                    ),
+                    None => (
+                        self.config.drop_prob,
+                        self.config.duplicate_prob,
+                        self.config.jitter_us,
+                        0,
+                    ),
+                };
+            if drop_prob > 0.0 && self.rng.random_bool(drop_prob) {
                 self.stats.dropped += 1;
                 continue;
             }
-            let jitter = if self.config.jitter_us > 0 {
-                self.rng.random_range(0..=self.config.jitter_us)
+            let jitter = if jitter_us > 0 {
+                self.rng.random_range(0..=jitter_us)
             } else {
                 0
             };
-            let latency = SimDuration::from_micros((send_cpu + wire) as u64 + jitter);
+            let latency =
+                SimDuration::from_micros((send_cpu + wire) as u64 + jitter + extra_latency_us);
             out.push(Delivery {
                 to: dest,
                 at: now + latency,
             });
             self.stats.delivered += 1;
             self.stats.bytes += bytes as u64;
-            if self.config.duplicate_prob > 0.0 && self.rng.random_bool(self.config.duplicate_prob)
-            {
-                let extra = self.rng.random_range(1..=self.config.jitter_us.max(100));
+            if duplicate_prob > 0.0 && self.rng.random_bool(duplicate_prob) {
+                let extra = self.rng.random_range(1..=jitter_us.max(100));
                 out.push(Delivery {
                     to: dest,
                     at: now + latency + SimDuration::from_micros(extra),
@@ -337,6 +441,87 @@ mod tests {
         let small = ch.route(SimTime(0), r(0), &[r(1)], 64)[0].at;
         let big = ch.route(SimTime(0), r(0), &[r(1)], 8192)[0].at;
         assert!(big > small);
+    }
+
+    #[test]
+    fn group_partition_splits_and_heals() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        ch.partition(&[vec![r(0), r(1)], vec![r(2), r(3)]]);
+        // Within a group: up. Across groups: down. Unassigned: unrestricted.
+        assert!(ch.link_up(r(0), r(1)));
+        assert!(!ch.link_up(r(0), r(2)));
+        assert!(!ch.link_up(r(3), r(1)));
+        let c = NodeId::Client(ClientId(0));
+        assert!(ch.link_up(c, r(0)) && ch.link_up(c, r(2)));
+        let deliveries = ch.route(SimTime(0), r(0), &all(4), 10);
+        assert_eq!(deliveries.len(), 2, "self + same-group peer only");
+        ch.heal_partition();
+        assert!(ch.link_up(r(0), r(2)));
+        assert_eq!(ch.route(SimTime(0), r(0), &all(4), 10).len(), 4);
+    }
+
+    #[test]
+    fn repartition_replaces_previous_groups() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        ch.partition(&[vec![r(0)], vec![r(1), r(2), r(3)]]);
+        assert!(!ch.link_up(r(0), r(1)));
+        ch.partition(&[vec![r(0), r(1)], vec![r(2), r(3)]]);
+        assert!(ch.link_up(r(0), r(1)), "new partition supersedes the old");
+        assert!(!ch.link_up(r(1), r(2)));
+    }
+
+    #[test]
+    fn link_profile_is_asymmetric() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        ch.set_link(
+            r(0),
+            r(1),
+            LinkProfile {
+                drop_prob: 1.0,
+                ..LinkProfile::clean()
+            },
+        );
+        // Degraded direction drops; the reverse stays clean.
+        assert!(ch.route(SimTime(0), r(0), &[r(1)], 10).is_empty());
+        assert_eq!(ch.route(SimTime(0), r(1), &[r(0)], 10).len(), 1);
+        ch.clear_link(r(0), r(1));
+        assert_eq!(ch.route(SimTime(0), r(0), &[r(1)], 10).len(), 1);
+    }
+
+    #[test]
+    fn link_profile_overrides_global_loss() {
+        // Global config drops everything; a clean link override restores
+        // the one link.
+        let mut ch = Channel::new(ChannelConfig::lossy(1.0, 0), 1);
+        ch.set_link(r(0), r(1), LinkProfile::clean());
+        assert_eq!(ch.route(SimTime(0), r(0), &[r(1)], 10).len(), 1);
+        assert!(ch.route(SimTime(0), r(0), &[r(2)], 10).is_empty());
+    }
+
+    #[test]
+    fn link_extra_latency_delays_delivery() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        let base = ch.route(SimTime(0), r(0), &[r(1)], 10)[0].at;
+        ch.set_link(
+            r(0),
+            r(1),
+            LinkProfile {
+                extra_latency_us: 5_000,
+                ..LinkProfile::clean()
+            },
+        );
+        let slowed = ch.route(SimTime(0), r(0), &[r(1)], 10)[0].at;
+        assert_eq!(slowed.0, base.0 + 5_000);
+    }
+
+    #[test]
+    fn crash_bumps_epoch_per_node() {
+        let mut ch = Channel::new(ChannelConfig::reliable(), 1);
+        assert_eq!(ch.epoch(r(2)), 0);
+        assert_eq!(ch.crash(r(2)), 1);
+        assert_eq!(ch.crash(r(2)), 2);
+        assert_eq!(ch.epoch(r(2)), 2);
+        assert_eq!(ch.epoch(r(1)), 0, "other nodes unaffected");
     }
 
     #[test]

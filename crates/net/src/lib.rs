@@ -5,6 +5,6 @@ pub mod channel;
 pub mod cost;
 pub mod frame;
 
-pub use channel::{Channel, ChannelConfig, ChannelStats, Delivery};
+pub use channel::{Channel, ChannelConfig, ChannelStats, Delivery, LinkProfile};
 pub use cost::{CostModel, LinearCost};
 pub use frame::Frame;

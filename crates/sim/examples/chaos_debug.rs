@@ -1,0 +1,26 @@
+//! Dumps per-replica diagnostics after running a chaos plan — the tool
+//! for digging into a failing seed after `chaos` has shrunk it.
+//!
+//! Usage: chaos_debug <seed> [only-episodes, e.g. 0,2,5]
+
+use bft_sim::chaos::{debug_run, ChaosPlan};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .expect("usage: chaos_debug <seed> [episodes]")
+        .parse()
+        .expect("seed must be a number");
+    let only: Vec<u32> = std::env::args()
+        .nth(2)
+        .map(|s| s.split(',').map(|e| e.parse().expect("episode")).collect())
+        .unwrap_or_default();
+    let plan = ChaosPlan::generate(seed);
+    let plan = if only.is_empty() {
+        plan
+    } else {
+        plan.filter_episodes(&only)
+    };
+    print!("{plan}");
+    print!("{}", debug_run(&plan));
+}

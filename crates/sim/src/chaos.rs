@@ -1,0 +1,894 @@
+//! The chaos campaign engine: seeded adversarial fault schedules with a
+//! safety/liveness oracle and schedule shrinking.
+//!
+//! A [`ChaosPlan`] is a deterministic function of a seed: a timed schedule
+//! of fault *episodes* (rolling group partitions with healing, asymmetric
+//! per-link degradation, Byzantine behavior swaps, crash–restart with
+//! state-transfer catch-up, page corruption with forced recovery,
+//! isolation, and client retransmission storms) layered over a mixed
+//! read/write workload. [`run_plan`] executes the plan against a cluster
+//! and checks a continuous oracle:
+//!
+//! 1. **Safety** — the committed journals of correct replicas agree: for
+//!    every sequence number at or below a replica's committed frontier,
+//!    the (final) batch digest matches every other correct replica's.
+//! 2. **Exactly-once** — each client's k-th increment observes exactly k
+//!    (the counter is per-requester, so double or dropped execution is
+//!    arithmetic, not probabilistic).
+//! 3. **Read-your-writes** — a read-only `GET` issued after k completed
+//!    increments returns exactly k: the §5.1.3 quorum certificate cannot
+//!    assemble from replicas that miss the client's own writes.
+//! 4. **Liveness** — every client completes its workload before the
+//!    deadline, which lies well after the last fault heals.
+//!
+//! Failing seeds shrink ([`shrink`]) to a locally minimal episode subset
+//! via delta debugging, and [`ChaosPlan::repro_command`] prints the
+//! one-liner that replays exactly that schedule.
+//!
+//! The deliberate-violation episode ([`ChaosAction::TamperJournal`],
+//! enabled by [`ChaosPlan::generate_with_violation`]) silently rewrites
+//! one replica's execution journal, modeling undetected divergence; it
+//! exists to prove the oracle catches safety violations and the shrinker
+//! isolates them.
+
+use crate::behavior::Behavior;
+use crate::harness::{counter_cluster, Cluster, ClusterConfig, Fault, OpGen};
+use bft_net::LinkProfile;
+use bft_statemachine::CounterService;
+use bft_types::{ClientId, NodeId, ReplicaId, SimDuration, SimTime};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of replicas in a campaign cluster (f = 1).
+const N: u32 = 4;
+
+/// One chaos action, the unit the schedule is made of. Replicas are named
+/// by index so plans print compactly and replay exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChaosAction {
+    /// Partition the replicas into the listed groups (clients stay
+    /// connected to everyone).
+    Partition(Vec<Vec<u32>>),
+    /// Remove the partition.
+    HealPartition,
+    /// Degrade the directed link `from → to`.
+    DegradeLink {
+        /// Sending replica.
+        from: u32,
+        /// Receiving replica.
+        to: u32,
+        /// Link fault profile.
+        profile: LinkProfile,
+    },
+    /// Restore the directed link `from → to`.
+    RestoreLink {
+        /// Sending replica.
+        from: u32,
+        /// Receiving replica.
+        to: u32,
+    },
+    /// Swap a replica's behavior to a Byzantine one.
+    Byzantine {
+        /// Target replica.
+        replica: u32,
+        /// The behavior to install.
+        behavior: Behavior,
+    },
+    /// Swap a replica back to correct behavior.
+    RestoreCorrect {
+        /// Target replica.
+        replica: u32,
+    },
+    /// Cut a replica off from the network entirely.
+    Isolate {
+        /// Target replica.
+        replica: u32,
+    },
+    /// Reconnect an isolated replica.
+    Reconnect {
+        /// Target replica.
+        replica: u32,
+    },
+    /// Crash a replica (fail-stop; in-flight messages to it are lost).
+    Crash {
+        /// Target replica.
+        replica: u32,
+    },
+    /// Reboot a crashed replica from durable state.
+    Restart {
+        /// Target replica.
+        replica: u32,
+    },
+    /// Corrupt a state page behind the digests (detected and repaired by
+    /// the recovery state check).
+    CorruptPage {
+        /// Target replica.
+        replica: u32,
+        /// Page index to corrupt.
+        page: u64,
+    },
+    /// Fire the replica's watchdog: a full proactive recovery.
+    ForceRecovery {
+        /// Target replica.
+        replica: u32,
+    },
+    /// Fire the retransmission timer of the first `clients` clients at
+    /// once: a synchronized retransmission storm.
+    RetransmitStorm {
+        /// How many clients rebroadcast.
+        clients: u32,
+    },
+    /// Deliberate safety violation (oracle validation only): rewrite the
+    /// earliest entry of one replica's execution journal.
+    TamperJournal {
+        /// Target replica.
+        replica: u32,
+    },
+}
+
+impl fmt::Display for ChaosAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosAction::Partition(groups) => {
+                let gs: Vec<String> = groups
+                    .iter()
+                    .map(|g| {
+                        let ms: Vec<String> = g.iter().map(|r| r.to_string()).collect();
+                        format!("{{{}}}", ms.join(","))
+                    })
+                    .collect();
+                write!(f, "partition {}", gs.join("|"))
+            }
+            ChaosAction::HealPartition => write!(f, "heal-partition"),
+            ChaosAction::DegradeLink { from, to, profile } => write!(
+                f,
+                "degrade-link {from}->{to} drop={:.2} dup={:.2} jitter={}us lat={}us",
+                profile.drop_prob,
+                profile.duplicate_prob,
+                profile.jitter_us,
+                profile.extra_latency_us
+            ),
+            ChaosAction::RestoreLink { from, to } => write!(f, "restore-link {from}->{to}"),
+            ChaosAction::Byzantine { replica, behavior } => {
+                write!(f, "byzantine r{replica} {behavior:?}")
+            }
+            ChaosAction::RestoreCorrect { replica } => write!(f, "restore-correct r{replica}"),
+            ChaosAction::Isolate { replica } => write!(f, "isolate r{replica}"),
+            ChaosAction::Reconnect { replica } => write!(f, "reconnect r{replica}"),
+            ChaosAction::Crash { replica } => write!(f, "crash r{replica}"),
+            ChaosAction::Restart { replica } => write!(f, "restart r{replica}"),
+            ChaosAction::CorruptPage { replica, page } => {
+                write!(f, "corrupt-page r{replica} p{page}")
+            }
+            ChaosAction::ForceRecovery { replica } => write!(f, "force-recovery r{replica}"),
+            ChaosAction::RetransmitStorm { clients } => {
+                write!(f, "retransmit-storm {clients} clients")
+            }
+            ChaosAction::TamperJournal { replica } => write!(f, "TAMPER-JOURNAL r{replica}"),
+        }
+    }
+}
+
+/// A timed action, tagged with the episode it belongs to so shrinking
+/// removes a fault together with its heal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosEvent {
+    /// Virtual time at which the action applies.
+    pub at: SimTime,
+    /// Episode index (shrinking granularity).
+    pub episode: u32,
+    /// The action.
+    pub action: ChaosAction,
+}
+
+/// A full campaign: a seed, a workload shape, and a fault schedule.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Whether the deliberate TamperJournal episode is included.
+    pub inject_violation: bool,
+    /// Episode indices retained (None = all; Some = a shrunk subset).
+    pub keep: Option<Vec<u32>>,
+    /// Number of clients.
+    pub clients: u32,
+    /// Operations per client.
+    pub ops_per_client: u64,
+    /// Every `read_every`-th operation is a read-only GET.
+    pub read_every: u64,
+    /// Client think time between operations, µs.
+    pub think_us: u64,
+    /// The fault schedule, time-ordered.
+    pub events: Vec<ChaosEvent>,
+    /// Completion deadline (well past the last heal).
+    pub deadline: SimTime,
+}
+
+impl fmt::Display for ChaosPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "seed {}: {} clients x {} ops (GET every {}th, think {}us), {} events, deadline {:.3}s",
+            self.seed,
+            self.clients,
+            self.ops_per_client,
+            self.read_every,
+            self.think_us,
+            self.events.len(),
+            self.deadline.0 as f64 / 1e6
+        )?;
+        for ev in &self.events {
+            writeln!(
+                f,
+                "  t={:>9.3}ms [ep{:>2}] {}",
+                ev.at.0 as f64 / 1e3,
+                ev.episode,
+                ev.action
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl ChaosPlan {
+    /// Generates the plan for a seed. Pure: the same seed always yields
+    /// the identical plan.
+    pub fn generate(seed: u64) -> Self {
+        Self::build(seed, false)
+    }
+
+    /// Generates the plan for a seed plus the deliberate journal-tamper
+    /// episode (for validating the oracle and the shrinker).
+    pub fn generate_with_violation(seed: u64) -> Self {
+        Self::build(seed, true)
+    }
+
+    fn build(seed: u64, inject_violation: bool) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0a5_c0de);
+        let clients = rng.random_range(4..=6u32);
+        let ops_per_client = rng.random_range(18..=30u64);
+        let read_every = rng.random_range(3..=5u64);
+        let think_us = rng.random_range(15_000..=35_000u64);
+
+        let mut events = Vec::new();
+        let n_episodes = rng.random_range(5..=8u32);
+        // Episodes are sequential and non-overlapping with healing, so at
+        // most one replica is disturbed at any time: the cluster stays
+        // within its f = 1 budget and the oracle must hold.
+        let mut t = rng.random_range(60_000..=120_000u64); // First fault.
+        for ep in 0..n_episodes {
+            let dur = rng.random_range(120_000..=400_000u64);
+            let kind = rng.random_range(0..7u32);
+            let start = SimTime(t);
+            let end = SimTime(t + dur);
+            match kind {
+                0 => {
+                    // Rolling group partition: minority of 1 or an even
+                    // 2/2 split, rotated by a random offset.
+                    let off = rng.random_range(0..N);
+                    let split = if rng.random_bool(0.5) { 1 } else { 2 };
+                    let a: Vec<u32> = (0..split).map(|i| (off + i) % N).collect();
+                    let b: Vec<u32> = (split..N).map(|i| (off + i) % N).collect();
+                    events.push(ChaosEvent {
+                        at: start,
+                        episode: ep,
+                        action: ChaosAction::Partition(vec![a, b]),
+                    });
+                    events.push(ChaosEvent {
+                        at: end,
+                        episode: ep,
+                        action: ChaosAction::HealPartition,
+                    });
+                }
+                1 => {
+                    // Asymmetric link degradation: one direction only.
+                    let from = rng.random_range(0..N);
+                    let to = (from + rng.random_range(1..N)) % N;
+                    let profile = LinkProfile {
+                        drop_prob: 0.1 + 0.4 * rng.random::<f64>(),
+                        duplicate_prob: 0.05 + 0.3 * rng.random::<f64>(),
+                        jitter_us: rng.random_range(500..15_000),
+                        extra_latency_us: rng.random_range(0..4_000),
+                    };
+                    events.push(ChaosEvent {
+                        at: start,
+                        episode: ep,
+                        action: ChaosAction::DegradeLink { from, to, profile },
+                    });
+                    events.push(ChaosEvent {
+                        at: end,
+                        episode: ep,
+                        action: ChaosAction::RestoreLink { from, to },
+                    });
+                }
+                2 => {
+                    // Byzantine behavior swap on one replica (≤ f at once).
+                    let replica = rng.random_range(0..N);
+                    let behavior = match rng.random_range(0..4u32) {
+                        0 => Behavior::Mute,
+                        1 => Behavior::EquivocatingPrimary,
+                        2 => Behavior::CorruptVotes,
+                        _ => Behavior::LyingReplies,
+                    };
+                    events.push(ChaosEvent {
+                        at: start,
+                        episode: ep,
+                        action: ChaosAction::Byzantine { replica, behavior },
+                    });
+                    events.push(ChaosEvent {
+                        at: end,
+                        episode: ep,
+                        action: ChaosAction::RestoreCorrect { replica },
+                    });
+                }
+                3 => {
+                    // Crash–restart: reboot from durable state, catch up.
+                    let replica = rng.random_range(0..N);
+                    events.push(ChaosEvent {
+                        at: start,
+                        episode: ep,
+                        action: ChaosAction::Crash { replica },
+                    });
+                    events.push(ChaosEvent {
+                        at: end,
+                        episode: ep,
+                        action: ChaosAction::Restart { replica },
+                    });
+                }
+                4 => {
+                    // Isolation: links down, replica keeps running.
+                    let replica = rng.random_range(0..N);
+                    events.push(ChaosEvent {
+                        at: start,
+                        episode: ep,
+                        action: ChaosAction::Isolate { replica },
+                    });
+                    events.push(ChaosEvent {
+                        at: end,
+                        episode: ep,
+                        action: ChaosAction::Reconnect { replica },
+                    });
+                }
+                5 => {
+                    // Page corruption, repaired by a forced recovery.
+                    let replica = rng.random_range(0..N);
+                    let page = rng.random_range(0..4u64);
+                    events.push(ChaosEvent {
+                        at: start,
+                        episode: ep,
+                        action: ChaosAction::CorruptPage { replica, page },
+                    });
+                    events.push(ChaosEvent {
+                        at: SimTime(t + 20_000),
+                        episode: ep,
+                        action: ChaosAction::ForceRecovery { replica },
+                    });
+                }
+                _ => {
+                    // Retransmission storm across most clients.
+                    let storm = rng.random_range(2..=clients);
+                    events.push(ChaosEvent {
+                        at: start,
+                        episode: ep,
+                        action: ChaosAction::RetransmitStorm { clients: storm },
+                    });
+                }
+            }
+            t += dur + rng.random_range(80_000..=250_000u64);
+        }
+        if inject_violation {
+            // The tamper lands mid-schedule as its own episode, on a
+            // replica the safety check actually compares: equivocating
+            // replicas are excluded from the journal comparison, so a
+            // tamper there would silently escape the oracle.
+            let at = SimTime(events[events.len() / 2].at.0 + 1);
+            let equivocators: Vec<u32> = events
+                .iter()
+                .filter_map(|e| match &e.action {
+                    ChaosAction::Byzantine {
+                        replica,
+                        behavior: Behavior::EquivocatingPrimary,
+                    } => Some(*replica),
+                    _ => None,
+                })
+                .collect();
+            let candidates: Vec<u32> = (0..N).filter(|r| !equivocators.contains(r)).collect();
+            let replica = if candidates.is_empty() {
+                0
+            } else {
+                candidates[rng.random_range(0..candidates.len() as u32) as usize]
+            };
+            events.push(ChaosEvent {
+                at,
+                episode: n_episodes,
+                action: ChaosAction::TamperJournal { replica },
+            });
+        }
+        events.sort_by_key(|e| e.at.0);
+        // Generous tail: faults are all healed by `t`; everything still
+        // outstanding must complete well before the deadline.
+        let deadline = SimTime(t + SimDuration::from_secs(120).as_micros());
+        ChaosPlan {
+            seed,
+            inject_violation,
+            keep: None,
+            clients,
+            ops_per_client,
+            read_every,
+            think_us,
+            events,
+            deadline,
+        }
+    }
+
+    /// Restricts the plan to the given episodes (shrinking / `--only`).
+    pub fn filter_episodes(&self, keep: &[u32]) -> Self {
+        let mut p = self.clone();
+        p.events.retain(|e| keep.contains(&e.episode));
+        p.keep = Some(keep.to_vec());
+        p
+    }
+
+    /// Episode indices present in the plan, ascending.
+    pub fn episodes(&self) -> Vec<u32> {
+        let mut eps: Vec<u32> = self.events.iter().map(|e| e.episode).collect();
+        eps.sort_unstable();
+        eps.dedup();
+        eps
+    }
+
+    /// True when any episode needs the proactive-recovery machinery.
+    fn needs_recovery(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.action,
+                ChaosAction::ForceRecovery { .. } | ChaosAction::CorruptPage { .. }
+            )
+        })
+    }
+
+    /// The command line that replays exactly this plan.
+    pub fn repro_command(&self) -> String {
+        let mut cmd = format!(
+            "cargo run -p bft-bench --release --bin chaos -- --seed {}",
+            self.seed
+        );
+        if self.inject_violation {
+            cmd.push_str(" --inject-violation");
+        }
+        if let Some(keep) = &self.keep {
+            let eps: Vec<String> = keep.iter().map(|e| e.to_string()).collect();
+            cmd.push_str(&format!(" --only {}", eps.join(",")));
+        }
+        cmd
+    }
+}
+
+/// The oracle's verdict for one run.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// True when every oracle invariant held.
+    pub ok: bool,
+    /// Human-readable violations, empty when `ok`.
+    pub violations: Vec<String>,
+    /// Operations completed across all clients.
+    pub ops_completed: u64,
+    /// Client operations that needed at least one retransmission.
+    pub ops_retransmitted: u64,
+    /// View of replica 0 at the end (how much view churn the run caused).
+    pub final_view: u64,
+    /// Deterministic digest of the run outcome (journals, state digests,
+    /// client results): two runs of the same plan must produce the same
+    /// fingerprint bit for bit.
+    pub fingerprint: String,
+}
+
+/// Runs a plan and dumps per-replica diagnostics (for debugging failing
+/// seeds; the `chaos` binary exposes this as `--debug`).
+pub fn debug_run(plan: &ChaosPlan) -> String {
+    let (cluster, done) = run_cluster(plan);
+    let mut s = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(s, "done={done} now={}us", cluster.now().0);
+    for i in 0..N as usize {
+        let r = cluster.replica(i);
+        let _ = writeln!(
+            s,
+            "r{i}: view={} active={} le={} cf={} stable={} behavior={:?} recovering={}",
+            r.view().0,
+            r.view_is_active(),
+            r.last_executed().0,
+            r.committed_frontier().0,
+            r.stable_checkpoint().0 .0,
+            cluster.behavior(i),
+            r.is_recovering(),
+        );
+        let _ = writeln!(s, "    buffers: {}", r.debug_buffers());
+        if let Some(f) = r.debug_fetch() {
+            let _ = writeln!(s, "    fetch: {f}");
+        }
+        let next = bft_types::SeqNo(r.last_executed().0 + 1);
+        let _ = writeln!(s, "    blocker at {next}: {}", r.debug_exec_blocker(next));
+        let _ = writeln!(s, "    slots: {:?}", r.debug_slots());
+    }
+    for c in 0..plan.clients as usize {
+        let _ = writeln!(s, "client {c}: {} results", cluster.client_results(c).len());
+    }
+    s
+}
+
+/// Runs a chaos plan against a fresh cluster and evaluates the oracle.
+pub fn run_plan(plan: &ChaosPlan) -> ChaosReport {
+    let (cluster, done) = run_cluster(plan);
+    evaluate(plan, &cluster, done)
+}
+
+fn run_cluster(plan: &ChaosPlan) -> (Cluster<CounterService>, bool) {
+    let mut config = ClusterConfig::test(1, plan.clients);
+    config.seed = plan.seed;
+    if plan.needs_recovery() {
+        // Forced recoveries need the machinery enabled; the huge watchdog
+        // period keeps spontaneous recoveries out of the schedule.
+        config.replica.recovery.enabled = true;
+        config.replica.recovery.watchdog_period = SimDuration::from_secs(3_600);
+        config.replica.recovery.key_refresh_period = SimDuration::from_secs(600);
+    }
+    let mut cluster = counter_cluster(config);
+
+    // Mixed workload: INCs with a GET every `read_every`-th operation.
+    let read_every = plan.read_every;
+    let inc = Bytes::from_static(&[CounterService::OP_INC]);
+    let get = Bytes::from_static(&[CounterService::OP_GET]);
+    cluster.set_workload(OpGen {
+        gen: std::rc::Rc::new(move |k| {
+            if (k + 1) % read_every == 0 {
+                (get.clone(), true)
+            } else {
+                (inc.clone(), false)
+            }
+        }),
+        ops_per_client: plan.ops_per_client,
+        think_us: plan.think_us,
+    });
+
+    // Schedule the harness-level faults; journal tampering needs direct
+    // cluster access, so those events run via stepping.
+    let mut tampers: Vec<(SimTime, u32)> = Vec::new();
+    for ev in &plan.events {
+        match &ev.action {
+            ChaosAction::TamperJournal { replica } => tampers.push((ev.at, *replica)),
+            action => {
+                for fault in to_faults(action) {
+                    cluster.schedule_fault(ev.at, fault);
+                }
+            }
+        }
+    }
+    let mut deferred = Vec::new();
+    for (at, replica) in &tampers {
+        cluster.run_until(*at);
+        if !tamper_journal(&mut cluster, *replica) {
+            deferred.push(*replica);
+        }
+    }
+    let done = cluster.run_to_completion(plan.deadline);
+    // Journals that were empty at tamper time get rewritten now, so the
+    // violation cannot escape by racing the workload.
+    for replica in deferred {
+        tamper_journal(&mut cluster, replica);
+    }
+    (cluster, done)
+}
+
+fn to_faults(action: &ChaosAction) -> Vec<Fault> {
+    let r = |i: &u32| ReplicaId(*i);
+    let node = |i: &u32| NodeId::Replica(ReplicaId(*i));
+    match action {
+        ChaosAction::Partition(groups) => {
+            let groups = groups
+                .iter()
+                .map(|g| g.iter().map(|i| node(i)).collect())
+                .collect();
+            vec![Fault::Partition(groups)]
+        }
+        ChaosAction::HealPartition => vec![Fault::HealPartition],
+        ChaosAction::DegradeLink { from, to, profile } => {
+            vec![Fault::SetLink(node(from), node(to), *profile)]
+        }
+        ChaosAction::RestoreLink { from, to } => vec![Fault::ClearLink(node(from), node(to))],
+        ChaosAction::Byzantine { replica, behavior } => {
+            vec![Fault::SetBehavior(r(replica), *behavior)]
+        }
+        ChaosAction::RestoreCorrect { replica } => {
+            vec![Fault::SetBehavior(r(replica), Behavior::Correct)]
+        }
+        ChaosAction::Isolate { replica } => vec![Fault::Isolate(node(replica))],
+        ChaosAction::Reconnect { replica } => vec![Fault::Reconnect(node(replica))],
+        ChaosAction::Crash { replica } => vec![Fault::Crash(r(replica))],
+        ChaosAction::Restart { replica } => vec![Fault::Restart(r(replica))],
+        ChaosAction::CorruptPage { replica, page } => {
+            let junk = Bytes::from(vec![0xEE; 64]);
+            vec![Fault::CorruptPage(r(replica), *page, junk)]
+        }
+        ChaosAction::ForceRecovery { replica } => vec![Fault::ForceRecovery(r(replica))],
+        ChaosAction::RetransmitStorm { clients } => (0..*clients)
+            .map(|c| Fault::ClientRetransmitNow(ClientId(c)))
+            .collect(),
+        ChaosAction::TamperJournal { .. } => unreachable!("handled by stepping"),
+    }
+}
+
+/// Rewrites the digest of the replica's earliest executed sequence number
+/// (every occurrence, so a later redo of the same slot cannot mask it).
+/// Returns false when the journal is still empty.
+fn tamper_journal(cluster: &mut Cluster<CounterService>, replica: u32) -> bool {
+    let journal = &mut cluster.replica_mut(replica as usize).journal;
+    let Some(&(seq, _)) = journal.first() else {
+        return false;
+    };
+    for entry in journal.iter_mut().filter(|e| e.0 == seq) {
+        entry.1 .0[0] ^= 0xFF;
+    }
+    true
+}
+
+/// The committed prefix of a replica's execution journal: the final batch
+/// digest per sequence number at or below the committed frontier. The
+/// journal may re-execute a sequence number after a rollback; the last
+/// entry is the one reflected in the state. This is the object the
+/// safety oracle compares — tests should use it rather than re-deriving
+/// the invariant.
+pub fn committed_journal<S: bft_statemachine::Service>(
+    replica: &bft_core::Replica<S>,
+) -> BTreeMap<u64, bft_crypto::Digest> {
+    let frontier = replica.committed_frontier().0;
+    let mut map = BTreeMap::new();
+    for &(seq, digest) in &replica.journal {
+        if seq.0 <= frontier {
+            map.insert(seq.0, digest);
+        }
+    }
+    map
+}
+
+/// Pairwise divergences between committed journals: `(replica_a,
+/// replica_b, seq)` for every sequence number both executed with
+/// different digests. Empty means the safety invariant holds.
+pub fn journal_divergences(
+    journals: &[(usize, BTreeMap<u64, bft_crypto::Digest>)],
+) -> Vec<(usize, usize, u64)> {
+    let mut out = Vec::new();
+    for a in 0..journals.len() {
+        for b in (a + 1)..journals.len() {
+            for (seq, da) in &journals[a].1 {
+                if journals[b].1.get(seq).is_some_and(|db| db != da) {
+                    out.push((journals[a].0, journals[b].0, *seq));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Replicas whose journals the safety check may compare: everything except
+/// replicas that ever ran an equivocating behavior (their own journal may
+/// legitimately diverge from what the cluster committed — the protocol
+/// only protects the correct ones). A deliberately tampered replica is
+/// always compared; that is the whole point of the tamper.
+fn comparable_replicas(plan: &ChaosPlan) -> Vec<usize> {
+    let mut out = Vec::new();
+    'outer: for i in 0..N {
+        let tampered = plan
+            .events
+            .iter()
+            .any(|ev| matches!(ev.action, ChaosAction::TamperJournal { replica } if replica == i));
+        if !tampered {
+            for ev in &plan.events {
+                if let ChaosAction::Byzantine { replica, behavior } = &ev.action {
+                    if *replica == i && *behavior == Behavior::EquivocatingPrimary {
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        out.push(i as usize);
+    }
+    out
+}
+
+fn evaluate(plan: &ChaosPlan, cluster: &Cluster<CounterService>, done: bool) -> ChaosReport {
+    let mut violations = Vec::new();
+
+    // 4. Liveness: eventual progress once the last fault healed.
+    if !done {
+        violations.push(format!(
+            "liveness: {} operations still outstanding at the deadline",
+            cluster.outstanding_ops()
+        ));
+    }
+
+    // 1. Safety: committed journals agree across comparable replicas.
+    let replicas = comparable_replicas(plan);
+    let committed: Vec<(usize, BTreeMap<u64, bft_crypto::Digest>)> = replicas
+        .iter()
+        .map(|&i| (i, committed_journal(cluster.replica(i))))
+        .collect();
+    for (a, b, seq) in journal_divergences(&committed) {
+        violations.push(format!(
+            "safety: replicas {a} and {b} committed different batches at seq {seq}"
+        ));
+    }
+
+    // 2 + 3. Exactly-once and read-your-writes, from the client's view:
+    // the k-th completed INC returns exactly k; every GET returns exactly
+    // the number of INCs completed before it.
+    for c in 0..plan.clients {
+        let results = cluster.client_results(c as usize);
+        if done && results.len() != plan.ops_per_client as usize {
+            violations.push(format!(
+                "client {c}: {} of {} operations recorded",
+                results.len(),
+                plan.ops_per_client
+            ));
+        }
+        let mut incs = 0u64;
+        for (k, (_, result)) in results.iter().enumerate() {
+            let is_get = (k as u64 + 1) % plan.read_every == 0;
+            if result.len() < 8 {
+                violations.push(format!("client {c} op {k}: short result"));
+                continue;
+            }
+            let mut val = [0u8; 8];
+            val.copy_from_slice(&result[..8]);
+            let val = u64::from_le_bytes(val);
+            if is_get {
+                if val != incs {
+                    violations.push(format!(
+                        "read-your-writes: client {c} op {k} GET returned {val}, \
+                         expected {incs}"
+                    ));
+                }
+            } else {
+                incs += 1;
+                if val != incs {
+                    violations.push(format!(
+                        "exactly-once: client {c} op {k} INC returned {val}, expected {incs}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Deterministic fingerprint of the outcome.
+    let mut fp = String::new();
+    use std::fmt::Write as _;
+    for i in 0..N as usize {
+        let r = cluster.replica(i);
+        let _ = write!(
+            fp,
+            "r{i}:v{}le{}cf{}j{}sd{:?};",
+            r.view().0,
+            r.last_executed().0,
+            r.committed_frontier().0,
+            r.journal.len(),
+            r.state_digest()
+        );
+    }
+    let _ = write!(
+        fp,
+        "ops{}ret{}end{}",
+        cluster.metrics.ops_completed,
+        cluster.metrics.ops_retransmitted,
+        cluster.metrics.end_time.0
+    );
+    let fingerprint = format!("{:?}", bft_crypto::digest(fp.as_bytes()));
+
+    ChaosReport {
+        ok: violations.is_empty(),
+        violations,
+        ops_completed: cluster.metrics.ops_completed,
+        ops_retransmitted: cluster.metrics.ops_retransmitted,
+        final_view: cluster.replica(0).view().0,
+        fingerprint,
+    }
+}
+
+/// Shrinks a failing plan to a locally minimal set of episodes: classic
+/// delta debugging over whole episodes (a fault travels with its heal, so
+/// every candidate stays well-formed). Returns the original plan when it
+/// does not fail at all.
+pub fn shrink(plan: &ChaosPlan) -> ChaosPlan {
+    if run_plan(plan).ok {
+        return plan.clone();
+    }
+    let mut episodes = plan.episodes();
+    let mut chunk = (episodes.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < episodes.len() && episodes.len() > 1 {
+            let hi = (i + chunk).min(episodes.len());
+            let mut candidate = episodes.clone();
+            candidate.drain(i..hi);
+            if candidate.is_empty() {
+                i = hi;
+                continue;
+            }
+            if !run_plan(&plan.filter_episodes(&candidate)).ok {
+                episodes = candidate; // Still fails without these: drop them.
+            } else {
+                i = hi;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    plan.filter_episodes(&episodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_generation_is_pure() {
+        let a = ChaosPlan::generate(7);
+        let b = ChaosPlan::generate(7);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.clients, b.clients);
+        assert_ne!(
+            ChaosPlan::generate(8).events,
+            a.events,
+            "different seeds differ"
+        );
+    }
+
+    #[test]
+    fn plans_heal_every_fault() {
+        for seed in 0..20 {
+            let plan = ChaosPlan::generate(seed);
+            // Every disturbance episode contains a healing action, and the
+            // deadline lies after every event.
+            let last = plan.events.iter().map(|e| e.at.0).max().unwrap();
+            assert!(plan.deadline.0 > last + 1_000_000);
+            for ep in plan.episodes() {
+                let actions: Vec<&ChaosAction> = plan
+                    .events
+                    .iter()
+                    .filter(|e| e.episode == ep)
+                    .map(|e| &e.action)
+                    .collect();
+                let heals = |a: &&ChaosAction| {
+                    matches!(
+                        a,
+                        ChaosAction::HealPartition
+                            | ChaosAction::RestoreLink { .. }
+                            | ChaosAction::RestoreCorrect { .. }
+                            | ChaosAction::Reconnect { .. }
+                            | ChaosAction::Restart { .. }
+                            | ChaosAction::ForceRecovery { .. }
+                            | ChaosAction::RetransmitStorm { .. }
+                    )
+                };
+                assert!(
+                    actions.iter().any(heals),
+                    "episode {ep} of seed {seed} never heals: {actions:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_episodes_restricts_and_labels() {
+        let plan = ChaosPlan::generate(3);
+        let eps = plan.episodes();
+        let sub = plan.filter_episodes(&eps[..1]);
+        assert!(sub.events.iter().all(|e| e.episode == eps[0]));
+        assert!(sub.repro_command().contains("--only"));
+        assert!(sub.repro_command().contains("--seed 3"));
+    }
+}

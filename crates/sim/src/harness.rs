@@ -8,7 +8,7 @@
 use crate::behavior::Behavior;
 use crate::metrics::Metrics;
 use bft_core::{Action, ClientConfig, ClientProxy, Input, Replica, ReplicaConfig, Target, TimerId};
-use bft_net::{Channel, ChannelConfig, Frame};
+use bft_net::{Channel, ChannelConfig, Frame, LinkProfile};
 use bft_statemachine::Service;
 use bft_types::{
     Auth, ClientId, Message, NodeId, ReplicaId, Requester, SimDuration, SimTime, Timestamp,
@@ -57,6 +57,26 @@ pub enum Fault {
     CorruptPage(ReplicaId, u64, Bytes),
     /// Fire a replica's watchdog immediately (forced recovery).
     ForceRecovery(ReplicaId),
+    /// Split the network into groups that cannot exchange messages; nodes
+    /// (e.g. clients) absent from every group stay connected to all.
+    Partition(Vec<Vec<NodeId>>),
+    /// Remove any group partition.
+    HealPartition,
+    /// Degrade one directed link with loss/duplication/jitter/latency.
+    SetLink(NodeId, NodeId, LinkProfile),
+    /// Restore one directed link to the global channel configuration.
+    ClearLink(NodeId, NodeId),
+    /// Crash a replica (fail-stop): it stops processing, its timers die,
+    /// and in-flight messages addressed to it are lost.
+    Crash(ReplicaId),
+    /// Reboot a crashed replica from durable state
+    /// ([`bft_core::Replica::restart`]); it rejoins via retransmission and
+    /// state transfer.
+    Restart(ReplicaId),
+    /// Fire a client's retransmission timer immediately: the client
+    /// rebroadcasts its in-flight request to every replica (a
+    /// retransmission storm when scheduled for many clients at once).
+    ClientRetransmitNow(ClientId),
 }
 
 #[derive(Clone, Debug)]
@@ -66,6 +86,10 @@ enum EventKind {
     Deliver {
         to: NodeId,
         frame: Frame,
+        /// The destination's restart epoch at send time: a crash in
+        /// between invalidates the delivery (the incarnation that owned
+        /// the receive queue is gone).
+        epoch: u64,
     },
     Timer {
         node: NodeId,
@@ -74,6 +98,10 @@ enum EventKind {
     },
     ClientStart {
         client: ClientId,
+        /// The previous operation's result, when this event resumes a
+        /// closed loop after think time (drivers may resolve their next
+        /// operation from it).
+        last: Option<Bytes>,
     },
     Fault(Fault),
 }
@@ -117,11 +145,19 @@ pub struct OpGen {
     pub gen: std::rc::Rc<dyn Fn(u64) -> (Bytes, bool)>,
     /// Operations each client will issue.
     pub ops_per_client: u64,
+    /// Client think time between an operation's completion and the next
+    /// invocation (0 = tight closed loop). Long-running workloads use this
+    /// to span a fault timeline instead of finishing before it starts.
+    pub think_us: u64,
 }
 
 impl std::fmt::Debug for OpGen {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "OpGen(ops={})", self.ops_per_client)
+        write!(
+            f,
+            "OpGen(ops={}, think={}us)",
+            self.ops_per_client, self.think_us
+        )
     }
 }
 
@@ -131,6 +167,7 @@ impl OpGen {
         OpGen {
             gen: std::rc::Rc::new(move |_| (op.clone(), read_only)),
             ops_per_client: ops,
+            think_us: 0,
         }
     }
 }
@@ -158,6 +195,8 @@ struct ClientSlot {
     done: bool,
     invoke_time: SimTime,
     results: Vec<(Timestamp, Bytes)>,
+    /// Delay between completing one operation and invoking the next.
+    think: SimDuration,
 }
 
 /// The simulated cluster.
@@ -213,6 +252,7 @@ impl<S: Service> Cluster<S> {
                 done: true,
                 invoke_time: SimTime::ZERO,
                 results: Vec::new(),
+                think: SimDuration::ZERO,
             })
             .collect();
         let channel = Channel::new(config.channel.clone(), config.seed ^ 0xc4a77e1);
@@ -253,7 +293,9 @@ impl<S: Service> Cluster<S> {
     /// Assigns a closed-loop workload to every client and schedules the
     /// first invocations at time zero.
     pub fn set_workload(&mut self, gen: OpGen) {
+        let think = SimDuration::from_micros(gen.think_us);
         for c in 0..self.clients.len() {
+            self.clients[c].think = think;
             self.set_driver(
                 ClientId(c as u32),
                 Box::new(OpGenDriver {
@@ -270,7 +312,7 @@ impl<S: Service> Cluster<S> {
         let slot = &mut self.clients[client.0 as usize];
         slot.driver = Some(driver);
         slot.done = false;
-        self.push_event(self.time, EventKind::ClientStart { client });
+        self.push_event(self.time, EventKind::ClientStart { client, last: None });
     }
 
     /// Current virtual time.
@@ -291,6 +333,16 @@ impl<S: Service> Cluster<S> {
     /// Results collected by a client, in completion order.
     pub fn client_results(&self, c: usize) -> &[(Timestamp, Bytes)] {
         &self.clients[c].results
+    }
+
+    /// Read access to the channel (stats, link state).
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// The behavior currently assigned to a replica.
+    pub fn behavior(&self, r: usize) -> Behavior {
+        self.behaviors[r]
     }
 
     /// Completion timestamps across all clients (for gap analysis).
@@ -348,7 +400,12 @@ impl<S: Service> Cluster<S> {
 
     fn dispatch(&mut self, ev: Event) {
         match ev.kind {
-            EventKind::Deliver { to, frame } => self.deliver(to, frame, ev.at),
+            EventKind::Deliver { to, frame, epoch } => {
+                if epoch != self.channel.epoch(to) {
+                    return; // The receiving incarnation crashed meanwhile.
+                }
+                self.deliver(to, frame, ev.at)
+            }
             EventKind::Timer { node, id, gen } => {
                 let current = self.timer_gen.get(&(node, id)).copied().unwrap_or(0);
                 if gen != current {
@@ -356,8 +413,17 @@ impl<S: Service> Cluster<S> {
                 }
                 self.handle_input(node, Input::Timer(id), ev.at);
             }
-            EventKind::ClientStart { client } => self.client_next_op(client, ev.at),
+            EventKind::ClientStart { client, last } => self.client_advance(client, ev.at, last),
             EventKind::Fault(f) => self.apply_fault(f, ev.at),
+        }
+    }
+
+    /// Invalidates every armed timer of a node (crash semantics).
+    fn cancel_node_timers(&mut self, node: NodeId) {
+        for ((n, _), gen) in self.timer_gen.iter_mut() {
+            if *n == node {
+                *gen += 1;
+            }
         }
     }
 
@@ -367,16 +433,46 @@ impl<S: Service> Cluster<S> {
             Fault::Isolate(n) => self.channel.isolate(n),
             Fault::Reconnect(n) => self.channel.reconnect(n),
             Fault::CorruptPage(r, page, value) => {
-                self.replicas[r.0 as usize].corrupt_state_page(page, value);
+                // Clamp into the replica's page range (service pages plus
+                // the client-table page) so schedules stay valid across
+                // services with different state sizes.
+                let replica = &mut self.replicas[r.0 as usize];
+                let page = page % replica.debug_num_pages();
+                replica.corrupt_state_page(page, value);
             }
             Fault::ForceRecovery(r) => {
                 self.handle_input(NodeId::Replica(r), Input::WatchdogInterrupt, at);
             }
+            Fault::Partition(groups) => self.channel.partition(&groups),
+            Fault::HealPartition => self.channel.heal_partition(),
+            Fault::SetLink(from, to, profile) => self.channel.set_link(from, to, profile),
+            Fault::ClearLink(from, to) => self.channel.clear_link(from, to),
+            Fault::Crash(r) => {
+                let node = NodeId::Replica(r);
+                self.behaviors[r.0 as usize] = Behavior::Crashed;
+                self.channel.crash(node);
+                self.cancel_node_timers(node);
+                self.busy_until.remove(&node);
+            }
+            Fault::Restart(r) => {
+                let node = NodeId::Replica(r);
+                self.behaviors[r.0 as usize] = Behavior::Correct;
+                // Stray timers from the previous incarnation must not fire
+                // into the rebooted one.
+                self.cancel_node_timers(node);
+                let actions = self.replicas[r.0 as usize].restart();
+                self.apply_actions(node, at, actions);
+            }
+            Fault::ClientRetransmitNow(c) => {
+                if self.clients[c.0 as usize].proxy.busy() {
+                    self.handle_input(
+                        NodeId::Client(c),
+                        Input::Timer(TimerId::ClientRetransmit),
+                        at,
+                    );
+                }
+            }
         }
-    }
-
-    fn client_next_op(&mut self, client: ClientId, at: SimTime) {
-        self.client_advance(client, at, None);
     }
 
     fn client_advance(&mut self, client: ClientId, at: SimTime, last: Option<Bytes>) {
@@ -533,8 +629,20 @@ impl<S: Service> Cluster<S> {
                     self.metrics
                         .record_completion(start, latency, op.retransmissions > 0);
                     self.completions.push(start);
-                    // Closed loop: ask the driver for the next operation.
-                    self.client_advance(c, done_at, Some(op.result));
+                    // Closed loop: ask the driver for the next operation,
+                    // after the configured think time when one is set.
+                    let think = self.clients[idx].think;
+                    if think > SimDuration::ZERO {
+                        self.push_event(
+                            done_at + think,
+                            EventKind::ClientStart {
+                                client: c,
+                                last: Some(op.result),
+                            },
+                        );
+                    } else {
+                        self.client_advance(c, done_at, Some(op.result));
+                    }
                 }
                 return;
             }
@@ -601,11 +709,13 @@ impl<S: Service> Cluster<S> {
                             self.channel
                                 .route(send_at, from, &[dest], frame.wire_size());
                         for d in deliveries {
+                            let epoch = self.channel.epoch(d.to);
                             self.push_event(
                                 d.at,
                                 EventKind::Deliver {
                                     to: d.to,
                                     frame: frame.clone(),
+                                    epoch,
                                 },
                             );
                         }

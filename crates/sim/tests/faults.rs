@@ -1,0 +1,160 @@
+//! Targeted fault regressions for the bugs the chaos campaign is built to
+//! flush out: duplicate delivery must not break exactly-once or double
+//! count certificates; a replica reconnecting after a long isolation must
+//! catch up by state transfer without dragging the group through spurious
+//! view changes; a crash–restart must rejoin from durable state.
+
+use bft_net::ChannelConfig;
+use bft_sim::{counter_cluster, Behavior, ClusterConfig, Fault, OpGen};
+use bft_statemachine::CounterService;
+use bft_types::{NodeId, ReplicaId, SimTime};
+use bytes::Bytes;
+
+const CLIENTS: u32 = 8;
+const OPS: u64 = 20;
+
+fn inc_op() -> Bytes {
+    Bytes::from_static(&[CounterService::OP_INC])
+}
+
+fn assert_exactly_once(cluster: &bft_sim::Cluster<CounterService>) {
+    for c in 0..CLIENTS as usize {
+        let results = cluster.client_results(c);
+        assert_eq!(results.len(), OPS as usize, "client {c} completed all ops");
+        for (k, (_, result)) in results.iter().enumerate() {
+            let mut val = [0u8; 8];
+            val.copy_from_slice(&result[..8]);
+            assert_eq!(
+                u64::from_le_bytes(val),
+                k as u64 + 1,
+                "client {c} op {k} must execute exactly once"
+            );
+        }
+    }
+}
+
+fn assert_committed_journals_agree(cluster: &bft_sim::Cluster<CounterService>) {
+    let journals: Vec<_> = (0..4)
+        .map(|i| (i, bft_sim::chaos::committed_journal(cluster.replica(i))))
+        .collect();
+    let divergences = bft_sim::chaos::journal_divergences(&journals);
+    assert!(
+        divergences.is_empty(),
+        "committed journals diverge: {divergences:?}"
+    );
+}
+
+/// Regression (duplicate-delivery dedup): a channel that duplicates a
+/// third of all frames and drops some must not double-execute requests or
+/// assemble certificates from double-counted votes.
+#[test]
+fn duplicating_lossy_channel_preserves_exactly_once() {
+    let mut config = ClusterConfig::test(1, CLIENTS);
+    config.channel = ChannelConfig {
+        drop_prob: 0.05,
+        duplicate_prob: 0.35,
+        jitter_us: 3_000,
+        ..ChannelConfig::reliable()
+    };
+    config.seed = 11;
+    let mut cluster = counter_cluster(config);
+    cluster.set_workload(OpGen::fixed(inc_op(), false, OPS));
+    assert!(
+        cluster.run_to_completion(SimTime(600_000_000)),
+        "lossy+duplicating run must complete"
+    );
+    assert!(
+        cluster.channel().stats().duplicated > 100,
+        "the channel actually duplicated traffic"
+    );
+    assert_exactly_once(&cluster);
+    assert_committed_journals_agree(&cluster);
+}
+
+/// Regression (Isolate/Reconnect timer hygiene): a replica isolated for
+/// many view-change-timeout periods while holding queued work must, after
+/// reconnecting, catch up via state transfer and stop its view-change
+/// timer — not churn through view changes — and the healthy majority must
+/// never leave view 0.
+#[test]
+fn reconnect_after_long_isolation_catches_up_without_view_churn() {
+    let mut config = ClusterConfig::test(1, CLIENTS);
+    config.seed = 5;
+    let mut cluster = counter_cluster(config);
+    let victim = NodeId::Replica(ReplicaId(2));
+    // Isolated from early on, through ~6 view-change timeouts of load.
+    cluster.schedule_fault(SimTime(30_000), Fault::Isolate(victim));
+    cluster.schedule_fault(SimTime(1_600_000), Fault::Reconnect(victim));
+    cluster.set_workload(OpGen {
+        gen: std::rc::Rc::new(|_| (inc_op(), false)),
+        ops_per_client: OPS,
+        think_us: 12_000,
+    });
+    assert!(
+        cluster.run_to_completion(SimTime(600_000_000)),
+        "workload must complete despite the isolation"
+    );
+    // Drain the catch-up tail so the rejoiner finishes its transfer.
+    let tail = SimTime(cluster.now().0 + 2_000_000);
+    cluster.run_until(tail);
+    assert_exactly_once(&cluster);
+    assert_committed_journals_agree(&cluster);
+    // The healthy majority never saw a reason to change views.
+    for i in [0usize, 1, 3] {
+        assert_eq!(
+            cluster.replica(i).stats.view_changes_started,
+            0,
+            "replica {i} started a spurious view change"
+        );
+        assert_eq!(cluster.replica(i).view().0, 0);
+    }
+    // The rejoiner may have timed out once while cut off, but must not
+    // churn: one view-change at most, and its timer must be quiet now.
+    let rejoiner = cluster.replica(2);
+    assert!(
+        rejoiner.stats.view_changes_started <= 1,
+        "rejoining replica churned through {} view changes",
+        rejoiner.stats.view_changes_started
+    );
+    // Catch-up happened: its stable checkpoint tracked the cluster.
+    let stable = rejoiner.stable_checkpoint().0;
+    assert!(
+        stable >= cluster.replica(0).stable_checkpoint().0,
+        "rejoiner stable {stable:?} lags replica 0"
+    );
+}
+
+/// Regression (crash–restart rejoin): a replica that crashes under load
+/// and reboots from durable state must rejoin, re-arm its timers, and
+/// converge with the group; messages sent while it was down are lost.
+#[test]
+fn crash_restart_rejoins_from_durable_state() {
+    let mut config = ClusterConfig::test(1, CLIENTS);
+    config.seed = 9;
+    let mut cluster = counter_cluster(config);
+    cluster.schedule_fault(SimTime(200_000), Fault::Crash(ReplicaId(1)));
+    cluster.schedule_fault(SimTime(1_100_000), Fault::Restart(ReplicaId(1)));
+    cluster.set_workload(OpGen {
+        gen: std::rc::Rc::new(|_| (inc_op(), false)),
+        ops_per_client: OPS,
+        think_us: 10_000,
+    });
+    assert!(
+        cluster.run_to_completion(SimTime(600_000_000)),
+        "workload must complete across the crash"
+    );
+    let tail = SimTime(cluster.now().0 + 2_000_000);
+    cluster.run_until(tail);
+    assert_eq!(cluster.behavior(1), Behavior::Correct);
+    assert_exactly_once(&cluster);
+    assert_committed_journals_agree(&cluster);
+    let rebooted = cluster.replica(1);
+    assert!(
+        rebooted.stable_checkpoint().0 >= cluster.replica(0).stable_checkpoint().0,
+        "rebooted replica caught up to the group's stable checkpoint"
+    );
+    assert!(
+        rebooted.last_executed().0 > 0,
+        "rebooted replica resumed executing"
+    );
+}

@@ -192,6 +192,67 @@ fn decode_resets_the_memo() {
     assert_eq!(back.digest(), req.digest());
 }
 
+#[test]
+fn retransmission_rewrite_invalidates_without_touching_inflight_copies() {
+    // The client retransmission path clones the pending request, rewrites
+    // `replier`/`read_only` in place, and calls `invalidate_digests`
+    // before re-authenticating. Meanwhile the simulator may still hold
+    // (and duplicate) the original frame: the original's memoized digest
+    // must stay valid, and the rewritten copy must not reuse the stale
+    // cache.
+    let mut original = sample_request();
+    original.read_only = true;
+    let original_digest = original.digest(); // Populate the cache.
+
+    // First retransmission: drop the designated replier.
+    let mut retrans1 = original.clone();
+    retrans1.replier = None;
+    retrans1.invalidate_digests();
+    let d1 = retrans1.digest();
+    // Second retransmission: demote read-only to read-write.
+    let mut retrans2 = retrans1.clone();
+    retrans2.read_only = false;
+    retrans2.invalidate_digests();
+    let d2 = retrans2.digest();
+
+    // Every rewrite changed the content digest.
+    assert_ne!(d1, original_digest, "dropping the replier changes content");
+    assert_ne!(d2, d1, "demoting read-only changes content");
+    // Each digest equals a fresh recomputation (no stale memo survived).
+    assert_eq!(d1, md5(&retrans1.content_bytes()));
+    assert_eq!(d2, md5(&retrans2.content_bytes()));
+    // The in-flight original (and a late duplicate of it) is untouched.
+    assert_eq!(original.digest(), original_digest);
+    assert_eq!(original.clone().digest(), md5(&original.content_bytes()));
+}
+
+proptest! {
+    /// Retransmission interleaved with duplication, exhaustively: any
+    /// in-place rewrite of any (replier, read_only) combination followed
+    /// by `invalidate_digests` yields the digest a fresh message would,
+    /// and clones taken before the rewrite keep the pre-rewrite digest.
+    #[test]
+    fn rewritten_clone_never_reuses_a_stale_memo(
+        req in arb_request(),
+        new_replier in proptest::option::of(any::<u32>()),
+        new_ro in any::<bool>(),
+    ) {
+        let before = req.digest();
+        let duplicate = req.clone(); // The copy the network still carries.
+        let mut rewritten = req.clone();
+        rewritten.replier = new_replier.map(ReplicaId);
+        rewritten.read_only = new_ro;
+        rewritten.invalidate_digests();
+        let fresh = Request {
+            digest_memo: DigestMemo::new(),
+            ..rewritten.clone()
+        };
+        prop_assert_eq!(rewritten.digest(), fresh.digest());
+        prop_assert_eq!(duplicate.digest(), before);
+        prop_assert_eq!(md5(&duplicate.content_bytes()), before);
+    }
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     (
         any::<u32>(),
