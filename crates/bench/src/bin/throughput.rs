@@ -1,25 +1,32 @@
-//! Normal-case throughput experiment: wall-clock requests/sec of the
-//! simulated cluster under sustained closed-loop load, for f = 1..3 with
-//! batching on and off.
+//! Scaled-up normal-case throughput experiment: wall-clock requests/sec
+//! of the simulated cluster under sustained closed-loop load, for
+//! f = 1..3 with batching on and off, 32 clients x ~10k operations per
+//! case.
 //!
 //! The simulator's virtual-time numbers are a pure function of the cost
 //! model and never change when the implementation gets faster; what this
-//! experiment tracks is the *real* time the stack needs to push a message
-//! through the pipeline (encode, digest, MAC, clone, deliver). That is the
-//! quantity the zero-copy message plumbing (shared `Bytes` payloads,
-//! memoized digests, scratch-buffer encoding, `Rc<Message>` fan-out) is
-//! meant to improve, and the quantity future scaling PRs must not regress.
+//! experiment tracks is the *real* time the engine needs to push an event
+//! through the pipeline (schedule, deliver, digest, MAC, log). That is
+//! the quantity the PR 4 event-engine overhaul (timer-wheel scheduler
+//! with a slab event arena, fx-hash/no-op-digest hash maps, shared
+//! `Rc<PrePrepare>` records, `Bytes` state pages) is meant to improve,
+//! and the quantity future scaling PRs must not regress.
 //!
 //! Usage:
-//!   cargo run -p bft-bench --release --bin throughput -- [--smoke] [--out PATH]
+//!   cargo run -p bft-bench --release --bin throughput -- \
+//!       [--smoke] [--profile] [--out PATH]
 //!
-//! `--smoke` runs a reduced workload (for CI); `--out` overrides the JSON
-//! destination (default `BENCH_pr2.json` in the current directory). The
-//! JSON records, per configuration, the baseline ("before") requests/sec
-//! measured at the pre-refactor commit and the live ("after") measurement,
-//! plus their ratio.
+//! `--smoke` runs a reduced workload (for CI). `--profile` adds a second,
+//! instrumented run per case and prints the wall-clock breakdown by
+//! engine component (the timed run stays un-instrumented so the recorded
+//! numbers are clean). `--out` overrides the JSON destination (default
+//! `BENCH_pr4.json` in the current directory). The JSON records, per
+//! configuration, the pre-refactor baseline ("before") requests/sec,
+//! the PR 2 recorded "after" numbers for trajectory, and the live
+//! ("after") measurement, plus their ratios.
 
-use bft_sim::{counter_cluster, ClusterConfig, OpGen};
+use bft_sim::{counter_cluster, Cluster, ClusterConfig, EngineProfile, OpGen};
+use bft_statemachine::CounterService;
 use bft_types::SimTime;
 use bytes::Bytes;
 use std::time::Instant;
@@ -29,17 +36,29 @@ use std::time::Instant;
 const OP_BYTES: usize = 128;
 
 /// Wall-clock requests/sec measured at the seed of this PR (commit
-/// 9dffc93, before the zero-copy refactor), with the full workload on the
-/// reference dev machine — the mean of two runs (run-to-run spread was
-/// under 5%). Keyed by case id. Regenerate by checking out the baseline
+/// 7d8b904, the PR 2/3 `BinaryHeap` + SipHash engine), with this
+/// binary's full workload (32 clients x 313 ops) on the reference dev
+/// machine. Keyed by case id. Regenerate by checking out the baseline
 /// commit, copying this binary in, and running without `--smoke`.
 const BASELINE_WALL_OPS_PER_SEC: &[(&str, f64)] = &[
-    ("f1_batched", 5565.7),
-    ("f1_unbatched", 5434.3),
-    ("f2_batched", 2068.5),
-    ("f2_unbatched", 2121.7),
-    ("f3_batched", 1096.5),
-    ("f3_unbatched", 1107.0),
+    ("f1_batched", 18833.2),
+    ("f1_unbatched", 9324.4),
+    ("f2_batched", 8287.7),
+    ("f2_unbatched", 3339.0),
+    ("f3_batched", 4630.6),
+    ("f3_unbatched", 1681.5),
+];
+
+/// The PR 2 "after" numbers recorded in `BENCH_pr2.json` (8 clients x
+/// 150 ops on the same reference machine) — the trajectory the issue's
+/// acceptance criterion measures against.
+const PR2_AFTER_WALL_OPS_PER_SEC: &[(&str, f64)] = &[
+    ("f1_batched", 9210.8),
+    ("f1_unbatched", 10025.7),
+    ("f2_batched", 3543.8),
+    ("f2_unbatched", 3629.8),
+    ("f3_batched", 1912.3),
+    ("f3_unbatched", 1812.7),
 ];
 
 struct Case {
@@ -58,20 +77,27 @@ struct Outcome {
     virtual_ops_per_sec: f64,
 }
 
-fn run_case(case: &Case, clients: u32, ops_per_client: u64) -> Outcome {
+fn build_cluster(case: &Case, clients: u32) -> Cluster<CounterService> {
     let mut config = ClusterConfig::test(case.f, clients);
     config.seed = 0x7117 + case.f as u64;
     config.replica = bft_core::ReplicaConfig::small(case.f);
     config.replica.num_clients = clients.max(config.replica.num_clients);
     config.replica.opts.batching = case.batching;
-    let mut cluster = counter_cluster(config);
-    let mut op = vec![bft_statemachine::CounterService::OP_INC];
+    counter_cluster(config)
+}
+
+fn workload(ops_per_client: u64) -> OpGen {
+    let mut op = vec![CounterService::OP_INC];
     op.resize(OP_BYTES, 0xb7);
-    let op = Bytes::from(op);
+    OpGen::fixed(Bytes::from(op), false, ops_per_client)
+}
+
+fn run_case(case: &Case, clients: u32, ops_per_client: u64) -> Outcome {
+    let mut cluster = build_cluster(case, clients);
     // Warm-up is deliberately skipped: allocator behavior from a cold
     // start is part of what the experiment observes.
     let start = Instant::now();
-    cluster.set_workload(OpGen::fixed(op, false, ops_per_client));
+    cluster.set_workload(workload(ops_per_client));
     let done = cluster.run_to_completion(SimTime(3_600_000_000));
     let wall = start.elapsed();
     assert!(done, "workload must complete within the virtual deadline");
@@ -88,8 +114,41 @@ fn run_case(case: &Case, clients: u32, ops_per_client: u64) -> Outcome {
     }
 }
 
-fn baseline_for(id: &str) -> f64 {
-    BASELINE_WALL_OPS_PER_SEC
+/// A second, instrumented run of the case for the `--profile` breakdown.
+fn profile_case(case: &Case, clients: u32, ops_per_client: u64) -> (EngineProfile, f64) {
+    let mut cluster = build_cluster(case, clients);
+    cluster.enable_profiling();
+    let start = Instant::now();
+    cluster.set_workload(workload(ops_per_client));
+    assert!(cluster.run_to_completion(SimTime(3_600_000_000)));
+    (cluster.profile, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn print_profile(p: &EngineProfile, wall_ms: f64) {
+    let total = p.total_ns().max(1) as f64;
+    let row = |name: &str, ns: u64| {
+        println!(
+            "    {:<10} {:>9.1}ms  {:>5.1}%",
+            name,
+            ns as f64 / 1e6,
+            100.0 * ns as f64 / total
+        );
+    };
+    println!("  engine breakdown (instrumented run, {wall_ms:.1}ms wall):");
+    row("scheduler", p.sched_ns);
+    row("replica", p.replica_ns);
+    row("client", p.client_ns);
+    row("route", p.route_ns);
+    row("cost-model", p.cost_ns);
+    println!(
+        "    {:<10} {:>9.1}ms  (un-instrumented gap: dispatch glue, frames, allocator)",
+        "profiled",
+        total / 1e6
+    );
+}
+
+fn lookup(table: &[(&str, f64)], id: &str) -> f64 {
+    table
         .iter()
         .find(|(k, _)| *k == id)
         .map(|(_, v)| *v)
@@ -107,13 +166,14 @@ fn json_num(v: f64) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let profile = args.iter().any(|a| a == "--profile");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
-    let (clients, ops_per_client) = if smoke { (4, 25) } else { (8, 150) };
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let (clients, ops_per_client) = if smoke { (4, 25) } else { (32, 313) };
 
     let cases = [
         Case {
@@ -149,15 +209,16 @@ fn main() {
     ];
 
     println!(
-        "normal-case throughput ({} mode): {} clients x {} ops, {}B ops",
+        "normal-case throughput ({} mode): {} clients x {} ops ({} total), {}B ops",
         if smoke { "smoke" } else { "full" },
         clients,
         ops_per_client,
+        clients as u64 * ops_per_client,
         OP_BYTES
     );
     println!(
-        "{:>12} {:>3} {:>9} {:>7} {:>10} {:>12} {:>12} {:>9}",
-        "case", "f", "batching", "ops", "wall ms", "wall ops/s", "virt ops/s", "speedup"
+        "{:>12} {:>3} {:>9} {:>7} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "case", "f", "batching", "ops", "wall ms", "wall ops/s", "virt ops/s", "vs pr3", "vs pr2"
     );
 
     let mut entries = Vec::new();
@@ -167,10 +228,27 @@ fn main() {
         // smoke run is startup-dominated and usually on different (CI)
         // hardware, so comparing against them would record a ratio that
         // reflects workload size, not the code. Smoke reports no speedup.
-        let before = if smoke { f64::NAN } else { baseline_for(o.id) };
+        let before = if smoke {
+            f64::NAN
+        } else {
+            lookup(BASELINE_WALL_OPS_PER_SEC, o.id)
+        };
+        let pr2_after = if smoke {
+            f64::NAN
+        } else {
+            lookup(PR2_AFTER_WALL_OPS_PER_SEC, o.id)
+        };
         let speedup = o.wall_ops_per_sec / before;
+        let speedup_pr2 = o.wall_ops_per_sec / pr2_after;
+        let fmt_ratio = |r: f64| {
+            if r.is_finite() {
+                format!("{r:.2}x")
+            } else {
+                "n/a".to_string()
+            }
+        };
         println!(
-            "{:>12} {:>3} {:>9} {:>7} {:>10.1} {:>12.1} {:>12.1} {:>9}",
+            "{:>12} {:>3} {:>9} {:>7} {:>10.1} {:>12.1} {:>12.1} {:>9} {:>9}",
             o.id,
             o.f,
             o.batching,
@@ -178,12 +256,13 @@ fn main() {
             o.wall_ms,
             o.wall_ops_per_sec,
             o.virtual_ops_per_sec,
-            if speedup.is_finite() {
-                format!("{speedup:.2}x")
-            } else {
-                "n/a".to_string()
-            }
+            fmt_ratio(speedup),
+            fmt_ratio(speedup_pr2),
         );
+        if profile {
+            let (p, wall_ms) = profile_case(case, clients, ops_per_client);
+            print_profile(&p, wall_ms);
+        }
         entries.push(format!(
             concat!(
                 "    {{\n",
@@ -194,8 +273,10 @@ fn main() {
                 "      \"ops\": {},\n",
                 "      \"op_bytes\": {},\n",
                 "      \"before\": {{\"wall_ops_per_sec\": {}}},\n",
+                "      \"pr2_after\": {{\"wall_ops_per_sec\": {}}},\n",
                 "      \"after\": {{\"wall_ops_per_sec\": {}, \"wall_ms\": {}, \"virtual_ops_per_sec\": {}}},\n",
-                "      \"speedup\": {}\n",
+                "      \"speedup_vs_before\": {},\n",
+                "      \"speedup_vs_pr2_after\": {}\n",
                 "    }}"
             ),
             o.id,
@@ -205,21 +286,23 @@ fn main() {
             o.ops,
             OP_BYTES,
             json_num(before),
+            json_num(pr2_after),
             json_num(o.wall_ops_per_sec),
             json_num(o.wall_ms),
             json_num(o.virtual_ops_per_sec),
             json_num(speedup),
+            json_num(speedup_pr2),
         ));
     }
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"experiment\": \"normal-case throughput (zero-copy message plumbing, PR 2)\",\n",
+            "  \"experiment\": \"scaled normal-case throughput (event-engine overhaul, PR 4)\",\n",
             "  \"metric\": \"wall-clock requests/sec of the simulated cluster\",\n",
             "  \"mode\": \"{}\",\n",
-            "  \"baseline\": \"pre-refactor seed (PR 1), full workload, reference dev machine\",\n",
-            "  \"note\": \"virtual_ops_per_sec is cost-model bound and must be identical before/after; speedup compares wall-clock only and is meaningful only when before/after ran the full workload on the same hardware — smoke mode reports before/speedup as null\",\n",
+            "  \"baseline\": \"pre-refactor engine (PR 2/3: BinaryHeap scheduler, SipHash maps), full workload, reference dev machine\",\n",
+            "  \"note\": \"virtual_ops_per_sec is cost-model bound and must be identical before/after; speedup_vs_before compares the same workload on the same hardware across engines; speedup_vs_pr2_after tracks the BENCH_pr2 -> BENCH_pr4 trajectory (PR 2 ran 8 clients x 150 ops); smoke mode reports ratios as null\",\n",
             "  \"cases\": [\n{}\n  ]\n",
             "}}\n"
         ),

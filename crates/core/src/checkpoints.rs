@@ -8,14 +8,15 @@
 //! is parameterized by the threshold.
 
 use bft_crypto::Digest;
+use bft_fxhash::DigestMap;
 use bft_types::{ReplicaId, SeqNo};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Tracks checkpoint messages and detects stability.
 #[derive(Clone, Debug)]
 pub struct CheckpointManager {
     /// Messages received: seq → digest → senders.
-    votes: BTreeMap<u64, HashMap<Digest, Vec<ReplicaId>>>,
+    votes: BTreeMap<u64, DigestMap<Digest, Vec<ReplicaId>>>,
     /// Our own checkpoint digests by sequence number.
     own: BTreeMap<u64, Digest>,
     /// Last stable checkpoint.

@@ -5,12 +5,12 @@ use crate::actions::{Action, Input, Outbox, TimerId};
 use crate::authn::{AuthState, ClusterKeys};
 use crate::config::AuthMode;
 use bft_crypto::Digest;
+use bft_fxhash::{DigestMap, FastMap};
 use bft_types::{
     Auth, ClientId, GroupParams, Message, NodeId, ReplicaId, Reply, ReplyBody, Request, Requester,
     SimDuration, Timestamp, View,
 };
 use bytes::Bytes;
-use std::collections::HashMap;
 
 /// Client-side configuration.
 #[derive(Clone, Debug)]
@@ -59,7 +59,7 @@ pub struct CompletedOp {
 struct Pending {
     request: Request,
     /// Per-replica replies: (result digest, tentative, full body if sent).
-    replies: HashMap<ReplicaId, (Digest, bool, Option<Bytes>)>,
+    replies: FastMap<ReplicaId, (Digest, bool, Option<Bytes>)>,
     retransmissions: u32,
 }
 
@@ -142,7 +142,7 @@ impl ClientProxy {
         req.auth = self.auth.authenticate_multicast_msg(&req);
         self.pending = Some(Pending {
             request: req.clone(),
-            replies: HashMap::new(),
+            replies: FastMap::default(),
             retransmissions: 0,
         });
         self.timeout = self.config.retransmit_timeout;
@@ -202,7 +202,7 @@ impl ClientProxy {
         // tentative (tentative executions may abort) or the operation was
         // read-only.
         let group = self.config.group;
-        let mut counts: HashMap<Digest, (usize, usize)> = HashMap::new();
+        let mut counts: DigestMap<Digest, (usize, usize)> = DigestMap::default();
         for (d, tentative, _) in pending.replies.values() {
             let e = counts.entry(*d).or_default();
             e.0 += 1;

@@ -2,20 +2,23 @@
 //! marks, with prepared/committed certificate tracking (§2.3.3, §2.3.4).
 
 use bft_crypto::Digest;
+use bft_fxhash::DigestMap;
 use bft_types::{GroupParams, PrePrepare, ReplicaId, SeqNo, View};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// Per-sequence-number protocol state within the current view.
 #[derive(Clone, Debug, Default)]
 pub struct Slot {
     /// The view the slot's messages belong to.
     pub view: View,
-    /// Accepted pre-prepare (or the new-view implicit pre-prepare).
-    pub pre_prepare: Option<PrePrepare>,
+    /// Accepted pre-prepare (or the new-view implicit pre-prepare),
+    /// shared with the outbox and in-flight frames rather than cloned.
+    pub pre_prepare: Option<Rc<PrePrepare>>,
     /// Prepare senders per digest (prepares may precede the pre-prepare).
-    pub prepares: HashMap<Digest, BTreeSet<ReplicaId>>,
+    pub prepares: DigestMap<Digest, BTreeSet<ReplicaId>>,
     /// Commit senders per digest.
-    pub commits: HashMap<Digest, BTreeSet<ReplicaId>>,
+    pub commits: DigestMap<Digest, BTreeSet<ReplicaId>>,
     /// Digest this replica sent a prepare for (the "pre-prepared" predicate
     /// for backups; for the primary, sending the pre-prepare sets it).
     pub my_prepare: Option<Digest>,
@@ -222,7 +225,7 @@ mod tests {
         let mut log = MessageLog::new(group(), 16);
         let p = pp(View(0), SeqNo(1));
         let d = p.batch_digest();
-        log.slot_mut(SeqNo(1)).pre_prepare = Some(p);
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(Rc::new(p));
         assert!(!log.has_prepared_cert(SeqNo(1), View(0)));
         // Primary (replica 0) prepares don't count.
         log.add_prepare(SeqNo(1), d, ReplicaId(0));
@@ -239,7 +242,7 @@ mod tests {
         let mut log = MessageLog::new(group(), 16);
         let p = pp(View(0), SeqNo(1));
         let d = p.batch_digest();
-        log.slot_mut(SeqNo(1)).pre_prepare = Some(p);
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(Rc::new(p));
         log.add_prepare(SeqNo(1), bft_crypto::digest(b"other"), ReplicaId(1));
         log.add_prepare(SeqNo(1), bft_crypto::digest(b"other"), ReplicaId(2));
         assert!(!log.has_prepared_cert(SeqNo(1), View(0)));
@@ -253,7 +256,7 @@ mod tests {
         let mut log = MessageLog::new(group(), 16);
         let p = pp(View(0), SeqNo(2));
         let d = p.batch_digest();
-        log.slot_mut(SeqNo(2)).pre_prepare = Some(p);
+        log.slot_mut(SeqNo(2)).pre_prepare = Some(Rc::new(p));
         assert!(log.add_prepare(SeqNo(2), d, ReplicaId(1)));
         assert!(!log.add_prepare(SeqNo(2), d, ReplicaId(1)), "duplicate");
         assert!(!log.has_prepared_cert(SeqNo(2), View(0)));
@@ -264,7 +267,7 @@ mod tests {
         let mut log = MessageLog::new(group(), 16);
         let p = pp(View(0), SeqNo(1));
         let d = p.batch_digest();
-        log.slot_mut(SeqNo(1)).pre_prepare = Some(p);
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(Rc::new(p));
         log.add_prepare(SeqNo(1), d, ReplicaId(1));
         log.add_prepare(SeqNo(1), d, ReplicaId(2));
         log.slot_mut(SeqNo(1)).prepared = true;
@@ -279,7 +282,7 @@ mod tests {
     fn advance_low_garbage_collects() {
         let mut log = MessageLog::new(group(), 16);
         for n in 1..=10u64 {
-            log.slot_mut(SeqNo(n)).pre_prepare = Some(pp(View(0), SeqNo(n)));
+            log.slot_mut(SeqNo(n)).pre_prepare = Some(Rc::new(pp(View(0), SeqNo(n))));
         }
         log.advance_low(SeqNo(8));
         assert_eq!(log.low(), SeqNo(8));

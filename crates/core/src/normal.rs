@@ -9,6 +9,7 @@ use crate::store::StoredBatch;
 use bft_crypto::Digest;
 use bft_statemachine::Service;
 use bft_types::{BatchEntry, Checkpoint, Commit, Message, PrePrepare, Prepare, Request, SeqNo};
+use std::rc::Rc;
 
 impl<S: Service> Replica<S> {
     /// Handles a client (or recovery) request (§2.3.2, §3.2.2).
@@ -165,10 +166,14 @@ impl<S: Service> Replica<S> {
                 },
             );
             self.seqno = next;
+            // One shared record: the log slot, the outbox, and every frame
+            // of the multicast hold the same Rc — no deep clone of the
+            // batch anywhere on the propose path.
+            let pp = Rc::new(pp);
             {
                 let slot = self.log.slot_mut(next);
                 slot.view = pp.view;
-                slot.pre_prepare = Some(pp.clone());
+                slot.pre_prepare = Some(Rc::clone(&pp));
                 slot.my_prepare = Some(batch_digest);
             }
             out.multicast(Message::PrePrepare(pp));
@@ -189,7 +194,7 @@ impl<S: Service> Replica<S> {
 
     /// Handles a pre-prepare (§2.3.3 acceptance conditions plus the §3.2.2
     /// request-authentication conditions).
-    pub(crate) fn on_pre_prepare(&mut self, pp: PrePrepare, out: &mut Outbox) {
+    pub(crate) fn on_pre_prepare(&mut self, pp: Rc<PrePrepare>, out: &mut Outbox) {
         // Harvest bodies from retransmitted old-view pre-prepares: they may
         // carry batches chosen by a later new-view decision.
         if pp.view < self.view {
@@ -206,7 +211,7 @@ impl<S: Service> Replica<S> {
         }
         let primary = self.primary();
         let batch_digest = pp.batch_digest();
-        let auth_ok = self.verify_auth_msg(bft_types::NodeId::Replica(primary), &pp);
+        let auth_ok = self.verify_auth_msg(bft_types::NodeId::Replica(primary), &*pp);
         if !auth_ok {
             // Retransmitted pre-prepares may carry authenticators made
             // before a key refresh (§4.3.1). A weak certificate of
@@ -297,7 +302,7 @@ impl<S: Service> Replica<S> {
     }
 
     /// Stores an accepted pre-prepare and sends the matching prepare.
-    fn accept_pre_prepare(&mut self, pp: PrePrepare, out: &mut Outbox) {
+    fn accept_pre_prepare(&mut self, pp: Rc<PrePrepare>, out: &mut Outbox) {
         let batch_digest = pp.batch_digest();
         self.harvest_batch(&pp);
         for entry in &pp.batch {
@@ -314,7 +319,7 @@ impl<S: Service> Replica<S> {
         {
             let slot = self.log.slot_mut(pp.seq);
             slot.view = pp.view;
-            slot.pre_prepare = Some(pp.clone());
+            slot.pre_prepare = Some(Rc::clone(&pp));
             already_prepared = slot.my_prepare.is_some();
             slot.my_prepare = Some(batch_digest);
         }
@@ -518,7 +523,7 @@ mod watermark_tests {
             batch_memo: bft_types::DigestMemo::new(),
         };
         pp.auth = auth.authenticate_multicast_msg(&pp);
-        Message::PrePrepare(pp)
+        Message::PrePrepare(std::rc::Rc::new(pp))
     }
 
     fn prepare(auth: &mut AuthState, id: u32, seq: u64, d: bft_crypto::Digest) -> Message {

@@ -12,9 +12,10 @@
 
 use bft_crypto::md5::Md5;
 use bft_crypto::{AdHash, Digest};
+use bft_fxhash::FastMap;
 use bft_types::{SeqNo, SubPartInfo};
 use bytes::Bytes;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Computes the digest of a page value (exposed for state transfer
 /// verification, §5.3.2).
@@ -50,7 +51,7 @@ pub struct Snapshot {
     meta: Vec<Vec<(SeqNo, Digest)>>,
     /// Copy-on-write page values: filled when a later write overwrites a
     /// page, so `page_at` can reconstruct the value at this checkpoint.
-    cow: HashMap<u64, Bytes>,
+    cow: FastMap<u64, Bytes>,
 }
 
 /// The partition tree over a replica's paged state.
@@ -155,7 +156,7 @@ impl PartitionTree {
                     .iter()
                     .map(|lvl| lvl.iter().map(|n| (n.lm, n.digest)).collect())
                     .collect(),
-                cow: HashMap::new(),
+                cow: FastMap::default(),
             },
         );
         tree
@@ -258,7 +259,7 @@ impl PartitionTree {
                     .iter()
                     .map(|lvl| lvl.iter().map(|n| (n.lm, n.digest)).collect())
                     .collect(),
-                cow: HashMap::new(),
+                cow: FastMap::default(),
             },
         );
         root
@@ -422,7 +423,7 @@ impl PartitionTree {
                     .iter()
                     .map(|lvl| lvl.iter().map(|n| (n.lm, n.digest)).collect())
                     .collect(),
-                cow: HashMap::new(),
+                cow: FastMap::default(),
             },
         );
         root

@@ -14,13 +14,13 @@ use crate::actions::{Outbox, TimerId};
 use crate::config::ReplicaConfig;
 use crate::replica::Replica;
 use bft_crypto::{Coprocessor, SessionKey};
+use bft_fxhash::FastMap;
 use bft_statemachine::Service;
 use bft_types::{
     Auth, Message, NewKey, QueryStable, ReplicaId, Reply, ReplyBody, ReplyStable, Request,
     Requester, SeqNo, Timestamp, View,
 };
 use bytes::Bytes;
-use std::collections::HashMap;
 
 /// Per-replica recovery protocol state.
 #[derive(Debug)]
@@ -34,7 +34,7 @@ pub struct RecoveryState {
     /// Nonce of the outstanding query-stable.
     query_nonce: u64,
     /// Estimation replies: replica → (min checkpoint, max prepared).
-    est_replies: HashMap<u32, (SeqNo, SeqNo)>,
+    est_replies: FastMap<u32, (SeqNo, SeqNo)>,
     /// The estimated bound `H_M` on our high water mark.
     hm: Option<SeqNo>,
     /// True from watchdog fire until the recovery point is stable.
@@ -42,16 +42,16 @@ pub struct RecoveryState {
     /// The recovery point `H` (known once the recovery request executes).
     recovery_point: Option<SeqNo>,
     /// Replies to our recovery request: replica → (view, assigned seq).
-    recovery_replies: HashMap<u32, (View, SeqNo)>,
+    recovery_replies: FastMap<u32, (View, SeqNo)>,
     /// Timestamp of our outstanding recovery request.
     my_recovery_ts: Timestamp,
     /// The outstanding recovery request itself (retransmitted verbatim so
     /// replies accumulate under one timestamp).
     my_recovery_request: Option<Request>,
     /// Anti-replay: last recovery-request timestamp accepted per replica.
-    last_recovery_ts: HashMap<u32, Timestamp>,
+    last_recovery_ts: FastMap<u32, Timestamp>,
     /// Anti-replay: last new-key counter accepted per sender.
-    last_newkey_counter: HashMap<u32, u64>,
+    last_newkey_counter: FastMap<u32, u64>,
     /// Null-request fill target while a peer recovers (§4.3.2: "while a
     /// recovery is occurring, the primary sends pre-prepares for null
     /// requests" so the recovery point can become stable).
@@ -66,15 +66,15 @@ impl RecoveryState {
             coproc: None,
             estimating: false,
             query_nonce: 0,
-            est_replies: HashMap::new(),
+            est_replies: FastMap::default(),
             hm: None,
             recovering: false,
             recovery_point: None,
-            recovery_replies: HashMap::new(),
+            recovery_replies: FastMap::default(),
             my_recovery_ts: Timestamp(0),
             my_recovery_request: None,
-            last_recovery_ts: HashMap::new(),
-            last_newkey_counter: HashMap::new(),
+            last_recovery_ts: FastMap::default(),
+            last_newkey_counter: FastMap::default(),
             null_fill_target: None,
         }
     }

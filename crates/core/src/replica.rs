@@ -86,14 +86,14 @@ pub struct Replica<S: Service> {
     /// Read-only requests awaiting a commit-clean state (§5.1.3).
     pub(crate) ro_queue: Vec<Request>,
     /// Pre-prepares buffered until their request bodies arrive.
-    pub(crate) pending_pps: Vec<bft_types::PrePrepare>,
+    pub(crate) pending_pps: Vec<std::rc::Rc<bft_types::PrePrepare>>,
     /// Checkpoint messages deferred until the checkpoint's batch commits
     /// (§5.1.2: tentative checkpoints announce only after commit).
     pub(crate) pending_ckpts: Vec<(SeqNo, Digest)>,
     /// Primary-side guard against proposing the same request twice when a
     /// relayed copy races the direct one: highest timestamp already
     /// assigned to a batch per requester (cleared on view changes).
-    pub(crate) proposed: std::collections::HashMap<bft_types::Requester, bft_types::Timestamp>,
+    pub(crate) proposed: bft_fxhash::FastMap<bft_types::Requester, bft_types::Timestamp>,
     /// View-change protocol state (BFT / MAC variant).
     pub(crate) vc: ViewChangeState,
     /// View-change protocol state (BFT-PK variant).
@@ -176,7 +176,7 @@ impl<S: Service> Replica<S> {
             ro_queue: Vec::new(),
             pending_pps: Vec::new(),
             pending_ckpts: Vec::new(),
-            proposed: std::collections::HashMap::new(),
+            proposed: bft_fxhash::FastMap::default(),
             vc: ViewChangeState::new(config.group),
             vc_pk: PkViewChangeState::new(),
             vc_timeout,
@@ -675,9 +675,9 @@ impl<S: Service> Replica<S> {
         self.tree.discard_below(seq);
         self.pending_ckpts.retain(|(s, _)| *s > seq);
         // Drop request/batch bodies no longer referenced by live slots.
-        let live: std::collections::HashSet<Digest> =
+        let live: bft_fxhash::DigestSet<Digest> =
             self.log.iter().filter_map(|(_, s)| s.digest()).collect();
-        let live_reqs: std::collections::HashSet<Digest> = self
+        let live_reqs: bft_fxhash::DigestSet<Digest> = self
             .log
             .iter()
             .filter_map(|(_, s)| s.pre_prepare.as_ref())
@@ -697,7 +697,7 @@ impl<S: Service> Replica<S> {
                     .flatten(),
             )
             .collect();
-        let vc_batches: std::collections::HashSet<Digest> = self.vc.referenced_digests().collect();
+        let vc_batches: bft_fxhash::DigestSet<Digest> = self.vc.referenced_digests().collect();
         self.batches
             .retain(|d| live.contains(d) || vc_batches.contains(d));
         let client_table = &self.client_table;

@@ -52,7 +52,7 @@ pub struct FetchState {
     /// Replies at checkpoints other than the target, collected toward a
     /// weak certificate of "equally fresh responses" (§5.3.2): the target
     /// may have been garbage-collected at the repliers.
-    pub(crate) weak: std::collections::HashMap<(u8, u64, u64), Vec<(ReplicaId, Vec<SubPartInfo>)>>,
+    pub(crate) weak: bft_fxhash::FastMap<(u8, u64, u64), Vec<(ReplicaId, Vec<SubPartInfo>)>>,
 }
 
 impl<S: Service> Replica<S> {
@@ -101,7 +101,7 @@ impl<S: Service> Replica<S> {
             pages_fetched: 0,
             bytes_fetched: 0,
             checking,
-            weak: std::collections::HashMap::new(),
+            weak: bft_fxhash::FastMap::default(),
         });
         self.send_next_fetch(out);
         out.set_timer(TimerId::FetchRetransmit, self.fetch_timeout());
@@ -395,7 +395,7 @@ impl<S: Service> Replica<S> {
                 pages_fetched: fetch.pages_fetched,
                 bytes_fetched: fetch.bytes_fetched,
                 checking: fetch.checking,
-                weak: std::collections::HashMap::new(),
+                weak: bft_fxhash::FastMap::default(),
             });
             self.send_next_fetch(out);
             return;

@@ -147,10 +147,13 @@ impl<S: Service> Replica<S> {
                 // copies rely on the weak-certificate acceptance path) and
                 // our prepare.
                 if let Some(pp) = &slot.pre_prepare {
-                    let mut pp = pp.clone();
-                    if self.id == self.primary() && pp.view == self.view {
-                        pp.auth = self.auth.authenticate_multicast_msg(&pp);
-                    }
+                    let pp = if self.id == self.primary() && pp.view == self.view {
+                        let mut owned = (**pp).clone();
+                        owned.auth = self.auth.authenticate_multicast_msg(&owned);
+                        std::rc::Rc::new(owned)
+                    } else {
+                        std::rc::Rc::clone(pp)
+                    };
                     out.send_replica(m.replica, Message::PrePrepare(pp));
                     sent += 1;
                 }

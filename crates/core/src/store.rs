@@ -8,14 +8,15 @@
 //! timestamp).
 
 use bft_crypto::Digest;
+use bft_fxhash::{DigestMap, FastMap, FastSet};
 use bft_types::{null_request_digest, Request, Requester, Timestamp};
 use bytes::Bytes;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Request bodies by digest.
 #[derive(Clone, Debug, Default)]
 pub struct RequestStore {
-    by_digest: HashMap<Digest, Request>,
+    by_digest: DigestMap<Digest, Request>,
 }
 
 impl RequestStore {
@@ -71,7 +72,7 @@ pub struct StoredBatch {
 /// Batches by batch digest.
 #[derive(Clone, Debug)]
 pub struct BatchStore {
-    by_digest: HashMap<Digest, StoredBatch>,
+    by_digest: DigestMap<Digest, StoredBatch>,
 }
 
 impl Default for BatchStore {
@@ -85,7 +86,7 @@ impl BatchStore {
     /// request "goes through the protocol like other requests, but its
     /// execution is a no-op").
     pub fn new() -> Self {
-        let mut by_digest = HashMap::new();
+        let mut by_digest = DigestMap::default();
         by_digest.insert(
             null_request_digest(),
             StoredBatch {
@@ -122,7 +123,7 @@ impl BatchStore {
 #[derive(Clone, Debug, Default)]
 pub struct RequestQueue {
     fifo: VecDeque<Request>,
-    pending: HashMap<Requester, Timestamp>,
+    pending: FastMap<Requester, Timestamp>,
 }
 
 impl RequestQueue {
@@ -191,8 +192,7 @@ impl RequestQueue {
     pub fn prune<F: Fn(&Request) -> bool>(&mut self, stale: F) -> usize {
         let before = self.fifo.len();
         self.fifo.retain(|r| !stale(r));
-        let pending: std::collections::HashSet<Requester> =
-            self.fifo.iter().map(|r| r.requester).collect();
+        let pending: FastSet<Requester> = self.fifo.iter().map(|r| r.requester).collect();
         self.pending.retain(|req, _| pending.contains(req));
         before - self.fifo.len()
     }

@@ -12,13 +12,14 @@
 use crate::actions::{Outbox, TimerId};
 use crate::replica::Replica;
 use bft_crypto::Digest;
+use bft_fxhash::{DigestMap, FastMap};
 use bft_statemachine::Service;
 use bft_types::{
     null_request_digest, GroupParams, Message, NCSetEntry, NewView, NewViewDecision, NotCommitted,
     NotCommittedPrimary, PSetEntry, QSetEntry, ReplicaId, SeqNo, View, ViewChange, ViewChangeAck,
     Wire,
 };
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Digest of a new-view decision (what NOT-COMMITTED messages confirm).
 fn decision_digest(vc_proofs: &[(ReplicaId, Digest)], decision: &NewViewDecision) -> Digest {
@@ -40,9 +41,9 @@ pub struct ViewChangeState {
     /// NCSet: not-committed information (§3.2.5).
     pub ncset: BTreeMap<u64, NCSetEntry>,
     /// Received view-change messages keyed by (view, sender).
-    pub vcs: HashMap<(u64, u32), ViewChange>,
+    pub vcs: FastMap<(u64, u32), ViewChange>,
     /// Ack senders per (view, origin, vc digest).
-    acks: HashMap<(u64, u32, Digest), BTreeSet<ReplicaId>>,
+    acks: FastMap<(u64, u32, Digest), BTreeSet<ReplicaId>>,
     /// The certified set `S` at the new primary for the pending view.
     pub accepted: BTreeMap<u32, ViewChange>,
     /// New-view message accepted or sent for the current view.
@@ -50,7 +51,7 @@ pub struct ViewChangeState {
     /// A new-view received before all its view-change messages arrived.
     pending_new_view: Option<NewView>,
     /// NOT-COMMITTED votes per decision digest.
-    nc_votes: HashMap<Digest, BTreeSet<ReplicaId>>,
+    nc_votes: DigestMap<Digest, BTreeSet<ReplicaId>>,
     /// Prepares held back until a NOT-COMMITTED quorum (backup side).
     held_prepares: Option<(Digest, Vec<(SeqNo, Digest)>)>,
     /// New-view held back until a NOT-COMMITTED quorum (primary side).
@@ -67,12 +68,12 @@ impl ViewChangeState {
             pset: BTreeMap::new(),
             qset: BTreeMap::new(),
             ncset: BTreeMap::new(),
-            vcs: HashMap::new(),
-            acks: HashMap::new(),
+            vcs: FastMap::default(),
+            acks: FastMap::default(),
             accepted: BTreeMap::new(),
             new_view: None,
             pending_new_view: None,
-            nc_votes: HashMap::new(),
+            nc_votes: DigestMap::default(),
             held_prepares: None,
             held_new_view: None,
             sent_vc_for: None,

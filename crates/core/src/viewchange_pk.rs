@@ -6,27 +6,28 @@
 use crate::actions::Outbox;
 use crate::replica::Replica;
 use bft_crypto::Digest;
+use bft_fxhash::FastMap;
 use bft_statemachine::Service;
 use bft_types::{
     Auth, Checkpoint, DigestMemo, Message, NewViewPk, PrePrepare, Prepare, PreparedProof,
     ReplicaId, SeqNo, View, ViewChangePk,
 };
 use bytes::Bytes;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// State for the BFT-PK view-change protocol.
 #[derive(Clone, Debug, Default)]
 pub struct PkViewChangeState {
     /// Received signed view-change messages keyed by (view, sender).
-    pub vcs: HashMap<(u64, u32), ViewChangePk>,
+    pub vcs: FastMap<(u64, u32), ViewChangePk>,
     /// Accepted or sent new-view message for the current view.
     pub new_view: Option<NewViewPk>,
     /// Signed checkpoint messages retained as stable-certificate material:
     /// seq → sender → message.
-    ckpt_msgs: BTreeMap<u64, HashMap<u32, Checkpoint>>,
+    ckpt_msgs: BTreeMap<u64, FastMap<u32, Checkpoint>>,
     /// Signed prepare messages retained as prepared-certificate material:
     /// (seq, sender) → message.
-    prepare_msgs: HashMap<(u64, u32), Prepare>,
+    prepare_msgs: FastMap<(u64, u32), Prepare>,
 }
 
 impl PkViewChangeState {
@@ -73,7 +74,7 @@ impl<S: Service> Replica<S> {
             if n <= h || !slot.prepared {
                 continue;
             }
-            let Some(pp) = slot.pre_prepare.clone() else {
+            let Some(pp) = slot.pre_prepare.as_deref().cloned() else {
                 continue;
             };
             let d = pp.batch_digest();
@@ -389,7 +390,7 @@ impl<S: Service> Replica<S> {
                 let last_exec = self.last_exec;
                 let slot = self.log.slot_mut(pp.seq);
                 slot.view = nv.view;
-                slot.pre_prepare = Some(pp.clone());
+                slot.pre_prepare = Some(std::rc::Rc::new(pp.clone()));
                 // Already reflected in the state: see the MAC-variant
                 // install for the rationale.
                 if pp.seq <= last_exec {

@@ -37,7 +37,7 @@ fn prepared_certificate_boundary_across_group_sizes() {
         let mut log = MessageLog::new(group, 16);
         let pp = preprepare(View(0), SeqNo(1));
         let digest = pp.batch_digest();
-        log.slot_mut(SeqNo(1)).pre_prepare = Some(pp);
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(std::rc::Rc::new(pp));
 
         // 2f - 1 backup prepares: one short of the certificate.
         for r in 1..(2 * f) as u32 {
@@ -65,7 +65,7 @@ fn primary_prepare_excluded_from_prepared_certificate() {
         let mut log = MessageLog::new(group, 16);
         let pp = preprepare(View(0), SeqNo(1));
         let digest = pp.batch_digest();
-        log.slot_mut(SeqNo(1)).pre_prepare = Some(pp);
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(std::rc::Rc::new(pp));
 
         log.add_prepare(SeqNo(1), digest, ReplicaId(0)); // primary of view 0
         for r in 1..(2 * f) as u32 {
@@ -93,7 +93,7 @@ fn committed_certificate_boundary_across_group_sizes() {
         let mut log = MessageLog::new(group, 16);
         let pp = preprepare(View(0), SeqNo(1));
         let digest = pp.batch_digest();
-        log.slot_mut(SeqNo(1)).pre_prepare = Some(pp);
+        log.slot_mut(SeqNo(1)).pre_prepare = Some(std::rc::Rc::new(pp));
         for r in 1..=(2 * f) as u32 {
             log.add_prepare(SeqNo(1), digest, ReplicaId(r));
         }

@@ -49,29 +49,73 @@ const BLOCK_LEN: usize = 64;
 const IPAD: u8 = 0x36;
 const OPAD: u8 = 0x5c;
 
+/// Cached per-key HMAC midstates: the MD5 states after absorbing the
+/// ipad- and opad-xored key block. Those blocks are a pure function of
+/// the key, yet the straightforward implementation re-hashed both on
+/// every MAC — half the compress calls of a short-message MAC, which is
+/// exactly the normal-case workload (64-byte headers under pairwise
+/// session keys). The cache is thread-local (the simulator is
+/// single-threaded per run) and keyed by raw key bytes; entries are tiny
+/// (32 bytes) and the key population — pairwise session keys plus
+/// refreshes — is bounded over a run, so it is never evicted.
+struct PadStates {
+    inner: [u32; 4],
+    outer: [u32; 4],
+}
+
+fn pad_states(key: &SessionKey) -> PadStates {
+    let mut k_block = [0u8; BLOCK_LEN];
+    k_block[..16].copy_from_slice(&key.0);
+    let mut ipad = [0u8; BLOCK_LEN];
+    let mut opad = [0u8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] = k_block[i] ^ IPAD;
+        opad[i] = k_block[i] ^ OPAD;
+    }
+    let mut inner = Md5::new();
+    inner.update(&ipad);
+    let mut outer = Md5::new();
+    outer.update(&opad);
+    PadStates {
+        inner: inner.midstate(),
+        outer: outer.midstate(),
+    }
+}
+
+thread_local! {
+    static PAD_CACHE: std::cell::RefCell<std::collections::HashMap<[u8; 16], PadStates>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
 /// Computes the full (untruncated) HMAC-MD5 of `data` under `key`.
 pub fn hmac(key: &SessionKey, data: &[u8]) -> Digest {
     hmac_parts(key, &[data])
 }
 
+/// Hard cap on cached keys. The pairwise key population of one run is a
+/// few hundred even with recovery-driven refreshes; the cap only exists
+/// so a process that churns through many simulations (test runners,
+/// long-lived fuzzing) cannot leak an entry per key forever. Clearing is
+/// invisible to callers: midstates are recomputed on the next MAC.
+const PAD_CACHE_MAX: usize = 16 * 1024;
+
 /// Computes HMAC-MD5 over the concatenation of `parts` under `key`.
 pub fn hmac_parts(key: &SessionKey, parts: &[&[u8]]) -> Digest {
-    let mut k_block = [0u8; BLOCK_LEN];
-    k_block[..16].copy_from_slice(&key.0);
-
-    let mut inner = Md5::new();
-    let ipad: Vec<u8> = k_block.iter().map(|b| b ^ IPAD).collect();
-    inner.update(&ipad);
-    for p in parts {
-        inner.update(p);
-    }
-    let inner_digest = inner.finish();
-
-    let mut outer = Md5::new();
-    let opad: Vec<u8> = k_block.iter().map(|b| b ^ OPAD).collect();
-    outer.update(&opad);
-    outer.update(inner_digest.as_bytes());
-    outer.finish()
+    PAD_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() >= PAD_CACHE_MAX {
+            cache.clear();
+        }
+        let pads = cache.entry(key.0).or_insert_with(|| pad_states(key));
+        let mut inner = Md5::from_midstate(pads.inner, BLOCK_LEN as u64);
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finish();
+        let mut outer = Md5::from_midstate(pads.outer, BLOCK_LEN as u64);
+        outer.update(inner_digest.as_bytes());
+        outer.finish()
+    })
 }
 
 /// Computes a truncated 8-byte MAC tag for `data` under `key`.

@@ -159,13 +159,40 @@ impl Md5 {
         self.update(&v.to_le_bytes());
     }
 
+    /// Resumes a context from a saved block-boundary state: `state` as it
+    /// stood after absorbing `length` bytes (a multiple of 64). Used by
+    /// HMAC to cache the fixed key-pad block instead of re-hashing it on
+    /// every MAC.
+    pub fn from_midstate(state: [u32; 4], length: u64) -> Self {
+        debug_assert_eq!(length % 64, 0, "midstate must sit on a block boundary");
+        Md5 {
+            state,
+            buffer: [0u8; 64],
+            buffered: 0,
+            length,
+        }
+    }
+
+    /// The current internal state, valid as a [`Md5::from_midstate`] seed
+    /// only at a block boundary (`length % 64 == 0`, nothing buffered).
+    pub fn midstate(&self) -> [u32; 4] {
+        debug_assert_eq!(self.buffered, 0, "midstate read mid-block");
+        self.state
+    }
+
     /// Pads and finalizes, returning the digest.
     pub fn finish(mut self) -> Digest {
+        // One-shot RFC 1321 padding: 0x80, zeroes to 56 mod 64, then the
+        // original bit length. (The previous byte-at-a-time padding loop
+        // was a measurable fraction of every digest on the hot path.)
+        const PADDING: [u8; 64] = {
+            let mut p = [0u8; 64];
+            p[0] = 0x80;
+            p
+        };
         let bit_len = self.length.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buffered != 56 {
-            self.update(&[0u8]);
-        }
+        let pad_len = 1 + (55usize.wrapping_sub(self.length as usize) % 64);
+        self.update(&PADDING[..pad_len]);
         self.update(&bit_len.to_le_bytes());
         debug_assert_eq!(self.buffered, 0);
         let mut out = [0u8; 16];
@@ -181,19 +208,36 @@ impl Md5 {
             m[i] = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
         }
         let [mut a, mut b, mut c, mut d] = self.state;
-        for i in 0..64 {
-            let (f, g) = match i / 16 {
-                0 => ((b & c) | (!b & d), i),
-                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
-                2 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
+        // Four explicit rounds (RFC 1321 §3.4) instead of one loop with a
+        // per-iteration round dispatch: same arithmetic, branch-free body.
+        macro_rules! round {
+            ($f:expr, $g:expr, $i:expr) => {
+                let f: u32 = $f;
+                let g: usize = $g;
+                let tmp = d;
+                d = c;
+                c = b;
+                let sum = a.wrapping_add(f).wrapping_add(K[$i]).wrapping_add(m[g]);
+                b = b.wrapping_add(sum.rotate_left(S[$i]));
+                a = tmp;
             };
-            let tmp = d;
-            d = c;
-            c = b;
-            let sum = a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]);
-            b = b.wrapping_add(sum.rotate_left(S[i]));
-            a = tmp;
+        }
+        let mut i = 0;
+        while i < 16 {
+            round!((b & c) | (!b & d), i, i);
+            i += 1;
+        }
+        while i < 32 {
+            round!((d & b) | (!d & c), (5 * i + 1) % 16, i);
+            i += 1;
+        }
+        while i < 48 {
+            round!(b ^ c ^ d, (3 * i + 5) % 16, i);
+            i += 1;
+        }
+        while i < 64 {
+            round!(c ^ (b | !d), (7 * i) % 16, i);
+            i += 1;
         }
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);

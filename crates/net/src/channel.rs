@@ -9,10 +9,10 @@
 //! Timing comes from the [`crate::cost::CostModel`].
 
 use crate::cost::CostModel;
+use bft_fxhash::{FastMap, FastSet};
 use bft_types::{NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::{HashMap, HashSet};
 
 /// Fault-injection knobs for the channel.
 #[derive(Clone, Debug)]
@@ -102,18 +102,18 @@ pub struct Channel {
     config: ChannelConfig,
     rng: StdRng,
     /// Pairs `(from, to)` currently partitioned (messages silently dropped).
-    blocked: HashSet<(NodeId, NodeId)>,
+    blocked: FastSet<(NodeId, NodeId)>,
     /// Nodes whose links are entirely down.
-    isolated: HashSet<NodeId>,
+    isolated: FastSet<NodeId>,
     /// Per-link (directed) fault overrides; links not listed use the
     /// global configuration.
-    links: HashMap<(NodeId, NodeId), LinkProfile>,
+    links: FastMap<(NodeId, NodeId), LinkProfile>,
     /// Partition-group membership: nodes in different groups cannot talk.
     /// Nodes in no group talk to everyone (clients usually stay out).
-    groups: HashMap<NodeId, u32>,
+    groups: FastMap<NodeId, u32>,
     /// Restart epoch per node: bumped by a crash so deliveries scheduled
     /// into the pre-crash incarnation's queues can be discarded.
-    epochs: HashMap<NodeId, u64>,
+    epochs: FastMap<NodeId, u64>,
     /// Counters for reports.
     stats: ChannelStats,
 }
@@ -139,11 +139,11 @@ impl Channel {
         Channel {
             config,
             rng: StdRng::seed_from_u64(seed),
-            blocked: HashSet::new(),
-            isolated: HashSet::new(),
-            links: HashMap::new(),
-            groups: HashMap::new(),
-            epochs: HashMap::new(),
+            blocked: FastSet::default(),
+            isolated: FastSet::default(),
+            links: FastMap::default(),
+            groups: FastMap::default(),
+            epochs: FastMap::default(),
             stats: ChannelStats::default(),
         }
     }

@@ -1,10 +1,13 @@
 //! Network substrate: the unreliable multicast channel automaton of the
-//! thesis's system model (Figure 2-5) and the Chapter 7 wire-cost model.
+//! thesis's system model (Figure 2-5), the Chapter 7 wire-cost model, and
+//! the timer-wheel event scheduler the simulator runs on.
 
 pub mod channel;
 pub mod cost;
 pub mod frame;
+pub mod wheel;
 
 pub use channel::{Channel, ChannelConfig, ChannelStats, Delivery, LinkProfile};
 pub use cost::{CostModel, LinearCost};
 pub use frame::Frame;
+pub use wheel::{EventKey, EventWheel, WheelStats};

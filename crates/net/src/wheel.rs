@@ -1,0 +1,601 @@
+//! The discrete-event scheduler: a two-level timer wheel over a slab
+//! event arena.
+//!
+//! The simulator's previous scheduler was a `BinaryHeap<Reverse<Event>>`:
+//! every push and pop paid `O(log n)` comparisons on a heap whose nodes
+//! move through memory, and the allocation for each event was handed to
+//! the global allocator and back. This structure replaces it with the
+//! classic timer-wheel design (Varghese & Lauck), adapted to virtual
+//! time:
+//!
+//! * **Near wheel** — a ring of [`NEAR_SLOTS`] slots, one per virtual
+//!   microsecond tick. An event due within the window lands in its slot
+//!   in O(1); every event in a slot shares the same timestamp, so the
+//!   slot's FIFO list *is* `(time, push-order)` order — the deterministic
+//!   tie-break the fingerprint tests pin down. A 64-bit occupancy bitmap
+//!   finds the next non-empty slot with a couple of `trailing_zeros`.
+//! * **Overflow level** — events beyond the window (view-change timers,
+//!   watchdogs, status periods) wait in an ordered overflow heap keyed by
+//!   `(time, push-order)`. Whenever the cursor advances, everything that
+//!   slid into the window is promoted into its slot, preserving FIFO
+//!   order. The overflow holds tens of timers, not the tens of thousands
+//!   of deliveries the old heap carried.
+//! * **Slab arena** — event nodes live in one `Vec`, chained by index,
+//!   and freed slots are recycled through a free list: steady-state
+//!   operation allocates nothing.
+//! * **Lazy cancellation** — [`EventWheel::cancel`] never touches the
+//!   queue structure. It flips a tombstone on the slab node (the
+//!   generation stamp in the [`EventKey`] guards against slot reuse) and
+//!   the scan reaps tombstones when it reaches them.
+
+use bft_types::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Near-wheel width in bits.
+const NEAR_BITS: u32 = 12;
+/// Number of near-wheel slots: one per virtual-time microsecond, so the
+/// wheel covers a ~4.1 ms window — wider than any simulated network
+/// latency, narrower than the protocol timers that go to overflow.
+pub const NEAR_SLOTS: u64 = 1 << NEAR_BITS;
+const NEAR_MASK: u64 = NEAR_SLOTS - 1;
+
+/// Sentinel index for "no node".
+const NIL: u32 = u32::MAX;
+
+/// Handle to a scheduled event, for lazy cancellation. Generation-stamped:
+/// a key outlives its event harmlessly (cancel of a popped or recycled
+/// slot is a no-op returning `false`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventKey {
+    idx: u32,
+    gen: u32,
+}
+
+struct Node<T> {
+    /// Absolute virtual-time tick.
+    at: u64,
+    /// Global push order; ties on `at` pop in `seq` order.
+    seq: u64,
+    /// Bumped on every recycle; pairs with [`EventKey::gen`].
+    gen: u32,
+    /// Tombstone: reaped by the scan, never dispatched.
+    canceled: bool,
+    /// Next node in the same near slot (intrusive FIFO), or [`NIL`].
+    next: u32,
+    payload: Option<T>,
+}
+
+#[derive(Clone, Copy)]
+struct SlotList {
+    head: u32,
+    tail: u32,
+}
+
+impl SlotList {
+    const EMPTY: SlotList = SlotList {
+        head: NIL,
+        tail: NIL,
+    };
+}
+
+/// Counters for reports and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Events pushed.
+    pub pushed: u64,
+    /// Events popped (dispatched).
+    pub popped: u64,
+    /// Cancellations accepted (tombstones written).
+    pub canceled: u64,
+    /// Tombstones reaped by the scan or promotion.
+    pub reaped: u64,
+    /// Events promoted from the overflow level into the near wheel.
+    pub promoted: u64,
+    /// High-water mark of the slab arena.
+    pub slab_high_water: usize,
+}
+
+/// A deterministic future-event queue ordered by `(time, push order)`.
+pub struct EventWheel<T> {
+    slab: Vec<Node<T>>,
+    free: Vec<u32>,
+    near: Vec<SlotList>,
+    /// One bit per near slot; set while the slot's list is non-empty.
+    occupied: Vec<u64>,
+    /// Current tick: every event at a strictly earlier tick has been
+    /// popped or reaped. The near window is `[cursor, cursor + NEAR_SLOTS)`.
+    cursor: u64,
+    /// Events beyond the near window, ordered by `(at, seq, slab index)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Nodes currently linked into the near wheel (tombstones included).
+    near_count: usize,
+    /// Scheduled, not-yet-canceled, not-yet-popped events.
+    live: usize,
+    next_seq: u64,
+    stats: WheelStats,
+}
+
+impl<T> Default for EventWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventWheel<T> {
+    /// Creates an empty wheel with the cursor at virtual time zero.
+    pub fn new() -> Self {
+        EventWheel {
+            slab: Vec::new(),
+            free: Vec::new(),
+            near: vec![SlotList::EMPTY; NEAR_SLOTS as usize],
+            occupied: vec![0u64; (NEAR_SLOTS / 64) as usize],
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            near_count: 0,
+            live: 0,
+            next_seq: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    /// Number of live (scheduled, uncanceled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> WheelStats {
+        self.stats
+    }
+
+    /// Schedules `payload` at `at`, returning a key for lazy cancellation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at` lies before an already-popped tick: the simulator
+    /// never schedules into the past, and silently accepting one would
+    /// corrupt slot aliasing.
+    pub fn push(&mut self, at: SimTime, payload: T) -> EventKey {
+        assert!(
+            at.0 >= self.cursor,
+            "event scheduled in the past ({} < cursor {})",
+            at.0,
+            self.cursor
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = self.alloc(at.0, seq, payload);
+        let gen = self.slab[idx as usize].gen;
+        self.live += 1;
+        self.stats.pushed += 1;
+        if at.0 < self.cursor + NEAR_SLOTS {
+            self.link(idx);
+        } else {
+            self.overflow.push(Reverse((at.0, seq, idx)));
+        }
+        EventKey { idx, gen }
+    }
+
+    /// Lazily cancels a scheduled event: O(1), no queue surgery. Returns
+    /// true when the key still referred to a live event.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        let Some(node) = self.slab.get_mut(key.idx as usize) else {
+            return false;
+        };
+        if node.gen != key.gen || node.canceled || node.payload.is_none() {
+            return false;
+        }
+        node.canceled = true;
+        self.live -= 1;
+        self.stats.canceled += 1;
+        true
+    }
+
+    /// The timestamp of the next live event, without removing it.
+    ///
+    /// Unlike [`EventWheel::pop`], peeking never commits the cursor: a
+    /// caller may peek a far-future event, decide it is past its
+    /// deadline, and still push nearer events afterwards (the
+    /// `run_until(deadline)` pattern). The only mutation is reaping
+    /// canceled entries off the top of the overflow heap.
+    pub fn next_at(&mut self) -> Option<SimTime> {
+        if self.live == 0 {
+            return None;
+        }
+        // Earliest live near event: walk occupied slots in tick order,
+        // skipping tombstones without unlinking them. Live near events
+        // always precede everything in overflow (the promote invariant).
+        let mut offset = 0;
+        while self.near_count > 0 && offset < NEAR_SLOTS {
+            let Some(d) = self.occupied_distance_from(offset) else {
+                break;
+            };
+            let slot = ((self.cursor + d) & NEAR_MASK) as usize;
+            let mut idx = self.near[slot].head;
+            while idx != NIL {
+                let node = &self.slab[idx as usize];
+                if !node.canceled {
+                    return Some(SimTime(node.at));
+                }
+                idx = node.next;
+            }
+            offset = d + 1;
+        }
+        // Near wheel holds nothing live: the answer is the earliest live
+        // overflow entry.
+        while let Some(&Reverse((at, _, idx))) = self.overflow.peek() {
+            if self.slab[idx as usize].canceled {
+                self.overflow.pop();
+                self.recycle(idx);
+                self.stats.reaped += 1;
+                continue;
+            }
+            return Some(SimTime(at));
+        }
+        unreachable!("live > 0 events must be linked or in overflow")
+    }
+
+    /// Removes and returns the next live event in `(time, push order)`.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        if !self.position() {
+            return None;
+        }
+        let slot = (self.cursor & NEAR_MASK) as usize;
+        let idx = self.near[slot].head;
+        self.unlink_head(slot);
+        let node = &mut self.slab[idx as usize];
+        debug_assert_eq!(node.at, self.cursor);
+        let payload = node.payload.take().expect("live node has payload");
+        let at = node.at;
+        self.recycle(idx);
+        self.live -= 1;
+        self.stats.popped += 1;
+        Some((SimTime(at), payload))
+    }
+
+    /// Advances `cursor` to the tick of the next live event, reaping
+    /// tombstones and promoting overflow entries on the way. Returns
+    /// false when no live event exists.
+    fn position(&mut self) -> bool {
+        loop {
+            if self.live == 0 {
+                return false;
+            }
+            if self.near_count == 0 {
+                // Whole window empty: jump straight to the earliest
+                // overflow tick and promote the batch that becomes near.
+                let &Reverse((at, _, _)) = self
+                    .overflow
+                    .peek()
+                    .expect("live events must be linked or in overflow");
+                debug_assert!(at >= self.cursor + NEAR_SLOTS);
+                self.cursor = at;
+                self.promote();
+                continue;
+            }
+            let d = self.next_occupied_distance();
+            if d > 0 {
+                self.cursor += d;
+                // The window slid: promote everything that entered it so
+                // pushes (and this scan) see a complete slot.
+                self.promote();
+            }
+            let slot = (self.cursor & NEAR_MASK) as usize;
+            let idx = self.near[slot].head;
+            debug_assert_ne!(idx, NIL);
+            if self.slab[idx as usize].canceled {
+                self.unlink_head(slot);
+                self.recycle(idx);
+                self.stats.reaped += 1;
+                continue;
+            }
+            return true;
+        }
+    }
+
+    /// Moves every overflow event that now falls inside the near window
+    /// into its slot, in `(at, seq)` order (preserving slot FIFO).
+    fn promote(&mut self) {
+        let horizon = self.cursor + NEAR_SLOTS;
+        while let Some(&Reverse((at, _, _))) = self.overflow.peek() {
+            if at >= horizon {
+                break;
+            }
+            let Reverse((_, _, idx)) = self.overflow.pop().expect("peeked");
+            if self.slab[idx as usize].canceled {
+                self.recycle(idx);
+                self.stats.reaped += 1;
+                continue;
+            }
+            self.link(idx);
+            self.stats.promoted += 1;
+        }
+    }
+
+    /// Circular distance from the cursor's slot to the first occupied
+    /// slot. Caller guarantees `near_count > 0`.
+    fn next_occupied_distance(&self) -> u64 {
+        self.occupied_distance_from(0)
+            .expect("near_count > 0 means some slot bit is set")
+    }
+
+    /// Distance (≥ `from`) from the cursor's slot to the first occupied
+    /// slot within one window, or `None` when no slot at distance
+    /// `from..NEAR_SLOTS` is occupied.
+    fn occupied_distance_from(&self, from: u64) -> Option<u64> {
+        if from >= NEAR_SLOTS {
+            return None;
+        }
+        let words = self.occupied.len();
+        let start = ((self.cursor + from) & NEAR_MASK) as usize;
+        let (w0, b0) = (start / 64, start % 64);
+        let first = self.occupied[w0] >> b0;
+        if first != 0 {
+            let d = from + first.trailing_zeros() as u64;
+            return (d < NEAR_SLOTS).then_some(d);
+        }
+        let mut d = from + (64 - b0) as u64;
+        let mut w = (w0 + 1) % words;
+        while d < from + NEAR_SLOTS {
+            let bits = self.occupied[w];
+            if bits != 0 {
+                let hit = d + bits.trailing_zeros() as u64;
+                return (hit < NEAR_SLOTS).then_some(hit);
+            }
+            d += 64;
+            w = (w + 1) % words;
+        }
+        None
+    }
+
+    fn alloc(&mut self, at: u64, seq: u64, payload: T) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let node = &mut self.slab[idx as usize];
+            node.at = at;
+            node.seq = seq;
+            node.canceled = false;
+            node.next = NIL;
+            node.payload = Some(payload);
+            idx
+        } else {
+            let idx = self.slab.len() as u32;
+            assert!(idx != NIL, "slab full");
+            self.slab.push(Node {
+                at,
+                seq,
+                gen: 0,
+                canceled: false,
+                next: NIL,
+                payload: Some(payload),
+            });
+            self.stats.slab_high_water = self.slab.len();
+            idx
+        }
+    }
+
+    /// Returns a node to the free list, bumping its generation so stale
+    /// [`EventKey`]s can never touch the recycled slot.
+    fn recycle(&mut self, idx: u32) {
+        let node = &mut self.slab[idx as usize];
+        node.gen = node.gen.wrapping_add(1);
+        node.payload = None;
+        node.next = NIL;
+        self.free.push(idx);
+    }
+
+    /// Appends a node to its near slot's FIFO list.
+    fn link(&mut self, idx: u32) {
+        let at = self.slab[idx as usize].at;
+        debug_assert!(at >= self.cursor && at < self.cursor + NEAR_SLOTS);
+        let slot = (at & NEAR_MASK) as usize;
+        let list = &mut self.near[slot];
+        if list.tail == NIL {
+            list.head = idx;
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+        } else {
+            self.slab[list.tail as usize].next = idx;
+            // Same slot => same tick: FIFO order is (at, seq) order.
+            debug_assert!(self.slab[list.tail as usize].at == at);
+            debug_assert!(self.slab[list.tail as usize].seq < self.slab[idx as usize].seq);
+        }
+        self.near[slot].tail = idx;
+        self.near_count += 1;
+    }
+
+    /// Detaches the head node of a slot (does not recycle it).
+    fn unlink_head(&mut self, slot: usize) {
+        let idx = self.near[slot].head;
+        debug_assert_ne!(idx, NIL);
+        let next = self.slab[idx as usize].next;
+        self.near[slot].head = next;
+        if next == NIL {
+            self.near[slot].tail = NIL;
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
+        }
+        self.near_count -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut EventWheel<u32>) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((at, v)) = w.pop() {
+            out.push((at.0, v));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut w = EventWheel::new();
+        w.push(SimTime(5), 1);
+        w.push(SimTime(3), 2);
+        w.push(SimTime(5), 3);
+        w.push(SimTime(3), 4);
+        assert_eq!(w.len(), 4);
+        assert_eq!(drain(&mut w), vec![(3, 2), (3, 4), (5, 1), (5, 3)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_events_promote_in_order() {
+        let mut w = EventWheel::new();
+        // Far beyond the near window, same tick: FIFO must survive the
+        // overflow round-trip.
+        let far = NEAR_SLOTS * 3 + 17;
+        w.push(SimTime(far), 1);
+        w.push(SimTime(far), 2);
+        w.push(SimTime(2), 0);
+        w.push(SimTime(far + 1), 3);
+        assert_eq!(
+            drain(&mut w),
+            vec![(2, 0), (far, 1), (far, 2), (far + 1, 3)]
+        );
+        assert_eq!(w.stats().promoted, 3);
+    }
+
+    #[test]
+    fn push_after_pop_same_tick_stays_fifo() {
+        let mut w = EventWheel::new();
+        w.push(SimTime(10), 1);
+        assert_eq!(w.pop().unwrap(), (SimTime(10), 1));
+        // Cursor now at tick 10; same-tick push is legal and pops next.
+        w.push(SimTime(10), 2);
+        w.push(SimTime(11), 3);
+        assert_eq!(drain(&mut w), vec![(10, 2), (11, 3)]);
+    }
+
+    #[test]
+    fn cancel_is_lazy_and_generation_guarded() {
+        let mut w = EventWheel::new();
+        let a = w.push(SimTime(4), 1);
+        let b = w.push(SimTime(4), 2);
+        w.push(SimTime(9), 3);
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a), "double cancel is a no-op");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop().unwrap(), (SimTime(4), 2));
+        // The popped/reaped slots recycle; stale keys must not bite.
+        let c = w.push(SimTime(9), 4);
+        assert!(!w.cancel(a), "stale key, recycled slot");
+        assert!(!w.cancel(b), "key to an already-reaped tombstone");
+        assert!(w.cancel(c));
+        assert_eq!(drain(&mut w), vec![(9, 3)]);
+        // `c` trails as an unreaped tombstone (pop short-circuits once no
+        // live event remains); the next activity at its slot reaps it.
+        assert_eq!(w.stats().reaped, 1);
+        w.push(SimTime(9), 5);
+        assert_eq!(w.pop().unwrap(), (SimTime(9), 5));
+        assert_eq!(w.stats().reaped, 2);
+        assert_eq!(w.stats().canceled, 2);
+    }
+
+    #[test]
+    fn cancel_in_overflow_is_reaped_at_promotion() {
+        let mut w = EventWheel::new();
+        let far = NEAR_SLOTS * 2;
+        let k = w.push(SimTime(far), 1);
+        w.push(SimTime(far + 2), 2);
+        assert!(w.cancel(k));
+        assert_eq!(drain(&mut w), vec![(far + 2, 2)]);
+        assert_eq!(w.stats().reaped, 1);
+    }
+
+    #[test]
+    fn next_at_peeks_without_removing() {
+        let mut w = EventWheel::new();
+        assert_eq!(w.next_at(), None);
+        w.push(SimTime(7), 1);
+        assert_eq!(w.next_at(), Some(SimTime(7)));
+        assert_eq!(w.next_at(), Some(SimTime(7)), "peek is idempotent");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop().unwrap(), (SimTime(7), 1));
+        assert_eq!(w.next_at(), None);
+    }
+
+    #[test]
+    fn next_at_skips_canceled_heads() {
+        let mut w = EventWheel::new();
+        let k = w.push(SimTime(3), 1);
+        w.push(SimTime(800), 2);
+        w.cancel(k);
+        assert_eq!(w.next_at(), Some(SimTime(800)));
+        assert_eq!(w.pop().unwrap(), (SimTime(800), 2));
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        let mut w = EventWheel::new();
+        for round in 0..100u64 {
+            for i in 0..10u32 {
+                w.push(SimTime(round * 50 + i as u64), i);
+            }
+            assert_eq!(drain(&mut w).len(), 10);
+        }
+        assert_eq!(w.stats().slab_high_water, 10, "arena reuses slots");
+        assert_eq!(w.stats().pushed, 1000);
+    }
+
+    #[test]
+    fn window_boundary_single_tick() {
+        let mut w = EventWheel::new();
+        // Exactly the last near tick vs the first overflow tick.
+        w.push(SimTime(NEAR_SLOTS - 1), 1);
+        w.push(SimTime(NEAR_SLOTS), 2);
+        assert_eq!(w.stats().pushed, 2);
+        assert_eq!(drain(&mut w), vec![(NEAR_SLOTS - 1, 1), (NEAR_SLOTS, 2)]);
+        assert_eq!(w.stats().promoted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn pushing_into_the_past_panics() {
+        let mut w = EventWheel::new();
+        w.push(SimTime(100), 1);
+        let _ = w.pop();
+        w.push(SimTime(99), 2);
+    }
+
+    #[test]
+    fn peek_does_not_commit_the_cursor() {
+        // The run_until(deadline) pattern: peek a far-future event,
+        // decide it is past the deadline, then schedule nearer work.
+        // Peeking must not advance the cursor (which would make the
+        // nearer push "in the past") or promote overflow into slots that
+        // alias once nearer events arrive.
+        let mut w = EventWheel::new();
+        w.push(SimTime(50), 1);
+        assert_eq!(w.pop().unwrap(), (SimTime(50), 1));
+        let far = 50 + NEAR_SLOTS * 5 + 3;
+        w.push(SimTime(far), 2);
+        assert_eq!(w.next_at(), Some(SimTime(far)), "peeked past deadline");
+        w.push(SimTime(60), 3); // would panic if the peek moved the cursor
+        w.push(SimTime(far), 4);
+        assert_eq!(
+            drain(&mut w),
+            vec![(60, 3), (far, 2), (far, 4)],
+            "order and same-tick FIFO survive the peek"
+        );
+    }
+
+    #[test]
+    fn long_quiet_gaps_jump_the_cursor() {
+        let mut w = EventWheel::new();
+        w.push(SimTime(1), 1);
+        w.push(SimTime(10_000_000), 2); // 10 virtual seconds out
+        assert_eq!(w.pop().unwrap(), (SimTime(1), 1));
+        assert_eq!(w.pop().unwrap(), (SimTime(10_000_000), 2));
+        // Pushing just after the jump still works.
+        w.push(SimTime(10_000_001), 3);
+        assert_eq!(w.pop().unwrap(), (SimTime(10_000_001), 3));
+    }
+}

@@ -1,0 +1,131 @@
+//! Model-based check of the timer wheel: random interleavings of push /
+//! cancel / pop are executed against both the [`EventWheel`] and a
+//! reference `BinaryHeap<(time, push-order)>` model — the scheduler the
+//! wheel replaced. The two must agree on every popped event, including
+//! same-tick FIFO ties, window-boundary straddles, and events deep in the
+//! overflow level that promote as the cursor advances.
+
+use bft_net::wheel::{EventKey, EventWheel, NEAR_SLOTS};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// One scripted operation: `(kind, raw)` where `raw` seeds the operand.
+type Op = (u8, u64);
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((any::<u8>(), any::<u64>()), 0..400)
+}
+
+struct Reference {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    canceled: HashSet<u64>,
+}
+
+impl Reference {
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if self.canceled.remove(&seq) {
+                continue;
+            }
+            return Some((at, seq));
+        }
+        None
+    }
+}
+
+proptest! {
+    #[test]
+    fn wheel_matches_reference_heap(script in ops()) {
+        let mut wheel: EventWheel<u64> = EventWheel::new();
+        let mut model = Reference { heap: BinaryHeap::new(), canceled: HashSet::new() };
+        // Live events: (wheel key, model seq). Pushes append, cancels and
+        // pops remove.
+        let mut alive: Vec<(EventKey, u64)> = Vec::new();
+        let mut next_seq = 0u64;
+        let mut frontier = 0u64; // time of the last pop: pushes never precede it
+
+        for (kind, raw) in script {
+            match kind % 9 {
+                // Near pushes, with frequent same-tick ties.
+                0 | 1 => {
+                    let at = frontier + (raw % 64);
+                    let key = wheel.push(bft_types::SimTime(at), next_seq);
+                    model.heap.push(Reverse((at, next_seq)));
+                    alive.push((key, next_seq));
+                    next_seq += 1;
+                }
+                // Exactly the current tick.
+                2 => {
+                    let key = wheel.push(bft_types::SimTime(frontier), next_seq);
+                    model.heap.push(Reverse((frontier, next_seq)));
+                    alive.push((key, next_seq));
+                    next_seq += 1;
+                }
+                // Straddle the near/overflow window boundary.
+                3 => {
+                    let at = frontier + NEAR_SLOTS - 32 + (raw % 64);
+                    let key = wheel.push(bft_types::SimTime(at), next_seq);
+                    model.heap.push(Reverse((at, next_seq)));
+                    alive.push((key, next_seq));
+                    next_seq += 1;
+                }
+                // Anywhere out to 4 windows away (deep overflow, long gaps).
+                4 => {
+                    let at = frontier + (raw % (NEAR_SLOTS * 4));
+                    let key = wheel.push(bft_types::SimTime(at), next_seq);
+                    model.heap.push(Reverse((at, next_seq)));
+                    alive.push((key, next_seq));
+                    next_seq += 1;
+                }
+                // Cancel a random live event (in both structures).
+                5 => {
+                    if !alive.is_empty() {
+                        let (key, seq) = alive.swap_remove(raw as usize % alive.len());
+                        prop_assert!(wheel.cancel(key), "live key must cancel");
+                        prop_assert!(!wheel.cancel(key), "second cancel is a no-op");
+                        model.canceled.insert(seq);
+                    }
+                }
+                // Peek and compare times; must not disturb future order.
+                6 => {
+                    let expect = model.pop();
+                    if let Some((at, seq)) = expect {
+                        model.heap.push(Reverse((at, seq)));
+                    }
+                    prop_assert_eq!(
+                        wheel.next_at().map(|t| t.0),
+                        expect.map(|(at, _)| at),
+                        "peek diverged from the reference heap"
+                    );
+                }
+                // Pop and compare.
+                _ => {
+                    let expect = model.pop();
+                    let got = wheel.pop();
+                    prop_assert_eq!(
+                        got.map(|(at, seq)| (at.0, seq)),
+                        expect,
+                        "pop order diverged from the reference heap"
+                    );
+                    if let Some((at, seq)) = expect {
+                        frontier = at;
+                        alive.retain(|&(_, s)| s != seq);
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.heap.len() - model.canceled.len());
+        }
+
+        // Drain both completely: every remaining event, in order.
+        loop {
+            let expect = model.pop();
+            let got = wheel.pop();
+            prop_assert_eq!(got.map(|(at, seq)| (at.0, seq)), expect, "drain diverged");
+            if expect.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}

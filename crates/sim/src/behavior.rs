@@ -61,6 +61,10 @@ impl Behavior {
                         _ => 0,
                     };
                     if camp == 1 {
+                        // Mutation forks the shared record (copy-on-write):
+                        // the honest copies in the log and other frames are
+                        // untouched.
+                        let pp = std::rc::Rc::make_mut(&mut pp);
                         let mut nondet = pp.nondet.to_vec();
                         nondet.push(0xE0 | camp as u8);
                         pp.nondet = Bytes::from(nondet);

@@ -8,14 +8,13 @@
 use crate::behavior::Behavior;
 use crate::metrics::Metrics;
 use bft_core::{Action, ClientConfig, ClientProxy, Input, Replica, ReplicaConfig, Target, TimerId};
-use bft_net::{Channel, ChannelConfig, Frame, LinkProfile};
+use bft_fxhash::FastMap;
+use bft_net::{Channel, ChannelConfig, EventWheel, Frame, LinkProfile};
 use bft_statemachine::Service;
 use bft_types::{
     Auth, ClientId, Message, NodeId, ReplicaId, Requester, SimDuration, SimTime, Timestamp,
 };
 use bytes::Bytes;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 /// Cluster-level configuration.
 #[derive(Clone, Debug)]
@@ -106,30 +105,6 @@ enum EventKind {
     Fault(Fault),
 }
 
-#[derive(Clone, Debug)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// A closed-loop workload driver: asked for the next operation whenever
 /// the client is idle, fed the previous operation's result (scripted
 /// workloads like the Andrew benchmark resolve handles from replies).
@@ -199,22 +174,53 @@ struct ClientSlot {
     think: SimDuration,
 }
 
+/// Wall-clock time spent inside each engine component, in nanoseconds of
+/// *real* time (virtual-time metrics live in [`Metrics`]). Deliberately
+/// not part of `Metrics`: fingerprints print `Metrics` and must stay
+/// bit-identical whether or not profiling ran.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineProfile {
+    /// Event-queue operations (push, peek, pop).
+    pub sched_ns: u64,
+    /// Replica protocol handlers (`Replica::on_input`).
+    pub replica_ns: u64,
+    /// Client proxy handlers and workload drivers.
+    pub client_ns: u64,
+    /// Channel routing (fault injection, latency draws) and frame setup.
+    pub route_ns: u64,
+    /// Cost-model evaluation (verify/generate CPU charges).
+    pub cost_ns: u64,
+}
+
+impl EngineProfile {
+    /// Total profiled nanoseconds across all components.
+    pub fn total_ns(&self) -> u64 {
+        self.sched_ns + self.replica_ns + self.client_ns + self.route_ns + self.cost_ns
+    }
+}
+
 /// The simulated cluster.
 pub struct Cluster<S: Service> {
     /// Configuration.
     pub config: ClusterConfig,
     time: SimTime,
-    next_seq: u64,
-    events: BinaryHeap<Reverse<Event>>,
+    /// Future events, ordered by `(time, push order)` — a timer wheel
+    /// over a slab arena (see [`bft_net::wheel`]); push-order ties keep
+    /// same-tick dispatch deterministic.
+    events: EventWheel<EventKind>,
     replicas: Vec<Replica<S>>,
     behaviors: Vec<Behavior>,
     clients: Vec<ClientSlot>,
     channel: Channel,
-    busy_until: HashMap<NodeId, SimTime>,
-    timer_gen: HashMap<(NodeId, TimerId), u64>,
+    busy_until: FastMap<NodeId, SimTime>,
+    timer_gen: FastMap<(NodeId, TimerId), u64>,
     completions: Vec<SimTime>,
     /// Collected metrics.
     pub metrics: Metrics,
+    /// Wall-clock component breakdown; populated only after
+    /// [`Cluster::enable_profiling`].
+    pub profile: EngineProfile,
+    profile_enabled: bool,
 }
 
 impl<S: Service> Cluster<S> {
@@ -259,16 +265,17 @@ impl<S: Service> Cluster<S> {
         let behaviors = vec![Behavior::Correct; config.replica.group.n];
         let mut cluster = Cluster {
             time: SimTime::ZERO,
-            next_seq: 0,
-            events: BinaryHeap::new(),
+            events: EventWheel::new(),
             replicas,
             behaviors,
             clients,
             channel,
-            busy_until: HashMap::new(),
-            timer_gen: HashMap::new(),
+            busy_until: FastMap::default(),
+            timer_gen: FastMap::default(),
             completions: Vec::new(),
             metrics: Metrics::default(),
+            profile: EngineProfile::default(),
+            profile_enabled: false,
             config,
         };
         // Boot every replica.
@@ -358,22 +365,49 @@ impl<S: Service> Cluster<S> {
             .sum()
     }
 
+    /// Turns on the wall-clock component breakdown (see
+    /// [`Cluster::profile`]). Off by default: the timing calls cost a few
+    /// nanoseconds per event, and benchmarks want clean numbers unless
+    /// they ask for the breakdown.
+    pub fn enable_profiling(&mut self) {
+        self.profile_enabled = true;
+    }
+
+    #[inline]
+    fn prof_start(&self) -> Option<std::time::Instant> {
+        self.profile_enabled.then(std::time::Instant::now)
+    }
+
+    #[inline]
+    fn prof_end(acc: &mut u64, t: Option<std::time::Instant>) {
+        if let Some(t) = t {
+            *acc += t.elapsed().as_nanos() as u64;
+        }
+    }
+
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.events.push(Reverse(Event { at, seq, kind }));
+        let t = self.prof_start();
+        self.events.push(at, kind);
+        Self::prof_end(&mut self.profile.sched_ns, t);
+    }
+
+    /// Pops the next event if it is due at or before `deadline`.
+    fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, EventKind)> {
+        let t = self.prof_start();
+        let ev = match self.events.next_at() {
+            Some(at) if at <= deadline => Some(self.events.pop().expect("positioned")),
+            _ => None,
+        };
+        Self::prof_end(&mut self.profile.sched_ns, t);
+        ev
     }
 
     /// Runs until `deadline` or until the event queue empties.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.at > deadline {
-                break;
-            }
-            let Reverse(ev) = self.events.pop().expect("peeked");
-            self.time = ev.at;
+        while let Some((at, kind)) = self.pop_due(deadline) {
+            self.time = at;
             self.metrics.events_processed += 1;
-            self.dispatch(ev);
+            self.dispatch(at, kind);
         }
         self.time = self.time.max(deadline);
         self.metrics.end_time = self.time;
@@ -382,39 +416,38 @@ impl<S: Service> Cluster<S> {
     /// Runs until all client workloads complete or `deadline` passes.
     /// Returns true when every operation completed.
     pub fn run_to_completion(&mut self, deadline: SimTime) -> bool {
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.at > deadline {
-                break;
-            }
+        loop {
             if self.outstanding_ops() == 0 {
                 break;
             }
-            let Reverse(ev) = self.events.pop().expect("peeked");
-            self.time = ev.at;
+            let Some((at, kind)) = self.pop_due(deadline) else {
+                break;
+            };
+            self.time = at;
             self.metrics.events_processed += 1;
-            self.dispatch(ev);
+            self.dispatch(at, kind);
         }
         self.metrics.end_time = self.time;
         self.outstanding_ops() == 0
     }
 
-    fn dispatch(&mut self, ev: Event) {
-        match ev.kind {
+    fn dispatch(&mut self, at: SimTime, kind: EventKind) {
+        match kind {
             EventKind::Deliver { to, frame, epoch } => {
                 if epoch != self.channel.epoch(to) {
                     return; // The receiving incarnation crashed meanwhile.
                 }
-                self.deliver(to, frame, ev.at)
+                self.deliver(to, frame, at)
             }
             EventKind::Timer { node, id, gen } => {
                 let current = self.timer_gen.get(&(node, id)).copied().unwrap_or(0);
                 if gen != current {
-                    return; // Canceled or re-armed.
+                    return; // Canceled or re-armed (lazy tombstone check).
                 }
-                self.handle_input(node, Input::Timer(id), ev.at);
+                self.handle_input(node, Input::Timer(id), at);
             }
-            EventKind::ClientStart { client, last } => self.client_advance(client, ev.at, last),
-            EventKind::Fault(f) => self.apply_fault(f, ev.at),
+            EventKind::ClientStart { client, last } => self.client_advance(client, at, last),
+            EventKind::Fault(f) => self.apply_fault(f, at),
         }
     }
 
@@ -574,7 +607,9 @@ impl<S: Service> Cluster<S> {
                 return; // Crashed.
             }
         }
+        let t = self.prof_start();
         let verify_us = self.verify_cost(frame.message(), size);
+        Self::prof_end(&mut self.profile.cost_ns, t);
         // The last delivery of a broadcast takes the body without copying;
         // earlier ones clone structurally (payloads and cached digests are
         // refcount-shared either way).
@@ -600,9 +635,11 @@ impl<S: Service> Cluster<S> {
                 if !self.behaviors[idx].receives() {
                     return;
                 }
+                let t = self.prof_start();
                 let before = self.replicas[idx].stats;
                 let actions = self.replicas[idx].on_input(input);
                 let after = self.replicas[idx].stats;
+                Self::prof_end(&mut self.profile.replica_ns, t);
                 let executed = after.requests_executed - before.requests_executed;
                 cpu_us += executed as f64 * self.channel.cost().execute_us;
                 // Checkpoint cost: digest of modified pages, approximated
@@ -614,7 +651,9 @@ impl<S: Service> Cluster<S> {
             }
             NodeId::Client(c) => {
                 let idx = c.0 as usize;
+                let t = self.prof_start();
                 let (actions, done) = self.clients[idx].proxy.on_input(input);
+                Self::prof_end(&mut self.profile.client_ns, t);
                 // Apply this event's actions (including the CancelTimer of
                 // a completed operation) BEFORE the closed loop invokes the
                 // next operation, which arms a fresh retransmit timer.
@@ -701,13 +740,17 @@ impl<S: Service> Cluster<S> {
                             }
                         };
                         if first {
+                            let t = self.prof_start();
                             let gen_us = self.generate_cost(frame.message(), frame.wire_size());
+                            Self::prof_end(&mut self.profile.cost_ns, t);
                             send_at = send_at + SimDuration::from_micros(gen_us as u64);
                             first = false;
                         }
+                        let t = self.prof_start();
                         let deliveries =
                             self.channel
                                 .route(send_at, from, &[dest], frame.wire_size());
+                        Self::prof_end(&mut self.profile.route_ns, t);
                         for d in deliveries {
                             let epoch = self.channel.epoch(d.to);
                             self.push_event(

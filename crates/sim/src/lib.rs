@@ -10,5 +10,7 @@ pub mod scenarios;
 
 pub use behavior::Behavior;
 pub use chaos::{run_plan, shrink, ChaosAction, ChaosEvent, ChaosPlan, ChaosReport};
-pub use harness::{counter_cluster, mem_cluster, Cluster, ClusterConfig, Driver, Fault, OpGen};
+pub use harness::{
+    counter_cluster, mem_cluster, Cluster, ClusterConfig, Driver, EngineProfile, Fault, OpGen,
+};
 pub use metrics::{LatencySeries, Metrics};

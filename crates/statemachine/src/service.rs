@@ -71,9 +71,21 @@ pub trait Service {
 
 /// Paged byte memory with dirty tracking: the backing store used by the
 /// sample services, mirroring the `mem`/`size` region of `Byz_init_replica`.
+///
+/// Reads hand out reference-counted [`Bytes`] snapshots: the checkpoint
+/// machinery digests (and re-digests) pages far more often than services
+/// write them, so [`StateMemory::get_page`] builds the immutable snapshot
+/// once per modification and every further read is a refcount bump
+/// instead of a page-sized copy. Writes keep mutating the plain byte
+/// vector in place (no copy-on-write churn for small in-page updates) and
+/// invalidate the page's snapshot.
 #[derive(Clone, Debug)]
 pub struct StateMemory {
     pages: Vec<Vec<u8>>,
+    /// Lazily built immutable snapshots handed out by `get_page`;
+    /// `None` after the page was written. Interior mutability because
+    /// the `Service` trait reads pages through `&self`.
+    snapshots: std::cell::RefCell<Vec<Option<Bytes>>>,
     page_size: usize,
     dirty: std::collections::BTreeSet<u64>,
 }
@@ -83,6 +95,7 @@ impl StateMemory {
     pub fn new(num_pages: u64, page_size: usize) -> Self {
         StateMemory {
             pages: (0..num_pages).map(|_| vec![0u8; page_size]).collect(),
+            snapshots: std::cell::RefCell::new(vec![None; num_pages as usize]),
             page_size,
             dirty: std::collections::BTreeSet::new(),
         }
@@ -98,13 +111,25 @@ impl StateMemory {
         self.page_size
     }
 
-    /// Reads a page.
+    /// Reads a page: a refcount bump when the page is unchanged since the
+    /// last read, one snapshot copy right after a write.
     pub fn get_page(&self, index: u64) -> Bytes {
-        Bytes::copy_from_slice(&self.pages[index as usize])
+        let mut snaps = self.snapshots.borrow_mut();
+        snaps[index as usize]
+            .get_or_insert_with(|| Bytes::copy_from_slice(&self.pages[index as usize]))
+            .clone()
+    }
+
+    /// Drops the snapshot of a page that is about to change. Snapshots
+    /// already handed out keep the pre-write contents (they are immutable
+    /// by construction); only future reads see the new bytes.
+    fn invalidate(&mut self, index: u64) {
+        self.snapshots.get_mut()[index as usize] = None;
     }
 
     /// Writes a whole page and marks it dirty.
     pub fn put_page(&mut self, index: u64, data: &[u8]) {
+        self.invalidate(index);
         let page = &mut self.pages[index as usize];
         let n = data.len().min(self.page_size);
         page[..n].copy_from_slice(&data[..n]);
@@ -130,6 +155,7 @@ impl StateMemory {
             let page = pos / self.page_size;
             let off = pos % self.page_size;
             let n = (self.page_size - off).min(remaining.len());
+            self.invalidate(page as u64);
             self.pages[page][off..off + n].copy_from_slice(&remaining[..n]);
             self.dirty.insert(page as u64);
             pos += n;
@@ -209,5 +235,55 @@ mod tests {
         m.write(0, b"y");
         m.write(25, b"z");
         assert_eq!(m.take_dirty(), vec![0, 3]);
+    }
+
+    #[test]
+    fn repeated_reads_share_one_snapshot() {
+        let mut m = StateMemory::new(2, 8);
+        m.write(0, b"hello");
+        let a = m.get_page(0);
+        let b = m.get_page(0);
+        assert_eq!(
+            a.as_ptr(),
+            b.as_ptr(),
+            "unchanged page reads must be refcount bumps, not copies"
+        );
+        // A different page gets its own snapshot.
+        assert_ne!(a.as_ptr(), m.get_page(1).as_ptr());
+    }
+
+    #[test]
+    fn write_invalidates_shared_page() {
+        let mut m = StateMemory::new(2, 8);
+        m.write(0, b"aaaa");
+        let before = m.get_page(0);
+        m.write(2, b"BB");
+        let after = m.get_page(0);
+        assert_eq!(after.as_ref(), b"aaBB\0\0\0\0", "new reads see the write");
+        assert_eq!(
+            before.as_ref(),
+            b"aaaa\0\0\0\0",
+            "handed-out snapshots are immutable"
+        );
+        assert_ne!(before.as_ptr(), after.as_ptr());
+        // Untouched pages keep their snapshot across writes to others.
+        let p1 = m.get_page(1);
+        m.write(0, b"x");
+        assert_eq!(p1.as_ptr(), m.get_page(1).as_ptr());
+    }
+
+    #[test]
+    fn put_page_invalidates_shared_page() {
+        let mut m = StateMemory::new(1, 8);
+        let before = m.get_page(0);
+        m.put_page(0, b"fresh");
+        let after = m.get_page(0);
+        assert_eq!(after.as_ref(), b"fresh\0\0\0");
+        assert_eq!(before.as_ref(), &[0u8; 8]);
+        assert_eq!(
+            after.as_ptr(),
+            m.get_page(0).as_ptr(),
+            "snapshot rebuilt once, then shared again"
+        );
     }
 }

@@ -12,6 +12,7 @@ use crate::ids::{ClientId, ReplicaId, SeqNo, Timestamp, View};
 use crate::wire::{take, with_scratch, Wire, WireError};
 use bft_crypto::{digest as md5, Authenticator, CounterSignature, Digest, Signature, Tag};
 use bytes::Bytes;
+use std::rc::Rc;
 use std::sync::OnceLock;
 
 /// A lazily memoized digest slot.
@@ -459,6 +460,17 @@ impl PrePrepare {
     /// Digests of every request in the batch, in execution order.
     pub fn request_digests(&self) -> Vec<Digest> {
         self.batch.iter().map(|e| e.request_digest()).collect()
+    }
+}
+
+/// `Rc<PrePrepare>` shares one record between log slots, outboxes, and
+/// frames; on the wire it is indistinguishable from the inner message.
+impl Wire for Rc<PrePrepare> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (**self).encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Rc::new(PrePrepare::decode(buf)?))
     }
 }
 
@@ -1075,8 +1087,10 @@ pub enum Message {
     Request(Request),
     /// Reply to a request.
     Reply(Reply),
-    /// Primary's ordering proposal.
-    PrePrepare(PrePrepare),
+    /// Primary's ordering proposal. Reference-counted: the primary
+    /// stores the same record in its log slot, the outbox, and every
+    /// frame of the multicast without deep-cloning the batch.
+    PrePrepare(Rc<PrePrepare>),
     /// Backup's agreement.
     Prepare(Prepare),
     /// Commit-phase vote.
@@ -1241,7 +1255,7 @@ mod tests {
                 tentative: true,
                 auth: Auth::Mac(Tag([2; 8])),
             }),
-            Message::PrePrepare(pp.clone()),
+            Message::PrePrepare(Rc::new(pp.clone())),
             Message::Prepare(prep.clone()),
             Message::Commit(Commit {
                 view: View(1),
@@ -1441,7 +1455,7 @@ mod tests {
     fn type_names() {
         assert_eq!(Message::Request(sample_request()).type_name(), "Request");
         assert_eq!(
-            Message::PrePrepare(sample_pre_prepare()).type_name(),
+            Message::PrePrepare(Rc::new(sample_pre_prepare())).type_name(),
             "PrePrepare"
         );
     }

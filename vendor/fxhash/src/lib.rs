@@ -1,0 +1,245 @@
+//! Offline stand-in for the `rustc-hash`/`fxhash` crates.
+//!
+//! The container image cannot reach a cargo registry, so the workspace
+//! vendors the hashing primitives its hot paths need:
+//!
+//! * [`FxHasher`] — the Firefox/rustc "Fx" multiply-rotate hash. Not
+//!   DoS-resistant, which is irrelevant here: every key the simulator
+//!   hashes is produced by the deterministic protocol itself, never by an
+//!   untrusted network peer choosing keys adversarially. In exchange it
+//!   hashes a word in a couple of cycles where SipHash-1-3 needs dozens.
+//! * [`DigestHasher`] — a no-op hasher for keys that already *are*
+//!   uniformly distributed hashes (16-byte MD5 content digests): it takes
+//!   the first 8 bytes of the key as the hash value. Re-hashing a
+//!   cryptographic digest buys no distribution and costs a SipHash pass
+//!   per lookup; this costs a single load.
+//! * [`FastMap`]/[`FastSet`]/[`DigestMap`]/[`DigestSet`] — `HashMap`/
+//!   `HashSet` aliases wired to the two hashers, used across `bft-core`,
+//!   `bft-net`, and `bft-sim`.
+//!
+//! Determinism note: the protocol never depends on map iteration order
+//! (the same-seed fingerprint tests would catch it if it did — std's
+//! `RandomState` already randomizes order per map instance), so swapping
+//! hashers is behavior-invariant by construction.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Fx hash (Firefox's `mozilla::HashGeneric`,
+/// `rustc-hash`): a 64-bit odd constant derived from the golden ratio.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx word-at-a-time hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.add_to_hash(n as u8 as u64);
+    }
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.add_to_hash(n as u16 as u64);
+    }
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.add_to_hash(n as u32 as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add_to_hash(n as u64);
+    }
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A no-op hasher for keys that are already uniform hashes.
+///
+/// Intended exclusively for maps keyed by a cryptographic content digest
+/// (`bft_crypto::Digest`): the key's derived `Hash` impl feeds the raw
+/// digest bytes through `write`, and this hasher simply reads the first
+/// 8 bytes as the hash value. Uniformity of the digest guarantees
+/// uniformity of the bucket index; an adversary cannot engineer
+/// collisions without breaking the digest itself. Length prefixes
+/// (`write_usize`/`write_length_prefix` from slice hashing) are ignored —
+/// every key in such a map has the same fixed length.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DigestHasher {
+    hash: u64,
+}
+
+impl Hasher for DigestHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // First write() of ≥8 bytes wins; later writes fold in cheaply so
+        // the hasher stays total (and composite keys still terminate in a
+        // sensible value even though they belong in a FastMap instead).
+        let mut word = [0u8; 8];
+        let n = bytes.len().min(8);
+        word[..n].copy_from_slice(&bytes[..n]);
+        self.hash ^= u64::from_le_bytes(word);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, _n: usize) {
+        // Slice-length prefix: all digest keys share it; hashing it buys
+        // nothing.
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash ^= n;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// `BuildHasher` for [`DigestHasher`].
+pub type DigestBuildHasher = BuildHasherDefault<DigestHasher>;
+
+/// A `HashMap` using the Fx hasher — the default for hot-path maps keyed
+/// by small protocol identifiers (`NodeId`, `SeqNo`, replica indices,
+/// tuples of those).
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` using the Fx hasher.
+pub type FastSet<K> = HashSet<K, FxBuildHasher>;
+/// A `HashMap` using the no-op digest hasher — only for keys that are
+/// themselves cryptographic digests.
+pub type DigestMap<K, V> = HashMap<K, V, DigestBuildHasher>;
+/// A `HashSet` using the no-op digest hasher.
+pub type DigestSet<K> = HashSet<K, DigestBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn fx_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn fx_is_deterministic_and_spreads() {
+        assert_eq!(fx_of(42u64), fx_of(42u64));
+        assert_ne!(fx_of(1u64), fx_of(2u64));
+        assert_ne!(fx_of((1u64, 2u32)), fx_of((2u64, 1u32)));
+        // Sequential keys land in different low bits (bucket indices).
+        let low: FastSet<u64> = (0..64u64).map(|k| fx_of(k) & 63).collect();
+        assert!(low.len() > 16, "low bits must spread: {}", low.len());
+    }
+
+    #[test]
+    fn fx_write_handles_unaligned_tails() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]);
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 0]);
+        let b = h.finish();
+        // Same zero-padded word: identical — fine for fixed-length keys,
+        // which is all the workspace feeds through raw write().
+        assert_eq!(a, b);
+        let mut h = FxHasher::default();
+        h.write(&[9; 16]);
+        assert_ne!(h.finish(), 0);
+    }
+
+    #[test]
+    fn digest_hasher_reads_first_eight_bytes() {
+        // Mirrors how a [u8; 16] digest key reaches the hasher: a length
+        // prefix (ignored) then the raw bytes.
+        let mut h = DigestHasher::default();
+        h.write_usize(16);
+        h.write(&[1, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(h.finish(), 1);
+    }
+
+    #[test]
+    fn digest_map_roundtrip() {
+        let mut m: DigestMap<[u8; 16], u32> = DigestMap::default();
+        for i in 0..100u32 {
+            let mut k = [0u8; 16];
+            k[..4].copy_from_slice(&i.to_le_bytes());
+            k[8] = i as u8; // differ beyond the hashed prefix too
+            m.insert(k, i);
+        }
+        assert_eq!(m.len(), 100);
+        let mut k = [0u8; 16];
+        k[..4].copy_from_slice(&7u32.to_le_bytes());
+        k[8] = 7;
+        assert_eq!(m.get(&k), Some(&7));
+        assert_eq!(m.remove(&k), Some(7));
+        assert_eq!(m.len(), 99);
+    }
+
+    #[test]
+    fn fast_map_works_with_tuple_keys() {
+        let mut m: FastMap<(u64, u32), &str> = FastMap::default();
+        m.insert((3, 1), "a");
+        m.insert((1, 3), "b");
+        assert_eq!(m.get(&(3, 1)), Some(&"a"));
+        assert_eq!(m.get(&(1, 3)), Some(&"b"));
+        assert_eq!(m.get(&(3, 3)), None);
+    }
+}
