@@ -16,8 +16,9 @@
 //!                        and the shrinker isolates it (exits 1 otherwise)
 //!   --smoke              CI mode: a short campaign plus --verify-oracle
 //!   --debug              with --seed: dump per-replica diagnostics
-//!   --fail-dir PATH      write failing shrunk schedules here
-//!                        (default chaos-failures/)
+//!   --fail-dir PATH      write failing shrunk schedules here (default
+//!                        chaos-failures/ at the workspace root, resolved
+//!                        via CARGO_MANIFEST_DIR so the cwd is irrelevant)
 //!
 //! A failing seed is shrunk by delta debugging over whole fault episodes
 //! and written to the fail dir as a replayable one-liner plus the minimal
@@ -47,7 +48,9 @@ fn parse_args() -> Args {
         verify_oracle: false,
         smoke: false,
         debug: false,
-        fail_dir: "chaos-failures".to_string(),
+        // Resolve relative to the workspace root, not the cwd: CI matrix
+        // jobs (and developers) run this from arbitrary directories.
+        fail_dir: concat!(env!("CARGO_MANIFEST_DIR"), "/../../chaos-failures").to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {

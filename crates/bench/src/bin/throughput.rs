@@ -172,7 +172,8 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+        // Default lands at the workspace root regardless of the cwd.
+        .unwrap_or_else(|| format!("{}/../../BENCH_pr4.json", env!("CARGO_MANIFEST_DIR")));
     let (clients, ops_per_client) = if smoke { (4, 25) } else { (32, 313) };
 
     let cases = [

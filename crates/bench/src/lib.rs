@@ -221,7 +221,8 @@ pub fn run_e833() {
         "{:<28} {:>12.0} {:>9.2}x",
         "all optimizations", base.mean_us, 1.0
     );
-    let variants: [(&str, fn(&mut Optimizations)); 3] = [
+    type OptTweak = fn(&mut Optimizations);
+    let variants: [(&str, OptTweak); 3] = [
         ("no tentative execution", |o| o.tentative_execution = false),
         ("no digest replies", |o| o.digest_replies = false),
         ("no separate transmission", |o| {

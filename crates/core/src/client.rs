@@ -464,7 +464,7 @@ mod tests {
         assert_eq!(retrans.digest(), fresh.digest(), "no stale memo");
         // The rewritten request authenticates at a replica — i.e. the
         // authenticator was computed over the rewritten content.
-        let mut replica0 = AuthState::new(
+        let replica0 = AuthState::new(
             rc.auth,
             NodeId::Replica(ReplicaId(0)),
             rc.group,

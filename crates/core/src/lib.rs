@@ -20,7 +20,9 @@
 //! Replicas ([`Replica`]) and clients ([`ClientProxy`]) are pure event
 //! handlers: they consume [`actions::Input`]s and emit [`actions::Action`]s
 //! for a harness to interpret. `bft-sim` provides a deterministic
-//! discrete-event harness; any real transport would work the same way.
+//! discrete-event harness; `bft-runtime` drives the same state machines
+//! over real TCP sockets. Both run the step loop through
+//! [`driver::ReplicaDriver`].
 
 pub mod actions;
 pub mod authn;
@@ -28,6 +30,7 @@ pub mod checkpoints;
 pub mod client;
 pub mod client_table;
 pub mod config;
+pub mod driver;
 pub mod log;
 pub mod normal;
 pub mod partition_tree;
@@ -43,4 +46,5 @@ pub use actions::{Action, Input, Outbox, Target, TimerId};
 pub use authn::ClusterKeys;
 pub use client::{ClientConfig, ClientProxy, CompletedOp};
 pub use config::{AuthMode, Optimizations, RecoveryConfig, ReplicaConfig};
+pub use driver::ReplicaDriver;
 pub use replica::{Replica, ReplicaStats};

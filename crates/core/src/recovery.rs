@@ -141,14 +141,13 @@ impl<S: Service> Replica<S> {
         let self_idx = self.auth.self_index();
         let mut encrypted: Vec<Bytes> = Vec::with_capacity(total);
         let mut fresh: Vec<Option<SessionKey>> = vec![None; total];
-        for idx in 0..total {
+        for (idx, slot) in fresh.iter_mut().enumerate() {
             if idx == self_idx {
                 encrypted.push(Bytes::new());
                 continue;
             }
             let key_bytes: [u8; 16] = self.rng.random();
-            let key = SessionKey(key_bytes);
-            fresh[idx] = Some(key);
+            *slot = Some(SessionKey(key_bytes));
             let ct = self.auth.directory[idx].encrypt(&mut self.rng, &key_bytes);
             encrypted.push(Bytes::from(ct));
         }

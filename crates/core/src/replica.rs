@@ -475,7 +475,7 @@ impl<S: Service> Replica<S> {
         self.vc_timeout = self.config.view_change_timeout;
         // Checkpoint at multiples of the checkpoint interval (§2.3.4),
         // taken immediately but announced after commit (§5.1.2).
-        if seq.0 % self.config.checkpoint_interval == 0 {
+        if seq.0.is_multiple_of(self.config.checkpoint_interval) {
             let digest = self.tree.checkpoint(seq);
             self.ckpt.record_own(seq, digest);
             self.pending_ckpts.push((seq, digest));

@@ -52,8 +52,12 @@ pub struct FetchState {
     /// Replies at checkpoints other than the target, collected toward a
     /// weak certificate of "equally fresh responses" (§5.3.2): the target
     /// may have been garbage-collected at the repliers.
-    pub(crate) weak: bft_fxhash::FastMap<(u8, u64, u64), Vec<(ReplicaId, Vec<SubPartInfo>)>>,
+    pub(crate) weak: bft_fxhash::FastMap<(u8, u64, u64), Vec<WeakReply>>,
 }
+
+/// One replica's contribution toward a weak fetch certificate: who
+/// replied, with which sub-partition set.
+pub(crate) type WeakReply = (ReplicaId, Vec<SubPartInfo>);
 
 impl<S: Service> Replica<S> {
     /// Begins (or re-targets) a state transfer toward checkpoint `seq`.

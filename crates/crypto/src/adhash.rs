@@ -39,10 +39,10 @@ impl AdHash {
     pub fn add(&mut self, d: &Digest) {
         let e = expand(d);
         let mut carry = 0u64;
-        for i in 0..4 {
-            let (s1, c1) = self.lanes[i].overflowing_add(e[i]);
+        for (lane, word) in self.lanes.iter_mut().zip(e) {
+            let (s1, c1) = lane.overflowing_add(word);
             let (s2, c2) = s1.overflowing_add(carry);
-            self.lanes[i] = s2;
+            *lane = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         // Sum modulo 2^256: the final carry wraps (end-around discard keeps
@@ -54,10 +54,10 @@ impl AdHash {
     pub fn remove(&mut self, d: &Digest) {
         let e = expand(d);
         let mut borrow = 0u64;
-        for i in 0..4 {
-            let (s1, b1) = self.lanes[i].overflowing_sub(e[i]);
+        for (lane, word) in self.lanes.iter_mut().zip(e) {
+            let (s1, b1) = lane.overflowing_sub(word);
             let (s2, b2) = s1.overflowing_sub(borrow);
-            self.lanes[i] = s2;
+            *lane = s2;
             borrow = (b1 as u64) + (b2 as u64);
         }
     }

@@ -147,8 +147,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let sum = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let sum = limb as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
             out.push(sum as u32);
             carry = sum >> 32;
         }

@@ -298,7 +298,7 @@ mod tests {
     fn decrypt_rejects_garbage() {
         let mut rng = StdRng::seed_from_u64(21);
         let kp = KeyPair::generate_with_bits(&mut rng, 256);
-        assert!(kp.private.decrypt(&vec![0xffu8; 64]).is_none());
+        assert!(kp.private.decrypt(&[0xffu8; 64]).is_none());
         // Wrong key yields a different (wrong) session key, not a panic.
         let kp2 = KeyPair::generate_with_bits(&mut rng, 256);
         let ct = kp.public.encrypt(&mut rng, &[1u8; 16]);

@@ -162,6 +162,23 @@ impl<T> EventWheel<T> {
     /// never schedules into the past, and silently accepting one would
     /// corrupt slot aliasing.
     pub fn push(&mut self, at: SimTime, payload: T) -> EventKey {
+        self.push_tick(at.0, payload)
+    }
+
+    /// The earliest tick a new event may legally be scheduled at: the
+    /// tick of the last popped event. Real-time adapters clamp "now" to
+    /// this floor so a clock read taken just before a pop cannot land in
+    /// the past.
+    pub fn floor_tick(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Tick-keyed [`EventWheel::push`]: the wheel is agnostic to what a
+    /// tick means — the simulator keys it by virtual microseconds
+    /// ([`SimTime`]), the real-network runtime by monotonic microseconds
+    /// since process start.
+    pub fn push_tick(&mut self, tick: u64, payload: T) -> EventKey {
+        let at = SimTime(tick);
         assert!(
             at.0 >= self.cursor,
             "event scheduled in the past ({} < cursor {})",
@@ -205,6 +222,11 @@ impl<T> EventWheel<T> {
     /// `run_until(deadline)` pattern). The only mutation is reaping
     /// canceled entries off the top of the overflow heap.
     pub fn next_at(&mut self) -> Option<SimTime> {
+        self.next_tick().map(SimTime)
+    }
+
+    /// Tick-keyed [`EventWheel::next_at`].
+    pub fn next_tick(&mut self) -> Option<u64> {
         if self.live == 0 {
             return None;
         }
@@ -221,7 +243,7 @@ impl<T> EventWheel<T> {
             while idx != NIL {
                 let node = &self.slab[idx as usize];
                 if !node.canceled {
-                    return Some(SimTime(node.at));
+                    return Some(node.at);
                 }
                 idx = node.next;
             }
@@ -236,13 +258,18 @@ impl<T> EventWheel<T> {
                 self.stats.reaped += 1;
                 continue;
             }
-            return Some(SimTime(at));
+            return Some(at);
         }
         unreachable!("live > 0 events must be linked or in overflow")
     }
 
     /// Removes and returns the next live event in `(time, push order)`.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.pop_tick().map(|(tick, v)| (SimTime(tick), v))
+    }
+
+    /// Tick-keyed [`EventWheel::pop`].
+    pub fn pop_tick(&mut self) -> Option<(u64, T)> {
         if !self.position() {
             return None;
         }
@@ -256,7 +283,7 @@ impl<T> EventWheel<T> {
         self.recycle(idx);
         self.live -= 1;
         self.stats.popped += 1;
-        Some((SimTime(at), payload))
+        Some((at, payload))
     }
 
     /// Advances `cursor` to the tick of the next live event, reaping

@@ -1,0 +1,160 @@
+//! `pbft-client`: open/closed-loop load generator against a real
+//! cluster.
+//!
+//! Usage:
+//!   pbft-client --config cluster.conf [--clients N] [--first-id C]
+//!               [--ops K] [--op-bytes B] [--read-every M]
+//!               [--think-ms T | --rate OPS_PER_SEC]
+//!               [--retransmit-ms MS] [--deadline-secs S]
+//!
+//! Each client worker runs one `ClientProxy` in a closed loop (default)
+//! or paced open loop (`--rate`, per client), issuing the benchmark mix:
+//! padded counter increments with every `--read-every`-th operation a
+//! read-only `GET`. Prints per-client lines and an aggregate summary.
+
+use bft_runtime::client::{run_client, ClientReport, LoadMode, Workload};
+use bft_runtime::config::Topology;
+use bft_types::ClientId;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pbft-client --config FILE [--clients N] [--first-id C] [--ops K] \
+         [--op-bytes B] [--read-every M] [--think-ms T | --rate R] \
+         [--retransmit-ms MS] [--deadline-secs S]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config_path: Option<String> = None;
+    let mut clients: u32 = 1;
+    let mut first_id: u32 = 0;
+    let mut ops: u64 = 100;
+    let mut op_bytes: usize = 128;
+    let mut read_every: u64 = 4;
+    let mut think_ms: u64 = 0;
+    let mut rate: Option<f64> = None;
+    let mut retransmit_ms: Option<u64> = None;
+    let mut deadline_secs: u64 = 60;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |dst: &mut u64| match it.next().and_then(|v| v.parse().ok()) {
+            Some(v) => *dst = v,
+            None => usage(),
+        };
+        match a.as_str() {
+            "--config" => config_path = it.next().cloned(),
+            "--clients" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => clients = v,
+                None => usage(),
+            },
+            "--first-id" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => first_id = v,
+                None => usage(),
+            },
+            "--ops" => num(&mut ops),
+            "--op-bytes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => op_bytes = v,
+                None => usage(),
+            },
+            "--read-every" => num(&mut read_every),
+            "--think-ms" => num(&mut think_ms),
+            "--rate" => rate = it.next().and_then(|v| v.parse().ok()),
+            "--retransmit-ms" => retransmit_ms = it.next().and_then(|v| v.parse().ok()),
+            "--deadline-secs" => num(&mut deadline_secs),
+            _ => usage(),
+        }
+    }
+    let Some(config_path) = config_path else {
+        usage()
+    };
+    let text = std::fs::read_to_string(&config_path).unwrap_or_else(|e| {
+        eprintln!("pbft-client: cannot read {config_path}: {e}");
+        std::process::exit(1);
+    });
+    let topo = Topology::parse(&text).unwrap_or_else(|e| {
+        eprintln!("pbft-client: bad config {config_path}: {e}");
+        std::process::exit(1);
+    });
+
+    let mode = match rate {
+        Some(r) if r > 0.0 => LoadMode::Open {
+            interval: Duration::from_secs_f64(1.0 / r),
+        },
+        _ => LoadMode::Closed {
+            think: Duration::from_millis(think_ms),
+        },
+    };
+    let workload = Workload {
+        ops,
+        op_bytes,
+        read_every,
+        mode,
+        retransmit: retransmit_ms.map(Duration::from_millis),
+    };
+    let deadline = Duration::from_secs(deadline_secs);
+
+    println!(
+        "pbft-client: {clients} client(s) x {ops} ops ({:?}), {} replicas",
+        workload.mode,
+        topo.replicas.len()
+    );
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (first_id..first_id + clients)
+            .map(|c| {
+                let topo = &topo;
+                let workload = workload.clone();
+                scope.spawn(move || run_client(ClientId(c), topo, &workload, deadline))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client worker"))
+            .collect()
+    });
+
+    let mut total_ops = 0u64;
+    let mut total_retrans = 0u64;
+    let mut all_lat: Vec<u64> = Vec::new();
+    let mut max_wall = Duration::ZERO;
+    for r in &reports {
+        println!(
+            "  c{}: {}/{} ops, {:.1} ops/s, mean {:.2}ms p99 {:.2}ms, {} retransmitted",
+            r.client.0,
+            r.completed,
+            ops,
+            r.ops_per_sec(),
+            r.latency_mean_us() / 1e3,
+            r.latency_percentile_us(0.99) as f64 / 1e3,
+            r.retransmitted
+        );
+        total_ops += r.completed;
+        total_retrans += r.retransmitted;
+        all_lat.extend(&r.latencies_us);
+        max_wall = max_wall.max(r.wall);
+    }
+    all_lat.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if all_lat.is_empty() {
+            return 0.0;
+        }
+        all_lat[((all_lat.len() - 1) as f64 * p).round() as usize] as f64 / 1e3
+    };
+    let agg_tput = if max_wall.is_zero() {
+        0.0
+    } else {
+        total_ops as f64 / max_wall.as_secs_f64()
+    };
+    println!(
+        "aggregate: {total_ops} ops in {:.2}s = {agg_tput:.1} ops/s, p50 {:.2}ms p99 {:.2}ms, {total_retrans} retransmitted",
+        max_wall.as_secs_f64(),
+        pct(0.5),
+        pct(0.99)
+    );
+    if total_ops < clients as u64 * ops {
+        eprintln!("pbft-client: WARNING: workload incomplete before the deadline");
+        std::process::exit(1);
+    }
+}

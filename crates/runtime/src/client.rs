@@ -1,0 +1,318 @@
+//! The real-network client: a [`bft_core::ClientProxy`] over the TCP
+//! transport, plus the open/closed-loop load generator `pbft-client`
+//! and the `realnet` benchmark share.
+//!
+//! The workload mix mirrors the benchmark and chaos campaigns: padded
+//! counter increments with a configurable sprinkle of read-only reads
+//! (the §5.1.3 fast path). Closed-loop clients issue the next operation
+//! when the previous completes (plus think time); open-loop clients pace
+//! invocations against the wall clock — if the system falls behind the
+//! configured rate, the next invocation fires as soon as the previous
+//! reply certificate lands, so sustained overload degrades to a closed
+//! loop rather than queueing unboundedly (one in-flight operation per
+//! client, as the protocol requires).
+
+use crate::clock::RtTimers;
+use crate::config::Topology;
+use crate::transport::Transport;
+use bft_core::{Action, ClientProxy, CompletedOp, Input, Target, TimerId};
+use bft_statemachine::CounterService;
+use bft_types::framing::frame_bytes;
+use bft_types::{ClientId, Message, NodeId, ReplicaId, SimDuration, Timestamp, Wire};
+use bytes::Bytes;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a client paces its operations.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadMode {
+    /// Issue the next operation when the previous completes, after an
+    /// optional think time.
+    Closed {
+        /// Pause between completion and the next invocation.
+        think: Duration,
+    },
+    /// Target a fixed invocation rate per client (best effort: the loop
+    /// never holds more than one operation in flight).
+    Open {
+        /// Interval between scheduled invocations.
+        interval: Duration,
+    },
+}
+
+/// One client's workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Operations to issue.
+    pub ops: u64,
+    /// Operation payload size in bytes (first byte selects the op).
+    pub op_bytes: usize,
+    /// Every k-th operation is a read-only `GET` (0 = never).
+    pub read_every: u64,
+    /// Pacing mode.
+    pub mode: LoadMode,
+    /// Override of the client retransmission timeout (tests force
+    /// retransmission storms by making this tiny).
+    pub retransmit: Option<Duration>,
+}
+
+impl Workload {
+    /// A tight closed loop of `ops` mixed operations.
+    pub fn closed(ops: u64) -> Self {
+        Workload {
+            ops,
+            op_bytes: 128,
+            read_every: 4,
+            mode: LoadMode::Closed {
+                think: Duration::ZERO,
+            },
+            retransmit: None,
+        }
+    }
+
+    /// The `(operation, read_only)` pair for the k-th op, reusing the
+    /// benchmark mix: padded INC with every `read_every`-th op a GET.
+    pub fn op(&self, k: u64) -> (Bytes, bool) {
+        let read = self.read_every > 0 && k % self.read_every == self.read_every - 1;
+        let code = if read {
+            CounterService::OP_GET
+        } else {
+            CounterService::OP_INC
+        };
+        let mut body = vec![code];
+        body.resize(self.op_bytes.max(1), 0xb7);
+        (Bytes::from(body), read)
+    }
+
+    /// Number of `INC` (write) operations in the first `ops` operations.
+    pub fn writes(&self) -> u64 {
+        (0..self.ops).filter(|&k| !self.op(k).1).count() as u64
+    }
+}
+
+/// What one client observed.
+#[derive(Clone, Debug)]
+pub struct ClientReport {
+    /// The client id.
+    pub client: ClientId,
+    /// Operations that completed with a full reply certificate.
+    pub completed: u64,
+    /// Operations that needed at least one retransmission.
+    pub retransmitted: u64,
+    /// Per-operation latency, microseconds, in completion order.
+    pub latencies_us: Vec<u64>,
+    /// `(timestamp, result)` per completed operation.
+    pub results: Vec<(Timestamp, Vec<u8>)>,
+    /// Wall time from first invocation to last completion.
+    pub wall: Duration,
+}
+
+impl ClientReport {
+    /// Completed operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / self.wall.as_secs_f64()
+    }
+
+    /// The p-th latency percentile in microseconds (0.0 ..= 1.0).
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+
+    /// Mean latency in microseconds.
+    pub fn latency_mean_us(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64
+    }
+}
+
+/// Runs one client against the cluster until the workload completes or
+/// `deadline` passes. Returns what completed either way.
+pub fn run_client(
+    id: ClientId,
+    topo: &Topology,
+    workload: &Workload,
+    deadline: Duration,
+) -> ClientReport {
+    let keys = topo.keys();
+    let mut client_config = topo.client_config();
+    if let Some(rt) = workload.retransmit {
+        client_config.retransmit_timeout = SimDuration::from_micros(rt.as_micros() as u64);
+    }
+    let mut proxy = ClientProxy::new(id, client_config, &keys);
+    let (in_tx, in_rx) = mpsc::channel::<Vec<u8>>();
+    let peers: Vec<(NodeId, std::net::SocketAddr)> = topo
+        .replicas
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| (NodeId::Replica(ReplicaId(i as u32)), *addr))
+        .collect();
+    let transport = Transport::start(NodeId::Client(id), None, peers, in_tx);
+    let mut timers = RtTimers::<TimerId>::new();
+
+    let started = Instant::now();
+    let hard_deadline = started + deadline;
+    let mut report = ClientReport {
+        client: id,
+        completed: 0,
+        retransmitted: 0,
+        latencies_us: Vec::with_capacity(workload.ops as usize),
+        results: Vec::with_capacity(workload.ops as usize),
+        wall: Duration::ZERO,
+    };
+
+    'ops: for k in 0..workload.ops {
+        // Pacing.
+        match workload.mode {
+            LoadMode::Closed { think } => {
+                if k > 0 && !think.is_zero() {
+                    std::thread::sleep(think);
+                }
+            }
+            LoadMode::Open { interval } => {
+                let slot = started + interval * (k as u32);
+                let now = Instant::now();
+                if slot > now {
+                    std::thread::sleep(slot - now);
+                }
+            }
+        }
+        let (op, read_only) = workload.op(k);
+        let invoked = Instant::now();
+        let actions = proxy.invoke(op, read_only);
+        apply_client_actions(actions, &transport, &mut timers, topo.replicas.len());
+
+        // Wait for the reply certificate.
+        let done: Option<CompletedOp> = loop {
+            if Instant::now() >= hard_deadline {
+                break None;
+            }
+            // Client retransmission timer.
+            if let Some(timer) = timers.pop_due() {
+                let (actions, done) = proxy.on_input(Input::Timer(timer));
+                apply_client_actions(actions, &transport, &mut timers, topo.replicas.len());
+                if done.is_some() {
+                    break done;
+                }
+            }
+            let wait = timers
+                .until_next()
+                .unwrap_or(Duration::from_millis(20))
+                .min(Duration::from_millis(20));
+            match in_rx.recv_timeout(wait) {
+                Ok(payload) => {
+                    let mut slice = payload.as_slice();
+                    let Ok(msg) = Message::decode(&mut slice) else {
+                        continue;
+                    };
+                    let (actions, done) = proxy.on_input(Input::Deliver(msg));
+                    apply_client_actions(actions, &transport, &mut timers, topo.replicas.len());
+                    if done.is_some() {
+                        break done;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break None,
+            }
+        };
+        match done {
+            Some(op) => {
+                report.completed += 1;
+                if op.retransmissions > 0 {
+                    report.retransmitted += 1;
+                }
+                report
+                    .latencies_us
+                    .push(invoked.elapsed().as_micros() as u64);
+                report.results.push((op.timestamp, op.result.to_vec()));
+            }
+            None => break 'ops, // Deadline: report what we have.
+        }
+    }
+    report.wall = started.elapsed();
+    transport.shutdown();
+    report
+}
+
+fn apply_client_actions(
+    actions: Vec<Action>,
+    transport: &Transport,
+    timers: &mut RtTimers<TimerId>,
+    n: usize,
+) {
+    for action in actions {
+        match action {
+            Action::Send { to, msg } => {
+                let frame = Arc::new(frame_bytes(&msg));
+                match to {
+                    Target::Replica(r) => transport.send(NodeId::Replica(r), frame),
+                    Target::AllReplicas => {
+                        for i in 0..n {
+                            transport
+                                .send(NodeId::Replica(ReplicaId(i as u32)), Arc::clone(&frame));
+                        }
+                    }
+                    Target::Requester(r) => {
+                        transport.send(bft_core::authn::requester_node(r), frame)
+                    }
+                    Target::Node(node) => transport.send(node, frame),
+                }
+            }
+            Action::SetTimer { id, after } => timers.set(id, after),
+            Action::CancelTimer { id } => timers.cancel(id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_mix_alternates_reads() {
+        let w = Workload::closed(8);
+        // read_every = 4: ops 3 and 7 are reads.
+        let reads: Vec<bool> = (0..8).map(|k| w.op(k).1).collect();
+        assert_eq!(
+            reads,
+            vec![false, false, false, true, false, false, false, true]
+        );
+        assert_eq!(w.writes(), 6);
+        let (op, _) = w.op(0);
+        assert_eq!(op.len(), 128);
+        assert_eq!(op[0], CounterService::OP_INC);
+        let (op, ro) = w.op(3);
+        assert_eq!(op[0], CounterService::OP_GET);
+        assert!(ro);
+    }
+
+    #[test]
+    fn report_percentiles() {
+        let mut r = ClientReport {
+            client: ClientId(0),
+            completed: 4,
+            retransmitted: 0,
+            latencies_us: vec![40, 10, 30, 20],
+            results: Vec::new(),
+            wall: Duration::from_secs(2),
+        };
+        assert_eq!(r.latency_percentile_us(0.0), 10);
+        assert_eq!(r.latency_percentile_us(1.0), 40);
+        assert_eq!(r.latency_percentile_us(0.5), 30);
+        assert!((r.latency_mean_us() - 25.0).abs() < 1e-9);
+        assert!((r.ops_per_sec() - 2.0).abs() < 1e-9);
+        r.latencies_us.clear();
+        assert_eq!(r.latency_percentile_us(0.5), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Cluster topology configuration shared by `pbft-node` and
+//! `pbft-client`.
+//!
+//! The format is a deliberately tiny line-oriented `key = value` file —
+//! no external parser dependencies, every key checkable by eye:
+//!
+//! ```text
+//! # pbft cluster topology
+//! f = 1
+//! clients = 8
+//! key_seed = 42
+//! view_change_ms = 250
+//! status_ms = 100
+//! checkpoint_interval = 64
+//! batching = true
+//! replica.0 = 127.0.0.1:5100
+//! replica.1 = 127.0.0.1:5101
+//! replica.2 = 127.0.0.1:5102
+//! replica.3 = 127.0.0.1:5103
+//! ```
+//!
+//! Every node derives identical key material from `key_seed`
+//! ([`bft_core::ClusterKeys::generate`] is deterministic), so the file
+//! alone boots a working cluster.
+
+use bft_core::{ClientConfig, ClusterKeys, ReplicaConfig};
+use bft_types::{GroupParams, SimDuration};
+use std::net::SocketAddr;
+
+/// A parsed cluster topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// Fault threshold; the cluster needs `3f + 1` replica addresses.
+    pub f: usize,
+    /// Number of client principals provisioned in the key tables.
+    pub clients: u32,
+    /// Seed all nodes derive shared key material from.
+    pub key_seed: u64,
+    /// Base view-change timeout in milliseconds.
+    pub view_change_ms: u64,
+    /// Status-message interval in milliseconds.
+    pub status_ms: u64,
+    /// Checkpoint period `K`.
+    pub checkpoint_interval: u64,
+    /// Whether request batching is enabled.
+    pub batching: bool,
+    /// Listen addresses, indexed by replica id.
+    pub replicas: Vec<SocketAddr>,
+}
+
+impl Topology {
+    /// A localhost topology for `3f + 1` replicas on consecutive ports.
+    pub fn localhost(f: usize, clients: u32, base_port: u16) -> Self {
+        let n = 3 * f + 1;
+        Topology {
+            f,
+            clients,
+            key_seed: 42,
+            view_change_ms: 250,
+            status_ms: 100,
+            checkpoint_interval: 64,
+            batching: true,
+            replicas: (0..n)
+                .map(|i| {
+                    format!("127.0.0.1:{}", base_port + i as u16)
+                        .parse()
+                        .expect("valid addr")
+                })
+                .collect(),
+        }
+    }
+
+    /// Parses the config file format documented at the module level.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut topo = Topology {
+            f: 0,
+            clients: 4,
+            key_seed: 42,
+            view_change_ms: 250,
+            status_ms: 100,
+            checkpoint_interval: 64,
+            batching: true,
+            replicas: Vec::new(),
+        };
+        let mut replicas: Vec<(usize, SocketAddr)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", lineno + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let parse_u64 = |v: &str, what: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("line {}: bad {what} `{v}`", lineno + 1))
+            };
+            match key {
+                "f" => topo.f = parse_u64(value, "f")? as usize,
+                "clients" => topo.clients = parse_u64(value, "clients")? as u32,
+                "key_seed" => topo.key_seed = parse_u64(value, "key_seed")?,
+                "view_change_ms" => topo.view_change_ms = parse_u64(value, "view_change_ms")?,
+                "status_ms" => topo.status_ms = parse_u64(value, "status_ms")?,
+                "checkpoint_interval" => {
+                    topo.checkpoint_interval = parse_u64(value, "checkpoint_interval")?
+                }
+                "batching" => {
+                    topo.batching = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(format!("line {}: bad batching `{value}`", lineno + 1)),
+                    }
+                }
+                _ if key.starts_with("replica.") => {
+                    let idx: usize = key["replica.".len()..]
+                        .parse()
+                        .map_err(|_| format!("line {}: bad replica index `{key}`", lineno + 1))?;
+                    let addr: SocketAddr = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad address `{value}`", lineno + 1))?;
+                    replicas.push((idx, addr));
+                }
+                _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
+            }
+        }
+        if topo.f == 0 {
+            return Err("missing or zero `f`".into());
+        }
+        let n = 3 * topo.f + 1;
+        replicas.sort_by_key(|(i, _)| *i);
+        let indices: Vec<usize> = replicas.iter().map(|(i, _)| *i).collect();
+        if indices != (0..n).collect::<Vec<_>>() {
+            return Err(format!(
+                "need replica.0 .. replica.{} (3f+1 = {n} addresses), got indices {indices:?}",
+                n - 1
+            ));
+        }
+        topo.replicas = replicas.into_iter().map(|(_, a)| a).collect();
+        Ok(topo)
+    }
+
+    /// Renders the topology back into the config file format.
+    pub fn to_config_string(&self) -> String {
+        let mut out = String::from("# pbft cluster topology\n");
+        out.push_str(&format!("f = {}\n", self.f));
+        out.push_str(&format!("clients = {}\n", self.clients));
+        out.push_str(&format!("key_seed = {}\n", self.key_seed));
+        out.push_str(&format!("view_change_ms = {}\n", self.view_change_ms));
+        out.push_str(&format!("status_ms = {}\n", self.status_ms));
+        out.push_str(&format!(
+            "checkpoint_interval = {}\n",
+            self.checkpoint_interval
+        ));
+        out.push_str(&format!("batching = {}\n", self.batching));
+        for (i, addr) in self.replicas.iter().enumerate() {
+            out.push_str(&format!("replica.{i} = {addr}\n"));
+        }
+        out
+    }
+
+    /// Group parameters for this topology.
+    pub fn group(&self) -> GroupParams {
+        GroupParams::for_f(self.f)
+    }
+
+    /// The replica protocol configuration this topology implies.
+    pub fn replica_config(&self) -> ReplicaConfig {
+        let mut config = ReplicaConfig::small(self.f);
+        config.num_clients = self.clients.max(config.num_clients);
+        config.view_change_timeout = SimDuration::from_millis(self.view_change_ms);
+        config.status_interval = SimDuration::from_millis(self.status_ms);
+        config.checkpoint_interval = self.checkpoint_interval;
+        config.opts.batching = self.batching;
+        // Small signature modulus: signatures are off the hot path in
+        // MAC mode, and key generation happens on every node boot.
+        config.sig_modulus_bits = 256;
+        config
+    }
+
+    /// Client-side configuration derived from the replica configuration.
+    pub fn client_config(&self) -> ClientConfig {
+        ClientConfig::from_replica(&self.replica_config())
+    }
+
+    /// Deterministic shared key material for every node in the cluster.
+    pub fn keys(&self) -> ClusterKeys {
+        let config = self.replica_config();
+        ClusterKeys::generate(
+            config.group,
+            config.num_clients,
+            config.sig_modulus_bits,
+            self.key_seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_config_text() {
+        let topo = Topology::localhost(1, 8, 5100);
+        let text = topo.to_config_string();
+        let back = Topology::parse(&text).expect("parse own output");
+        assert_eq!(back, topo);
+    }
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let text = "\n# comment\n f = 1  # trailing\n\nreplica.0=127.0.0.1:1\nreplica.1 = 127.0.0.1:2\nreplica.2 = 127.0.0.1:3\nreplica.3 = 127.0.0.1:4\n";
+        let topo = Topology::parse(text).expect("parse");
+        assert_eq!(topo.f, 1);
+        assert_eq!(topo.replicas.len(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Topology::parse("nonsense").is_err());
+        assert!(Topology::parse("f = x").is_err());
+        assert!(Topology::parse("unknown = 1").is_err());
+        // Missing replica addresses for 3f+1.
+        let err = Topology::parse("f = 1\nreplica.0 = 127.0.0.1:1\n").unwrap_err();
+        assert!(err.contains("3f+1"), "{err}");
+        // Zero f.
+        assert!(Topology::parse("clients = 2").is_err());
+    }
+
+    #[test]
+    fn derived_configs_are_consistent() {
+        let topo = Topology::localhost(1, 16, 5100);
+        let rc = topo.replica_config();
+        assert_eq!(rc.group.n, 4);
+        assert_eq!(rc.view_change_timeout, SimDuration::from_millis(250));
+        assert_eq!(rc.checkpoint_interval, 64);
+        // Keys derive deterministically: two nodes that each ran
+        // `topo.keys()` independently verify each other's MACs.
+        use bft_core::authn::AuthState;
+        use bft_types::{NodeId, ReplicaId};
+        let mut side_a = AuthState::new(
+            rc.auth,
+            NodeId::Replica(ReplicaId(0)),
+            rc.group,
+            rc.num_clients,
+            &topo.keys(),
+        );
+        let side_b = AuthState::new(
+            rc.auth,
+            NodeId::Replica(ReplicaId(1)),
+            rc.group,
+            rc.num_clients,
+            &topo.keys(),
+        );
+        let auth = side_a.mac_to(NodeId::Replica(ReplicaId(1)), b"payload");
+        assert!(side_b.verify(NodeId::Replica(ReplicaId(0)), b"payload", &auth));
+    }
+}

@@ -1,0 +1,52 @@
+//! The real-network runtime: PBFT over TCP sockets.
+//!
+//! Castro & Liskov's headline claim is that BFT replication is
+//! *practical* — a real library, real clients, real kernels, 3% slower
+//! than unreplicated NFS. Everything below `bft-runtime` proves the
+//! protocol inside a deterministic virtual-time simulator; this crate
+//! takes the *same* state machines ([`bft_core::Replica`] and
+//! [`bft_core::ClientProxy`], unchanged, driven through
+//! [`bft_core::ReplicaDriver`]) and runs them over real sockets and a
+//! real clock:
+//!
+//! * [`transport`] — a threaded `std::net` TCP transport: one listener
+//!   per replica, persistent dialed connections with exponential
+//!   reconnect backoff, per-peer bounded outbound queues (overflow drops
+//!   the frame — exactly the loss semantics the protocol already
+//!   tolerates), and the length-prefixed, CRC-checksummed framing from
+//!   [`bft_types::framing`].
+//! * [`clock`] — the [`bft_net::EventWheel`] timer wheel re-keyed from
+//!   virtual microseconds to monotonic microseconds since process start;
+//!   retransmission, status, and view-change timers run off the real
+//!   clock with the same keyed single-shot semantics the simulator uses.
+//! * [`node`] — the replica event loop (`pbft-node`): one protocol
+//!   thread owns the replica; reader threads feed it checksum-verified
+//!   frame payloads; timers and control requests interleave with
+//!   deliveries.
+//! * [`client`] — the load generator (`pbft-client`): open- or
+//!   closed-loop clients over the same transport, reusing the benchmark
+//!   workload mix (writes with a read-only sprinkle).
+//! * [`config`] — the cluster topology file shared by both binaries.
+//! * [`loopback`] — [`loopback::LoopbackCluster`]: an f=1 cluster on
+//!   127.0.0.1 ephemeral ports inside one process, used by the
+//!   integration tests and the `realnet` benchmark.
+//!
+//! Authentication note: all nodes derive session-key material
+//! deterministically from the topology's `key_seed`
+//! ([`bft_core::ClusterKeys::generate`]). That makes a config file
+//! sufficient to boot a cluster for development and testing; a hardened
+//! deployment would provision per-node keys out of band.
+
+pub mod client;
+pub mod clock;
+pub mod config;
+pub mod loopback;
+pub mod node;
+pub mod transport;
+
+pub use client::{run_client, ClientReport, LoadMode, Workload};
+pub use clock::RtTimers;
+pub use config::Topology;
+pub use loopback::LoopbackCluster;
+pub use node::{spawn_counter_replica, NodeHandle, Snapshot};
+pub use transport::{Transport, TransportStats};

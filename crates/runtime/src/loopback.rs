@@ -1,0 +1,178 @@
+//! An in-process PBFT cluster on 127.0.0.1 ephemeral ports.
+//!
+//! [`LoopbackCluster`] spawns `3f + 1` replica nodes, each with its own
+//! transport threads, talking real TCP through the loopback interface —
+//! the smallest deployment that exercises every runtime layer (framing,
+//! reconnect, real timers) without leaving the test process. Integration
+//! tests drive it with [`crate::client::run_client`] workers and check
+//! the same oracle the simulator's chaos campaigns use: identical
+//! journals, exactly-once execution, liveness.
+
+use crate::client::{run_client, ClientReport, Workload};
+use crate::config::Topology;
+use crate::node::{spawn_counter_replica, NodeHandle, Snapshot};
+use bft_types::{ClientId, ReplicaId};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// A running loopback cluster.
+pub struct LoopbackCluster {
+    /// The topology all nodes and clients share.
+    pub topo: Topology,
+    nodes: Vec<Option<NodeHandle>>,
+}
+
+impl LoopbackCluster {
+    /// Boots `3f + 1` replicas on ephemeral loopback ports.
+    pub fn start(f: usize, clients: u32) -> LoopbackCluster {
+        let n = 3 * f + 1;
+        // Bind every listener first so the topology is complete before
+        // any node dials a peer.
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+            .collect();
+        let mut topo = Topology::localhost(f, clients, 1);
+        topo.replicas = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr"))
+            .collect();
+        // Small checkpoint interval so loopback tests cross checkpoint
+        // and garbage-collection boundaries quickly.
+        topo.checkpoint_interval = 16;
+        let nodes = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                Some(spawn_counter_replica(
+                    ReplicaId(i as u32),
+                    topo.clone(),
+                    listener,
+                ))
+            })
+            .collect();
+        LoopbackCluster { topo, nodes }
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.topo.replicas.len()
+    }
+
+    /// Runs `clients` concurrent client workers (ids `0..clients`) and
+    /// returns their reports.
+    pub fn run_clients(
+        &self,
+        clients: u32,
+        workload: Workload,
+        deadline: Duration,
+    ) -> Vec<ClientReport> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let topo = &self.topo;
+                    let workload = workload.clone();
+                    scope.spawn(move || run_client(ClientId(c), topo, &workload, deadline))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client worker"))
+                .collect()
+        })
+    }
+
+    /// Kills replica `r` abruptly (fail-stop).
+    pub fn kill(&mut self, r: ReplicaId) {
+        if let Some(mut node) = self.nodes[r.0 as usize].take() {
+            node.kill();
+        }
+    }
+
+    /// Snapshot of replica `r`, or `None` when it was killed.
+    pub fn snapshot(&self, r: ReplicaId) -> Option<Snapshot> {
+        self.nodes[r.0 as usize].as_ref().and_then(|n| n.snapshot())
+    }
+
+    /// Snapshots of every live replica.
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        (0..self.n())
+            .filter_map(|i| self.snapshot(ReplicaId(i as u32)))
+            .collect()
+    }
+
+    /// Waits until every live replica reports the same committed journal
+    /// (normalized per the safety oracle — last digest per sequence
+    /// number at or below the committed frontier; raw journals may
+    /// legitimately differ by re-execution entries after view changes)
+    /// and the same state digest. Laggards catch up through status
+    /// retransmission. Returns the converged snapshots, or `None` on
+    /// timeout — but panics immediately on an actual safety violation
+    /// (two frontiers committing different digests for one sequence
+    /// number), which waiting can never repair.
+    pub fn wait_converged(&self, timeout: Duration) -> Option<Vec<Snapshot>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let snaps = self.snapshots();
+            if !snaps.is_empty() {
+                if let Err(divergence) = Self::check_journal_agreement(&snaps) {
+                    panic!("safety violation: {divergence}");
+                }
+                let identical = snaps.windows(2).all(|w| {
+                    w[0].committed_journal() == w[1].committed_journal()
+                        && w[0].state_digest == w[1].state_digest
+                });
+                if identical {
+                    return Some(snaps);
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// The cross-replica safety oracle: every pair of committed journals
+    /// must agree wherever their sequence numbers overlap (replicas may
+    /// lag; they must never diverge). Returns an error description on
+    /// violation.
+    pub fn check_journal_agreement(snaps: &[Snapshot]) -> Result<(), String> {
+        for a in snaps {
+            for b in snaps {
+                if a.id.0 >= b.id.0 {
+                    continue;
+                }
+                let ja = a.committed_journal();
+                let jb = b.committed_journal();
+                for (seq, da) in &ja {
+                    if jb.get(seq).is_some_and(|db| db != da) {
+                        return Err(format!(
+                            "committed journals of r{} and r{} disagree at seq {seq}",
+                            a.id.0, b.id.0
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shuts every node down.
+    pub fn shutdown(mut self) {
+        for node in self.nodes.iter_mut() {
+            if let Some(mut node) = node.take() {
+                node.kill();
+            }
+        }
+    }
+}
+
+impl Drop for LoopbackCluster {
+    fn drop(&mut self) {
+        for node in self.nodes.iter_mut() {
+            if let Some(mut node) = node.take() {
+                node.kill();
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The replica event loop: one protocol thread owning a
+//! [`bft_core::Replica`], driven by transport deliveries, real-clock
+//! timers, and control requests.
+//!
+//! The loop is the simulator's step loop transplanted onto a real
+//! harness through [`ReplicaDriver`]: pop an input (a decoded message or
+//! a due timer), call [`ReplicaDriver::step`], interpret the actions
+//! (sends become encoded frames on the transport's queues, timer actions
+//! re-arm the [`RtTimers`] wheel). The replica itself is constructed
+//! *inside* the thread — protocol state shares `Rc` bodies and never
+//! crosses a thread boundary.
+
+use crate::clock::RtTimers;
+use crate::config::Topology;
+use crate::transport::{FrameBuf, StatsSnapshot, Transport};
+use bft_core::{Action, Input, Replica, ReplicaDriver, ReplicaStats, Target, TimerId};
+use bft_crypto::Digest;
+use bft_statemachine::Service;
+use bft_types::framing::frame_bytes;
+use bft_types::{Message, NodeId, ReplicaId, Requester, SeqNo, Wire};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Idle poll interval: the loop wakes at least this often to check
+/// control messages and the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Max deliveries drained per loop iteration before timers get a turn.
+const DRAIN_BATCH: usize = 128;
+
+/// A point-in-time copy of the replica state harness oracles compare.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Replica id.
+    pub id: ReplicaId,
+    /// Current view number.
+    pub view: u64,
+    /// Whether the current view is active.
+    pub view_active: bool,
+    /// Last executed sequence number.
+    pub last_exec: SeqNo,
+    /// Highest sequence number with everything below committed.
+    pub committed_frontier: SeqNo,
+    /// Root digest of the replicated state.
+    pub state_digest: Digest,
+    /// The raw execution journal, re-executions after rollbacks
+    /// included. Compare across replicas through
+    /// [`Snapshot::committed_journal`], not directly: a replica that
+    /// lived through a view change legitimately carries extra
+    /// re-execution entries.
+    pub journal: Vec<(SeqNo, Digest)>,
+    /// Protocol counters.
+    pub stats: ReplicaStats,
+    /// Transport counters.
+    pub transport: StatsSnapshot,
+}
+
+impl Snapshot {
+    /// The committed prefix of the journal, normalized exactly like the
+    /// simulator's safety oracle (`bft_sim::chaos::committed_journal`):
+    /// the final digest per sequence number at or below the committed
+    /// frontier. This is the object to compare across replicas.
+    pub fn committed_journal(&self) -> std::collections::BTreeMap<u64, Digest> {
+        let mut map = std::collections::BTreeMap::new();
+        for &(seq, digest) in &self.journal {
+            if seq <= self.committed_frontier {
+                map.insert(seq.0, digest);
+            }
+        }
+        map
+    }
+}
+
+enum Ctl {
+    Snapshot(Sender<Snapshot>),
+    Shutdown,
+}
+
+/// Handle to a spawned replica node.
+pub struct NodeHandle {
+    /// Replica id.
+    pub id: ReplicaId,
+    /// The address the node listens on.
+    pub addr: SocketAddr,
+    ctl: Sender<Ctl>,
+    alive: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// Requests a state snapshot from the node thread. `None` when the
+    /// node is dead.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        let (tx, rx) = mpsc::channel();
+        self.ctl.send(Ctl::Snapshot(tx)).ok()?;
+        rx.recv_timeout(Duration::from_secs(5)).ok()
+    }
+
+    /// Kills the node abruptly (fail-stop): sockets close, the protocol
+    /// thread exits without any farewell messages. Idempotent.
+    pub fn kill(&mut self) {
+        self.alive.store(false, Ordering::Relaxed);
+        let _ = self.ctl.send(Ctl::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// True while the node thread is running.
+    pub fn is_alive(&self) -> bool {
+        self.join.is_some() && self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the node thread exits (a server main-loop `join`).
+    pub fn join(mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Spawns replica `id` of `topo` on `listener`, building its service
+/// with `make_service` inside the node thread.
+pub fn spawn_replica<S, F>(
+    id: ReplicaId,
+    topo: Topology,
+    listener: TcpListener,
+    make_service: F,
+) -> NodeHandle
+where
+    S: Service,
+    F: FnOnce(&Topology) -> S + Send + 'static,
+{
+    let addr = listener.local_addr().expect("listener addr");
+    let alive = Arc::new(AtomicBool::new(true));
+    let alive2 = Arc::clone(&alive);
+    let (ctl_tx, ctl_rx) = mpsc::channel::<Ctl>();
+    let join = std::thread::Builder::new()
+        .name(format!("pbft-node-{}", id.0))
+        .spawn(move || {
+            let keys = topo.keys();
+            let config = topo.replica_config();
+            let service = make_service(&topo);
+            let mut replica = Replica::new(id, config, service, &keys, topo.key_seed);
+            let (in_tx, in_rx) = mpsc::channel::<Vec<u8>>();
+            let peers: Vec<(NodeId, SocketAddr)> = topo
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != id.0 as usize)
+                .map(|(i, addr)| (NodeId::Replica(ReplicaId(i as u32)), *addr))
+                .collect();
+            let transport = Transport::start(NodeId::Replica(id), Some(listener), peers, in_tx);
+            let mut timers = RtTimers::<TimerId>::new();
+            let me = id;
+
+            let boot = replica.boot();
+            apply_actions(me, boot, &transport, &mut timers, topo.replicas.len());
+
+            loop {
+                // Control requests first (snapshot, shutdown).
+                let mut stop = false;
+                while let Ok(ctl) = ctl_rx.try_recv() {
+                    match ctl {
+                        Ctl::Snapshot(reply) => {
+                            let _ = reply.send(Snapshot {
+                                id: me,
+                                view: replica.current_view().0,
+                                view_active: replica.view_active(),
+                                last_exec: ReplicaDriver::last_executed(&replica),
+                                committed_frontier: ReplicaDriver::committed_frontier(&replica),
+                                state_digest: ReplicaDriver::state_digest(&replica),
+                                journal: ReplicaDriver::journal(&replica).to_vec(),
+                                stats: replica.stats,
+                                transport: transport.stats(),
+                            });
+                        }
+                        Ctl::Shutdown => stop = true,
+                    }
+                }
+                if stop || !alive2.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Fire every due timer.
+                while let Some(timer) = timers.pop_due() {
+                    let actions = replica.step(Input::Timer(timer));
+                    apply_actions(me, actions, &transport, &mut timers, topo.replicas.len());
+                }
+                // Wait for the next delivery, but never past the next
+                // timer deadline or the idle poll.
+                let wait = timers.until_next().unwrap_or(IDLE_POLL).min(IDLE_POLL);
+                match in_rx.recv_timeout(wait) {
+                    Ok(payload) => {
+                        deliver(&mut replica, payload, &transport, &mut timers, me, &topo);
+                        // Drain a bounded burst without re-waiting.
+                        for _ in 0..DRAIN_BATCH {
+                            match in_rx.try_recv() {
+                                Ok(payload) => deliver(
+                                    &mut replica,
+                                    payload,
+                                    &transport,
+                                    &mut timers,
+                                    me,
+                                    &topo,
+                                ),
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            transport.shutdown();
+            alive2.store(false, Ordering::Relaxed);
+        })
+        .expect("spawn node thread");
+    NodeHandle {
+        id,
+        addr,
+        ctl: ctl_tx,
+        alive,
+        join: Some(join),
+    }
+}
+
+/// Spawns a replica running the [`bft_statemachine::CounterService`] —
+/// the default service of `pbft-node` and the loopback tests.
+pub fn spawn_counter_replica(id: ReplicaId, topo: Topology, listener: TcpListener) -> NodeHandle {
+    spawn_replica(id, topo, listener, |topo: &Topology| {
+        bft_statemachine::CounterService::new(topo.clients + (3 * topo.f + 1) as u32)
+    })
+}
+
+/// Decodes one checksum-verified payload and steps the replica with it.
+/// Undecodable payloads are dropped (the transport already verified the
+/// checksum, so this means a peer speaking garbage, not line noise).
+fn deliver<S: Service>(
+    replica: &mut Replica<S>,
+    payload: Vec<u8>,
+    transport: &Transport,
+    timers: &mut RtTimers<TimerId>,
+    me: ReplicaId,
+    topo: &Topology,
+) {
+    let mut slice = payload.as_slice();
+    let Ok(msg) = Message::decode(&mut slice) else {
+        return;
+    };
+    if !slice.is_empty() {
+        return;
+    }
+    let actions = replica.step(Input::Deliver(msg));
+    apply_actions(me, actions, transport, timers, topo.replicas.len());
+}
+
+/// Interprets replica actions against the real harness: sends encode
+/// once and fan out shared frames; timer actions hit the wheel.
+fn apply_actions(
+    me: ReplicaId,
+    actions: Vec<Action>,
+    transport: &Transport,
+    timers: &mut RtTimers<TimerId>,
+    n: usize,
+) {
+    for action in actions {
+        match action {
+            Action::Send { to, msg } => {
+                let frame: FrameBuf = Arc::new(frame_bytes(&msg));
+                match to {
+                    Target::Replica(r) => transport.send(NodeId::Replica(r), frame),
+                    Target::AllReplicas => {
+                        for i in 0..n {
+                            let dest = ReplicaId(i as u32);
+                            if dest != me {
+                                transport.send(NodeId::Replica(dest), Arc::clone(&frame));
+                            }
+                        }
+                    }
+                    Target::Requester(Requester::Client(c)) => {
+                        transport.send(NodeId::Client(c), frame)
+                    }
+                    Target::Requester(Requester::Replica(r)) => {
+                        transport.send(NodeId::Replica(r), frame)
+                    }
+                    Target::Node(node) => transport.send(node, frame),
+                }
+            }
+            Action::SetTimer { id, after } => timers.set(id, after),
+            Action::CancelTimer { id } => timers.cancel(id),
+        }
+    }
+}

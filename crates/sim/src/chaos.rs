@@ -590,7 +590,7 @@ fn to_faults(action: &ChaosAction) -> Vec<Fault> {
         ChaosAction::Partition(groups) => {
             let groups = groups
                 .iter()
-                .map(|g| g.iter().map(|i| node(i)).collect())
+                .map(|g| g.iter().map(node).collect())
                 .collect();
             vec![Fault::Partition(groups)]
         }
@@ -736,7 +736,7 @@ fn evaluate(plan: &ChaosPlan, cluster: &Cluster<CounterService>, done: bool) -> 
         }
         let mut incs = 0u64;
         for (k, (_, result)) in results.iter().enumerate() {
-            let is_get = (k as u64 + 1) % plan.read_every == 0;
+            let is_get = (k as u64 + 1).is_multiple_of(plan.read_every);
             if result.len() < 8 {
                 violations.push(format!("client {c} op {k}: short result"));
                 continue;

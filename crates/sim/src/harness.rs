@@ -7,7 +7,10 @@
 
 use crate::behavior::Behavior;
 use crate::metrics::Metrics;
-use bft_core::{Action, ClientConfig, ClientProxy, Input, Replica, ReplicaConfig, Target, TimerId};
+use bft_core::{
+    Action, ClientConfig, ClientProxy, Input, Replica, ReplicaConfig, ReplicaDriver, Target,
+    TimerId,
+};
 use bft_fxhash::FastMap;
 use bft_net::{Channel, ChannelConfig, EventWheel, Frame, LinkProfile};
 use bft_statemachine::Service;
@@ -278,9 +281,10 @@ impl<S: Service> Cluster<S> {
             profile_enabled: false,
             config,
         };
-        // Boot every replica.
+        // Boot every replica (through the driver trait the real-network
+        // runtime shares).
         for i in 0..cluster.replicas.len() {
-            let actions = cluster.replicas[i].start();
+            let actions = cluster.replicas[i].boot();
             let node = NodeId::Replica(ReplicaId(i as u32));
             cluster.apply_actions(node, SimTime::ZERO, actions);
         }
@@ -493,7 +497,7 @@ impl<S: Service> Cluster<S> {
                 // Stray timers from the previous incarnation must not fire
                 // into the rebooted one.
                 self.cancel_node_timers(node);
-                let actions = self.replicas[r.0 as usize].restart();
+                let actions = self.replicas[r.0 as usize].reboot();
                 self.apply_actions(node, at, actions);
             }
             Fault::ClientRetransmitNow(c) => {
@@ -637,7 +641,7 @@ impl<S: Service> Cluster<S> {
                 }
                 let t = self.prof_start();
                 let before = self.replicas[idx].stats;
-                let actions = self.replicas[idx].on_input(input);
+                let actions = self.replicas[idx].step(input);
                 let after = self.replicas[idx].stats;
                 Self::prof_end(&mut self.profile.replica_ns, t);
                 let executed = after.requests_executed - before.requests_executed;

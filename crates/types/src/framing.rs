@@ -1,0 +1,362 @@
+//! Length-prefixed, checksummed byte framing for real transports.
+//!
+//! The [`crate::wire`] encoding is self-describing given a complete
+//! buffer, but a TCP stream delivers an arbitrary byte soup: frames
+//! arrive split, coalesced, and — across reconnects or under an
+//! adversary — truncated or corrupted. This module wraps every message
+//! in a fixed header so a receiver can find frame boundaries, bound its
+//! memory before trusting a byte, and reject corruption *before* the
+//! message decoder runs:
+//!
+//! ```text
+//! | magic (4) | payload len u32 LE (4) | crc32(payload) u32 LE (4) | payload |
+//! ```
+//!
+//! The CRC is an integrity check against link noise and framing bugs,
+//! not an authenticity check — authenticity is the protocol's job
+//! (MACs/authenticators inside the payload, §2.3). Frames larger than
+//! [`MAX_FRAME_PAYLOAD`] are rejected from the header alone (§5.5:
+//! bounded memory per message, enforced before allocation).
+
+use crate::wire::{Wire, WireError};
+
+/// Frame preamble: resynchronization marker and protocol version tag.
+/// "PBF1" — bump the last byte on incompatible framing changes.
+pub const FRAME_MAGIC: [u8; 4] = *b"PBF1";
+
+/// Bytes of header before the payload.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Upper bound on a frame payload, aligned with the wire decoder's
+/// [`crate::wire::MAX_WIRE_LEN`] collection bound.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 24;
+
+/// Errors surfaced while parsing a frame stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// The four magic bytes did not match: the stream is desynchronized
+    /// (or the peer speaks a different framing version).
+    BadMagic([u8; 4]),
+    /// The header announced a payload above [`MAX_FRAME_PAYLOAD`].
+    Oversized(u32),
+    /// The payload did not match the header checksum.
+    BadChecksum {
+        /// CRC announced by the header.
+        want: u32,
+        /// CRC computed over the received payload.
+        got: u32,
+    },
+    /// The payload failed to decode as the expected message type.
+    Wire(WireError),
+    /// The payload decoded but left trailing bytes — a framing bug or a
+    /// malformed sender; rejected so one frame is exactly one message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::Oversized(n) => write!(f, "frame payload {n} exceeds bound"),
+            FrameError::BadChecksum { want, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch (header {want:#010x}, payload {got:#010x})"
+                )
+            }
+            FrameError::Wire(e) => write!(f, "frame payload decode: {e}"),
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame payload"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Appends one framed message to `buf`: header plus the message's wire
+/// encoding. The encode happens directly into `buf` (no intermediate
+/// allocation); the header is patched once the payload length is known.
+pub fn encode_frame<M: Wire>(msg: &M, buf: &mut Vec<u8>) {
+    let header_at = buf.len();
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.extend_from_slice(&[0u8; 8]); // Length and CRC, patched below.
+    let payload_at = buf.len();
+    msg.encode(buf);
+    let payload_len = buf.len() - payload_at;
+    assert!(
+        payload_len <= MAX_FRAME_PAYLOAD,
+        "outgoing frame exceeds MAX_FRAME_PAYLOAD"
+    );
+    let crc = crc32(&buf[payload_at..]);
+    buf[header_at + 4..header_at + 8].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    buf[header_at + 8..header_at + 12].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Convenience: one framed message as a fresh vector.
+pub fn frame_bytes<M: Wire>(msg: &M) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + 64);
+    encode_frame(msg, &mut buf);
+    buf
+}
+
+/// An incremental frame parser over an arbitrary byte stream.
+///
+/// Feed bytes in with [`FrameDecoder::extend`] as the transport delivers
+/// them (any split: one byte at a time, whole frames, several frames at
+/// once) and drain complete messages with [`FrameDecoder::next_frame`].
+/// Errors are sticky per call, not per stream: after an error the caller
+/// should drop the connection — a checksummed length-prefixed stream
+/// cannot safely resynchronize past corruption.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes already consumed from the front of `buf`; compacted lazily
+    /// so steady-state parsing does not memmove per frame.
+    read: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends transport bytes to the internal buffer.
+    pub fn extend(&mut self, data: &[u8]) {
+        // Compact before growing so the buffer tracks the unparsed tail,
+        // not the whole connection history.
+        if self.read > 0 {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet parsed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Validates the header and checksum of the frame at the front of the
+    /// buffer. Returns the frame's total length (header + payload) when a
+    /// complete, checksum-clean frame is available.
+    fn checked_frame_len(&self) -> Result<Option<usize>, FrameError> {
+        let avail = &self.buf[self.read..];
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let magic: [u8; 4] = avail[0..4].try_into().expect("4 bytes");
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let len = u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes"));
+        if len as usize > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::Oversized(len));
+        }
+        let want_crc = u32::from_le_bytes(avail[8..12].try_into().expect("4 bytes"));
+        let total = FRAME_HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let got_crc = crc32(&avail[FRAME_HEADER_LEN..total]);
+        if got_crc != want_crc {
+            return Err(FrameError::BadChecksum {
+                want: want_crc,
+                got: got_crc,
+            });
+        }
+        Ok(Some(total))
+    }
+
+    /// Parses the next complete frame into a message, or returns
+    /// `Ok(None)` when more bytes are needed.
+    pub fn next_frame<M: Wire>(&mut self) -> Result<Option<M>, FrameError> {
+        let Some(total) = self.checked_frame_len()? else {
+            return Ok(None);
+        };
+        let payload = &self.buf[self.read + FRAME_HEADER_LEN..self.read + total];
+        let mut slice = payload;
+        let msg = M::decode(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(FrameError::TrailingBytes(slice.len()));
+        }
+        self.read += total;
+        Ok(Some(msg))
+    }
+
+    /// Like [`FrameDecoder::next_frame`], but returns the verified raw
+    /// payload without decoding it. Transport reader threads use this to
+    /// ship checksum-clean payload bytes to the thread that owns the
+    /// protocol state (message structures are deliberately not `Send`:
+    /// they share `Rc` bodies within one state machine's thread).
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let Some(total) = self.checked_frame_len()? else {
+            return Ok(None);
+        };
+        let payload = self.buf[self.read + FRAME_HEADER_LEN..self.read + total].to_vec();
+        self.read += total;
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, NodeId, ReplicaId};
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xcbf43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let msg = NodeId::Client(ClientId(7));
+        let bytes = frame_bytes(&msg);
+        assert_eq!(&bytes[..4], &FRAME_MAGIC);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert_eq!(dec.next_frame::<NodeId>().unwrap(), Some(msg));
+        assert_eq!(dec.next_frame::<NodeId>().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn roundtrip_byte_at_a_time_and_coalesced() {
+        let msgs = [
+            NodeId::Replica(ReplicaId(0)),
+            NodeId::Client(ClientId(1)),
+            NodeId::Replica(ReplicaId(3)),
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_frame(m, &mut stream);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in stream {
+            dec.extend(&[b]);
+            while let Some(m) = dec.next_frame::<NodeId>().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn truncated_frame_waits_for_more() {
+        let bytes = frame_bytes(&NodeId::Client(ClientId(9)));
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes[..bytes.len() - 1]);
+        assert_eq!(dec.next_frame::<NodeId>().unwrap(), None);
+        dec.extend(&bytes[bytes.len() - 1..]);
+        assert_eq!(
+            dec.next_frame::<NodeId>().unwrap(),
+            Some(NodeId::Client(ClientId(9)))
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_rejected() {
+        let mut bytes = frame_bytes(&NodeId::Client(ClientId(9)));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert!(matches!(
+            dec.next_frame::<NodeId>(),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = frame_bytes(&NodeId::Client(ClientId(9)));
+        bytes[0] = b'X';
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert!(matches!(
+            dec.next_frame::<NodeId>(),
+            Err(FrameError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_buffering_payload() {
+        let mut bytes = FRAME_MAGIC.to_vec();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert!(matches!(
+            dec.next_frame::<NodeId>(),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        // A frame whose payload holds a NodeId plus one stray byte.
+        let mut payload = Vec::new();
+        NodeId::Client(ClientId(1)).encode(&mut payload);
+        payload.push(0xee);
+        let mut bytes = FRAME_MAGIC.to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert_eq!(
+            dec.next_frame::<NodeId>(),
+            Err(FrameError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn error_display_is_readable() {
+        assert!(FrameError::Oversized(99).to_string().contains("99"));
+        assert!(FrameError::BadChecksum { want: 1, got: 2 }
+            .to_string()
+            .contains("mismatch"));
+        assert!(FrameError::Wire(WireError::Truncated)
+            .to_string()
+            .contains("truncated"));
+    }
+}

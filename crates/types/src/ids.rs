@@ -196,7 +196,7 @@ mod tests {
         for f in 1..6 {
             let g = GroupParams::for_f(f);
             let min_overlap = 2 * g.quorum() as isize - g.n as isize;
-            assert!(min_overlap >= g.f as isize + 1, "f={f}");
+            assert!(min_overlap > g.f as isize, "f={f}");
         }
     }
 

@@ -1,11 +1,13 @@
 //! Identifiers, virtual time, wire encoding, and protocol messages shared by
 //! every crate in the BFT workspace.
 
+pub mod framing;
 pub mod ids;
 pub mod messages;
 pub mod time;
 pub mod wire;
 
+pub use framing::{encode_frame, frame_bytes, FrameDecoder, FrameError};
 pub use ids::{ClientId, GroupParams, NodeId, ReplicaId, SeqNo, Timestamp, View};
 pub use messages::{
     null_request_digest, Auth, AuthContent, BatchEntry, Checkpoint, Commit, Data, DigestMemo,

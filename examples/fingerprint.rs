@@ -1,5 +1,13 @@
 //! Prints a full behavioral fingerprint of two deterministic runs (lossy
 //! and reliable) for cross-commit bit-identity checks.
+//!
+//! Modes:
+//!   (no args)   print the fingerprint to stdout (pipe-friendly)
+//!   --check     compare against tests/golden/fingerprint.txt (resolved
+//!               via CARGO_MANIFEST_DIR, so any cwd works) and fail with
+//!               a readable first-divergence report
+//!   --bless     regenerate the golden file (only when a behavior change
+//!               is intentional)
 use bft_sim::{counter_cluster, Behavior, Cluster, ClusterConfig, Fault, OpGen};
 use bft_statemachine::CounterService;
 use bft_types::{ReplicaId, SimDuration, SimTime};
@@ -24,7 +32,9 @@ fn fingerprint(cluster: &Cluster<CounterService>, clients: usize) -> String {
     out
 }
 
-fn main() {
+/// The full fingerprint text both modes work from.
+fn generate() -> String {
+    let mut out = String::new();
     for seed in [11u64, 42, 99] {
         let mut config = ClusterConfig::test(1, 2);
         config.seed = seed;
@@ -41,7 +51,10 @@ fn main() {
             5,
         ));
         cluster.run_to_completion(SimTime(300_000_000));
-        println!("=== lossy seed {seed} ===\n{}", fingerprint(&cluster, 2));
+        out.push_str(&format!(
+            "=== lossy seed {seed} ===\n{}\n",
+            fingerprint(&cluster, 2)
+        ));
     }
     let mut config = ClusterConfig::test(1, 4);
     config.seed = 7;
@@ -52,5 +65,74 @@ fn main() {
         20,
     ));
     assert!(cluster.run_to_completion(SimTime(600_000_000)));
-    println!("=== reliable ===\n{}", fingerprint(&cluster, 4));
+    // Trailing newline matches the historical `println!` output, so the
+    // committed golden stays byte-identical.
+    out.push_str(&format!("=== reliable ===\n{}\n", fingerprint(&cluster, 4)));
+    out
+}
+
+/// Golden file location, cwd-independent (this example belongs to the
+/// workspace-root `pbft` package, so the manifest dir is the repo root).
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fingerprint.txt");
+
+/// One-liner printed whenever the golden needs intentional regeneration.
+const BLESS_CMD: &str = "cargo run --release --example fingerprint -- --bless";
+
+/// Compares the live fingerprint against the golden; on drift, reports
+/// the first diverging line with context instead of a bare diff.
+fn check() -> Result<(), String> {
+    let want = std::fs::read_to_string(GOLDEN)
+        .map_err(|e| format!("cannot read golden {GOLDEN}: {e}\nregenerate with: {BLESS_CMD}"))?;
+    let got = generate();
+    if got == want {
+        return Ok(());
+    }
+    let mut report = String::from(
+        "simulator fingerprint drifted from tests/golden/fingerprint.txt\n\
+         \n\
+         The fingerprint pins the simulator's bit-exact behavior (delivery order,\n\
+         timer firing, protocol state). An unintended change here means a protocol\n\
+         or engine regression; an intended behavior change must re-bless the golden:\n\
+         \n",
+    );
+    report.push_str(&format!("    {BLESS_CMD}\n\n"));
+    let got_lines: Vec<&str> = got.lines().collect();
+    let want_lines: Vec<&str> = want.lines().collect();
+    if got_lines.len() != want_lines.len() {
+        report.push_str(&format!(
+            "line count: golden {} vs regenerated {}\n",
+            want_lines.len(),
+            got_lines.len()
+        ));
+    }
+    for (i, (g, w)) in got_lines.iter().zip(want_lines.iter()).enumerate() {
+        if g != w {
+            report.push_str(&format!(
+                "first divergence at line {}:\n  golden:      {w}\n  regenerated: {g}\n",
+                i + 1
+            ));
+            break;
+        }
+    }
+    Err(report)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--bless") {
+        std::fs::write(GOLDEN, generate()).expect("write golden");
+        println!("blessed {GOLDEN}");
+        return;
+    }
+    if args.iter().any(|a| a == "--check") {
+        match check() {
+            Ok(()) => println!("fingerprint matches tests/golden/fingerprint.txt"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    print!("{}", generate());
 }

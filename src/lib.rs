@@ -16,6 +16,9 @@
 //! * [`statemachine`] — the deterministic service trait and samples.
 //! * [`core`] — the replication protocol: replicas and client proxies.
 //! * [`sim`] — the deterministic discrete-event cluster harness.
+//! * [`runtime`] — the real-network runtime: the same state machines
+//!   over framed TCP with monotonic-clock timers (`pbft-node` /
+//!   `pbft-client`).
 //! * [`bfs`] — the Byzantine-fault-tolerant NFS-shaped file service.
 //! * [`model`] — the analytic latency/throughput model.
 //!
@@ -41,6 +44,7 @@ pub use bft_core as core;
 pub use bft_crypto as crypto;
 pub use bft_model as model;
 pub use bft_net as net;
+pub use bft_runtime as runtime;
 pub use bft_sim as sim;
 pub use bft_statemachine as statemachine;
 pub use bft_types as types;

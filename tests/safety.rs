@@ -209,7 +209,7 @@ fn read_only_never_observes_uncommitted_state() {
             } else if self.step > 0 {
                 self.last_written = u64::from_le_bytes(last.unwrap().as_ref().try_into().unwrap());
             }
-            let op = if self.step % 2 == 0 {
+            let op = if self.step.is_multiple_of(2) {
                 self.last_written += 0; // Write comes back with the new value.
                 (Bytes::from(vec![CounterService::OP_INC]), false)
             } else {
@@ -239,7 +239,7 @@ fn read_only_never_observes_uncommitted_state() {
             if self.step >= 20 {
                 return None;
             }
-            let op = if self.step % 2 == 0 {
+            let op = if self.step.is_multiple_of(2) {
                 (Bytes::from(vec![CounterService::OP_INC]), false)
             } else {
                 (Bytes::from(vec![CounterService::OP_GET]), true)

@@ -2,9 +2,10 @@
 //!
 //! Implements the subset of the proptest API the workspace's property
 //! tests use: the [`proptest!`] macro, [`strategy::Strategy`] with
-//! `prop_map`, integer-range / tuple / collection / option strategies,
-//! [`arbitrary::any`], the `prop_assert*` macros, [`test_runner::ProptestConfig`]
-//! and [`test_runner::TestCaseError`].
+//! `prop_map`, integer-range / tuple / collection / option / array /
+//! [`prop_oneof!`] strategies, [`arbitrary::any`], the `prop_assert*`
+//! macros, [`test_runner::ProptestConfig`] and
+//! [`test_runner::TestCaseError`].
 //!
 //! Differences from the real crate, deliberate for an offline container:
 //! no shrinking (a failing case reports its inputs but is not minimized),
@@ -64,6 +65,43 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, _rng: &mut StdRng) -> T {
             self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies of one value type — the
+    /// engine behind [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Default for Union<T> {
+        fn default() -> Self {
+            Self::empty()
+        }
+    }
+
+    impl<T> Union<T> {
+        /// An empty union; generating from it panics, so callers add at
+        /// least one option with [`Union::or`].
+        pub fn empty() -> Self {
+            Union {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds one alternative.
+        pub fn or(mut self, strategy: impl Strategy<Value = T> + 'static) -> Self {
+            self.options.push(Box::new(strategy));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.options.is_empty(), "empty prop_oneof!");
+            let pick = rng.random_range(0..self.options.len());
+            self.options[pick].generate(rng)
         }
     }
 
@@ -182,6 +220,12 @@ pub mod arbitrary {
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut StdRng) -> Self {
             rng.random()
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
         }
     }
 
@@ -341,7 +385,16 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies yielding the same value type,
+/// mirroring proptest's `prop_oneof!` (unweighted form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.or($strategy))+
+    };
 }
 
 /// Declares property tests. Each `fn` inside becomes a `#[test]` that runs

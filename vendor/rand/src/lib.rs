@@ -102,7 +102,7 @@ pub trait SampleRange<T> {
 /// of `span` that fits in 2^64.
 fn sample_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
     debug_assert!(span >= 1);
-    let limit = ((u64::MAX as u128 + 1) / span as u128 * span as u128) as u128;
+    let limit = (u64::MAX as u128 + 1) / span as u128 * span as u128;
     loop {
         let v = rng.next_u64() as u128;
         if v < limit {
