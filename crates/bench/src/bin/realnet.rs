@@ -1,20 +1,35 @@
 //! Real-network loopback experiment: wall-clock throughput and latency
-//! of the PBFT stack over real TCP sockets (127.0.0.1), the repo's
-//! first datapoint that includes kernels, sockets, threads, and a real
-//! clock — the jump the paper itself makes from protocol to practical
-//! system.
+//! of the PBFT stack over real TCP sockets (127.0.0.1), now measuring
+//! the multi-core data plane — the MAC worker pool and §5.1.4 request
+//! pipelining — against the single-threaded direct path.
 //!
-//! Unlike the `throughput` experiment (virtual-time simulator, wall
-//! clock measures only the engine), every number here includes real
-//! networking. Loopback is not a datacenter link, so the value is the
-//! trajectory — future transport work must not regress these numbers —
-//! and the sanity oracle: all four replicas must finish with identical
-//! journals.
+//! Two axes, mirroring the paper's scalability arguments:
+//!
+//! * **Worker scaling** at a fixed client count: the same workload with
+//!   the pool off (`w0`, the PR 5 configuration) and with 1/2/4 MAC
+//!   workers, one OS thread per client. On multi-core hosts this shows
+//!   MAC offload; on a single-core host (CI containers) it bounds pool
+//!   overhead instead — both are honest datapoints, which is why
+//!   `host_cpus` is recorded.
+//! * **Client scaling** with the multiplexed driver: 32/64/128
+//!   closed-loop clients multiplexed onto one driver thread and one
+//!   connection set (`mux_*` cases), so the load generator does not
+//!   drown the host in client threads. Pipelining keeps the primary's
+//!   window full as offered load grows, and batching amortizes the
+//!   protocol cost — aggregate throughput grows with client count
+//!   instead of serializing on one batch per round trip.
+//!
+//! Every case runs the safety oracle: the replicas must agree on every
+//! overlapping committed-journal entry and converge to one state digest
+//! at one frontier, or the number does not count. (Bit-identical
+//! journals are deliberately *not* required: a replica that caught up
+//! through state transfer (§5.3.2) has a legitimate gap for the range
+//! it fetched as pages instead of executing.)
 //!
 //! Usage:
 //!   cargo run -p bft-bench --release --bin realnet -- [--smoke] [--out PATH]
 //!
-//! Writes `BENCH_pr5.json` at the workspace root by default (resolved
+//! Writes `BENCH_pr6.json` at the workspace root by default (resolved
 //! via `CARGO_MANIFEST_DIR`, so the working directory does not matter —
 //! CI matrix jobs run from different directories).
 
@@ -26,11 +41,19 @@ struct Case {
     id: &'static str,
     clients: u32,
     ops_per_client: u64,
+    workers: usize,
+    pipeline_depth: u64,
+    /// 0 = one OS thread per client (the PR 5 load generator);
+    /// >0 = the multiplexed driver with this many driver threads.
+    mux_groups: usize,
 }
 
 struct Outcome {
     id: &'static str,
     clients: u32,
+    workers: usize,
+    pipeline_depth: u64,
+    mux_groups: usize,
     ops: u64,
     wall_ms: f64,
     ops_per_sec: f64,
@@ -41,10 +64,30 @@ struct Outcome {
 }
 
 fn run_case(case: &Case) -> Outcome {
-    let cluster = LoopbackCluster::start(1, case.clients);
+    let cluster = LoopbackCluster::start_with(1, case.clients, |topo| {
+        topo.workers = case.workers;
+        topo.pipeline_depth = case.pipeline_depth;
+        // Benchmark tuning, recorded in the JSON `setup`: a checkpoint
+        // every 128 seqnos (the tests use 16 to cross GC boundaries
+        // quickly; a benchmark wants the protocol, not the checkpoint
+        // chatter), and a 2s base view-change timeout so a replica
+        // starved by a saturated single-core host does not start a
+        // spurious view change mid-burst.
+        topo.checkpoint_interval = 128;
+        topo.view_change_ms = 2000;
+    });
     let workload = Workload::closed(case.ops_per_client);
     let start = Instant::now();
-    let reports = cluster.run_clients(case.clients, workload, Duration::from_secs(300));
+    let reports = if case.mux_groups > 0 {
+        cluster.run_clients_mux(
+            case.clients,
+            case.mux_groups,
+            workload,
+            Duration::from_secs(300),
+        )
+    } else {
+        cluster.run_clients(case.clients, workload, Duration::from_secs(300))
+    };
     let wall = start.elapsed();
     let mut completed = 0u64;
     let mut retransmitted = 0u64;
@@ -62,7 +105,20 @@ fn run_case(case: &Case) -> Outcome {
     // Safety oracle: the experiment only counts if the replicas agree.
     let snaps = cluster
         .wait_converged(Duration::from_secs(60))
-        .expect("replicas converge to identical journals");
+        .unwrap_or_else(|| {
+            for s in cluster.snapshots() {
+                eprintln!(
+                    "stalled r{}: view={} active={} last_exec={} frontier={} executed={}",
+                    s.id.0,
+                    s.view,
+                    s.view_active,
+                    s.last_exec.0,
+                    s.committed_frontier.0,
+                    s.stats.requests_executed
+                );
+            }
+            panic!("{}: replicas failed to converge", case.id);
+        });
     assert_eq!(snaps.len(), 4);
     cluster.shutdown();
     latencies.sort_unstable();
@@ -70,6 +126,9 @@ fn run_case(case: &Case) -> Outcome {
     Outcome {
         id: case.id,
         clients: case.clients,
+        workers: case.workers,
+        pipeline_depth: case.pipeline_depth,
+        mux_groups: case.mux_groups,
         ops: completed,
         wall_ms: wall.as_secs_f64() * 1e3,
         ops_per_sec: completed as f64 / wall.as_secs_f64(),
@@ -90,50 +149,146 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| {
             // crates/bench -> workspace root, independent of the cwd.
-            format!("{}/../../BENCH_pr5.json", env!("CARGO_MANIFEST_DIR"))
+            format!("{}/../../BENCH_pr6.json", env!("CARGO_MANIFEST_DIR"))
         });
 
     let cases: &[Case] = if smoke {
-        &[Case {
-            id: "loopback_c2",
-            clients: 2,
-            ops_per_client: 40,
-        }]
-    } else {
+        // Pool off and pool on, so CI smokes both data planes, plus one
+        // multiplexed-driver case so CI exercises that path too.
         &[
             Case {
-                id: "loopback_c1",
-                clients: 1,
-                ops_per_client: 300,
+                id: "loopback_c2_w0",
+                clients: 2,
+                ops_per_client: 40,
+                workers: 0,
+                pipeline_depth: 1,
+                mux_groups: 0,
             },
             Case {
-                id: "loopback_c4",
-                clients: 4,
-                ops_per_client: 300,
+                id: "loopback_c2_w2",
+                clients: 2,
+                ops_per_client: 40,
+                workers: 2,
+                pipeline_depth: 8,
+                mux_groups: 0,
             },
             Case {
-                id: "loopback_c8",
+                id: "mux_c8_w2",
+                clients: 8,
+                ops_per_client: 40,
+                workers: 2,
+                pipeline_depth: 4,
+                mux_groups: 1,
+            },
+        ]
+    } else {
+        &[
+            // Worker scaling at 8 clients, one OS thread per client
+            // (w0/d1 = the PR 5 baseline path).
+            Case {
+                id: "loopback_c8_w0",
                 clients: 8,
                 ops_per_client: 300,
+                workers: 0,
+                pipeline_depth: 1,
+                mux_groups: 0,
+            },
+            Case {
+                id: "loopback_c8_w1",
+                clients: 8,
+                ops_per_client: 300,
+                workers: 1,
+                pipeline_depth: 8,
+                mux_groups: 0,
+            },
+            Case {
+                id: "loopback_c8_w2",
+                clients: 8,
+                ops_per_client: 300,
+                workers: 2,
+                pipeline_depth: 8,
+                mux_groups: 0,
+            },
+            Case {
+                id: "loopback_c8_w4",
+                clients: 8,
+                ops_per_client: 300,
+                workers: 4,
+                pipeline_depth: 8,
+                mux_groups: 0,
+            },
+            // Client scaling with the multiplexed driver: throughput
+            // grows with offered load because pipelining + batching
+            // amortize the per-consensus cost.
+            Case {
+                id: "mux_c32_w0",
+                clients: 32,
+                ops_per_client: 600,
+                workers: 0,
+                pipeline_depth: 4,
+                mux_groups: 1,
+            },
+            Case {
+                id: "mux_c64_w0",
+                clients: 64,
+                ops_per_client: 600,
+                workers: 0,
+                pipeline_depth: 4,
+                mux_groups: 1,
+            },
+            Case {
+                id: "mux_c128_w0",
+                clients: 128,
+                ops_per_client: 600,
+                workers: 0,
+                pipeline_depth: 4,
+                mux_groups: 1,
+            },
+            // The pool at peak load, for the worker on/off comparison at
+            // scale (offload on multi-core, bounded overhead on one).
+            Case {
+                id: "mux_c128_w2",
+                clients: 128,
+                ops_per_client: 600,
+                workers: 2,
+                pipeline_depth: 4,
+                mux_groups: 1,
             },
         ]
     };
 
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
-        "real-network loopback throughput ({} mode): f=1 over TCP 127.0.0.1, 128B mixed ops",
+        "real-network loopback throughput ({} mode): f=1 over TCP 127.0.0.1, 128B mixed ops, {host_cpus} host cpu(s)",
         if smoke { "smoke" } else { "full" }
     );
     println!(
-        "{:>14} {:>8} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9} {:>8}",
-        "case", "clients", "ops", "wall ms", "ops/s", "mean ms", "p50 ms", "p99 ms", "retrans"
+        "{:>16} {:>8} {:>4} {:>5} {:>4} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9} {:>8}",
+        "case",
+        "clients",
+        "wrk",
+        "pipe",
+        "mux",
+        "ops",
+        "wall ms",
+        "ops/s",
+        "mean ms",
+        "p50 ms",
+        "p99 ms",
+        "retrans"
     );
     let mut entries = Vec::new();
     for case in cases {
         let o = run_case(case);
         println!(
-            "{:>14} {:>8} {:>7} {:>10.1} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>8}",
+            "{:>16} {:>8} {:>4} {:>5} {:>4} {:>7} {:>10.1} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>8}",
             o.id,
             o.clients,
+            o.workers,
+            o.pipeline_depth,
+            o.mux_groups,
             o.ops,
             o.wall_ms,
             o.ops_per_sec,
@@ -147,6 +302,9 @@ fn main() {
                 "    {{\n",
                 "      \"case\": \"{}\",\n",
                 "      \"clients\": {},\n",
+                "      \"workers\": {},\n",
+                "      \"pipeline_depth\": {},\n",
+                "      \"mux_groups\": {},\n",
                 "      \"ops\": {},\n",
                 "      \"wall_ms\": {:.1},\n",
                 "      \"ops_per_sec\": {:.1},\n",
@@ -156,6 +314,9 @@ fn main() {
             ),
             o.id,
             o.clients,
+            o.workers,
+            o.pipeline_depth,
+            o.mux_groups,
             o.ops,
             o.wall_ms,
             o.ops_per_sec,
@@ -168,15 +329,17 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"experiment\": \"real-network loopback throughput/latency (PR 5)\",\n",
+            "  \"experiment\": \"real-network multi-core data plane: MAC worker pool + request pipelining (PR 6)\",\n",
             "  \"metric\": \"wall-clock ops/sec and latency of an f=1 cluster over TCP on 127.0.0.1\",\n",
             "  \"mode\": \"{}\",\n",
-            "  \"setup\": \"4 replicas + N closed-loop clients in one process, 128B ops, every 4th op read-only; journals verified identical across replicas after each case\",\n",
-            "  \"note\": \"first wall-clock-network datapoint in the perf trajectory; loopback TCP, so numbers bound protocol+stack cost, not datacenter links\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"setup\": \"4 replicas + N closed-loop clients in one process, 128B ops, every 4th op read-only; workers = MAC pool threads per replica (0 = single-threaded direct path); pipeline_depth = max batches the primary keeps in flight (§5.1.4); mux_groups > 0 = clients multiplexed onto that many driver threads sharing one transport; checkpoint_interval 128, base view-change timeout 2s; after each case the replicas must agree on every overlapping journal entry and converge to one state digest\",\n",
+            "  \"note\": \"worker scaling shows MAC offload on multi-core hosts and bounds pool overhead on single-core ones (see host_cpus); client scaling with the multiplexed driver is the throughput axis\",\n",
             "  \"cases\": [\n{}\n  ]\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
+        host_cpus,
         entries.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");

@@ -69,6 +69,12 @@ pub struct AuthState {
     pub keypair: KeyPair,
     /// Public keys of every principal (read-only memory).
     pub directory: Arc<Vec<PublicKey>>,
+    /// When set, [`AuthState::authenticate_multicast_hot`] emits nonce-only
+    /// authenticator placeholders for a runtime MAC worker pool to fill
+    /// instead of computing per-receiver tags inline. Set from
+    /// [`crate::config::ReplicaConfig::defer_multicast_auth`]; never set in
+    /// the deterministic simulator.
+    pub defer_multicast: bool,
     nonce: u64,
 }
 
@@ -90,6 +96,7 @@ impl AuthState {
             keys: KeyTable::bootstrap(idx, total),
             keypair: keys.keypairs[idx].clone(),
             directory: Arc::clone(&keys.directory),
+            defer_multicast: false,
             nonce: (idx as u64) << 48,
         }
     }
@@ -171,6 +178,27 @@ impl AuthState {
     /// encoded in a pooled scratch buffer (no allocation).
     pub fn authenticate_multicast_msg<M: AuthContent>(&mut self, m: &M) -> Auth {
         m.for_content(|c| self.authenticate_multicast(c))
+    }
+
+    /// Hot-path variant of [`AuthState::authenticate_multicast_msg`] for
+    /// the normal-case messages (pre-prepare/prepare/commit/checkpoint/
+    /// status). With [`Self::defer_multicast`] clear this is identical to
+    /// the inline version. With it set, the per-receiver MAC tags are NOT
+    /// computed here: the message carries an `Auth::Authenticator` with a
+    /// fresh nonce and an *empty* tag vector, and the runtime's MAC worker
+    /// pool fills the tags from the encoded content before the frame
+    /// reaches a socket (see `Message::deferred_auth_parts`). An empty tag
+    /// vector can never verify, so a placeholder that escapes unfilled is
+    /// rejected by receivers rather than accepted.
+    pub fn authenticate_multicast_hot<M: AuthContent>(&mut self, m: &M) -> Auth {
+        if self.defer_multicast && self.mode == AuthMode::Macs {
+            Auth::Authenticator(Authenticator {
+                nonce: self.next_nonce(),
+                tags: Vec::new(),
+            })
+        } else {
+            self.authenticate_multicast_msg(m)
+        }
     }
 
     /// [`AuthState::mac_to`] over a message's content (scratch-encoded).

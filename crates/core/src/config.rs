@@ -118,6 +118,19 @@ pub struct ReplicaConfig {
     pub max_batch_bytes: usize,
     /// Sliding-window bound on concurrent protocol instances (§5.1.4).
     pub window: u64,
+    /// Cap on batches the primary keeps in flight at once. `None` follows
+    /// `window` (the §5.1.4 bound); a smaller value throttles the primary
+    /// below the window, e.g. to bound burstiness on a real network. Values
+    /// above `window` are clamped: the window is a correctness bound (log
+    /// size), the pipeline depth a scheduling choice.
+    pub pipeline_depth: Option<u64>,
+    /// Defers outbound authenticator computation on the hot multicast path
+    /// (pre-prepare/prepare/commit/checkpoint/status) to the runtime's MAC
+    /// worker pool: messages leave the replica carrying a nonce-only
+    /// placeholder that the runtime must fill before transmission. Only
+    /// meaningful under [`AuthMode::Macs`] with recovery disabled; the
+    /// deterministic simulator leaves it off.
+    pub defer_multicast_auth: bool,
     /// Bound `M` on digest/view pairs per QSet entry (§3.2.5).
     pub qset_bound: usize,
     /// Proactive recovery settings.
@@ -144,6 +157,8 @@ impl ReplicaConfig {
             max_batch: 16,
             max_batch_bytes: 8192,
             window: 8,
+            pipeline_depth: None,
+            defer_multicast_auth: false,
             qset_bound: 2,
             recovery: RecoveryConfig::default(),
             sig_modulus_bits: 256,

@@ -17,6 +17,21 @@ use bft_crypto::Digest;
 use bft_statemachine::Service;
 use bft_types::{ReplicaId, SeqNo, View};
 
+/// Upstream authentication verdict attached to an input by a harness
+/// that verifies MACs off the protocol thread (the runtime's worker
+/// pool). `Verified` means the message's own authentication — its
+/// authenticator/MAC plus, for pre-prepares, every inline request MAC —
+/// already passed against the same key material the replica holds, so
+/// the replica may skip re-verifying it. `Unverified` means "no claim":
+/// the replica verifies inline as usual.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuthVerdict {
+    /// Authentication already checked and passed; skip the inline check.
+    Verified,
+    /// No upstream claim; verify inline.
+    Unverified,
+}
+
 /// One replica as seen by a harness: boot/reboot entry points, the input
 /// step, and the introspection probes safety checkers compare.
 pub trait ReplicaDriver {
@@ -32,6 +47,14 @@ pub trait ReplicaDriver {
 
     /// Drives one input through the state machine.
     fn step(&mut self, input: Input) -> Vec<Action>;
+
+    /// [`ReplicaDriver::step`] with an upstream authentication verdict.
+    /// The default ignores the verdict and verifies inline — only
+    /// implementations that can honor pre-verification override this.
+    fn step_verified(&mut self, input: Input, verdict: AuthVerdict) -> Vec<Action> {
+        let _ = verdict;
+        self.step(input)
+    }
 
     /// Current view.
     fn current_view(&self) -> View;
@@ -69,6 +92,10 @@ impl<S: Service> ReplicaDriver for crate::Replica<S> {
 
     fn step(&mut self, input: Input) -> Vec<Action> {
         self.on_input(input)
+    }
+
+    fn step_verified(&mut self, input: Input, verdict: AuthVerdict) -> Vec<Action> {
+        self.on_input_verified(input, verdict)
     }
 
     fn current_view(&self) -> View {

@@ -34,6 +34,7 @@ pub mod driver;
 pub mod log;
 pub mod normal;
 pub mod partition_tree;
+pub mod preverify;
 pub mod recovery;
 pub mod replica;
 pub mod state_transfer;
@@ -46,5 +47,6 @@ pub use actions::{Action, Input, Outbox, Target, TimerId};
 pub use authn::ClusterKeys;
 pub use client::{ClientConfig, ClientProxy, CompletedOp};
 pub use config::{AuthMode, Optimizations, RecoveryConfig, ReplicaConfig};
-pub use driver::ReplicaDriver;
+pub use driver::{AuthVerdict, ReplicaDriver};
+pub use preverify::preverify;
 pub use replica::{Replica, ReplicaStats};

@@ -95,9 +95,16 @@ impl<S: Service> Replica<S> {
             if self.queue.is_empty() && !null_fill {
                 return;
             }
-            // Window check: do not run more than `window` instances ahead
-            // of execution.
-            if self.seqno.0 >= self.last_exec.0 + self.config.window {
+            // Window check: do not run more than `pipeline_depth` batches
+            // ahead of execution (the §5.1.4 bound is `window`; the
+            // configured depth may throttle below it but never exceeds it,
+            // since the window also bounds the log).
+            let depth = self
+                .config
+                .pipeline_depth
+                .unwrap_or(self.config.window)
+                .min(self.config.window);
+            if self.seqno.0 >= self.last_exec.0 + depth {
                 return;
             }
             let next = SeqNo(self.seqno.0 + 1);
@@ -156,7 +163,7 @@ impl<S: Service> Replica<S> {
                 digest_memo: bft_types::DigestMemo::new(),
                 batch_memo: bft_types::DigestMemo::new(),
             };
-            pp.auth = self.auth.authenticate_multicast_msg(&pp);
+            pp.auth = self.auth.authenticate_multicast_hot(&pp);
             let batch_digest = pp.batch_digest();
             self.batches.insert(
                 batch_digest,
@@ -331,7 +338,7 @@ impl<S: Service> Replica<S> {
                 replica: self.id,
                 auth: bft_types::Auth::None,
             };
-            prep.auth = self.auth.authenticate_multicast_msg(&prep);
+            prep.auth = self.auth.authenticate_multicast_hot(&prep);
             self.log.add_prepare(pp.seq, batch_digest, self.id);
             out.multicast(Message::Prepare(prep));
         }
@@ -431,7 +438,7 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: bft_types::Auth::None,
         };
-        c.auth = self.auth.authenticate_multicast_msg(&c);
+        c.auth = self.auth.authenticate_multicast_hot(&c);
         self.log.add_commit(seq, digest, self.id);
         self.log.slot_mut(seq).sent_commit = true;
         out.multicast(Message::Commit(c));

@@ -1,0 +1,186 @@
+//! Off-thread authentication for the runtime's MAC worker pool.
+//!
+//! The paper's practicality argument (§8) rests on normal-case cost
+//! being dominated by MAC computation over digests — work that is
+//! embarrassingly parallel per message. [`preverify`] is the
+//! worker-side half of that split: given an independent [`AuthState`]
+//! (built from the same deterministic [`crate::ClusterKeys`] the
+//! replica holds) and a decoded message, it performs exactly the
+//! authentication checks the replica's normal-case handlers would,
+//! and reports a [`AuthVerdict`] the protocol thread can trust.
+//!
+//! The contract with [`crate::Replica::on_input_verified`]:
+//!
+//! * `Verified` is returned only when *every* check the inline path
+//!   would run on this message's own authentication passes — for a
+//!   pre-prepare that includes the primary's authenticator **and** the
+//!   MAC of every inline request in the batch.
+//! * `Unverified` is not a rejection, merely "no claim": the replica
+//!   re-verifies inline, so the weak-certificate fallbacks of §3.2.2
+//!   (a request vouched by f matching prepares, or an already-stored
+//!   authentic copy) still apply and failure counters still count.
+//! * Message types outside the normal-case hot path (view changes,
+//!   state transfer, recovery) are always `Unverified`; their checks
+//!   are too entangled with replica state to lift out safely.
+//!
+//! This is sound only while session keys are static: the runtime
+//! disables the pool when proactive recovery (which refreshes keys,
+//! §4.3.1) is enabled.
+
+use crate::authn::{requester_node, AuthState};
+use crate::driver::AuthVerdict;
+use bft_types::{BatchEntry, Message, NodeId};
+
+/// Runs the normal-case authentication checks for `msg` against `auth`
+/// (a worker's own key state). See the module docs for the contract.
+pub fn preverify(auth: &AuthState, msg: &Message) -> AuthVerdict {
+    let ok = match msg {
+        Message::Request(m) => auth.verify_msg(requester_node(m.requester), m),
+        Message::PrePrepare(pp) => {
+            // The inline path verifies against the receiver's current
+            // primary, but only ever *uses* the result when
+            // `pp.view == self.view` — so checking against pp.view's
+            // primary is equivalent wherever the verdict matters.
+            let primary = pp.view.primary(auth.group().n);
+            auth.verify_msg(NodeId::Replica(primary), &**pp)
+                && pp.batch.iter().all(|entry| match entry {
+                    BatchEntry::Inline(req) => auth.verify_msg(requester_node(req.requester), req),
+                    BatchEntry::ByDigest(_) => true,
+                })
+        }
+        Message::Prepare(m) => auth.verify_msg(NodeId::Replica(m.replica), m),
+        Message::Commit(m) => auth.verify_msg(NodeId::Replica(m.replica), m),
+        Message::Checkpoint(m) => auth.verify_msg(NodeId::Replica(m.replica), m),
+        Message::StatusActive(m) => auth.verify_msg(NodeId::Replica(m.replica), m),
+        Message::StatusPending(m) => auth.verify_msg(NodeId::Replica(m.replica), m),
+        _ => return AuthVerdict::Unverified,
+    };
+    if ok {
+        AuthVerdict::Verified
+    } else {
+        AuthVerdict::Unverified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authn::{client_node, replica_node, AuthState, ClusterKeys};
+    use crate::config::AuthMode;
+    use bft_types::{
+        Auth, DigestMemo, GroupParams, PrePrepare, Prepare, Request, Requester, SeqNo, Timestamp,
+        View,
+    };
+
+    fn cluster() -> (GroupParams, ClusterKeys) {
+        let group = GroupParams::for_f(1);
+        (group, ClusterKeys::generate(group, 4, 128, 7))
+    }
+
+    fn state(node: bft_types::NodeId, keys: &ClusterKeys, group: GroupParams) -> AuthState {
+        AuthState::new(AuthMode::Macs, node, group, 4, keys)
+    }
+
+    fn request(auth: &mut AuthState) -> Request {
+        let mut r = Request {
+            operation: bytes::Bytes::from_static(b"op"),
+            timestamp: Timestamp(1),
+            requester: Requester::Client(bft_types::ClientId(1)),
+            read_only: false,
+            replier: None,
+            auth: Auth::None,
+            digest_memo: DigestMemo::new(),
+        };
+        r.auth = auth.authenticate_multicast_msg(&r);
+        r
+    }
+
+    #[test]
+    fn request_verdict_matches_mac_validity() {
+        let (group, keys) = cluster();
+        let mut client = state(client_node(1), &keys, group);
+        let verifier = state(replica_node(2), &keys, group);
+        let good = request(&mut client);
+        assert_eq!(
+            preverify(&verifier, &Message::Request(good.clone())),
+            AuthVerdict::Verified
+        );
+        let mut bad = good;
+        bad.timestamp = Timestamp(99); // Content no longer matches the MAC.
+        bad.digest_memo = DigestMemo::new();
+        assert_eq!(
+            preverify(&verifier, &Message::Request(bad)),
+            AuthVerdict::Unverified
+        );
+    }
+
+    #[test]
+    fn pre_prepare_requires_every_inline_request_mac() {
+        let (group, keys) = cluster();
+        let mut client = state(client_node(1), &keys, group);
+        let mut primary = state(replica_node(0), &keys, group);
+        let verifier = state(replica_node(2), &keys, group);
+        let req = request(&mut client);
+        let mut pp = PrePrepare {
+            view: View(0),
+            seq: SeqNo(1),
+            batch: vec![BatchEntry::Inline(req.clone())],
+            nondet: bytes::Bytes::new(),
+            auth: Auth::None,
+            digest_memo: DigestMemo::new(),
+            batch_memo: DigestMemo::new(),
+        };
+        pp.auth = primary.authenticate_multicast_msg(&pp);
+        let msg = Message::PrePrepare(std::rc::Rc::new(pp.clone()));
+        assert_eq!(preverify(&verifier, &msg), AuthVerdict::Verified);
+
+        // Corrupt the inline request's MAC: the pre-prepare authenticator
+        // itself is untouched (it covers digests), but the verdict must
+        // drop to Unverified so the replica applies §3.2.2 inline.
+        let mut tampered_req = req;
+        tampered_req.auth = Auth::None;
+        let mut tampered = pp;
+        tampered.batch = vec![BatchEntry::Inline(tampered_req)];
+        let msg = Message::PrePrepare(std::rc::Rc::new(tampered));
+        assert_eq!(preverify(&verifier, &msg), AuthVerdict::Unverified);
+    }
+
+    #[test]
+    fn non_hot_path_messages_are_unverified() {
+        let (group, keys) = cluster();
+        let verifier = state(replica_node(1), &keys, group);
+        let msg = Message::QueryStable(bft_types::QueryStable {
+            replica: bft_types::ReplicaId(0),
+            nonce: 1,
+            auth: Auth::None,
+        });
+        assert_eq!(preverify(&verifier, &msg), AuthVerdict::Unverified);
+    }
+
+    #[test]
+    fn prepare_from_wrong_sender_is_unverified() {
+        let (group, keys) = cluster();
+        let mut sender = state(replica_node(1), &keys, group);
+        let verifier = state(replica_node(2), &keys, group);
+        let mut p = Prepare {
+            view: View(0),
+            seq: SeqNo(1),
+            digest: bft_crypto::digest(b"batch"),
+            replica: bft_types::ReplicaId(1),
+            auth: Auth::None,
+        };
+        p.auth = sender.authenticate_multicast_msg(&p);
+        assert_eq!(
+            preverify(&verifier, &Message::Prepare(p.clone())),
+            AuthVerdict::Verified
+        );
+        // Claiming a different sender must fail: authenticators bind the
+        // sender's key table position.
+        let mut spoofed = p;
+        spoofed.replica = bft_types::ReplicaId(3);
+        assert_eq!(
+            preverify(&verifier, &Message::Prepare(spoofed)),
+            AuthVerdict::Unverified
+        );
+    }
+}

@@ -109,6 +109,12 @@ pub struct Replica<S: Service> {
     /// Sequence number of the batch currently executing (recovery replies
     /// report it, §4.3.2).
     pub(crate) executing_seq: SeqNo,
+    /// One-input authentication bypass: set for the duration of an
+    /// [`Replica::on_input_verified`] call whose verdict is `Verified`
+    /// (the runtime's MAC workers already checked the message and its
+    /// inline requests against the same keys). Never persists across
+    /// inputs.
+    pub(crate) preverified: bool,
     /// Deterministic randomness (nonces, replier choice).
     pub(crate) rng: StdRng,
     /// Counters.
@@ -136,13 +142,19 @@ impl<S: Service> Replica<S> {
         keys: &crate::authn::ClusterKeys,
         seed: u64,
     ) -> Self {
-        let auth = AuthState::new(
+        let mut auth = AuthState::new(
             config.auth,
             NodeId::Replica(id),
             config.group,
             config.num_clients,
             keys,
         );
+        // Deferred outbound MACs assume static session keys: recovery
+        // refreshes keys mid-run, which the worker pool's cloned key
+        // tables would not observe.
+        auth.defer_multicast = config.defer_multicast_auth
+            && config.auth == AuthMode::Macs
+            && !config.recovery.enabled;
         let client_table = ClientTable::new();
         // Tree pages: service pages followed by one client-table page.
         let mut pages: Vec<Bytes> = (0..service.num_pages())
@@ -184,6 +196,7 @@ impl<S: Service> Replica<S> {
             fetch: None,
             recovery: RecoveryState::new(&config),
             executing_seq: SeqNo(0),
+            preverified: false,
             rng: StdRng::seed_from_u64(seed ^ ((id.0 as u64) << 32)),
             stats: ReplicaStats::default(),
             journal: Vec::new(),
@@ -279,6 +292,23 @@ impl<S: Service> Replica<S> {
         self.start()
     }
 
+    /// [`Replica::on_input`] with an upstream authentication verdict
+    /// (see [`crate::driver::AuthVerdict`]). A `Verified` verdict lets
+    /// every authentication check during this one input short-circuit to
+    /// success; the flag is cleared before returning, so it can never
+    /// leak onto a later input. Safe because messages buffered for later
+    /// (pending pre-prepares) are always verified *before* buffering.
+    pub fn on_input_verified(
+        &mut self,
+        input: Input,
+        verdict: crate::driver::AuthVerdict,
+    ) -> Vec<Action> {
+        self.preverified = verdict == crate::driver::AuthVerdict::Verified;
+        let actions = self.on_input(input);
+        self.preverified = false;
+        actions
+    }
+
     /// Main dispatch: handle one input, produce actions.
     pub fn on_input(&mut self, input: Input) -> Vec<Action> {
         let mut out = Outbox::new();
@@ -348,6 +378,9 @@ impl<S: Service> Replica<S> {
         sender: NodeId,
         m: &M,
     ) -> bool {
+        if self.preverified {
+            return true;
+        }
         let ok = self.auth.verify_msg(sender, m);
         if !ok {
             self.stats.auth_failures += 1;
@@ -612,7 +645,7 @@ impl<S: Service> Replica<S> {
                 replica: self.id,
                 auth: bft_types::Auth::None,
             };
-            m.auth = self.auth.authenticate_multicast_msg(&m);
+            m.auth = self.auth.authenticate_multicast_hot(&m);
             out.multicast(Message::Checkpoint(m.clone()));
             // Count our own vote.
             if let Some(stable) = self.ckpt.add_vote(seq, digest, self.id) {

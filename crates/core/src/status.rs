@@ -49,7 +49,7 @@ impl<S: Service> Replica<S> {
                 replica: self.id,
                 auth: bft_types::Auth::None,
             };
-            m.auth = self.auth.authenticate_multicast_msg(&m);
+            m.auth = self.auth.authenticate_multicast_hot(&m);
             out.multicast(Message::StatusActive(m));
             // Executed-but-body-missing slots are reported via the pending
             // format's `missing` field even in an active view.
@@ -90,7 +90,7 @@ impl<S: Service> Replica<S> {
             replica: self.id,
             auth: bft_types::Auth::None,
         };
-        m.auth = self.auth.authenticate_multicast_msg(&m);
+        m.auth = self.auth.authenticate_multicast_hot(&m);
         out.multicast(Message::StatusPending(m));
     }
 
@@ -123,7 +123,7 @@ impl<S: Service> Replica<S> {
                     replica: self.id,
                     auth: bft_types::Auth::None,
                 };
-                c.auth = self.auth.authenticate_multicast_msg(&c);
+                c.auth = self.auth.authenticate_multicast_hot(&c);
                 out.send_replica(m.replica, Message::Checkpoint(c));
             }
             let _ = stable_digest;
@@ -149,7 +149,7 @@ impl<S: Service> Replica<S> {
                 if let Some(pp) = &slot.pre_prepare {
                     let pp = if self.id == self.primary() && pp.view == self.view {
                         let mut owned = (**pp).clone();
-                        owned.auth = self.auth.authenticate_multicast_msg(&owned);
+                        owned.auth = self.auth.authenticate_multicast_hot(&owned);
                         std::rc::Rc::new(owned)
                     } else {
                         std::rc::Rc::clone(pp)
@@ -166,7 +166,7 @@ impl<S: Service> Replica<S> {
                             replica: self.id,
                             auth: bft_types::Auth::None,
                         };
-                        p.auth = self.auth.authenticate_multicast_msg(&p);
+                        p.auth = self.auth.authenticate_multicast_hot(&p);
                         out.send_replica(m.replica, Message::Prepare(p));
                         sent += 1;
                     }
@@ -180,7 +180,7 @@ impl<S: Service> Replica<S> {
                         replica: self.id,
                         auth: bft_types::Auth::None,
                     };
-                    c.auth = self.auth.authenticate_multicast_msg(&c);
+                    c.auth = self.auth.authenticate_multicast_hot(&c);
                     out.send_replica(m.replica, Message::Commit(c));
                     sent += 1;
                 }

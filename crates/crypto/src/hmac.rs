@@ -151,6 +151,48 @@ fn truncate(d: Digest) -> Tag {
     Tag(t)
 }
 
+/// An owned, `Send` HMAC context for one key: the ipad/opad midstates
+/// precomputed once at construction.
+///
+/// The thread-local [`PAD_CACHE`] serves the single-threaded protocol
+/// loop well, but a MAC worker pool wants per-key state it can build
+/// once, own outright, and use without a hash-map probe per MAC — each
+/// pool worker holds one context per peer key. Tags are bit-identical
+/// to [`mac_parts`] under the same key.
+#[derive(Clone)]
+pub struct MacContext {
+    inner: [u32; 4],
+    outer: [u32; 4],
+}
+
+impl MacContext {
+    /// Precomputes the pad midstates for `key`.
+    pub fn new(key: &SessionKey) -> Self {
+        let pads = pad_states(key);
+        MacContext {
+            inner: pads.inner,
+            outer: pads.outer,
+        }
+    }
+
+    /// Full HMAC-MD5 over the concatenation of `parts`.
+    pub fn hmac_parts(&self, parts: &[&[u8]]) -> Digest {
+        let mut inner = Md5::from_midstate(self.inner, BLOCK_LEN as u64);
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finish();
+        let mut outer = Md5::from_midstate(self.outer, BLOCK_LEN as u64);
+        outer.update(inner_digest.as_bytes());
+        outer.finish()
+    }
+
+    /// Truncated tag over the concatenation of `parts`.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> Tag {
+        truncate(self.hmac_parts(parts))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +255,25 @@ mod tests {
     #[test]
     fn key_debug_redacts() {
         assert_eq!(format!("{:?}", SessionKey::from_seed(1)), "SessionKey(..)");
+    }
+
+    #[test]
+    fn mac_context_matches_free_functions() {
+        let key = SessionKey::from_seed(11);
+        let ctx = MacContext::new(&key);
+        assert_eq!(
+            ctx.mac_parts(&[b"nonce", b"header"]),
+            mac_parts(&key, &[b"nonce", b"header"])
+        );
+        assert_eq!(ctx.hmac_parts(&[b"abcd"]), hmac(&key, b"abcd"));
+        // Contexts are key-bound: a different key's context disagrees.
+        let other = MacContext::new(&SessionKey::from_seed(12));
+        assert_ne!(ctx.mac_parts(&[b"m"]), other.mac_parts(&[b"m"]));
+    }
+
+    #[test]
+    fn mac_context_is_send() {
+        fn assert_send<T: Send + Sync>() {}
+        assert_send::<MacContext>();
     }
 }

@@ -27,7 +27,7 @@ pub mod rsa;
 pub use adhash::AdHash;
 pub use auth::{Authenticator, KeyTable};
 pub use coprocessor::{Coprocessor, CounterSignature};
-pub use hmac::{SessionKey, Tag};
+pub use hmac::{MacContext, SessionKey, Tag};
 pub use md5::{digest, digest_parts, Digest};
 pub use rsa::{KeyPair, PrivateKey, PublicKey, Signature};
 

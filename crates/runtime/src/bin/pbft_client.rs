@@ -12,7 +12,7 @@
 //! padded counter increments with every `--read-every`-th operation a
 //! read-only `GET`. Prints per-client lines and an aggregate summary.
 
-use bft_runtime::client::{run_client, ClientReport, LoadMode, Workload};
+use bft_runtime::client::{run_client, run_workers, ClientReport, LoadMode, Workload};
 use bft_runtime::config::Topology;
 use bft_types::ClientId;
 use std::time::Duration;
@@ -101,19 +101,18 @@ fn main() {
         workload.mode,
         topo.replicas.len()
     );
-    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (first_id..first_id + clients)
-            .map(|c| {
-                let topo = &topo;
-                let workload = workload.clone();
-                scope.spawn(move || run_client(ClientId(c), topo, &workload, deadline))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client worker"))
-            .collect()
-    });
+    // Collect per-worker outcomes rather than `.join().expect(..)`: one
+    // panicking worker must not discard every other worker's stats.
+    let ids: Vec<ClientId> = (first_id..first_id + clients).map(ClientId).collect();
+    let outcomes = run_workers(&ids, |c| run_client(c, &topo, &workload, deadline));
+    let mut reports: Vec<ClientReport> = Vec::with_capacity(outcomes.len());
+    let mut dead: Vec<String> = Vec::new();
+    for (c, outcome) in outcomes {
+        match outcome {
+            Ok(report) => reports.push(report),
+            Err(why) => dead.push(format!("c{}: {why}", c.0)),
+        }
+    }
 
     let mut total_ops = 0u64;
     let mut total_retrans = 0u64;
@@ -153,6 +152,13 @@ fn main() {
         pct(0.5),
         pct(0.99)
     );
+    if !dead.is_empty() {
+        // Partial stats above are still valid; the run as a whole is not.
+        for d in &dead {
+            eprintln!("pbft-client: ERROR: client worker died: {d}");
+        }
+        std::process::exit(1);
+    }
     if total_ops < clients as u64 * ops {
         eprintln!("pbft-client: WARNING: workload incomplete before the deadline");
         std::process::exit(1);

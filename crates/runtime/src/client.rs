@@ -245,6 +245,209 @@ pub fn run_client(
     report
 }
 
+/// Drives many logical clients from ONE thread over ONE transport.
+///
+/// The transport greets as every client id, so all of them share the
+/// same four sockets: requests from different clients coalesce into
+/// batched writes, and each replica's replies to the whole group come
+/// back over a single connection and are drained in one wake-up. On a
+/// loaded host this collapses the per-operation thread-hop cost that
+/// dominates when every client owns its own transport (8 threads and
+/// ~4 context switches per frame), which is what lets the benchmark
+/// drive high client counts without the load generator itself becoming
+/// the bottleneck. Protocol semantics are unchanged — each logical
+/// client is a full [`ClientProxy`] with its own timestamps,
+/// retransmission timer, and reply certificate.
+pub fn run_mux_clients(
+    ids: &[ClientId],
+    topo: &Topology,
+    workload: &Workload,
+    deadline: Duration,
+) -> Vec<ClientReport> {
+    struct Slot {
+        proxy: ClientProxy,
+        report: ClientReport,
+        /// Next workload op index to invoke.
+        next_k: u64,
+        /// Invocation time of the in-flight op (None = idle).
+        invoked: Option<Instant>,
+        /// Earliest time the next op may be invoked (pacing).
+        ready_at: Instant,
+    }
+
+    let keys = topo.keys();
+    let mut client_config = topo.client_config();
+    if let Some(rt) = workload.retransmit {
+        client_config.retransmit_timeout = SimDuration::from_micros(rt.as_micros() as u64);
+    }
+    let (in_tx, in_rx) = mpsc::channel::<Vec<u8>>();
+    let peers: Vec<(NodeId, std::net::SocketAddr)> = topo
+        .replicas
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| (NodeId::Replica(ReplicaId(i as u32)), *addr))
+        .collect();
+    let transport = Transport::start_as(
+        ids.iter().map(|&c| NodeId::Client(c)).collect(),
+        None,
+        peers,
+        in_tx,
+    );
+    let n = topo.replicas.len();
+    let mut timers = RtTimers::<(usize, TimerId)>::new();
+
+    let started = Instant::now();
+    let hard_deadline = started + deadline;
+    let mut slots: Vec<Slot> = ids
+        .iter()
+        .map(|&c| Slot {
+            proxy: ClientProxy::new(c, client_config.clone(), &keys),
+            report: ClientReport {
+                client: c,
+                completed: 0,
+                retransmitted: 0,
+                latencies_us: Vec::with_capacity(workload.ops as usize),
+                results: Vec::with_capacity(workload.ops as usize),
+                wall: Duration::ZERO,
+            },
+            next_k: 0,
+            invoked: None,
+            ready_at: started,
+        })
+        .collect();
+    let index: std::collections::HashMap<ClientId, usize> =
+        ids.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let mut unfinished = slots.len();
+
+    while unfinished > 0 && Instant::now() < hard_deadline {
+        // Fire due client retransmission timers.
+        while let Some((i, tid)) = timers.pop_due() {
+            let (actions, done) = slots[i].proxy.on_input(Input::Timer(tid));
+            apply_mux_actions(i, actions, &transport, &mut timers, n);
+            if let Some(done) = done {
+                record_completion(&mut slots[i], done, workload, started, &mut unfinished);
+            }
+        }
+        // Invoke the next op on every idle, ready client.
+        let now = Instant::now();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.invoked.is_some() || slot.next_k >= workload.ops || now < slot.ready_at {
+                continue;
+            }
+            let (op, read_only) = workload.op(slot.next_k);
+            slot.invoked = Some(Instant::now());
+            let actions = slot.proxy.invoke(op, read_only);
+            apply_mux_actions(i, actions, &transport, &mut timers, n);
+        }
+        // Drain inbound replies; one wake-up handles everything queued.
+        let wait = timers
+            .until_next()
+            .unwrap_or(Duration::from_millis(20))
+            .min(Duration::from_millis(20));
+        let mut next = in_rx.recv_timeout(wait);
+        loop {
+            let payload = match next {
+                Ok(p) => p,
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            let mut slice = payload.as_slice();
+            if let Ok(msg) = Message::decode(&mut slice) {
+                let target = match &msg {
+                    Message::Reply(r) => match r.requester {
+                        bft_types::Requester::Client(c) => index.get(&c).copied(),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some(i) = target {
+                    let (actions, done) = slots[i].proxy.on_input(Input::Deliver(msg));
+                    apply_mux_actions(i, actions, &transport, &mut timers, n);
+                    if let Some(done) = done {
+                        record_completion(&mut slots[i], done, workload, started, &mut unfinished);
+                    }
+                }
+            }
+            next = in_rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
+                mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+            });
+        }
+    }
+
+    let wall = started.elapsed();
+    for slot in &mut slots {
+        slot.report.wall = wall;
+    }
+    transport.shutdown();
+    return slots.into_iter().map(|s| s.report).collect();
+
+    /// Books a completed op into its slot and paces the next invocation.
+    fn record_completion(
+        slot: &mut Slot,
+        done: CompletedOp,
+        workload: &Workload,
+        started: Instant,
+        unfinished: &mut usize,
+    ) {
+        let invoked = slot.invoked.take().expect("completion without invocation");
+        slot.report.completed += 1;
+        if done.retransmissions > 0 {
+            slot.report.retransmitted += 1;
+        }
+        slot.report
+            .latencies_us
+            .push(invoked.elapsed().as_micros() as u64);
+        slot.report
+            .results
+            .push((done.timestamp, done.result.to_vec()));
+        slot.next_k += 1;
+        slot.ready_at = match workload.mode {
+            LoadMode::Closed { think } => Instant::now() + think,
+            LoadMode::Open { interval } => started + interval * (slot.next_k as u32),
+        };
+        if slot.next_k == workload.ops {
+            *unfinished -= 1;
+        }
+    }
+}
+
+/// Runs one worker thread per id in `ids` and collects every worker's
+/// outcome. A panicking worker must not poison the whole run: the
+/// survivors' results still come back, and the caller learns exactly
+/// which worker died and what it said on the way down (instead of a
+/// bare `.join().expect(..)` re-panic that discards both).
+pub fn run_workers<T, F>(ids: &[ClientId], f: F) -> Vec<(ClientId, Result<T, String>)>
+where
+    T: Send,
+    F: Fn(ClientId) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&c| (c, scope.spawn(move || f(c))))
+            .collect();
+        // Join everything manually: scope would re-raise the first panic
+        // and abandon the other workers' reports.
+        handles
+            .into_iter()
+            .map(|(c, h)| (c, h.join().map_err(panic_message)))
+            .collect()
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 fn apply_client_actions(
     actions: Vec<Action>,
     transport: &Transport,
@@ -253,25 +456,43 @@ fn apply_client_actions(
 ) {
     for action in actions {
         match action {
-            Action::Send { to, msg } => {
-                let frame = Arc::new(frame_bytes(&msg));
-                match to {
-                    Target::Replica(r) => transport.send(NodeId::Replica(r), frame),
-                    Target::AllReplicas => {
-                        for i in 0..n {
-                            transport
-                                .send(NodeId::Replica(ReplicaId(i as u32)), Arc::clone(&frame));
-                        }
-                    }
-                    Target::Requester(r) => {
-                        transport.send(bft_core::authn::requester_node(r), frame)
-                    }
-                    Target::Node(node) => transport.send(node, frame),
-                }
-            }
+            Action::Send { to, msg } => dispatch_send(transport, to, &msg, n),
             Action::SetTimer { id, after } => timers.set(id, after),
             Action::CancelTimer { id } => timers.cancel(id),
         }
+    }
+}
+
+/// [`apply_client_actions`] for the multiplexed driver: timer ids are
+/// namespaced by the slot index so many proxies share one timer wheel.
+fn apply_mux_actions(
+    slot: usize,
+    actions: Vec<Action>,
+    transport: &Transport,
+    timers: &mut RtTimers<(usize, TimerId)>,
+    n: usize,
+) {
+    for action in actions {
+        match action {
+            Action::Send { to, msg } => dispatch_send(transport, to, &msg, n),
+            Action::SetTimer { id, after } => timers.set((slot, id), after),
+            Action::CancelTimer { id } => timers.cancel((slot, id)),
+        }
+    }
+}
+
+/// Encodes `msg` once and queues it toward every destination `to` names.
+fn dispatch_send(transport: &Transport, to: Target, msg: &Message, n: usize) {
+    let frame = Arc::new(frame_bytes(msg));
+    match to {
+        Target::Replica(r) => transport.send(NodeId::Replica(r), frame),
+        Target::AllReplicas => {
+            for i in 0..n {
+                transport.send(NodeId::Replica(ReplicaId(i as u32)), Arc::clone(&frame));
+            }
+        }
+        Target::Requester(r) => transport.send(bft_core::authn::requester_node(r), frame),
+        Target::Node(node) => transport.send(node, frame),
     }
 }
 
@@ -295,6 +516,24 @@ mod tests {
         let (op, ro) = w.op(3);
         assert_eq!(op[0], CounterService::OP_GET);
         assert!(ro);
+    }
+
+    /// Regression for the worker-poisoning bug: one panicking worker
+    /// used to take down the whole run via `.join().expect(..)`; now its
+    /// panic message is captured and the other workers still report.
+    #[test]
+    fn run_workers_reports_panics_without_poisoning() {
+        let ids: Vec<ClientId> = (0..3).map(ClientId).collect();
+        let outcomes = run_workers(&ids, |c| {
+            if c.0 == 1 {
+                panic!("worker {} exploded", c.0);
+            }
+            c.0 * 10
+        });
+        assert_eq!(outcomes[0], (ClientId(0), Ok(0)));
+        assert_eq!(outcomes[2], (ClientId(2), Ok(20)));
+        let err = outcomes[1].1.as_ref().expect_err("worker 1 panicked");
+        assert!(err.contains("worker 1 exploded"), "got: {err}");
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct Topology {
     pub checkpoint_interval: u64,
     /// Whether request batching is enabled.
     pub batching: bool,
+    /// MAC worker pool size per node. `0` disables the pool: all
+    /// authentication work stays on the protocol thread.
+    pub workers: usize,
+    /// Batches the primary keeps in flight at once (clamped to the
+    /// protocol window by `bft-core`).
+    pub pipeline_depth: u64,
     /// Listen addresses, indexed by replica id.
     pub replicas: Vec<SocketAddr>,
 }
@@ -60,11 +66,18 @@ impl Topology {
             status_ms: 100,
             checkpoint_interval: 64,
             batching: true,
+            workers: 0,
+            pipeline_depth: 8,
             replicas: (0..n)
                 .map(|i| {
-                    format!("127.0.0.1:{}", base_port + i as u16)
-                        .parse()
-                        .expect("valid addr")
+                    // Built directly rather than parsed from a string: this
+                    // constructor must be infallible (ports are u16 by
+                    // construction), and a panic here once masked real
+                    // malformed-address reporting in `parse`.
+                    SocketAddr::new(
+                        std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                        base_port.wrapping_add(i as u16),
+                    )
                 })
                 .collect(),
         }
@@ -80,6 +93,8 @@ impl Topology {
             status_ms: 100,
             checkpoint_interval: 64,
             batching: true,
+            workers: 0,
+            pipeline_depth: 8,
             replicas: Vec::new(),
         };
         let mut replicas: Vec<(usize, SocketAddr)> = Vec::new();
@@ -110,6 +125,16 @@ impl Topology {
                         "true" => true,
                         "false" => false,
                         _ => return Err(format!("line {}: bad batching `{value}`", lineno + 1)),
+                    }
+                }
+                "workers" => topo.workers = parse_u64(value, "workers")? as usize,
+                "pipeline_depth" => {
+                    topo.pipeline_depth = parse_u64(value, "pipeline_depth")?;
+                    if topo.pipeline_depth == 0 {
+                        return Err(format!(
+                            "line {}: pipeline_depth must be at least 1",
+                            lineno + 1
+                        ));
                     }
                 }
                 _ if key.starts_with("replica.") => {
@@ -153,6 +178,8 @@ impl Topology {
             self.checkpoint_interval
         ));
         out.push_str(&format!("batching = {}\n", self.batching));
+        out.push_str(&format!("workers = {}\n", self.workers));
+        out.push_str(&format!("pipeline_depth = {}\n", self.pipeline_depth));
         for (i, addr) in self.replicas.iter().enumerate() {
             out.push_str(&format!("replica.{i} = {addr}\n"));
         }
@@ -172,6 +199,9 @@ impl Topology {
         config.status_interval = SimDuration::from_millis(self.status_ms);
         config.checkpoint_interval = self.checkpoint_interval;
         config.opts.batching = self.batching;
+        config.pipeline_depth = Some(self.pipeline_depth);
+        // Outbound MACs move to the pool only when a pool exists.
+        config.defer_multicast_auth = self.workers > 0;
         // Small signature modulus: signatures are off the hot path in
         // MAC mode, and key generation happens on every node boot.
         config.sig_modulus_bits = 256;
@@ -225,6 +255,50 @@ mod tests {
         assert!(err.contains("3f+1"), "{err}");
         // Zero f.
         assert!(Topology::parse("clients = 2").is_err());
+    }
+
+    /// Regression: a malformed replica address must come back as a
+    /// line-numbered `Err`, never a panic, so `pbft-node` can print a
+    /// readable config error.
+    #[test]
+    fn malformed_address_is_an_error_not_a_panic() {
+        for bad in [
+            "f = 1\nreplica.0 = not-an-address\n",
+            "f = 1\nreplica.0 = 127.0.0.1\n",       // missing port
+            "f = 1\nreplica.0 = 127.0.0.1:99999\n", // port out of range
+            "f = 1\nreplica.0 = 300.0.0.1:5100\n",  // bad octet
+        ] {
+            let err = std::panic::catch_unwind(|| Topology::parse(bad))
+                .expect("parse must not panic")
+                .expect_err("malformed address must be rejected");
+            assert!(err.contains("line 2"), "error names the line: {err}");
+            assert!(
+                err.contains("bad address"),
+                "error names the problem: {err}"
+            );
+        }
+        // A malformed index is reported by key, also without panicking.
+        let err = Topology::parse("f = 1\nreplica.zero = 127.0.0.1:5100\n").unwrap_err();
+        assert!(err.contains("bad replica index"), "{err}");
+    }
+
+    #[test]
+    fn worker_and_pipeline_keys_roundtrip() {
+        let mut topo = Topology::localhost(1, 8, 5100);
+        topo.workers = 3;
+        topo.pipeline_depth = 4;
+        let back = Topology::parse(&topo.to_config_string()).expect("parse own output");
+        assert_eq!(back, topo);
+        let rc = back.replica_config();
+        assert_eq!(rc.pipeline_depth, Some(4));
+        assert!(rc.defer_multicast_auth);
+        // No pool → no deferred MACs.
+        let mut solo = topo.clone();
+        solo.workers = 0;
+        assert!(!solo.replica_config().defer_multicast_auth);
+        // A zero depth would deadlock the primary; reject it at parse.
+        assert!(Topology::parse("f = 1\npipeline_depth = 0\n").is_err());
+        assert!(Topology::parse("f = 1\nworkers = x\n").is_err());
     }
 
     #[test]

@@ -42,11 +42,13 @@ pub mod clock;
 pub mod config;
 pub mod loopback;
 pub mod node;
+pub mod pool;
 pub mod transport;
 
-pub use client::{run_client, ClientReport, LoadMode, Workload};
+pub use client::{run_client, run_mux_clients, run_workers, ClientReport, LoadMode, Workload};
 pub use clock::RtTimers;
 pub use config::Topology;
 pub use loopback::LoopbackCluster;
 pub use node::{spawn_counter_replica, NodeHandle, Snapshot};
+pub use pool::MacPool;
 pub use transport::{Transport, TransportStats};

@@ -8,7 +8,7 @@
 //! the same oracle the simulator's chaos campaigns use: identical
 //! journals, exactly-once execution, liveness.
 
-use crate::client::{run_client, ClientReport, Workload};
+use crate::client::{run_client, run_workers, ClientReport, Workload};
 use crate::config::Topology;
 use crate::node::{spawn_counter_replica, NodeHandle, Snapshot};
 use bft_types::{ClientId, ReplicaId};
@@ -24,7 +24,42 @@ pub struct LoopbackCluster {
 
 impl LoopbackCluster {
     /// Boots `3f + 1` replicas on ephemeral loopback ports.
+    ///
+    /// The `PBFT_WORKERS` environment variable (when set to a positive
+    /// integer) turns on the MAC worker pool for every node — CI uses it
+    /// to run the whole loopback suite under the threaded data plane
+    /// without touching each test.
     pub fn start(f: usize, clients: u32) -> LoopbackCluster {
+        let workers = std::env::var("PBFT_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        Self::start_tuned(f, clients, workers, None)
+    }
+
+    /// [`LoopbackCluster::start`] with explicit data-plane tuning:
+    /// `workers` MAC pool threads per node (0 = single-threaded direct
+    /// path) and an optional primary `pipeline_depth` override (None
+    /// keeps the topology default).
+    pub fn start_tuned(
+        f: usize,
+        clients: u32,
+        workers: usize,
+        pipeline_depth: Option<u64>,
+    ) -> LoopbackCluster {
+        Self::start_with(f, clients, move |topo| {
+            topo.workers = workers;
+            if let Some(depth) = pipeline_depth {
+                topo.pipeline_depth = depth;
+            }
+        })
+    }
+
+    /// The fully general constructor: binds the listeners, builds the
+    /// default loopback topology, then lets `tune` rewrite any knob
+    /// (workers, pipeline depth, view-change timeout, ...) before the
+    /// nodes boot.
+    pub fn start_with(f: usize, clients: u32, tune: impl FnOnce(&mut Topology)) -> LoopbackCluster {
         let n = 3 * f + 1;
         // Bind every listener first so the topology is complete before
         // any node dials a peer.
@@ -39,6 +74,7 @@ impl LoopbackCluster {
         // Small checkpoint interval so loopback tests cross checkpoint
         // and garbage-collection boundaries quickly.
         topo.checkpoint_interval = 16;
+        tune(&mut topo);
         let nodes = listeners
             .into_iter()
             .enumerate()
@@ -60,25 +96,73 @@ impl LoopbackCluster {
 
     /// Runs `clients` concurrent client workers (ids `0..clients`) and
     /// returns their reports.
+    ///
+    /// A worker that panics no longer poisons the whole run: every
+    /// surviving worker's report is still collected, and the panic names
+    /// the dead worker(s) and their reason instead of surfacing as an
+    /// anonymous `.join()` failure.
     pub fn run_clients(
         &self,
         clients: u32,
         workload: Workload,
         deadline: Duration,
     ) -> Vec<ClientReport> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..clients)
-                .map(|c| {
-                    let topo = &self.topo;
-                    let workload = workload.clone();
-                    scope.spawn(move || run_client(ClientId(c), topo, &workload, deadline))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("client worker"))
-                .collect()
-        })
+        let ids: Vec<ClientId> = (0..clients).map(ClientId).collect();
+        let outcomes = run_workers(&ids, |c| run_client(c, &self.topo, &workload, deadline));
+        let mut reports = Vec::with_capacity(outcomes.len());
+        let mut failures = Vec::new();
+        for (c, outcome) in outcomes {
+            match outcome {
+                Ok(report) => reports.push(report),
+                Err(why) => failures.push(format!("client {} panicked: {why}", c.0)),
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "{}/{} client workers died ({} reported): {}",
+            failures.len(),
+            clients,
+            reports.len(),
+            failures.join("; ")
+        );
+        reports
+    }
+
+    /// [`LoopbackCluster::run_clients`] with the multiplexed driver:
+    /// `clients` logical clients split across `groups` driver threads
+    /// (see [`crate::client::run_mux_clients`]). Worker panics are
+    /// collected, not poisoned, exactly like `run_clients`.
+    pub fn run_clients_mux(
+        &self,
+        clients: u32,
+        groups: usize,
+        workload: Workload,
+        deadline: Duration,
+    ) -> Vec<ClientReport> {
+        let ids: Vec<ClientId> = (0..clients).map(ClientId).collect();
+        let chunks: Vec<&[ClientId]> = ids.chunks(ids.len().div_ceil(groups.max(1))).collect();
+        let group_ids: Vec<ClientId> = (0..chunks.len() as u32).map(ClientId).collect();
+        let outcomes = run_workers(&group_ids, |g| {
+            crate::client::run_mux_clients(chunks[g.0 as usize], &self.topo, &workload, deadline)
+        });
+        let mut reports = Vec::with_capacity(clients as usize);
+        let mut failures = Vec::new();
+        for (g, outcome) in outcomes {
+            match outcome {
+                Ok(group_reports) => reports.extend(group_reports),
+                Err(why) => failures.push(format!("client group {} panicked: {why}", g.0)),
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "{}/{} client driver groups died ({} client reports collected): {}",
+            failures.len(),
+            chunks.len(),
+            reports.len(),
+            failures.join("; ")
+        );
+        reports.sort_by_key(|r| r.client.0);
+        reports
     }
 
     /// Kills replica `r` abruptly (fail-stop).
@@ -100,15 +184,17 @@ impl LoopbackCluster {
             .collect()
     }
 
-    /// Waits until every live replica reports the same committed journal
-    /// (normalized per the safety oracle — last digest per sequence
-    /// number at or below the committed frontier; raw journals may
-    /// legitimately differ by re-execution entries after view changes)
-    /// and the same state digest. Laggards catch up through status
-    /// retransmission. Returns the converged snapshots, or `None` on
-    /// timeout — but panics immediately on an actual safety violation
-    /// (two frontiers committing different digests for one sequence
-    /// number), which waiting can never repair.
+    /// Waits until every live replica reports the same state digest at
+    /// the same committed frontier, with their committed journals in
+    /// agreement wherever they overlap. Laggards catch up through
+    /// status retransmission — or, when they fell behind the stable
+    /// checkpoint, through state transfer (§5.3.2), which is why the
+    /// oracle cannot demand bit-identical journals: a state-transferred
+    /// replica legitimately has a gap for the range it fetched as pages
+    /// instead of executing locally. Returns the converged snapshots,
+    /// or `None` on timeout — but panics immediately on an actual
+    /// safety violation (two replicas committing different digests for
+    /// one sequence number), which waiting can never repair.
     pub fn wait_converged(&self, timeout: Duration) -> Option<Vec<Snapshot>> {
         let deadline = Instant::now() + timeout;
         loop {
@@ -117,11 +203,11 @@ impl LoopbackCluster {
                 if let Err(divergence) = Self::check_journal_agreement(&snaps) {
                     panic!("safety violation: {divergence}");
                 }
-                let identical = snaps.windows(2).all(|w| {
-                    w[0].committed_journal() == w[1].committed_journal()
+                let converged = snaps.windows(2).all(|w| {
+                    w[0].committed_frontier == w[1].committed_frontier
                         && w[0].state_digest == w[1].state_digest
                 });
-                if identical {
+                if converged {
                     return Some(snaps);
                 }
             }

@@ -12,6 +12,7 @@
 
 use crate::clock::RtTimers;
 use crate::config::Topology;
+use crate::pool::MacPool;
 use crate::transport::{FrameBuf, StatsSnapshot, Transport};
 use bft_core::{Action, Input, Replica, ReplicaDriver, ReplicaStats, Target, TimerId};
 use bft_crypto::Digest;
@@ -20,7 +21,7 @@ use bft_types::framing::frame_bytes;
 use bft_types::{Message, NodeId, ReplicaId, Requester, SeqNo, Wire};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -150,7 +151,7 @@ where
             let keys = topo.keys();
             let config = topo.replica_config();
             let service = make_service(&topo);
-            let mut replica = Replica::new(id, config, service, &keys, topo.key_seed);
+            let mut replica = Replica::new(id, config.clone(), service, &keys, topo.key_seed);
             let (in_tx, in_rx) = mpsc::channel::<Vec<u8>>();
             let peers: Vec<(NodeId, SocketAddr)> = topo
                 .replicas
@@ -161,8 +162,15 @@ where
                 .collect();
             let transport = Transport::start(NodeId::Replica(id), Some(listener), peers, in_tx);
             let mut timers = RtTimers::<TimerId>::new();
-            let me = id;
 
+            if topo.workers > 0 {
+                run_pooled(
+                    id, &topo, &config, &keys, replica, transport, in_rx, timers, ctl_rx, alive2,
+                );
+                return;
+            }
+
+            let me = id;
             let boot = replica.boot();
             apply_actions(me, boot, &transport, &mut timers, topo.replicas.len());
 
@@ -172,17 +180,7 @@ where
                 while let Ok(ctl) = ctl_rx.try_recv() {
                     match ctl {
                         Ctl::Snapshot(reply) => {
-                            let _ = reply.send(Snapshot {
-                                id: me,
-                                view: replica.current_view().0,
-                                view_active: replica.view_active(),
-                                last_exec: ReplicaDriver::last_executed(&replica),
-                                committed_frontier: ReplicaDriver::committed_frontier(&replica),
-                                state_digest: ReplicaDriver::state_digest(&replica),
-                                journal: ReplicaDriver::journal(&replica).to_vec(),
-                                stats: replica.stats,
-                                transport: transport.stats(),
-                            });
+                            let _ = reply.send(take_snapshot(&replica, me, transport.stats()));
                         }
                         Ctl::Shutdown => stop = true,
                     }
@@ -276,23 +274,174 @@ fn apply_actions(
         match action {
             Action::Send { to, msg } => {
                 let frame: FrameBuf = Arc::new(frame_bytes(&msg));
-                match to {
-                    Target::Replica(r) => transport.send(NodeId::Replica(r), frame),
-                    Target::AllReplicas => {
-                        for i in 0..n {
-                            let dest = ReplicaId(i as u32);
-                            if dest != me {
-                                transport.send(NodeId::Replica(dest), Arc::clone(&frame));
-                            }
-                        }
+                for dest in resolve_dests(me, &to, n) {
+                    transport.send(dest, Arc::clone(&frame));
+                }
+            }
+            Action::SetTimer { id, after } => timers.set(id, after),
+            Action::CancelTimer { id } => timers.cancel(id),
+        }
+    }
+}
+
+/// Expands an action [`Target`] into concrete transport destinations.
+fn resolve_dests(me: ReplicaId, to: &Target, n: usize) -> Vec<NodeId> {
+    match to {
+        Target::Replica(r) => vec![NodeId::Replica(*r)],
+        Target::AllReplicas => (0..n as u32)
+            .map(ReplicaId)
+            .filter(|r| *r != me)
+            .map(NodeId::Replica)
+            .collect(),
+        Target::Requester(Requester::Client(c)) => vec![NodeId::Client(*c)],
+        Target::Requester(Requester::Replica(r)) => vec![NodeId::Replica(*r)],
+        Target::Node(node) => vec![*node],
+    }
+}
+
+/// Builds the oracle snapshot handed back over the control channel.
+fn take_snapshot<S: Service>(
+    replica: &Replica<S>,
+    me: ReplicaId,
+    transport: StatsSnapshot,
+) -> Snapshot {
+    Snapshot {
+        id: me,
+        view: replica.current_view().0,
+        view_active: replica.view_active(),
+        last_exec: ReplicaDriver::last_executed(replica),
+        committed_frontier: ReplicaDriver::committed_frontier(replica),
+        state_digest: ReplicaDriver::state_digest(replica),
+        journal: ReplicaDriver::journal(replica).to_vec(),
+        stats: replica.stats,
+        transport,
+    }
+}
+
+/// The pooled event loop: same step loop as the direct path, but MAC
+/// work rides the [`MacPool`]. Inbound payloads arrive pre-verified (in
+/// arrival order, with an [`bft_core::AuthVerdict`] consumed through
+/// [`ReplicaDriver::step_verified`]); outbound deferred-authenticator
+/// messages ship to workers as bytes and leave through the pool's
+/// order-preserving dispatcher, which also carries ready frames so the
+/// node's output order is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn run_pooled<S: Service>(
+    me: ReplicaId,
+    topo: &Topology,
+    config: &bft_core::ReplicaConfig,
+    keys: &bft_core::ClusterKeys,
+    mut replica: Replica<S>,
+    transport: Transport,
+    in_rx: Receiver<Vec<u8>>,
+    mut timers: RtTimers<TimerId>,
+    ctl_rx: Receiver<Ctl>,
+    alive: Arc<AtomicBool>,
+) {
+    let n = topo.replicas.len();
+    let transport = Arc::new(transport);
+    let mut pool = MacPool::start(
+        topo.workers,
+        me,
+        config,
+        keys,
+        in_rx,
+        Arc::clone(&transport),
+    );
+
+    let boot = replica.boot();
+    apply_actions_pooled(me, boot, &mut pool, &mut timers, n);
+
+    loop {
+        let mut stop = false;
+        while let Ok(ctl) = ctl_rx.try_recv() {
+            match ctl {
+                Ctl::Snapshot(reply) => {
+                    let _ = reply.send(take_snapshot(&replica, me, transport.stats()));
+                }
+                Ctl::Shutdown => stop = true,
+            }
+        }
+        if stop || !alive.load(Ordering::Relaxed) {
+            break;
+        }
+        while let Some(timer) = timers.pop_due() {
+            let actions = replica.step(Input::Timer(timer));
+            apply_actions_pooled(me, actions, &mut pool, &mut timers, n);
+        }
+        let wait = timers.until_next().unwrap_or(IDLE_POLL).min(IDLE_POLL);
+        // recv_inbound already drains the verdict channel in bursts and
+        // returns the in-order prefix, so no extra DRAIN_BATCH loop.
+        match pool.recv_inbound(wait) {
+            Ok(batch) => {
+                for (payload, verdict) in batch {
+                    deliver_verified(
+                        &mut replica,
+                        payload,
+                        verdict,
+                        &mut pool,
+                        &mut timers,
+                        me,
+                        n,
+                    );
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Shutdown order matters: the transport's readers feed the pool's
+    // forwarder, so kill the transport first, then drain the pool.
+    transport.shutdown();
+    pool.shutdown();
+    alive.store(false, Ordering::Relaxed);
+}
+
+/// Pooled-path [`deliver`]: the payload was already decoded and checked
+/// by a worker; decode our own (thread-local) copy and step with the
+/// worker's verdict so the replica can skip redundant MAC checks.
+fn deliver_verified<S: Service>(
+    replica: &mut Replica<S>,
+    payload: Vec<u8>,
+    verdict: bft_core::AuthVerdict,
+    pool: &mut MacPool,
+    timers: &mut RtTimers<TimerId>,
+    me: ReplicaId,
+    n: usize,
+) {
+    let mut slice = payload.as_slice();
+    let Ok(msg) = Message::decode(&mut slice) else {
+        return;
+    };
+    if !slice.is_empty() {
+        return;
+    }
+    let actions = replica.step_verified(Input::Deliver(msg), verdict);
+    apply_actions_pooled(me, actions, pool, timers, n);
+}
+
+/// Pooled-path [`apply_actions`]: deferred-authenticator messages go to
+/// workers as `(variant, content, nonce)` jobs; everything else encodes
+/// here and enters the same ordered dispatcher as a ready frame.
+fn apply_actions_pooled(
+    me: ReplicaId,
+    actions: Vec<Action>,
+    pool: &mut MacPool,
+    timers: &mut RtTimers<TimerId>,
+    n: usize,
+) {
+    for action in actions {
+        match action {
+            Action::Send { to, msg } => {
+                let dests = resolve_dests(me, &to, n);
+                if dests.is_empty() {
+                    continue;
+                }
+                match msg.deferred_auth_parts() {
+                    Some((variant, content, nonce)) => {
+                        pool.send_deferred(variant, content, nonce, dests)
                     }
-                    Target::Requester(Requester::Client(c)) => {
-                        transport.send(NodeId::Client(c), frame)
-                    }
-                    Target::Requester(Requester::Replica(r)) => {
-                        transport.send(NodeId::Replica(r), frame)
-                    }
-                    Target::Node(node) => transport.send(node, frame),
+                    None => pool.send_ready(Arc::new(frame_bytes(&msg)), dests),
                 }
             }
             Action::SetTimer { id, after } => timers.set(id, after),

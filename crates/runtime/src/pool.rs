@@ -1,0 +1,537 @@
+//! The MAC worker pool: the runtime's multi-core data plane.
+//!
+//! The paper's normal-case cost is dominated by MAC computation (§8.1),
+//! and MACs are embarrassingly parallel per message — but the protocol
+//! state machine is single-threaded by design (messages share `Rc`
+//! bodies and are `!Send`). The pool splits the difference by shipping
+//! *bytes*, never records:
+//!
+//! * **Inbound:** a forwarder thread stamps every checksum-verified
+//!   payload from the transport with a monotonically increasing token
+//!   and round-robins it to a worker. The worker decodes its own copy
+//!   of the message (worker-local; it never crosses a thread), runs
+//!   [`bft_core::preverify`] against its own [`AuthState`] — built from
+//!   the same deterministic [`ClusterKeys`], so key tables agree — and
+//!   returns `(token, payload, verdict)`. [`MacPool::recv_inbound`]
+//!   reorders completions by token, so the protocol thread consumes
+//!   inputs in exact arrival order: the pool changes *where* MACs are
+//!   checked, never the delivery order the replica observes.
+//! * **Outbound:** messages authored with a deferred authenticator
+//!   (nonce-only placeholder, see `Message::deferred_auth_parts`) are
+//!   handed to a worker as `(variant, content bytes, nonce)`. The
+//!   worker computes the per-receiver tags with prebuilt
+//!   [`MacContext`]s, rebuilds the exact wire payload (every message
+//!   encodes `auth` last), frames it, and passes it to a dispatcher
+//!   thread that releases frames to the transport in submission order.
+//!   Ready frames (replies, view-change traffic) flow through the same
+//!   dispatcher with their own tokens, so deferral never reorders a
+//!   node's output stream.
+//!
+//! The pool assumes static session keys: the runtime refuses to enable
+//! it when proactive recovery (key refreshment, §4.3.1) is configured.
+
+use crate::transport::{FrameBuf, Transport};
+use bft_core::authn::AuthState;
+use bft_core::{preverify, AuthVerdict, ClusterKeys, ReplicaConfig};
+use bft_crypto::{Authenticator, MacContext};
+use bft_types::framing::frame_payload;
+use bft_types::{Auth, Message, NodeId, ReplicaId, Wire};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Job {
+    /// Verify one inbound payload's authentication.
+    Verify { token: u64, payload: Vec<u8> },
+    /// Compute a deferred outbound authenticator and assemble the frame.
+    Author {
+        token: u64,
+        variant: u8,
+        content: Vec<u8>,
+        nonce: u64,
+        dests: Vec<NodeId>,
+    },
+}
+
+/// An outbound frame ready for the wire, tagged with its send token.
+struct Outgoing {
+    token: u64,
+    frame: FrameBuf,
+    dests: Vec<NodeId>,
+}
+
+/// Handle owned by the protocol thread. See the module docs.
+pub struct MacPool {
+    job_txs: Vec<Sender<Job>>,
+    next_worker: usize,
+    out_tx: Sender<Outgoing>,
+    verdict_rx: Receiver<(u64, Vec<u8>, AuthVerdict)>,
+    /// Completions that arrived ahead of a still-outstanding token.
+    reorder: BTreeMap<u64, (Vec<u8>, AuthVerdict)>,
+    next_in: u64,
+    next_out: u64,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl MacPool {
+    /// Starts `workers` workers plus the forwarder and dispatcher.
+    /// `raw_rx` is the transport's inbound payload channel; authored and
+    /// ready frames leave through `transport`.
+    pub fn start(
+        workers: usize,
+        me: ReplicaId,
+        config: &ReplicaConfig,
+        keys: &ClusterKeys,
+        raw_rx: Receiver<Vec<u8>>,
+        transport: Arc<Transport>,
+    ) -> MacPool {
+        assert!(workers > 0, "MacPool needs at least one worker");
+        let (verdict_tx, verdict_rx) = mpsc::channel();
+        let (out_tx, out_rx) = mpsc::channel::<Outgoing>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut joins = Vec::new();
+        for w in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            job_txs.push(job_tx);
+            let verdict_tx = verdict_tx.clone();
+            let out_tx = out_tx.clone();
+            let keys = keys.clone();
+            let config = config.clone();
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("pbft-mac-{}-{w}", me.0))
+                    .spawn(move || worker_loop(me, &config, &keys, job_rx, verdict_tx, out_tx))
+                    .expect("spawn mac worker"),
+            );
+        }
+        let forward_txs = job_txs.clone();
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("pbft-fwd-{}", me.0))
+                .spawn(move || forwarder_loop(raw_rx, forward_txs))
+                .expect("spawn forwarder"),
+        );
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("pbft-dispatch-{}", me.0))
+                .spawn(move || dispatcher_loop(out_rx, transport))
+                .expect("spawn dispatcher"),
+        );
+        MacPool {
+            job_txs,
+            next_worker: 0,
+            out_tx,
+            verdict_rx,
+            reorder: BTreeMap::new(),
+            next_in: 0,
+            next_out: 0,
+            joins,
+        }
+    }
+
+    /// Sends a fully authenticated frame; it takes its place in the
+    /// output order behind any deferred frames submitted before it.
+    pub fn send_ready(&mut self, frame: FrameBuf, dests: Vec<NodeId>) {
+        let token = self.next_out;
+        self.next_out += 1;
+        let _ = self.out_tx.send(Outgoing {
+            token,
+            frame,
+            dests,
+        });
+    }
+
+    /// Submits a deferred-authenticator message for worker-side MAC
+    /// computation and frame assembly.
+    pub fn send_deferred(&mut self, variant: u8, content: Vec<u8>, nonce: u64, dests: Vec<NodeId>) {
+        let token = self.next_out;
+        self.next_out += 1;
+        let job = Job::Author {
+            token,
+            variant,
+            content,
+            nonce,
+            dests,
+        };
+        let w = self.next_worker;
+        self.next_worker = (self.next_worker + 1) % self.job_txs.len();
+        let _ = self.job_txs[w].send(job);
+    }
+
+    /// Waits up to `timeout` for verified inbound payloads and returns
+    /// them in arrival order (the forwarder's token order). An empty
+    /// result never occurs: timeouts surface as `Err(Timeout)`.
+    pub fn recv_inbound(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Vec<(Vec<u8>, AuthVerdict)>, RecvTimeoutError> {
+        let ready = self.pop_ready();
+        if !ready.is_empty() {
+            return Ok(ready);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(RecvTimeoutError::Timeout)?;
+            let (token, payload, verdict) = self.verdict_rx.recv_timeout(remaining)?;
+            self.reorder.insert(token, (payload, verdict));
+            while let Ok((t, p, v)) = self.verdict_rx.try_recv() {
+                self.reorder.insert(t, (p, v));
+            }
+            let ready = self.pop_ready();
+            if !ready.is_empty() {
+                return Ok(ready);
+            }
+            // The head-of-line token is still in flight on a worker;
+            // keep waiting for it.
+        }
+    }
+
+    fn pop_ready(&mut self) -> Vec<(Vec<u8>, AuthVerdict)> {
+        let mut ready = Vec::new();
+        while let Some(item) = self.reorder.remove(&self.next_in) {
+            self.next_in += 1;
+            ready.push(item);
+        }
+        ready
+    }
+
+    /// Drains and joins every pool thread. Call *after* the transport
+    /// has shut down (its readers feed the forwarder; joining the
+    /// forwarder first would deadlock on a still-open channel).
+    pub fn shutdown(self) {
+        let MacPool {
+            job_txs,
+            out_tx,
+            verdict_rx,
+            joins,
+            ..
+        } = self;
+        // Closing the job channels stops the workers once the forwarder
+        // (whose inbound channel died with the transport) exits too; the
+        // dispatcher follows when the last worker drops its out sender.
+        drop(job_txs);
+        drop(out_tx);
+        drop(verdict_rx);
+        for join in joins {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Stamps inbound payloads with tokens and round-robins them across
+/// workers. Exits when the transport side of the channel closes.
+fn forwarder_loop(raw_rx: Receiver<Vec<u8>>, job_txs: Vec<Sender<Job>>) {
+    for (token, payload) in raw_rx.iter().enumerate() {
+        let token = token as u64;
+        let w = (token % job_txs.len() as u64) as usize;
+        if job_txs[w].send(Job::Verify { token, payload }).is_err() {
+            return;
+        }
+    }
+}
+
+/// One pool worker: owns an independent [`AuthState`] (same
+/// deterministic key material as the replica) for inbound verification
+/// and per-receiver [`MacContext`]s for outbound authoring.
+fn worker_loop(
+    me: ReplicaId,
+    config: &ReplicaConfig,
+    keys: &ClusterKeys,
+    jobs: Receiver<Job>,
+    verdict_tx: Sender<(u64, Vec<u8>, AuthVerdict)>,
+    out_tx: Sender<Outgoing>,
+) {
+    let auth = AuthState::new(
+        config.auth,
+        NodeId::Replica(me),
+        config.group,
+        config.num_clients,
+        keys,
+    );
+    // Authenticator slot j is MACed under the out key for replica j —
+    // exactly the key list `AuthState::authenticate_multicast` uses.
+    let macs: Vec<MacContext> = (0..config.group.n)
+        .map(|j| MacContext::new(&auth.keys.out_key(j)))
+        .collect();
+    for job in jobs.iter() {
+        match job {
+            Job::Verify { token, payload } => {
+                let verdict = {
+                    let mut slice = payload.as_slice();
+                    match Message::decode(&mut slice) {
+                        // A worker-side decode is this thread's own copy;
+                        // the `!Send` record never leaves the worker.
+                        Ok(msg) if slice.is_empty() => preverify(&auth, &msg),
+                        _ => AuthVerdict::Unverified,
+                    }
+                };
+                // Every Verify job must complete exactly once or the
+                // protocol thread's reorder buffer stalls.
+                if verdict_tx.send((token, payload, verdict)).is_err() {
+                    return;
+                }
+            }
+            Job::Author {
+                token,
+                variant,
+                content,
+                nonce,
+                dests,
+            } => {
+                let nb = nonce.to_le_bytes();
+                let tags = macs.iter().map(|c| c.mac_parts(&[&nb, &content])).collect();
+                // Rebuild the exact wire payload: variant tag, then the
+                // content bytes (every field but auth), then the real
+                // authenticator where the placeholder would have gone.
+                let auth_field = Auth::Authenticator(Authenticator { nonce, tags });
+                let mut payload = Vec::with_capacity(1 + content.len() + 16 + config.group.n * 9);
+                payload.push(variant);
+                payload.extend_from_slice(&content);
+                auth_field.encode(&mut payload);
+                let frame = Arc::new(frame_payload(&payload));
+                if out_tx
+                    .send(Outgoing {
+                        token,
+                        frame,
+                        dests,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Releases outbound frames to the transport in token order, so the
+/// node's output stream is identical to what a single-threaded sender
+/// would have produced.
+fn dispatcher_loop(out_rx: Receiver<Outgoing>, transport: Arc<Transport>) {
+    let mut next = 0u64;
+    let mut pending: BTreeMap<u64, (FrameBuf, Vec<NodeId>)> = BTreeMap::new();
+    for out in out_rx.iter() {
+        pending.insert(out.token, (out.frame, out.dests));
+        while let Some((frame, dests)) = pending.remove(&next) {
+            next += 1;
+            for dest in dests {
+                transport.send(dest, Arc::clone(&frame));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_core::authn::client_node;
+    use bft_core::config::AuthMode;
+    use bft_types::framing::frame_bytes;
+    use bft_types::{AuthContent, Commit, SeqNo, View};
+
+    /// A worker-assembled frame must be byte-identical to the frame of
+    /// the same message authenticated inline with the same nonce —
+    /// receivers cannot tell deferred and inline authentication apart.
+    #[test]
+    fn authored_frame_matches_inline_encoding() {
+        let config = ReplicaConfig::small(1);
+        let keys = ClusterKeys::generate(config.group, config.num_clients, 128, 42);
+        let auth = AuthState::new(
+            AuthMode::Macs,
+            NodeId::Replica(ReplicaId(1)),
+            config.group,
+            config.num_clients,
+            &keys,
+        );
+        let mut inline = Commit {
+            view: View(3),
+            seq: SeqNo(17),
+            digest: bft_crypto::digest(b"batch"),
+            replica: ReplicaId(1),
+            auth: Auth::None,
+        };
+        let nonce = 0xDEAD_BEEF;
+        let real = inline.for_content(|c| {
+            Authenticator::generate(
+                &(0..config.group.n)
+                    .map(|j| auth.keys.out_key(j))
+                    .collect::<Vec<_>>(),
+                nonce,
+                c,
+            )
+        });
+        inline.auth = Auth::Authenticator(real);
+        let expected = frame_bytes(&Message::Commit(inline.clone()));
+
+        // The worker path: placeholder message → (variant, content,
+        // nonce) → MacContext tags → reassembled payload.
+        let mut deferred = inline.clone();
+        deferred.auth = Auth::Authenticator(Authenticator {
+            nonce,
+            tags: Vec::new(),
+        });
+        let (variant, content, got_nonce) = Message::Commit(deferred)
+            .deferred_auth_parts()
+            .expect("placeholder is deferred");
+        assert_eq!(got_nonce, nonce);
+        let macs: Vec<MacContext> = (0..config.group.n)
+            .map(|j| MacContext::new(&auth.keys.out_key(j)))
+            .collect();
+        let nb = got_nonce.to_le_bytes();
+        let tags = macs.iter().map(|c| c.mac_parts(&[&nb, &content])).collect();
+        let mut payload = Vec::new();
+        payload.push(variant);
+        payload.extend_from_slice(&content);
+        Auth::Authenticator(Authenticator {
+            nonce: got_nonce,
+            tags,
+        })
+        .encode(&mut payload);
+        assert_eq!(frame_payload(&payload), expected);
+    }
+
+    /// Inline-authenticated messages (and anything already carrying real
+    /// tags) are not deferred.
+    #[test]
+    fn complete_auth_is_not_deferred() {
+        let config = ReplicaConfig::small(1);
+        let keys = ClusterKeys::generate(config.group, config.num_clients, 128, 42);
+        let mut auth = AuthState::new(
+            AuthMode::Macs,
+            NodeId::Replica(ReplicaId(0)),
+            config.group,
+            config.num_clients,
+            &keys,
+        );
+        let mut c = Commit {
+            view: View(0),
+            seq: SeqNo(1),
+            digest: bft_crypto::digest(b"x"),
+            replica: ReplicaId(0),
+            auth: Auth::None,
+        };
+        assert!(Message::Commit(c.clone()).deferred_auth_parts().is_none());
+        c.auth = auth.authenticate_multicast_msg(&c);
+        assert!(Message::Commit(c).deferred_auth_parts().is_none());
+    }
+
+    /// End-to-end pool sanity: deferred frames reach the transport in
+    /// submission order, interleaved ready frames included, and inbound
+    /// verification verdicts come back in token order.
+    #[test]
+    fn pool_orders_output_and_verifies_input() {
+        use std::net::TcpListener;
+        let config = ReplicaConfig::small(1);
+        let keys = ClusterKeys::generate(config.group, config.num_clients, 128, 42);
+        // A listener-backed transport on the receiving end captures what
+        // the pool's dispatcher emits.
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let receiver = NodeId::Replica(ReplicaId(2));
+        let (recv_tx, recv_rx) = mpsc::channel();
+        let t_recv = Transport::start(receiver, Some(l), vec![], recv_tx);
+        let (send_tx, _send_rx) = mpsc::channel();
+        let t_send = Arc::new(Transport::start(
+            NodeId::Replica(ReplicaId(1)),
+            None,
+            vec![(receiver, addr)],
+            send_tx,
+        ));
+
+        let (raw_tx, raw_rx) = mpsc::channel();
+        let mut pool = MacPool::start(2, ReplicaId(1), &config, &keys, raw_rx, Arc::clone(&t_send));
+
+        // Outbound: two deferred commits with a ready frame between
+        // them. All three must arrive, in submission order.
+        for seq in [1u64, 2] {
+            let c = Commit {
+                view: View(0),
+                seq: SeqNo(seq),
+                digest: bft_crypto::digest(b"x"),
+                replica: ReplicaId(1),
+                auth: Auth::Authenticator(Authenticator {
+                    nonce: seq,
+                    tags: Vec::new(),
+                }),
+            };
+            let (variant, content, nonce) =
+                Message::Commit(c).deferred_auth_parts().expect("deferred");
+            pool.send_deferred(variant, content, nonce, vec![receiver]);
+            if seq == 1 {
+                pool.send_ready(
+                    Arc::new(frame_bytes(&Message::Commit(Commit {
+                        view: View(0),
+                        seq: SeqNo(100),
+                        digest: bft_crypto::digest(b"ready"),
+                        replica: ReplicaId(1),
+                        auth: Auth::None,
+                    }))),
+                    vec![receiver],
+                );
+            }
+        }
+        let mut seqs = Vec::new();
+        for _ in 0..3 {
+            let payload = recv_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("dispatched frame");
+            let mut slice = payload.as_slice();
+            let Ok(Message::Commit(c)) = Message::decode(&mut slice) else {
+                panic!("expected commit");
+            };
+            seqs.push(c.seq.0);
+            if c.seq.0 <= 2 {
+                // Deferred frames carry a full, verifying authenticator.
+                let verifier = AuthState::new(
+                    AuthMode::Macs,
+                    receiver,
+                    config.group,
+                    config.num_clients,
+                    &keys,
+                );
+                assert!(verifier.verify_msg(NodeId::Replica(ReplicaId(1)), &c));
+            }
+        }
+        assert_eq!(seqs, vec![1, 100, 2], "submission order preserved");
+
+        // Inbound: a valid request from a client verifies; a garbage
+        // payload comes back Unverified; order is token order.
+        let mut client_auth = AuthState::new(
+            AuthMode::Macs,
+            client_node(1),
+            config.group,
+            config.num_clients,
+            &keys,
+        );
+        let mut req = bft_types::Request {
+            requester: bft_types::Requester::Client(bft_types::ClientId(1)),
+            timestamp: bft_types::Timestamp(1),
+            operation: bytes::Bytes::from_static(b"op"),
+            read_only: false,
+            replier: None,
+            auth: Auth::None,
+            digest_memo: bft_types::DigestMemo::new(),
+        };
+        req.auth = client_auth.authenticate_multicast_msg(&req);
+        let mut good = Vec::new();
+        Message::Request(req).encode(&mut good);
+        raw_tx.send(good.clone()).unwrap();
+        raw_tx.send(vec![0xFF, 0xFF]).unwrap();
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            got.extend(pool.recv_inbound(Duration::from_secs(5)).expect("verdicts"));
+        }
+        assert_eq!(got[0].0, good);
+        assert_eq!(got[0].1, AuthVerdict::Verified);
+        assert_eq!(got[1].1, AuthVerdict::Unverified);
+
+        t_send.shutdown();
+        drop(raw_tx);
+        pool.shutdown();
+        t_recv.shutdown();
+    }
+}

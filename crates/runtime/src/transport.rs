@@ -15,9 +15,11 @@
 //!   decodes. Outbound, the protocol thread encodes once into an
 //!   `Arc<[u8]>` frame that every destination's queue shares.
 //! * **Connections carry an identity greeting.** The first frame on a
-//!   dialed connection is the dialer's [`NodeId`]. Replicas use it to
-//!   register a return route, which is how replies reach clients that
-//!   are not listed in the topology (they dialed in).
+//!   dialed connection lists the dialer's [`NodeId`] identities (one
+//!   for an ordinary node; many for a multiplexed client driver).
+//!   Replicas use it to register return routes, which is how replies
+//!   reach clients that are not listed in the topology (they dialed
+//!   in).
 //!
 //! Topology-listed peers (replicas) get *persistent* dialers that
 //! reconnect with exponential backoff forever; accepted connections are
@@ -113,6 +115,10 @@ struct DynRoute {
 }
 
 struct Shared {
+    /// Shutdown flag. SeqCst on both sides: workers that insert into
+    /// `socks`/`dynamic` re-check it *after* inserting, and `shutdown`
+    /// sets it *before* draining, so every insert either happens before
+    /// the drain or is cleaned up by its own re-check — never leaked.
     alive: AtomicBool,
     /// Return routes learned from connection greetings.
     dynamic: Mutex<HashMap<NodeId, DynRoute>>,
@@ -121,6 +127,13 @@ struct Shared {
     /// connection's reader removes its entry when the connection dies —
     /// otherwise a flapping peer would leak one fd per reconnect.
     socks: Mutex<HashMap<u64, TcpStream>>,
+    /// Join handles of every worker thread (dialers, acceptor, readers,
+    /// writers, accepted connections). [`Transport::shutdown`] joins
+    /// them all, so no transport thread outlives `shutdown()`'s return.
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Running worker-thread count (shutdown regression tests assert it
+    /// reaches zero). Incremented before spawn, decremented on exit.
+    live_threads: AtomicU64,
     stats: TransportStats,
     next_conn_id: AtomicU64,
 }
@@ -133,6 +146,16 @@ impl Shared {
         if let Ok(clone) = stream.try_clone() {
             self.socks.lock().expect("socks lock").insert(token, clone);
         }
+        // Re-check after inserting: a concurrent `shutdown` may already
+        // have drained the map, in which case this socket missed the
+        // close pass and its reader would block past `stop()`. Close it
+        // here instead.
+        if !self.is_alive() {
+            if let Some(sock) = self.socks.lock().expect("socks lock").remove(&token) {
+                let _ = sock.shutdown(Shutdown::Both);
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         token
     }
 
@@ -141,8 +164,31 @@ impl Shared {
     }
 
     fn is_alive(&self) -> bool {
-        self.alive.load(Ordering::Relaxed)
+        self.alive.load(Ordering::SeqCst)
     }
+}
+
+/// Spawns a transport worker thread registered for shutdown joining.
+fn spawn_worker<F>(shared: &Arc<Shared>, name: String, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    struct Running(Arc<Shared>);
+    impl Drop for Running {
+        fn drop(&mut self) {
+            self.0.live_threads.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    shared.live_threads.fetch_add(1, Ordering::SeqCst);
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let _running = Running(shared2);
+            f()
+        })
+        .expect("spawn transport worker");
+    shared.threads.lock().expect("threads lock").push(handle);
 }
 
 /// The per-node transport endpoint.
@@ -166,10 +212,31 @@ impl Transport {
         peers: Vec<(NodeId, SocketAddr)>,
         inbound: Sender<Vec<u8>>,
     ) -> Transport {
+        Self::start_as(vec![me], listener, peers, inbound)
+    }
+
+    /// [`Transport::start`] for an endpoint that greets as *several*
+    /// identities: the multiplexed client driver runs many logical
+    /// clients over one connection set, and every identity's return
+    /// route must land here. `identities[0]` is the endpoint's primary
+    /// name (used for thread labels and [`Transport::me`]).
+    pub fn start_as(
+        identities: Vec<NodeId>,
+        listener: Option<TcpListener>,
+        peers: Vec<(NodeId, SocketAddr)>,
+        inbound: Sender<Vec<u8>>,
+    ) -> Transport {
+        assert!(!identities.is_empty(), "transport needs an identity");
+        let me = identities[0];
+        // The greeting frame is identical on every connection; build it
+        // once and share it with the dialers.
+        let greeting: Arc<Vec<u8>> = Arc::new(frame_bytes(&identities));
         let shared = Arc::new(Shared {
             alive: AtomicBool::new(true),
             dynamic: Mutex::new(HashMap::new()),
             socks: Mutex::new(HashMap::new()),
+            threads: Mutex::new(Vec::new()),
+            live_threads: AtomicU64::new(0),
             stats: TransportStats::default(),
             next_conn_id: AtomicU64::new(0),
         });
@@ -179,18 +246,17 @@ impl Transport {
             peer_queues.insert(peer, tx);
             let shared2 = Arc::clone(&shared);
             let inbound2 = inbound.clone();
-            std::thread::Builder::new()
-                .name(format!("pbft-dial-{peer:?}"))
-                .spawn(move || dialer_loop(me, addr, rx, inbound2, shared2))
-                .expect("spawn dialer");
+            let greeting2 = Arc::clone(&greeting);
+            spawn_worker(&shared, format!("pbft-dial-{peer:?}"), move || {
+                dialer_loop(&greeting2, addr, rx, inbound2, shared2)
+            });
         }
         if let Some(listener) = listener {
             let shared2 = Arc::clone(&shared);
             let inbound2 = inbound.clone();
-            std::thread::Builder::new()
-                .name(format!("pbft-accept-{me:?}"))
-                .spawn(move || accept_loop(listener, inbound2, shared2))
-                .expect("spawn acceptor");
+            spawn_worker(&shared, format!("pbft-accept-{me:?}"), move || {
+                accept_loop(listener, inbound2, shared2)
+            });
         }
         Transport {
             me,
@@ -231,13 +297,48 @@ impl Transport {
     }
 
     /// Stops the transport: closes every socket (interrupting blocked
-    /// reads) and lets the worker threads unwind. Idempotent.
+    /// reads), then *joins* every worker thread, so when this returns no
+    /// transport thread is running and no socket is registered — a
+    /// dialer mid-reconnect or a reader mid-registration cannot leak
+    /// past it. Idempotent.
     pub fn shutdown(&self) {
-        self.shared.alive.store(false, Ordering::Relaxed);
+        self.shared.alive.store(false, Ordering::SeqCst);
         for (_, sock) in self.shared.socks.lock().expect("socks lock").drain() {
             let _ = sock.shutdown(Shutdown::Both);
         }
         self.shared.dynamic.lock().expect("dynamic lock").clear();
+        // Workers can still be spawning other workers (a dialer that just
+        // connected spawns its reader), so join in passes until one finds
+        // no new handles. Each pass re-drains sockets registered during
+        // the previous joins so their readers unblock. Self-join cannot
+        // happen (shutdown is only called from owner threads), but guard
+        // anyway.
+        let me = std::thread::current().id();
+        loop {
+            let batch: Vec<_> =
+                std::mem::take(&mut *self.shared.threads.lock().expect("threads lock"));
+            if batch.is_empty() {
+                break;
+            }
+            for handle in batch {
+                if handle.thread().id() != me {
+                    let _ = handle.join();
+                }
+            }
+            for (_, sock) in self.shared.socks.lock().expect("socks lock").drain() {
+                let _ = sock.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Residual state after shutdown, for leak regression tests:
+    /// `(live worker threads, registered sockets, dynamic routes)`.
+    pub fn residual_state(&self) -> (u64, usize, usize) {
+        (
+            self.shared.live_threads.load(Ordering::SeqCst),
+            self.shared.socks.lock().expect("socks lock").len(),
+            self.shared.dynamic.lock().expect("dynamic lock").len(),
+        )
     }
 }
 
@@ -257,7 +358,7 @@ fn enqueue(queue: &SyncSender<FrameBuf>, frame: FrameBuf) -> bool {
 /// Persistent dialer: connect (with backoff), greet, then pump the
 /// outbound queue; a reader thread per connection feeds `inbound`.
 fn dialer_loop(
-    me: NodeId,
+    greeting: &[u8],
     addr: SocketAddr,
     rx: Receiver<FrameBuf>,
     inbound: Sender<Vec<u8>>,
@@ -284,6 +385,12 @@ fn dialer_loop(
             continue;
         };
         backoff = BACKOFF_INITIAL;
+        // Connect can race shutdown: the flag may have flipped while we
+        // were inside connect_timeout. Bail before wiring anything up.
+        if !shared.is_alive() {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         shared.stats.connects.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_nodelay(true);
         let token = shared.register_sock(&stream);
@@ -291,13 +398,11 @@ fn dialer_loop(
         if let Ok(read_half) = stream.try_clone() {
             let inbound2 = inbound.clone();
             let shared2 = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("pbft-read".into())
-                .spawn(move || reader_loop(read_half, inbound2, shared2, None))
-                .expect("spawn reader");
+            spawn_worker(&shared, "pbft-read".into(), move || {
+                reader_loop(read_half, inbound2, shared2, None)
+            });
         }
-        let greeting = frame_bytes(&me);
-        if stream.write_all(&greeting).is_ok() {
+        if stream.write_all(greeting).is_ok() {
             pump_frames(stream, &rx, &shared);
         }
         // Connection died; release its fd and loop back to reconnect.
@@ -309,11 +414,28 @@ fn dialer_loop(
 /// the transport dies. Shuts the socket down on exit so the paired
 /// reader unblocks. Shared by dialed connections and accepted-side
 /// return routes.
+///
+/// Frames that queued up while the previous write was in flight are
+/// coalesced into one `write_all`: under load the per-frame syscall is
+/// what saturates a core, and batches of protocol messages (a
+/// pre-prepare plus the prepares and commits behind it) routinely sit
+/// in the queue together. [`COALESCE_BYTES`] bounds the staging buffer;
+/// anything beyond it just waits for the next write.
 fn pump_frames(mut stream: TcpStream, rx: &Receiver<FrameBuf>, shared: &Shared) {
+    const COALESCE_BYTES: usize = 60 * 1024;
+    let mut buf: Vec<u8> = Vec::with_capacity(COALESCE_BYTES);
     loop {
         match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(frame) => {
-                if stream.write_all(&frame).is_err() {
+                buf.clear();
+                buf.extend_from_slice(&frame);
+                while buf.len() < COALESCE_BYTES {
+                    match rx.try_recv() {
+                        Ok(next) => buf.extend_from_slice(&next),
+                        Err(_) => break,
+                    }
+                }
+                if stream.write_all(&buf).is_err() {
                     break;
                 }
             }
@@ -341,10 +463,9 @@ fn accept_loop(listener: TcpListener, inbound: Sender<Vec<u8>>, shared: Arc<Shar
                 let _ = stream.set_nonblocking(false);
                 let inbound2 = inbound.clone();
                 let shared2 = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name("pbft-accepted".into())
-                    .spawn(move || accepted_conn(stream, inbound2, shared2))
-                    .expect("spawn accepted");
+                spawn_worker(&shared, "pbft-accepted".into(), move || {
+                    accepted_conn(stream, inbound2, shared2)
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -364,16 +485,15 @@ fn accept_loop(listener: TcpListener, inbound: Sender<Vec<u8>>, shared: Arc<Shar
 /// dies (unless a newer connection already replaced it).
 fn accepted_conn(stream: TcpStream, inbound: Sender<Vec<u8>>, shared: Arc<Shared>) {
     let conn_id = shared.register_sock(&stream);
-    let mut registered: Option<NodeId> = None;
+    let mut registered: Vec<NodeId> = Vec::new();
     // Writer half: a bounded queue drained onto this socket, installed
     // as the return route once the greeting names the peer.
     let (tx, rx) = mpsc::sync_channel::<FrameBuf>(OUTBOUND_QUEUE);
     if let Ok(write_half) = stream.try_clone() {
         let shared2 = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("pbft-return-writer".into())
-            .spawn(move || pump_frames(write_half, &rx, &shared2))
-            .expect("spawn return writer");
+        spawn_worker(&shared, "pbft-return-writer".into(), move || {
+            pump_frames(write_half, &rx, &shared2)
+        });
     }
     reader_loop(
         stream,
@@ -385,21 +505,23 @@ fn accepted_conn(stream: TcpStream, inbound: Sender<Vec<u8>>, shared: Arc<Shared
             registered: &mut registered,
         }),
     );
-    if let Some(peer) = registered {
-        let mut dynamic = shared.dynamic.lock().expect("dynamic lock");
+    let mut dynamic = shared.dynamic.lock().expect("dynamic lock");
+    for peer in registered {
         if dynamic.get(&peer).map(|r| r.conn_id) == Some(conn_id) {
             dynamic.remove(&peer);
         }
     }
+    drop(dynamic);
     shared.deregister_sock(conn_id);
 }
 
-/// Greeting handling for accepted connections: the first payload is the
-/// dialer's identity and installs the return route.
+/// Greeting handling for accepted connections: the first payload names
+/// the dialer's identity (or identities — a multiplexed client greets
+/// as every logical client it drives) and installs the return routes.
 struct GreetingHook<'a> {
     conn_id: u64,
     queue: SyncSender<FrameBuf>,
-    registered: &'a mut Option<NodeId>,
+    registered: &'a mut Vec<NodeId>,
 }
 
 /// Reads frames off a socket until it dies. With a [`GreetingHook`], the
@@ -428,17 +550,28 @@ fn reader_loop(
                     if let Some(h) = hook.take() {
                         // Greeting frame: identify the dialer.
                         let mut slice = payload.as_slice();
-                        match bft_types::wire::Wire::decode(&mut slice) {
-                            Ok(peer) if slice.is_empty() => {
+                        match <Vec<NodeId> as bft_types::wire::Wire>::decode(&mut slice) {
+                            Ok(ids) if slice.is_empty() && !ids.is_empty() => {
                                 let mut dynamic = shared.dynamic.lock().expect("dynamic lock");
-                                dynamic.insert(
-                                    peer,
-                                    DynRoute {
-                                        conn_id: h.conn_id,
-                                        queue: h.queue,
-                                    },
-                                );
-                                *h.registered = Some(peer);
+                                // Checked under the lock: either this
+                                // insert happens before shutdown's clear
+                                // (which then removes it), or the flag is
+                                // already visible and we drop the
+                                // connection instead of re-registering a
+                                // route after `stop()`.
+                                if !shared.is_alive() {
+                                    break 'conn;
+                                }
+                                for &peer in &ids {
+                                    dynamic.insert(
+                                        peer,
+                                        DynRoute {
+                                            conn_id: h.conn_id,
+                                            queue: h.queue.clone(),
+                                        },
+                                    );
+                                }
+                                *h.registered = ids;
                             }
                             _ => {
                                 shared.stats.framing_errors.fetch_add(1, Ordering::Relaxed);
@@ -534,6 +667,52 @@ mod tests {
         t.send(NodeId::Client(ClientId(9)), Arc::new(vec![1, 2, 3]));
         assert_eq!(t.stats().frames_dropped, 1);
         t.shutdown();
+    }
+
+    /// Regression for the shutdown race: `stop()` used to drain `socks`
+    /// and clear `dynamic` while dialers could still reconnect and
+    /// readers could still register routes, leaking threads and sockets.
+    /// After `shutdown()` returns, every worker thread must have exited
+    /// and no socket or route may remain registered.
+    #[test]
+    fn shutdown_leaves_no_threads_or_sockets() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let server = NodeId::Replica(ReplicaId(0));
+        let client = NodeId::Client(ClientId(5));
+        // A dead peer address keeps one dialer mid-backoff/reconnect for
+        // the whole test — the thread most likely to race `stop()`.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = probe.local_addr().unwrap();
+        drop(probe);
+        let (stx, srx) = mpsc::channel();
+        let (ctx, _crx) = mpsc::channel();
+        let ts = Transport::start(
+            server,
+            Some(l),
+            vec![(NodeId::Replica(ReplicaId(9)), dead_addr)],
+            stx,
+        );
+        let tc = Transport::start(client, None, vec![(server, addr)], ctx);
+        // Establish the accepted connection + dynamic return route.
+        tc.send(server, Arc::new(frame_bytes(&1u64)));
+        let _ = recv_payload(&srx);
+
+        ts.shutdown();
+        assert_eq!(
+            ts.residual_state(),
+            (0, 0, 0),
+            "server: no threads, sockets, or routes after stop()"
+        );
+        tc.shutdown();
+        assert_eq!(
+            tc.residual_state(),
+            (0, 0, 0),
+            "client: no threads, sockets, or routes after stop()"
+        );
+        // Idempotent: a second stop (e.g. from Drop) is a no-op.
+        ts.shutdown();
+        assert_eq!(ts.residual_state(), (0, 0, 0));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! execution shows up in the client's own result stream, not just in
 //! replica state.
 
-use bft_runtime::client::{run_client, LoadMode, Workload};
+use bft_runtime::client::{run_client, run_workers, LoadMode, Workload};
+use bft_runtime::config::Topology;
 use bft_runtime::loopback::LoopbackCluster;
+use bft_runtime::node::spawn_counter_replica;
 use bft_types::{ClientId, ReplicaId};
 use std::time::Duration;
 
@@ -49,20 +51,26 @@ fn normal_case_commits_mixed_workload_with_identical_journals() {
     // Laggards catch up through status retransmission; then all four
     // journals and state digests must be bit-identical.
     let snaps = cluster
-        .wait_converged(Duration::from_secs(30))
+        .wait_converged(Duration::from_secs(60))
         .expect("replicas converge to identical journals");
     assert_eq!(snaps.len(), 4);
     assert!(
         !snaps[0].journal.is_empty(),
         "journals record the executed batches"
     );
-    // 4 clients x 45 writes each executed exactly once.
+    // 4 clients x 45 writes each executed exactly once. A replica that
+    // caught up via state transfer executes fewer requests *locally*,
+    // so the floor applies to the most-executed replica; convergence
+    // above already proved the others hold the same state.
     let total_writes: u64 = 4 * workload.writes();
+    let max_executed = snaps
+        .iter()
+        .map(|s| s.stats.requests_executed)
+        .max()
+        .unwrap();
     assert!(
-        snaps
-            .iter()
-            .all(|s| s.stats.requests_executed >= total_writes),
-        "every replica executed the full workload"
+        max_executed >= total_writes,
+        "the full workload was executed ({max_executed} < {total_writes})"
     );
     cluster.shutdown();
 }
@@ -107,13 +115,132 @@ fn primary_kill_triggers_view_change_and_workload_completes() {
         assert_counter_sequence(&workload, &r.results);
     }
     let snaps = cluster
-        .wait_converged(Duration::from_secs(30))
+        .wait_converged(Duration::from_secs(60))
         .expect("surviving replicas converge");
     assert_eq!(snaps.len(), 3, "replica 0 stays dead");
     assert!(
         snaps.iter().all(|s| s.view >= 1 && s.view_active),
         "the cluster moved past the dead primary's view: views {:?}",
         snaps.iter().map(|s| s.view).collect::<Vec<_>>()
+    );
+    cluster.shutdown();
+}
+
+/// Equivalence of the threaded (MAC-pool) driver and the direct
+/// single-threaded step loop, checked the strongest way available on a
+/// real network: a *mixed* cluster where replicas 0 and 2 run the
+/// worker pool (off-thread verification, deferred outbound
+/// authenticators) while replicas 1 and 3 run the plain deterministic
+/// path. All four see the same live traffic; if the pooled driver
+/// reordered inputs, dropped a verification, or emitted a frame a
+/// direct replica cannot verify, the committed journals or state
+/// digests would diverge.
+#[test]
+fn pooled_and_direct_replicas_commit_identical_journals() {
+    let listeners: Vec<std::net::TcpListener> = (0..4)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let mut topo = Topology::localhost(1, 3, 1);
+    topo.replicas = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect();
+    topo.checkpoint_interval = 16;
+    topo.pipeline_depth = 8;
+    let nodes: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let mut t = topo.clone();
+            t.workers = if i % 2 == 0 { 2 } else { 0 };
+            spawn_counter_replica(ReplicaId(i as u32), t, listener)
+        })
+        .collect();
+
+    let workload = Workload::closed(60);
+    let ids: Vec<ClientId> = (0..3).map(ClientId).collect();
+    let outcomes = run_workers(&ids, |c| run_client(c, &topo, &workload, DEADLINE));
+    for (c, outcome) in outcomes {
+        let report = outcome.unwrap_or_else(|why| panic!("client {} died: {why}", c.0));
+        assert_eq!(report.completed, 60, "client {} fell short", c.0);
+        assert_counter_sequence(&workload, &report.results);
+    }
+
+    // Laggards catch up through status retransmission; then pooled and
+    // direct replicas must agree bit for bit.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let snaps: Vec<_> = nodes.iter().filter_map(|n| n.snapshot()).collect();
+        assert_eq!(snaps.len(), 4, "all replicas stay alive");
+        LoopbackCluster::check_journal_agreement(&snaps).expect("journals never diverge");
+        let identical = snaps.windows(2).all(|w| {
+            w[0].committed_journal() == w[1].committed_journal()
+                && w[0].state_digest == w[1].state_digest
+        });
+        if identical {
+            assert!(!snaps[0].committed_journal().is_empty());
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mixed cluster failed to converge: {:?}",
+            snaps
+                .iter()
+                .map(|s| (s.id.0, s.committed_frontier))
+                .collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    for mut node in nodes {
+        node.kill();
+    }
+}
+
+/// The §5.1.4 pipelining satellite: with `pipeline_depth > 1` and the
+/// MAC pool on, a forced client-retransmission storm (timeout far below
+/// the loaded round trip) must still execute every operation exactly
+/// once — the counter sequence proves it client-side, the write count
+/// replica-side.
+#[test]
+fn pipelined_pooled_cluster_is_exactly_once_under_retransmit_storm() {
+    let cluster = LoopbackCluster::start_tuned(1, 4, 2, Some(8));
+    assert_eq!(cluster.topo.workers, 2);
+    assert_eq!(cluster.topo.pipeline_depth, 8);
+    let workload = Workload {
+        ops: 40,
+        op_bytes: 128,
+        read_every: 4,
+        mode: LoadMode::Closed {
+            think: Duration::ZERO,
+        },
+        retransmit: Some(Duration::from_millis(2)),
+    };
+    let reports = cluster.run_clients(4, workload.clone(), DEADLINE);
+    let mut any_retransmitted = 0u64;
+    for r in &reports {
+        assert_eq!(r.completed, 40, "client {} fell short", r.client.0);
+        any_retransmitted += r.retransmitted;
+        assert_counter_sequence(&workload, &r.results);
+    }
+    assert!(
+        any_retransmitted > 0,
+        "the tiny timeout must actually force retransmissions"
+    );
+    let snaps = cluster
+        .wait_converged(Duration::from_secs(60))
+        .expect("pipelined cluster converges after the storm");
+    // Replica-side exactly-once: the most-executed replica (one that
+    // never state-transferred) saw every write exactly once; the rest
+    // converged to the same state digest above.
+    let expected_writes = 4 * workload.writes();
+    let max_executed = snaps
+        .iter()
+        .map(|s| s.stats.requests_executed)
+        .max()
+        .unwrap();
+    assert!(
+        max_executed >= expected_writes,
+        "executed {max_executed} < {expected_writes}"
     );
     cluster.shutdown();
 }
@@ -146,18 +273,21 @@ fn forced_client_retransmission_preserves_exactly_once() {
         "the tiny timeout must actually force retransmissions"
     );
     let snaps = cluster
-        .wait_converged(Duration::from_secs(30))
+        .wait_converged(Duration::from_secs(60))
         .expect("replicas converge after the retransmission storm");
     // Exactly-once on the replica side too: write count matches the
-    // workload despite duplicate deliveries.
+    // workload despite duplicate deliveries (max over replicas — one
+    // that state-transferred executes fewer locally but converged to
+    // the same state above).
     let expected_writes = 2 * workload.writes();
-    for s in &snaps {
-        assert!(
-            s.stats.requests_executed >= expected_writes,
-            "replica {} executed {} < {expected_writes}",
-            s.id.0,
-            s.stats.requests_executed
-        );
-    }
+    let max_executed = snaps
+        .iter()
+        .map(|s| s.stats.requests_executed)
+        .max()
+        .unwrap();
+    assert!(
+        max_executed >= expected_writes,
+        "executed {max_executed} < {expected_writes}"
+    );
     cluster.shutdown();
 }

@@ -134,6 +134,24 @@ pub fn frame_bytes<M: Wire>(msg: &M) -> Vec<u8> {
     buf
 }
 
+/// Frames an already-encoded payload. Byte-identical to [`frame_bytes`]
+/// of the message the payload encodes — this is how the runtime's MAC
+/// workers frame payloads they assembled themselves (message content
+/// plus a freshly computed authenticator) without holding the `!Send`
+/// message record.
+pub fn frame_payload(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD,
+        "outgoing frame exceeds MAX_FRAME_PAYLOAD"
+    );
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
 /// An incremental frame parser over an arbitrary byte stream.
 ///
 /// Feed bytes in with [`FrameDecoder::extend`] as the transport delivers

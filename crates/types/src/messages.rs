@@ -1188,6 +1188,60 @@ impl Message {
     pub fn wire_size(&self) -> usize {
         self.wire_len()
     }
+
+    /// For a message carrying a *deferred* multicast authenticator — an
+    /// [`Authenticator`] placeholder with a nonce but an empty tag
+    /// vector, produced by a sender whose MAC computation is offloaded
+    /// to a worker pool — returns `(variant tag, content bytes, nonce)`.
+    ///
+    /// Every `message_struct!` type encodes its `auth` field last, so a
+    /// worker can rebuild the exact wire payload as
+    /// `[variant tag] ++ content ++ encode(Auth::Authenticator(real))`
+    /// once it has computed the tags. Returns `None` for messages whose
+    /// authentication is already complete (any non-empty auth, or
+    /// `Auth::None`), which the sender encodes inline as usual.
+    ///
+    /// A placeholder that escapes unpatched is safe: verification of an
+    /// empty tag vector fails at every receiver.
+    pub fn deferred_auth_parts(&self) -> Option<(u8, Vec<u8>, u64)> {
+        macro_rules! check {
+            ($($tag:literal => $variant:ident),+ $(,)?) => {
+                match self {
+                    $(Message::$variant(m) => {
+                        match m.auth_field() {
+                            Auth::Authenticator(a) if a.tags.is_empty() => {
+                                Some(($tag, m.content_bytes(), a.nonce))
+                            }
+                            _ => None,
+                        }
+                    })+
+                }
+            };
+        }
+        check!(
+            0 => Request,
+            1 => Reply,
+            2 => PrePrepare,
+            3 => Prepare,
+            4 => Commit,
+            5 => Checkpoint,
+            6 => ViewChange,
+            7 => ViewChangeAck,
+            8 => NewView,
+            9 => NotCommitted,
+            10 => NotCommittedPrimary,
+            11 => ViewChangePk,
+            12 => NewViewPk,
+            13 => StatusActive,
+            14 => StatusPending,
+            15 => Fetch,
+            16 => MetaData,
+            17 => Data,
+            18 => NewKey,
+            19 => QueryStable,
+            20 => ReplyStable,
+        )
+    }
 }
 
 #[cfg(test)]
