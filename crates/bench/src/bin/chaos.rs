@@ -5,26 +5,34 @@
 //! Usage:
 //!   cargo run -p bft-bench --release --bin chaos -- --seeds 50
 //!   cargo run -p bft-bench --release --bin chaos -- --seed 7 [--only 1,4]
+//!   cargo run -p bft-bench --release --bin chaos -- --realnet --seeds 10
 //!   cargo run -p bft-bench --release --bin chaos -- --smoke
 //!
 //! Flags:
 //!   --seeds N            run the campaign over seeds 0..N
 //!   --seed S             run (and print) one seed's full plan and report
 //!   --only a,b,c         restrict the seed's plan to the listed episodes
+//!   --realnet            replay schedules against a live loopback TCP
+//!                        cluster (real sockets, real clock) instead of
+//!                        the virtual-time simulator
 //!   --inject-violation   add the deliberate journal-tamper episode
 //!   --verify-oracle      prove the oracle catches an injected violation
 //!                        and the shrinker isolates it (exits 1 otherwise)
 //!   --smoke              CI mode: a short campaign plus --verify-oracle
+//!                        (with --realnet: fewer seeds, reduced workload)
 //!   --debug              with --seed: dump per-replica diagnostics
+//!                        (simulator mode only)
 //!   --fail-dir PATH      write failing shrunk schedules here (default
 //!                        chaos-failures/ at the workspace root, resolved
 //!                        via CARGO_MANIFEST_DIR so the cwd is irrelevant)
 //!
 //! A failing seed is shrunk by delta debugging over whole fault episodes
 //! and written to the fail dir as a replayable one-liner plus the minimal
-//! schedule; the process exits nonzero.
+//! schedule; the process exits nonzero. Realnet failures shrink through
+//! the same delta debugging with live replays as the failure predicate.
 
-use bft_sim::chaos::{debug_run, run_plan, shrink, ChaosAction, ChaosPlan};
+use bft_bench::realnet_chaos::{run_realnet_plan, RealnetOpts, RealnetReport};
+use bft_sim::chaos::{debug_run, run_plan, shrink, shrink_with, ChaosAction, ChaosPlan};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -32,6 +40,7 @@ struct Args {
     seeds: Option<u64>,
     seed: Option<u64>,
     only: Option<Vec<u32>>,
+    realnet: bool,
     inject_violation: bool,
     verify_oracle: bool,
     smoke: bool,
@@ -44,6 +53,7 @@ fn parse_args() -> Args {
         seeds: None,
         seed: None,
         only: None,
+        realnet: false,
         inject_violation: false,
         verify_oracle: false,
         smoke: false,
@@ -66,6 +76,7 @@ fn parse_args() -> Args {
                         .collect(),
                 )
             }
+            "--realnet" => args.realnet = true,
             "--inject-violation" => args.inject_violation = true,
             "--verify-oracle" => args.verify_oracle = true,
             "--smoke" => args.smoke = true,
@@ -80,11 +91,12 @@ fn parse_args() -> Args {
     args
 }
 
-fn plan_for(seed: u64, inject: bool, only: &Option<Vec<u32>>) -> ChaosPlan {
-    let plan = if inject {
-        ChaosPlan::generate_with_violation(seed)
-    } else {
-        ChaosPlan::generate(seed)
+fn plan_for(seed: u64, realnet: bool, inject: bool, only: &Option<Vec<u32>>) -> ChaosPlan {
+    let plan = match (realnet, inject) {
+        (false, false) => ChaosPlan::generate(seed),
+        (false, true) => ChaosPlan::generate_with_violation(seed),
+        (true, false) => ChaosPlan::generate_realnet(seed),
+        (true, true) => ChaosPlan::generate_realnet_with_violation(seed),
     };
     match only {
         Some(eps) => plan.filter_episodes(eps),
@@ -92,10 +104,34 @@ fn plan_for(seed: u64, inject: bool, only: &Option<Vec<u32>>) -> ChaosPlan {
     }
 }
 
+/// Live-replay knobs: the smoke campaign trims the workload so a CI
+/// run stays in wall-clock budget; the full soak keeps the plan's own
+/// workload shape.
+fn realnet_opts(smoke: bool) -> RealnetOpts {
+    if smoke {
+        RealnetOpts {
+            ops_per_client: Some(12),
+            think_us: Some(5_000),
+            ..RealnetOpts::default()
+        }
+    } else {
+        RealnetOpts::default()
+    }
+}
+
+fn print_realnet_report(report: &RealnetReport) {
+    for s in &report.skipped {
+        println!("    skipped: {s}");
+    }
+    for v in &report.violations {
+        println!("    {v}");
+    }
+}
+
 /// Runs one seed; on failure, shrinks and records the minimal schedule.
 /// Returns true when the oracle held.
 fn run_seed(seed: u64, inject: bool, fail_dir: &str) -> bool {
-    let plan = plan_for(seed, inject, &None);
+    let plan = plan_for(seed, false, inject, &None);
     let t0 = Instant::now();
     let report = run_plan(&plan);
     let ms = t0.elapsed().as_millis();
@@ -135,6 +171,96 @@ fn run_seed(seed: u64, inject: bool, fail_dir: &str) -> bool {
         println!("  written to {path}");
     }
     false
+}
+
+/// [`run_seed`] against the live loopback cluster: same report shape,
+/// same fail-file format, but the shrinker's failure predicate replays
+/// candidate schedules over real sockets.
+fn run_seed_realnet(seed: u64, fail_dir: &str, opts: &RealnetOpts) -> bool {
+    let plan = plan_for(seed, true, false, &None);
+    let t0 = Instant::now();
+    let report = run_realnet_plan(&plan, opts);
+    let ms = t0.elapsed().as_millis();
+    if report.ok {
+        println!(
+            "seed {seed:>4}: ok   ({} ops, {} retransmitted, view {}, {} faults live, \
+             {} skipped, {ms}ms)",
+            report.ops_completed,
+            report.ops_retransmitted,
+            report.final_view,
+            report.applied.len(),
+            report.skipped.len(),
+        );
+        return true;
+    }
+    println!(
+        "seed {seed:>4}: FAIL ({} violations, {ms}ms)",
+        report.violations.len()
+    );
+    print_realnet_report(&report);
+    let minimal = shrink_with(&plan, |p| !run_realnet_plan(p, opts).ok);
+    let min_report = run_realnet_plan(&minimal, opts);
+    let mut text = String::new();
+    text.push_str(&format!(
+        "seed {seed} failed the realnet chaos oracle\n\nviolations:\n"
+    ));
+    for v in &min_report.violations {
+        text.push_str(&format!("  {v}\n"));
+    }
+    text.push_str(&format!("\nminimal schedule:\n{minimal}"));
+    text.push_str(&format!(
+        "\nreproduce with:\n  {}\n",
+        minimal.repro_command()
+    ));
+    print!("{text}");
+    let _ = std::fs::create_dir_all(fail_dir);
+    let path = format!("{fail_dir}/realnet_seed_{seed}.txt");
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(text.as_bytes());
+        println!("  written to {path}");
+    }
+    false
+}
+
+/// [`verify_oracle`] against the live cluster: the deferred journal
+/// tamper must surface as a safety violation and live-replay shrinking
+/// must isolate the tamper episode.
+fn verify_oracle_realnet(seed: u64, opts: &RealnetOpts) -> bool {
+    let plan = ChaosPlan::generate_realnet_with_violation(seed);
+    let report = run_realnet_plan(&plan, opts);
+    if report.ok {
+        eprintln!("verify-oracle (realnet): injected violation NOT caught for seed {seed}");
+        return false;
+    }
+    if !report.violations.iter().any(|v| v.starts_with("safety:")) {
+        eprintln!(
+            "verify-oracle (realnet): violation caught but not as a safety violation: {:?}",
+            report.violations
+        );
+        return false;
+    }
+    let minimal = shrink_with(&plan, |p| !run_realnet_plan(p, opts).ok);
+    let eps = minimal.episodes();
+    let tamper_only = eps.len() == 1
+        && minimal
+            .events
+            .iter()
+            .all(|e| matches!(e.action, ChaosAction::TamperJournal { .. }));
+    if !tamper_only {
+        eprintln!(
+            "verify-oracle (realnet): shrink left {} episodes ({} events), expected the \
+             tamper alone:\n{minimal}",
+            eps.len(),
+            minimal.events.len()
+        );
+        return false;
+    }
+    println!(
+        "verify-oracle (realnet) seed {seed}: violation caught live and shrunk to the \
+         single tamper event ({})",
+        minimal.repro_command()
+    );
+    true
 }
 
 /// Proves the oracle and shrinker work: an injected journal tamper must
@@ -178,39 +304,74 @@ fn verify_oracle(seed: u64) -> bool {
 fn main() {
     let args = parse_args();
     let mut ok = true;
+    let opts = realnet_opts(args.smoke);
 
     if let Some(seed) = args.seed {
-        let plan = plan_for(seed, args.inject_violation, &args.only);
+        let plan = plan_for(seed, args.realnet, args.inject_violation, &args.only);
         print!("{plan}");
-        if args.debug {
-            print!("{}", debug_run(&plan));
+        if args.realnet {
+            let report = run_realnet_plan(&plan, &opts);
+            println!(
+                "result: {} ({} ops, {} retransmitted, final view {}, {} faults live, \
+                 {} skipped, {:.1}s)",
+                if report.ok { "ok" } else { "FAIL" },
+                report.ops_completed,
+                report.ops_retransmitted,
+                report.final_view,
+                report.applied.len(),
+                report.skipped.len(),
+                report.wall.as_secs_f64(),
+            );
+            print_realnet_report(&report);
+            if !report.ok && args.only.is_none() {
+                let minimal = shrink_with(&plan, |p| !run_realnet_plan(p, &opts).ok);
+                println!("minimal schedule:\n{minimal}");
+                println!("reproduce with: {}", minimal.repro_command());
+            }
+            ok &= report.ok;
+        } else {
+            if args.debug {
+                print!("{}", debug_run(&plan));
+            }
+            let report = run_plan(&plan);
+            println!(
+                "result: {} ({} ops, {} retransmitted, final view {})",
+                if report.ok { "ok" } else { "FAIL" },
+                report.ops_completed,
+                report.ops_retransmitted,
+                report.final_view
+            );
+            for v in &report.violations {
+                println!("  {v}");
+            }
+            println!("fingerprint: {}", report.fingerprint);
+            if !report.ok && args.only.is_none() {
+                let minimal = shrink(&plan);
+                println!("minimal schedule:\n{minimal}");
+                println!("reproduce with: {}", minimal.repro_command());
+            }
+            ok &= report.ok;
         }
-        let report = run_plan(&plan);
-        println!(
-            "result: {} ({} ops, {} retransmitted, final view {})",
-            if report.ok { "ok" } else { "FAIL" },
-            report.ops_completed,
-            report.ops_retransmitted,
-            report.final_view
-        );
-        for v in &report.violations {
-            println!("  {v}");
-        }
-        println!("fingerprint: {}", report.fingerprint);
-        if !report.ok && args.only.is_none() {
-            let minimal = shrink(&plan);
-            println!("minimal schedule:\n{minimal}");
-            println!("reproduce with: {}", minimal.repro_command());
-        }
-        ok &= report.ok;
     }
 
-    let seeds = args.seeds.unwrap_or(if args.smoke { 6 } else { 0 });
+    // A live replay costs real wall-clock seconds per seed, so the
+    // realnet smoke covers fewer seeds than the simulator smoke.
+    let default_seeds = match (args.smoke, args.realnet) {
+        (true, true) => 3,
+        (true, false) => 6,
+        (false, _) => 0,
+    };
+    let seeds = args.seeds.unwrap_or(default_seeds);
     if seeds > 0 {
         let t0 = Instant::now();
         let mut failures = 0u64;
         for seed in 0..seeds {
-            if !run_seed(seed, false, &args.fail_dir) {
+            let green = if args.realnet {
+                run_seed_realnet(seed, &args.fail_dir, &opts)
+            } else {
+                run_seed(seed, false, &args.fail_dir)
+            };
+            if !green {
                 failures += 1;
             }
         }
@@ -223,7 +384,11 @@ fn main() {
     }
 
     if args.verify_oracle || args.smoke {
-        ok &= verify_oracle(1);
+        ok &= if args.realnet {
+            verify_oracle_realnet(1, &opts)
+        } else {
+            verify_oracle(1)
+        };
     }
 
     if args.seed.is_none() && seeds == 0 && !args.verify_oracle && !args.smoke {

@@ -105,20 +105,7 @@ fn run_case(case: &Case) -> Outcome {
     // Safety oracle: the experiment only counts if the replicas agree.
     let snaps = cluster
         .wait_converged(Duration::from_secs(60))
-        .unwrap_or_else(|| {
-            for s in cluster.snapshots() {
-                eprintln!(
-                    "stalled r{}: view={} active={} last_exec={} frontier={} executed={}",
-                    s.id.0,
-                    s.view,
-                    s.view_active,
-                    s.last_exec.0,
-                    s.committed_frontier.0,
-                    s.stats.requests_executed
-                );
-            }
-            panic!("{}: replicas failed to converge", case.id);
-        });
+        .unwrap_or_else(|diag| panic!("{}: {diag}", case.id));
     assert_eq!(snaps.len(), 4);
     cluster.shutdown();
     latencies.sort_unstable();

@@ -9,6 +9,8 @@ use bft_sim::scenarios::{self, MicroOp};
 use bft_types::SimDuration;
 use std::time::Instant;
 
+pub mod realnet_chaos;
+
 /// Prints a table header.
 pub fn header(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");

@@ -1,0 +1,327 @@
+//! The real-network chaos executor: replays a simulator [`ChaosPlan`]
+//! against a live [`LoopbackCluster`] over real TCP sockets.
+//!
+//! The simulator proves the protocol under adversarial schedules in
+//! virtual time; this module proves the *runtime* under the same seeded
+//! schedules in wall-clock time. A plan's virtual microseconds are read
+//! one-to-one as real microseconds: the controller (the calling thread)
+//! walks the event list, sleeping until each event's offset from the
+//! run start, and applies it to the live cluster — partitions, link
+//! degradation, and isolation through the transport's [`FaultPlane`];
+//! crashes and restarts through [`LoopbackCluster::kill`] and
+//! [`LoopbackCluster::restart`]; retransmit storms through the clients'
+//! [`StormSignal`]. Actions with no live analogue (Byzantine behavior
+//! swaps, page corruption, proactive recovery — the runtime replica has
+//! no behavior hooks) are skipped and recorded, never silently dropped.
+//!
+//! The oracle is the same four checks the simulator evaluates:
+//!
+//! 1. **Journal agreement** — after the post-schedule convergence wait,
+//!    every pair of committed journals agrees wherever they overlap.
+//! 2. **Exactly-once** — each client's k-th completed INC returned
+//!    exactly k (the counter service keeps per-client counters).
+//! 3. **Read-your-writes** — every GET returned exactly the number of
+//!    INCs that client completed before it.
+//! 4. **Liveness** — every client finished its workload before the
+//!    deadline and the cluster converged afterwards.
+//!
+//! A `TamperJournal` event is the deliberate safety violation used to
+//! validate the oracle: it cannot corrupt a live replica's memory, so
+//! it is applied *at evaluation time* — the target's converged snapshot
+//! gets one committed digest flipped before journal agreement runs.
+//! That exercises the same detection path a real divergence would.
+//!
+//! Determinism caveat: the *schedule* replays exactly (same seed, same
+//! events, same offsets), but the live interleaving under it does not —
+//! real sockets and real threads race. A failing seed reproduces the
+//! same adversarial conditions, not the same packet trace.
+//!
+//! [`ChaosPlan`]: bft_sim::chaos::ChaosPlan
+
+use bft_runtime::{
+    run_client_with, ClientHooks, ClientReport, ConvergeFailure, FaultPlane, LoadMode,
+    LoopbackCluster, Snapshot, StormSignal, Workload,
+};
+use bft_sim::chaos::{ChaosAction, ChaosPlan};
+use bft_types::{ClientId, NodeId, ReplicaId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for one live replay. The plan carries the workload shape the
+/// simulator used; tests override it to keep debug-build runs short.
+#[derive(Clone, Debug)]
+pub struct RealnetOpts {
+    /// Override of the plan's operations per client.
+    pub ops_per_client: Option<u64>,
+    /// Override of the plan's client think time, µs.
+    pub think_us: Option<u64>,
+    /// How long to wait for post-schedule convergence.
+    pub converge_timeout: Duration,
+    /// Hard per-client workload deadline (liveness bound).
+    pub deadline: Duration,
+}
+
+impl Default for RealnetOpts {
+    fn default() -> Self {
+        RealnetOpts {
+            ops_per_client: None,
+            think_us: None,
+            converge_timeout: Duration::from_secs(30),
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What one live replay observed; mirrors the simulator's `ChaosReport`
+/// so the chaos binary prints both the same way.
+#[derive(Clone, Debug)]
+pub struct RealnetReport {
+    /// Did every oracle check hold?
+    pub ok: bool,
+    /// Oracle violations (`safety:` / `liveness:` / per-client).
+    pub violations: Vec<String>,
+    /// Actions applied to the live cluster, in order.
+    pub applied: Vec<String>,
+    /// Actions with no live analogue, skipped with a note.
+    pub skipped: Vec<String>,
+    /// Operations completed across all clients.
+    pub ops_completed: u64,
+    /// Operations that needed at least one retransmission.
+    pub ops_retransmitted: u64,
+    /// First live replica's view at the end (view churn witness).
+    pub final_view: u64,
+    /// Wall time for the whole replay, oracle included.
+    pub wall: Duration,
+}
+
+/// Replays `plan` against a fresh loopback cluster and evaluates the
+/// oracle. Never panics on oracle violations — those come back in the
+/// report so `shrink_with` can minimize the schedule.
+pub fn run_realnet_plan(plan: &ChaosPlan, opts: &RealnetOpts) -> RealnetReport {
+    let started = Instant::now();
+    let plane = FaultPlane::new(plan.seed);
+    let storm = StormSignal::new(plan.clients);
+    let mut cluster =
+        LoopbackCluster::start_chaos(1, plan.clients, Some(Arc::clone(&plane)), |_| {});
+    // Clients borrow a topology clone so the controller below keeps the
+    // exclusive borrow it needs for kill/restart.
+    let topo = cluster.topo.clone();
+
+    let workload = Workload {
+        ops: opts.ops_per_client.unwrap_or(plan.ops_per_client),
+        op_bytes: 64,
+        read_every: plan.read_every,
+        mode: LoadMode::Closed {
+            think: Duration::from_micros(opts.think_us.unwrap_or(plan.think_us)),
+        },
+        retransmit: None,
+    };
+    let hooks = ClientHooks {
+        faults: Some(Arc::clone(&plane)),
+        storm: Some(Arc::clone(&storm)),
+    };
+
+    let mut applied = Vec::new();
+    let mut skipped = Vec::new();
+    let mut tampered: Vec<u32> = Vec::new();
+
+    // Client workers run the workload on scoped threads while this
+    // thread is the chaos controller: sleep to each event's wall-clock
+    // offset, apply it to the live cluster.
+    let ids: Vec<ClientId> = (0..plan.clients).map(ClientId).collect();
+    let outcomes: Vec<(ClientId, Result<ClientReport, String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&c| {
+                let (topo, workload, hooks) = (&topo, &workload, &hooks);
+                (
+                    c,
+                    scope.spawn(move || run_client_with(c, topo, workload, opts.deadline, hooks)),
+                )
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        for ev in &plan.events {
+            let due = t0 + Duration::from_micros(ev.at.0);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            match &ev.action {
+                ChaosAction::Partition(groups) => {
+                    let groups: Vec<Vec<NodeId>> = groups
+                        .iter()
+                        .map(|g| g.iter().map(|&r| NodeId::Replica(ReplicaId(r))).collect())
+                        .collect();
+                    plane.partition(&groups);
+                    applied.push(ev.action.to_string());
+                }
+                ChaosAction::HealPartition => {
+                    plane.heal_partition();
+                    applied.push(ev.action.to_string());
+                }
+                ChaosAction::DegradeLink { from, to, profile } => {
+                    plane.set_link(
+                        NodeId::Replica(ReplicaId(*from)),
+                        NodeId::Replica(ReplicaId(*to)),
+                        *profile,
+                    );
+                    applied.push(ev.action.to_string());
+                }
+                ChaosAction::RestoreLink { from, to } => {
+                    plane.clear_link(
+                        NodeId::Replica(ReplicaId(*from)),
+                        NodeId::Replica(ReplicaId(*to)),
+                    );
+                    applied.push(ev.action.to_string());
+                }
+                ChaosAction::Isolate { replica } => {
+                    plane.isolate(NodeId::Replica(ReplicaId(*replica)));
+                    applied.push(ev.action.to_string());
+                }
+                ChaosAction::Reconnect { replica } => {
+                    plane.reconnect(NodeId::Replica(ReplicaId(*replica)));
+                    applied.push(ev.action.to_string());
+                }
+                ChaosAction::Crash { replica } => {
+                    cluster.kill(ReplicaId(*replica));
+                    applied.push(ev.action.to_string());
+                }
+                ChaosAction::Restart { replica } => {
+                    cluster.restart(ReplicaId(*replica));
+                    applied.push(ev.action.to_string());
+                }
+                ChaosAction::RetransmitStorm { clients } => {
+                    storm.trigger(*clients);
+                    applied.push(ev.action.to_string());
+                }
+                ChaosAction::TamperJournal { replica } => {
+                    tampered.push(*replica);
+                    applied.push(format!("{} (deferred to evaluation)", ev.action));
+                }
+                other @ (ChaosAction::Byzantine { .. }
+                | ChaosAction::RestoreCorrect { .. }
+                | ChaosAction::CorruptPage { .. }
+                | ChaosAction::ForceRecovery { .. }) => {
+                    skipped.push(format!("{other} (no live analogue)"));
+                }
+            }
+        }
+
+        handles
+            .into_iter()
+            .map(|(c, h)| {
+                (
+                    c,
+                    h.join().map_err(|_| "client worker panicked".to_string()),
+                )
+            })
+            .collect()
+    });
+
+    let mut violations = Vec::new();
+    let mut ops_completed = 0;
+    let mut ops_retransmitted = 0;
+    for (c, outcome) in &outcomes {
+        match outcome {
+            Ok(report) => {
+                ops_completed += report.completed;
+                ops_retransmitted += report.retransmitted;
+                if report.completed < workload.ops {
+                    violations.push(format!(
+                        "liveness: client {} completed {}/{} operations before the deadline",
+                        c.0, report.completed, workload.ops
+                    ));
+                }
+                check_counter_sequence(c.0, &workload, report, &mut violations);
+            }
+            Err(why) => violations.push(format!("client {} worker died: {why}", c.0)),
+        }
+    }
+
+    let final_view;
+    match cluster.try_wait_converged(opts.converge_timeout) {
+        Ok(mut snaps) => {
+            final_view = snaps.first().map(|s| s.view).unwrap_or(0);
+            apply_tampers(&mut snaps, &tampered);
+            if let Err(divergence) = LoopbackCluster::check_journal_agreement(&snaps) {
+                violations.push(format!("safety: {divergence}"));
+            }
+        }
+        Err(ConvergeFailure::Safety(divergence)) => {
+            final_view = 0;
+            violations.push(format!("safety: {divergence}"));
+        }
+        Err(ConvergeFailure::Timeout(diag)) => {
+            final_view = diag.snaps.first().map(|s| s.view).unwrap_or(0);
+            violations.push(format!("liveness: {diag}"));
+        }
+    }
+    cluster.shutdown();
+
+    RealnetReport {
+        ok: violations.is_empty(),
+        violations,
+        applied,
+        skipped,
+        ops_completed,
+        ops_retransmitted,
+        final_view,
+        wall: started.elapsed(),
+    }
+}
+
+/// Exactly-once + read-your-writes from the client's view, identical to
+/// the simulator's arithmetic: the k-th completed INC returns exactly k
+/// (per-client counters), every GET returns the INCs completed so far.
+fn check_counter_sequence(
+    client: u32,
+    workload: &Workload,
+    report: &ClientReport,
+    violations: &mut Vec<String>,
+) {
+    let mut incs = 0u64;
+    for (k, (_, result)) in report.results.iter().enumerate() {
+        let read = workload.op(k as u64).1;
+        let Ok(bytes) = <[u8; 8]>::try_from(result.as_slice()) else {
+            violations.push(format!("client {client} op {k}: short result"));
+            continue;
+        };
+        let val = u64::from_le_bytes(bytes);
+        if read {
+            if val != incs {
+                violations.push(format!(
+                    "read-your-writes: client {client} op {k} GET returned {val}, expected {incs}"
+                ));
+            }
+        } else {
+            incs += 1;
+            if val != incs {
+                violations.push(format!(
+                    "exactly-once: client {client} op {k} INC returned {val}, expected {incs}"
+                ));
+            }
+        }
+    }
+}
+
+/// Applies deferred `TamperJournal` events: flip one committed digest in
+/// each target's snapshot so journal agreement must trip. A dead target
+/// (crashed, never restarted) has no snapshot to tamper; the plan
+/// generator avoids picking one, and a shrunk subset that still kills
+/// the target keeps failing through the liveness check instead.
+fn apply_tampers(snaps: &mut [Snapshot], tampered: &[u32]) {
+    for &r in tampered {
+        if let Some(snap) = snaps.iter_mut().find(|s| s.id.0 == r) {
+            if let Some(entry) = snap
+                .journal
+                .iter_mut()
+                .filter(|(seq, _)| *seq <= snap.committed_frontier)
+                .max_by_key(|(seq, _)| *seq)
+            {
+                entry.1 .0[0] ^= 0xff;
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration tests for the real-network chaos executor: a seeded
+//! simulator schedule replayed over live TCP must pass the four-part
+//! oracle, and a deliberately tampered schedule must fail it and shrink
+//! to the tamper alone. The heavyweight multi-seed soak lives in the
+//! `chaos` binary (`--realnet --seeds N`); these tests keep one
+//! passing and one failing replay inside the debug-build test budget.
+
+use bft_bench::realnet_chaos::{run_realnet_plan, RealnetOpts};
+use bft_sim::chaos::{shrink_with, ChaosAction, ChaosPlan};
+
+/// Trimmed workload so a debug-build replay is dominated by the
+/// schedule's own wall-clock span, not the operation count.
+fn test_opts() -> RealnetOpts {
+    RealnetOpts {
+        ops_per_client: Some(12),
+        think_us: Some(15_000),
+        ..RealnetOpts::default()
+    }
+}
+
+#[test]
+fn realnet_plan_replays_live_faults_and_holds_oracle() {
+    let plan = ChaosPlan::generate_realnet(0);
+    assert!(plan.realnet, "realnet plans must carry the mode flag");
+    let opts = test_opts();
+    let report = run_realnet_plan(&plan, &opts);
+    assert!(
+        report.ok,
+        "oracle violations under seed 0: {:?}",
+        report.violations
+    );
+    assert_eq!(
+        report.ops_completed,
+        plan.clients as u64 * opts.ops_per_client.unwrap(),
+        "every client must finish its workload"
+    );
+    // The generator guarantees partition, link-degradation, and
+    // crash–restart coverage; all of them must have run live.
+    let applied = report.applied.join("\n");
+    for needle in ["partition", "degrade-link", "crash", "restart"] {
+        assert!(
+            applied.contains(needle),
+            "expected a live {needle} fault; applied:\n{applied}"
+        );
+    }
+    // Nothing is silently dropped: every skipped action says why.
+    assert!(
+        report
+            .skipped
+            .iter()
+            .all(|s| s.contains("no live analogue")),
+        "unexplained skips: {:?}",
+        report.skipped
+    );
+}
+
+#[test]
+fn realnet_tamper_fails_safety_and_shrinks_to_the_tamper_alone() {
+    let full = ChaosPlan::generate_realnet_with_violation(0);
+    let tamper_ep = full
+        .events
+        .iter()
+        .find(|e| matches!(e.action, ChaosAction::TamperJournal { .. }))
+        .expect("violation plan carries a tamper event")
+        .episode;
+    // Keep the tamper plus one innocent episode: the shrink still has
+    // something to discard, but live probes stay cheap in debug builds.
+    let other_ep = *full
+        .episodes()
+        .iter()
+        .find(|&&e| e != tamper_ep)
+        .expect("plans have more than one episode");
+    let plan = full.filter_episodes(&[tamper_ep, other_ep]);
+    let opts = test_opts();
+
+    let report = run_realnet_plan(&plan, &opts);
+    assert!(!report.ok, "tampered journal must trip the oracle");
+    assert!(
+        report.violations.iter().any(|v| v.starts_with("safety:")),
+        "tamper must surface as a safety violation, got {:?}",
+        report.violations
+    );
+
+    let minimal = shrink_with(&plan, |p| !run_realnet_plan(p, &opts).ok);
+    assert_eq!(
+        minimal.episodes(),
+        vec![tamper_ep],
+        "live shrinking must isolate the tamper episode"
+    );
+    let repro = minimal.repro_command();
+    assert!(
+        repro.contains("--realnet"),
+        "repro must replay live: {repro}"
+    );
+    assert!(
+        repro.contains("--seed 0") && repro.contains("--inject-violation"),
+        "repro must carry seed and violation flags: {repro}"
+    );
+}

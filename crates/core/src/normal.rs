@@ -111,6 +111,25 @@ impl<S: Service> Replica<S> {
             if !self.log.in_window(next) || self.recovery_send_guard(next) {
                 return;
             }
+            // A restarted primary may sit below slots it assigned before
+            // crashing. Step over assignments it has re-learned (via §5.2
+            // retransmission), and hold off while a weak certificate of
+            // prepares vouches that an assignment exists it has not yet
+            // re-learned — proposing a fresh batch there would equivocate
+            // with its pre-crash self.
+            if let Some(slot) = self.log.slot(next) {
+                if slot.view == self.view && slot.digest().is_some() {
+                    self.seqno = next;
+                    continue;
+                }
+                let vouched = slot
+                    .prepares
+                    .values()
+                    .any(|set| set.len() >= self.config.group.weak());
+                if vouched {
+                    return;
+                }
+            }
             let max = if self.config.opts.batching {
                 self.config.max_batch
             } else {
@@ -210,11 +229,29 @@ impl<S: Service> Replica<S> {
             self.try_execute(out);
             return;
         }
-        if pp.view != self.view || !self.view_active || self.is_primary() {
+        if pp.view != self.view || !self.view_active {
             return;
         }
         if !self.log.in_window(pp.seq) {
             return;
+        }
+        // The primary authors pre-prepares, so it normally ignores incoming
+        // ones — but a primary that crashed and rejoined above its stable
+        // checkpoint must re-learn its own pre-crash assignments from the
+        // copies peers retransmit (§5.2); without this it can never execute
+        // past the checkpoint, and the group never view-changes away from a
+        // live, responsive primary. Accept only for slots with no known
+        // assignment; authenticity comes from our own authenticator slot or
+        // the weak-certificate fallback below.
+        if self.is_primary() {
+            let assigned = self
+                .log
+                .slot(pp.seq)
+                .map(|s| s.view == pp.view && s.digest().is_some())
+                .unwrap_or(false);
+            if assigned {
+                return;
+            }
         }
         let primary = self.primary();
         let batch_digest = pp.batch_digest();
@@ -329,6 +366,14 @@ impl<S: Service> Replica<S> {
             slot.pre_prepare = Some(Rc::clone(&pp));
             already_prepared = slot.my_prepare.is_some();
             slot.my_prepare = Some(batch_digest);
+        }
+        if self.is_primary() {
+            // Re-learned one of our own pre-crash assignments: never assign
+            // this sequence number to a fresh batch, and send no prepare
+            // (the pre-prepare stands in for the primary's prepare).
+            self.seqno = self.seqno.max(pp.seq);
+            self.check_certificates(pp.seq, out);
+            return;
         }
         if !already_prepared && !self.recovery_send_guard(pp.seq) {
             let mut prep = Prepare {

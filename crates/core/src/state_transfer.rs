@@ -414,6 +414,10 @@ impl<S: Service> Replica<S> {
         self.log.advance_low(self.ckpt.stable().0);
         self.last_exec = fetch.target_seq;
         self.committed_frontier = fetch.target_seq;
+        // A restarted primary resumes assigning above the installed
+        // checkpoint (never below: those numbers are already taken, and a
+        // fresh assignment would equivocate with its pre-crash self).
+        self.seqno = self.seqno.max(fetch.target_seq);
         self.log.clear_executed_above(fetch.target_seq);
         // The installed client table may cover requests still sitting in
         // our queue (ordered by the others while we were behind); drop

@@ -14,6 +14,7 @@
 
 use crate::clock::RtTimers;
 use crate::config::Topology;
+use crate::inject::{FaultPlane, StormSignal};
 use crate::transport::Transport;
 use bft_core::{Action, ClientProxy, CompletedOp, Input, Target, TimerId};
 use bft_statemachine::CounterService;
@@ -137,6 +138,18 @@ impl ClientReport {
     }
 }
 
+/// Chaos-mode wiring for a client driver: an optional [`FaultPlane`] on
+/// its transport and an optional [`StormSignal`] whose epoch bumps
+/// force-fire the armed retransmission timers (the live analogue of the
+/// simulator's synchronized retransmission storm).
+#[derive(Clone, Default)]
+pub struct ClientHooks {
+    /// Fault table shared with the cluster's transports.
+    pub faults: Option<Arc<FaultPlane>>,
+    /// Retransmission-storm trigger, polled every loop iteration.
+    pub storm: Option<Arc<StormSignal>>,
+}
+
 /// Runs one client against the cluster until the workload completes or
 /// `deadline` passes. Returns what completed either way.
 pub fn run_client(
@@ -144,6 +157,17 @@ pub fn run_client(
     topo: &Topology,
     workload: &Workload,
     deadline: Duration,
+) -> ClientReport {
+    run_client_with(id, topo, workload, deadline, &ClientHooks::default())
+}
+
+/// [`run_client`] with chaos hooks attached.
+pub fn run_client_with(
+    id: ClientId,
+    topo: &Topology,
+    workload: &Workload,
+    deadline: Duration,
+    hooks: &ClientHooks,
 ) -> ClientReport {
     let keys = topo.keys();
     let mut client_config = topo.client_config();
@@ -158,8 +182,15 @@ pub fn run_client(
         .enumerate()
         .map(|(i, addr)| (NodeId::Replica(ReplicaId(i as u32)), *addr))
         .collect();
-    let transport = Transport::start(NodeId::Client(id), None, peers, in_tx);
+    let transport = Transport::start_faulted(
+        vec![NodeId::Client(id)],
+        None,
+        peers,
+        in_tx,
+        hooks.faults.clone(),
+    );
     let mut timers = RtTimers::<TimerId>::new();
+    let mut storm_seen = hooks.storm.as_ref().map(|s| s.epoch(id)).unwrap_or(0);
 
     let started = Instant::now();
     let hard_deadline = started + deadline;
@@ -197,6 +228,24 @@ pub fn run_client(
         let done: Option<CompletedOp> = loop {
             if Instant::now() >= hard_deadline {
                 break None;
+            }
+            // A storm epoch bump force-fires every armed timer: the
+            // in-flight request rebroadcasts immediately, synchronized
+            // across every client the storm covers.
+            if let Some(storm) = &hooks.storm {
+                let epoch = storm.epoch(id);
+                if epoch != storm_seen {
+                    storm_seen = epoch;
+                    let mut finished = None;
+                    for timer in timers.drain_armed() {
+                        let (actions, done) = proxy.on_input(Input::Timer(timer));
+                        apply_client_actions(actions, &transport, &mut timers, topo.replicas.len());
+                        finished = finished.or(done);
+                    }
+                    if finished.is_some() {
+                        break finished;
+                    }
+                }
             }
             // Client retransmission timer.
             if let Some(timer) = timers.pop_due() {

@@ -86,6 +86,20 @@ impl<T: Copy + Eq + Hash> RtTimers<T> {
     pub fn armed(&self) -> usize {
         self.keys.len()
     }
+
+    /// Disarms and returns every armed timer, due or not. The chaos
+    /// runner's retransmission storms force a client's armed timers to
+    /// fire at once, the live analogue of the simulator's
+    /// `ClientRetransmitNow` fault.
+    pub fn drain_armed(&mut self) -> Vec<T> {
+        let ids: Vec<T> = self.keys.keys().copied().collect();
+        for id in &ids {
+            if let Some(key) = self.keys.remove(id) {
+                self.wheel.cancel(key);
+            }
+        }
+        ids
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +140,19 @@ mod tests {
         t.set('b', SimDuration::from_millis(1));
         let wait = t.until_next().expect("armed");
         assert!(wait <= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn drain_armed_fires_everything_once() {
+        let mut t = RtTimers::new();
+        t.set('a', SimDuration::from_secs(3600));
+        t.set('b', SimDuration::from_secs(7200));
+        let mut drained = t.drain_armed();
+        drained.sort_unstable();
+        assert_eq!(drained, vec!['a', 'b']);
+        assert_eq!(t.armed(), 0);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(t.pop_due().is_none(), "drained timers are disarmed");
     }
 
     #[test]

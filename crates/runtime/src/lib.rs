@@ -30,6 +30,10 @@
 //! * [`loopback`] — [`loopback::LoopbackCluster`]: an f=1 cluster on
 //!   127.0.0.1 ephemeral ports inside one process, used by the
 //!   integration tests and the `realnet` benchmark.
+//! * [`inject`] — [`inject::FaultPlane`]: chaos-mode fault injection on
+//!   the transport's send path (partitions, isolation, per-link
+//!   loss/jitter/duplication), so the simulator's seeded chaos schedules
+//!   drive real sockets (`chaos --realnet`).
 //!
 //! Authentication note: all nodes derive session-key material
 //! deterministically from the topology's `key_seed`
@@ -40,15 +44,20 @@
 pub mod client;
 pub mod clock;
 pub mod config;
+pub mod inject;
 pub mod loopback;
 pub mod node;
 pub mod pool;
 pub mod transport;
 
-pub use client::{run_client, run_mux_clients, run_workers, ClientReport, LoadMode, Workload};
+pub use client::{
+    run_client, run_client_with, run_mux_clients, run_workers, ClientHooks, ClientReport, LoadMode,
+    Workload,
+};
 pub use clock::RtTimers;
 pub use config::Topology;
-pub use loopback::LoopbackCluster;
-pub use node::{spawn_counter_replica, NodeHandle, Snapshot};
+pub use inject::{FaultPlane, LinkTally, SendVerdict, StormSignal};
+pub use loopback::{ConvergeFailure, ConvergeTimeout, LoopbackCluster};
+pub use node::{spawn_counter_replica, spawn_counter_replica_faulted, NodeHandle, Snapshot};
 pub use pool::MacPool;
 pub use transport::{Transport, TransportStats};

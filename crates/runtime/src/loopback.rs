@@ -10,9 +10,12 @@
 
 use crate::client::{run_client, run_workers, ClientReport, Workload};
 use crate::config::Topology;
-use crate::node::{spawn_counter_replica, NodeHandle, Snapshot};
+use crate::inject::FaultPlane;
+use crate::node::{spawn_counter_replica_faulted, NodeHandle, Snapshot};
 use bft_types::{ClientId, ReplicaId};
+use std::fmt;
 use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A running loopback cluster.
@@ -20,6 +23,75 @@ pub struct LoopbackCluster {
     /// The topology all nodes and clients share.
     pub topo: Topology,
     nodes: Vec<Option<NodeHandle>>,
+    /// Retained clones of every replica's listener. The listen socket
+    /// never closes — a killed replica's port stays bound (the kernel
+    /// backlog absorbs peers' reconnects during the dead window), so
+    /// [`LoopbackCluster::restart`] can bring the node back on its old
+    /// address without racing `TIME_WAIT` for the port.
+    listeners: Vec<TcpListener>,
+    /// Chaos-mode fault plane shared by all nodes (and restarted ones).
+    faults: Option<Arc<FaultPlane>>,
+}
+
+/// Why [`LoopbackCluster::wait_converged`] gave up: the per-replica
+/// frontier/digest/view picture at the timeout, so a chaos failure is
+/// debuggable without rerunning the schedule.
+#[derive(Clone)]
+pub struct ConvergeTimeout {
+    /// How long the wait ran.
+    pub waited: Duration,
+    /// Final snapshots of the live replicas (dead ones are absent).
+    pub snaps: Vec<Snapshot>,
+    /// Replicas that were dead (killed, never restarted) at the timeout.
+    pub dead: Vec<u32>,
+}
+
+impl fmt::Display for ConvergeTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cluster failed to converge within {:.1}s:",
+            self.waited.as_secs_f64()
+        )?;
+        for s in &self.snaps {
+            writeln!(
+                f,
+                "  r{}: view={}{} frontier={} last_exec={} digest={:?} journal={} entries\n      blocked: {}",
+                s.id.0,
+                s.view,
+                if s.view_active { "" } else { " (changing)" },
+                s.committed_frontier.0,
+                s.last_exec.0,
+                s.state_digest,
+                s.journal.len(),
+                s.exec_blocker,
+            )?;
+        }
+        for r in &self.dead {
+            writeln!(f, "  r{r}: dead")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConvergeTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ConvergeTimeout {}
+
+/// A non-panicking convergence outcome for chaos campaigns: either the
+/// wait timed out (laggards, lost liveness) or the safety oracle itself
+/// tripped (divergent committed journals — waiting cannot repair that).
+#[derive(Debug)]
+pub enum ConvergeFailure {
+    /// No agreement before the deadline; diagnostics attached.
+    Timeout(ConvergeTimeout),
+    /// Journal divergence description from
+    /// [`LoopbackCluster::check_journal_agreement`].
+    Safety(String),
 }
 
 impl LoopbackCluster {
@@ -60,6 +132,19 @@ impl LoopbackCluster {
     /// (workers, pipeline depth, view-change timeout, ...) before the
     /// nodes boot.
     pub fn start_with(f: usize, clients: u32, tune: impl FnOnce(&mut Topology)) -> LoopbackCluster {
+        Self::start_chaos(f, clients, None, tune)
+    }
+
+    /// [`LoopbackCluster::start_with`] with an optional [`FaultPlane`]
+    /// wired into every node's transport — the realnet chaos runner's
+    /// entry point. Client drivers must share the same plane (via
+    /// [`crate::client::ClientHooks`]) for client↔replica faults.
+    pub fn start_chaos(
+        f: usize,
+        clients: u32,
+        faults: Option<Arc<FaultPlane>>,
+        tune: impl FnOnce(&mut Topology),
+    ) -> LoopbackCluster {
         let n = 3 * f + 1;
         // Bind every listener first so the topology is complete before
         // any node dials a peer.
@@ -76,17 +161,23 @@ impl LoopbackCluster {
         topo.checkpoint_interval = 16;
         tune(&mut topo);
         let nodes = listeners
-            .into_iter()
+            .iter()
             .enumerate()
             .map(|(i, listener)| {
-                Some(spawn_counter_replica(
+                Some(spawn_counter_replica_faulted(
                     ReplicaId(i as u32),
                     topo.clone(),
-                    listener,
+                    listener.try_clone().expect("clone listener"),
+                    faults.clone(),
                 ))
             })
             .collect();
-        LoopbackCluster { topo, nodes }
+        LoopbackCluster {
+            topo,
+            nodes,
+            listeners,
+            faults,
+        }
     }
 
     /// Number of replicas.
@@ -172,6 +263,27 @@ impl LoopbackCluster {
         }
     }
 
+    /// Restarts a killed replica on its original address: a fresh node
+    /// (empty state, view 0) boots on a clone of the retained listener
+    /// and catches up through status retransmission or, once the cluster
+    /// has checkpointed past it, state transfer (§5.3.2). No-op when the
+    /// replica is still alive.
+    pub fn restart(&mut self, r: ReplicaId) {
+        let i = r.0 as usize;
+        if self.nodes[i].is_some() {
+            return;
+        }
+        let listener = self.listeners[i]
+            .try_clone()
+            .expect("clone retained listener");
+        self.nodes[i] = Some(spawn_counter_replica_faulted(
+            r,
+            self.topo.clone(),
+            listener,
+            self.faults.clone(),
+        ));
+    }
+
     /// Snapshot of replica `r`, or `None` when it was killed.
     pub fn snapshot(&self, r: ReplicaId) -> Option<Snapshot> {
         self.nodes[r.0 as usize].as_ref().and_then(|n| n.snapshot())
@@ -191,28 +303,47 @@ impl LoopbackCluster {
     /// checkpoint, through state transfer (§5.3.2), which is why the
     /// oracle cannot demand bit-identical journals: a state-transferred
     /// replica legitimately has a gap for the range it fetched as pages
-    /// instead of executing locally. Returns the converged snapshots,
-    /// or `None` on timeout — but panics immediately on an actual
-    /// safety violation (two replicas committing different digests for
-    /// one sequence number), which waiting can never repair.
-    pub fn wait_converged(&self, timeout: Duration) -> Option<Vec<Snapshot>> {
-        let deadline = Instant::now() + timeout;
+    /// instead of executing locally. Returns the converged snapshots, or
+    /// a [`ConvergeTimeout`] carrying every live replica's frontier,
+    /// digest, and view — but panics immediately on an actual safety
+    /// violation (two replicas committing different digests for one
+    /// sequence number), which waiting can never repair.
+    pub fn wait_converged(&self, timeout: Duration) -> Result<Vec<Snapshot>, ConvergeTimeout> {
+        self.try_wait_converged(timeout).map_err(|e| match e {
+            ConvergeFailure::Timeout(t) => t,
+            ConvergeFailure::Safety(divergence) => panic!("safety violation: {divergence}"),
+        })
+    }
+
+    /// [`LoopbackCluster::wait_converged`] that reports a safety
+    /// divergence instead of panicking — the chaos runner records it as
+    /// an oracle violation to be shrunk and replayed.
+    pub fn try_wait_converged(&self, timeout: Duration) -> Result<Vec<Snapshot>, ConvergeFailure> {
+        let started = Instant::now();
+        let deadline = started + timeout;
         loop {
             let snaps = self.snapshots();
             if !snaps.is_empty() {
                 if let Err(divergence) = Self::check_journal_agreement(&snaps) {
-                    panic!("safety violation: {divergence}");
+                    return Err(ConvergeFailure::Safety(divergence));
                 }
                 let converged = snaps.windows(2).all(|w| {
                     w[0].committed_frontier == w[1].committed_frontier
                         && w[0].state_digest == w[1].state_digest
                 });
                 if converged {
-                    return Some(snaps);
+                    return Ok(snaps);
                 }
             }
             if Instant::now() >= deadline {
-                return None;
+                let dead = (0..self.n() as u32)
+                    .filter(|&i| !snaps.iter().any(|s| s.id.0 == i))
+                    .collect();
+                return Err(ConvergeFailure::Timeout(ConvergeTimeout {
+                    waited: started.elapsed(),
+                    snaps,
+                    dead,
+                }));
             }
             std::thread::sleep(Duration::from_millis(50));
         }

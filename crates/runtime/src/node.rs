@@ -12,6 +12,7 @@
 
 use crate::clock::RtTimers;
 use crate::config::Topology;
+use crate::inject::FaultPlane;
 use crate::pool::MacPool;
 use crate::transport::{FrameBuf, StatsSnapshot, Transport};
 use bft_core::{Action, Input, Replica, ReplicaDriver, ReplicaStats, Target, TimerId};
@@ -57,6 +58,9 @@ pub struct Snapshot {
     pub stats: ReplicaStats,
     /// Transport counters.
     pub transport: StatsSnapshot,
+    /// Why the next sequence number is not executing (stall forensics
+    /// for convergence-timeout diagnostics).
+    pub exec_blocker: String,
 }
 
 impl Snapshot {
@@ -141,6 +145,22 @@ where
     S: Service,
     F: FnOnce(&Topology) -> S + Send + 'static,
 {
+    spawn_replica_faulted(id, topo, listener, make_service, None)
+}
+
+/// [`spawn_replica`] with an optional [`FaultPlane`] wired into the
+/// node's transport, for chaos campaigns against live clusters.
+pub fn spawn_replica_faulted<S, F>(
+    id: ReplicaId,
+    topo: Topology,
+    listener: TcpListener,
+    make_service: F,
+    faults: Option<Arc<FaultPlane>>,
+) -> NodeHandle
+where
+    S: Service,
+    F: FnOnce(&Topology) -> S + Send + 'static,
+{
     let addr = listener.local_addr().expect("listener addr");
     let alive = Arc::new(AtomicBool::new(true));
     let alive2 = Arc::clone(&alive);
@@ -160,7 +180,13 @@ where
                 .filter(|(i, _)| *i != id.0 as usize)
                 .map(|(i, addr)| (NodeId::Replica(ReplicaId(i as u32)), *addr))
                 .collect();
-            let transport = Transport::start(NodeId::Replica(id), Some(listener), peers, in_tx);
+            let transport = Transport::start_faulted(
+                vec![NodeId::Replica(id)],
+                Some(listener),
+                peers,
+                in_tx,
+                faults,
+            );
             let mut timers = RtTimers::<TimerId>::new();
 
             if topo.workers > 0 {
@@ -234,9 +260,26 @@ where
 /// Spawns a replica running the [`bft_statemachine::CounterService`] —
 /// the default service of `pbft-node` and the loopback tests.
 pub fn spawn_counter_replica(id: ReplicaId, topo: Topology, listener: TcpListener) -> NodeHandle {
-    spawn_replica(id, topo, listener, |topo: &Topology| {
-        bft_statemachine::CounterService::new(topo.clients + (3 * topo.f + 1) as u32)
-    })
+    spawn_counter_replica_faulted(id, topo, listener, None)
+}
+
+/// [`spawn_counter_replica`] with an optional [`FaultPlane`] on the
+/// node's transport (the chaos-mode loopback cluster uses this).
+pub fn spawn_counter_replica_faulted(
+    id: ReplicaId,
+    topo: Topology,
+    listener: TcpListener,
+    faults: Option<Arc<FaultPlane>>,
+) -> NodeHandle {
+    spawn_replica_faulted(
+        id,
+        topo,
+        listener,
+        |topo: &Topology| {
+            bft_statemachine::CounterService::new(topo.clients + (3 * topo.f + 1) as u32)
+        },
+        faults,
+    )
 }
 
 /// Decodes one checksum-verified payload and steps the replica with it.
@@ -305,6 +348,11 @@ fn take_snapshot<S: Service>(
     me: ReplicaId,
     transport: StatsSnapshot,
 ) -> Snapshot {
+    let next = SeqNo(ReplicaDriver::last_executed(replica).0 + 1);
+    let exec_blocker = match replica.debug_fetch() {
+        Some(fetch) => format!("fetch: {fetch}"),
+        None => replica.debug_exec_blocker(next),
+    };
     Snapshot {
         id: me,
         view: replica.current_view().0,
@@ -315,6 +363,7 @@ fn take_snapshot<S: Service>(
         journal: ReplicaDriver::journal(replica).to_vec(),
         stats: replica.stats,
         transport,
+        exec_blocker,
     }
 }
 

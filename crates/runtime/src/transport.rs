@@ -37,15 +37,18 @@
 //! level; a hardened deployment would authenticate the greeting (MAC
 //! over a connection nonce) before registering a route.
 
+use crate::inject::{FaultPlane, SendVerdict};
 use bft_types::framing::{frame_bytes, FrameDecoder};
 use bft_types::NodeId;
-use std::collections::HashMap;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One encoded frame, shared across every destination of a fan-out.
 pub type FrameBuf = Arc<Vec<u8>>;
@@ -54,10 +57,33 @@ pub type FrameBuf = Arc<Vec<u8>>;
 /// the link and frames drop (the protocol's retransmission recovers).
 const OUTBOUND_QUEUE: usize = 4096;
 
-/// First reconnect delay; doubles per failure up to [`BACKOFF_MAX`].
+/// First reconnect delay; the per-attempt cap doubles per failure up to
+/// [`BACKOFF_MAX`].
 const BACKOFF_INITIAL: Duration = Duration::from_millis(20);
 /// Reconnect backoff ceiling.
 const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// Reconnect delay for the `attempt`-th consecutive failure (0-based):
+/// exponential cap with *equal jitter*. The cap doubles per attempt up
+/// to [`BACKOFF_MAX`]; the delay is the cap's lower half plus a random
+/// slice of the upper half, so retries never collapse below half the
+/// cap yet never line up either. Without jitter, a healed partition has
+/// every peer's dialer retrying in lockstep — each node's reconnect
+/// burst lands on the same instant, exactly when the cluster is trying
+/// to catch up.
+fn backoff_delay(attempt: u32, rng: &mut StdRng) -> Duration {
+    let cap = backoff_cap(attempt);
+    let half = cap / 2;
+    half + half.mul_f64(rng.random::<f64>())
+}
+
+/// The deterministic per-attempt backoff ceiling (exposed for the
+/// schedule's unit test).
+fn backoff_cap(attempt: u32) -> Duration {
+    BACKOFF_INITIAL
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(BACKOFF_MAX)
+}
 
 /// Transport counters (all monotonic; read with [`TransportStats::snapshot`]).
 #[derive(Default)]
@@ -74,6 +100,12 @@ pub struct TransportStats {
     pub connects: AtomicU64,
     /// Accepted inbound connections.
     pub accepts: AtomicU64,
+    /// Frames held back by the fault-injection shim before delivery.
+    pub injected_delayed: AtomicU64,
+    /// Frames dropped by the fault-injection shim (never sent).
+    pub injected_dropped: AtomicU64,
+    /// Duplicate frame copies created by the fault-injection shim.
+    pub injected_duplicated: AtomicU64,
 }
 
 /// A plain-value copy of the counters.
@@ -91,6 +123,12 @@ pub struct StatsSnapshot {
     pub connects: u64,
     /// See [`TransportStats::accepts`].
     pub accepts: u64,
+    /// See [`TransportStats::injected_delayed`].
+    pub injected_delayed: u64,
+    /// See [`TransportStats::injected_dropped`].
+    pub injected_dropped: u64,
+    /// See [`TransportStats::injected_duplicated`].
+    pub injected_duplicated: u64,
 }
 
 impl TransportStats {
@@ -103,6 +141,9 @@ impl TransportStats {
             framing_errors: self.framing_errors.load(Ordering::Relaxed),
             connects: self.connects.load(Ordering::Relaxed),
             accepts: self.accepts.load(Ordering::Relaxed),
+            injected_delayed: self.injected_delayed.load(Ordering::Relaxed),
+            injected_dropped: self.injected_dropped.load(Ordering::Relaxed),
+            injected_duplicated: self.injected_duplicated.load(Ordering::Relaxed),
         }
     }
 }
@@ -197,6 +238,10 @@ pub struct Transport {
     /// Persistent queues to topology-listed peers.
     peers: HashMap<NodeId, SyncSender<FrameBuf>>,
     shared: Arc<Shared>,
+    /// Chaos-mode fault table consulted per outbound frame.
+    faults: Option<Arc<FaultPlane>>,
+    /// Queue to the delay worker that re-routes held-back frames.
+    delay_tx: Option<SyncSender<DelayedFrame>>,
 }
 
 impl Transport {
@@ -225,6 +270,21 @@ impl Transport {
         listener: Option<TcpListener>,
         peers: Vec<(NodeId, SocketAddr)>,
         inbound: Sender<Vec<u8>>,
+    ) -> Transport {
+        Self::start_faulted(identities, listener, peers, inbound, None)
+    }
+
+    /// [`Transport::start_as`] with an optional fault-injection plane:
+    /// every outbound frame asks the shared [`FaultPlane`] for a verdict
+    /// before touching a peer queue, so one plane imposes partitions,
+    /// loss, jitter, and duplication on a whole live cluster. `None`
+    /// costs nothing on the send path.
+    pub fn start_faulted(
+        identities: Vec<NodeId>,
+        listener: Option<TcpListener>,
+        peers: Vec<(NodeId, SocketAddr)>,
+        inbound: Sender<Vec<u8>>,
+        faults: Option<Arc<FaultPlane>>,
     ) -> Transport {
         assert!(!identities.is_empty(), "transport needs an identity");
         let me = identities[0];
@@ -258,32 +318,84 @@ impl Transport {
                 accept_loop(listener, inbound2, shared2)
             });
         }
+        // Delayed frames (jitter, duplicates) re-enter routing on their
+        // own worker, so the protocol thread's send never sleeps.
+        let delay_tx = faults.as_ref().map(|_| {
+            let (tx, rx) = mpsc::sync_channel::<DelayedFrame>(OUTBOUND_QUEUE);
+            let shared2 = Arc::clone(&shared);
+            let peers2 = peer_queues.clone();
+            spawn_worker(&shared, format!("pbft-delay-{me:?}"), move || {
+                delay_loop(rx, peers2, shared2)
+            });
+            tx
+        });
         Transport {
             me,
             peers: peer_queues,
             shared,
+            faults,
+            delay_tx,
         }
     }
 
     /// Queues one frame toward `to`: a persistent peer queue when the
     /// topology lists one, otherwise a dynamic return route from a
     /// greeting. No route, a full queue, or a dead peer drops the frame.
+    /// With a fault plane attached, the frame may instead be dropped,
+    /// held back, or duplicated per the plane's verdict.
     pub fn send(&self, to: NodeId, frame: FrameBuf) {
-        let sent = if let Some(queue) = self.peers.get(&to) {
-            enqueue(queue, frame)
-        } else {
-            let dynamic = self.shared.dynamic.lock().expect("dynamic lock");
-            match dynamic.get(&to) {
-                Some(route) => enqueue(&route.queue, frame),
-                None => false,
+        let Some(plane) = &self.faults else {
+            return route_frame(&self.peers, &self.shared, to, frame);
+        };
+        match plane.decide(self.me, to) {
+            SendVerdict::Drop => {
+                self.shared
+                    .stats
+                    .injected_dropped
+                    .fetch_add(1, Ordering::Relaxed);
             }
+            SendVerdict::Deliver {
+                delay_us,
+                duplicate_us,
+            } => {
+                if let Some(dup_us) = duplicate_us {
+                    self.shared
+                        .stats
+                        .injected_duplicated
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.send_after(to, Arc::clone(&frame), dup_us);
+                }
+                self.send_after(to, frame, delay_us);
+            }
+        }
+    }
+
+    /// Routes a frame now (`delay_us == 0`) or hands it to the delay
+    /// worker. A full delay queue degrades to loss, like every other
+    /// overloaded queue in the transport.
+    fn send_after(&self, to: NodeId, frame: FrameBuf, delay_us: u64) {
+        if delay_us == 0 {
+            return route_frame(&self.peers, &self.shared, to, frame);
+        }
+        self.shared
+            .stats
+            .injected_delayed
+            .fetch_add(1, Ordering::Relaxed);
+        let delayed = DelayedFrame {
+            due: Instant::now() + Duration::from_micros(delay_us),
+            to,
+            frame,
         };
-        let counter = if sent {
-            &self.shared.stats.frames_sent
-        } else {
-            &self.shared.stats.frames_dropped
+        let dropped = match &self.delay_tx {
+            Some(tx) => tx.try_send(delayed).is_err(),
+            None => true,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        if dropped {
+            self.shared
+                .stats
+                .frames_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// This endpoint's identity.
@@ -355,6 +467,100 @@ fn enqueue(queue: &SyncSender<FrameBuf>, frame: FrameBuf) -> bool {
     }
 }
 
+/// The fault-free routing step: peer queue or dynamic return route,
+/// counting sent/dropped. Shared by the direct send path and the delay
+/// worker (a delayed frame re-enters here when its deadline passes).
+fn route_frame(
+    peers: &HashMap<NodeId, SyncSender<FrameBuf>>,
+    shared: &Shared,
+    to: NodeId,
+    frame: FrameBuf,
+) {
+    let sent = if let Some(queue) = peers.get(&to) {
+        enqueue(queue, frame)
+    } else {
+        let dynamic = shared.dynamic.lock().expect("dynamic lock");
+        match dynamic.get(&to) {
+            Some(route) => enqueue(&route.queue, frame),
+            None => false,
+        }
+    };
+    let counter = if sent {
+        &shared.stats.frames_sent
+    } else {
+        &shared.stats.frames_dropped
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A frame held back by the injection shim, due for routing at `due`.
+struct DelayedFrame {
+    due: Instant,
+    to: NodeId,
+    frame: FrameBuf,
+}
+
+/// Heap entry ordering for the delay worker: earliest deadline first,
+/// FIFO within a deadline (the sequence breaks ties).
+struct HeldFrame {
+    seq: u64,
+    inner: DelayedFrame,
+}
+
+impl PartialEq for HeldFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.due == other.inner.due && self.seq == other.seq
+    }
+}
+impl Eq for HeldFrame {}
+impl PartialOrd for HeldFrame {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeldFrame {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
+        (other.inner.due, other.seq).cmp(&(self.inner.due, self.seq))
+    }
+}
+
+/// The delay worker: holds frames until their deadline, then routes them
+/// normally. Frames sent later with no delay overtake held ones — that
+/// reordering is deliberate (it is what jitter does to UDP and to
+/// multi-path networks, and what the simulator's channel models).
+fn delay_loop(
+    rx: Receiver<DelayedFrame>,
+    peers: HashMap<NodeId, SyncSender<FrameBuf>>,
+    shared: Arc<Shared>,
+) {
+    let mut heap: BinaryHeap<HeldFrame> = BinaryHeap::new();
+    let mut seq = 0u64;
+    while shared.is_alive() {
+        let now = Instant::now();
+        while heap.peek().is_some_and(|h| h.inner.due <= now) {
+            let held = heap.pop().expect("peeked");
+            route_frame(&peers, &shared, held.inner.to, held.inner.frame);
+        }
+        let wait = heap
+            .peek()
+            .map(|h| h.inner.due.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(100))
+            .min(Duration::from_millis(100));
+        match rx.recv_timeout(wait) {
+            Ok(delayed) => {
+                heap.push(HeldFrame {
+                    seq,
+                    inner: delayed,
+                });
+                seq += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
 /// Persistent dialer: connect (with backoff), greet, then pump the
 /// outbound queue; a reader thread per connection feeds `inbound`.
 fn dialer_loop(
@@ -364,13 +570,23 @@ fn dialer_loop(
     inbound: Sender<Vec<u8>>,
     shared: Arc<Shared>,
 ) {
-    let mut backoff = BACKOFF_INITIAL;
+    // Jitter seeded per dialer from wall-clock entropy: decorrelated
+    // across endpoints and peers, so a healed partition's reconnect wave
+    // spreads out instead of arriving in lockstep.
+    let entropy = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let token = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let mut rng = StdRng::seed_from_u64(entropy ^ ((addr.port() as u64) << 48) ^ token);
+    let mut attempt = 0u32;
     while shared.is_alive() {
         let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) else {
             // Interruptible backoff sleep: check the shutdown flag and
             // drain queued frames so senders never see a stale full
             // queue from a long outage. The drained frames are losses
             // and count as such.
+            let backoff = backoff_delay(attempt, &mut rng);
             let waited = std::time::Instant::now();
             while waited.elapsed() < backoff {
                 if !shared.is_alive() {
@@ -381,10 +597,10 @@ fn dialer_loop(
                 }
                 std::thread::sleep(Duration::from_millis(5));
             }
-            backoff = (backoff * 2).min(BACKOFF_MAX);
+            attempt = attempt.saturating_add(1);
             continue;
         };
-        backoff = BACKOFF_INITIAL;
+        attempt = 0;
         // Connect can race shutdown: the flag may have flipped while we
         // were inside connect_timeout. Bail before wiring anything up.
         if !shared.is_alive() {
@@ -713,6 +929,131 @@ mod tests {
         // Idempotent: a second stop (e.g. from Drop) is a no-op.
         ts.shutdown();
         assert_eq!(ts.residual_state(), (0, 0, 0));
+    }
+
+    #[test]
+    fn backoff_schedule_is_bounded_with_jitter() {
+        // Caps double from BACKOFF_INITIAL to BACKOFF_MAX and saturate.
+        assert_eq!(backoff_cap(0), BACKOFF_INITIAL);
+        assert_eq!(backoff_cap(1), BACKOFF_INITIAL * 2);
+        assert_eq!(backoff_cap(7), BACKOFF_MAX); // 20ms * 128 = 2.56s, capped.
+        assert_eq!(backoff_cap(30), BACKOFF_MAX); // Shift saturates too.
+        let mut rng = StdRng::seed_from_u64(42);
+        for attempt in 0..20 {
+            let cap = backoff_cap(attempt);
+            for _ in 0..50 {
+                let d = backoff_delay(attempt, &mut rng);
+                // Equal jitter: within [cap/2, cap], never zero, never
+                // above the ceiling.
+                assert!(d >= cap / 2, "attempt {attempt}: {d:?} < {:?}", cap / 2);
+                assert!(d <= cap, "attempt {attempt}: {d:?} > {cap:?}");
+                assert!(d <= BACKOFF_MAX);
+            }
+        }
+        // The jitter actually varies: two streams disagree somewhere.
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert!(
+            (0..10).any(|_| backoff_delay(5, &mut a) != backoff_delay(5, &mut b)),
+            "jittered delays must differ between rng streams"
+        );
+    }
+
+    #[test]
+    fn injection_shim_drops_and_counts() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let r0 = NodeId::Replica(ReplicaId(0));
+        let r1 = NodeId::Replica(ReplicaId(1));
+        let (stx, srx) = mpsc::channel();
+        let (ctx, _crx) = mpsc::channel();
+        let ts = Transport::start(r1, Some(l), vec![], stx);
+        let plane = crate::inject::FaultPlane::new(9);
+        let tc =
+            Transport::start_faulted(vec![r0], None, vec![(r1, addr)], ctx, Some(plane.clone()));
+
+        // Clean plane: frames flow.
+        tc.send(r1, Arc::new(frame_bytes(&1u64)));
+        let _ = recv_payload(&srx);
+
+        // Total loss on r0 -> r1: nothing arrives, the drops are counted
+        // on the transport and tallied per link on the plane.
+        plane.set_link(
+            r0,
+            r1,
+            bft_net::LinkProfile {
+                drop_prob: 1.0,
+                duplicate_prob: 0.0,
+                jitter_us: 0,
+                extra_latency_us: 0,
+            },
+        );
+        for _ in 0..10 {
+            tc.send(r1, Arc::new(frame_bytes(&2u64)));
+        }
+        assert!(srx.recv_timeout(Duration::from_millis(200)).is_err());
+        assert_eq!(tc.stats().injected_dropped, 10);
+        assert_eq!(plane.link_tally(r0, r1).dropped, 10);
+
+        // Partition blocks without a profile; heal restores.
+        plane.clear_link(r0, r1);
+        plane.partition(&[vec![r0], vec![r1]]);
+        tc.send(r1, Arc::new(frame_bytes(&3u64)));
+        assert!(srx.recv_timeout(Duration::from_millis(200)).is_err());
+        assert_eq!(tc.stats().injected_dropped, 11);
+        plane.heal_partition();
+        tc.send(r1, Arc::new(frame_bytes(&4u64)));
+        let _ = recv_payload(&srx);
+
+        ts.shutdown();
+        tc.shutdown();
+    }
+
+    #[test]
+    fn injection_shim_delays_and_duplicates() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let r0 = NodeId::Replica(ReplicaId(0));
+        let r1 = NodeId::Replica(ReplicaId(1));
+        let (stx, srx) = mpsc::channel();
+        let (ctx, _crx) = mpsc::channel();
+        let ts = Transport::start(r1, Some(l), vec![], stx);
+        let plane = crate::inject::FaultPlane::new(10);
+        let tc =
+            Transport::start_faulted(vec![r0], None, vec![(r1, addr)], ctx, Some(plane.clone()));
+        // Establish the connection before measuring latency.
+        tc.send(r1, Arc::new(frame_bytes(&0u64)));
+        let _ = recv_payload(&srx);
+
+        // Every frame duplicated and held back ~200ms: two copies arrive,
+        // neither immediately.
+        plane.set_link(
+            r0,
+            r1,
+            bft_net::LinkProfile {
+                drop_prob: 0.0,
+                duplicate_prob: 1.0,
+                jitter_us: 1_000,
+                extra_latency_us: 200_000,
+            },
+        );
+        let started = std::time::Instant::now();
+        tc.send(r1, Arc::new(frame_bytes(&5u64)));
+        let first = recv_payload(&srx);
+        assert!(
+            started.elapsed() >= Duration::from_millis(150),
+            "frame must be held back by the injected latency"
+        );
+        let second = recv_payload(&srx);
+        assert_eq!(first, second, "the duplicate is a bit-identical copy");
+        let stats = tc.stats();
+        assert_eq!(stats.injected_duplicated, 1);
+        assert_eq!(stats.injected_delayed, 2, "original + duplicate both held");
+        let tally = plane.link_tally(r0, r1);
+        assert_eq!((tally.delayed, tally.duplicated), (1, 1));
+
+        ts.shutdown();
+        tc.shutdown();
     }
 
     #[test]

@@ -245,6 +245,102 @@ fn pipelined_pooled_cluster_is_exactly_once_under_retransmit_storm() {
     cluster.shutdown();
 }
 
+/// Restart regression: a killed replica comes back on its original
+/// address (the cluster retains the listen socket), rejoins via status
+/// retransmission or state transfer, and the full cluster converges to
+/// identical journals again — crash–restart against real threads and
+/// sockets, not just the simulator.
+#[test]
+fn killed_then_restarted_replica_rejoins_and_converges() {
+    let mut cluster = LoopbackCluster::start(1, 3);
+    let topo = cluster.topo.clone();
+    let workload = Workload {
+        ops: 80,
+        op_bytes: 128,
+        read_every: 4,
+        // Think time so the workload spans the kill + dead window.
+        mode: LoadMode::Closed {
+            think: Duration::from_millis(5),
+        },
+        retransmit: None,
+    };
+    let reports = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..3)
+            .map(|c| {
+                let topo = &topo;
+                let workload = workload.clone();
+                scope.spawn(move || run_client(ClientId(c), topo, &workload, DEADLINE))
+            })
+            .collect();
+        // Commit a prefix, fail-stop a backup, let the cluster commit
+        // (and checkpoint) past it, then bring it back.
+        std::thread::sleep(Duration::from_millis(250));
+        cluster.kill(ReplicaId(2));
+        std::thread::sleep(Duration::from_millis(400));
+        cluster.restart(ReplicaId(2));
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client worker"))
+            .collect::<Vec<_>>()
+    });
+    for r in &reports {
+        assert_eq!(
+            r.completed, 80,
+            "client {} did not finish across the crash–restart",
+            r.client.0
+        );
+        assert_counter_sequence(&workload, &r.results);
+    }
+    let snaps = cluster
+        .wait_converged(Duration::from_secs(60))
+        .expect("restarted replica catches up and the cluster converges");
+    assert_eq!(snaps.len(), 4, "all four replicas alive after restart");
+    let r2 = snaps.iter().find(|s| s.id.0 == 2).expect("r2 snapshot");
+    assert!(
+        !r2.committed_journal().is_empty(),
+        "the restarted replica committed state after rejoining"
+    );
+    cluster.shutdown();
+}
+
+/// Satellite regression: `wait_converged` used to return a bare `None`
+/// on timeout. An isolated replica (fault plane blocks its links) lags
+/// behind; the timeout must now carry every replica's frontier, digest,
+/// and view so the failure is debuggable without a rerun.
+#[test]
+fn wait_converged_timeout_reports_per_replica_diagnostics() {
+    let plane = bft_runtime::FaultPlane::new(77);
+    let cluster = LoopbackCluster::start_chaos(1, 2, Some(plane.clone()), |_| {});
+    plane.isolate(bft_types::NodeId::Replica(ReplicaId(3)));
+    let workload = Workload::closed(20);
+    let reports = cluster.run_clients(2, workload.clone(), DEADLINE);
+    for r in &reports {
+        assert_eq!(r.completed, 20, "f=1 tolerates one isolated replica");
+        assert_counter_sequence(&workload, &r.results);
+    }
+    let timeout = cluster
+        .wait_converged(Duration::from_secs(2))
+        .expect_err("the isolated replica cannot have caught up");
+    assert_eq!(timeout.snaps.len(), 4, "all replicas are alive, one lags");
+    let diag = timeout.to_string();
+    assert!(diag.contains("failed to converge"), "got: {diag}");
+    for r in 0..4 {
+        assert!(
+            diag.contains(&format!("r{r}:")),
+            "replica {r} missing: {diag}"
+        );
+    }
+    assert!(diag.contains("frontier="), "frontier missing: {diag}");
+    assert!(diag.contains("digest="), "digest missing: {diag}");
+    // Heal and the same cluster converges — the timeout was the
+    // isolation, not a wedge.
+    plane.reconnect(bft_types::NodeId::Replica(ReplicaId(3)));
+    cluster
+        .wait_converged(Duration::from_secs(60))
+        .expect("after reconnection the laggard catches up");
+    cluster.shutdown();
+}
+
 #[test]
 fn forced_client_retransmission_preserves_exactly_once() {
     let cluster = LoopbackCluster::start(1, 2);

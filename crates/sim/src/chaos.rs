@@ -205,6 +205,9 @@ pub struct ChaosPlan {
     pub events: Vec<ChaosEvent>,
     /// Completion deadline (well past the last heal).
     pub deadline: SimTime,
+    /// True when this plan targets the live loopback TCP cluster rather
+    /// than the simulator (replay one-liners must carry the mode).
+    pub realnet: bool,
 }
 
 impl fmt::Display for ChaosPlan {
@@ -244,6 +247,122 @@ impl ChaosPlan {
     /// episode (for validating the oracle and the shrinker).
     pub fn generate_with_violation(seed: u64) -> Self {
         Self::build(seed, true)
+    }
+
+    /// Generates the plan for a seed targeting the live loopback TCP
+    /// cluster. The schedule is the simulator plan for the same seed plus
+    /// deterministically appended episodes guaranteeing that every realnet
+    /// seed exercises a partition, asymmetric link loss/jitter, and at
+    /// least one live crash–restart (the soak's acceptance shape). Pure,
+    /// like [`ChaosPlan::generate`].
+    pub fn generate_realnet(seed: u64) -> Self {
+        Self::build_realnet(seed, false)
+    }
+
+    /// [`ChaosPlan::generate_realnet`] plus the deliberate journal-tamper
+    /// episode, for validating the live oracle and shrinker.
+    pub fn generate_realnet_with_violation(seed: u64) -> Self {
+        Self::build_realnet(seed, true)
+    }
+
+    fn build_realnet(seed: u64, inject_violation: bool) -> Self {
+        let mut plan = Self::build(seed, false);
+        plan.realnet = true;
+        // Appended episodes draw from their own stream so the base plan
+        // stays bit-identical to the simulator plan for the seed.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7ea1_2ea1);
+        let mut next_ep = plan.events.iter().map(|e| e.episode).max().unwrap_or(0) + 1;
+        let mut t = plan.events.iter().map(|e| e.at.0).max().unwrap_or(0)
+            + rng.random_range(80_000..=200_000u64);
+        let has = |plan: &ChaosPlan, probe: fn(&ChaosAction) -> bool| {
+            plan.events.iter().any(|e| probe(&e.action))
+        };
+        if !has(&plan, |a| matches!(a, ChaosAction::Partition(_))) {
+            let dur = rng.random_range(120_000..=400_000u64);
+            let off = rng.random_range(0..N);
+            let a: Vec<u32> = vec![off];
+            let b: Vec<u32> = (1..N).map(|i| (off + i) % N).collect();
+            plan.events.push(ChaosEvent {
+                at: SimTime(t),
+                episode: next_ep,
+                action: ChaosAction::Partition(vec![a, b]),
+            });
+            plan.events.push(ChaosEvent {
+                at: SimTime(t + dur),
+                episode: next_ep,
+                action: ChaosAction::HealPartition,
+            });
+            next_ep += 1;
+            t += dur + rng.random_range(80_000..=250_000u64);
+        }
+        if !has(&plan, |a| matches!(a, ChaosAction::DegradeLink { .. })) {
+            let dur = rng.random_range(120_000..=400_000u64);
+            let from = rng.random_range(0..N);
+            let to = (from + rng.random_range(1..N)) % N;
+            let profile = LinkProfile {
+                drop_prob: 0.1 + 0.4 * rng.random::<f64>(),
+                duplicate_prob: 0.05 + 0.3 * rng.random::<f64>(),
+                jitter_us: rng.random_range(500..15_000),
+                extra_latency_us: rng.random_range(0..4_000),
+            };
+            plan.events.push(ChaosEvent {
+                at: SimTime(t),
+                episode: next_ep,
+                action: ChaosAction::DegradeLink { from, to, profile },
+            });
+            plan.events.push(ChaosEvent {
+                at: SimTime(t + dur),
+                episode: next_ep,
+                action: ChaosAction::RestoreLink { from, to },
+            });
+            next_ep += 1;
+            t += dur + rng.random_range(80_000..=250_000u64);
+        }
+        if !has(&plan, |a| matches!(a, ChaosAction::Crash { .. })) {
+            let dur = rng.random_range(120_000..=400_000u64);
+            let replica = rng.random_range(0..N);
+            plan.events.push(ChaosEvent {
+                at: SimTime(t),
+                episode: next_ep,
+                action: ChaosAction::Crash { replica },
+            });
+            plan.events.push(ChaosEvent {
+                at: SimTime(t + dur),
+                episode: next_ep,
+                action: ChaosAction::Restart { replica },
+            });
+            next_ep += 1;
+            t += dur + rng.random_range(80_000..=250_000u64);
+        }
+        if inject_violation {
+            plan.inject_violation = true;
+            // Live tampering happens at evaluation time against the
+            // target's final snapshot, so the target must end the run with
+            // a journal the others overlap: never a crash victim (its
+            // journal below the fetched checkpoint is a legitimate gap).
+            let crashed: Vec<u32> = plan
+                .events
+                .iter()
+                .filter_map(|e| match e.action {
+                    ChaosAction::Crash { replica } => Some(replica),
+                    _ => None,
+                })
+                .collect();
+            let mut candidates: Vec<u32> = (0..N).filter(|r| !crashed.contains(r)).collect();
+            if candidates.is_empty() {
+                candidates.push(0);
+            }
+            let replica = candidates[rng.random_range(0..candidates.len() as u32) as usize];
+            let at = SimTime(plan.events[plan.events.len() / 2].at.0 + 1);
+            plan.events.push(ChaosEvent {
+                at,
+                episode: next_ep,
+                action: ChaosAction::TamperJournal { replica },
+            });
+        }
+        plan.events.sort_by_key(|e| e.at.0);
+        plan.deadline = SimTime(t + SimDuration::from_secs(120).as_micros());
+        plan
     }
 
     fn build(seed: u64, inject_violation: bool) -> Self {
@@ -421,6 +540,7 @@ impl ChaosPlan {
             think_us,
             events,
             deadline,
+            realnet: false,
         }
     }
 
@@ -456,6 +576,9 @@ impl ChaosPlan {
             "cargo run -p bft-bench --release --bin chaos -- --seed {}",
             self.seed
         );
+        if self.realnet {
+            cmd.push_str(" --realnet");
+        }
         if self.inject_violation {
             cmd.push_str(" --inject-violation");
         }
@@ -801,7 +924,15 @@ fn evaluate(plan: &ChaosPlan, cluster: &Cluster<CounterService>, done: bool) -> 
 /// every candidate stays well-formed). Returns the original plan when it
 /// does not fail at all.
 pub fn shrink(plan: &ChaosPlan) -> ChaosPlan {
-    if run_plan(plan).ok {
+    shrink_with(plan, |p| !run_plan(p).ok)
+}
+
+/// [`shrink`] with a caller-supplied failure predicate, so the same delta
+/// debugging drives any executor — the realnet runner shrinks live TCP
+/// schedules by passing its own `fails`. The predicate returns true when
+/// the candidate plan still fails.
+pub fn shrink_with(plan: &ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bool) -> ChaosPlan {
+    if !fails(plan) {
         return plan.clone();
     }
     let mut episodes = plan.episodes();
@@ -816,7 +947,7 @@ pub fn shrink(plan: &ChaosPlan) -> ChaosPlan {
                 i = hi;
                 continue;
             }
-            if !run_plan(&plan.filter_episodes(&candidate)).ok {
+            if fails(&plan.filter_episodes(&candidate)) {
                 episodes = candidate; // Still fails without these: drop them.
             } else {
                 i = hi;
@@ -880,6 +1011,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn realnet_plans_guarantee_fault_coverage_and_stay_pure() {
+        for seed in 0..20 {
+            let a = ChaosPlan::generate_realnet(seed);
+            let b = ChaosPlan::generate_realnet(seed);
+            assert_eq!(a.events, b.events, "realnet plans are pure");
+            assert!(a.realnet);
+            assert!(a.repro_command().contains("--realnet"));
+            // Every realnet seed must exercise a partition, asymmetric
+            // loss/jitter, and a live crash–restart.
+            let has = |probe: fn(&ChaosAction) -> bool| a.events.iter().any(|e| probe(&e.action));
+            assert!(
+                has(|x| matches!(x, ChaosAction::Partition(_))),
+                "seed {seed}"
+            );
+            assert!(
+                has(|x| matches!(x, ChaosAction::DegradeLink { .. })),
+                "seed {seed}"
+            );
+            assert!(
+                has(|x| matches!(x, ChaosAction::Crash { .. })),
+                "seed {seed}"
+            );
+            assert!(
+                has(|x| matches!(x, ChaosAction::Restart { .. })),
+                "seed {seed}"
+            );
+            // Appended episodes keep the schedule well-formed: sorted and
+            // episode-tagged (paired fault/heal under one index).
+            assert!(a.events.windows(2).all(|w| w[0].at.0 <= w[1].at.0));
+            let v = ChaosPlan::generate_realnet_with_violation(seed);
+            assert!(v
+                .events
+                .iter()
+                .any(|e| matches!(e.action, ChaosAction::TamperJournal { .. })));
+            assert!(v.repro_command().contains("--inject-violation"));
+        }
+    }
+
+    #[test]
+    fn shrink_with_drives_custom_predicate() {
+        // Failure defined as "contains the tamper episode": shrinking must
+        // isolate exactly that episode without ever running the simulator.
+        let plan = ChaosPlan::generate_with_violation(11);
+        let tamper_ep = plan
+            .events
+            .iter()
+            .find(|e| matches!(e.action, ChaosAction::TamperJournal { .. }))
+            .map(|e| e.episode)
+            .unwrap();
+        let shrunk = shrink_with(&plan, |p| {
+            p.events
+                .iter()
+                .any(|e| matches!(e.action, ChaosAction::TamperJournal { .. }))
+        });
+        assert_eq!(shrunk.episodes(), vec![tamper_ep]);
     }
 
     #[test]

@@ -158,3 +158,67 @@ fn crash_restart_rejoins_from_durable_state() {
         "rebooted replica resumed executing"
     );
 }
+
+/// Regression (restarted-primary catch-up): a primary that crashes after
+/// ordering a tail of batches above the stable checkpoint reboots with its
+/// log empty (restart rolls volatile state back to the checkpoint). It can
+/// neither re-propose those sequence numbers (they are taken — a fresh
+/// assignment would equivocate with its pre-crash self) nor fetch them by
+/// state transfer (no newer stable checkpoint exists), and the group never
+/// view-changes away from a live primary. It must re-learn its own
+/// pre-prepares from the copies peers retransmit via §5.2 status messages;
+/// a primary that drops incoming pre-prepares wedges at the checkpoint
+/// forever, which is exactly how the live chaos soak caught this.
+#[test]
+fn restarted_primary_relearns_its_own_tail_without_view_change() {
+    // 5 clients x 7 unbatched ops = 35 sequence numbers: with a checkpoint
+    // interval of 8, the run quiesces with a 3-batch tail above the last
+    // stable checkpoint (32), so the restarted primary has something it
+    // can only recover via retransmission. (A client x op product that is
+    // a multiple of 8 would quiesce exactly on a checkpoint and make the
+    // test vacuous.)
+    let clients = 5u32;
+    let ops = 7u64;
+    let mut config = ClusterConfig::test(1, clients);
+    config.seed = 13;
+    let mut cluster = counter_cluster(config);
+    cluster.set_workload(OpGen::fixed(inc_op(), false, ops));
+    assert!(
+        cluster.run_to_completion(SimTime(600_000_000)),
+        "workload must complete before the primary restarts"
+    );
+    // Let in-flight checkpoint certificates settle before sampling.
+    cluster.run_until(SimTime(cluster.now().0 + 500_000));
+    let frontier = cluster.replica(0).last_executed();
+    let stable = cluster.replica(0).stable_checkpoint().0;
+    assert!(
+        frontier > stable,
+        "test needs committed batches above the stable checkpoint \
+         (frontier {frontier}, stable {stable}); adjust ops or the seed"
+    );
+    cluster.schedule_fault(
+        SimTime(cluster.now().0 + 50_000),
+        Fault::Crash(ReplicaId(0)),
+    );
+    cluster.schedule_fault(
+        SimTime(cluster.now().0 + 250_000),
+        Fault::Restart(ReplicaId(0)),
+    );
+    // Several status intervals: catch-up is driven by periodic
+    // retransmission, not by fresh client traffic.
+    let tail = SimTime(cluster.now().0 + 5_000_000);
+    cluster.run_until(tail);
+    assert_eq!(
+        cluster.replica(0).last_executed(),
+        frontier,
+        "restarted primary must re-learn and re-execute its pre-crash tail"
+    );
+    assert_committed_journals_agree(&cluster);
+    for i in 0..4usize {
+        assert_eq!(
+            cluster.replica(i).view().0,
+            0,
+            "replica {i} left view 0: catch-up must not need a view change"
+        );
+    }
+}
