@@ -2,7 +2,7 @@
 //! cluster.
 //!
 //! Usage:
-//!   pbft-client --config cluster.conf [--clients N] [--first-id C]
+//!   pbft-client --config cluster.conf [--shard K] [--clients N] [--first-id C]
 //!               [--ops K] [--op-bytes B] [--read-every M]
 //!               [--think-ms T | --rate OPS_PER_SEC]
 //!               [--retransmit-ms MS] [--deadline-secs S]
@@ -10,16 +10,19 @@
 //! Each client worker runs one `ClientProxy` in a closed loop (default)
 //! or paced open loop (`--rate`, per client), issuing the benchmark mix:
 //! padded counter increments with every `--read-every`-th operation a
-//! read-only `GET`. Prints per-client lines and an aggregate summary.
+//! read-only `GET`. With a sharded config, `--shard K` routes every
+//! client at group `k` (single-shard routing: the workload pays nothing
+//! for the shards it never touches). Prints per-client lines and an
+//! aggregate summary.
 
 use bft_runtime::client::{run_client, run_workers, ClientReport, LoadMode, Workload};
 use bft_runtime::config::Topology;
-use bft_types::ClientId;
+use bft_types::{ClientId, ShardId};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pbft-client --config FILE [--clients N] [--first-id C] [--ops K] \
+        "usage: pbft-client --config FILE [--shard K] [--clients N] [--first-id C] [--ops K] \
          [--op-bytes B] [--read-every M] [--think-ms T | --rate R] \
          [--retransmit-ms MS] [--deadline-secs S]"
     );
@@ -29,6 +32,7 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config_path: Option<String> = None;
+    let mut shard: u32 = 0;
     let mut clients: u32 = 1;
     let mut first_id: u32 = 0;
     let mut ops: u64 = 100;
@@ -46,6 +50,10 @@ fn main() {
         };
         match a.as_str() {
             "--config" => config_path = it.next().cloned(),
+            "--shard" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => shard = v,
+                None => usage(),
+            },
             "--clients" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => clients = v,
                 None => usage(),
@@ -78,6 +86,14 @@ fn main() {
         eprintln!("pbft-client: bad config {config_path}: {e}");
         std::process::exit(1);
     });
+    if shard >= topo.num_shards() {
+        eprintln!(
+            "pbft-client: shard {shard} out of range (topology has {} shard(s))",
+            topo.num_shards()
+        );
+        std::process::exit(1);
+    }
+    let topo = topo.project(ShardId(shard));
 
     let mode = match rate {
         Some(r) if r > 0.0 => LoadMode::Open {
@@ -97,7 +113,7 @@ fn main() {
     let deadline = Duration::from_secs(deadline_secs);
 
     println!(
-        "pbft-client: {clients} client(s) x {ops} ops ({:?}), {} replicas",
+        "pbft-client: {clients} client(s) x {ops} ops ({:?}), shard {shard}, {} replicas",
         workload.mode,
         topo.replicas.len()
     );

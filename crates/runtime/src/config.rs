@@ -19,22 +19,42 @@
 //! replica.3 = 127.0.0.1:5103
 //! ```
 //!
-//! Every node derives identical key material from `key_seed`
-//! ([`bft_core::ClusterKeys::generate`] is deterministic), so the file
-//! alone boots a working cluster.
+//! A sharded deployment adds `shard.<k>.replica.<n>` sections for the
+//! extra groups (plain `replica.<n>` keys are shard 0, so every
+//! single-shard file from before sharding parses unchanged):
+//!
+//! ```text
+//! f = 1
+//! replica.0 = 127.0.0.1:5100        # shard 0
+//! # ...
+//! shard.1.replica.0 = 127.0.0.1:5200
+//! shard.1.replica.1 = 127.0.0.1:5201
+//! # ...
+//! ```
+//!
+//! Every group needs its full `3f + 1` addresses; duplicate replica ids
+//! and duplicate listen addresses are rejected with the offending line.
+//! [`Topology::project`] narrows a parsed deployment to one shard so the
+//! node and client runtimes stay single-group; per-shard key material
+//! derives from `key_seed` through the shard id
+//! ([`bft_core::ClusterKeys::generate_sharded`]), so MACs never verify
+//! across groups.
 
 use bft_core::{ClientConfig, ClusterKeys, ReplicaConfig};
-use bft_types::{GroupParams, SimDuration};
+use bft_types::{GroupParams, ShardId, ShardMap, SimDuration};
+use std::collections::HashMap;
 use std::net::SocketAddr;
 
-/// A parsed cluster topology.
+/// A parsed cluster topology: the whole deployment plus the shard this
+/// view describes ([`Topology::parse`] yields the shard-0 view;
+/// [`Topology::project`] selects another).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Topology {
-    /// Fault threshold; the cluster needs `3f + 1` replica addresses.
+    /// Fault threshold; every group needs `3f + 1` replica addresses.
     pub f: usize,
     /// Number of client principals provisioned in the key tables.
     pub clients: u32,
-    /// Seed all nodes derive shared key material from.
+    /// Seed all nodes derive shared key material from (via the shard id).
     pub key_seed: u64,
     /// Base view-change timeout in milliseconds.
     pub view_change_ms: u64,
@@ -50,14 +70,44 @@ pub struct Topology {
     /// Batches the primary keeps in flight at once (clamped to the
     /// protocol window by `bft-core`).
     pub pipeline_depth: u64,
-    /// Listen addresses, indexed by replica id.
+    /// The shard this topology view describes (key derivation, routing).
+    pub shard: ShardId,
+    /// Listen addresses of this shard's replicas, indexed by replica id.
+    /// Mutate through [`Topology::set_replicas`] to keep `all_shards` in
+    /// sync.
     pub replicas: Vec<SocketAddr>,
+    /// Listen addresses of every shard in the deployment (index = shard
+    /// id); `all_shards[shard.0]` always equals `replicas`.
+    pub all_shards: Vec<Vec<SocketAddr>>,
 }
 
 impl Topology {
     /// A localhost topology for `3f + 1` replicas on consecutive ports.
     pub fn localhost(f: usize, clients: u32, base_port: u16) -> Self {
+        Self::localhost_sharded(f, clients, base_port, 1)
+    }
+
+    /// A localhost deployment of `shards` groups of `3f + 1` replicas;
+    /// shard `k` replica `i` listens on `base_port + k*n + i`. The
+    /// returned view is shard 0 (see [`Topology::project`]).
+    pub fn localhost_sharded(f: usize, clients: u32, base_port: u16, shards: u32) -> Self {
         let n = 3 * f + 1;
+        let all_shards: Vec<Vec<SocketAddr>> = (0..shards)
+            .map(|k| {
+                (0..n)
+                    .map(|i| {
+                        // Built directly rather than parsed from a string:
+                        // this constructor must be infallible (ports are u16
+                        // by construction), and a panic here once masked real
+                        // malformed-address reporting in `parse`.
+                        SocketAddr::new(
+                            std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                            base_port.wrapping_add((k as usize * n + i) as u16),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
         Topology {
             f,
             clients,
@@ -68,22 +118,50 @@ impl Topology {
             batching: true,
             workers: 0,
             pipeline_depth: 8,
-            replicas: (0..n)
-                .map(|i| {
-                    // Built directly rather than parsed from a string: this
-                    // constructor must be infallible (ports are u16 by
-                    // construction), and a panic here once masked real
-                    // malformed-address reporting in `parse`.
-                    SocketAddr::new(
-                        std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                        base_port.wrapping_add(i as u16),
-                    )
-                })
-                .collect(),
+            shard: ShardId(0),
+            replicas: all_shards[0].clone(),
+            all_shards,
         }
     }
 
+    /// Narrows this deployment to one shard: the returned topology has
+    /// that shard's addresses in `replicas` and derives that shard's key
+    /// material, while keeping the full deployment in `all_shards` for
+    /// client-side routing. Shard 0's projection is the parse result
+    /// itself.
+    pub fn project(&self, shard: ShardId) -> Self {
+        assert!(
+            (shard.0 as usize) < self.all_shards.len(),
+            "shard {shard} out of range ({} shards)",
+            self.all_shards.len()
+        );
+        Topology {
+            shard,
+            replicas: self.all_shards[shard.0 as usize].clone(),
+            ..self.clone()
+        }
+    }
+
+    /// Number of shards in the deployment.
+    pub fn num_shards(&self) -> u32 {
+        self.all_shards.len() as u32
+    }
+
+    /// The uniform keyspace partition clients route by.
+    pub fn shard_map(&self) -> ShardMap {
+        ShardMap::uniform(self.num_shards())
+    }
+
+    /// Replaces this shard's listen addresses, keeping the deployment
+    /// view in sync (loopback harnesses bind ephemeral ports after the
+    /// fact).
+    pub fn set_replicas(&mut self, replicas: Vec<SocketAddr>) {
+        self.all_shards[self.shard.0 as usize] = replicas.clone();
+        self.replicas = replicas;
+    }
+
     /// Parses the config file format documented at the module level.
+    /// Returns the shard-0 view of the deployment.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut topo = Topology {
             f: 0,
@@ -95,22 +173,66 @@ impl Topology {
             batching: true,
             workers: 0,
             pipeline_depth: 8,
+            shard: ShardId(0),
             replicas: Vec::new(),
+            all_shards: Vec::new(),
         };
-        let mut replicas: Vec<(usize, SocketAddr)> = Vec::new();
+        // (shard, replica id) -> (address, 1-based line) for every
+        // `replica.<n>` / `shard.<k>.replica.<n>` line seen.
+        let mut replicas: Vec<(u32, usize, SocketAddr, usize)> = Vec::new();
+        let mut seen_ids: HashMap<(u32, usize), usize> = HashMap::new();
+        let mut seen_addrs: HashMap<SocketAddr, usize> = HashMap::new();
         for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(format!("line {}: expected `key = value`", lineno + 1));
+                return Err(format!("line {lineno}: expected `key = value`"));
             };
             let (key, value) = (key.trim(), value.trim());
             let parse_u64 = |v: &str, what: &str| {
                 v.parse::<u64>()
-                    .map_err(|_| format!("line {}: bad {what} `{v}`", lineno + 1))
+                    .map_err(|_| format!("line {lineno}: bad {what} `{v}`"))
             };
+            // `replica.<n>` is shorthand for `shard.0.replica.<n>`.
+            let replica_key = if let Some(rest) = key.strip_prefix("shard.") {
+                let Some((shard, sub)) = rest.split_once('.') else {
+                    return Err(format!("line {lineno}: bad shard key `{key}`"));
+                };
+                let shard: u32 = shard
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bad shard index `{key}`"))?;
+                let Some(idx) = sub.strip_prefix("replica.") else {
+                    return Err(format!(
+                        "line {lineno}: unknown shard key `{key}` (expected shard.<k>.replica.<n>)"
+                    ));
+                };
+                Some((shard, idx))
+            } else {
+                key.strip_prefix("replica.").map(|idx| (0, idx))
+            };
+            if let Some((shard, idx)) = replica_key {
+                let idx: usize = idx
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bad replica index `{key}`"))?;
+                let addr: SocketAddr = value
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bad address `{value}`"))?;
+                if let Some(first) = seen_ids.insert((shard, idx), lineno) {
+                    return Err(format!(
+                        "line {lineno}: duplicate replica id `{key}` (first defined on line {first})"
+                    ));
+                }
+                if let Some(first) = seen_addrs.insert(addr, lineno) {
+                    return Err(format!(
+                        "line {lineno}: duplicate listen address `{addr}` (first used on line {first})"
+                    ));
+                }
+                replicas.push((shard, idx, addr, lineno));
+                continue;
+            }
             match key {
                 "f" => topo.f = parse_u64(value, "f")? as usize,
                 "clients" => topo.clients = parse_u64(value, "clients")? as u32,
@@ -124,44 +246,54 @@ impl Topology {
                     topo.batching = match value {
                         "true" => true,
                         "false" => false,
-                        _ => return Err(format!("line {}: bad batching `{value}`", lineno + 1)),
+                        _ => return Err(format!("line {lineno}: bad batching `{value}`")),
                     }
                 }
                 "workers" => topo.workers = parse_u64(value, "workers")? as usize,
                 "pipeline_depth" => {
                     topo.pipeline_depth = parse_u64(value, "pipeline_depth")?;
                     if topo.pipeline_depth == 0 {
-                        return Err(format!(
-                            "line {}: pipeline_depth must be at least 1",
-                            lineno + 1
-                        ));
+                        return Err(format!("line {lineno}: pipeline_depth must be at least 1"));
                     }
                 }
-                _ if key.starts_with("replica.") => {
-                    let idx: usize = key["replica.".len()..]
-                        .parse()
-                        .map_err(|_| format!("line {}: bad replica index `{key}`", lineno + 1))?;
-                    let addr: SocketAddr = value
-                        .parse()
-                        .map_err(|_| format!("line {}: bad address `{value}`", lineno + 1))?;
-                    replicas.push((idx, addr));
-                }
-                _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
+                _ => return Err(format!("line {lineno}: unknown key `{key}`")),
             }
         }
         if topo.f == 0 {
             return Err("missing or zero `f`".into());
         }
         let n = 3 * topo.f + 1;
-        replicas.sort_by_key(|(i, _)| *i);
-        let indices: Vec<usize> = replicas.iter().map(|(i, _)| *i).collect();
-        if indices != (0..n).collect::<Vec<_>>() {
-            return Err(format!(
-                "need replica.0 .. replica.{} (3f+1 = {n} addresses), got indices {indices:?}",
-                n - 1
-            ));
+        let num_shards = replicas.iter().map(|&(k, ..)| k + 1).max().unwrap_or(1);
+        replicas.sort_by_key(|&(k, i, ..)| (k, i));
+        for k in 0..num_shards {
+            let indices: Vec<usize> = replicas
+                .iter()
+                .filter(|&&(s, ..)| s == k)
+                .map(|&(_, i, ..)| i)
+                .collect();
+            if indices != (0..n).collect::<Vec<_>>() {
+                let what = if k == 0 {
+                    "replica".into()
+                } else {
+                    format!("shard.{k}.replica")
+                };
+                return Err(format!(
+                    "shard {k}: need {what}.0 .. {what}.{} (3f+1 = {n} addresses), \
+                     got indices {indices:?}",
+                    n - 1
+                ));
+            }
         }
-        topo.replicas = replicas.into_iter().map(|(_, a)| a).collect();
+        topo.all_shards = (0..num_shards)
+            .map(|k| {
+                replicas
+                    .iter()
+                    .filter(|&&(s, ..)| s == k)
+                    .map(|&(_, _, a, _)| a)
+                    .collect()
+            })
+            .collect();
+        topo.replicas = topo.all_shards[0].clone();
         Ok(topo)
     }
 
@@ -180,8 +312,14 @@ impl Topology {
         out.push_str(&format!("batching = {}\n", self.batching));
         out.push_str(&format!("workers = {}\n", self.workers));
         out.push_str(&format!("pipeline_depth = {}\n", self.pipeline_depth));
-        for (i, addr) in self.replicas.iter().enumerate() {
-            out.push_str(&format!("replica.{i} = {addr}\n"));
+        for (k, shard) in self.all_shards.iter().enumerate() {
+            for (i, addr) in shard.iter().enumerate() {
+                if k == 0 {
+                    out.push_str(&format!("replica.{i} = {addr}\n"));
+                } else {
+                    out.push_str(&format!("shard.{k}.replica.{i} = {addr}\n"));
+                }
+            }
         }
         out
     }
@@ -194,6 +332,7 @@ impl Topology {
     /// The replica protocol configuration this topology implies.
     pub fn replica_config(&self) -> ReplicaConfig {
         let mut config = ReplicaConfig::small(self.f);
+        config.shard = self.shard;
         config.num_clients = self.clients.max(config.num_clients);
         config.view_change_timeout = SimDuration::from_millis(self.view_change_ms);
         config.status_interval = SimDuration::from_millis(self.status_ms);
@@ -213,14 +352,18 @@ impl Topology {
         ClientConfig::from_replica(&self.replica_config())
     }
 
-    /// Deterministic shared key material for every node in the cluster.
+    /// Deterministic shared key material for every node in this shard's
+    /// group. Derivation runs through the shard id, so shard 0 matches
+    /// the pre-sharding material bit for bit and MACs never verify across
+    /// groups.
     pub fn keys(&self) -> ClusterKeys {
         let config = self.replica_config();
-        ClusterKeys::generate(
+        ClusterKeys::generate_sharded(
             config.group,
             config.num_clients,
             config.sig_modulus_bits,
             self.key_seed,
+            self.shard,
         )
     }
 }
@@ -299,6 +442,98 @@ mod tests {
         // A zero depth would deadlock the primary; reject it at parse.
         assert!(Topology::parse("f = 1\npipeline_depth = 0\n").is_err());
         assert!(Topology::parse("f = 1\nworkers = x\n").is_err());
+    }
+
+    #[test]
+    fn sharded_topology_roundtrips_and_projects() {
+        let topo = Topology::localhost_sharded(1, 8, 5100, 3);
+        assert_eq!(topo.num_shards(), 3);
+        assert_eq!(topo.shard_map().num_shards(), 3);
+        let text = topo.to_config_string();
+        assert!(
+            text.contains("shard.1.replica.0 = 127.0.0.1:5104"),
+            "{text}"
+        );
+        let back = Topology::parse(&text).expect("parse own output");
+        assert_eq!(back, topo);
+        // Projection selects the shard's addresses and keeps the
+        // deployment for routing.
+        let s2 = back.project(ShardId(2));
+        assert_eq!(s2.replicas, back.all_shards[2]);
+        assert_eq!(s2.all_shards, back.all_shards);
+        assert_eq!(s2.replica_config().shard, ShardId(2));
+        // Shard 0's projection is the parse result itself.
+        assert_eq!(back.project(ShardId(0)), back);
+        // Per-shard key material differs; shard 0 matches the unsharded
+        // derivation bit for bit.
+        assert_ne!(s2.keys().mac_domain, 0);
+        assert_eq!(back.keys().mac_domain, 0);
+    }
+
+    /// Duplicate replica ids and duplicate listen addresses are
+    /// config-file mistakes that would produce a cluster where two nodes
+    /// fight over one identity or one port; both are rejected with the
+    /// offending line.
+    #[test]
+    fn rejects_duplicate_ids_and_addresses_naming_the_line() {
+        // Same replica id twice (shard 0).
+        let err = Topology::parse(
+            "f = 1\nreplica.0 = 127.0.0.1:1\nreplica.1 = 127.0.0.1:2\n\
+             replica.1 = 127.0.0.1:3\nreplica.3 = 127.0.0.1:4\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+        assert!(err.contains("duplicate replica id `replica.1`"), "{err}");
+        assert!(err.contains("first defined on line 3"), "{err}");
+        // Same id twice within a non-zero shard section.
+        let base = "f = 1\nreplica.0 = 127.0.0.1:1\nreplica.1 = 127.0.0.1:2\n\
+                    replica.2 = 127.0.0.1:3\nreplica.3 = 127.0.0.1:4\n";
+        let err = Topology::parse(&format!(
+            "{base}shard.1.replica.0 = 127.0.0.1:11\nshard.1.replica.0 = 127.0.0.1:12\n"
+        ))
+        .unwrap_err();
+        assert!(err.contains("line 7"), "{err}");
+        assert!(
+            err.contains("duplicate replica id `shard.1.replica.0`"),
+            "{err}"
+        );
+        // Same listen address on two nodes — across shards, even.
+        let err = Topology::parse(&format!("{base}shard.1.replica.0 = 127.0.0.1:2\n")).unwrap_err();
+        assert!(err.contains("line 6"), "{err}");
+        assert!(
+            err.contains("duplicate listen address `127.0.0.1:2`"),
+            "{err}"
+        );
+        assert!(err.contains("first used on line 3"), "{err}");
+        // The same id on *different* shards is fine.
+        let ok = Topology::parse(&format!(
+            "{base}shard.1.replica.0 = 127.0.0.1:11\nshard.1.replica.1 = 127.0.0.1:12\n\
+             shard.1.replica.2 = 127.0.0.1:13\nshard.1.replica.3 = 127.0.0.1:14\n"
+        ))
+        .expect("two disjoint shards parse");
+        assert_eq!(ok.num_shards(), 2);
+    }
+
+    #[test]
+    fn incomplete_shard_sections_are_rejected() {
+        let base = "f = 1\nreplica.0 = 127.0.0.1:1\nreplica.1 = 127.0.0.1:2\n\
+                    replica.2 = 127.0.0.1:3\nreplica.3 = 127.0.0.1:4\n";
+        // Shard 1 present but short of 3f+1 addresses.
+        let err =
+            Topology::parse(&format!("{base}shard.1.replica.0 = 127.0.0.1:11\n")).unwrap_err();
+        assert!(err.contains("shard 1"), "{err}");
+        assert!(err.contains("3f+1"), "{err}");
+        // A shard gap (shard 2 defined, shard 1 absent) is a missing
+        // group, not a sparse numbering scheme.
+        let err = Topology::parse(&format!(
+            "{base}shard.2.replica.0 = 127.0.0.1:21\nshard.2.replica.1 = 127.0.0.1:22\n\
+             shard.2.replica.2 = 127.0.0.1:23\nshard.2.replica.3 = 127.0.0.1:24\n"
+        ))
+        .unwrap_err();
+        assert!(err.contains("shard 1"), "{err}");
+        // Malformed shard keys are named.
+        assert!(Topology::parse("f = 1\nshard.x.replica.0 = 127.0.0.1:1\n").is_err());
+        assert!(Topology::parse("f = 1\nshard.1.nonsense.0 = 127.0.0.1:1\n").is_err());
     }
 
     #[test]

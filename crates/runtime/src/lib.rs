@@ -57,7 +57,7 @@ pub use client::{
 pub use clock::RtTimers;
 pub use config::Topology;
 pub use inject::{FaultPlane, LinkTally, SendVerdict, StormSignal};
-pub use loopback::{ConvergeFailure, ConvergeTimeout, LoopbackCluster};
+pub use loopback::{ConvergeFailure, ConvergeTimeout, LoopbackCluster, ShardedLoopback};
 pub use node::{spawn_counter_replica, spawn_counter_replica_faulted, NodeHandle, Snapshot};
 pub use pool::MacPool;
 pub use transport::{Transport, TransportStats};

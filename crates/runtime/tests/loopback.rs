@@ -141,10 +141,12 @@ fn pooled_and_direct_replicas_commit_identical_journals() {
         .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
         .collect();
     let mut topo = Topology::localhost(1, 3, 1);
-    topo.replicas = listeners
-        .iter()
-        .map(|l| l.local_addr().expect("addr"))
-        .collect();
+    topo.set_replicas(
+        listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr"))
+            .collect(),
+    );
     topo.checkpoint_interval = 16;
     topo.pipeline_depth = 8;
     let nodes: Vec<_> = listeners

@@ -1,0 +1,84 @@
+//! Sharded loopback suite: two independent PBFT groups over live TCP,
+//! multiplexed clients routed single-shard, per-shard journal
+//! verification, and proof that shard key material is actually disjoint
+//! (a frame MAC'd for one group must not verify on the other).
+
+use bft_runtime::client::Workload;
+use bft_runtime::loopback::ShardedLoopback;
+use bft_types::ShardId;
+use std::time::Duration;
+
+const DEADLINE: Duration = Duration::from_secs(120);
+
+#[test]
+fn two_shards_commit_independently_with_mux_clients() {
+    let clients = 4u32;
+    let ops = 40u64;
+    let cluster = ShardedLoopback::start(1, clients, 2);
+
+    // The shards derive from the same key_seed but through different
+    // shard ids: same deployment file, disjoint key material.
+    let t0 = &cluster.shards[0].topo;
+    let t1 = &cluster.shards[1].topo;
+    assert_eq!(t0.key_seed, t1.key_seed);
+    assert_eq!(t0.shard, ShardId(0));
+    assert_eq!(t1.shard, ShardId(1));
+    assert_eq!(t0.keys().mac_domain, 0, "shard 0 = pre-sharding material");
+    assert_ne!(t1.keys().mac_domain, 0);
+
+    // A MAC computed with shard 0's keys must not verify under shard
+    // 1's: the cross-group identity-collision guard, checked on the
+    // exact key material the live nodes booted with.
+    {
+        use bft_core::authn::AuthState;
+        use bft_types::{NodeId, ReplicaId};
+        let rc0 = t0.replica_config();
+        let mut s0r0 = AuthState::new(
+            rc0.auth,
+            NodeId::Replica(ReplicaId(0)),
+            rc0.group,
+            rc0.num_clients,
+            &t0.keys(),
+        );
+        let rc1 = t1.replica_config();
+        let s1r1 = AuthState::new(
+            rc1.auth,
+            NodeId::Replica(ReplicaId(1)),
+            rc1.group,
+            rc1.num_clients,
+            &t1.keys(),
+        );
+        let auth = s0r0.mac_to(NodeId::Replica(ReplicaId(1)), b"payload");
+        assert!(
+            !s1r1.verify(NodeId::Replica(ReplicaId(0)), b"payload", &auth),
+            "shard 1 must reject shard 0 MACs"
+        );
+    }
+
+    // Mux clients drive both shards concurrently; every op completes.
+    let reports = cluster.run_clients_mux(clients, 1, &Workload::closed(ops), DEADLINE);
+    assert_eq!(reports.len(), 2);
+    for (k, shard_reports) in reports.iter().enumerate() {
+        assert_eq!(shard_reports.len(), clients as usize);
+        for r in shard_reports {
+            assert_eq!(
+                r.completed, ops,
+                "shard {k} client {} incomplete",
+                r.client.0
+            );
+        }
+    }
+
+    // Per-shard journal verification: each group converges to one
+    // digest at one frontier with agreeing journals — and the two
+    // groups executed the same workload shape, so both made progress.
+    let snaps = cluster.wait_all_converged(Duration::from_secs(60));
+    for (k, shard_snaps) in snaps.iter().enumerate() {
+        assert_eq!(shard_snaps.len(), 4, "shard {k} lost a replica");
+        assert!(
+            shard_snaps[0].last_exec.0 > 0,
+            "shard {k} committed nothing"
+        );
+    }
+    cluster.shutdown();
+}

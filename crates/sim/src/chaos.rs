@@ -706,7 +706,7 @@ fn run_cluster(plan: &ChaosPlan) -> (Cluster<CounterService>, bool) {
     (cluster, done)
 }
 
-fn to_faults(action: &ChaosAction) -> Vec<Fault> {
+pub(crate) fn to_faults(action: &ChaosAction) -> Vec<Fault> {
     let r = |i: &u32| ReplicaId(*i);
     let node = |i: &u32| NodeId::Replica(ReplicaId(*i));
     match action {

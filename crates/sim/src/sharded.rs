@@ -1,0 +1,1031 @@
+//! Multi-group simulation: N independent PBFT shards behind one
+//! deterministic scheduler, client-side shard routing, cross-shard atomic
+//! multicast, and the sharded chaos campaign.
+//!
+//! Each shard is a full [`Cluster`] — the existing single-group stack,
+//! unchanged — running [`ShardedCounterService`]. A [`ShardedCluster`]
+//! advances all groups in lock step by the global minimum next-event time,
+//! so a multi-group run is as deterministic as a single-group one: same
+//! seed, same bits.
+//!
+//! Clients route by key through a [`ShardMap`]. A single-shard operation
+//! goes straight to the owning group and pays nothing extra. A multi-shard
+//! operation runs the Skeen-style prepare/commit/query protocol of
+//! [`bft_statemachine::sharded`] through every group it touches, driven by
+//! a [`Coordinator`] that the per-group workload drivers share; the
+//! operation completes only after *delivery* on every touched shard, which
+//! is what makes its writes visible to subsequent single-shard reads
+//! everywhere (cross-shard read-your-writes).
+//!
+//! [`run_sharded_plan`] layers the chaos campaign on top: every shard gets
+//! its own seeded fault schedule (derived from the campaign seed via
+//! [`shard_seed`]), and the oracle extends the four single-group checks
+//! with a fifth — **atomicity**: every pair of shards must have delivered
+//! their common multi-shard operations in the same relative order.
+
+use crate::chaos::{committed_journal, journal_divergences, to_faults, ChaosAction, ChaosPlan};
+use crate::harness::{Cluster, ClusterConfig, Driver, DriverStep, Fault};
+use bft_core::ReplicaConfig;
+use bft_net::ChannelConfig;
+use bft_statemachine::sharded::{
+    decode_proposed_ts, decode_query, op_cross_commit, op_cross_prepare, op_cross_query, op_get,
+    op_inc,
+};
+use bft_statemachine::{CrossOpId, ShardedCounterService};
+use bft_types::{shard_seed, ClientId, ShardId, ShardMap, SimDuration, SimTime};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Pages reserved per replica for the cross-shard protocol state.
+const CROSS_PAGES: u64 = 8;
+
+/// Keys provisioned per shard (client `c` owns key `range_start + c`).
+const LOCAL_KEYS: u64 = 64;
+
+/// Configuration for a multi-group cluster.
+#[derive(Clone, Debug)]
+pub struct ShardedClusterConfig {
+    /// Number of independent PBFT groups.
+    pub shards: u32,
+    /// Clients (each client has a proxy in every group it touches).
+    pub clients: u32,
+    /// Master seed; per-shard key material derives via [`shard_seed`].
+    pub seed: u64,
+    /// Fault tolerance per group.
+    pub f: usize,
+    /// Client think time between logical operations, µs.
+    pub think_us: u64,
+}
+
+impl ShardedClusterConfig {
+    /// A small test configuration.
+    pub fn test(shards: u32, clients: u32) -> Self {
+        ShardedClusterConfig {
+            shards,
+            clients,
+            seed: 42,
+            f: 1,
+            think_us: 0,
+        }
+    }
+}
+
+/// One logical operation in a client's scripted workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogicalOp {
+    /// Single-shard increment of the client's own key on `shard`.
+    Inc {
+        /// Target shard.
+        shard: u32,
+        /// Increment amount (may be negative: a withdrawal).
+        delta: i64,
+    },
+    /// Single-shard read of the client's own key on `shard`.
+    Get {
+        /// Target shard.
+        shard: u32,
+    },
+    /// Atomic multi-shard operation: apply `delta` to the client's own key
+    /// on each listed shard (distinct shards; a transfer is a negative and
+    /// a positive delta in one op).
+    Cross {
+        /// `(shard, delta)` per touched shard.
+        items: Vec<(u32, i64)>,
+    },
+}
+
+/// What a client session is currently doing.
+enum Phase {
+    /// Ready to start the next scripted operation.
+    Start,
+    /// A single-shard op is in flight on `shard`.
+    Single {
+        /// Owning shard.
+        shard: u32,
+    },
+    /// Collecting proposed timestamps from every touched shard.
+    Prepare {
+        /// `(shard, delta)` items of the cross op.
+        items: Vec<(u32, i64)>,
+        /// Proposed timestamp per item, filled as replies arrive.
+        proposals: Vec<Option<u64>>,
+    },
+    /// Announcing the final timestamp to every touched shard.
+    Commit {
+        /// `(shard, delta)` items of the cross op.
+        items: Vec<(u32, i64)>,
+        /// The agreed final timestamp (max of proposals).
+        final_ts: u64,
+        /// Commit acknowledged per item.
+        acked: Vec<bool>,
+    },
+    /// Polling every touched shard until the op is *delivered* there.
+    Query {
+        /// `(shard, delta)` items of the cross op.
+        items: Vec<(u32, i64)>,
+        /// Delivery observed per item.
+        delivered: Vec<bool>,
+    },
+    /// Script exhausted.
+    Finished,
+}
+
+/// How to interpret the result of the op in flight on one `(shard, client)`
+/// slot.
+#[derive(Clone, Copy, Debug)]
+enum Issued {
+    Inc {
+        delta: i64,
+    },
+    Get,
+    /// Index into the cross op's `items`.
+    Prepare {
+        idx: usize,
+    },
+    Commit {
+        idx: usize,
+    },
+    Query {
+        idx: usize,
+    },
+}
+
+struct Session {
+    script: Vec<LogicalOp>,
+    cursor: usize,
+    phase: Phase,
+    /// Expected value of this client's own key, per shard — the arithmetic
+    /// ground truth for the exactly-once and read-your-writes checks.
+    expected: Vec<i64>,
+    /// Next cross-op sequence number (unique per client).
+    cross_seq: u64,
+    /// Logical operations completed.
+    completed: u64,
+}
+
+/// Shared client-side routing and cross-shard coordination state. Each
+/// per-group driver holds an `Rc<RefCell<Coordinator>>`; the coordinator
+/// never calls back into the clusters (wake requests are drained by the
+/// scheduler between slices), so borrows stay shallow.
+struct Coordinator {
+    map: ShardMap,
+    sessions: Vec<Session>,
+    /// In-flight op per `(shard, client)` slot (row-major by shard).
+    issued: Vec<Option<Issued>>,
+    clients: u32,
+    /// `(shard, client)` pairs whose driver should be re-polled.
+    wake: Vec<(u32, u32)>,
+    /// Oracle violations observed client-side, with context.
+    violations: Vec<String>,
+}
+
+impl Coordinator {
+    fn slot(&self, shard: u32, client: u32) -> usize {
+        (shard * self.clients + client) as usize
+    }
+
+    fn all_done(&self) -> bool {
+        self.sessions
+            .iter()
+            .all(|s| matches!(s.phase, Phase::Finished))
+    }
+
+    fn record(&mut self, shard: u32, client: u32, issued: Issued, result: &Bytes) {
+        let expected_here = self.sessions[client as usize].expected[shard as usize];
+        let sess = &mut self.sessions[client as usize];
+        let val = |b: &Bytes| {
+            b.get(..8)
+                .map(|s| i64::from_le_bytes(s.try_into().expect("8 bytes")))
+        };
+        match issued {
+            Issued::Inc { delta } => {
+                sess.expected[shard as usize] += delta;
+                let want = expected_here + delta;
+                if val(result) != Some(want) {
+                    self.violations.push(format!(
+                        "exactly-once: client {client} INC on shard {shard} returned \
+                         {:?}, expected {want}",
+                        val(result)
+                    ));
+                }
+                sess.cursor += 1;
+                sess.completed += 1;
+                sess.phase = Phase::Start;
+            }
+            Issued::Get => {
+                if val(result) != Some(expected_here) {
+                    self.violations.push(format!(
+                        "read-your-writes: client {client} GET on shard {shard} returned \
+                         {:?}, expected {expected_here}",
+                        val(result)
+                    ));
+                }
+                sess.cursor += 1;
+                sess.completed += 1;
+                sess.phase = Phase::Start;
+            }
+            Issued::Prepare { idx } => {
+                let Phase::Prepare { items, proposals } = &mut sess.phase else {
+                    return;
+                };
+                match decode_proposed_ts(result) {
+                    Some(ts) => proposals[idx] = Some(ts),
+                    None => {
+                        self.violations.push(format!(
+                            "client {client}: bad prepare reply on shard {shard}"
+                        ));
+                        return;
+                    }
+                }
+                if proposals.iter().all(|p| p.is_some()) {
+                    let final_ts = proposals
+                        .iter()
+                        .map(|p| p.expect("all some"))
+                        .max()
+                        .expect("nonempty");
+                    let items = items.clone();
+                    let n = items.len();
+                    for &(s, _) in &items {
+                        if s != shard {
+                            self.wake.push((s, client));
+                        }
+                    }
+                    sess.phase = Phase::Commit {
+                        items,
+                        final_ts,
+                        acked: vec![false; n],
+                    };
+                }
+            }
+            Issued::Commit { idx } => {
+                let Phase::Commit { items, acked, .. } = &mut sess.phase else {
+                    return;
+                };
+                acked[idx] = true;
+                if acked.iter().all(|a| *a) {
+                    let items = items.clone();
+                    let n = items.len();
+                    for &(s, _) in &items {
+                        if s != shard {
+                            self.wake.push((s, client));
+                        }
+                    }
+                    sess.phase = Phase::Query {
+                        items,
+                        delivered: vec![false; n],
+                    };
+                }
+            }
+            Issued::Query { idx } => {
+                let Phase::Query { items, delivered } = &mut sess.phase else {
+                    return;
+                };
+                let Some(results) = decode_query(result) else {
+                    return; // Held back; the driver re-polls.
+                };
+                let delta = items[idx].1;
+                delivered[idx] = true;
+                let want = expected_here + delta;
+                let key = self.map.range_start(ShardId(shard)) + client as u64;
+                let sess = &mut self.sessions[client as usize];
+                let Phase::Query { items, delivered } = &mut sess.phase else {
+                    unreachable!()
+                };
+                if results.iter().find(|(k, _)| *k == key).map(|&(_, v)| v) != Some(want) {
+                    self.violations.push(format!(
+                        "cross read-your-writes: client {client} op delivered on shard \
+                         {shard} with value {results:?}, expected key {key} = {want}"
+                    ));
+                }
+                if delivered.iter().all(|d| *d) {
+                    let items = items.clone();
+                    for &(s, d) in &items {
+                        sess.expected[s as usize] += d;
+                        if s != shard {
+                            self.wake.push((s, client));
+                        }
+                    }
+                    sess.cursor += 1;
+                    sess.completed += 1;
+                    sess.phase = Phase::Start;
+                }
+            }
+        }
+    }
+
+    /// Decides the next action for `(shard, client)`: the heart of the
+    /// client-side routing. Single-shard ops are issued only on the owning
+    /// group; cross ops fan their phases out across every touched group.
+    fn decide(&mut self, shard: u32, client: u32) -> DriverStep {
+        loop {
+            let sess = &mut self.sessions[client as usize];
+            match &mut sess.phase {
+                Phase::Start => {
+                    let Some(op) = sess.script.get(sess.cursor).cloned() else {
+                        sess.phase = Phase::Finished;
+                        continue;
+                    };
+                    match op {
+                        LogicalOp::Inc { shard: t, .. } | LogicalOp::Get { shard: t } => {
+                            sess.phase = Phase::Single { shard: t };
+                        }
+                        LogicalOp::Cross { items } => {
+                            sess.cross_seq += 1;
+                            let n = items.len();
+                            for &(s, _) in &items {
+                                if s != shard {
+                                    self.wake.push((s, client));
+                                }
+                            }
+                            self.sessions[client as usize].phase = Phase::Prepare {
+                                items,
+                                proposals: vec![None; n],
+                            };
+                        }
+                    }
+                    continue;
+                }
+                Phase::Single { shard: t } => {
+                    let t = *t;
+                    if t != shard {
+                        self.wake.push((t, client));
+                        return DriverStep::Idle;
+                    }
+                    let key = self.map.range_start(ShardId(shard)) + client as u64;
+                    debug_assert_eq!(self.map.shard_of(key), ShardId(shard));
+                    let (op, ro, issued) = match &sess.script[sess.cursor] {
+                        LogicalOp::Inc { delta, .. } => {
+                            (op_inc(key, *delta), false, Issued::Inc { delta: *delta })
+                        }
+                        LogicalOp::Get { .. } => (op_get(key), true, Issued::Get),
+                        LogicalOp::Cross { .. } => unreachable!("single phase"),
+                    };
+                    let slot = self.slot(shard, client);
+                    self.issued[slot] = Some(issued);
+                    return DriverStep::Invoke(op, ro);
+                }
+                Phase::Prepare { items, proposals } => {
+                    let id: CrossOpId = (client, sess.cross_seq);
+                    if let Some(idx) = items.iter().position(|&(s, _)| s == shard) {
+                        if proposals[idx].is_none() {
+                            let delta = items[idx].1;
+                            let key = self.map.range_start(ShardId(shard)) + client as u64;
+                            let slot = self.slot(shard, client);
+                            self.issued[slot] = Some(Issued::Prepare { idx });
+                            return DriverStep::Invoke(
+                                op_cross_prepare(id, &[(key, delta)]),
+                                false,
+                            );
+                        }
+                    }
+                    return DriverStep::Idle;
+                }
+                Phase::Commit {
+                    items,
+                    final_ts,
+                    acked,
+                } => {
+                    let id: CrossOpId = (client, sess.cross_seq);
+                    let final_ts = *final_ts;
+                    if let Some(idx) = items.iter().position(|&(s, _)| s == shard) {
+                        if !acked[idx] {
+                            let slot = self.slot(shard, client);
+                            self.issued[slot] = Some(Issued::Commit { idx });
+                            return DriverStep::Invoke(op_cross_commit(id, final_ts), false);
+                        }
+                    }
+                    return DriverStep::Idle;
+                }
+                Phase::Query { items, delivered } => {
+                    let id: CrossOpId = (client, sess.cross_seq);
+                    if let Some(idx) = items.iter().position(|&(s, _)| s == shard) {
+                        if !delivered[idx] {
+                            let slot = self.slot(shard, client);
+                            self.issued[slot] = Some(Issued::Query { idx });
+                            return DriverStep::Invoke(op_cross_query(id), true);
+                        }
+                    }
+                    return DriverStep::Idle;
+                }
+                Phase::Finished => return DriverStep::Done,
+            }
+        }
+    }
+
+    fn step(&mut self, shard: u32, client: u32, last: Option<&Bytes>) -> DriverStep {
+        let slot = self.slot(shard, client);
+        match last {
+            Some(result) => {
+                if let Some(issued) = self.issued[slot].take() {
+                    let result = result.clone();
+                    self.record(shard, client, issued, &result);
+                }
+            }
+            // A kick can land while a result is still pending on the
+            // think-time path; never issue over an unattributed op.
+            None if self.issued[slot].is_some() => return DriverStep::Idle,
+            None => {}
+        }
+        self.decide(shard, client)
+    }
+}
+
+/// Per-group, per-client workload driver delegating to the shared
+/// [`Coordinator`].
+struct ShardClientDriver {
+    shard: u32,
+    client: u32,
+    coord: Rc<RefCell<Coordinator>>,
+}
+
+impl Driver for ShardClientDriver {
+    fn next(&mut self, _last: Option<&Bytes>) -> Option<(Bytes, bool)> {
+        unreachable!("sharded drivers are driven through step()")
+    }
+
+    fn step(&mut self, last: Option<&Bytes>) -> DriverStep {
+        self.coord.borrow_mut().step(self.shard, self.client, last)
+    }
+}
+
+/// N independent PBFT groups behind one deterministic lock-step scheduler.
+pub struct ShardedCluster {
+    /// The per-shard groups; index `k` is shard `k`.
+    pub groups: Vec<Cluster<ShardedCounterService>>,
+    /// The keyspace partition.
+    pub map: ShardMap,
+    coord: Rc<RefCell<Coordinator>>,
+    config: ShardedClusterConfig,
+}
+
+impl ShardedCluster {
+    /// Builds `shards` groups. `tune` may adjust each shard's
+    /// [`ReplicaConfig`] (e.g. enable recovery) before the group boots.
+    pub fn new_with(
+        config: ShardedClusterConfig,
+        mut tune: impl FnMut(u32, &mut ReplicaConfig),
+    ) -> Self {
+        let map = ShardMap::uniform(config.shards);
+        let groups = (0..config.shards)
+            .map(|k| {
+                let mut replica = ReplicaConfig::test(config.f);
+                replica.shard = ShardId(k);
+                replica.num_clients = config.clients.max(replica.num_clients);
+                tune(k, &mut replica);
+                let services = (0..replica.group.n)
+                    .map(|_| {
+                        ShardedCounterService::new(
+                            map.range_start(ShardId(k)),
+                            LOCAL_KEYS,
+                            CROSS_PAGES,
+                        )
+                    })
+                    .collect();
+                // Every group shares the master seed: key material diverges
+                // through the shard dimension (generate_sharded), which is
+                // exactly the bit that must not collide.
+                Cluster::new(
+                    ClusterConfig {
+                        replica,
+                        channel: ChannelConfig::reliable(),
+                        seed: config.seed,
+                        clients: config.clients,
+                    },
+                    services,
+                )
+            })
+            .collect();
+        let coord = Coordinator {
+            map: map.clone(),
+            sessions: Vec::new(),
+            issued: vec![None; (config.shards * config.clients) as usize],
+            clients: config.clients,
+            wake: Vec::new(),
+            violations: Vec::new(),
+        };
+        ShardedCluster {
+            groups,
+            map,
+            coord: Rc::new(RefCell::new(coord)),
+            config,
+        }
+    }
+
+    /// Builds with default per-shard tuning.
+    pub fn new(config: ShardedClusterConfig) -> Self {
+        Self::new_with(config, |_, _| {})
+    }
+
+    /// Installs one scripted session per client and arms every per-group
+    /// driver. Must be called exactly once, before [`ShardedCluster::run`].
+    pub fn set_sessions(&mut self, scripts: Vec<Vec<LogicalOp>>) {
+        assert_eq!(scripts.len(), self.config.clients as usize);
+        let shards = self.config.shards as usize;
+        {
+            let mut coord = self.coord.borrow_mut();
+            coord.sessions = scripts
+                .into_iter()
+                .map(|script| Session {
+                    script,
+                    cursor: 0,
+                    phase: Phase::Start,
+                    expected: vec![0; shards],
+                    cross_seq: 0,
+                    completed: 0,
+                })
+                .collect();
+        }
+        let think = SimDuration::from_micros(self.config.think_us);
+        for (k, group) in self.groups.iter_mut().enumerate() {
+            for c in 0..self.config.clients {
+                group.set_client_think(ClientId(c), think);
+                group.set_driver(
+                    ClientId(c),
+                    Box::new(ShardClientDriver {
+                        shard: k as u32,
+                        client: c,
+                        coord: Rc::clone(&self.coord),
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Schedules a harness fault on one shard.
+    pub fn schedule_fault(&mut self, shard: u32, at: SimTime, fault: Fault) {
+        self.groups[shard as usize].schedule_fault(at, fault);
+    }
+
+    /// Lock-step advance: every group runs to the global minimum
+    /// next-event time, then cross-shard wake requests are drained. Runs
+    /// until every session finishes or `deadline` passes; returns true
+    /// when all sessions completed.
+    pub fn run(&mut self, deadline: SimTime) -> bool {
+        loop {
+            // Drain cross-shard wake requests to a fixed point: a kicked
+            // driver may immediately request further wakes.
+            loop {
+                let wakes: Vec<(u32, u32)> = {
+                    let mut coord = self.coord.borrow_mut();
+                    std::mem::take(&mut coord.wake)
+                };
+                if wakes.is_empty() {
+                    break;
+                }
+                for (s, c) in wakes {
+                    self.groups[s as usize].kick_client(ClientId(c));
+                }
+            }
+            if self.coord.borrow().all_done() {
+                return true;
+            }
+            let next = self
+                .groups
+                .iter_mut()
+                .filter_map(|g| g.next_event_at())
+                .min();
+            let Some(t) = next else {
+                // No events and no wakes anywhere: the system is wedged.
+                return self.coord.borrow().all_done();
+            };
+            if t > deadline {
+                return self.coord.borrow().all_done();
+            }
+            for g in &mut self.groups {
+                g.run_until(t);
+            }
+        }
+    }
+
+    /// Oracle violations observed client-side during the run.
+    pub fn violations(&self) -> Vec<String> {
+        self.coord.borrow().violations.clone()
+    }
+
+    /// Logical operations completed across all sessions.
+    pub fn ops_completed(&self) -> u64 {
+        self.coord
+            .borrow()
+            .sessions
+            .iter()
+            .map(|s| s.completed)
+            .sum()
+    }
+
+    /// Logical operations completed per client session.
+    pub fn session_ops_completed(&self) -> Vec<u64> {
+        self.coord
+            .borrow()
+            .sessions
+            .iter()
+            .map(|s| s.completed)
+            .collect()
+    }
+
+    /// The expected (client-side) value of each client's key per shard.
+    pub fn expected_state(&self) -> Vec<Vec<i64>> {
+        self.coord
+            .borrow()
+            .sessions
+            .iter()
+            .map(|s| s.expected.clone())
+            .collect()
+    }
+}
+
+/// Extracts one shard's canonical cross-delivery journal: the journal of
+/// the most advanced replica that never ran a Byzantine behavior or had a
+/// page corrupted (its state is what the group agreed on).
+pub fn shard_cross_journal(
+    group: &Cluster<ShardedCounterService>,
+    exclude: &[u32],
+) -> Vec<CrossOpId> {
+    let n = group.config.replica.group.n;
+    let pick = (0..n)
+        .filter(|i| !exclude.contains(&(*i as u32)))
+        .max_by_key(|&i| (group.replica(i).last_executed().0, std::cmp::Reverse(i)))
+        .unwrap_or(0);
+    group
+        .replica(pick)
+        .service()
+        .delivery_journal()
+        .into_iter()
+        .map(|(_, id)| id)
+        .collect()
+}
+
+/// The atomicity check: for every pair of shards, the multi-shard ops both
+/// delivered must appear in the same relative order. Returns one violation
+/// string per inverted pair.
+pub fn cross_order_violations(journals: &[Vec<CrossOpId>]) -> Vec<String> {
+    let mut out = Vec::new();
+    let positions: Vec<BTreeMap<CrossOpId, usize>> = journals
+        .iter()
+        .map(|j| j.iter().enumerate().map(|(i, &id)| (id, i)).collect())
+        .collect();
+    for (a, journal_a) in journals.iter().enumerate() {
+        for (b, pos_b) in positions.iter().enumerate().skip(a + 1) {
+            let common: Vec<CrossOpId> = journal_a
+                .iter()
+                .copied()
+                .filter(|id| pos_b.contains_key(id))
+                .collect();
+            for i in 0..common.len() {
+                for j in (i + 1)..common.len() {
+                    let (x, y) = (common[i], common[j]);
+                    // x precedes y on shard a by construction of `common`.
+                    if pos_b[&x] > pos_b[&y] {
+                        out.push(format!(
+                            "atomicity: shards {a} and {b} delivered cross ops \
+                             {x:?} and {y:?} in opposite orders"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A multi-group chaos campaign: per-shard fault schedules over a mixed
+/// single-/multi-shard workload.
+#[derive(Clone, Debug)]
+pub struct ShardedChaosPlan {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of shards.
+    pub shards: u32,
+    /// Number of clients.
+    pub clients: u32,
+    /// Logical operations per client.
+    pub ops_per_client: u64,
+    /// Client think time between logical ops, µs.
+    pub think_us: u64,
+    /// Per-shard fault schedules (index = shard).
+    pub per_shard: Vec<ChaosPlan>,
+    /// Completion deadline.
+    pub deadline: SimTime,
+}
+
+impl ShardedChaosPlan {
+    /// Generates the campaign for a seed. Pure: same seed, same plan.
+    /// Every shard draws an independent single-group fault schedule from
+    /// [`shard_seed`]`(seed, k)`, so shard 0's schedule is exactly the
+    /// single-group plan for the master seed.
+    pub fn generate(seed: u64, shards: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5aa3_d001);
+        let clients = rng.random_range(4..=6u32);
+        let ops_per_client = rng.random_range(16..=24u64);
+        let think_us = rng.random_range(10_000..=25_000u64);
+        let per_shard: Vec<ChaosPlan> = (0..shards)
+            .map(|k| ChaosPlan::generate(shard_seed(seed, ShardId(k))))
+            .collect();
+        // Cross ops hold work back until every touched shard progresses, so
+        // the campaign deadline must outlast the slowest shard's schedule.
+        let deadline = per_shard
+            .iter()
+            .map(|p| p.deadline)
+            .max()
+            .expect("at least one shard");
+        ShardedChaosPlan {
+            seed,
+            shards,
+            clients,
+            ops_per_client,
+            think_us,
+            per_shard,
+            deadline,
+        }
+    }
+
+    /// The scripted workload for one client: a deterministic mix of
+    /// single-shard increments and reads plus multi-shard cross ops
+    /// (including transfers), each cross op followed by a read on every
+    /// touched shard — the cross-shard read-your-writes probes.
+    pub fn script(&self, client: u32) -> Vec<LogicalOp> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc11e_0000 ^ (client as u64) << 8);
+        let mut script = Vec::new();
+        for _ in 0..self.ops_per_client {
+            let roll = rng.random_range(0..10u32);
+            if roll < 3 && self.shards >= 2 {
+                // Multi-shard op on 2..=min(3, shards) distinct shards.
+                let width = rng.random_range(2..=3u32.min(self.shards));
+                let off = rng.random_range(0..self.shards);
+                let mut items: Vec<(u32, i64)> = (0..width)
+                    .map(|i| ((off + i) % self.shards, rng.random_range(1..=3u32) as i64))
+                    .collect();
+                if rng.random_bool(0.4) && items.len() >= 2 {
+                    // Transfer shape: move value from the first touched
+                    // shard to the second.
+                    let amount = items[1].1;
+                    items[0].1 = -amount;
+                }
+                script.push(LogicalOp::Cross {
+                    items: items.clone(),
+                });
+                // Read-your-writes probes on every touched shard.
+                for (s, _) in items {
+                    script.push(LogicalOp::Get { shard: s });
+                }
+            } else {
+                let shard = rng.random_range(0..self.shards);
+                if roll < 5 {
+                    script.push(LogicalOp::Get { shard });
+                } else {
+                    script.push(LogicalOp::Inc {
+                        shard,
+                        delta: rng.random_range(1..=4u32) as i64,
+                    });
+                }
+            }
+        }
+        script
+    }
+}
+
+/// The sharded oracle's verdict.
+#[derive(Clone, Debug)]
+pub struct ShardedChaosReport {
+    /// True when every invariant held.
+    pub ok: bool,
+    /// Violations, empty when `ok`.
+    pub violations: Vec<String>,
+    /// Logical client operations completed.
+    pub ops_completed: u64,
+    /// Cross-delivery journal lengths per shard.
+    pub cross_delivered: Vec<usize>,
+    /// Deterministic run fingerprint.
+    pub fingerprint: String,
+}
+
+/// Replicas of one shard excluded from state-bearing oracle reads: any
+/// replica a Byzantine or page-corruption episode ever touched.
+fn disturbed_replicas(plan: &ChaosPlan) -> Vec<u32> {
+    let mut out: Vec<u32> = plan
+        .events
+        .iter()
+        .filter_map(|e| match &e.action {
+            ChaosAction::Byzantine { replica, .. } => Some(*replica),
+            ChaosAction::CorruptPage { replica, .. } => Some(*replica),
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Runs a sharded chaos plan and evaluates the five-part oracle: per-shard
+/// journal safety, exactly-once, (cross-shard) read-your-writes, liveness,
+/// and cross-shard delivery-order atomicity.
+pub fn run_sharded_plan(plan: &ShardedChaosPlan) -> ShardedChaosReport {
+    let mut config = ShardedClusterConfig::test(plan.shards, plan.clients);
+    config.seed = plan.seed;
+    config.think_us = plan.think_us;
+    let needs_recovery: Vec<bool> = plan
+        .per_shard
+        .iter()
+        .map(|p| {
+            p.events.iter().any(|e| {
+                matches!(
+                    e.action,
+                    ChaosAction::ForceRecovery { .. } | ChaosAction::CorruptPage { .. }
+                )
+            })
+        })
+        .collect();
+    let mut cluster = ShardedCluster::new_with(config, |k, replica| {
+        if needs_recovery[k as usize] {
+            replica.recovery.enabled = true;
+            replica.recovery.watchdog_period = SimDuration::from_secs(3_600);
+            replica.recovery.key_refresh_period = SimDuration::from_secs(600);
+        }
+    });
+    cluster.set_sessions((0..plan.clients).map(|c| plan.script(c)).collect());
+    for (k, shard_plan) in plan.per_shard.iter().enumerate() {
+        for ev in &shard_plan.events {
+            let action = match &ev.action {
+                // Storm sizes were drawn for that plan's own client count;
+                // clamp to ours.
+                ChaosAction::RetransmitStorm { clients } => ChaosAction::RetransmitStorm {
+                    clients: (*clients).min(plan.clients),
+                },
+                other => other.clone(),
+            };
+            for fault in to_faults(&action) {
+                cluster.schedule_fault(k as u32, ev.at, fault);
+            }
+        }
+    }
+    let done = cluster.run(plan.deadline);
+
+    let mut violations = cluster.violations();
+    if !done {
+        let incomplete: Vec<String> = cluster
+            .coord
+            .borrow()
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s.phase, Phase::Finished))
+            .map(|(c, s)| format!("client {c} at op {}/{}", s.cursor, s.script.len()))
+            .collect();
+        violations.push(format!(
+            "liveness: sessions incomplete at deadline: {}",
+            incomplete.join(", ")
+        ));
+    }
+
+    // Per-shard journal safety, as in the single-group oracle.
+    for (k, group) in cluster.groups.iter().enumerate() {
+        let exclude = disturbed_replicas(&plan.per_shard[k]);
+        let comparable: Vec<usize> = (0..group.config.replica.group.n)
+            .filter(|i| !exclude.contains(&(*i as u32)))
+            .collect();
+        let committed: Vec<_> = comparable
+            .iter()
+            .map(|&i| (i, committed_journal(group.replica(i))))
+            .collect();
+        for (a, b, seq) in journal_divergences(&committed) {
+            violations.push(format!(
+                "safety: shard {k} replicas {a} and {b} committed different batches at seq {seq}"
+            ));
+        }
+    }
+
+    // Atomicity: common cross ops delivered in the same relative order on
+    // every pair of shards.
+    let journals: Vec<Vec<CrossOpId>> = cluster
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(k, g)| shard_cross_journal(g, &disturbed_replicas(&plan.per_shard[k])))
+        .collect();
+    violations.extend(cross_order_violations(&journals));
+
+    // Deterministic fingerprint over every shard's end state.
+    let mut fp = String::new();
+    use std::fmt::Write as _;
+    for (k, group) in cluster.groups.iter().enumerate() {
+        for i in 0..group.config.replica.group.n {
+            let r = group.replica(i);
+            let _ = write!(
+                fp,
+                "s{k}r{i}:v{}le{}cf{}j{}sd{:?};",
+                r.view().0,
+                r.last_executed().0,
+                r.committed_frontier().0,
+                r.journal.len(),
+                r.state_digest()
+            );
+        }
+    }
+    let _ = write!(fp, "ops{}", cluster.ops_completed());
+    for j in &journals {
+        let _ = write!(fp, "|{j:?}");
+    }
+    let fingerprint = format!("{:?}", bft_crypto::digest(fp.as_bytes()));
+
+    ShardedChaosReport {
+        ok: violations.is_empty(),
+        violations,
+        ops_completed: cluster.ops_completed(),
+        cross_delivered: journals.iter().map(|j| j.len()).collect(),
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_generation_is_pure() {
+        let a = ShardedChaosPlan::generate(9, 4);
+        let b = ShardedChaosPlan::generate(9, 4);
+        assert_eq!(a.clients, b.clients);
+        for (pa, pb) in a.per_shard.iter().zip(&b.per_shard) {
+            assert_eq!(pa.events, pb.events);
+        }
+        assert_eq!(a.script(0), b.script(0));
+        assert_ne!(a.script(0), a.script(1), "clients draw distinct scripts");
+        // Shard 0's schedule is the single-group plan for the master seed.
+        assert_eq!(a.per_shard[0].events, ChaosPlan::generate(9).events);
+    }
+
+    #[test]
+    fn scripts_include_cross_ops_with_read_probes() {
+        let plan = ShardedChaosPlan::generate(3, 4);
+        let mut saw_cross = false;
+        for c in 0..plan.clients {
+            let script = plan.script(c);
+            for (i, op) in script.iter().enumerate() {
+                if let LogicalOp::Cross { items } = op {
+                    saw_cross = true;
+                    let shards: Vec<u32> = items.iter().map(|&(s, _)| s).collect();
+                    let mut uniq = shards.clone();
+                    uniq.sort_unstable();
+                    uniq.dedup();
+                    assert_eq!(uniq.len(), shards.len(), "distinct shards per cross op");
+                    // Followed by a Get probe on every touched shard.
+                    for (j, &s) in shards.iter().enumerate() {
+                        assert_eq!(
+                            script[i + 1 + j],
+                            LogicalOp::Get { shard: s },
+                            "client {c} op {i}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(saw_cross);
+    }
+
+    #[test]
+    fn cross_order_violation_detection() {
+        let a = (1u32, 1u64);
+        let b = (2u32, 1u64);
+        let c = (3u32, 1u64);
+        // Agreeing journals (b missing on one shard is fine).
+        assert!(cross_order_violations(&[vec![a, b, c], vec![a, c]]).is_empty());
+        // Forged order: a and c inverted between the shards.
+        let v = cross_order_violations(&[vec![a, b, c], vec![c, a]]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("atomicity"), "{v:?}");
+    }
+
+    #[test]
+    fn faultless_sharded_run_completes() {
+        let plan = ShardedChaosPlan {
+            per_shard: (0..3)
+                .map(|k| {
+                    let mut p = ChaosPlan::generate(shard_seed(5, ShardId(k)));
+                    p.events.clear(); // Faultless: schedule nothing.
+                    p
+                })
+                .collect(),
+            ..ShardedChaosPlan::generate(5, 3)
+        };
+        let report = run_sharded_plan(&plan);
+        assert!(report.ok, "violations: {:?}", report.violations);
+        assert!(report.ops_completed > 0);
+        assert!(
+            report.cross_delivered.iter().any(|&n| n > 0),
+            "cross ops must actually deliver: {:?}",
+            report.cross_delivered
+        );
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic() {
+        let plan = ShardedChaosPlan::generate(12, 2);
+        let a = run_sharded_plan(&plan);
+        let b = run_sharded_plan(&plan);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.ops_completed, b.ops_completed);
+    }
+}

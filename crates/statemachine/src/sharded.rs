@@ -1,0 +1,663 @@
+//! Keyed counters with cross-shard atomic multicast (Skeen's algorithm).
+//!
+//! [`ShardedCounterService`] is the replicated service each shard of a
+//! multi-group deployment runs. Single-shard operations are plain keyed
+//! increments/reads. Multi-shard operations are ordered by a classic
+//! three-step timestamp protocol (Skeen's algorithm, the mechanism behind
+//! FlexCast-style atomic multicast) executed *as service operations*, so
+//! the ordering state itself is replicated, checkpointed, and transferred
+//! like any other state:
+//!
+//! 1. **Prepare** (`OP_CROSS_PREPARE`): the coordinator submits the op to
+//!    every touched shard; each shard's service assigns a proposed
+//!    timestamp from its logical clock and parks the op in a holdback pool.
+//! 2. **Commit** (`OP_CROSS_COMMIT`): the coordinator takes the maximum
+//!    proposal as the final timestamp and announces it to every touched
+//!    shard. A shard delivers held-back ops in `(final_ts, op_id)` order,
+//!    and only when no undecided op could still receive a smaller final
+//!    timestamp — every shard therefore delivers overlapping multi-shard
+//!    ops in the same relative order.
+//! 3. **Query** (`OP_CROSS_QUERY`, read-only): the coordinator polls until
+//!    the op has been *delivered* (not merely committed) on every touched
+//!    shard, which makes the write visible to subsequent single-shard
+//!    reads on all of them (cross-shard read-your-writes).
+//!
+//! All protocol state — logical clock, holdback pool, delivered results,
+//! and the delivery journal the atomicity oracle audits — lives in a
+//! canonically encoded page region of [`StateMemory`], so crash-restart,
+//! state transfer, and checkpoint digests see one consistent image.
+
+use crate::service::{Service, StateMemory, DEFAULT_PAGE_SIZE};
+use bft_types::Requester;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// A cross-shard operation identifier: `(client, client-chosen sequence)`.
+/// Globally unique and totally ordered — the tie-break for equal final
+/// timestamps, applied identically on every shard.
+pub type CrossOpId = (u32, u64);
+
+/// One undecided (held back) cross-shard operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PendingCross {
+    /// Timestamp this shard proposed.
+    proposed_ts: u64,
+    /// Final timestamp, once the coordinator announced it.
+    final_ts: Option<u64>,
+    /// The shard-local mutations to apply at delivery.
+    items: Vec<(u64, i64)>,
+}
+
+/// Decoded cross-shard protocol state (the page region's in-memory image).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct CrossState {
+    /// Skeen logical clock: max of local proposals and seen final stamps.
+    clock: u64,
+    /// Holdback pool of undecided / undelivered operations.
+    pending: BTreeMap<CrossOpId, PendingCross>,
+    /// Results of delivered operations, for `OP_CROSS_QUERY`.
+    delivered: BTreeMap<CrossOpId, Vec<(u64, i64)>>,
+    /// Delivery journal: `(final_ts, op_id)` in delivery order. The
+    /// atomicity oracle checks that overlapping shards agree on the
+    /// relative order of shared entries.
+    journal: Vec<(u64, CrossOpId)>,
+}
+
+impl CrossState {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.clock.to_le_bytes());
+        buf.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        for (&(client, cseq), p) in &self.pending {
+            buf.extend_from_slice(&client.to_le_bytes());
+            buf.extend_from_slice(&cseq.to_le_bytes());
+            buf.extend_from_slice(&p.proposed_ts.to_le_bytes());
+            match p.final_ts {
+                Some(ts) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&ts.to_le_bytes());
+                }
+                None => {
+                    buf.push(0);
+                    buf.extend_from_slice(&0u64.to_le_bytes());
+                }
+            }
+            buf.extend_from_slice(&(p.items.len() as u16).to_le_bytes());
+            for &(key, delta) in &p.items {
+                buf.extend_from_slice(&key.to_le_bytes());
+                buf.extend_from_slice(&delta.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.delivered.len() as u32).to_le_bytes());
+        for (&(client, cseq), results) in &self.delivered {
+            buf.extend_from_slice(&client.to_le_bytes());
+            buf.extend_from_slice(&cseq.to_le_bytes());
+            buf.extend_from_slice(&(results.len() as u16).to_le_bytes());
+            for &(key, value) in results {
+                buf.extend_from_slice(&key.to_le_bytes());
+                buf.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.journal.len() as u32).to_le_bytes());
+        for &(ts, (client, cseq)) in &self.journal {
+            buf.extend_from_slice(&ts.to_le_bytes());
+            buf.extend_from_slice(&client.to_le_bytes());
+            buf.extend_from_slice(&cseq.to_le_bytes());
+        }
+        buf
+    }
+
+    fn decode(buf: &[u8]) -> Option<CrossState> {
+        let mut cur = Cursor { buf, pos: 0 };
+        let clock = cur.u64()?;
+        let mut pending = BTreeMap::new();
+        for _ in 0..cur.u32()? {
+            let id = (cur.u32()?, cur.u64()?);
+            let proposed_ts = cur.u64()?;
+            let has_final = cur.u8()? != 0;
+            let final_raw = cur.u64()?;
+            let mut items = Vec::new();
+            for _ in 0..cur.u16()? {
+                items.push((cur.u64()?, cur.u64()? as i64));
+            }
+            pending.insert(
+                id,
+                PendingCross {
+                    proposed_ts,
+                    final_ts: has_final.then_some(final_raw),
+                    items,
+                },
+            );
+        }
+        let mut delivered = BTreeMap::new();
+        for _ in 0..cur.u32()? {
+            let id = (cur.u32()?, cur.u64()?);
+            let mut results = Vec::new();
+            for _ in 0..cur.u16()? {
+                results.push((cur.u64()?, cur.u64()? as i64));
+            }
+            delivered.insert(id, results);
+        }
+        let mut journal = Vec::new();
+        for _ in 0..cur.u32()? {
+            let ts = cur.u64()?;
+            journal.push((ts, (cur.u32()?, cur.u64()?)));
+        }
+        Some(CrossState {
+            clock,
+            pending,
+            delivered,
+            journal,
+        })
+    }
+}
+
+/// Minimal bounds-checked byte reader for [`CrossState::decode`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+/// Keyed signed counters for one shard, with the cross-shard machinery
+/// described in the module docs. The shard owns the contiguous key range
+/// `[local_start, local_start + local_keys)`.
+#[derive(Clone, Debug)]
+pub struct ShardedCounterService {
+    mem: StateMemory,
+    local_start: u64,
+    local_keys: u64,
+    counter_pages: u64,
+    cross_pages: u64,
+    /// Decoded image of the cross-state page region; `None` after a
+    /// `put_page` into the region (state transfer) until next use.
+    cache: std::cell::RefCell<Option<CrossState>>,
+}
+
+impl ShardedCounterService {
+    /// Single-shard increment: `[OP_INC][key u64][delta i64]`, returns the
+    /// new value as `i64` LE.
+    pub const OP_INC: u8 = 0;
+    /// Single-shard read: `[OP_GET][key u64]`, returns `i64` LE.
+    pub const OP_GET: u8 = 1;
+    /// Cross-shard prepare: `[op][client u32][cseq u64][n u16][(key u64,
+    /// delta i64) * n]`, returns the proposed timestamp as `u64` LE.
+    pub const OP_CROSS_PREPARE: u8 = 2;
+    /// Cross-shard commit: `[op][client u32][cseq u64][final_ts u64]`,
+    /// returns `[1]` once recorded.
+    pub const OP_CROSS_COMMIT: u8 = 3;
+    /// Cross-shard delivery poll (read-only): `[op][client u32][cseq u64]`,
+    /// returns `[0]` while held back, `[1][n u16][(key u64, value i64) * n]`
+    /// after delivery.
+    pub const OP_CROSS_QUERY: u8 = 4;
+
+    /// Creates the service for a shard owning `local_keys` keys starting at
+    /// `local_start`, with `cross_pages` pages reserved for the cross-shard
+    /// protocol state.
+    pub fn new(local_start: u64, local_keys: u64, cross_pages: u64) -> Self {
+        let counter_pages = (local_keys * 8).div_ceil(DEFAULT_PAGE_SIZE as u64).max(1);
+        let cross_pages = cross_pages.max(1);
+        ShardedCounterService {
+            mem: StateMemory::new(counter_pages + cross_pages, DEFAULT_PAGE_SIZE),
+            local_start,
+            local_keys,
+            counter_pages,
+            cross_pages,
+            cache: std::cell::RefCell::new(Some(CrossState::default())),
+        }
+    }
+
+    /// Byte offset of `key`'s counter slot within the counter region.
+    fn slot(&self, key: u64) -> usize {
+        (key.wrapping_sub(self.local_start) % self.local_keys) as usize * 8
+    }
+
+    /// Reads a counter value directly (oracle/test helper).
+    pub fn value(&self, key: u64) -> i64 {
+        let bytes = self.mem.read(self.slot(key), 8);
+        i64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+    }
+
+    fn add(&mut self, key: u64, delta: i64) -> i64 {
+        let slot = self.slot(key);
+        let next = self.value(key).wrapping_add(delta);
+        self.mem.write(slot, &next.to_le_bytes());
+        next
+    }
+
+    /// The delivery journal in delivery order (oracle/test helper).
+    pub fn delivery_journal(&self) -> Vec<(u64, CrossOpId)> {
+        self.with_cross(|s| s.journal.clone())
+    }
+
+    /// Loads the cross-state image, decoding the page region on a cache
+    /// miss. A corrupt region (page-corruption faults) decodes to the
+    /// empty state — deterministically wrong rather than a panic; the
+    /// checkpoint digest machinery is what detects the corruption.
+    fn load_cross(&self) -> CrossState {
+        if let Some(state) = self.cache.borrow().as_ref() {
+            return state.clone();
+        }
+        let mut region = Vec::with_capacity((self.cross_pages as usize) * DEFAULT_PAGE_SIZE);
+        for p in self.counter_pages..self.counter_pages + self.cross_pages {
+            region.extend_from_slice(&self.mem.get_page(p));
+        }
+        let len = u32::from_le_bytes(region[..4].try_into().expect("4 bytes")) as usize;
+        let state = region
+            .get(4..4 + len)
+            .and_then(CrossState::decode)
+            .unwrap_or_default();
+        *self.cache.borrow_mut() = Some(state.clone());
+        state
+    }
+
+    fn with_cross<R>(&self, f: impl FnOnce(&CrossState) -> R) -> R {
+        let state = self.load_cross();
+        f(&state)
+    }
+
+    /// Writes the cross-state image back to its page region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the encoding outgrows the reserved pages — a sizing
+    /// error in the harness, not a runtime condition to mask.
+    fn store_cross(&mut self, state: CrossState) {
+        let body = state.encode();
+        let capacity = self.cross_pages as usize * DEFAULT_PAGE_SIZE - 4;
+        assert!(
+            body.len() <= capacity,
+            "cross-state ({} bytes) exceeds reserved region ({} bytes); \
+             raise cross_pages",
+            body.len(),
+            capacity,
+        );
+        let mut region = Vec::with_capacity(4 + body.len());
+        region.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        region.extend_from_slice(&body);
+        region.resize(self.cross_pages as usize * DEFAULT_PAGE_SIZE, 0);
+        for (i, chunk) in region.chunks(DEFAULT_PAGE_SIZE).enumerate() {
+            let page = self.counter_pages + i as u64;
+            // Only rewrite pages whose bytes changed: put_page marks pages
+            // dirty, and spurious dirtiness would inflate checkpoint work.
+            if self.mem.get_page(page).as_ref() != chunk {
+                self.mem.put_page(page, chunk);
+            }
+        }
+        *self.cache.borrow_mut() = Some(state);
+    }
+
+    /// Delivers every held-back op that can no longer be preceded: the
+    /// smallest `(final_ts, op_id)` among decided ops, provided no
+    /// undecided op could still be assigned a smaller stamp (its final
+    /// timestamp is at least its proposal). Repeats until blocked.
+    fn drain_deliverable(&mut self, state: &mut CrossState) {
+        loop {
+            let Some((&id, p)) = state
+                .pending
+                .iter()
+                .filter(|(_, p)| p.final_ts.is_some())
+                .min_by_key(|(&id, p)| (p.final_ts.expect("filtered"), id))
+            else {
+                return;
+            };
+            let ts = p.final_ts.expect("filtered");
+            let blocked = state
+                .pending
+                .iter()
+                .any(|(&oid, o)| o.final_ts.is_none() && (o.proposed_ts, oid) < (ts, id));
+            if blocked {
+                return;
+            }
+            let items = state.pending.remove(&id).expect("present").items;
+            let results = items
+                .into_iter()
+                .map(|(key, delta)| (key, self.add(key, delta)))
+                .collect();
+            state.delivered.insert(id, results);
+            state.journal.push((ts, id));
+        }
+    }
+}
+
+impl Service for ShardedCounterService {
+    fn execute(&mut self, _requester: Requester, op: &[u8], _nondet: &[u8]) -> Bytes {
+        let mut cur = Cursor {
+            buf: op.get(1..).unwrap_or(&[]),
+            pos: 0,
+        };
+        match op.first() {
+            Some(&Self::OP_INC) => {
+                let (Some(key), Some(delta)) = (cur.u64(), cur.u64()) else {
+                    return Bytes::from_static(b"bad-op");
+                };
+                let next = self.add(key, delta as i64);
+                Bytes::from(next.to_le_bytes().to_vec())
+            }
+            Some(&Self::OP_GET) => {
+                let Some(key) = cur.u64() else {
+                    return Bytes::from_static(b"bad-op");
+                };
+                Bytes::from(self.value(key).to_le_bytes().to_vec())
+            }
+            Some(&Self::OP_CROSS_PREPARE) => {
+                let (Some(client), Some(cseq), Some(n)) = (cur.u32(), cur.u64(), cur.u16()) else {
+                    return Bytes::from_static(b"bad-op");
+                };
+                let mut items = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let (Some(key), Some(delta)) = (cur.u64(), cur.u64()) else {
+                        return Bytes::from_static(b"bad-op");
+                    };
+                    items.push((key, delta as i64));
+                }
+                let id = (client, cseq);
+                let mut state = self.load_cross();
+                // Idempotent: a retransmitted prepare re-reports the stamp
+                // already assigned (or the final one, once delivered).
+                let ts = if let Some(p) = state.pending.get(&id) {
+                    p.proposed_ts
+                } else if let Some((ts, _)) = state.journal.iter().find(|(_, jid)| *jid == id) {
+                    *ts
+                } else {
+                    state.clock += 1;
+                    let ts = state.clock;
+                    state.pending.insert(
+                        id,
+                        PendingCross {
+                            proposed_ts: ts,
+                            final_ts: None,
+                            items,
+                        },
+                    );
+                    ts
+                };
+                self.store_cross(state);
+                Bytes::from(ts.to_le_bytes().to_vec())
+            }
+            Some(&Self::OP_CROSS_COMMIT) => {
+                let (Some(client), Some(cseq), Some(final_ts)) = (cur.u32(), cur.u64(), cur.u64())
+                else {
+                    return Bytes::from_static(b"bad-op");
+                };
+                let id = (client, cseq);
+                let mut state = self.load_cross();
+                state.clock = state.clock.max(final_ts);
+                if let Some(p) = state.pending.get_mut(&id) {
+                    p.final_ts = Some(final_ts);
+                    self.drain_deliverable(&mut state);
+                }
+                self.store_cross(state);
+                Bytes::from_static(&[1])
+            }
+            Some(&Self::OP_CROSS_QUERY) => {
+                let (Some(client), Some(cseq)) = (cur.u32(), cur.u64()) else {
+                    return Bytes::from_static(b"bad-op");
+                };
+                self.with_cross(|state| match state.delivered.get(&(client, cseq)) {
+                    None => Bytes::from_static(&[0]),
+                    Some(results) => {
+                        let mut buf = vec![1u8];
+                        buf.extend_from_slice(&(results.len() as u16).to_le_bytes());
+                        for &(key, value) in results {
+                            buf.extend_from_slice(&key.to_le_bytes());
+                            buf.extend_from_slice(&value.to_le_bytes());
+                        }
+                        Bytes::from(buf)
+                    }
+                })
+            }
+            _ => Bytes::from_static(b"bad-op"),
+        }
+    }
+
+    fn is_read_only(&self, op: &[u8]) -> bool {
+        matches!(
+            op.first(),
+            Some(&Self::OP_GET) | Some(&Self::OP_CROSS_QUERY)
+        )
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.mem.num_pages()
+    }
+    fn get_page(&self, index: u64) -> Bytes {
+        self.mem.get_page(index)
+    }
+    fn put_page(&mut self, index: u64, data: &[u8]) {
+        self.mem.put_page(index, data);
+        if index >= self.counter_pages {
+            // State transfer replaced part of the cross region; the cached
+            // image is stale.
+            *self.cache.borrow_mut() = None;
+        }
+    }
+    fn take_dirty(&mut self) -> Vec<u64> {
+        self.mem.take_dirty()
+    }
+}
+
+/// Encodes a single-shard increment operation.
+pub fn op_inc(key: u64, delta: i64) -> Bytes {
+    let mut buf = vec![ShardedCounterService::OP_INC];
+    buf.extend_from_slice(&key.to_le_bytes());
+    buf.extend_from_slice(&delta.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Encodes a single-shard read operation.
+pub fn op_get(key: u64) -> Bytes {
+    let mut buf = vec![ShardedCounterService::OP_GET];
+    buf.extend_from_slice(&key.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Encodes a cross-shard prepare carrying this shard's `(key, delta)` items.
+pub fn op_cross_prepare(id: CrossOpId, items: &[(u64, i64)]) -> Bytes {
+    let mut buf = vec![ShardedCounterService::OP_CROSS_PREPARE];
+    buf.extend_from_slice(&id.0.to_le_bytes());
+    buf.extend_from_slice(&id.1.to_le_bytes());
+    buf.extend_from_slice(&(items.len() as u16).to_le_bytes());
+    for &(key, delta) in items {
+        buf.extend_from_slice(&key.to_le_bytes());
+        buf.extend_from_slice(&delta.to_le_bytes());
+    }
+    Bytes::from(buf)
+}
+
+/// Encodes a cross-shard commit announcing the final timestamp.
+pub fn op_cross_commit(id: CrossOpId, final_ts: u64) -> Bytes {
+    let mut buf = vec![ShardedCounterService::OP_CROSS_COMMIT];
+    buf.extend_from_slice(&id.0.to_le_bytes());
+    buf.extend_from_slice(&id.1.to_le_bytes());
+    buf.extend_from_slice(&final_ts.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Encodes a cross-shard delivery poll.
+pub fn op_cross_query(id: CrossOpId) -> Bytes {
+    let mut buf = vec![ShardedCounterService::OP_CROSS_QUERY];
+    buf.extend_from_slice(&id.0.to_le_bytes());
+    buf.extend_from_slice(&id.1.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes a prepare reply (the proposed timestamp).
+pub fn decode_proposed_ts(reply: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(reply.get(..8)?.try_into().ok()?))
+}
+
+/// Decodes a query reply: `None` while held back, the delivery results
+/// once delivered.
+pub fn decode_query(reply: &[u8]) -> Option<Vec<(u64, i64)>> {
+    if reply.first() != Some(&1) {
+        return None;
+    }
+    let mut cur = Cursor {
+        buf: reply.get(1..)?,
+        pos: 0,
+    };
+    let n = cur.u16()?;
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push((cur.u64()?, cur.u64()? as i64));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_types::ClientId;
+
+    fn requester() -> Requester {
+        Requester::Client(ClientId(0))
+    }
+
+    fn svc() -> ShardedCounterService {
+        ShardedCounterService::new(1000, 64, 2)
+    }
+
+    #[test]
+    fn single_shard_inc_and_get() {
+        let mut s = svc();
+        let r = s.execute(requester(), &op_inc(1003, 5), &[]);
+        assert_eq!(i64::from_le_bytes(r.as_ref().try_into().unwrap()), 5);
+        let r = s.execute(requester(), &op_inc(1003, -2), &[]);
+        assert_eq!(i64::from_le_bytes(r.as_ref().try_into().unwrap()), 3);
+        let r = s.execute(requester(), &op_get(1003), &[]);
+        assert_eq!(i64::from_le_bytes(r.as_ref().try_into().unwrap()), 3);
+        assert_eq!(s.value(1003), 3);
+    }
+
+    #[test]
+    fn cross_op_held_back_until_commit() {
+        let mut s = svc();
+        let id = (7, 1);
+        let r = s.execute(requester(), &op_cross_prepare(id, &[(1001, 10)]), &[]);
+        assert_eq!(decode_proposed_ts(&r), Some(1));
+        // Not yet delivered: query says held back, counter untouched.
+        let q = s.execute(requester(), &op_cross_query(id), &[]);
+        assert_eq!(decode_query(&q), None);
+        assert_eq!(s.value(1001), 0);
+        s.execute(requester(), &op_cross_commit(id, 1), &[]);
+        let q = s.execute(requester(), &op_cross_query(id), &[]);
+        assert_eq!(decode_query(&q), Some(vec![(1001, 10)]));
+        assert_eq!(s.value(1001), 10);
+        assert_eq!(s.delivery_journal(), vec![(1, id)]);
+    }
+
+    #[test]
+    fn delivery_orders_by_final_timestamp() {
+        let mut s = svc();
+        let (a, b) = ((1, 1), (2, 1));
+        s.execute(requester(), &op_cross_prepare(a, &[(1000, 1)]), &[]);
+        s.execute(requester(), &op_cross_prepare(b, &[(1000, 2)]), &[]);
+        // Commit A with a *larger* final stamp than B's: B must deliver
+        // first even though A committed first.
+        s.execute(requester(), &op_cross_commit(a, 9), &[]);
+        // A is decided but held back: B (proposed 2) could still finalize
+        // below 9.
+        assert_eq!(
+            decode_query(&s.execute(requester(), &op_cross_query(a), &[])),
+            None
+        );
+        s.execute(requester(), &op_cross_commit(b, 2), &[]);
+        let journal = s.delivery_journal();
+        assert_eq!(journal, vec![(2, b), (9, a)]);
+    }
+
+    #[test]
+    fn prepare_is_idempotent() {
+        let mut s = svc();
+        let id = (3, 4);
+        let r1 = s.execute(requester(), &op_cross_prepare(id, &[(1002, 1)]), &[]);
+        let r2 = s.execute(requester(), &op_cross_prepare(id, &[(1002, 1)]), &[]);
+        assert_eq!(r1, r2);
+        s.execute(requester(), &op_cross_commit(id, 1), &[]);
+        // Replayed prepare after delivery reports the final stamp and does
+        // not re-enter the holdback pool.
+        let r3 = s.execute(requester(), &op_cross_prepare(id, &[(1002, 1)]), &[]);
+        assert_eq!(decode_proposed_ts(&r3), Some(1));
+        assert_eq!(s.value(1002), 1);
+        s.execute(requester(), &op_cross_commit(id, 1), &[]);
+        assert_eq!(s.value(1002), 1, "replayed commit must not re-apply");
+    }
+
+    #[test]
+    fn cross_state_survives_page_roundtrip() {
+        let mut s = svc();
+        s.execute(requester(), &op_cross_prepare((1, 1), &[(1000, 1)]), &[]);
+        s.execute(requester(), &op_cross_prepare((2, 2), &[(1001, 3)]), &[]);
+        s.execute(requester(), &op_cross_commit((1, 1), 1), &[]);
+        // Clone state into a fresh instance via the page interface alone
+        // (the state-transfer path).
+        let mut t = svc();
+        for p in 0..s.num_pages() {
+            t.put_page(p, &s.get_page(p));
+        }
+        assert_eq!(t.value(1000), 1);
+        assert_eq!(t.delivery_journal(), s.delivery_journal());
+        // The restored instance continues the protocol where s left off.
+        t.execute(requester(), &op_cross_commit((2, 2), 2), &[]);
+        assert_eq!(t.value(1001), 3);
+    }
+
+    #[test]
+    fn corrupt_cross_region_decodes_to_default() {
+        let mut s = svc();
+        s.execute(requester(), &op_cross_prepare((1, 1), &[(1000, 1)]), &[]);
+        let first_cross = s.counter_pages;
+        s.put_page(first_cross, &vec![0xFF; DEFAULT_PAGE_SIZE]);
+        assert_eq!(s.delivery_journal(), vec![]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut state = CrossState {
+            clock: 17,
+            ..CrossState::default()
+        };
+        state.pending.insert(
+            (1, 2),
+            PendingCross {
+                proposed_ts: 5,
+                final_ts: None,
+                items: vec![(9, -3)],
+            },
+        );
+        state.pending.insert(
+            (2, 1),
+            PendingCross {
+                proposed_ts: 6,
+                final_ts: Some(11),
+                items: vec![],
+            },
+        );
+        state.delivered.insert((0, 0), vec![(4, 4)]);
+        state.journal.push((3, (0, 0)));
+        let enc = state.encode();
+        assert_eq!(CrossState::decode(&enc), Some(state));
+        assert_eq!(CrossState::decode(&enc[..enc.len() - 1]), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Keyspace partitioning across independent PBFT groups.
+//!
+//! A [`ShardMap`] splits the `u64` keyspace into contiguous ranges, one per
+//! shard. Routing is total: every key belongs to exactly one shard, and the
+//! map is immutable once built, so every client and replica that holds the
+//! same map routes identically. Cross-shard operations name the set of
+//! shards they touch and are ordered by the atomic-multicast layer built on
+//! top of the per-shard PBFT groups.
+
+use crate::ids::ShardId;
+use crate::wire::{Wire, WireError};
+use serde::{Deserialize, Serialize};
+
+/// Maps `u64` keys to shards via contiguous half-open ranges.
+///
+/// Shard `i` owns keys in `[starts[i], starts[i + 1])`; the last shard owns
+/// `[starts[last], u64::MAX]`. Invariants: `starts[0] == 0` and `starts` is
+/// strictly increasing, so the ranges tile the keyspace with no gaps or
+/// overlaps.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ShardMap {
+    starts: Vec<u64>,
+}
+
+impl ShardMap {
+    /// A single shard owning the whole keyspace — the pre-sharding topology.
+    pub fn single() -> Self {
+        ShardMap { starts: vec![0] }
+    }
+
+    /// Splits the keyspace into `n` equal contiguous ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: u32) -> Self {
+        assert!(n > 0, "a shard map needs at least one shard");
+        if n == 1 {
+            return ShardMap::single();
+        }
+        let width = u64::MAX / n as u64 + 1; // rounds up; last range absorbs the remainder
+        ShardMap {
+            starts: (0..n as u64).map(|i| i * width).collect(),
+        }
+    }
+
+    /// Builds a map from explicit range starts.
+    ///
+    /// Returns `None` unless `starts[0] == 0` and the starts are strictly
+    /// increasing (the tiling invariants).
+    pub fn from_starts(starts: Vec<u64>) -> Option<Self> {
+        if starts.first() != Some(&0) {
+            return None;
+        }
+        if starts.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        Some(ShardMap { starts })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.starts.len() as u32
+    }
+
+    /// Iterates over all shard identifiers.
+    pub fn shards(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.num_shards()).map(ShardId)
+    }
+
+    /// The shard owning `key`: the last range whose start is `<= key`.
+    /// Total — every key maps to exactly one shard.
+    pub fn shard_of(&self, key: u64) -> ShardId {
+        let idx = match self.starts.binary_search(&key) {
+            Ok(i) => i,
+            Err(i) => i - 1, // i >= 1 because starts[0] == 0 <= key
+        };
+        ShardId(idx as u32)
+    }
+
+    /// The first key owned by `shard`.
+    pub fn range_start(&self, shard: ShardId) -> u64 {
+        self.starts[shard.0 as usize]
+    }
+
+    /// The inclusive range of keys owned by `shard`.
+    pub fn range_of(&self, shard: ShardId) -> (u64, u64) {
+        let lo = self.starts[shard.0 as usize];
+        let hi = match self.starts.get(shard.0 as usize + 1) {
+            Some(next) => next - 1,
+            None => u64::MAX,
+        };
+        (lo, hi)
+    }
+}
+
+impl Wire for ShardMap {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.starts.encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let starts = Vec::<u64>::decode(buf)?;
+        // Reject encodings that violate the tiling invariants: a forged map
+        // must not silently route keys differently than the sender's.
+        ShardMap::from_starts(starts).ok_or(WireError::BadTag(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_owns_everything() {
+        let m = ShardMap::single();
+        assert_eq!(m.num_shards(), 1);
+        assert_eq!(m.shard_of(0), ShardId(0));
+        assert_eq!(m.shard_of(u64::MAX), ShardId(0));
+        assert_eq!(m.range_of(ShardId(0)), (0, u64::MAX));
+    }
+
+    #[test]
+    fn uniform_tiles_keyspace() {
+        for n in [1u32, 2, 3, 4, 7, 16] {
+            let m = ShardMap::uniform(n);
+            assert_eq!(m.num_shards(), n);
+            assert_eq!(m.shard_of(0), ShardId(0));
+            assert_eq!(m.shard_of(u64::MAX), ShardId(n - 1));
+            // Ranges are contiguous: every range's end + 1 is the next start.
+            for s in 0..n - 1 {
+                let (_, hi) = m.range_of(ShardId(s));
+                assert_eq!(hi + 1, m.range_start(ShardId(s + 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn boundaries_land_on_correct_side() {
+        let m = ShardMap::from_starts(vec![0, 100, 200]).unwrap();
+        assert_eq!(m.shard_of(99), ShardId(0));
+        assert_eq!(m.shard_of(100), ShardId(1));
+        assert_eq!(m.shard_of(101), ShardId(1));
+        assert_eq!(m.shard_of(199), ShardId(1));
+        assert_eq!(m.shard_of(200), ShardId(2));
+    }
+
+    #[test]
+    fn from_starts_enforces_invariants() {
+        assert!(ShardMap::from_starts(vec![]).is_none());
+        assert!(ShardMap::from_starts(vec![1]).is_none());
+        assert!(ShardMap::from_starts(vec![0, 5, 5]).is_none());
+        assert!(ShardMap::from_starts(vec![0, 7, 3]).is_none());
+        assert!(ShardMap::from_starts(vec![0, 7, 9]).is_some());
+    }
+
+    #[test]
+    fn wire_rejects_forged_maps() {
+        let mut buf = Vec::new();
+        vec![5u64, 3u64].encode(&mut buf); // does not start at 0, not increasing
+        assert!(ShardMap::decode(&mut buf.as_slice()).is_err());
+    }
+}
