@@ -1,0 +1,232 @@
+//! The paper's headline experiment over real sockets: the Andrew
+//! benchmark on BFS, replicated over live TCP, versus the unreplicated
+//! baseline (§8.6).
+//!
+//! Usage:
+//!   cargo run -p bft-bench --release --bin andrew -- [--smoke] [--out PATH]
+//!                                                    [--clients N] [--scale K]
+//!
+//! Writes `BENCH_pr9.json` at the workspace root by default. Two modes
+//! over one script:
+//!
+//! * **Application mode** (the headline): the benchmark's client-side
+//!   compute — checksumming copies, scanning reads, compiling sources —
+//!   runs between file ops, exactly as the real Andrew benchmark does.
+//!   `overhead_vs_unreplicated` comes from this mode; it is the analogue
+//!   of the paper's "BFS is ~3% slower than NFS-std" headline, which
+//!   holds *because* Andrew is application-dominated.
+//! * **RPC replay** (transparency): the same script with zero compute
+//!   between ops — a pure file-op stress, the analogue of the paper's
+//!   §8.3 micro-benchmarks, where per-op overhead is expected to be
+//!   several-fold. Reported as `overhead_rpc_only`.
+//!
+//! `overhead_vs_direct` (the in-process floor with zero wire cost) is
+//! recorded for transparency in both modes.
+
+use bfs::AndrewConfig;
+use bft_bench::andrew::{overhead, percentile_ms, run_cases, CaseOutcome};
+
+fn print_outcomes(outcomes: &[CaseOutcome]) {
+    for o in outcomes {
+        println!("{}:", o.id);
+        for p in &o.run.phases {
+            let mut lat = p.latencies_us.clone();
+            lat.sort_unstable();
+            println!(
+                "  {:<14} {:>5} ops in {:>9.2}ms  p50 {:>7.2}ms p99 {:>7.2}ms",
+                p.phase,
+                p.ops,
+                p.wall.as_secs_f64() * 1e3,
+                percentile_ms(&lat, 0.5),
+                percentile_ms(&lat, 0.99),
+            );
+        }
+        println!(
+            "  total: {} ops in {:.2}s = {:.1} ops/s, {} retransmitted",
+            o.run.completed,
+            o.run.total_wall.as_secs_f64(),
+            o.run.ops_per_sec(),
+            o.run.retransmitted,
+        );
+    }
+}
+
+/// `(fast_on_vs_tcp, fast_off_vs_tcp, fast_on_vs_direct, fast_off_vs_direct)`
+fn ratios(outcomes: &[CaseOutcome], prefix: &str) -> (f64, f64, f64, f64) {
+    let by_id = |suffix: &str| -> &CaseOutcome {
+        let id = format!("{prefix}{suffix}");
+        outcomes.iter().find(|o| o.id == id).expect("known case id")
+    };
+    let fast = by_id("replicated_fast_paths");
+    let slow = by_id("replicated_no_fast_paths");
+    let tcp = by_id("unreplicated_tcp");
+    let direct = by_id("unreplicated_direct");
+    (
+        overhead(&fast.run, &tcp.run),
+        overhead(&slow.run, &tcp.run),
+        overhead(&fast.run, &direct.run),
+        overhead(&slow.run, &direct.run),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            // crates/bench -> workspace root, independent of the cwd.
+            format!("{}/../../BENCH_pr9.json", env!("CARGO_MANIFEST_DIR"))
+        });
+
+    let (mut cfg, mut clients) = if smoke {
+        (AndrewConfig::tiny(), 4)
+    } else {
+        // Scale 10 sustains enough in-phase concurrency for batching to
+        // amortize the protocol; 64 multiplexed clients saturate the
+        // pipeline without drowning a small host in connection threads.
+        (
+            AndrewConfig {
+                scale: 10,
+                ..AndrewConfig::default()
+            },
+            64,
+        )
+    };
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u32>().ok())
+    };
+    if let Some(n) = flag("--clients") {
+        clients = n as usize;
+    }
+    if let Some(k) = flag("--scale") {
+        cfg.scale = k;
+    }
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "Andrew over live TCP ({} mode): f=1 BFS cluster on 127.0.0.1 vs unreplicated, {clients} clients, {host_cpus} host cpu(s)",
+        if smoke { "smoke" } else { "full" },
+    );
+
+    let reps = if smoke { 1 } else { 3 };
+    println!("--- application mode (compute between file ops, as the real benchmark runs) ---");
+    let app = run_cases(&cfg, clients, true, reps);
+    let total_ops = app[0].run.completed;
+    println!(
+        "script: {total_ops} ops (dirs={}, files/dir={}, file={}B, scale={})",
+        cfg.dirs, cfg.files_per_dir, cfg.file_size, cfg.scale
+    );
+    print_outcomes(&app);
+    println!("--- RPC replay (no compute: pure file-op stress) ---");
+    let rpc = run_cases(&cfg, clients, false, reps);
+    print_outcomes(&rpc);
+    let outcomes: Vec<CaseOutcome> = app.into_iter().chain(rpc).collect();
+    for o in &outcomes {
+        assert_eq!(
+            o.run.completed, total_ops,
+            "{}: op count differs across configurations",
+            o.id
+        );
+    }
+
+    let (app_fast, app_slow, app_dfast, app_dslow) = ratios(&outcomes, "");
+    let (rpc_fast, rpc_slow, rpc_dfast, rpc_dslow) = ratios(&outcomes, "rpc_");
+    println!(
+        "application overhead vs unreplicated TCP: fast paths on {app_fast:.2}x, off {app_slow:.2}x (paper: ~1.03x)",
+    );
+    println!(
+        "RPC-only overhead vs unreplicated TCP: fast paths on {rpc_fast:.2}x, off {rpc_slow:.2}x (micro-benchmark analogue)",
+    );
+    println!(
+        "overhead vs in-process direct (floor): application {app_dfast:.2}x, rpc {rpc_dfast:.2}x",
+    );
+
+    let mut entries = Vec::new();
+    for o in &outcomes {
+        let phases: Vec<String> = o
+            .run
+            .phases
+            .iter()
+            .map(|p| {
+                let mut lat = p.latencies_us.clone();
+                lat.sort_unstable();
+                format!(
+                    "        {{\"phase\": \"{}\", \"ops\": {}, \"wall_ms\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                    p.phase,
+                    p.ops,
+                    p.wall.as_secs_f64() * 1e3,
+                    percentile_ms(&lat, 0.5),
+                    percentile_ms(&lat, 0.99),
+                )
+            })
+            .collect();
+        let all = o.run.sorted_latencies_us();
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"case\": \"{}\",\n",
+                "      \"ops\": {},\n",
+                "      \"total_wall_ms\": {:.2},\n",
+                "      \"ops_per_sec\": {:.1},\n",
+                "      \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n",
+                "      \"retransmitted\": {},\n",
+                "      \"phases\": [\n{}\n      ]\n",
+                "    }}"
+            ),
+            o.id,
+            o.run.completed,
+            o.run.total_wall.as_secs_f64() * 1e3,
+            o.run.ops_per_sec(),
+            percentile_ms(&all, 0.5),
+            percentile_ms(&all, 0.99),
+            o.run.retransmitted,
+            phases.join(",\n"),
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"Andrew benchmark over live TCP: replicated BFS vs unreplicated (PR 9)\",\n",
+            "  \"metric\": \"per-phase wall clock and replicated/unreplicated overhead of the Andrew benchmark on an f=1 BFS cluster over 127.0.0.1 TCP\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"andrew\": {{\"dirs\": {}, \"files_per_dir\": {}, \"file_bytes\": {}, \"scale\": {}, \"ops\": {}, \"clients\": {}}},\n",
+            "  \"setup\": \"one script, four configurations per mode: replicated with read-only + tentative fast paths, replicated with both fast paths disabled, an unreplicated BFS server over the same loopback TCP with the same number of closed-loop connections (the paper's NFS-std analogue), and in-process direct execution (zero wire cost, transparency floor); {} clients share one dependency-aware scheduler so phases are barriers and op-order constraints hold; each case is the median-total-wall run of {} repetition(s); after each replicated case the replicas must agree on overlapping journals and converge to one state digest\",\n",
+            "  \"modes\": \"application mode charges the benchmark's client-side compute (checksum copies, scan reads, compile sources) on every completion, identically in all four configurations — the paper's headline is about this mode, and holds because Andrew is application-dominated; rpc_* cases replay the same script with zero compute between ops, the analogue of the paper's section-8.3 micro-benchmarks where several-fold per-op overhead is expected\",\n",
+            "  \"overhead_vs_unreplicated\": {{\"fast_paths_on\": {:.3}, \"fast_paths_off\": {:.3}}},\n",
+            "  \"overhead_rpc_only\": {{\"fast_paths_on\": {:.3}, \"fast_paths_off\": {:.3}}},\n",
+            "  \"overhead_vs_direct\": {{\"app\": {{\"fast_paths_on\": {:.3}, \"fast_paths_off\": {:.3}}}, \"rpc\": {{\"fast_paths_on\": {:.3}, \"fast_paths_off\": {:.3}}}}},\n",
+            "  \"cases\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        host_cpus,
+        cfg.dirs,
+        cfg.files_per_dir,
+        cfg.file_size,
+        cfg.scale,
+        total_ops,
+        clients,
+        clients,
+        reps,
+        app_fast,
+        app_slow,
+        rpc_fast,
+        rpc_slow,
+        app_dfast,
+        app_dslow,
+        rpc_dfast,
+        rpc_dslow,
+        entries.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -9,6 +9,7 @@ use bft_sim::scenarios::{self, MicroOp};
 use bft_types::SimDuration;
 use std::time::Instant;
 
+pub mod andrew;
 pub mod realnet_chaos;
 
 /// Prints a table header.

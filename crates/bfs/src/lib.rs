@@ -6,6 +6,9 @@ pub mod andrew;
 pub mod fs;
 pub mod service;
 
-pub use andrew::{generate_script, run_unreplicated, AndrewConfig, Phase, ScriptedOp};
+pub use andrew::{
+    app_work, generate_script, run_unreplicated, AndrewConfig, OpKind, Phase, ScriptScheduler,
+    ScriptedOp, PHASES,
+};
 pub use fs::{Attrs, FileSystem, FileType, FsError, Ino, ROOT_INO};
 pub use service::{BfsService, NfsOp, NfsReply};

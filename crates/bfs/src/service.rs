@@ -364,6 +364,9 @@ pub struct BfsService {
     local_clock_us: u64,
     /// Monotonic time floor (deterministic: driven by executed nondets).
     last_time: u64,
+    /// When set, `propose_nondet` reads this wall-clock epoch instead of
+    /// the harness-fed `local_clock_us` (live runtime mode).
+    realtime_epoch: Option<std::time::Instant>,
 }
 
 impl BfsService {
@@ -375,7 +378,18 @@ impl BfsService {
             dirty: std::collections::BTreeSet::new(),
             local_clock_us: 1,
             last_time: 0,
+            realtime_epoch: None,
         }
+    }
+
+    /// Creates a BFS service whose nondet proposals come from a monotonic
+    /// wall clock (for the live runtime, where there is no harness to feed
+    /// `set_local_clock`). Replicas still agree on the primary's proposal
+    /// via §5.4, so epochs need not be synchronized across replicas.
+    pub fn new_realtime(buckets: u64) -> Self {
+        let mut s = BfsService::new(buckets);
+        s.realtime_epoch = Some(std::time::Instant::now());
+        s
     }
 
     /// Read access to the file system (assertions in tests).
@@ -497,7 +511,16 @@ impl Service for BfsService {
             .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
             .unwrap_or(0);
         let now = proposed.max(self.last_time + 1);
-        self.last_time = now;
+        if !op.is_read_only() {
+            // Read-only execution (§5.1.3 fast path, empty nondet) must be
+            // side-effect free: replicas serve different numbers of RO
+            // requests, so advancing `last_time` here would skew future
+            // mtimes across replicas. The time floor lives in a dedicated
+            // page so rollback and state transfer restore it with the rest
+            // of the state.
+            self.last_time = now;
+            self.dirty.insert(self.buckets);
+        }
         self.apply(&op, now).encode()
     }
 
@@ -506,7 +529,11 @@ impl Service for BfsService {
     }
 
     fn propose_nondet(&self, _seq: SeqNo) -> Bytes {
-        Bytes::from(self.local_clock_us.to_le_bytes().to_vec())
+        let clock = match self.realtime_epoch {
+            Some(epoch) => (epoch.elapsed().as_micros() as u64).max(1),
+            None => self.local_clock_us,
+        };
+        Bytes::from(clock.to_le_bytes().to_vec())
     }
 
     fn check_nondet(&self, nondet: &[u8]) -> bool {
@@ -514,21 +541,29 @@ impl Service for BfsService {
     }
 
     fn num_pages(&self) -> u64 {
-        self.buckets
+        // Bucket pages plus one meta page holding the monotonic time floor.
+        self.buckets + 1
     }
 
     fn get_page(&self, index: u64) -> Bytes {
+        if index == self.buckets {
+            return Bytes::from(self.last_time.to_le_bytes().to_vec());
+        }
         Bytes::from(self.fs.encode_bucket(index, self.buckets))
     }
 
     fn put_page(&mut self, index: u64, data: &[u8]) {
+        if index == self.buckets {
+            self.last_time = data
+                .get(..8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .unwrap_or(0);
+            return;
+        }
         self.fs.install_bucket(index, self.buckets, data);
     }
 
     fn take_dirty(&mut self) -> Vec<u64> {
-        // `last_time` is part of determinism but derived from executed
-        // nondets, which every replica applies identically; it does not
-        // need to live in a page.
         std::mem::take(&mut self.dirty).into_iter().collect()
     }
 }
@@ -687,6 +722,69 @@ mod tests {
         for p in 0..a.num_pages() {
             assert_eq!(a.get_page(p), b.get_page(p), "page {p}");
         }
+    }
+
+    #[test]
+    fn read_only_execution_is_side_effect_free() {
+        let mut s = BfsService::new(4);
+        s.execute(
+            client(),
+            &NfsOp::Create(1, "f".into(), 0o644).encode(),
+            &nd(100),
+        );
+        let _ = s.take_dirty();
+        // Fast-path RO execution runs with an empty nondet and must leave
+        // no trace: no dirty pages, no time-floor advance.
+        let before: Vec<Bytes> = (0..s.num_pages()).map(|p| s.get_page(p)).collect();
+        s.execute(client(), &NfsOp::GetAttr(2).encode(), b"");
+        s.execute(client(), &NfsOp::ReadDir(1).encode(), b"");
+        assert!(s.take_dirty().is_empty());
+        for p in 0..s.num_pages() {
+            assert_eq!(s.get_page(p), before[p as usize], "page {p}");
+        }
+    }
+
+    #[test]
+    fn time_floor_survives_page_restore() {
+        let mut a = BfsService::new(4);
+        a.execute(
+            client(),
+            &NfsOp::Create(1, "f".into(), 0o644).encode(),
+            &nd(500),
+        );
+        // Restoring every page (rollback / state transfer) must also carry
+        // the time floor, or re-execution would mint different mtimes.
+        let mut b = BfsService::new(4);
+        for p in 0..a.num_pages() {
+            b.put_page(p, &a.get_page(p));
+        }
+        let ra = a.execute(
+            client(),
+            &NfsOp::SetAttr(2, Some(0o600), None).encode(),
+            &nd(1),
+        );
+        let rb = b.execute(
+            client(),
+            &NfsOp::SetAttr(2, Some(0o600), None).encode(),
+            &nd(1),
+        );
+        assert_eq!(ra, rb);
+        for p in 0..a.num_pages() {
+            assert_eq!(a.get_page(p), b.get_page(p), "page {p}");
+        }
+    }
+
+    #[test]
+    fn realtime_proposals_are_nonzero_and_monotone() {
+        let s = BfsService::new_realtime(4);
+        let p1 = s.propose_nondet(SeqNo(1));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let p2 = s.propose_nondet(SeqNo(2));
+        let t1 = u64::from_le_bytes(p1[..8].try_into().unwrap());
+        let t2 = u64::from_le_bytes(p2[..8].try_into().unwrap());
+        assert!(t1 >= 1);
+        assert!(t2 > t1);
+        assert!(s.check_nondet(&p2));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! BFS wire-format property tests, mirroring the `framing` proptests:
+//! every `NfsOp`/`NfsReply` round-trips through its encoding, strict
+//! truncation is detected, and arbitrary garbage never panics the
+//! decoders — the ops travel inside `Request.operation` over the real
+//! transport, so the decoder faces adversarial bytes.
+
+use bfs::fs::{Attrs, FileType, FsError};
+use bfs::{NfsOp, NfsReply};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // The vendored proptest has no `char` Arbitrary; draw bytes and map
+    // them over an alphabet that includes multibyte UTF-8.
+    const ALPHABET: [char; 12] = ['a', 'b', 'z', '0', '9', '.', '_', '-', ' ', 'λ', '→', '✓'];
+    proptest::collection::vec(any::<u8>(), 0..12)
+        .prop_map(|v| v.into_iter().map(|b| ALPHABET[b as usize % 12]).collect())
+}
+
+fn arb_op() -> impl Strategy<Value = NfsOp> {
+    prop_oneof![
+        any::<u64>().prop_map(NfsOp::GetAttr),
+        (
+            any::<u64>(),
+            proptest::option::of(any::<u32>()),
+            proptest::option::of(any::<u64>())
+        )
+            .prop_map(|(i, m, s)| NfsOp::SetAttr(i, m, s)),
+        (any::<u64>(), arb_name()).prop_map(|(d, n)| NfsOp::Lookup(d, n)),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(i, o, l)| NfsOp::Read(i, o, l)),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(i, o, d)| NfsOp::Write(i, o, d)),
+        (any::<u64>(), arb_name(), any::<u32>()).prop_map(|(d, n, m)| NfsOp::Create(d, n, m)),
+        (any::<u64>(), arb_name()).prop_map(|(d, n)| NfsOp::Remove(d, n)),
+        (any::<u64>(), arb_name(), any::<u32>()).prop_map(|(d, n, m)| NfsOp::Mkdir(d, n, m)),
+        (any::<u64>(), arb_name()).prop_map(|(d, n)| NfsOp::Rmdir(d, n)),
+        (any::<u64>(), arb_name(), any::<u64>(), arb_name())
+            .prop_map(|(fd, fname, td, tname)| NfsOp::Rename(fd, fname, td, tname)),
+        any::<u64>().prop_map(NfsOp::ReadDir),
+        (any::<u64>(), arb_name(), arb_name()).prop_map(|(d, n, t)| NfsOp::Symlink(d, n, t)),
+        any::<u64>().prop_map(NfsOp::ReadLink),
+    ]
+}
+
+fn arb_reply() -> impl Strategy<Value = NfsReply> {
+    let kind = prop_oneof![
+        Just(FileType::Regular),
+        Just(FileType::Directory),
+        Just(FileType::Symlink),
+    ];
+    let err = prop_oneof![
+        Just(FsError::NotFound),
+        Just(FsError::Exists),
+        Just(FsError::NotDirectory),
+        Just(FsError::IsDirectory),
+        Just(FsError::NotEmpty),
+        Just(FsError::Invalid),
+        Just(FsError::Stale),
+    ];
+    prop_oneof![
+        any::<u64>().prop_map(NfsReply::Handle),
+        (kind, any::<u64>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(
+            |(kind, size, mode, mtime, nlink)| NfsReply::Attrs(Box::new(Attrs {
+                kind,
+                size,
+                mode,
+                mtime,
+                nlink,
+            }))
+        ),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(NfsReply::Data),
+        proptest::collection::vec((arb_name(), any::<u64>()), 0..6).prop_map(NfsReply::Entries),
+        arb_name().prop_map(NfsReply::Path),
+        Just(NfsReply::Ok),
+        err.prop_map(NfsReply::Err),
+    ]
+}
+
+proptest! {
+    /// Every operation round-trips exactly through its encoding.
+    #[test]
+    fn ops_roundtrip(op in arb_op()) {
+        let enc = op.encode();
+        prop_assert_eq!(NfsOp::decode(&enc), Some(op));
+    }
+
+    /// Every reply round-trips exactly through its encoding.
+    #[test]
+    fn replies_roundtrip(reply in arb_reply()) {
+        let enc = reply.encode();
+        prop_assert_eq!(NfsReply::decode(&enc), Some(reply));
+    }
+
+    /// A strict prefix of an op encoding never decodes: every variant
+    /// consumes its full encoding, so truncation is always detected.
+    #[test]
+    fn op_truncation_returns_none(op in arb_op(), cut_permille in 0usize..1000) {
+        let enc = op.encode();
+        let cut = (enc.len() - 1) * cut_permille / 1000;
+        prop_assert_eq!(NfsOp::decode(&enc[..cut]), None);
+    }
+
+    /// Truncated replies never panic; variants with self-delimiting
+    /// payloads (everything but the greedy `Data`/`Path` tails) detect
+    /// the truncation and return `None`.
+    #[test]
+    fn reply_truncation_never_panics(reply in arb_reply(), cut_permille in 0usize..1000) {
+        let enc = reply.encode();
+        let cut = (enc.len() - 1) * cut_permille / 1000;
+        let decoded = NfsReply::decode(&enc[..cut]);
+        if matches!(
+            reply,
+            NfsReply::Handle(_) | NfsReply::Attrs(_) | NfsReply::Entries(_) | NfsReply::Err(_)
+        ) {
+            prop_assert_eq!(decoded, None);
+        }
+    }
+
+    /// Arbitrary garbage never panics either decoder (adversarial bytes
+    /// arrive inside authenticated-but-Byzantine requests).
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = NfsOp::decode(&bytes);
+        let _ = NfsReply::decode(&bytes);
+    }
+}

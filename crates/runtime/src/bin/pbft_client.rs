@@ -14,9 +14,18 @@
 //! client at group `k` (single-shard routing: the workload pays nothing
 //! for the shards it never touches). Prints per-client lines and an
 //! aggregate summary.
+//!
+//! With `service = bfs` in the topology, the counter mix is replaced by
+//! the Andrew benchmark script (§8.6): `--clients N` logical clients on
+//! one multiplexed transport pull NFS ops from a shared dependency-aware
+//! scheduler, read-only ops ride the §5.1.3 fast path
+//! (`--no-fast-path` disables the marking), and `--andrew-scale K`
+//! multiplies the script. Prints per-phase wall clock and latency.
 
+use bfs::{generate_script, AndrewConfig};
+use bft_runtime::bfs_driver::run_andrew_mux;
 use bft_runtime::client::{run_client, run_workers, ClientReport, LoadMode, Workload};
-use bft_runtime::config::Topology;
+use bft_runtime::config::{ServiceKind, Topology};
 use bft_types::{ClientId, ShardId};
 use std::time::Duration;
 
@@ -24,9 +33,59 @@ fn usage() -> ! {
     eprintln!(
         "usage: pbft-client --config FILE [--shard K] [--clients N] [--first-id C] [--ops K] \
          [--op-bytes B] [--read-every M] [--think-ms T | --rate R] \
-         [--retransmit-ms MS] [--deadline-secs S]"
+         [--retransmit-ms MS] [--deadline-secs S] [--andrew-scale K] [--no-fast-path]"
     );
     std::process::exit(2);
+}
+
+/// BFS mode: run the Andrew script against the cluster and print the
+/// per-phase table. Exits the process.
+fn run_andrew(
+    topo: &Topology,
+    ids: &[ClientId],
+    scale: u32,
+    fast_path: bool,
+    deadline: Duration,
+) -> ! {
+    let cfg = AndrewConfig {
+        scale,
+        ..AndrewConfig::default()
+    };
+    let script = generate_script(&cfg);
+    println!(
+        "pbft-client: Andrew (scale {scale}): {} ops, {} logical clients, fast paths {}",
+        script.len(),
+        ids.len(),
+        if fast_path { "on" } else { "off" },
+    );
+    let run = run_andrew_mux(ids, topo, script, fast_path, false, deadline);
+    for p in &run.phases {
+        let mut lat = p.latencies_us.clone();
+        lat.sort_unstable();
+        let pct = |q: f64| {
+            if lat.is_empty() {
+                0.0
+            } else {
+                lat[((lat.len() - 1) as f64 * q).round() as usize] as f64 / 1e3
+            }
+        };
+        println!(
+            "  {:<9} {:>5} ops in {:>8.2}ms  p50 {:.2}ms p99 {:.2}ms",
+            p.phase,
+            p.ops,
+            p.wall.as_secs_f64() * 1e3,
+            pct(0.5),
+            pct(0.99),
+        );
+    }
+    println!(
+        "aggregate: {} ops in {:.2}s = {:.1} ops/s, {} retransmitted",
+        run.completed,
+        run.total_wall.as_secs_f64(),
+        run.ops_per_sec(),
+        run.retransmitted,
+    );
+    std::process::exit(0);
 }
 
 fn main() {
@@ -42,6 +101,8 @@ fn main() {
     let mut rate: Option<f64> = None;
     let mut retransmit_ms: Option<u64> = None;
     let mut deadline_secs: u64 = 60;
+    let mut andrew_scale: u32 = 1;
+    let mut fast_path = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |dst: &mut u64| match it.next().and_then(|v| v.parse().ok()) {
@@ -72,6 +133,11 @@ fn main() {
             "--rate" => rate = it.next().and_then(|v| v.parse().ok()),
             "--retransmit-ms" => retransmit_ms = it.next().and_then(|v| v.parse().ok()),
             "--deadline-secs" => num(&mut deadline_secs),
+            "--andrew-scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => andrew_scale = v,
+                None => usage(),
+            },
+            "--no-fast-path" => fast_path = false,
             _ => usage(),
         }
     }
@@ -94,6 +160,12 @@ fn main() {
         std::process::exit(1);
     }
     let topo = topo.project(ShardId(shard));
+    let deadline = Duration::from_secs(deadline_secs);
+    let ids: Vec<ClientId> = (first_id..first_id + clients).map(ClientId).collect();
+
+    if topo.service == ServiceKind::Bfs {
+        run_andrew(&topo, &ids, andrew_scale, fast_path, deadline);
+    }
 
     let mode = match rate {
         Some(r) if r > 0.0 => LoadMode::Open {
@@ -110,7 +182,6 @@ fn main() {
         mode,
         retransmit: retransmit_ms.map(Duration::from_millis),
     };
-    let deadline = Duration::from_secs(deadline_secs);
 
     println!(
         "pbft-client: {clients} client(s) x {ops} ops ({:?}), shard {shard}, {} replicas",
@@ -119,7 +190,6 @@ fn main() {
     );
     // Collect per-worker outcomes rather than `.join().expect(..)`: one
     // panicking worker must not discard every other worker's stats.
-    let ids: Vec<ClientId> = (first_id..first_id + clients).map(ClientId).collect();
     let outcomes = run_workers(&ids, |c| run_client(c, &topo, &workload, deadline));
     let mut reports: Vec<ClientReport> = Vec::with_capacity(outcomes.len());
     let mut dead: Vec<String> = Vec::new();

@@ -5,14 +5,15 @@
 //!   pbft-node --example-config [F]        # print a starter config
 //!
 //! The replica listens on its topology address, dials its peers (with
-//! reconnect backoff), and serves the counter service. With a sharded
+//! reconnect backoff), and serves the topology's `service` (the counter
+//! benchmark service by default, BFS with `service = bfs`). With a sharded
 //! config (`shard.<k>.replica.<n>` sections) `--shard K` selects which
 //! group this replica belongs to; `--id` is the replica index within
 //! that group. `--status-every` prints a one-line state summary
 //! periodically.
 
 use bft_runtime::config::Topology;
-use bft_runtime::node::spawn_counter_replica;
+use bft_runtime::node::spawn_service_replica;
 use bft_types::{ReplicaId, ShardId};
 use std::net::TcpListener;
 use std::time::Duration;
@@ -84,11 +85,12 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "pbft-node: shard {shard} replica {id} of n={} (f={}) listening on {addr}",
+        "pbft-node: shard {shard} replica {id} of n={} (f={}) serving `{}` listening on {addr}",
         topo.replicas.len(),
-        topo.f
+        topo.f,
+        topo.service
     );
-    let node = spawn_counter_replica(ReplicaId(id), topo, listener);
+    let node = spawn_service_replica(ReplicaId(id), topo, listener);
     match status_every {
         Some(secs) if secs > 0 => loop {
             std::thread::sleep(Duration::from_secs(secs));

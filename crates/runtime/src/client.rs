@@ -294,6 +294,37 @@ pub fn run_client_with(
     report
 }
 
+/// One instruction from an [`OpSource`] to the multiplexed driver.
+pub enum NextOp {
+    /// Invoke `op`; `tag` identifies it in [`OpSource::done`].
+    Invoke {
+        /// Encoded operation body.
+        op: Bytes,
+        /// Whether to mark the request read-only (§5.1.3 fast path).
+        read_only: bool,
+        /// Opaque tag returned on completion.
+        tag: u64,
+    },
+    /// Nothing issuable for this slot right now (an in-flight dependency
+    /// must complete first); the driver polls again next iteration.
+    Wait,
+    /// The slot has no further work, ever.
+    Finished,
+}
+
+/// A supply of operations for [`run_mux_sources`] — the seam that lets
+/// the multiplexed driver run both the counter benchmark mix and the
+/// BFS Andrew script without duplicating the event loop.
+pub trait OpSource {
+    /// Next instruction for idle slot `slot`.
+    fn next(&mut self, slot: usize, now: Instant) -> NextOp;
+    /// Records the completion of the op tagged `tag` on `slot`; returns
+    /// the earliest instant the slot may invoke again (pacing).
+    fn done(&mut self, slot: usize, tag: u64, op: &CompletedOp, latency: Duration) -> Instant;
+    /// True once every slot's work is complete (driver exit condition).
+    fn finished(&self) -> bool;
+}
+
 /// Drives many logical clients from ONE thread over ONE transport.
 ///
 /// The transport greets as every client id, so all of them share the
@@ -313,20 +344,84 @@ pub fn run_mux_clients(
     workload: &Workload,
     deadline: Duration,
 ) -> Vec<ClientReport> {
+    /// The counter benchmark mix as an [`OpSource`]: per-slot op cursors
+    /// over [`Workload::op`], with closed/open-loop pacing.
+    struct WorkloadSource<'a> {
+        workload: &'a Workload,
+        next_k: Vec<u64>,
+        started: Instant,
+    }
+    impl OpSource for WorkloadSource<'_> {
+        fn next(&mut self, slot: usize, _now: Instant) -> NextOp {
+            let k = self.next_k[slot];
+            if k >= self.workload.ops {
+                return NextOp::Finished;
+            }
+            let (op, read_only) = self.workload.op(k);
+            NextOp::Invoke {
+                op,
+                read_only,
+                tag: k,
+            }
+        }
+        fn done(&mut self, slot: usize, _tag: u64, _op: &CompletedOp, _lat: Duration) -> Instant {
+            self.next_k[slot] += 1;
+            match self.workload.mode {
+                LoadMode::Closed { think } => Instant::now() + think,
+                LoadMode::Open { interval } => self.started + interval * (self.next_k[slot] as u32),
+            }
+        }
+        fn finished(&self) -> bool {
+            self.next_k.iter().all(|&k| k >= self.workload.ops)
+        }
+    }
+    let mut source = WorkloadSource {
+        workload,
+        next_k: vec![0; ids.len()],
+        started: Instant::now(),
+    };
+    run_mux_sources(ids, topo, &mut source, workload.retransmit, deadline)
+}
+
+/// The generic multiplexed driver behind [`run_mux_clients`]: one thread,
+/// one multi-identity transport, one timer wheel, and an [`OpSource`]
+/// deciding what each idle logical client invokes next.
+pub fn run_mux_sources(
+    ids: &[ClientId],
+    topo: &Topology,
+    source: &mut dyn OpSource,
+    retransmit: Option<Duration>,
+    deadline: Duration,
+) -> Vec<ClientReport> {
     struct Slot {
         proxy: ClientProxy,
         report: ClientReport,
-        /// Next workload op index to invoke.
-        next_k: u64,
-        /// Invocation time of the in-flight op (None = idle).
-        invoked: Option<Instant>,
+        /// Invocation time and tag of the in-flight op (None = idle).
+        invoked: Option<(Instant, u64)>,
         /// Earliest time the next op may be invoked (pacing).
         ready_at: Instant,
+        /// The source reported this slot has no further work.
+        halted: bool,
+    }
+
+    /// Books a completed op into its slot and paces the next invocation.
+    fn record_completion(slot: &mut Slot, i: usize, source: &mut dyn OpSource, done: CompletedOp) {
+        let (invoked, tag) = slot.invoked.take().expect("completion without invocation");
+        let latency = invoked.elapsed();
+        slot.report.completed += 1;
+        if done.retransmissions > 0 {
+            slot.report.retransmitted += 1;
+        }
+        slot.report.latencies_us.push(latency.as_micros() as u64);
+        slot.report
+            .results
+            .push((done.timestamp, done.result.to_vec()));
+        slot.ready_at = source.done(i, tag, &done, latency);
     }
 
     let keys = topo.keys();
     let mut client_config = topo.client_config();
-    if let Some(rt) = workload.retransmit {
+    if let Some(rt) = retransmit {
         client_config.retransmit_timeout = SimDuration::from_micros(rt.as_micros() as u64);
     }
     let (in_tx, in_rx) = mpsc::channel::<Vec<u8>>();
@@ -355,38 +450,42 @@ pub fn run_mux_clients(
                 client: c,
                 completed: 0,
                 retransmitted: 0,
-                latencies_us: Vec::with_capacity(workload.ops as usize),
-                results: Vec::with_capacity(workload.ops as usize),
+                latencies_us: Vec::new(),
+                results: Vec::new(),
                 wall: Duration::ZERO,
             },
-            next_k: 0,
             invoked: None,
             ready_at: started,
+            halted: false,
         })
         .collect();
     let index: std::collections::HashMap<ClientId, usize> =
         ids.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-    let mut unfinished = slots.len();
 
-    while unfinished > 0 && Instant::now() < hard_deadline {
+    while !source.finished() && Instant::now() < hard_deadline {
         // Fire due client retransmission timers.
         while let Some((i, tid)) = timers.pop_due() {
             let (actions, done) = slots[i].proxy.on_input(Input::Timer(tid));
             apply_mux_actions(i, actions, &transport, &mut timers, n);
             if let Some(done) = done {
-                record_completion(&mut slots[i], done, workload, started, &mut unfinished);
+                record_completion(&mut slots[i], i, source, done);
             }
         }
         // Invoke the next op on every idle, ready client.
         let now = Instant::now();
         for (i, slot) in slots.iter_mut().enumerate() {
-            if slot.invoked.is_some() || slot.next_k >= workload.ops || now < slot.ready_at {
+            if slot.halted || slot.invoked.is_some() || now < slot.ready_at {
                 continue;
             }
-            let (op, read_only) = workload.op(slot.next_k);
-            slot.invoked = Some(Instant::now());
-            let actions = slot.proxy.invoke(op, read_only);
-            apply_mux_actions(i, actions, &transport, &mut timers, n);
+            match source.next(i, now) {
+                NextOp::Invoke { op, read_only, tag } => {
+                    slot.invoked = Some((Instant::now(), tag));
+                    let actions = slot.proxy.invoke(op, read_only);
+                    apply_mux_actions(i, actions, &transport, &mut timers, n);
+                }
+                NextOp::Wait => {}
+                NextOp::Finished => slot.halted = true,
+            }
         }
         // Drain inbound replies; one wake-up handles everything queued.
         let wait = timers
@@ -413,7 +512,7 @@ pub fn run_mux_clients(
                     let (actions, done) = slots[i].proxy.on_input(Input::Deliver(msg));
                     apply_mux_actions(i, actions, &transport, &mut timers, n);
                     if let Some(done) = done {
-                        record_completion(&mut slots[i], done, workload, started, &mut unfinished);
+                        record_completion(&mut slots[i], i, source, done);
                     }
                 }
             }
@@ -429,36 +528,7 @@ pub fn run_mux_clients(
         slot.report.wall = wall;
     }
     transport.shutdown();
-    return slots.into_iter().map(|s| s.report).collect();
-
-    /// Books a completed op into its slot and paces the next invocation.
-    fn record_completion(
-        slot: &mut Slot,
-        done: CompletedOp,
-        workload: &Workload,
-        started: Instant,
-        unfinished: &mut usize,
-    ) {
-        let invoked = slot.invoked.take().expect("completion without invocation");
-        slot.report.completed += 1;
-        if done.retransmissions > 0 {
-            slot.report.retransmitted += 1;
-        }
-        slot.report
-            .latencies_us
-            .push(invoked.elapsed().as_micros() as u64);
-        slot.report
-            .results
-            .push((done.timestamp, done.result.to_vec()));
-        slot.next_k += 1;
-        slot.ready_at = match workload.mode {
-            LoadMode::Closed { think } => Instant::now() + think,
-            LoadMode::Open { interval } => started + interval * (slot.next_k as u32),
-        };
-        if slot.next_k == workload.ops {
-            *unfinished -= 1;
-        }
-    }
+    slots.into_iter().map(|s| s.report).collect()
 }
 
 /// Runs one worker thread per id in `ids` and collects every worker's

@@ -45,6 +45,31 @@ use bft_types::{GroupParams, ShardId, ShardMap, SimDuration};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 
+/// Which replicated service the cluster runs (`service = ...` key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceKind {
+    /// The padded-counter benchmark service (default).
+    Counter,
+    /// BFS, the NFS-shaped file service (§6.3).
+    Bfs,
+}
+
+impl ServiceKind {
+    /// Config-file spelling of this service.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceKind::Counter => "counter",
+            ServiceKind::Bfs => "bfs",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A parsed cluster topology: the whole deployment plus the shard this
 /// view describes ([`Topology::parse`] yields the shard-0 view;
 /// [`Topology::project`] selects another).
@@ -70,6 +95,12 @@ pub struct Topology {
     /// Batches the primary keeps in flight at once (clamped to the
     /// protocol window by `bft-core`).
     pub pipeline_depth: u64,
+    /// Which replicated service the nodes serve (`counter` | `bfs`).
+    pub service: ServiceKind,
+    /// Whether replicas execute prepared requests tentatively (§5.1.2).
+    /// On by default; benchmarks disable it to measure the fast path's
+    /// contribution.
+    pub tentative_execution: bool,
     /// The shard this topology view describes (key derivation, routing).
     pub shard: ShardId,
     /// Listen addresses of this shard's replicas, indexed by replica id.
@@ -118,6 +149,8 @@ impl Topology {
             batching: true,
             workers: 0,
             pipeline_depth: 8,
+            service: ServiceKind::Counter,
+            tentative_execution: true,
             shard: ShardId(0),
             replicas: all_shards[0].clone(),
             all_shards,
@@ -173,6 +206,8 @@ impl Topology {
             batching: true,
             workers: 0,
             pipeline_depth: 8,
+            service: ServiceKind::Counter,
+            tentative_execution: true,
             shard: ShardId(0),
             replicas: Vec::new(),
             all_shards: Vec::new(),
@@ -250,6 +285,26 @@ impl Topology {
                     }
                 }
                 "workers" => topo.workers = parse_u64(value, "workers")? as usize,
+                "service" => {
+                    topo.service = match value {
+                        "counter" => ServiceKind::Counter,
+                        "bfs" => ServiceKind::Bfs,
+                        _ => {
+                            return Err(format!(
+                                "line {lineno}: unknown service `{value}` (allowed: counter, bfs)"
+                            ))
+                        }
+                    }
+                }
+                "tentative_execution" => {
+                    topo.tentative_execution = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => {
+                            return Err(format!("line {lineno}: bad tentative_execution `{value}`"))
+                        }
+                    }
+                }
                 "pipeline_depth" => {
                     topo.pipeline_depth = parse_u64(value, "pipeline_depth")?;
                     if topo.pipeline_depth == 0 {
@@ -312,6 +367,11 @@ impl Topology {
         out.push_str(&format!("batching = {}\n", self.batching));
         out.push_str(&format!("workers = {}\n", self.workers));
         out.push_str(&format!("pipeline_depth = {}\n", self.pipeline_depth));
+        out.push_str(&format!("service = {}\n", self.service));
+        out.push_str(&format!(
+            "tentative_execution = {}\n",
+            self.tentative_execution
+        ));
         for (k, shard) in self.all_shards.iter().enumerate() {
             for (i, addr) in shard.iter().enumerate() {
                 if k == 0 {
@@ -338,6 +398,7 @@ impl Topology {
         config.status_interval = SimDuration::from_millis(self.status_ms);
         config.checkpoint_interval = self.checkpoint_interval;
         config.opts.batching = self.batching;
+        config.opts.tentative_execution = self.tentative_execution;
         config.pipeline_depth = Some(self.pipeline_depth);
         // Outbound MACs move to the pool only when a pool exists.
         config.defer_multicast_auth = self.workers > 0;
@@ -442,6 +503,46 @@ mod tests {
         // A zero depth would deadlock the primary; reject it at parse.
         assert!(Topology::parse("f = 1\npipeline_depth = 0\n").is_err());
         assert!(Topology::parse("f = 1\nworkers = x\n").is_err());
+    }
+
+    /// The `service` key selects which state machine the nodes run.
+    /// Absent key → counter (every pre-BFS config file parses unchanged);
+    /// unknown values are rejected naming the line and the alternatives.
+    #[test]
+    fn service_key_parses_validates_and_defaults() {
+        let base = "f = 1\nreplica.0 = 127.0.0.1:1\nreplica.1 = 127.0.0.1:2\n\
+                    replica.2 = 127.0.0.1:3\nreplica.3 = 127.0.0.1:4\n";
+        // Default: counter.
+        let topo = Topology::parse(base).expect("parse");
+        assert_eq!(topo.service, ServiceKind::Counter);
+        assert!(topo.tentative_execution);
+        // Explicit values.
+        let topo = Topology::parse(&format!("service = bfs\n{base}")).expect("parse");
+        assert_eq!(topo.service, ServiceKind::Bfs);
+        let topo = Topology::parse(&format!("service = counter\n{base}")).expect("parse");
+        assert_eq!(topo.service, ServiceKind::Counter);
+        // Unknown service: line-numbered error naming the allowed values.
+        let err = Topology::parse(&format!("{base}service = nfs\n")).unwrap_err();
+        assert!(err.contains("line 6"), "{err}");
+        assert!(err.contains("unknown service `nfs`"), "{err}");
+        assert!(err.contains("counter"), "{err}");
+        assert!(err.contains("bfs"), "{err}");
+        // Round trip.
+        let mut topo = Topology::localhost(1, 8, 5100);
+        topo.service = ServiceKind::Bfs;
+        let back = Topology::parse(&topo.to_config_string()).expect("parse own output");
+        assert_eq!(back, topo);
+    }
+
+    #[test]
+    fn tentative_execution_key_parses_and_reaches_replica_config() {
+        let mut topo = Topology::localhost(1, 8, 5100);
+        assert!(topo.replica_config().opts.tentative_execution);
+        topo.tentative_execution = false;
+        let back = Topology::parse(&topo.to_config_string()).expect("parse own output");
+        assert_eq!(back, topo);
+        assert!(!back.replica_config().opts.tentative_execution);
+        assert!(Topology::parse("f = 1\ntentative_execution = maybe\n").is_err());
     }
 
     #[test]

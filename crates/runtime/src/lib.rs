@@ -41,6 +41,7 @@
 //! sufficient to boot a cluster for development and testing; a hardened
 //! deployment would provision per-node keys out of band.
 
+pub mod bfs_driver;
 pub mod client;
 pub mod clock;
 pub mod config;
@@ -50,14 +51,21 @@ pub mod node;
 pub mod pool;
 pub mod transport;
 
+pub use bfs_driver::{
+    run_andrew_direct, run_andrew_mux, run_andrew_unreplicated_tcp, AndrewRun, PhaseReport,
+    UnreplicatedServer,
+};
 pub use client::{
-    run_client, run_client_with, run_mux_clients, run_workers, ClientHooks, ClientReport, LoadMode,
-    Workload,
+    run_client, run_client_with, run_mux_clients, run_mux_sources, run_workers, ClientHooks,
+    ClientReport, LoadMode, NextOp, OpSource, Workload,
 };
 pub use clock::RtTimers;
 pub use config::Topology;
 pub use inject::{FaultPlane, LinkTally, SendVerdict, StormSignal};
 pub use loopback::{ConvergeFailure, ConvergeTimeout, LoopbackCluster, ShardedLoopback};
-pub use node::{spawn_counter_replica, spawn_counter_replica_faulted, NodeHandle, Snapshot};
+pub use node::{
+    spawn_counter_replica, spawn_counter_replica_faulted, spawn_service_replica,
+    spawn_service_replica_faulted, NodeHandle, Snapshot,
+};
 pub use pool::MacPool;
 pub use transport::{Transport, TransportStats};

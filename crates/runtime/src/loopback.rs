@@ -11,7 +11,7 @@
 use crate::client::{run_client, run_workers, ClientReport, Workload};
 use crate::config::Topology;
 use crate::inject::FaultPlane;
-use crate::node::{spawn_counter_replica_faulted, NodeHandle, Snapshot};
+use crate::node::{spawn_service_replica_faulted, NodeHandle, Snapshot};
 use bft_types::{ClientId, ReplicaId};
 use std::fmt;
 use std::net::TcpListener;
@@ -166,7 +166,7 @@ impl LoopbackCluster {
             .iter()
             .enumerate()
             .map(|(i, listener)| {
-                Some(spawn_counter_replica_faulted(
+                Some(spawn_service_replica_faulted(
                     ReplicaId(i as u32),
                     topo.clone(),
                     listener.try_clone().expect("clone listener"),
@@ -185,6 +185,12 @@ impl LoopbackCluster {
     /// Number of replicas.
     pub fn n(&self) -> usize {
         self.topo.replicas.len()
+    }
+
+    /// The cluster's topology, for custom client drivers (the Andrew
+    /// benchmark drives [`crate::bfs_driver::run_andrew_mux`] directly).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// Runs `clients` concurrent client workers (ids `0..clients`) and
@@ -278,7 +284,7 @@ impl LoopbackCluster {
         let listener = self.listeners[i]
             .try_clone()
             .expect("clone retained listener");
-        self.nodes[i] = Some(spawn_counter_replica_faulted(
+        self.nodes[i] = Some(spawn_service_replica_faulted(
             r,
             self.topo.clone(),
             listener,

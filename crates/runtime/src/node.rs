@@ -282,6 +282,40 @@ pub fn spawn_counter_replica_faulted(
     )
 }
 
+/// Checkpoint pages for the live BFS service. More pages than the
+/// simulator's 64 so state-transfer fetches stay small under the Andrew
+/// write volume.
+pub const BFS_LIVE_BUCKETS: u64 = 128;
+
+/// Spawns a replica running whatever service the topology's `service`
+/// key selects — the dispatch point shared by `pbft-node` and the
+/// loopback harness (including restarts, so a restarted BFS node never
+/// comes back as a counter).
+pub fn spawn_service_replica_faulted(
+    id: ReplicaId,
+    topo: Topology,
+    listener: TcpListener,
+    faults: Option<Arc<FaultPlane>>,
+) -> NodeHandle {
+    match topo.service {
+        crate::config::ServiceKind::Counter => {
+            spawn_counter_replica_faulted(id, topo, listener, faults)
+        }
+        crate::config::ServiceKind::Bfs => spawn_replica_faulted(
+            id,
+            topo,
+            listener,
+            |_topo: &Topology| bfs::BfsService::new_realtime(BFS_LIVE_BUCKETS),
+            faults,
+        ),
+    }
+}
+
+/// [`spawn_service_replica_faulted`] without fault injection.
+pub fn spawn_service_replica(id: ReplicaId, topo: Topology, listener: TcpListener) -> NodeHandle {
+    spawn_service_replica_faulted(id, topo, listener, None)
+}
+
 /// Decodes one checksum-verified payload and steps the replica with it.
 /// Undecodable payloads are dropped (the transport already verified the
 /// checksum, so this means a peer speaking garbage, not line noise).
