@@ -25,6 +25,7 @@
 
 use bfs::AndrewConfig;
 use bft_bench::andrew::{overhead, percentile_ms, run_cases, CaseOutcome};
+use bft_bench::{BenchReport, Json};
 
 fn print_outcomes(outcomes: &[CaseOutcome]) {
     for o in outcomes {
@@ -72,15 +73,7 @@ fn ratios(outcomes: &[CaseOutcome], prefix: &str) -> (f64, f64, f64, f64) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| {
-            // crates/bench -> workspace root, independent of the cwd.
-            format!("{}/../../BENCH_pr9.json", env!("CARGO_MANIFEST_DIR"))
-        });
+    let out_path = bft_bench::report::out_path(&args, "BENCH_pr9.json");
 
     let (mut cfg, mut clients) = if smoke {
         (AndrewConfig::tiny(), 4)
@@ -149,84 +142,119 @@ fn main() {
         "overhead vs in-process direct (floor): application {app_dfast:.2}x, rpc {rpc_dfast:.2}x",
     );
 
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new(
+        "Andrew benchmark over live TCP: replicated BFS vs unreplicated (PR 9)",
+        "per-phase wall clock and replicated/unreplicated overhead of the Andrew benchmark on \
+         an f=1 BFS cluster over 127.0.0.1 TCP",
+    );
+    report
+        .mode(smoke)
+        .host_cpus()
+        .field(
+            "andrew",
+            Json::obj([
+                ("dirs", Json::U64(cfg.dirs as u64)),
+                ("files_per_dir", Json::U64(cfg.files_per_dir as u64)),
+                ("file_bytes", Json::U64(cfg.file_size as u64)),
+                ("scale", Json::U64(cfg.scale as u64)),
+                ("ops", Json::U64(total_ops)),
+                ("clients", Json::U64(clients as u64)),
+            ]),
+        )
+        .field(
+            "setup",
+            Json::s(format!(
+                "one script, four configurations per mode: replicated with read-only + \
+                 tentative fast paths, replicated with both fast paths disabled, an \
+                 unreplicated BFS server over the same loopback TCP with the same number of \
+                 closed-loop connections (the paper's NFS-std analogue), and in-process direct \
+                 execution (zero wire cost, transparency floor); {clients} clients share one \
+                 dependency-aware scheduler so phases are barriers and op-order constraints \
+                 hold; each case is the median-total-wall run of {reps} repetition(s); after \
+                 each replicated case the replicas must agree on overlapping journals and \
+                 converge to one state digest"
+            )),
+        )
+        .field(
+            "modes",
+            Json::s(
+                "application mode charges the benchmark's client-side compute (checksum \
+                 copies, scan reads, compile sources) on every completion, identically in all \
+                 four configurations — the paper's headline is about this mode, and holds \
+                 because Andrew is application-dominated; rpc_* cases replay the same script \
+                 with zero compute between ops, the analogue of the paper's section-8.3 \
+                 micro-benchmarks where several-fold per-op overhead is expected",
+            ),
+        )
+        .field(
+            "overhead_vs_unreplicated",
+            Json::obj([
+                ("fast_paths_on", Json::F(app_fast, 3)),
+                ("fast_paths_off", Json::F(app_slow, 3)),
+            ]),
+        )
+        .field(
+            "overhead_rpc_only",
+            Json::obj([
+                ("fast_paths_on", Json::F(rpc_fast, 3)),
+                ("fast_paths_off", Json::F(rpc_slow, 3)),
+            ]),
+        )
+        .field(
+            "overhead_vs_direct",
+            Json::obj([
+                (
+                    "app",
+                    Json::obj([
+                        ("fast_paths_on", Json::F(app_dfast, 3)),
+                        ("fast_paths_off", Json::F(app_dslow, 3)),
+                    ]),
+                ),
+                (
+                    "rpc",
+                    Json::obj([
+                        ("fast_paths_on", Json::F(rpc_dfast, 3)),
+                        ("fast_paths_off", Json::F(rpc_dslow, 3)),
+                    ]),
+                ),
+            ]),
+        );
     for o in &outcomes {
-        let phases: Vec<String> = o
+        let phases: Vec<Json> = o
             .run
             .phases
             .iter()
             .map(|p| {
                 let mut lat = p.latencies_us.clone();
                 lat.sort_unstable();
-                format!(
-                    "        {{\"phase\": \"{}\", \"ops\": {}, \"wall_ms\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
-                    p.phase,
-                    p.ops,
-                    p.wall.as_secs_f64() * 1e3,
-                    percentile_ms(&lat, 0.5),
-                    percentile_ms(&lat, 0.99),
-                )
+                Json::obj([
+                    ("phase", Json::s(p.phase)),
+                    ("ops", Json::U64(p.ops)),
+                    ("wall_ms", Json::F(p.wall.as_secs_f64() * 1e3, 2)),
+                    ("p50_ms", Json::F(percentile_ms(&lat, 0.5), 3)),
+                    ("p99_ms", Json::F(percentile_ms(&lat, 0.99), 3)),
+                ])
             })
             .collect();
         let all = o.run.sorted_latencies_us();
-        entries.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"case\": \"{}\",\n",
-                "      \"ops\": {},\n",
-                "      \"total_wall_ms\": {:.2},\n",
-                "      \"ops_per_sec\": {:.1},\n",
-                "      \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n",
-                "      \"retransmitted\": {},\n",
-                "      \"phases\": [\n{}\n      ]\n",
-                "    }}"
+        report.case(Json::obj([
+            ("case", Json::s(o.id)),
+            ("ops", Json::U64(o.run.completed)),
+            (
+                "total_wall_ms",
+                Json::F(o.run.total_wall.as_secs_f64() * 1e3, 2),
             ),
-            o.id,
-            o.run.completed,
-            o.run.total_wall.as_secs_f64() * 1e3,
-            o.run.ops_per_sec(),
-            percentile_ms(&all, 0.5),
-            percentile_ms(&all, 0.99),
-            o.run.retransmitted,
-            phases.join(",\n"),
-        ));
+            ("ops_per_sec", Json::F(o.run.ops_per_sec(), 1)),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("p50", Json::F(percentile_ms(&all, 0.5), 3)),
+                    ("p99", Json::F(percentile_ms(&all, 0.99), 3)),
+                ]),
+            ),
+            ("retransmitted", Json::U64(o.run.retransmitted)),
+            ("phases", Json::Arr(phases)),
+        ]));
     }
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"experiment\": \"Andrew benchmark over live TCP: replicated BFS vs unreplicated (PR 9)\",\n",
-            "  \"metric\": \"per-phase wall clock and replicated/unreplicated overhead of the Andrew benchmark on an f=1 BFS cluster over 127.0.0.1 TCP\",\n",
-            "  \"mode\": \"{}\",\n",
-            "  \"host_cpus\": {},\n",
-            "  \"andrew\": {{\"dirs\": {}, \"files_per_dir\": {}, \"file_bytes\": {}, \"scale\": {}, \"ops\": {}, \"clients\": {}}},\n",
-            "  \"setup\": \"one script, four configurations per mode: replicated with read-only + tentative fast paths, replicated with both fast paths disabled, an unreplicated BFS server over the same loopback TCP with the same number of closed-loop connections (the paper's NFS-std analogue), and in-process direct execution (zero wire cost, transparency floor); {} clients share one dependency-aware scheduler so phases are barriers and op-order constraints hold; each case is the median-total-wall run of {} repetition(s); after each replicated case the replicas must agree on overlapping journals and converge to one state digest\",\n",
-            "  \"modes\": \"application mode charges the benchmark's client-side compute (checksum copies, scan reads, compile sources) on every completion, identically in all four configurations — the paper's headline is about this mode, and holds because Andrew is application-dominated; rpc_* cases replay the same script with zero compute between ops, the analogue of the paper's section-8.3 micro-benchmarks where several-fold per-op overhead is expected\",\n",
-            "  \"overhead_vs_unreplicated\": {{\"fast_paths_on\": {:.3}, \"fast_paths_off\": {:.3}}},\n",
-            "  \"overhead_rpc_only\": {{\"fast_paths_on\": {:.3}, \"fast_paths_off\": {:.3}}},\n",
-            "  \"overhead_vs_direct\": {{\"app\": {{\"fast_paths_on\": {:.3}, \"fast_paths_off\": {:.3}}}, \"rpc\": {{\"fast_paths_on\": {:.3}, \"fast_paths_off\": {:.3}}}}},\n",
-            "  \"cases\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        if smoke { "smoke" } else { "full" },
-        host_cpus,
-        cfg.dirs,
-        cfg.files_per_dir,
-        cfg.file_size,
-        cfg.scale,
-        total_ops,
-        clients,
-        clients,
-        reps,
-        app_fast,
-        app_slow,
-        rpc_fast,
-        rpc_slow,
-        app_dfast,
-        app_dslow,
-        rpc_dfast,
-        rpc_dslow,
-        entries.join(",\n"),
-    );
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("wrote {out_path}");
+    report.write(&out_path);
 }

@@ -33,6 +33,7 @@
 //! via `CARGO_MANIFEST_DIR`, so the working directory does not matter —
 //! CI matrix jobs run from different directories).
 
+use bft_bench::{BenchReport, Json};
 use bft_runtime::client::Workload;
 use bft_runtime::loopback::LoopbackCluster;
 use std::time::{Duration, Instant};
@@ -129,15 +130,7 @@ fn run_case(case: &Case) -> Outcome {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| {
-            // crates/bench -> workspace root, independent of the cwd.
-            format!("{}/../../BENCH_pr6.json", env!("CARGO_MANIFEST_DIR"))
-        });
+    let out_path = bft_bench::report::out_path(&args, "BENCH_pr6.json");
 
     let cases: &[Case] = if smoke {
         // Pool off and pool on, so CI smokes both data planes, plus one
@@ -266,7 +259,33 @@ fn main() {
         "p99 ms",
         "retrans"
     );
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new(
+        "real-network multi-core data plane: MAC worker pool + request pipelining (PR 6)",
+        "wall-clock ops/sec and latency of an f=1 cluster over TCP on 127.0.0.1",
+    );
+    report
+        .mode(smoke)
+        .host_cpus()
+        .field(
+            "setup",
+            Json::s(
+                "4 replicas + N closed-loop clients in one process, 128B ops, every 4th op \
+                 read-only; workers = MAC pool threads per replica (0 = single-threaded direct \
+                 path); pipeline_depth = max batches the primary keeps in flight (§5.1.4); \
+                 mux_groups > 0 = clients multiplexed onto that many driver threads sharing one \
+                 transport; checkpoint_interval 128, base view-change timeout 2s; after each \
+                 case the replicas must agree on every overlapping journal entry and converge \
+                 to one state digest",
+            ),
+        )
+        .field(
+            "note",
+            Json::s(
+                "worker scaling shows MAC offload on multi-core hosts and bounds pool overhead \
+                 on single-core ones (see host_cpus); client scaling with the multiplexed \
+                 driver is the throughput axis",
+            ),
+        );
     for case in cases {
         let o = run_case(case);
         println!(
@@ -284,51 +303,25 @@ fn main() {
             o.p99_ms,
             o.retransmitted
         );
-        entries.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"case\": \"{}\",\n",
-                "      \"clients\": {},\n",
-                "      \"workers\": {},\n",
-                "      \"pipeline_depth\": {},\n",
-                "      \"mux_groups\": {},\n",
-                "      \"ops\": {},\n",
-                "      \"wall_ms\": {:.1},\n",
-                "      \"ops_per_sec\": {:.1},\n",
-                "      \"latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p99\": {:.3}}},\n",
-                "      \"retransmitted\": {}\n",
-                "    }}"
+        report.case(Json::obj([
+            ("case", Json::s(o.id)),
+            ("clients", Json::U64(o.clients as u64)),
+            ("workers", Json::U64(o.workers as u64)),
+            ("pipeline_depth", Json::U64(o.pipeline_depth)),
+            ("mux_groups", Json::U64(o.mux_groups as u64)),
+            ("ops", Json::U64(o.ops)),
+            ("wall_ms", Json::F(o.wall_ms, 1)),
+            ("ops_per_sec", Json::F(o.ops_per_sec, 1)),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("mean", Json::F(o.mean_ms, 3)),
+                    ("p50", Json::F(o.p50_ms, 3)),
+                    ("p99", Json::F(o.p99_ms, 3)),
+                ]),
             ),
-            o.id,
-            o.clients,
-            o.workers,
-            o.pipeline_depth,
-            o.mux_groups,
-            o.ops,
-            o.wall_ms,
-            o.ops_per_sec,
-            o.mean_ms,
-            o.p50_ms,
-            o.p99_ms,
-            o.retransmitted
-        ));
+            ("retransmitted", Json::U64(o.retransmitted)),
+        ]));
     }
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"experiment\": \"real-network multi-core data plane: MAC worker pool + request pipelining (PR 6)\",\n",
-            "  \"metric\": \"wall-clock ops/sec and latency of an f=1 cluster over TCP on 127.0.0.1\",\n",
-            "  \"mode\": \"{}\",\n",
-            "  \"host_cpus\": {},\n",
-            "  \"setup\": \"4 replicas + N closed-loop clients in one process, 128B ops, every 4th op read-only; workers = MAC pool threads per replica (0 = single-threaded direct path); pipeline_depth = max batches the primary keeps in flight (§5.1.4); mux_groups > 0 = clients multiplexed onto that many driver threads sharing one transport; checkpoint_interval 128, base view-change timeout 2s; after each case the replicas must agree on every overlapping journal entry and converge to one state digest\",\n",
-            "  \"note\": \"worker scaling shows MAC offload on multi-core hosts and bounds pool overhead on single-core ones (see host_cpus); client scaling with the multiplexed driver is the throughput axis\",\n",
-            "  \"cases\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        if smoke { "smoke" } else { "full" },
-        host_cpus,
-        entries.join(",\n")
-    );
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("wrote {out_path}");
+    report.write(&out_path);
 }

@@ -21,6 +21,7 @@
 //!
 //! Writes `BENCH_pr8.json` at the workspace root by default.
 
+use bft_bench::{BenchReport, Json};
 use bft_runtime::client::Workload;
 use bft_runtime::loopback::ShardedLoopback;
 use std::time::{Duration, Instant};
@@ -107,15 +108,7 @@ fn run_case(case: &Case) -> Outcome {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| {
-            // crates/bench -> workspace root, independent of the cwd.
-            format!("{}/../../BENCH_pr8.json", env!("CARGO_MANIFEST_DIR"))
-        });
+    let out_path = bft_bench::report::out_path(&args, "BENCH_pr8.json");
 
     // Fixed total offered load (strong scaling): 64 mux clients split
     // across the shards, so the curve isolates the extra consensus
@@ -179,7 +172,36 @@ fn main() {
         "retrans",
         "speedup"
     );
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new(
+        "sharded real-network throughput: N independent PBFT groups over TCP (PR 8)",
+        "aggregate wall-clock ops/sec of 1/2/4 f=1 groups on 127.0.0.1 at fixed total offered load",
+    );
+    report
+        .mode(smoke)
+        .host_cpus()
+        .field(
+            "setup",
+            Json::s(
+                "each shard is 4 replicas + its share of 64 multiplexed closed-loop clients in \
+                 one process; 128B ops, every 4th read-only; clients are partitioned across \
+                 shards (single-shard routing, disjoint per-shard key material derived from one \
+                 key_seed); checkpoint_interval 128, view-change timeout 4s, pipeline_depth 4; \
+                 after each case every shard's replicas must agree on overlapping journal \
+                 entries and converge to one state digest",
+            ),
+        )
+        .field(
+            "note",
+            Json::s(
+                "one group serializes on its primary's pipeline; shards multiply pipelines, so \
+                 aggregate throughput grows toward linear only while the host has spare cores \
+                 (see host_cpus). On a host with fewer cores than shards the curve inverts: the \
+                 groups time-share the CPU and each sees fewer clients, so request batching per \
+                 consensus instance shrinks and aggregate throughput drops below the 1-shard \
+                 baseline — the speedup_vs_1shard column is only meaningful relative to \
+                 host_cpus",
+            ),
+        );
     let mut base_ops_per_sec = 0.0f64;
     for case in cases {
         let o = run_case(case);
@@ -205,49 +227,24 @@ fn main() {
             o.retransmitted,
             speedup
         );
-        entries.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"case\": \"{}\",\n",
-                "      \"shards\": {},\n",
-                "      \"clients_total\": {},\n",
-                "      \"ops\": {},\n",
-                "      \"wall_ms\": {:.1},\n",
-                "      \"ops_per_sec\": {:.1},\n",
-                "      \"speedup_vs_1shard\": {:.3},\n",
-                "      \"latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p99\": {:.3}}},\n",
-                "      \"retransmitted\": {}\n",
-                "    }}"
+        report.case(Json::obj([
+            ("case", Json::s(o.id)),
+            ("shards", Json::U64(o.shards as u64)),
+            ("clients_total", Json::U64(o.clients_total as u64)),
+            ("ops", Json::U64(o.ops)),
+            ("wall_ms", Json::F(o.wall_ms, 1)),
+            ("ops_per_sec", Json::F(o.ops_per_sec, 1)),
+            ("speedup_vs_1shard", Json::F(speedup, 3)),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("mean", Json::F(o.mean_ms, 3)),
+                    ("p50", Json::F(o.p50_ms, 3)),
+                    ("p99", Json::F(o.p99_ms, 3)),
+                ]),
             ),
-            o.id,
-            o.shards,
-            o.clients_total,
-            o.ops,
-            o.wall_ms,
-            o.ops_per_sec,
-            speedup,
-            o.mean_ms,
-            o.p50_ms,
-            o.p99_ms,
-            o.retransmitted
-        ));
+            ("retransmitted", Json::U64(o.retransmitted)),
+        ]));
     }
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"experiment\": \"sharded real-network throughput: N independent PBFT groups over TCP (PR 8)\",\n",
-            "  \"metric\": \"aggregate wall-clock ops/sec of 1/2/4 f=1 groups on 127.0.0.1 at fixed total offered load\",\n",
-            "  \"mode\": \"{}\",\n",
-            "  \"host_cpus\": {},\n",
-            "  \"setup\": \"each shard is 4 replicas + its share of 64 multiplexed closed-loop clients in one process; 128B ops, every 4th read-only; clients are partitioned across shards (single-shard routing, disjoint per-shard key material derived from one key_seed); checkpoint_interval 128, view-change timeout 4s, pipeline_depth 4; after each case every shard's replicas must agree on overlapping journal entries and converge to one state digest\",\n",
-            "  \"note\": \"one group serializes on its primary's pipeline; shards multiply pipelines, so aggregate throughput grows toward linear only while the host has spare cores (see host_cpus). On a host with fewer cores than shards the curve inverts: the groups time-share the CPU and each sees fewer clients, so request batching per consensus instance shrinks and aggregate throughput drops below the 1-shard baseline — the speedup_vs_1shard column is only meaningful relative to host_cpus\",\n",
-            "  \"cases\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        if smoke { "smoke" } else { "full" },
-        host_cpus,
-        entries.join(",\n")
-    );
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("wrote {out_path}");
+    report.write(&out_path);
 }

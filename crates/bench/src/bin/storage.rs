@@ -1,0 +1,268 @@
+//! Storage-engine footprint experiment (PR 10): what the CAST-style
+//! column split buys a checkpoint snapshot on disk.
+//!
+//! The WAL storage engine writes every stable checkpoint as a
+//! compressed snapshot (`snap-*.ckpt`). The compressor is a cheap
+//! byte-level RLE; the win comes from the structural transformation in
+//! front of it — splitting the snapshot into homogeneous columns
+//! (delta-encoded last-modified seqnos, varint page lengths,
+//! concatenated page bodies) before compressing, instead of running
+//! the same RLE over the naive interleaved `(seqno, len, bytes)`
+//! layout where 8-byte metadata breaks every payload run.
+//!
+//! Each case drives a real service from `bft-statemachine` through its
+//! `Service` trait, snapshots its pages with clustered last-modified
+//! seqnos (the distribution checkpoints produce: most pages last
+//! touched near a recent checkpoint), and records three footprints:
+//!
+//! * `raw`: the uncompressed page data (what a snapshot costs with no
+//!   encoding),
+//! * `interleaved_rle`: the same RLE over the naive layout (the
+//!   baseline a column-free engine would ship),
+//! * `cast`: the column split + delta/RLE pipeline the engine uses.
+//!
+//! Every case round-trips the CAST encoding and asserts the decoded
+//! pages are identical before its numbers count. The `random` case is
+//! the honest worst bound: incompressible payloads, where the column
+//! split must not cost more than a few bytes of framing.
+//!
+//! Usage:
+//!   cargo run -p bft-bench --release --bin storage -- [--smoke] [--out PATH]
+//!
+//! Writes `BENCH_pr10.json` at the workspace root by default.
+
+use bft_bench::{BenchReport, Json};
+use bft_crypto::Digest;
+use bft_statemachine::{CounterService, KvService, MemService, Service};
+use bft_storage::cast::compress_pages_interleaved;
+use bft_storage::CheckpointSnapshot;
+use bft_types::{ClientId, Requester, SeqNo};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use std::time::Instant;
+
+struct Outcome {
+    id: &'static str,
+    pages: usize,
+    raw: usize,
+    interleaved: usize,
+    cast: usize,
+    encode_us: f64,
+    decode_us: f64,
+}
+
+/// Assigns the last-modified column the distribution real checkpoints
+/// produce: pages cluster around a handful of past checkpoint seqnos,
+/// with the dirty tail touched at the snapshot itself.
+fn clustered_lm(num_pages: usize, base: u64) -> Vec<u64> {
+    (0..num_pages)
+        .map(|i| {
+            // Four clusters, 128 seqnos apart (the checkpoint period of
+            // the full realnet bench), plus a small in-cluster spread.
+            let cluster = (i % 4) as u64 * 128;
+            base - cluster - (i as u64 % 7)
+        })
+        .collect()
+}
+
+fn measure(id: &'static str, service: &dyn Service, base_seq: u64) -> Outcome {
+    let lm = clustered_lm(service.num_pages() as usize, base_seq);
+    let pages: Vec<(SeqNo, bytes::Bytes)> = (0..service.num_pages())
+        .map(|i| (SeqNo(lm[i as usize]), service.get_page(i)))
+        .collect();
+    let snap = CheckpointSnapshot {
+        seq: SeqNo(base_seq),
+        root: Digest::zero(),
+        pages,
+    };
+
+    let raw = snap.raw_bytes();
+    let borrowed: Vec<(u64, &[u8])> = snap.pages.iter().map(|(lm, b)| (lm.0, &b[..])).collect();
+    let interleaved = compress_pages_interleaved(&borrowed).len();
+
+    let start = Instant::now();
+    let encoded = snap.encode_compressed();
+    let encode_us = start.elapsed().as_secs_f64() * 1e6;
+    let start = Instant::now();
+    let decoded = CheckpointSnapshot::decode_compressed(&encoded).expect("roundtrip decode");
+    let decode_us = start.elapsed().as_secs_f64() * 1e6;
+    // Correctness oracle: a footprint number only counts if the bytes
+    // come back bit-identical.
+    assert_eq!(decoded, snap, "{id}: CAST roundtrip corrupted the snapshot");
+
+    Outcome {
+        id,
+        pages: snap.pages.len(),
+        raw,
+        interleaved,
+        cast: encoded.len(),
+        encode_us,
+        decode_us,
+    }
+}
+
+/// Per-client counters: sparse little-endian u64s in zero pages — the
+/// state every sim and loopback test checkpoints.
+fn counter_case(scale: u64) -> Outcome {
+    // 512 counters per page; span many pages so the seqno/length columns
+    // actually interleave with payload in the baseline layout.
+    let clients = (8192 * scale) as u32;
+    let mut svc = CounterService::new(clients);
+    let mut rng = StdRng::seed_from_u64(0x57_0c);
+    // A quarter of the clients are active, with skewed op counts.
+    for c in 0..clients / 4 {
+        let ops = 1 + rng.random_range(0..40u32);
+        for _ in 0..ops {
+            svc.execute(
+                Requester::Client(ClientId(c * 4)),
+                &[CounterService::OP_INC],
+                &[],
+            );
+        }
+    }
+    measure("counter_sparse_u64", &svc, 10_000)
+}
+
+/// A key-value store with canonical sorted bucket pages: textual keys
+/// and values, partially filled buckets.
+fn kv_case(scale: u64) -> Outcome {
+    let mut svc = KvService::new(64 * scale);
+    let mut rng = StdRng::seed_from_u64(0x57_0d);
+    for k in 0..800 * scale {
+        let key = format!("user/{:06}/profile", k * 7 % (1000 * scale));
+        let value = format!(
+            "{{\"name\": \"user-{k}\", \"quota\": {}, \"flags\": 0}}",
+            rng.random_range(0..1_000_000u64)
+        );
+        svc.execute(
+            Requester::Client(ClientId((k % 97) as u32)),
+            &KvService::op_put(key.as_bytes(), value.as_bytes()),
+            &[],
+        );
+    }
+    measure("kv_text_buckets", &svc, 20_000)
+}
+
+/// The §8.1 micro-benchmark memory: constant-byte payload writes over
+/// zeroed pages — long runs for RLE, the compressor's best case.
+fn mem_case(scale: u64) -> Outcome {
+    let mut svc = MemService::new(32 * scale);
+    for _ in 0..600 * scale {
+        svc.execute(
+            Requester::Client(ClientId(0)),
+            &MemService::op_rw(128, 0),
+            &[],
+        );
+    }
+    measure("mem_constant_writes", &svc, 30_000)
+}
+
+/// Incompressible worst case: every page full of uniform random bytes.
+/// The column split must cost at most framing overhead here.
+fn random_case(scale: u64) -> Outcome {
+    let mut svc = MemService::new(16 * scale);
+    let mut rng = StdRng::seed_from_u64(0x57_0e);
+    let mut page = vec![0u8; 4096];
+    for i in 0..svc.num_pages() {
+        rng.fill_bytes(&mut page);
+        svc.put_page(i, &page);
+    }
+    measure("random_incompressible", &svc, 40_000)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = bft_bench::report::out_path(&args, "BENCH_pr10.json");
+    let scale = if smoke { 1 } else { 8 };
+
+    println!(
+        "checkpoint snapshot footprint ({} mode): CAST column split + delta/RLE vs interleaved RLE vs raw",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:>22} {:>6} {:>10} {:>12} {:>10} {:>8} {:>8} {:>10} {:>10}",
+        "case", "pages", "raw B", "interlv B", "cast B", "vs raw", "vs intl", "enc us", "dec us"
+    );
+
+    let mut report = BenchReport::new(
+        "durable checkpoint snapshot footprint: CAST column split + delta/RLE (PR 10)",
+        "on-disk bytes of a stable-checkpoint snapshot under three encodings, on real service \
+         state",
+    );
+    report
+        .mode(smoke)
+        .field(
+            "setup",
+            Json::s(
+                "each case drives a bft-statemachine service through its Service trait, then \
+                 snapshots every state page with clustered last-modified seqnos (four clusters \
+                 128 seqnos apart — the distribution periodic checkpoints produce); raw = \
+                 uncompressed page data, interleaved_rle = the same byte-level RLE over the \
+                 naive (seqno, len, bytes) layout, cast = the engine's column split \
+                 (delta-encoded seqno column, varint length column, concatenated bodies) + \
+                 RLE; every case round-trips the CAST encoding and asserts bit-identical pages \
+                 before its numbers count",
+            ),
+        )
+        .field(
+            "note",
+            Json::s(
+                "the column split is what makes the cheap RLE effective: interleaved 8-byte \
+                 seqnos break every payload run, so ratio_vs_interleaved isolates the \
+                 structural transformation from the compressor; random_incompressible bounds \
+                 the framing cost on adversarial state (ratios ~1.0, never far below)",
+            ),
+        );
+
+    let outcomes = [
+        counter_case(scale),
+        kv_case(scale),
+        mem_case(scale),
+        random_case(scale),
+    ];
+    for o in &outcomes {
+        let vs_raw = o.raw as f64 / o.cast as f64;
+        let vs_interleaved = o.interleaved as f64 / o.cast as f64;
+        println!(
+            "{:>22} {:>6} {:>10} {:>12} {:>10} {:>7.2}x {:>7.2}x {:>10.1} {:>10.1}",
+            o.id,
+            o.pages,
+            o.raw,
+            o.interleaved,
+            o.cast,
+            vs_raw,
+            vs_interleaved,
+            o.encode_us,
+            o.decode_us
+        );
+        report.case(Json::obj([
+            ("case", Json::s(o.id)),
+            ("pages", Json::U64(o.pages as u64)),
+            ("raw_bytes", Json::U64(o.raw as u64)),
+            ("interleaved_rle_bytes", Json::U64(o.interleaved as u64)),
+            ("cast_bytes", Json::U64(o.cast as u64)),
+            ("ratio_vs_raw", Json::F(vs_raw, 3)),
+            ("ratio_vs_interleaved", Json::F(vs_interleaved, 3)),
+            ("encode_us", Json::F(o.encode_us, 1)),
+            ("decode_us", Json::F(o.decode_us, 1)),
+        ]));
+    }
+
+    // The acceptance bar: on every structured-state case the pipeline
+    // must beat both the raw layout and the interleaved baseline.
+    for o in &outcomes {
+        if o.id != "random_incompressible" {
+            assert!(
+                o.cast < o.interleaved && o.cast < o.raw,
+                "{}: CAST ({}) must beat interleaved ({}) and raw ({})",
+                o.id,
+                o.cast,
+                o.interleaved,
+                o.raw
+            );
+        }
+    }
+
+    report.write(&out_path);
+}

@@ -25,6 +25,7 @@
 //! the PR 2 recorded "after" numbers for trajectory, and the live
 //! ("after") measurement, plus their ratios.
 
+use bft_bench::{BenchReport, Json};
 use bft_sim::{counter_cluster, Cluster, ClusterConfig, EngineProfile, OpGen};
 use bft_statemachine::CounterService;
 use bft_types::SimTime;
@@ -155,25 +156,11 @@ fn lookup(table: &[(&str, f64)], id: &str) -> f64 {
         .unwrap_or(f64::NAN)
 }
 
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.1}")
-    } else {
-        "null".to_string()
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let profile = args.iter().any(|a| a == "--profile");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        // Default lands at the workspace root regardless of the cwd.
-        .unwrap_or_else(|| format!("{}/../../BENCH_pr4.json", env!("CARGO_MANIFEST_DIR")));
+    let out_path = bft_bench::report::out_path(&args, "BENCH_pr4.json");
     let (clients, ops_per_client) = if smoke { (4, 25) } else { (32, 313) };
 
     let cases = [
@@ -222,7 +209,28 @@ fn main() {
         "case", "f", "batching", "ops", "wall ms", "wall ops/s", "virt ops/s", "vs pr3", "vs pr2"
     );
 
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new(
+        "scaled normal-case throughput (event-engine overhaul, PR 4)",
+        "wall-clock requests/sec of the simulated cluster",
+    );
+    report
+        .mode(smoke)
+        .field(
+            "baseline",
+            Json::s(
+                "pre-refactor engine (PR 2/3: BinaryHeap scheduler, SipHash maps), \
+                 full workload, reference dev machine",
+            ),
+        )
+        .field(
+            "note",
+            Json::s(
+                "virtual_ops_per_sec is cost-model bound and must be identical before/after; \
+                 speedup_vs_before compares the same workload on the same hardware across \
+                 engines; speedup_vs_pr2_after tracks the BENCH_pr2 -> BENCH_pr4 trajectory \
+                 (PR 2 ran 8 clients x 150 ops); smoke mode reports ratios as null",
+            ),
+        );
     for case in &cases {
         let o = run_case(case, clients, ops_per_client);
         // The recorded baselines were measured with the FULL workload; a
@@ -264,52 +272,32 @@ fn main() {
             let (p, wall_ms) = profile_case(case, clients, ops_per_client);
             print_profile(&p, wall_ms);
         }
-        entries.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"case\": \"{}\",\n",
-                "      \"f\": {},\n",
-                "      \"batching\": {},\n",
-                "      \"clients\": {},\n",
-                "      \"ops\": {},\n",
-                "      \"op_bytes\": {},\n",
-                "      \"before\": {{\"wall_ops_per_sec\": {}}},\n",
-                "      \"pr2_after\": {{\"wall_ops_per_sec\": {}}},\n",
-                "      \"after\": {{\"wall_ops_per_sec\": {}, \"wall_ms\": {}, \"virtual_ops_per_sec\": {}}},\n",
-                "      \"speedup_vs_before\": {},\n",
-                "      \"speedup_vs_pr2_after\": {}\n",
-                "    }}"
+        report.case(Json::obj([
+            ("case", Json::s(o.id)),
+            ("f", Json::U64(o.f as u64)),
+            ("batching", Json::Bool(o.batching)),
+            ("clients", Json::U64(clients as u64)),
+            ("ops", Json::U64(o.ops)),
+            ("op_bytes", Json::U64(OP_BYTES as u64)),
+            (
+                "before",
+                Json::obj([("wall_ops_per_sec", Json::F(before, 1))]),
             ),
-            o.id,
-            o.f,
-            o.batching,
-            clients,
-            o.ops,
-            OP_BYTES,
-            json_num(before),
-            json_num(pr2_after),
-            json_num(o.wall_ops_per_sec),
-            json_num(o.wall_ms),
-            json_num(o.virtual_ops_per_sec),
-            json_num(speedup),
-            json_num(speedup_pr2),
-        ));
+            (
+                "pr2_after",
+                Json::obj([("wall_ops_per_sec", Json::F(pr2_after, 1))]),
+            ),
+            (
+                "after",
+                Json::obj([
+                    ("wall_ops_per_sec", Json::F(o.wall_ops_per_sec, 1)),
+                    ("wall_ms", Json::F(o.wall_ms, 1)),
+                    ("virtual_ops_per_sec", Json::F(o.virtual_ops_per_sec, 1)),
+                ]),
+            ),
+            ("speedup_vs_before", Json::F(speedup, 1)),
+            ("speedup_vs_pr2_after", Json::F(speedup_pr2, 1)),
+        ]));
     }
-
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"experiment\": \"scaled normal-case throughput (event-engine overhaul, PR 4)\",\n",
-            "  \"metric\": \"wall-clock requests/sec of the simulated cluster\",\n",
-            "  \"mode\": \"{}\",\n",
-            "  \"baseline\": \"pre-refactor engine (PR 2/3: BinaryHeap scheduler, SipHash maps), full workload, reference dev machine\",\n",
-            "  \"note\": \"virtual_ops_per_sec is cost-model bound and must be identical before/after; speedup_vs_before compares the same workload on the same hardware across engines; speedup_vs_pr2_after tracks the BENCH_pr2 -> BENCH_pr4 trajectory (PR 2 ran 8 clients x 150 ops); smoke mode reports ratios as null\",\n",
-            "  \"cases\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        if smoke { "smoke" } else { "full" },
-        entries.join(",\n")
-    );
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("wrote {out_path}");
+    report.write(&out_path);
 }

@@ -11,6 +11,9 @@ use std::time::Instant;
 
 pub mod andrew;
 pub mod realnet_chaos;
+pub mod report;
+
+pub use report::{BenchReport, Json};
 
 /// Prints a table header.
 pub fn header(id: &str, title: &str) {

@@ -1,0 +1,250 @@
+//! The one JSON emitter behind every `BENCH_pr*.json` artifact.
+//!
+//! Each benchmark binary used to hand-roll its JSON with `format!` +
+//! `concat!` templates — five copies of the same escaping, numeric
+//! formatting, and `--out` plumbing. [`BenchReport`] replaces them: a
+//! builder that keeps key order, renders numbers with the fixed
+//! precision the old templates used (non-finite values become `null`,
+//! as before), and writes the file with the standard "wrote ..."
+//! confirmation line.
+//!
+//! No serde: the workspace has no JSON dependency, and these artifacts
+//! only need writing, never parsing.
+
+use std::fmt::Write as _;
+
+/// A JSON value with formatting captured at construction time, so a
+/// report renders exactly the way the benchmark meant it.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer.
+    U64(u64),
+    /// A float rendered with a fixed number of decimals; NaN and
+    /// infinities render as `null` (the "no baseline recorded" marker).
+    F(f64, usize),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn s(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// Shorthand for an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F(v, decimals) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.*}", decimals);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    pad(out, indent + 1);
+                    let _ = write!(out, "\"{key}\": ");
+                    value.render(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Builder for one `BENCH_pr*.json` artifact: top-level facts in
+/// insertion order, then a `cases` array.
+pub struct BenchReport {
+    fields: Vec<(String, Json)>,
+    cases: Vec<Json>,
+}
+
+impl BenchReport {
+    /// Starts a report with the two fields every artifact leads with.
+    pub fn new(experiment: &str, metric: &str) -> BenchReport {
+        BenchReport {
+            fields: vec![
+                ("experiment".to_string(), Json::s(experiment)),
+                ("metric".to_string(), Json::s(metric)),
+            ],
+            cases: Vec::new(),
+        }
+    }
+
+    /// Records the run mode (`"smoke"` or `"full"`).
+    pub fn mode(&mut self, smoke: bool) -> &mut Self {
+        self.field("mode", Json::s(if smoke { "smoke" } else { "full" }))
+    }
+
+    /// Records the host's CPU count — the fact every real-time
+    /// benchmark needs next to its numbers.
+    pub fn host_cpus(&mut self) -> &mut Self {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.field("host_cpus", Json::U64(cpus as u64))
+    }
+
+    /// Adds any top-level field (setup, note, derived ratios, ...).
+    pub fn field(&mut self, key: &str, value: Json) -> &mut Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends one entry to the `cases` array.
+    pub fn case(&mut self, value: Json) -> &mut Self {
+        self.cases.push(value);
+        self
+    }
+
+    /// Renders the artifact: the fields in insertion order, `cases`
+    /// last, trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut pairs = self.fields.clone();
+        pairs.push(("cases".to_string(), Json::Arr(self.cases.clone())));
+        let mut out = String::new();
+        Json::Obj(pairs).render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Writes the artifact and prints the standard confirmation line.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.to_json()).expect("write benchmark json");
+        println!("wrote {path}");
+    }
+}
+
+/// Resolves the output path shared by every benchmark binary: `--out
+/// PATH` wins; the default lands `file` at the workspace root
+/// regardless of the cwd.
+pub fn out_path(args: &[String], file: &str) -> String {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ordered_fields_cases_and_fixed_precision() {
+        let mut r = BenchReport::new("exp", "ops/s");
+        r.mode(true)
+            .field("note", Json::s("a \"quoted\" note\nwith a newline"))
+            .case(Json::obj([
+                ("case", Json::s("c1")),
+                ("ops", Json::U64(40)),
+                ("wall_ms", Json::F(12.345, 1)),
+                (
+                    "latency_ms",
+                    Json::obj([("p50", Json::F(1.2345, 3)), ("p99", Json::F(f64::NAN, 3))]),
+                ),
+            ]));
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"experiment\": \"exp\",\n  \"metric\": \"ops/s\",\n"));
+        assert!(json.contains("\"mode\": \"smoke\""));
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\"wall_ms\": 12.3"), "{json}");
+        assert!(json.contains("\"p50\": 1.234"), "{json}");
+        assert!(json.contains("\"p99\": null"), "non-finite -> null: {json}");
+        assert!(json.ends_with("}\n"));
+        // Key order survives: experiment, metric, mode, note, cases.
+        let order: Vec<usize> = ["experiment", "metric", "mode", "note", "cases"]
+            .iter()
+            .map(|k| json.find(&format!("\"{k}\"")).expect(k))
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "{order:?}");
+    }
+
+    #[test]
+    fn out_path_prefers_flag() {
+        let args = vec!["--out".to_string(), "/tmp/x.json".to_string()];
+        assert_eq!(out_path(&args, "BENCH.json"), "/tmp/x.json");
+        assert!(out_path(&[], "BENCH.json").ends_with("/../../BENCH.json"));
+    }
+
+    #[test]
+    fn empty_containers_render_inline() {
+        let mut out = String::new();
+        Json::Arr(vec![]).render(&mut out, 0);
+        assert_eq!(out, "[]");
+        let mut out = String::new();
+        Json::Obj(vec![]).render(&mut out, 0);
+        assert_eq!(out, "{}");
+    }
+}

@@ -45,6 +45,21 @@ pub trait ReplicaDriver {
     /// volatile state lost, durable state kept).
     fn reboot(&mut self) -> Vec<Action>;
 
+    /// The crash half of a reboot: drops volatile state, keeps the
+    /// durable set, produces no actions. Follow with [`ReplicaDriver::boot`]
+    /// (in-memory durability) or [`ReplicaDriver::recover`] (disk).
+    fn shutdown_volatile(&mut self);
+
+    /// Rebuilds state from a storage engine (snapshot install + WAL
+    /// redo) and returns the startup actions. The process-reboot path:
+    /// call on a freshly constructed replica, then attach the engine
+    /// with [`ReplicaDriver::attach_storage`].
+    fn recover(&mut self, storage: &mut dyn bft_storage::Storage) -> Vec<Action>;
+
+    /// Attaches a storage engine; subsequent action points persist the
+    /// §4.3 durable set through it.
+    fn attach_storage(&mut self, storage: Box<dyn bft_storage::Storage>);
+
     /// Drives one input through the state machine.
     fn step(&mut self, input: Input) -> Vec<Action>;
 
@@ -88,6 +103,18 @@ impl<S: Service> ReplicaDriver for crate::Replica<S> {
 
     fn reboot(&mut self) -> Vec<Action> {
         self.restart()
+    }
+
+    fn shutdown_volatile(&mut self) {
+        crate::Replica::shutdown_volatile(self)
+    }
+
+    fn recover(&mut self, storage: &mut dyn bft_storage::Storage) -> Vec<Action> {
+        crate::Replica::recover(self, storage)
+    }
+
+    fn attach_storage(&mut self, storage: Box<dyn bft_storage::Storage>) {
+        crate::Replica::attach_storage(self, storage)
     }
 
     fn step(&mut self, input: Input) -> Vec<Action> {

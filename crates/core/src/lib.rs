@@ -34,6 +34,7 @@ pub mod driver;
 pub mod log;
 pub mod normal;
 pub mod partition_tree;
+pub mod persist;
 pub mod preverify;
 pub mod recovery;
 pub mod replica;

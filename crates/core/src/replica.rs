@@ -115,6 +115,9 @@ pub struct Replica<S: Service> {
     /// inline requests against the same keys). Never persists across
     /// inputs.
     pub(crate) preverified: bool,
+    /// Durable storage engine, if attached (see [`crate::persist`]).
+    /// `None` keeps every persistence hook a no-op.
+    pub(crate) storage: Option<Box<dyn bft_storage::Storage>>,
     /// Deterministic randomness (nonces, replier choice).
     pub(crate) rng: StdRng,
     /// Counters.
@@ -196,6 +199,7 @@ impl<S: Service> Replica<S> {
             fetch: None,
             recovery: RecoveryState::new(&config),
             executing_seq: SeqNo(0),
+            storage: None,
             preverified: false,
             rng: StdRng::seed_from_u64(seed ^ ((id.0 as u64) << 32)),
             stats: ReplicaStats::default(),
@@ -274,7 +278,22 @@ impl<S: Service> Replica<S> {
     /// redone through ordinary retransmission. Returns the startup
     /// actions; the next status exchange drives catch-up (retransmission
     /// inside the window, state transfer beyond it).
+    ///
+    /// This models a crash whose durable set lives in the surviving
+    /// replica object (the simulator's crash model, [`bft_storage::MemStorage`]
+    /// semantics). A process-level reboot instead constructs a fresh
+    /// replica and calls [`Replica::recover`] with the on-disk engine.
     pub fn restart(&mut self) -> Vec<Action> {
+        self.shutdown_volatile();
+        self.start()
+    }
+
+    /// The crash half of [`Replica::restart`]: drops every volatile
+    /// structure and rolls tentative executions back to the stable
+    /// checkpoint, leaving only the durable set. Callers follow with
+    /// [`Replica::start`] (restart) or [`Replica::recover`] (reboot from
+    /// a storage engine).
+    pub fn shutdown_volatile(&mut self) {
         let (stable, _) = self.ckpt.stable();
         self.fetch = None;
         if self.last_exec > stable {
@@ -289,7 +308,6 @@ impl<S: Service> Replica<S> {
         self.executing_seq = stable;
         self.vc_timer_armed = false;
         self.vc_timeout = self.config.view_change_timeout;
-        self.start()
     }
 
     /// [`Replica::on_input`] with an upstream authentication verdict
@@ -488,6 +506,10 @@ impl<S: Service> Replica<S> {
             .get(&digest)
             .expect("checked by batch_ready")
             .clone();
+        if self.storage.is_some() {
+            // Write-ahead: the redo record precedes the execution.
+            self.persist_batch(seq, digest, tentative, &batch);
+        }
         for rd in &batch.requests {
             let req = self
                 .requests
@@ -516,7 +538,7 @@ impl<S: Service> Replica<S> {
         }
     }
 
-    fn execute_request(
+    pub(crate) fn execute_request(
         &mut self,
         req: &Request,
         nondet: &Bytes,
@@ -608,6 +630,7 @@ impl<S: Service> Replica<S> {
 
     /// Advances the committed frontier over contiguous committed slots.
     pub(crate) fn advance_committed_frontier(&mut self) {
+        let before = self.committed_frontier;
         // Everything at or below the stable checkpoint is committed.
         let stable = self.ckpt.stable().0;
         if stable > self.committed_frontier {
@@ -625,6 +648,12 @@ impl<S: Service> Replica<S> {
             } else {
                 break;
             }
+        }
+        if self.committed_frontier > before && self.storage.is_some() {
+            // Promotes tentative executions at or below the frontier on
+            // replay (§5.1.2 commit evidence, made durable).
+            let upto = self.committed_frontier;
+            self.persist_commit(upto);
         }
     }
 
@@ -703,6 +732,11 @@ impl<S: Service> Replica<S> {
                 self.start_state_transfer(seq, Some(digest), out);
             }
             _ => {}
+        }
+        if have_state && self.storage.is_some() {
+            // Snapshot + WAL truncation at the stable checkpoint (the
+            // paper's stable-storage set shrinks to snapshot + tail).
+            self.persist_stable_checkpoint(seq, digest);
         }
         self.log.advance_low(seq);
         self.tree.discard_below(seq);

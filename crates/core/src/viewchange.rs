@@ -148,6 +148,9 @@ impl<S: Service> Replica<S> {
             out.cancel_timer(TimerId::ViewChange);
             self.vc_timer_armed = false;
         }
+        // §4.3: durable before the view-change message leaves — a
+        // recovered replica must not vote twice in conflicting views.
+        self.persist_view_change(new_view);
         match self.config.auth {
             crate::config::AuthMode::Macs => self.send_view_change_mac(out),
             crate::config::AuthMode::Signatures => self.send_view_change_pk(out),
@@ -668,6 +671,10 @@ impl<S: Service> Replica<S> {
         self.view = nv.view;
         self.view_active = true;
         self.stats.views_entered += 1;
+        if self.storage.is_some() {
+            let cert = bytes::Bytes::from(Message::NewView(nv.clone()).encoded());
+            self.persist_installed_view(cert);
+        }
         if is_primary {
             self.seqno = max_n;
         }

@@ -404,6 +404,10 @@ impl<S: Service> Replica<S> {
         self.view = nv.view;
         self.view_active = true;
         self.stats.views_entered += 1;
+        if self.storage.is_some() {
+            let cert = Bytes::from(bft_types::Wire::encoded(&Message::NewViewPk(nv.clone())));
+            self.persist_installed_view(cert);
+        }
         self.vc.sent_vc_for = None;
         if is_primary {
             self.seqno = max_n;

@@ -2,6 +2,7 @@
 //!
 //! Usage:
 //!   pbft-node --config cluster.conf --id 0 [--shard K] [--status-every SECS]
+//!             [--journal-file PATH]
 //!   pbft-node --example-config [F]        # print a starter config
 //!
 //! The replica listens on its topology address, dials its peers (with
@@ -10,7 +11,10 @@
 //! config (`shard.<k>.replica.<n>` sections) `--shard K` selects which
 //! group this replica belongs to; `--id` is the replica index within
 //! that group. `--status-every` prints a one-line state summary
-//! periodically.
+//! periodically; `--journal-file` additionally dumps the committed
+//! journal to PATH (atomic rename) on each status tick, so an external
+//! harness can compare journals across replicas it can't poke in
+//! process (the kill9 recovery test).
 
 use bft_runtime::config::Topology;
 use bft_runtime::node::spawn_service_replica;
@@ -20,9 +24,36 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pbft-node --config FILE --id N [--shard K] [--status-every SECS]\n       pbft-node --example-config [F]"
+        "usage: pbft-node --config FILE --id N [--shard K] [--status-every SECS] [--journal-file PATH]\n       pbft-node --example-config [F]"
     );
     std::process::exit(2);
+}
+
+/// Dumps the snapshot's committed journal to `path` atomically
+/// (tmp + rename), one header line then one `seq digest-hex` line per
+/// committed entry. External oracles read these files while the node
+/// runs, so a partially written file must never be visible.
+fn dump_journal(path: &str, s: &bft_runtime::node::Snapshot) {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "view={} active={} frontier={} last_exec={} digest={}\n",
+        s.view,
+        s.view_active,
+        s.committed_frontier.0,
+        s.last_exec.0,
+        hex(&s.state_digest)
+    ));
+    for (seq, digest) in s.committed_journal() {
+        out.push_str(&format!("{seq} {}\n", hex(&digest)));
+    }
+    let tmp = format!("{path}.tmp");
+    if std::fs::write(&tmp, out).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+fn hex(d: &bft_crypto::Digest) -> String {
+    d.as_bytes().iter().map(|b| format!("{b:02x}")).collect()
 }
 
 fn main() {
@@ -31,6 +62,7 @@ fn main() {
     let mut id: Option<u32> = None;
     let mut shard: u32 = 0;
     let mut status_every: Option<u64> = None;
+    let mut journal_file: Option<String> = None;
     let mut example: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -44,6 +76,7 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--status-every" => status_every = it.next().and_then(|v| v.parse().ok()),
+            "--journal-file" => journal_file = it.next().cloned(),
             "--example-config" => {
                 example = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or(1))
             }
@@ -91,25 +124,38 @@ fn main() {
         topo.service
     );
     let node = spawn_service_replica(ReplicaId(id), topo, listener);
-    match status_every {
-        Some(secs) if secs > 0 => loop {
+    // A journal file implies polling even without --status-every.
+    let tick_secs = match (status_every, &journal_file) {
+        (Some(secs), _) if secs > 0 => Some(secs),
+        (None, Some(_)) => Some(1),
+        _ => None,
+    };
+    match tick_secs {
+        Some(secs) => loop {
             std::thread::sleep(Duration::from_secs(secs));
             match node.snapshot() {
-                Some(s) => println!(
-                    "view={} active={} last_exec={} executed={} ckpts={} vc={} sent={} recv={} dropped={}",
-                    s.view,
-                    s.view_active,
-                    s.last_exec.0,
-                    s.stats.requests_executed,
-                    s.stats.checkpoints_taken,
-                    s.stats.view_changes_started,
-                    s.transport.frames_sent,
-                    s.transport.frames_received,
-                    s.transport.frames_dropped,
-                ),
+                Some(s) => {
+                    if status_every.is_some() {
+                        println!(
+                            "view={} active={} last_exec={} executed={} ckpts={} vc={} sent={} recv={} dropped={}",
+                            s.view,
+                            s.view_active,
+                            s.last_exec.0,
+                            s.stats.requests_executed,
+                            s.stats.checkpoints_taken,
+                            s.stats.view_changes_started,
+                            s.transport.frames_sent,
+                            s.transport.frames_received,
+                            s.transport.frames_dropped,
+                        );
+                    }
+                    if let Some(path) = &journal_file {
+                        dump_journal(path, &s);
+                    }
+                }
                 None => break,
             }
         },
-        _ => node.join(),
+        None => node.join(),
     }
 }

@@ -32,8 +32,17 @@
 //! # ...
 //! ```
 //!
+//! Durability is opt-in: `storage = wal` plus `data_dir = <path>` makes
+//! every node persist the §4.3 durable set to an on-disk write-ahead log
+//! under `<data_dir>/replica-<id>/`, and recover from it on boot. The
+//! default `storage = mem` keeps the pre-storage behavior (nothing
+//! touches disk, a node reboot loses volatile state only).
+//!
 //! Every group needs its full `3f + 1` addresses; duplicate replica ids
 //! and duplicate listen addresses are rejected with the offending line.
+//! Parse failures come back as a typed [`ConfigError`] carrying the
+//! line, the key, and a [`ConfigErrorKind`]; its `Display` renders the
+//! same human-readable messages `pbft-node` has always printed.
 //! [`Topology::project`] narrows a parsed deployment to one shard so the
 //! node and client runtimes stay single-group; per-shard key material
 //! derives from `key_seed` through the shard id
@@ -70,6 +79,197 @@ impl std::fmt::Display for ServiceKind {
     }
 }
 
+/// Which storage engine each node runs (`storage = ...` key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageKind {
+    /// In-memory durability only (default): a node reboot keeps the
+    /// durable set because the process keeps it, nothing touches disk.
+    Mem,
+    /// On-disk write-ahead log plus compressed checkpoint snapshots
+    /// under `data_dir`; a SIGKILLed node recovers from disk on reboot.
+    Wal,
+}
+
+impl StorageKind {
+    /// Config-file spelling of this engine.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageKind::Mem => "mem",
+            StorageKind::Wal => "wal",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What went wrong parsing a topology file. Paired with the line and
+/// key context in [`ConfigError`]; the message text lives in that
+/// type's `Display`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigErrorKind {
+    /// A non-comment line without a `key = value` shape.
+    ExpectedKeyValue,
+    /// `shard.` prefix without a `.`-separated remainder.
+    BadShardKey,
+    /// `shard.<k>` where `<k>` is not a `u32`.
+    BadShardIndex,
+    /// `shard.<k>.<something>` where `<something>` is not `replica.<n>`.
+    UnknownShardKey,
+    /// `replica.<n>` where `<n>` is not a `usize`.
+    BadReplicaIndex,
+    /// A replica value that does not parse as a socket address.
+    BadAddress {
+        /// The rejected value.
+        value: String,
+    },
+    /// The same `(shard, replica)` id defined twice.
+    DuplicateReplicaId {
+        /// Line the id was first defined on.
+        first_line: usize,
+    },
+    /// The same listen address given to two nodes (any shard).
+    DuplicateAddress {
+        /// The repeated address.
+        addr: SocketAddr,
+        /// Line the address was first used on.
+        first_line: usize,
+    },
+    /// A scalar key whose value failed to parse (`f = x`,
+    /// `batching = maybe`, ...).
+    BadValue {
+        /// The rejected value.
+        value: String,
+    },
+    /// `service = <value>` outside the allowed set.
+    UnknownService {
+        /// The rejected value.
+        value: String,
+    },
+    /// `storage = <value>` outside the allowed set.
+    UnknownStorage {
+        /// The rejected value.
+        value: String,
+    },
+    /// `pipeline_depth = 0` would deadlock the primary.
+    PipelineDepthZero,
+    /// A key this format does not define.
+    UnknownKey,
+    /// `f` absent or zero — no group size to check addresses against.
+    MissingF,
+    /// `storage = wal` with no `data_dir` to put the log in.
+    WalWithoutDataDir,
+    /// A shard without its full contiguous `3f + 1` address set.
+    IncompleteShard {
+        /// The shard missing addresses.
+        shard: u32,
+        /// Required group size (`3f + 1`).
+        n: usize,
+        /// The replica indices actually present, sorted.
+        indices: Vec<usize>,
+    },
+}
+
+/// A topology parse failure: where ([`line`](ConfigError::line)), what
+/// key ([`key`](ConfigError::key)), and what kind of problem
+/// ([`kind`](ConfigError::kind)). `Display` renders the exact
+/// line-numbered messages the CLI binaries print.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line the error was detected on; `None` for whole-file
+    /// problems (missing `f`, incomplete shards).
+    pub line: Option<usize>,
+    /// The config key involved, when one exists.
+    pub key: Option<String>,
+    /// The problem itself.
+    pub kind: ConfigErrorKind,
+}
+
+impl ConfigError {
+    fn at(line: usize, key: &str, kind: ConfigErrorKind) -> Self {
+        ConfigError {
+            line: Some(line),
+            key: Some(key.to_string()),
+            kind,
+        }
+    }
+
+    fn whole_file(key: Option<&str>, kind: ConfigErrorKind) -> Self {
+        ConfigError {
+            line: None,
+            key: key.map(str::to_string),
+            kind,
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(line) = self.line {
+            write!(f, "line {line}: ")?;
+        }
+        let key = self.key.as_deref().unwrap_or("");
+        match &self.kind {
+            ConfigErrorKind::ExpectedKeyValue => write!(f, "expected `key = value`"),
+            ConfigErrorKind::BadShardKey => write!(f, "bad shard key `{key}`"),
+            ConfigErrorKind::BadShardIndex => write!(f, "bad shard index `{key}`"),
+            ConfigErrorKind::UnknownShardKey => {
+                write!(
+                    f,
+                    "unknown shard key `{key}` (expected shard.<k>.replica.<n>)"
+                )
+            }
+            ConfigErrorKind::BadReplicaIndex => write!(f, "bad replica index `{key}`"),
+            ConfigErrorKind::BadAddress { value } => write!(f, "bad address `{value}`"),
+            ConfigErrorKind::DuplicateReplicaId { first_line } => {
+                write!(
+                    f,
+                    "duplicate replica id `{key}` (first defined on line {first_line})"
+                )
+            }
+            ConfigErrorKind::DuplicateAddress { addr, first_line } => {
+                write!(
+                    f,
+                    "duplicate listen address `{addr}` (first used on line {first_line})"
+                )
+            }
+            ConfigErrorKind::BadValue { value } => write!(f, "bad {key} `{value}`"),
+            ConfigErrorKind::UnknownService { value } => {
+                write!(f, "unknown service `{value}` (allowed: counter, bfs)")
+            }
+            ConfigErrorKind::UnknownStorage { value } => {
+                write!(f, "unknown storage `{value}` (allowed: mem, wal)")
+            }
+            ConfigErrorKind::PipelineDepthZero => {
+                write!(f, "pipeline_depth must be at least 1")
+            }
+            ConfigErrorKind::UnknownKey => write!(f, "unknown key `{key}`"),
+            ConfigErrorKind::MissingF => write!(f, "missing or zero `f`"),
+            ConfigErrorKind::WalWithoutDataDir => {
+                write!(f, "storage = wal requires `data_dir`")
+            }
+            ConfigErrorKind::IncompleteShard { shard, n, indices } => {
+                let what = if *shard == 0 {
+                    "replica".to_string()
+                } else {
+                    format!("shard.{shard}.replica")
+                };
+                write!(
+                    f,
+                    "shard {shard}: need {what}.0 .. {what}.{} (3f+1 = {n} addresses), \
+                     got indices {indices:?}",
+                    n - 1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// A parsed cluster topology: the whole deployment plus the shard this
 /// view describes ([`Topology::parse`] yields the shard-0 view;
 /// [`Topology::project`] selects another).
@@ -101,6 +301,11 @@ pub struct Topology {
     /// On by default; benchmarks disable it to measure the fast path's
     /// contribution.
     pub tentative_execution: bool,
+    /// Which storage engine nodes run (`mem` | `wal`).
+    pub storage: StorageKind,
+    /// Directory the `wal` engine keeps per-replica state under
+    /// (required when `storage = wal`, ignored otherwise).
+    pub data_dir: Option<String>,
     /// The shard this topology view describes (key derivation, routing).
     pub shard: ShardId,
     /// Listen addresses of this shard's replicas, indexed by replica id.
@@ -151,6 +356,8 @@ impl Topology {
             pipeline_depth: 8,
             service: ServiceKind::Counter,
             tentative_execution: true,
+            storage: StorageKind::Mem,
+            data_dir: None,
             shard: ShardId(0),
             replicas: all_shards[0].clone(),
             all_shards,
@@ -195,7 +402,7 @@ impl Topology {
 
     /// Parses the config file format documented at the module level.
     /// Returns the shard-0 view of the deployment.
-    pub fn parse(text: &str) -> Result<Self, String> {
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
         let mut topo = Topology {
             f: 0,
             clients: 4,
@@ -208,6 +415,8 @@ impl Topology {
             pipeline_depth: 8,
             service: ServiceKind::Counter,
             tentative_execution: true,
+            storage: StorageKind::Mem,
+            data_dir: None,
             shard: ShardId(0),
             replicas: Vec::new(),
             all_shards: Vec::new(),
@@ -224,24 +433,31 @@ impl Topology {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(format!("line {lineno}: expected `key = value`"));
+                return Err(ConfigError {
+                    line: Some(lineno),
+                    key: None,
+                    kind: ConfigErrorKind::ExpectedKeyValue,
+                });
             };
             let (key, value) = (key.trim(), value.trim());
             let parse_u64 = |v: &str, what: &str| {
-                v.parse::<u64>()
-                    .map_err(|_| format!("line {lineno}: bad {what} `{v}`"))
+                v.parse::<u64>().map_err(|_| {
+                    ConfigError::at(lineno, what, ConfigErrorKind::BadValue { value: v.into() })
+                })
             };
             // `replica.<n>` is shorthand for `shard.0.replica.<n>`.
             let replica_key = if let Some(rest) = key.strip_prefix("shard.") {
                 let Some((shard, sub)) = rest.split_once('.') else {
-                    return Err(format!("line {lineno}: bad shard key `{key}`"));
+                    return Err(ConfigError::at(lineno, key, ConfigErrorKind::BadShardKey));
                 };
                 let shard: u32 = shard
                     .parse()
-                    .map_err(|_| format!("line {lineno}: bad shard index `{key}`"))?;
+                    .map_err(|_| ConfigError::at(lineno, key, ConfigErrorKind::BadShardIndex))?;
                 let Some(idx) = sub.strip_prefix("replica.") else {
-                    return Err(format!(
-                        "line {lineno}: unknown shard key `{key}` (expected shard.<k>.replica.<n>)"
+                    return Err(ConfigError::at(
+                        lineno,
+                        key,
+                        ConfigErrorKind::UnknownShardKey,
                     ));
                 };
                 Some((shard, idx))
@@ -251,18 +467,31 @@ impl Topology {
             if let Some((shard, idx)) = replica_key {
                 let idx: usize = idx
                     .parse()
-                    .map_err(|_| format!("line {lineno}: bad replica index `{key}`"))?;
-                let addr: SocketAddr = value
-                    .parse()
-                    .map_err(|_| format!("line {lineno}: bad address `{value}`"))?;
+                    .map_err(|_| ConfigError::at(lineno, key, ConfigErrorKind::BadReplicaIndex))?;
+                let addr: SocketAddr = value.parse().map_err(|_| {
+                    ConfigError::at(
+                        lineno,
+                        key,
+                        ConfigErrorKind::BadAddress {
+                            value: value.into(),
+                        },
+                    )
+                })?;
                 if let Some(first) = seen_ids.insert((shard, idx), lineno) {
-                    return Err(format!(
-                        "line {lineno}: duplicate replica id `{key}` (first defined on line {first})"
+                    return Err(ConfigError::at(
+                        lineno,
+                        key,
+                        ConfigErrorKind::DuplicateReplicaId { first_line: first },
                     ));
                 }
                 if let Some(first) = seen_addrs.insert(addr, lineno) {
-                    return Err(format!(
-                        "line {lineno}: duplicate listen address `{addr}` (first used on line {first})"
+                    return Err(ConfigError::at(
+                        lineno,
+                        key,
+                        ConfigErrorKind::DuplicateAddress {
+                            addr,
+                            first_line: first,
+                        },
                     ));
                 }
                 replicas.push((shard, idx, addr, lineno));
@@ -281,7 +510,15 @@ impl Topology {
                     topo.batching = match value {
                         "true" => true,
                         "false" => false,
-                        _ => return Err(format!("line {lineno}: bad batching `{value}`")),
+                        _ => {
+                            return Err(ConfigError::at(
+                                lineno,
+                                key,
+                                ConfigErrorKind::BadValue {
+                                    value: value.into(),
+                                },
+                            ))
+                        }
                     }
                 }
                 "workers" => topo.workers = parse_u64(value, "workers")? as usize,
@@ -290,32 +527,71 @@ impl Topology {
                         "counter" => ServiceKind::Counter,
                         "bfs" => ServiceKind::Bfs,
                         _ => {
-                            return Err(format!(
-                                "line {lineno}: unknown service `{value}` (allowed: counter, bfs)"
+                            return Err(ConfigError::at(
+                                lineno,
+                                key,
+                                ConfigErrorKind::UnknownService {
+                                    value: value.into(),
+                                },
                             ))
                         }
                     }
                 }
+                "storage" => {
+                    topo.storage = match value {
+                        "mem" => StorageKind::Mem,
+                        "wal" => StorageKind::Wal,
+                        _ => {
+                            return Err(ConfigError::at(
+                                lineno,
+                                key,
+                                ConfigErrorKind::UnknownStorage {
+                                    value: value.into(),
+                                },
+                            ))
+                        }
+                    }
+                }
+                "data_dir" => topo.data_dir = Some(value.to_string()),
                 "tentative_execution" => {
                     topo.tentative_execution = match value {
                         "true" => true,
                         "false" => false,
                         _ => {
-                            return Err(format!("line {lineno}: bad tentative_execution `{value}`"))
+                            return Err(ConfigError::at(
+                                lineno,
+                                key,
+                                ConfigErrorKind::BadValue {
+                                    value: value.into(),
+                                },
+                            ))
                         }
                     }
                 }
                 "pipeline_depth" => {
                     topo.pipeline_depth = parse_u64(value, "pipeline_depth")?;
                     if topo.pipeline_depth == 0 {
-                        return Err(format!("line {lineno}: pipeline_depth must be at least 1"));
+                        return Err(ConfigError::at(
+                            lineno,
+                            key,
+                            ConfigErrorKind::PipelineDepthZero,
+                        ));
                     }
                 }
-                _ => return Err(format!("line {lineno}: unknown key `{key}`")),
+                _ => return Err(ConfigError::at(lineno, key, ConfigErrorKind::UnknownKey)),
             }
         }
         if topo.f == 0 {
-            return Err("missing or zero `f`".into());
+            return Err(ConfigError::whole_file(
+                Some("f"),
+                ConfigErrorKind::MissingF,
+            ));
+        }
+        if topo.storage == StorageKind::Wal && topo.data_dir.is_none() {
+            return Err(ConfigError::whole_file(
+                Some("storage"),
+                ConfigErrorKind::WalWithoutDataDir,
+            ));
         }
         let n = 3 * topo.f + 1;
         let num_shards = replicas.iter().map(|&(k, ..)| k + 1).max().unwrap_or(1);
@@ -327,15 +603,13 @@ impl Topology {
                 .map(|&(_, i, ..)| i)
                 .collect();
             if indices != (0..n).collect::<Vec<_>>() {
-                let what = if k == 0 {
-                    "replica".into()
-                } else {
-                    format!("shard.{k}.replica")
-                };
-                return Err(format!(
-                    "shard {k}: need {what}.0 .. {what}.{} (3f+1 = {n} addresses), \
-                     got indices {indices:?}",
-                    n - 1
+                return Err(ConfigError::whole_file(
+                    None,
+                    ConfigErrorKind::IncompleteShard {
+                        shard: k,
+                        n,
+                        indices,
+                    },
                 ));
             }
         }
@@ -372,6 +646,10 @@ impl Topology {
             "tentative_execution = {}\n",
             self.tentative_execution
         ));
+        out.push_str(&format!("storage = {}\n", self.storage));
+        if let Some(dir) = &self.data_dir {
+            out.push_str(&format!("data_dir = {dir}\n"));
+        }
         for (k, shard) in self.all_shards.iter().enumerate() {
             for (i, addr) in shard.iter().enumerate() {
                 if k == 0 {
@@ -455,10 +733,38 @@ mod tests {
         assert!(Topology::parse("f = x").is_err());
         assert!(Topology::parse("unknown = 1").is_err());
         // Missing replica addresses for 3f+1.
-        let err = Topology::parse("f = 1\nreplica.0 = 127.0.0.1:1\n").unwrap_err();
+        let err = Topology::parse("f = 1\nreplica.0 = 127.0.0.1:1\n")
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("3f+1"), "{err}");
         // Zero f.
         assert!(Topology::parse("clients = 2").is_err());
+    }
+
+    /// Errors carry structured context — the line, the key, and a typed
+    /// kind — not just a rendered string, so harnesses can match on the
+    /// failure instead of grepping messages.
+    #[test]
+    fn errors_are_typed_with_line_key_and_kind() {
+        let err = Topology::parse("f = 1\nreplica.0 = nope\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert_eq!(err.key.as_deref(), Some("replica.0"));
+        assert_eq!(
+            err.kind,
+            ConfigErrorKind::BadAddress {
+                value: "nope".into()
+            }
+        );
+        let err = Topology::parse("f = 1\nbogus = 1\n").unwrap_err();
+        assert_eq!(err.kind, ConfigErrorKind::UnknownKey);
+        assert_eq!(err.key.as_deref(), Some("bogus"));
+        let err = Topology::parse("clients = 2").unwrap_err();
+        assert_eq!(err.line, None, "whole-file errors carry no line");
+        assert_eq!(err.kind, ConfigErrorKind::MissingF);
+        assert_eq!(err.to_string(), "missing or zero `f`");
+        // The std Error impl makes it boxable for callers that want one.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("missing"));
     }
 
     /// Regression: a malformed replica address must come back as a
@@ -474,7 +780,8 @@ mod tests {
         ] {
             let err = std::panic::catch_unwind(|| Topology::parse(bad))
                 .expect("parse must not panic")
-                .expect_err("malformed address must be rejected");
+                .expect_err("malformed address must be rejected")
+                .to_string();
             assert!(err.contains("line 2"), "error names the line: {err}");
             assert!(
                 err.contains("bad address"),
@@ -482,7 +789,9 @@ mod tests {
             );
         }
         // A malformed index is reported by key, also without panicking.
-        let err = Topology::parse("f = 1\nreplica.zero = 127.0.0.1:5100\n").unwrap_err();
+        let err = Topology::parse("f = 1\nreplica.zero = 127.0.0.1:5100\n")
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("bad replica index"), "{err}");
     }
 
@@ -522,7 +831,9 @@ mod tests {
         let topo = Topology::parse(&format!("service = counter\n{base}")).expect("parse");
         assert_eq!(topo.service, ServiceKind::Counter);
         // Unknown service: line-numbered error naming the allowed values.
-        let err = Topology::parse(&format!("{base}service = nfs\n")).unwrap_err();
+        let err = Topology::parse(&format!("{base}service = nfs\n"))
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("line 6"), "{err}");
         assert!(err.contains("unknown service `nfs`"), "{err}");
         assert!(err.contains("counter"), "{err}");
@@ -530,6 +841,49 @@ mod tests {
         // Round trip.
         let mut topo = Topology::localhost(1, 8, 5100);
         topo.service = ServiceKind::Bfs;
+        let back = Topology::parse(&topo.to_config_string()).expect("parse own output");
+        assert_eq!(back, topo);
+    }
+
+    /// The `storage` key selects the durability engine. Absent key →
+    /// mem (every pre-storage config file parses unchanged); `wal`
+    /// demands a `data_dir`; unknown engines are rejected naming the
+    /// line and the alternatives.
+    #[test]
+    fn storage_key_parses_validates_and_defaults() {
+        let base = "f = 1\nreplica.0 = 127.0.0.1:1\nreplica.1 = 127.0.0.1:2\n\
+                    replica.2 = 127.0.0.1:3\nreplica.3 = 127.0.0.1:4\n";
+        // Default: mem, no data_dir.
+        let topo = Topology::parse(base).expect("parse");
+        assert_eq!(topo.storage, StorageKind::Mem);
+        assert_eq!(topo.data_dir, None);
+        // Explicit wal with a directory.
+        let topo = Topology::parse(&format!("storage = wal\ndata_dir = /tmp/pbft\n{base}"))
+            .expect("parse");
+        assert_eq!(topo.storage, StorageKind::Wal);
+        assert_eq!(topo.data_dir.as_deref(), Some("/tmp/pbft"));
+        // wal without data_dir is a whole-file error.
+        let err = Topology::parse(&format!("storage = wal\n{base}")).unwrap_err();
+        assert_eq!(err.kind, ConfigErrorKind::WalWithoutDataDir);
+        assert!(err.to_string().contains("requires `data_dir`"), "{err}");
+        // Unknown engine: line-numbered, names the alternatives.
+        let err = Topology::parse(&format!("{base}storage = paper\n")).unwrap_err();
+        assert_eq!(err.line, Some(6));
+        assert_eq!(
+            err.kind,
+            ConfigErrorKind::UnknownStorage {
+                value: "paper".into()
+            }
+        );
+        assert!(err.to_string().contains("mem, wal"), "{err}");
+        // Round trip, with and without data_dir.
+        let mut topo = Topology::localhost(1, 8, 5100);
+        topo.storage = StorageKind::Wal;
+        topo.data_dir = Some("/var/lib/pbft".into());
+        let back = Topology::parse(&topo.to_config_string()).expect("parse own output");
+        assert_eq!(back, topo);
+        topo.storage = StorageKind::Mem;
+        topo.data_dir = None;
         let back = Topology::parse(&topo.to_config_string()).expect("parse own output");
         assert_eq!(back, topo);
     }
@@ -582,7 +936,8 @@ mod tests {
             "f = 1\nreplica.0 = 127.0.0.1:1\nreplica.1 = 127.0.0.1:2\n\
              replica.1 = 127.0.0.1:3\nreplica.3 = 127.0.0.1:4\n",
         )
-        .unwrap_err();
+        .unwrap_err()
+        .to_string();
         assert!(err.contains("line 4"), "{err}");
         assert!(err.contains("duplicate replica id `replica.1`"), "{err}");
         assert!(err.contains("first defined on line 3"), "{err}");
@@ -592,14 +947,17 @@ mod tests {
         let err = Topology::parse(&format!(
             "{base}shard.1.replica.0 = 127.0.0.1:11\nshard.1.replica.0 = 127.0.0.1:12\n"
         ))
-        .unwrap_err();
+        .unwrap_err()
+        .to_string();
         assert!(err.contains("line 7"), "{err}");
         assert!(
             err.contains("duplicate replica id `shard.1.replica.0`"),
             "{err}"
         );
         // Same listen address on two nodes — across shards, even.
-        let err = Topology::parse(&format!("{base}shard.1.replica.0 = 127.0.0.1:2\n")).unwrap_err();
+        let err = Topology::parse(&format!("{base}shard.1.replica.0 = 127.0.0.1:2\n"))
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("line 6"), "{err}");
         assert!(
             err.contains("duplicate listen address `127.0.0.1:2`"),
@@ -620,8 +978,9 @@ mod tests {
         let base = "f = 1\nreplica.0 = 127.0.0.1:1\nreplica.1 = 127.0.0.1:2\n\
                     replica.2 = 127.0.0.1:3\nreplica.3 = 127.0.0.1:4\n";
         // Shard 1 present but short of 3f+1 addresses.
-        let err =
-            Topology::parse(&format!("{base}shard.1.replica.0 = 127.0.0.1:11\n")).unwrap_err();
+        let err = Topology::parse(&format!("{base}shard.1.replica.0 = 127.0.0.1:11\n"))
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("shard 1"), "{err}");
         assert!(err.contains("3f+1"), "{err}");
         // A shard gap (shard 2 defined, shard 1 absent) is a missing
@@ -630,7 +989,8 @@ mod tests {
             "{base}shard.2.replica.0 = 127.0.0.1:21\nshard.2.replica.1 = 127.0.0.1:22\n\
              shard.2.replica.2 = 127.0.0.1:23\nshard.2.replica.3 = 127.0.0.1:24\n"
         ))
-        .unwrap_err();
+        .unwrap_err()
+        .to_string();
         assert!(err.contains("shard 1"), "{err}");
         // Malformed shard keys are named.
         assert!(Topology::parse("f = 1\nshard.x.replica.0 = 127.0.0.1:1\n").is_err());

@@ -60,7 +60,7 @@ pub use client::{
     ClientReport, LoadMode, NextOp, OpSource, Workload,
 };
 pub use clock::RtTimers;
-pub use config::Topology;
+pub use config::{ConfigError, ConfigErrorKind, ServiceKind, StorageKind, Topology};
 pub use inject::{FaultPlane, LinkTally, SendVerdict, StormSignal};
 pub use loopback::{ConvergeFailure, ConvergeTimeout, LoopbackCluster, ShardedLoopback};
 pub use node::{

@@ -189,15 +189,35 @@ where
             );
             let mut timers = RtTimers::<TimerId>::new();
 
+            // Storage selection happens before the event loop forks:
+            // `wal` nodes recover from disk and persist from the first
+            // input; `mem` nodes attach nothing, so the hot path pays
+            // zero storage cost (the pre-storage behavior).
+            let boot = match topo.storage {
+                crate::config::StorageKind::Mem => replica.boot(),
+                crate::config::StorageKind::Wal => {
+                    let dir = std::path::Path::new(
+                        topo.data_dir.as_deref().expect("wal requires data_dir"),
+                    )
+                    .join(format!("replica-{}", id.0));
+                    let mut storage = bft_storage::WalStorage::open(&dir).unwrap_or_else(|e| {
+                        panic!("replica {}: open WAL at {}: {e:?}", id.0, dir.display())
+                    });
+                    let boot = replica.recover(&mut storage);
+                    replica.attach_storage(Box::new(storage));
+                    boot
+                }
+            };
+
             if topo.workers > 0 {
                 run_pooled(
-                    id, &topo, &config, &keys, replica, transport, in_rx, timers, ctl_rx, alive2,
+                    id, &topo, &config, &keys, replica, boot, transport, in_rx, timers, ctl_rx,
+                    alive2,
                 );
                 return;
             }
 
             let me = id;
-            let boot = replica.boot();
             apply_actions(me, boot, &transport, &mut timers, topo.replicas.len());
 
             loop {
@@ -415,6 +435,7 @@ fn run_pooled<S: Service>(
     config: &bft_core::ReplicaConfig,
     keys: &bft_core::ClusterKeys,
     mut replica: Replica<S>,
+    boot: Vec<Action>,
     transport: Transport,
     in_rx: Receiver<Vec<u8>>,
     mut timers: RtTimers<TimerId>,
@@ -432,7 +453,6 @@ fn run_pooled<S: Service>(
         Arc::clone(&transport),
     );
 
-    let boot = replica.boot();
     apply_actions_pooled(me, boot, &mut pool, &mut timers, n);
 
     loop {

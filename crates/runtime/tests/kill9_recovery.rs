@@ -1,0 +1,251 @@
+//! Process-level crash recovery: real `pbft-node` processes, real
+//! SIGKILL, recovery from the on-disk WAL + checkpoint snapshots.
+//!
+//! The loopback tests kill node *threads*; this one kills node
+//! *processes* with `Child::kill()` (SIGKILL on unix — no atexit, no
+//! flush, no farewell), which is the crash model the storage engine
+//! exists for. Four `pbft-node` binaries run a `storage = wal` cluster
+//! on fixed loopback ports; the test process drives a client workload
+//! over TCP, SIGKILLs a replica mid-workload, respawns it, and then
+//! SIGKILLs the *entire cluster* and restarts it — after which any
+//! recovered state can only have come from disk.
+//!
+//! Oracles, via each node's `--journal-file` dump (atomic rename, so a
+//! reader never sees a torn file) and the clients' own result streams:
+//! identical journals wherever they overlap, exactly-once execution,
+//! read-your-writes, and liveness.
+//!
+//! `KILL9_DATA_DIR` overrides where node state and logs live (CI sets
+//! it to upload the directory as an artifact when the test fails).
+
+use bft_runtime::client::{run_client, run_workers, LoadMode, Workload};
+use bft_runtime::config::{StorageKind, Topology};
+use bft_types::ClientId;
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(60);
+
+fn data_dir() -> PathBuf {
+    match std::env::var("KILL9_DATA_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => std::env::temp_dir().join(format!("bft-kill9-{}", std::process::id())),
+    }
+}
+
+/// Picks `n` distinct free loopback ports by binding and dropping
+/// listeners. Racy in principle; in practice the ports stay free for
+/// the instant before the nodes bind them.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").port())
+        .collect()
+}
+
+fn spawn_node(dir: &Path, config: &Path, id: u32) -> Child {
+    let journal = dir.join(format!("journal-{id}.txt"));
+    let log = std::fs::File::create(dir.join(format!("node-{id}.log"))).expect("node log");
+    Command::new(env!("CARGO_BIN_EXE_pbft-node"))
+        .arg("--config")
+        .arg(config)
+        .arg("--id")
+        .arg(id.to_string())
+        .arg("--journal-file")
+        .arg(&journal)
+        .stdout(Stdio::from(log.try_clone().expect("clone log")))
+        .stderr(Stdio::from(log))
+        .spawn()
+        .expect("spawn pbft-node")
+}
+
+/// One parsed `--journal-file` dump: the committed frontier, the state
+/// digest, and the committed `seq -> digest-hex` journal.
+struct Dump {
+    frontier: u64,
+    digest: String,
+    journal: BTreeMap<u64, String>,
+}
+
+fn read_dump(path: &Path) -> Option<Dump> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut frontier = None;
+    let mut digest = None;
+    for field in header.split_whitespace() {
+        if let Some(v) = field.strip_prefix("frontier=") {
+            frontier = v.parse().ok();
+        }
+        if let Some(v) = field.strip_prefix("digest=") {
+            digest = Some(v.to_string());
+        }
+    }
+    let mut journal = BTreeMap::new();
+    for line in lines {
+        let (seq, d) = line.split_once(' ')?;
+        journal.insert(seq.parse().ok()?, d.to_string());
+    }
+    Some(Dump {
+        frontier: frontier?,
+        digest: digest?,
+        journal,
+    })
+}
+
+/// Waits until all four journal dumps agree: same frontier (at least
+/// `floor`), same digest, and overlapping journal entries identical.
+/// Panics with the per-node picture on timeout.
+fn wait_dumps_converged(dir: &Path, floor: u64, timeout: Duration) -> Vec<Dump> {
+    let started = Instant::now();
+    loop {
+        let dumps: Vec<Option<Dump>> = (0..4)
+            .map(|id| read_dump(&dir.join(format!("journal-{id}.txt"))))
+            .collect();
+        if let [Some(a), Some(b), Some(c), Some(d)] = &dumps[..] {
+            let all = [a, b, c, d];
+            for x in &all {
+                for y in &all {
+                    for (seq, dx) in &x.journal {
+                        if let Some(dy) = y.journal.get(seq) {
+                            assert_eq!(dx, dy, "journals disagree at seq {seq}");
+                        }
+                    }
+                }
+            }
+            let converged = all
+                .iter()
+                .all(|x| x.frontier == a.frontier && x.digest == a.digest && x.frontier >= floor);
+            if converged {
+                return dumps.into_iter().map(|d| d.unwrap()).collect();
+            }
+        }
+        assert!(
+            started.elapsed() < timeout,
+            "journal dumps failed to converge (floor {floor}): {:?}",
+            dumps
+                .iter()
+                .map(|d| d.as_ref().map(|d| (d.frontier, d.digest.clone())))
+                .collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn assert_counter_sequence(workload: &Workload, results: &[(bft_types::Timestamp, Vec<u8>)]) {
+    let mut writes = 0u64;
+    for (k, (_, result)) in results.iter().enumerate() {
+        let (_, read_only) = workload.op(k as u64);
+        if !read_only {
+            writes += 1;
+        }
+        let got = u64::from_le_bytes(result.as_slice().try_into().expect("8-byte counter"));
+        assert_eq!(
+            got, writes,
+            "op {k} (read_only={read_only}) returned {got}, expected {writes}"
+        );
+    }
+}
+
+#[test]
+fn sigkilled_processes_recover_from_disk() {
+    let dir = data_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create data dir");
+
+    let ports = free_ports(4);
+    let mut topo = Topology::localhost(1, 8, ports[0]);
+    topo.set_replicas(
+        ports
+            .iter()
+            .map(|p| format!("127.0.0.1:{p}").parse().expect("addr"))
+            .collect(),
+    );
+    topo.checkpoint_interval = 16;
+    topo.storage = StorageKind::Wal;
+    topo.data_dir = Some(dir.to_str().expect("utf8 dir").to_string());
+    let config = dir.join("cluster.conf");
+    std::fs::write(&config, topo.to_config_string()).expect("write config");
+
+    let mut nodes: Vec<Child> = (0..4).map(|id| spawn_node(&dir, &config, id)).collect();
+    // Give the processes a moment to bind before clients dial.
+    std::thread::sleep(Duration::from_millis(500));
+
+    // Phase 1: workload spanning a SIGKILL + respawn of a backup.
+    let workload = Workload {
+        ops: 120,
+        op_bytes: 128,
+        read_every: 4,
+        mode: LoadMode::Closed {
+            think: Duration::from_millis(5),
+        },
+        retransmit: None,
+    };
+    let reports = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..3)
+            .map(|c| {
+                let topo = &topo;
+                let workload = workload.clone();
+                scope.spawn(move || run_client(ClientId(c), topo, &workload, DEADLINE))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(400));
+        // SIGKILL replica 2 mid-workload; no flush, no goodbye.
+        nodes[2].kill().expect("SIGKILL replica 2");
+        nodes[2].wait().expect("reap replica 2");
+        std::thread::sleep(Duration::from_millis(300));
+        nodes[2] = spawn_node(&dir, &config, 2);
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client worker"))
+            .collect::<Vec<_>>()
+    });
+    for r in &reports {
+        assert_eq!(r.completed, 120, "client {} fell short", r.client.0);
+        assert_counter_sequence(&workload, &r.results);
+    }
+    let dumps = wait_dumps_converged(&dir, 1, DEADLINE);
+    let frontier_before = dumps[0].frontier;
+    let digest_before = dumps[0].digest.clone();
+
+    // Phase 2: SIGKILL the whole cluster. With every process dead, the
+    // only copy of the state is on disk.
+    for node in &mut nodes {
+        node.kill().expect("SIGKILL node");
+        node.wait().expect("reap node");
+    }
+    for (id, path) in (0..4).map(|id| (id, dir.join(format!("journal-{id}.txt")))) {
+        std::fs::remove_file(&path).unwrap_or_else(|e| panic!("clear dump {id}: {e}"));
+    }
+    let nodes: Vec<Child> = (0..4).map(|id| spawn_node(&dir, &config, id)).collect();
+    let recovered = wait_dumps_converged(&dir, frontier_before, DEADLINE);
+    assert_eq!(
+        (recovered[0].frontier, &recovered[0].digest),
+        (frontier_before, &digest_before),
+        "full-cluster SIGKILL recovery lost or rewrote committed state"
+    );
+
+    // Phase 3: the recovered cluster is live — fresh principals so the
+    // recovered reply table doesn't (correctly) deduplicate them away.
+    let workload2 = Workload::closed(40);
+    let ids: Vec<ClientId> = (4..8).map(ClientId).collect();
+    for (c, outcome) in run_workers(&ids, |c| run_client(c, &topo, &workload2, DEADLINE)) {
+        let report = outcome.unwrap_or_else(|why| panic!("client {} died: {why}", c.0));
+        assert_eq!(report.completed, 40, "client {} fell short", c.0);
+        assert_counter_sequence(&workload2, &report.results);
+    }
+    wait_dumps_converged(&dir, frontier_before + 1, DEADLINE);
+
+    for mut node in nodes {
+        let _ = node.kill();
+        let _ = node.wait();
+    }
+    // Keep the directory on failure (CI uploads it); clean up on success.
+    let _ = std::fs::remove_dir_all(&dir);
+}

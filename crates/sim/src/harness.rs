@@ -267,13 +267,19 @@ impl<S: Service> Cluster<S> {
             .into_iter()
             .enumerate()
             .map(|(i, s)| {
-                Replica::new(
+                let mut r = Replica::new(
                     ReplicaId(i as u32),
                     config.replica.clone(),
                     s,
                     &keys,
                     config.seed,
-                )
+                );
+                // The simulator's crash model keeps the replica object
+                // (and thus its in-memory engine) across reboots: exactly
+                // MemStorage semantics. The hooks produce no actions and
+                // touch no RNG, so fingerprints stay bit-identical.
+                r.attach_storage(Box::new(bft_storage::MemStorage::new()));
+                r
             })
             .collect();
         let client_cfg = ClientConfig::from_replica(&config.replica);

@@ -1,0 +1,113 @@
+//! Durable storage behind a first-class API seam.
+//!
+//! PBFT's safety argument (§2.3.3, §4.3) assumes a replica that crashes
+//! and recovers does so from *stable storage*: the stable checkpoint,
+//! the log above it, view/new-view certificates, and the client reply
+//! table must survive a crash. This crate defines that persistence seam
+//! as a protocol-agnostic [`Storage`] trait — append a WAL record, fsync
+//! barrier, write/load a checkpoint snapshot, truncate below a
+//! watermark, and a recovery iterator — with two engines:
+//!
+//! - [`MemStorage`]: records and snapshots held in memory. This is the
+//!   crash model the deterministic simulator always had (a "crash" loses
+//!   the process but the replica object survives), so attaching it
+//!   changes no observable behavior and keeps fingerprint/chaos goldens
+//!   bit-identical.
+//! - [`WalStorage`]: an append-only segment log on disk, each record in
+//!   a CRC-32 frame envelope (the same `bft_types::framing` format the
+//!   transport uses), with segment rotation at the stable checkpoint and
+//!   checkpoint snapshots written atomically (temp + rename) under
+//!   CAST-style column-split + delta/RLE preprocessing before
+//!   compression (see [`cast`]).
+//!
+//! The records themselves ([`WalRecord`]) carry opaque request payloads
+//! and digests rather than protocol message types, so the log-shaped
+//! durability work here transfers across consensus variants: nothing in
+//! this crate knows what a pre-prepare is.
+
+pub mod cast;
+mod mem;
+mod record;
+mod snapshot;
+mod wal;
+
+pub use mem::MemStorage;
+pub use record::WalRecord;
+pub use snapshot::CheckpointSnapshot;
+pub use wal::WalStorage;
+
+use bft_types::SeqNo;
+
+/// Errors surfaced by a storage engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operating-system I/O failure, tagged with the operation.
+    Io {
+        /// What the engine was doing (`"append"`, `"sync"`, ...).
+        op: &'static str,
+        /// The underlying error's description.
+        detail: String,
+    },
+    /// Stored bytes failed validation (checksum, decode, root digest).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io { op, detail } => write!(f, "storage {op}: {detail}"),
+            StorageError::Corrupt(why) => write!(f, "storage corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl StorageError {
+    /// Wraps an [`std::io::Error`] with the operation that hit it.
+    pub fn io(op: &'static str, e: std::io::Error) -> Self {
+        StorageError::Io {
+            op,
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// The persistence seam a replica writes its §4.3 must-be-durable set
+/// through. Object-safe so harnesses can hold a `Box<dyn Storage>`
+/// without knowing the engine.
+///
+/// Contract for implementors:
+/// - [`Storage::append`] makes the record part of the recovery prefix
+///   once it (and everything appended before it) survives; records are
+///   replayed in append order.
+/// - [`Storage::sync`] is the durability barrier: when it returns, every
+///   prior append and snapshot write has reached the medium.
+/// - [`Storage::truncate_below`] may drop any record made redundant by a
+///   snapshot at or above `watermark`; callers re-append whatever
+///   watermark-independent state (current view, certificates) must stay
+///   durable afterwards.
+/// - [`Storage::replay`] yields the surviving records in order,
+///   stopping at the first torn or corrupt record — crash recovery
+///   takes the clean prefix.
+pub trait Storage {
+    /// Appends one record to the write-ahead log.
+    fn append(&mut self, rec: &WalRecord) -> Result<(), StorageError>;
+
+    /// Durability barrier: blocks until prior writes are on the medium.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Writes a checkpoint snapshot, replacing any older one atomically.
+    fn write_snapshot(&mut self, snap: &CheckpointSnapshot) -> Result<(), StorageError>;
+
+    /// Loads the newest intact snapshot, or `None` on first boot.
+    fn load_snapshot(&mut self) -> Result<Option<CheckpointSnapshot>, StorageError>;
+
+    /// Drops log records made redundant by a snapshot at `watermark`
+    /// (sequence-numbered records at or below it).
+    fn truncate_below(&mut self, watermark: SeqNo) -> Result<(), StorageError>;
+
+    /// Recovery iterator: the surviving records in append order. A torn
+    /// tail or corrupt record ends the iteration (prefix semantics).
+    fn replay(&mut self) -> Box<dyn Iterator<Item = WalRecord> + '_>;
+}

@@ -1,0 +1,211 @@
+//! The write-ahead-log record set: the §4.3 must-be-durable events.
+//!
+//! Records are deliberately protocol-agnostic: a batch is a sequence
+//! number plus opaque request payloads, a certificate is opaque bytes.
+//! The replica redoes its own deterministic execution from these at
+//! recovery; this crate never interprets them.
+
+use bft_crypto::Digest;
+use bft_types::{SeqNo, View, Wire, WireError};
+use bytes::Bytes;
+
+/// One durable event in the write-ahead log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A batch was executed at `seq`: enough to redo the execution
+    /// deterministically (request payloads plus the agreed
+    /// non-deterministic choice).
+    Batch {
+        /// Sequence number the batch was executed at.
+        seq: SeqNo,
+        /// View the execution happened in.
+        view: View,
+        /// The batch digest (journal entry / slot digest).
+        digest: Digest,
+        /// Whether the batch was already committed when executed
+        /// (`false` = tentative, §5.1.2; a later [`WalRecord::Commit`]
+        /// promotes it).
+        committed: bool,
+        /// Encoded request payloads, in execution order.
+        requests: Vec<Bytes>,
+        /// The batch's agreed non-deterministic input.
+        nondet: Bytes,
+    },
+    /// Every batch at or below `upto` is committed.
+    Commit {
+        /// The new committed frontier.
+        upto: SeqNo,
+    },
+    /// The view number changed. `active` records whether the view is
+    /// installed (new-view accepted) or still pending.
+    View {
+        /// The view entered.
+        view: View,
+        /// Whether the view is active.
+        active: bool,
+    },
+    /// Opaque certificate bytes justifying an active view (the encoded
+    /// new-view message); replayed so a recovered replica can serve it
+    /// to laggards.
+    NewViewCert {
+        /// The view the certificate installs.
+        view: View,
+        /// Encoded certificate.
+        cert: Bytes,
+    },
+    /// Checkpoint `seq` became stable with state root `digest`.
+    Stable {
+        /// The stable sequence number.
+        seq: SeqNo,
+        /// Root digest of the stable state.
+        digest: Digest,
+    },
+}
+
+impl WalRecord {
+    /// The sequence number that makes this record redundant once a
+    /// snapshot at or above it exists; `None` for records that must
+    /// survive truncation (view state, certificates).
+    pub fn watermark(&self) -> Option<SeqNo> {
+        match self {
+            WalRecord::Batch { seq, .. } => Some(*seq),
+            WalRecord::Commit { upto } => Some(*upto),
+            WalRecord::Stable { seq, .. } => Some(*seq),
+            WalRecord::View { .. } | WalRecord::NewViewCert { .. } => None,
+        }
+    }
+}
+
+const TAG_BATCH: u8 = 0;
+const TAG_COMMIT: u8 = 1;
+const TAG_VIEW: u8 = 2;
+const TAG_NEW_VIEW_CERT: u8 = 3;
+const TAG_STABLE: u8 = 4;
+
+impl Wire for WalRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WalRecord::Batch {
+                seq,
+                view,
+                digest,
+                committed,
+                requests,
+                nondet,
+            } => {
+                buf.push(TAG_BATCH);
+                seq.encode(buf);
+                view.encode(buf);
+                digest.encode(buf);
+                committed.encode(buf);
+                requests.encode(buf);
+                nondet.encode(buf);
+            }
+            WalRecord::Commit { upto } => {
+                buf.push(TAG_COMMIT);
+                upto.encode(buf);
+            }
+            WalRecord::View { view, active } => {
+                buf.push(TAG_VIEW);
+                view.encode(buf);
+                active.encode(buf);
+            }
+            WalRecord::NewViewCert { view, cert } => {
+                buf.push(TAG_NEW_VIEW_CERT);
+                view.encode(buf);
+                cert.encode(buf);
+            }
+            WalRecord::Stable { seq, digest } => {
+                buf.push(TAG_STABLE);
+                seq.encode(buf);
+                digest.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            TAG_BATCH => Ok(WalRecord::Batch {
+                seq: SeqNo::decode(buf)?,
+                view: View::decode(buf)?,
+                digest: Digest::decode(buf)?,
+                committed: bool::decode(buf)?,
+                requests: Vec::<Bytes>::decode(buf)?,
+                nondet: Bytes::decode(buf)?,
+            }),
+            TAG_COMMIT => Ok(WalRecord::Commit {
+                upto: SeqNo::decode(buf)?,
+            }),
+            TAG_VIEW => Ok(WalRecord::View {
+                view: View::decode(buf)?,
+                active: bool::decode(buf)?,
+            }),
+            TAG_NEW_VIEW_CERT => Ok(WalRecord::NewViewCert {
+                view: View::decode(buf)?,
+                cert: Bytes::decode(buf)?,
+            }),
+            TAG_STABLE => Ok(WalRecord::Stable {
+                seq: SeqNo::decode(buf)?,
+                digest: Digest::decode(buf)?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Batch {
+                seq: SeqNo(7),
+                view: View(1),
+                digest: bft_crypto::digest(b"batch"),
+                committed: false,
+                requests: vec![Bytes::from_static(b"req-a"), Bytes::from_static(b"req-b")],
+                nondet: Bytes::from_static(b"nd"),
+            },
+            WalRecord::Commit { upto: SeqNo(7) },
+            WalRecord::View {
+                view: View(2),
+                active: false,
+            },
+            WalRecord::NewViewCert {
+                view: View(2),
+                cert: Bytes::from_static(b"cert-bytes"),
+            },
+            WalRecord::Stable {
+                seq: SeqNo(16),
+                digest: bft_crypto::digest(b"state"),
+            },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for rec in sample_records() {
+            let bytes = rec.encoded();
+            let mut slice = bytes.as_slice();
+            assert_eq!(WalRecord::decode(&mut slice).unwrap(), rec);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut slice: &[u8] = &[0xee];
+        assert_eq!(WalRecord::decode(&mut slice), Err(WireError::BadTag(0xee)));
+    }
+
+    #[test]
+    fn watermarks() {
+        let recs = sample_records();
+        assert_eq!(recs[0].watermark(), Some(SeqNo(7)));
+        assert_eq!(recs[1].watermark(), Some(SeqNo(7)));
+        assert_eq!(recs[2].watermark(), None);
+        assert_eq!(recs[3].watermark(), None);
+        assert_eq!(recs[4].watermark(), Some(SeqNo(16)));
+    }
+}

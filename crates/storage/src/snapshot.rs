@@ -1,0 +1,132 @@
+//! Checkpoint snapshots: the durable image of a stable checkpoint.
+
+use crate::cast;
+use crate::StorageError;
+use bft_crypto::Digest;
+use bft_types::{SeqNo, Wire, WireError};
+use bytes::Bytes;
+
+/// A stable checkpoint's full state: every partition-tree page with its
+/// last-modified sequence number, plus the root digest the quorum
+/// certified. Installing the pages and rebuilding the tree must
+/// reproduce `root` — recovery verifies that before trusting the disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointSnapshot {
+    /// The checkpoint's sequence number.
+    pub seq: SeqNo,
+    /// Root digest of the state at `seq`.
+    pub root: Digest,
+    /// `(last-modified seqno, page bytes)` per page, in page order.
+    /// The replicated service's pages followed by the client reply
+    /// table's page, exactly as the partition tree holds them.
+    pub pages: Vec<(SeqNo, Bytes)>,
+}
+
+/// Snapshot payload encodings. Only CAST today; the tag leaves room to
+/// add engines without breaking old files.
+const MODE_CAST: u8 = 1;
+
+impl CheckpointSnapshot {
+    /// Raw (uncompressed) footprint of the page data: what a snapshot
+    /// would cost without any encoding. Used for footprint reporting.
+    pub fn raw_bytes(&self) -> usize {
+        self.pages.iter().map(|(_, b)| b.len() + 16).sum()
+    }
+
+    /// Encodes header + CAST-compressed pages (the on-disk payload; the
+    /// file layer wraps this in a CRC frame).
+    pub fn encode_compressed(&self) -> Vec<u8> {
+        let pages: Vec<(u64, &[u8])> = self.pages.iter().map(|(lm, b)| (lm.0, &b[..])).collect();
+        let blob = cast::compress_pages(&pages);
+        let mut out = Vec::with_capacity(blob.len() + 32);
+        self.seq.encode(&mut out);
+        self.root.encode(&mut out);
+        out.push(MODE_CAST);
+        blob.len().encode(&mut out);
+        out.extend_from_slice(&blob);
+        out
+    }
+
+    /// Inverse of [`CheckpointSnapshot::encode_compressed`].
+    pub fn decode_compressed(mut payload: &[u8]) -> Result<Self, StorageError> {
+        let corrupt = |_: WireError| StorageError::Corrupt("snapshot header decode".into());
+        let seq = SeqNo::decode(&mut payload).map_err(corrupt)?;
+        let root = Digest::decode(&mut payload).map_err(corrupt)?;
+        let mode = u8::decode(&mut payload).map_err(corrupt)?;
+        if mode != MODE_CAST {
+            return Err(StorageError::Corrupt(format!(
+                "unknown snapshot encoding {mode}"
+            )));
+        }
+        let len = usize::decode(&mut payload).map_err(corrupt)?;
+        if payload.len() != len {
+            return Err(StorageError::Corrupt("snapshot payload length".into()));
+        }
+        let pages = cast::decompress_pages(payload)
+            .map_err(|e| StorageError::Corrupt(format!("snapshot pages: {e}")))?;
+        Ok(CheckpointSnapshot {
+            seq,
+            root,
+            pages: pages
+                .into_iter()
+                .map(|(lm, b)| (SeqNo(lm), Bytes::from(b)))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_snapshot() -> CheckpointSnapshot {
+        let pages: Vec<(SeqNo, Bytes)> = (0..32u64)
+            .map(|i| {
+                let mut body = vec![0u8; 256];
+                body[..8].copy_from_slice(&i.to_le_bytes());
+                (SeqNo(if i % 3 == 0 { 32 } else { 16 }), Bytes::from(body))
+            })
+            .collect();
+        CheckpointSnapshot {
+            seq: SeqNo(32),
+            root: bft_crypto::digest(b"root"),
+            pages,
+        }
+    }
+
+    #[test]
+    fn compressed_roundtrip_and_footprint_win() {
+        let snap = sample_snapshot();
+        let packed = snap.encode_compressed();
+        let back = CheckpointSnapshot::decode_compressed(&packed).unwrap();
+        assert_eq!(back, snap);
+        // The footprint claim the ISSUE asks for: ratio > 1.
+        let ratio = snap.raw_bytes() as f64 / packed.len() as f64;
+        assert!(ratio > 1.0, "footprint ratio {ratio:.2} must exceed 1");
+    }
+
+    #[test]
+    fn corrupt_payload_rejected() {
+        let snap = sample_snapshot();
+        let mut packed = snap.encode_compressed();
+        let last = packed.len() - 1;
+        packed[last] ^= 0x5a;
+        // The byte flip lands in the compressed blob; decode either
+        // errors or (for flips RLE tolerates) yields different pages —
+        // never silently equal ones. The file layer's CRC catches every
+        // flip before this path runs.
+        match CheckpointSnapshot::decode_compressed(&packed) {
+            Err(_) => {}
+            Ok(back) => assert_ne!(back, snap),
+        }
+        // Truncation is always an error.
+        assert!(CheckpointSnapshot::decode_compressed(&packed[..10]).is_err());
+        // Unknown encoding mode is rejected.
+        let mut bad = snap.encode_compressed();
+        bad[24] = 0x7f; // mode byte: after seq (8) + digest (16)
+        assert!(matches!(
+            CheckpointSnapshot::decode_compressed(&bad),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+}

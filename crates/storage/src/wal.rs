@@ -1,0 +1,457 @@
+//! The on-disk storage engine: segmented WAL + atomic snapshot files.
+//!
+//! Layout of a replica's `data_dir`:
+//!
+//! ```text
+//! wal-000001.seg      closed log segment (CRC-framed WalRecords)
+//! wal-000002.seg      ... higher indices are newer ...
+//! wal-000003.seg      open segment (appends go here)
+//! snap-0000000032.ckpt  checkpoint snapshot (CRC frame, CAST-compressed)
+//! ```
+//!
+//! Every record rides the transport's frame envelope
+//! (`bft_types::framing`: magic, length, CRC-32, payload), so a torn
+//! tail — the bytes a crash cut mid-write — parses as "incomplete
+//! frame" and recovery takes the clean prefix, and any flipped byte
+//! fails the checksum before the decoder runs. Opening after a crash
+//! never appends to an old file: a fresh segment starts, so a torn tail
+//! stays where it fell and can never corrupt later records.
+//!
+//! Snapshots are written to a temp file, synced, then renamed over —
+//! a crash mid-snapshot leaves the previous snapshot intact. Segment
+//! rotation happens at [`WalStorage::truncate_below`] (the stable
+//! checkpoint): closed segments whose records are all at or below the
+//! watermark are deleted; the caller re-appends its watermark-free
+//! durable state (view, certificates) right after, per the
+//! [`crate::Storage`] contract.
+
+use crate::{CheckpointSnapshot, Storage, StorageError, WalRecord};
+use bft_types::framing::{encode_frame, FrameDecoder};
+use bft_types::{SeqNo, Wire};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A closed (or open) segment's bookkeeping.
+struct Segment {
+    path: PathBuf,
+    index: u64,
+    /// Highest watermark among the segment's records ([`WalRecord::watermark`]);
+    /// `None` when the segment holds only watermark-free records. A
+    /// segment is deletable at watermark `w` only when every record in
+    /// it is sequence-bound and at or below `w`.
+    max_seq: Option<SeqNo>,
+    /// Whether the segment holds records that must survive truncation
+    /// (view state, certificates).
+    has_unbound: bool,
+}
+
+/// Append-only file-backed [`Storage`].
+pub struct WalStorage {
+    dir: PathBuf,
+    /// All segments in index order; the last one is open for appends.
+    segments: Vec<Segment>,
+    /// Open handle to the last segment.
+    file: File,
+    scratch: Vec<u8>,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.seg"))
+}
+
+fn snapshot_path(dir: &Path, seq: SeqNo) -> PathBuf {
+    dir.join(format!("snap-{:010}.ckpt", seq.0))
+}
+
+/// Parses `wal-<n>.seg` / `snap-<n>.ckpt` numbers out of a file name.
+fn numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Decodes the records of one segment's bytes, stopping at the first
+/// torn or corrupt frame (prefix semantics).
+fn decode_segment(bytes: &[u8]) -> Vec<WalRecord> {
+    let mut dec = FrameDecoder::new();
+    dec.extend(bytes);
+    let mut out = Vec::new();
+    while let Ok(Some(rec)) = dec.next_frame::<WalRecord>() {
+        out.push(rec);
+    }
+    out
+}
+
+impl WalStorage {
+    /// Opens (creating if needed) a replica's data directory and starts
+    /// a fresh segment for appends.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StorageError::io("create data_dir", e))?;
+        let mut segments: Vec<Segment> = Vec::new();
+        for entry in fs::read_dir(&dir).map_err(|e| StorageError::io("read data_dir", e))? {
+            let entry = entry.map_err(|e| StorageError::io("read data_dir", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(index) = numbered(name, "wal-", ".seg") {
+                // Scan the surviving prefix to learn what the segment
+                // still covers (needed to decide deletability later).
+                let bytes =
+                    fs::read(entry.path()).map_err(|e| StorageError::io("read segment", e))?;
+                let mut max_seq = None;
+                let mut has_unbound = false;
+                for rec in decode_segment(&bytes) {
+                    match rec.watermark() {
+                        Some(w) => max_seq = Some(max_seq.map_or(w, |m: SeqNo| m.max(w))),
+                        None => has_unbound = true,
+                    }
+                }
+                segments.push(Segment {
+                    path: entry.path(),
+                    index,
+                    max_seq,
+                    has_unbound,
+                });
+            } else if name.ends_with(".tmp") {
+                // Leftover of a snapshot write the crash interrupted.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        segments.sort_by_key(|s| s.index);
+        let next_index = segments.last().map_or(1, |s| s.index + 1);
+        let (file, seg) = Self::new_segment(&dir, next_index)?;
+        segments.push(seg);
+        Ok(WalStorage {
+            dir,
+            segments,
+            file,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn new_segment(dir: &Path, index: u64) -> Result<(File, Segment), StorageError> {
+        let path = segment_path(dir, index);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StorageError::io("open segment", e))?;
+        Ok((
+            file,
+            Segment {
+                path,
+                index,
+                max_seq: None,
+                has_unbound: false,
+            },
+        ))
+    }
+
+    /// The data directory this engine writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of segment files currently on disk (tests).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+impl Storage for WalStorage {
+    fn append(&mut self, rec: &WalRecord) -> Result<(), StorageError> {
+        self.scratch.clear();
+        encode_frame(rec, &mut self.scratch);
+        self.file
+            .write_all(&self.scratch)
+            .map_err(|e| StorageError::io("append", e))?;
+        let open = self.segments.last_mut().expect("open segment");
+        match rec.watermark() {
+            Some(w) => open.max_seq = Some(open.max_seq.map_or(w, |m| m.max(w))),
+            None => open.has_unbound = true,
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io("sync", e))
+    }
+
+    fn write_snapshot(&mut self, snap: &CheckpointSnapshot) -> Result<(), StorageError> {
+        let payload = snap.encode_compressed();
+        let mut framed = Vec::with_capacity(payload.len() + 16);
+        encode_frame(&RawPayload(payload), &mut framed);
+        let final_path = snapshot_path(&self.dir, snap.seq);
+        let tmp_path = final_path.with_extension("ckpt.tmp");
+        let mut tmp = File::create(&tmp_path).map_err(|e| StorageError::io("snapshot tmp", e))?;
+        tmp.write_all(&framed)
+            .map_err(|e| StorageError::io("snapshot write", e))?;
+        tmp.sync_data()
+            .map_err(|e| StorageError::io("snapshot sync", e))?;
+        drop(tmp);
+        fs::rename(&tmp_path, &final_path).map_err(|e| StorageError::io("snapshot rename", e))?;
+        // Older snapshots are now redundant.
+        for entry in fs::read_dir(&self.dir).map_err(|e| StorageError::io("read data_dir", e))? {
+            let entry = entry.map_err(|e| StorageError::io("read data_dir", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = numbered(name, "snap-", ".ckpt") {
+                if seq < snap.seq.0 {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn load_snapshot(&mut self) -> Result<Option<CheckpointSnapshot>, StorageError> {
+        // Newest first; fall back past corrupt files (a flip in the one
+        // good snapshot is unrecoverable locally — the replica boots
+        // fresh and state-transfers, which is safe, just slower).
+        let mut seqs: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&self.dir).map_err(|e| StorageError::io("read data_dir", e))? {
+            let entry = entry.map_err(|e| StorageError::io("read data_dir", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = numbered(name, "snap-", ".ckpt") {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        for seq in seqs {
+            let path = snapshot_path(&self.dir, SeqNo(seq));
+            let bytes = fs::read(&path).map_err(|e| StorageError::io("read snapshot", e))?;
+            let mut dec = FrameDecoder::new();
+            dec.extend(&bytes);
+            let Ok(Some(RawPayload(payload))) = dec.next_frame::<RawPayload>() else {
+                continue; // Torn or corrupt: try the next-older one.
+            };
+            match CheckpointSnapshot::decode_compressed(&payload) {
+                Ok(snap) => return Ok(Some(snap)),
+                Err(_) => continue,
+            }
+        }
+        Ok(None)
+    }
+
+    fn truncate_below(&mut self, watermark: SeqNo) -> Result<(), StorageError> {
+        // Rotate: close the current segment, open a fresh one.
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io("sync", e))?;
+        let next_index = self.segments.last().expect("open segment").index + 1;
+        let (file, seg) = Self::new_segment(&self.dir, next_index)?;
+        self.file = file;
+        self.segments.push(seg);
+        // Delete closed segments made fully redundant by the watermark.
+        let last = self.segments.len() - 1;
+        let mut kept = Vec::new();
+        for (i, seg) in self.segments.drain(..).enumerate() {
+            let deletable =
+                i < last && !seg.has_unbound && seg.max_seq.is_none_or(|m| m <= watermark);
+            if deletable {
+                let _ = fs::remove_file(&seg.path);
+            } else {
+                kept.push(seg);
+            }
+        }
+        self.segments = kept;
+        Ok(())
+    }
+
+    fn replay(&mut self) -> Box<dyn Iterator<Item = WalRecord> + '_> {
+        // Read every segment's surviving prefix in index order. Loading
+        // eagerly keeps the iterator allocation-simple; post-GC logs are
+        // one checkpoint interval of batches.
+        let mut records = Vec::new();
+        for seg in &self.segments {
+            let Ok(bytes) = fs::read(&seg.path) else {
+                break;
+            };
+            records.extend(decode_segment(&bytes));
+        }
+        Box::new(records.into_iter())
+    }
+}
+
+/// A frame payload treated as raw bytes (snapshot files hold one frame
+/// whose payload is the compressed snapshot encoding).
+struct RawPayload(Vec<u8>);
+
+impl Wire for RawPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, bft_types::WireError> {
+        let out = buf.to_vec();
+        *buf = &[];
+        Ok(RawPayload(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_crypto::digest;
+    use bft_types::View;
+    use bytes::Bytes;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bft-wal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batch(seq: u64) -> WalRecord {
+        WalRecord::Batch {
+            seq: SeqNo(seq),
+            view: View(0),
+            digest: digest(&seq.to_le_bytes()),
+            committed: true,
+            requests: vec![Bytes::from_static(b"op")],
+            nondet: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = tempdir("reopen");
+        {
+            let mut st = WalStorage::open(&dir).unwrap();
+            for s in 1..=5 {
+                st.append(&batch(s)).unwrap();
+            }
+            st.append(&WalRecord::View {
+                view: View(1),
+                active: true,
+            })
+            .unwrap();
+            st.sync().unwrap();
+        }
+        let mut st = WalStorage::open(&dir).unwrap();
+        let recs: Vec<WalRecord> = st.replay().collect();
+        assert_eq!(recs.len(), 6);
+        assert_eq!(recs[0], batch(1));
+        assert_eq!(
+            recs[5],
+            WalRecord::View {
+                view: View(1),
+                active: true
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix() {
+        let dir = tempdir("torn");
+        {
+            let mut st = WalStorage::open(&dir).unwrap();
+            for s in 1..=3 {
+                st.append(&batch(s)).unwrap();
+            }
+            st.sync().unwrap();
+        }
+        // Tear the last record mid-frame, as a crash would.
+        let seg = segment_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        let torn = bytes.len() - 7;
+        bytes.truncate(torn);
+        fs::write(&seg, &bytes).unwrap();
+        let mut st = WalStorage::open(&dir).unwrap();
+        let recs: Vec<WalRecord> = st.replay().collect();
+        assert_eq!(recs, vec![batch(1), batch(2)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_atomicity_and_gc() {
+        let dir = tempdir("snap");
+        let mut st = WalStorage::open(&dir).unwrap();
+        assert_eq!(st.load_snapshot().unwrap(), None);
+        let snap16 = CheckpointSnapshot {
+            seq: SeqNo(16),
+            root: digest(b"s16"),
+            pages: vec![(SeqNo(3), Bytes::from_static(b"page-a"))],
+        };
+        st.write_snapshot(&snap16).unwrap();
+        assert_eq!(st.load_snapshot().unwrap(), Some(snap16));
+        let snap32 = CheckpointSnapshot {
+            seq: SeqNo(32),
+            root: digest(b"s32"),
+            pages: vec![(SeqNo(20), Bytes::from_static(b"page-b"))],
+        };
+        st.write_snapshot(&snap32).unwrap();
+        assert_eq!(st.load_snapshot().unwrap(), Some(snap32.clone()));
+        // The older file is gone; a stray tmp file is cleaned on open.
+        assert!(!snapshot_path(&dir, SeqNo(16)).exists());
+        fs::write(dir.join("snap-9999.ckpt.tmp"), b"junk").unwrap();
+        let mut st = WalStorage::open(&dir).unwrap();
+        assert!(!dir.join("snap-9999.ckpt.tmp").exists());
+        assert_eq!(st.load_snapshot().unwrap(), Some(snap32));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_rotates_and_deletes_covered_segments() {
+        let dir = tempdir("rotate");
+        let mut st = WalStorage::open(&dir).unwrap();
+        for s in 1..=16 {
+            st.append(&batch(s)).unwrap();
+        }
+        st.truncate_below(SeqNo(16)).unwrap();
+        st.append(&WalRecord::Stable {
+            seq: SeqNo(16),
+            digest: digest(b"s"),
+        })
+        .unwrap();
+        for s in 17..=20 {
+            st.append(&batch(s)).unwrap();
+        }
+        st.sync().unwrap();
+        // Segment 1 (batches 1..=16) was deleted; the survivors replay.
+        assert!(!segment_path(&dir, 1).exists());
+        let recs: Vec<WalRecord> = st.replay().collect();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[1], batch(17));
+        // The caller's contract: truncate, then re-append watermark-free
+        // state (view) into the fresh segment. It survives the next GC.
+        st.truncate_below(SeqNo(20)).unwrap();
+        st.append(&WalRecord::View {
+            view: View(3),
+            active: false,
+        })
+        .unwrap();
+        st.truncate_below(SeqNo(25)).unwrap();
+        let recs: Vec<WalRecord> = st.replay().collect();
+        assert_eq!(
+            recs,
+            vec![WalRecord::View {
+                view: View(3),
+                active: false
+            }]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_after_truncate_keeps_counting_segments() {
+        let dir = tempdir("indices");
+        {
+            let mut st = WalStorage::open(&dir).unwrap();
+            st.append(&batch(1)).unwrap();
+            st.truncate_below(SeqNo(1)).unwrap();
+            st.append(&batch(2)).unwrap();
+            st.sync().unwrap();
+        }
+        let mut st = WalStorage::open(&dir).unwrap();
+        st.append(&batch(3)).unwrap();
+        let recs: Vec<WalRecord> = st.replay().collect();
+        assert_eq!(recs, vec![batch(2), batch(3)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the durable-storage encodings: WAL records survive
+//! the CRC frame envelope under arbitrary stream splits, a torn tail
+//! yields exactly the clean prefix, any byte flip is rejected, and
+//! snapshots round-trip through the CAST pipeline with a real footprint
+//! win.
+
+use bft_storage::{CheckpointSnapshot, WalRecord};
+use bft_types::framing::{encode_frame, frame_bytes, FrameDecoder};
+use bft_types::{SeqNo, View};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = WalRecord> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..48), 0..4),
+            proptest::collection::vec(any::<u8>(), 0..16),
+            any::<bool>(),
+        )
+            .prop_map(|(seq, view, reqs, nondet, committed)| WalRecord::Batch {
+                seq: SeqNo(seq),
+                view: View(view),
+                digest: bft_crypto::digest(&seq.to_le_bytes()),
+                committed,
+                requests: reqs.into_iter().map(Bytes::from).collect(),
+                nondet: Bytes::from(nondet),
+            }),
+        any::<u64>().prop_map(|n| WalRecord::Commit { upto: SeqNo(n) }),
+        (any::<u64>(), any::<bool>()).prop_map(|(v, active)| WalRecord::View {
+            view: View(v),
+            active,
+        }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(v, cert)| {
+            WalRecord::NewViewCert {
+                view: View(v),
+                cert: Bytes::from(cert),
+            }
+        }),
+        any::<u64>().prop_map(|n| WalRecord::Stable {
+            seq: SeqNo(n),
+            digest: bft_crypto::digest(&n.to_le_bytes()),
+        }),
+    ]
+}
+
+fn arb_snapshot() -> impl Strategy<Value = CheckpointSnapshot> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..128)),
+            0..8,
+        ),
+    )
+        .prop_map(|(seq, pages)| CheckpointSnapshot {
+            seq: SeqNo(seq),
+            root: bft_crypto::digest(&seq.to_le_bytes()),
+            pages: pages
+                .into_iter()
+                .map(|(lm, b)| (SeqNo(lm), Bytes::from(b)))
+                .collect(),
+        })
+}
+
+proptest! {
+    /// A WAL stream survives any split pattern: the decoder yields
+    /// exactly the appended records in order, however the bytes were
+    /// chunked (partial writes, short reads).
+    #[test]
+    fn records_roundtrip_under_arbitrary_splits(
+        recs in proptest::collection::vec(arb_record(), 1..6),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for r in &recs {
+            encode_frame(r, &mut stream);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.extend(piece);
+            while let Some(r) = dec.next_frame::<WalRecord>().unwrap() {
+                out.push(r);
+            }
+        }
+        prop_assert_eq!(out, recs);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A crash that tears the tail of the log at any byte boundary
+    /// recovers exactly the records whose frames survived whole — the
+    /// torn record is dropped, never half-applied.
+    #[test]
+    fn torn_tail_recovers_clean_prefix(
+        recs in proptest::collection::vec(arb_record(), 1..6),
+        cut_permille in 0usize..1000,
+    ) {
+        let mut stream = Vec::new();
+        let mut ends = Vec::new();
+        for r in &recs {
+            encode_frame(r, &mut stream);
+            ends.push(stream.len());
+        }
+        let cut = stream.len() * cut_permille / 1000;
+        let survivors = ends.iter().filter(|&&e| e <= cut).count();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream[..cut]);
+        let mut out = Vec::new();
+        while let Ok(Some(r)) = dec.next_frame::<WalRecord>() {
+            out.push(r);
+        }
+        prop_assert_eq!(&out, &recs[..survivors]);
+    }
+
+    /// Flipping any byte anywhere in a framed record is detected: the
+    /// decoder errors or waits, and never delivers a record from the
+    /// corrupted frame.
+    #[test]
+    fn any_byte_flip_rejected(
+        rec in arb_record(),
+        pos_permille in 0usize..1000,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = frame_bytes(&rec);
+        let pos = (bytes.len() - 1) * pos_permille / 1000;
+        bytes[pos] ^= flip;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        match dec.next_frame::<WalRecord>() {
+            Err(_) => {}   // Magic, bound, checksum, or decode failure.
+            Ok(None) => {} // Length grew: waits forever, delivers nothing.
+            Ok(Some(_)) => prop_assert!(false, "corrupted frame delivered a record"),
+        }
+    }
+
+    /// Snapshots round-trip through the CAST compress/decompress
+    /// pipeline for arbitrary page contents — including incompressible
+    /// noise and empty pages.
+    #[test]
+    fn snapshot_compression_roundtrips(snap in arb_snapshot()) {
+        let packed = snap.encode_compressed();
+        let back = CheckpointSnapshot::decode_compressed(&packed).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+}
+
+/// The footprint claim on a representative (structured, zero-padded)
+/// snapshot: compressed is strictly smaller than raw, ratio > 1.
+#[test]
+fn representative_snapshot_footprint_ratio_exceeds_one() {
+    let pages: Vec<(SeqNo, Bytes)> = (0..64u64)
+        .map(|i| {
+            let mut body = vec![0u8; 1024];
+            body[..8].copy_from_slice(&(i * 3).to_le_bytes());
+            (SeqNo(if i % 4 == 0 { 64 } else { 48 }), Bytes::from(body))
+        })
+        .collect();
+    let snap = CheckpointSnapshot {
+        seq: SeqNo(64),
+        root: bft_crypto::digest(b"root"),
+        pages,
+    };
+    let packed = snap.encode_compressed();
+    let ratio = snap.raw_bytes() as f64 / packed.len() as f64;
+    assert!(ratio > 1.0, "footprint ratio {ratio:.2} must exceed 1");
+}
